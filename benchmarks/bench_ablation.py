@@ -1,0 +1,92 @@
+"""Ablations of the reproduction's own design choices.
+
+* ``ablation-delta-mode`` — the two equivalent delta-rule evaluation
+  strategies: the paper's literal factored form (materializes ν-states,
+  Algorithm 4.1 verbatim) vs the bilinear expansion (old states only).
+  Expansion should win: it never copies relations.
+
+* ``ablation-seed-order`` — Section 6.1's join-order remark: "the
+  Δ-subgoal is usually the most restrictive subgoal in the rule and
+  would be used first in the join order."  Evaluates the same delta rule
+  with the Δ-subgoal pinned first vs. planned without the pin (the
+  size-aware planner usually recovers, so the gap measures planner
+  quality too).
+"""
+
+import pytest
+
+from helpers import HOP_SRC, apply_changes, counting_setup, database_with
+from repro.core import names
+from repro.datalog.parser import parse_rule
+from repro.eval.rule_eval import EvalContext, Resolver, evaluate_rule
+from repro.storage.relation import CountedRelation
+from repro.workloads import mixed_batch, random_graph
+
+EDGES = random_graph(220, 1000, seed=131)
+CHANGES, _ = mixed_batch("link", EDGES, 5, 5, node_count=220, seed=132)
+
+
+@pytest.mark.benchmark(group="ablation-delta-mode")
+def test_expansion_mode(benchmark):
+    benchmark.pedantic(
+        apply_changes,
+        setup=counting_setup(
+            HOP_SRC, EDGES, CHANGES, counting_mode="expansion"
+        ),
+        rounds=5,
+    )
+
+
+@pytest.mark.benchmark(group="ablation-delta-mode")
+def test_factored_mode(benchmark):
+    benchmark.pedantic(
+        apply_changes,
+        setup=counting_setup(
+            HOP_SRC, EDGES, CHANGES, counting_mode="factored"
+        ),
+        rounds=5,
+    )
+
+
+def _delta_rule_fixture():
+    """A Δ-rule over a large link relation with a tiny delta."""
+    link = CountedRelation("link", 2)
+    for edge in EDGES:
+        link.add(edge, 1)
+    delta = CountedRelation(names.delta("link"), 2)
+    for row, count in CHANGES.delta("link").items():
+        delta.add(row, count)
+    rule = parse_rule("delta_hop(X, Y) :- deltalink(X, Z), link(Z, Y).")
+    resolver = Resolver(None, {"link": link, "deltalink": delta})
+    return rule, resolver
+
+
+@pytest.mark.benchmark(group="ablation-seed-order")
+def test_delta_subgoal_pinned_first(benchmark):
+    rule, resolver = _delta_rule_fixture()
+
+    def run():
+        return evaluate_rule(rule, EvalContext(resolver), seed=0)
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="ablation-seed-order")
+def test_delta_subgoal_planner_chosen(benchmark):
+    rule, resolver = _delta_rule_fixture()
+
+    def run():
+        return evaluate_rule(rule, EvalContext(resolver))
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="ablation-seed-order")
+def test_delta_subgoal_forced_last(benchmark):
+    """Worst case: scan the big relation first, probe the delta second."""
+    rule, resolver = _delta_rule_fixture()
+
+    def run():
+        return evaluate_rule(rule, EvalContext(resolver), seed=1)
+
+    benchmark(run)

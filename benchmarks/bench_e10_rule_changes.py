@@ -1,0 +1,66 @@
+"""E10 — view redefinition: rule changes vs rematerialization (§7).
+
+DRed maintains the materialization across rule insertions/deletions; the
+baseline is building a fresh maintainer for the new program.
+"""
+
+import pytest
+
+from helpers import TC_SRC, database_with
+from repro.core.maintenance import ViewMaintainer
+from repro.workloads import random_graph
+
+EDGES = random_graph(150, 400, seed=101)
+NEW_RULE = "tc(X, Y) :- link(Y, X)."
+
+
+@pytest.mark.benchmark(group="e10-add-rule")
+def test_alter_add_rule(benchmark):
+    def setup():
+        maintainer = ViewMaintainer.from_source(
+            TC_SRC, database_with(EDGES), strategy="dred"
+        ).initialize()
+        return (maintainer,), {}
+
+    benchmark.pedantic(
+        lambda m: m.alter(add=[NEW_RULE]), setup=setup, rounds=3
+    )
+
+
+@pytest.mark.benchmark(group="e10-add-rule")
+def test_rebuild_with_added_rule(benchmark):
+    def rebuild():
+        ViewMaintainer.from_source(
+            TC_SRC + NEW_RULE, database_with(EDGES), strategy="dred"
+        ).initialize()
+
+    benchmark.pedantic(rebuild, rounds=3)
+
+
+@pytest.mark.benchmark(group="e10-remove-rule")
+def test_alter_remove_rule(benchmark):
+    def setup():
+        db = database_with(EDGES)
+        db.insert_rows("special", [(0, 1), (2, 3)])
+        maintainer = ViewMaintainer.from_source(
+            TC_SRC + "tc(X, Y) :- special(X, Y).",
+            db,
+            strategy="dred",
+        ).initialize()
+        return (maintainer,), {}
+
+    benchmark.pedantic(
+        lambda m: m.alter(remove=["tc(X, Y) :- special(X, Y)."]),
+        setup=setup,
+        rounds=3,
+    )
+
+
+@pytest.mark.benchmark(group="e10-remove-rule")
+def test_rebuild_without_removed_rule(benchmark):
+    def rebuild():
+        db = database_with(EDGES)
+        db.insert_rows("special", [(0, 1), (2, 3)])
+        ViewMaintainer.from_source(TC_SRC, db, strategy="dred").initialize()
+
+    benchmark.pedantic(rebuild, rounds=3)

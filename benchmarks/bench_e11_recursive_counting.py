@@ -1,0 +1,68 @@
+"""E11 — counting on recursive views ([GKM92], §8).
+
+On acyclic data the counted fixpoint converges and incremental
+maintenance is cheap and exact; the divergence guard's cost on cyclic
+data is bounded by its round limit.  Compared against DRed on the same
+acyclic maintenance.
+"""
+
+import pytest
+
+from helpers import TC_SRC, database_with
+from repro.core.maintenance import ViewMaintainer
+from repro.core.recursive_counting import RecursiveCountingView
+from repro.datalog.parser import parse_program
+from repro.errors import DivergenceError
+from repro.storage.changeset import Changeset
+from repro.workloads import cycle, layered_dag
+
+DAG = layered_dag(7, 9, 3, seed=111)
+CHANGES = (
+    Changeset()
+    .delete("link", DAG[0])
+    .delete("link", DAG[1])
+    .insert("link", ((0, 0), (6, 8)))
+)
+
+
+@pytest.mark.benchmark(group="e11-acyclic-maintenance")
+def test_recursive_counting_maintenance(benchmark):
+    def setup():
+        view = RecursiveCountingView(
+            parse_program(TC_SRC), database_with(DAG)
+        ).initialize()
+        return (view,), {}
+
+    benchmark.pedantic(
+        lambda v: v.apply(CHANGES.copy()), setup=setup, rounds=5
+    )
+
+
+@pytest.mark.benchmark(group="e11-acyclic-maintenance")
+def test_dred_same_maintenance(benchmark):
+    def setup():
+        maintainer = ViewMaintainer.from_source(
+            TC_SRC, database_with(DAG), strategy="dred"
+        ).initialize()
+        return (maintainer,), {}
+
+    benchmark.pedantic(
+        lambda m: m.apply(CHANGES.copy()), setup=setup, rounds=5
+    )
+
+
+@pytest.mark.benchmark(group="e11-divergence-guard")
+def test_divergence_guard_cost(benchmark):
+    """Cost of detecting a non-terminating counting run (bounded rounds)."""
+
+    def run():
+        view = RecursiveCountingView(
+            parse_program(TC_SRC), database_with(cycle(8)), max_rounds=64
+        )
+        try:
+            view.initialize()
+        except DivergenceError:
+            return True
+        raise AssertionError("expected divergence on cyclic data")
+
+    benchmark.pedantic(run, rounds=3)

@@ -1,0 +1,59 @@
+"""E12 — Algorithm 6.1 across the aggregate-function taxonomy (§6.2).
+
+Insert batches are incrementally computable for every function; deleting
+group extrema forces MIN onto the recompute-from-group fallback — the
+[DAJ91] distinction the paper builds on.
+"""
+
+import pytest
+
+from helpers import database_with
+from repro.core.maintenance import ViewMaintainer
+from repro.storage.changeset import Changeset
+from repro.workloads import random_graph, with_costs
+
+EDGES = with_costs(random_graph(80, 600, seed=121), 1, 100, seed=121)
+
+INSERTS = Changeset()
+for _i in range(60):
+    INSERTS.insert("link", (_i % 80, 900 + _i, 50))
+
+_cheapest = {}
+for _row in EDGES:
+    if _row[0] not in _cheapest or _row[2] < _cheapest[_row[0]][2]:
+        _cheapest[_row[0]] = _row
+EXTREMUM_DELETES = Changeset()
+for _row in list(_cheapest.values())[:40]:
+    EXTREMUM_DELETES.delete("link", _row)
+
+
+def _setup(function):
+    source = (
+        f"agg_view(S, M) :- GROUPBY(link(S, D, C), [S], M = {function}(C))."
+    )
+
+    def setup():
+        maintainer = ViewMaintainer.from_source(
+            source, database_with(EDGES)
+        ).initialize()
+        return (maintainer,), {}
+
+    return setup
+
+
+@pytest.mark.benchmark(group="e12-inserts")
+@pytest.mark.parametrize("function", ["SUM", "COUNT", "AVG", "MIN", "MAX"])
+def test_aggregate_inserts(benchmark, function):
+    benchmark.pedantic(
+        lambda m: m.apply(INSERTS.copy()), setup=_setup(function), rounds=5
+    )
+
+
+@pytest.mark.benchmark(group="e12-extremum-deletes")
+@pytest.mark.parametrize("function", ["SUM", "MIN", "MAX"])
+def test_aggregate_extremum_deletes(benchmark, function):
+    benchmark.pedantic(
+        lambda m: m.apply(EXTREMUM_DELETES.copy()),
+        setup=_setup(function),
+        rounds=5,
+    )

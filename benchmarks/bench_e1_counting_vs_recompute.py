@@ -1,0 +1,52 @@
+"""E1 — counting vs full recomputation on nonrecursive views (hop/tri_hop).
+
+Paper claim (§1): computing only the changes is usually much cheaper than
+recomputing the view.  Compare groups ``e1-small-batch`` (Δ ≈ 1% of the
+base relation) and ``e1-large-batch`` (Δ ≈ 50%): counting should win the
+first decisively and lose its edge on the second.
+"""
+
+import pytest
+
+from helpers import (
+    HOP_SRC,
+    apply_changes,
+    counting_setup,
+    hop_workload,
+    recompute_setup,
+)
+
+SMALL = hop_workload(deletions=4, insertions=4, seed=11)
+LARGE = hop_workload(deletions=220, insertions=220, seed=12)
+
+
+@pytest.mark.benchmark(group="e1-small-batch")
+def test_counting_small_batch(benchmark):
+    edges, changes = SMALL
+    benchmark.pedantic(
+        apply_changes, setup=counting_setup(HOP_SRC, edges, changes), rounds=5
+    )
+
+
+@pytest.mark.benchmark(group="e1-small-batch")
+def test_recompute_small_batch(benchmark):
+    edges, changes = SMALL
+    benchmark.pedantic(
+        apply_changes, setup=recompute_setup(HOP_SRC, edges, changes), rounds=5
+    )
+
+
+@pytest.mark.benchmark(group="e1-large-batch")
+def test_counting_large_batch(benchmark):
+    edges, changes = LARGE
+    benchmark.pedantic(
+        apply_changes, setup=counting_setup(HOP_SRC, edges, changes), rounds=3
+    )
+
+
+@pytest.mark.benchmark(group="e1-large-batch")
+def test_recompute_large_batch(benchmark):
+    edges, changes = LARGE
+    benchmark.pedantic(
+        apply_changes, setup=recompute_setup(HOP_SRC, edges, changes), rounds=3
+    )

@@ -1,0 +1,65 @@
+"""E2 — the heuristic of inertia breaks down under mass deletion.
+
+Paper claim (§1): "if an entire base relation is deleted, it may be
+cheaper to recompute the view … than to compute the changes."  Group
+``e2-delete-all`` deletes 100% of ``link``: recomputation (of a now
+empty view) should beat incremental counting; group ``e2-delete-few``
+shows the normal regime for contrast.
+"""
+
+import pytest
+
+from helpers import (
+    HOP_SRC,
+    apply_changes,
+    counting_setup,
+    recompute_setup,
+)
+from repro.storage.changeset import Changeset
+from repro.workloads import random_graph
+
+EDGES = random_graph(200, 900, seed=21)
+
+DELETE_ALL = Changeset()
+for _edge in EDGES:
+    DELETE_ALL.delete("link", _edge)
+
+DELETE_FEW = Changeset()
+for _edge in EDGES[:5]:
+    DELETE_FEW.delete("link", _edge)
+
+
+@pytest.mark.benchmark(group="e2-delete-all")
+def test_counting_delete_all(benchmark):
+    benchmark.pedantic(
+        apply_changes,
+        setup=counting_setup(HOP_SRC, EDGES, DELETE_ALL),
+        rounds=3,
+    )
+
+
+@pytest.mark.benchmark(group="e2-delete-all")
+def test_recompute_delete_all(benchmark):
+    benchmark.pedantic(
+        apply_changes,
+        setup=recompute_setup(HOP_SRC, EDGES, DELETE_ALL),
+        rounds=3,
+    )
+
+
+@pytest.mark.benchmark(group="e2-delete-few")
+def test_counting_delete_few(benchmark):
+    benchmark.pedantic(
+        apply_changes,
+        setup=counting_setup(HOP_SRC, EDGES, DELETE_FEW),
+        rounds=5,
+    )
+
+
+@pytest.mark.benchmark(group="e2-delete-few")
+def test_recompute_delete_few(benchmark):
+    benchmark.pedantic(
+        apply_changes,
+        setup=recompute_setup(HOP_SRC, EDGES, DELETE_FEW),
+        rounds=5,
+    )

@@ -1,0 +1,60 @@
+"""E3 — counting computes exactly the true delta (Theorem 4.1).
+
+This benchmark measures the cost of the exact delta computation and, in
+the same run, *asserts* optimality: the computed delta must equal the
+recount oracle's ground truth, and DRed's step-1 overestimate must be a
+superset of its net deletions.
+"""
+
+import pytest
+
+from helpers import HOP_SRC, TC_SRC, database_with
+from repro.baselines.recount import true_view_deltas
+from repro.core.maintenance import ViewMaintainer
+from repro.datalog.parser import parse_program
+from repro.storage.changeset import Changeset
+from repro.workloads import random_graph
+
+EDGES = random_graph(150, 600, seed=31)
+CHANGES = Changeset()
+for _edge in EDGES[:10]:
+    CHANGES.delete("link", _edge)
+
+
+@pytest.mark.benchmark(group="e3-exact-delta")
+def test_counting_exact_delta(benchmark):
+    truth = true_view_deltas(
+        parse_program(HOP_SRC), database_with(EDGES), CHANGES
+    )
+
+    def setup():
+        maintainer = ViewMaintainer.from_source(
+            HOP_SRC, database_with(EDGES)
+        ).initialize()
+        return (maintainer,), {}
+
+    def run(maintainer):
+        report = maintainer.apply(CHANGES.copy())
+        for view in ("hop", "tri_hop"):
+            expected = truth[view].to_dict() if view in truth else {}
+            assert report.delta(view).to_dict() == expected
+        return report
+
+    benchmark.pedantic(run, setup=setup, rounds=5)
+
+
+@pytest.mark.benchmark(group="e3-overestimate")
+def test_dred_overestimates_then_repairs(benchmark):
+    def setup():
+        maintainer = ViewMaintainer.from_source(
+            TC_SRC, database_with(EDGES), strategy="dred"
+        ).initialize()
+        return (maintainer,), {}
+
+    def run(maintainer):
+        report = maintainer.apply(CHANGES.copy())
+        stats = report.dred.stats
+        assert stats.overestimated >= stats.deleted
+        return stats
+
+    benchmark.pedantic(run, setup=setup, rounds=3)

@@ -1,0 +1,68 @@
+"""E5 — statement (2): unchanged set projections stop the cascade (§5.1).
+
+A 6-stratum view stack over a graph where every derived tuple has two
+derivations; the update deletes one of the two.  Under set semantics the
+cascade stops at stratum 1; under duplicate semantics the count change
+walks all six strata.
+"""
+
+import pytest
+
+from repro.core.maintenance import ViewMaintainer
+from repro.storage.changeset import Changeset
+from repro.storage.database import Database
+
+DEPTH = 6
+PAIRS = 150
+
+_rules = ["v1(X, Y) :- link(X, Z), link(Z, Y)."]
+for _level in range(2, DEPTH + 1):
+    _rules.append(f"v{_level}(X, Y) :- v{_level - 1}(X, Y), anchor(X).")
+SOURCE = "\n".join(_rules)
+
+EDGES = []
+ANCHORS = []
+for _i in range(PAIRS):
+    EDGES += [
+        (f"s{_i}", f"m{_i}a"),
+        (f"s{_i}", f"m{_i}b"),
+        (f"m{_i}a", f"t{_i}"),
+        (f"m{_i}b", f"t{_i}"),
+    ]
+    ANCHORS.append((f"s{_i}",))
+
+CHANGES = Changeset()
+for _i in range(PAIRS // 2):
+    CHANGES.delete("link", (f"s{_i}", f"m{_i}a"))
+
+
+def _setup(semantics):
+    def setup():
+        db = Database()
+        db.insert_rows("link", EDGES)
+        db.insert_rows("anchor", ANCHORS)
+        maintainer = ViewMaintainer.from_source(
+            SOURCE, db, semantics=semantics
+        ).initialize()
+        return (maintainer,), {}
+
+    return setup
+
+
+@pytest.mark.benchmark(group="e5-cascade")
+def test_set_semantics_suppresses_cascade(benchmark):
+    def run(maintainer):
+        report = maintainer.apply(CHANGES.copy())
+        assert report.counting.stats.strata_reached == 1
+        assert report.counting.stats.cascades_suppressed == PAIRS // 2
+
+    benchmark.pedantic(run, setup=_setup("set"), rounds=5)
+
+
+@pytest.mark.benchmark(group="e5-cascade")
+def test_duplicate_semantics_cascades_fully(benchmark):
+    def run(maintainer):
+        report = maintainer.apply(CHANGES.copy())
+        assert report.counting.stats.strata_reached == DEPTH
+
+    benchmark.pedantic(run, setup=_setup("duplicate"), rounds=5)

@@ -1,0 +1,72 @@
+"""E6 — DRed vs recomputation for recursive views (§7).
+
+Transitive closure over a sparse graph.  Groups: insert-only batches
+(DRed ≈ semi-naive, big win), small delete batches (win depends on how
+local the damage is), and recomputation as the common baseline.
+"""
+
+import pytest
+
+from helpers import (
+    TC_SRC,
+    apply_changes,
+    counting_setup,
+    recompute_setup,
+)
+from repro.storage.changeset import Changeset
+from repro.workloads import layered_dag, mixed_batch, random_graph
+
+SPARSE = random_graph(250, 320, seed=61)
+DAG = layered_dag(8, 10, 2, seed=61)
+
+INSERTS, _ = mixed_batch("link", SPARSE, 0, 10, node_count=250, seed=62)
+DELETES, _ = mixed_batch("link", SPARSE, 2, 0, node_count=250, seed=63)
+DAG_MIXED, _ = mixed_batch("link", DAG, 2, 4, node_count=8, seed=64)
+
+
+@pytest.mark.benchmark(group="e6-inserts")
+def test_dred_inserts(benchmark):
+    benchmark.pedantic(
+        apply_changes,
+        setup=counting_setup(TC_SRC, SPARSE, INSERTS, strategy="dred"),
+        rounds=5,
+    )
+
+
+@pytest.mark.benchmark(group="e6-inserts")
+def test_recompute_inserts(benchmark):
+    benchmark.pedantic(
+        apply_changes, setup=recompute_setup(TC_SRC, SPARSE, INSERTS), rounds=5
+    )
+
+
+@pytest.mark.benchmark(group="e6-deletes")
+def test_dred_deletes(benchmark):
+    benchmark.pedantic(
+        apply_changes,
+        setup=counting_setup(TC_SRC, SPARSE, DELETES, strategy="dred"),
+        rounds=5,
+    )
+
+
+@pytest.mark.benchmark(group="e6-deletes")
+def test_recompute_deletes(benchmark):
+    benchmark.pedantic(
+        apply_changes, setup=recompute_setup(TC_SRC, SPARSE, DELETES), rounds=5
+    )
+
+
+@pytest.mark.benchmark(group="e6-dag-mixed")
+def test_dred_dag_mixed(benchmark):
+    benchmark.pedantic(
+        apply_changes,
+        setup=counting_setup(TC_SRC, DAG, DAG_MIXED, strategy="dred"),
+        rounds=5,
+    )
+
+
+@pytest.mark.benchmark(group="e6-dag-mixed")
+def test_recompute_dag_mixed(benchmark):
+    benchmark.pedantic(
+        apply_changes, setup=recompute_setup(TC_SRC, DAG, DAG_MIXED), rounds=5
+    )

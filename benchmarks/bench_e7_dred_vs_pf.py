@@ -1,0 +1,57 @@
+"""E7 — DRed vs the Propagation/Filtration baseline [HD92] (§2).
+
+Same transitive-closure workload through both maintainers: PF fragments
+the batch and pays a rederivation pass per fragment, DRed batches all
+changes stratum by stratum.
+"""
+
+import pytest
+
+from helpers import TC_SRC, database_with
+from repro.baselines.pf import PFMaintainer
+from repro.core.maintenance import ViewMaintainer
+from repro.workloads import mixed_batch, random_graph
+
+EDGES = random_graph(80, 240, seed=71)
+CHANGES, _ = mixed_batch("link", EDGES, 8, 8, node_count=80, seed=72)
+
+
+@pytest.mark.benchmark(group="e7-dred-vs-pf")
+def test_dred_batch(benchmark):
+    def setup():
+        maintainer = ViewMaintainer.from_source(
+            TC_SRC, database_with(EDGES), strategy="dred"
+        ).initialize()
+        return (maintainer,), {}
+
+    benchmark.pedantic(
+        lambda m: m.apply(CHANGES.copy()), setup=setup, rounds=3
+    )
+
+
+@pytest.mark.benchmark(group="e7-dred-vs-pf")
+def test_pf_fragmented(benchmark):
+    def setup():
+        maintainer = PFMaintainer.from_source(
+            TC_SRC, database_with(EDGES)
+        ).initialize()
+        return (maintainer,), {}
+
+    benchmark.pedantic(
+        lambda m: m.apply(CHANGES.copy()), setup=setup, rounds=3
+    )
+
+
+@pytest.mark.benchmark(group="e7-dred-vs-pf")
+def test_pf_relation_granularity(benchmark):
+    """PF fragmenting per base relation instead of per tuple (milder)."""
+
+    def setup():
+        maintainer = PFMaintainer.from_source(
+            TC_SRC, database_with(EDGES), granularity="relation"
+        ).initialize()
+        return (maintainer,), {}
+
+    benchmark.pedantic(
+        lambda m: m.apply(CHANGES.copy()), setup=setup, rounds=3
+    )

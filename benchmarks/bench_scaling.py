@@ -1,0 +1,51 @@
+"""Scaling ablation: maintenance cost vs database size at fixed |Δ|.
+
+The defining property of the counting algorithm (Theorem 4.1 makes it
+*optimal*: it computes exactly the changed tuples) is that per-batch
+maintenance cost tracks the size of the *change*, not of the database.
+Recomputation is linear in the database.  Each group fixes an 8-row
+batch and scales the ``link`` relation ~4× per step: counting times
+should stay nearly flat across groups while recompute times grow.
+"""
+
+import pytest
+
+from helpers import (
+    HOP_SRC,
+    apply_changes,
+    counting_setup,
+    recompute_setup,
+)
+from repro.workloads import mixed_batch, random_graph
+
+SIZES = {
+    "small": (120, 480),
+    "medium": (240, 1900),
+    "large": (480, 7600),
+}
+
+
+def _workload(nodes, edges_count, seed):
+    edges = random_graph(nodes, edges_count, seed=seed)
+    changes, _ = mixed_batch("link", edges, 4, 4, node_count=nodes, seed=seed)
+    return edges, changes
+
+
+@pytest.mark.benchmark(group="scaling-counting")
+@pytest.mark.parametrize("size", list(SIZES))
+def test_counting_scaling(benchmark, size):
+    nodes, edge_count = SIZES[size]
+    edges, changes = _workload(nodes, edge_count, seed=141)
+    benchmark.pedantic(
+        apply_changes, setup=counting_setup(HOP_SRC, edges, changes), rounds=3
+    )
+
+
+@pytest.mark.benchmark(group="scaling-recompute")
+@pytest.mark.parametrize("size", list(SIZES))
+def test_recompute_scaling(benchmark, size):
+    nodes, edge_count = SIZES[size]
+    edges, changes = _workload(nodes, edge_count, seed=141)
+    benchmark.pedantic(
+        apply_changes, setup=recompute_setup(HOP_SRC, edges, changes), rounds=3
+    )

@@ -1,0 +1,91 @@
+"""Shared builders for the benchmark files (one file per experiment).
+
+Benchmarks measure the *apply* step only; maintainer construction and
+materialization happen in ``benchmark.pedantic`` setup callables, which
+pytest-benchmark excludes from timing.  All inputs are seeded, so every
+run replays identical workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+from repro.baselines.recompute import RecomputeMaintainer
+from repro.core.maintenance import ViewMaintainer
+from repro.storage.changeset import Changeset
+from repro.storage.database import Database
+from repro.workloads import mixed_batch, random_graph
+
+HOP_SRC = """
+hop(X, Y) :- link(X, Z), link(Z, Y).
+tri_hop(X, Y) :- hop(X, Z), link(Z, Y).
+"""
+
+TC_SRC = """
+tc(X, Y) :- link(X, Y).
+tc(X, Y) :- tc(X, Z), link(Z, Y).
+"""
+
+
+def database_with(edges, relation: str = "link") -> Database:
+    db = Database()
+    db.insert_rows(relation, edges)
+    return db
+
+
+def hop_workload(
+    nodes: int = 200,
+    n_edges: int = 900,
+    deletions: int = 4,
+    insertions: int = 4,
+    seed: int = 1,
+) -> Tuple[list, Changeset]:
+    """A hop/tri_hop graph plus one mixed update batch."""
+    edges = random_graph(nodes, n_edges, seed=seed)
+    changes, _ = mixed_batch(
+        "link", edges, deletions, insertions, node_count=nodes, seed=seed + 1
+    )
+    return edges, changes
+
+
+def tc_workload(
+    nodes: int = 200,
+    n_edges: int = 280,
+    deletions: int = 2,
+    insertions: int = 4,
+    seed: int = 2,
+) -> Tuple[list, Changeset]:
+    """A sparse TC graph plus one mixed update batch."""
+    edges = random_graph(nodes, n_edges, seed=seed)
+    changes, _ = mixed_batch(
+        "link", edges, deletions, insertions, node_count=nodes, seed=seed + 1
+    )
+    return edges, changes
+
+
+def counting_setup(
+    source: str, edges, changes: Changeset, **kwargs
+) -> Callable:
+    """Setup callable: fresh counting/DRed maintainer + changeset copy."""
+
+    def setup():
+        maintainer = ViewMaintainer.from_source(
+            source, database_with(edges), **kwargs
+        ).initialize()
+        return (maintainer, changes.copy()), {}
+
+    return setup
+
+
+def recompute_setup(source: str, edges, changes: Changeset, **kwargs) -> Callable:
+    def setup():
+        maintainer = RecomputeMaintainer.from_source(
+            source, database_with(edges), **kwargs
+        ).initialize()
+        return (maintainer, changes.copy()), {}
+
+    return setup
+
+
+def apply_changes(maintainer, changes) -> None:
+    maintainer.apply(changes)

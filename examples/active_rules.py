@@ -1,0 +1,75 @@
+"""Active rules: trigger alerts when a maintained view changes.
+
+Section 1 lists active databases among the applications of view
+maintenance: "a rule may fire when a particular tuple is inserted into a
+view."  The maintenance algorithms compute exact per-view deltas, so
+triggers come for free — this example wires them to a fraud-style
+monitoring scenario:
+
+* ``exposure(Account, Total)`` — SUM of open positions per account;
+* ``over_limit(Account)``     — accounts whose exposure exceeds their
+  limit (join + comparison);
+* a subscriber fires an "alert" whenever ``over_limit`` gains a tuple
+  and an "all-clear" when it loses one.
+
+Transactions stage multi-row updates so each business event is one
+maintenance pass (and one round of trigger firings).
+
+Run with::
+
+    python examples/active_rules.py
+"""
+
+from repro import Database, ViewMaintainer
+
+VIEWS = """
+exposure(A, T)  :- GROUPBY(position(A2, P, V), [A2], T = SUM(V)), A = A2.
+over_limit(A)   :- exposure(A, T), limit(A, L), T > L.
+"""
+
+
+def main() -> None:
+    db = Database()
+    db.insert_rows("position", [
+        ("acme", "bonds", 400),
+        ("acme", "fx", 300),
+        ("zenith", "bonds", 150),
+    ])
+    db.insert_rows("limit", [("acme", 1000), ("zenith", 500)])
+
+    monitor = ViewMaintainer.from_source(VIEWS, db).initialize()
+
+    def on_over_limit(view, delta):
+        for (account,), count in sorted(delta.items()):
+            if count > 0:
+                print(f"  🔔 ALERT: {account} is over its limit")
+            else:
+                print(f"  ✅ all-clear: {account} is back under its limit")
+
+    monitor.subscribe("over_limit", on_over_limit)
+
+    print("initial exposure:", sorted(monitor.relation("exposure").rows()))
+    print("over limit:", sorted(monitor.relation("over_limit").rows()))
+
+    print("\nacme opens a 500 equity position:")
+    with monitor.transaction() as txn:
+        txn.insert("position", ("acme", "equity", 500))
+    # exposure(acme) = 1200 > 1000 → the subscriber fires.
+
+    print("\nacme unwinds its fx book (two rows, one transaction):")
+    with monitor.transaction() as txn:
+        txn.delete("position", ("acme", "fx", 300))
+        txn.update("position", ("acme", "equity", 500),
+                   ("acme", "equity", 450))
+    # exposure(acme) = 850 → all-clear fires once, not per row.
+
+    print("\nad-hoc queries against the maintained state:")
+    print("  exposure(acme, T):", monitor.query("exposure(acme, T)"))
+    print("  anyone over limit?", monitor.ask("over_limit(A)"))
+
+    monitor.consistency_check()
+    print("\nstate verified against recomputation ✔")
+
+
+if __name__ == "__main__":
+    main()

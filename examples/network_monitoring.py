@@ -1,0 +1,88 @@
+"""Network monitoring: recursive reachability + min-cost routes, live.
+
+The scenario the paper's introduction motivates: a link-state network
+where the monitoring system keeps materialized views of
+
+* ``reach(X, Y)``      — which routers can reach which (recursive);
+* ``best_route(X, Y)`` — the cheapest known path cost (aggregation over
+  recursion — the combination DRed is the first algorithm to maintain);
+* ``isolated(X, Y)``   — pairs that cannot communicate (negation).
+
+Link up/down events arrive as changesets; DRed maintains all three views
+without recomputation, and the script prints what each event changed.
+
+Run with::
+
+    python examples/network_monitoring.py
+"""
+
+import random
+
+from repro import Changeset, Database, ViewMaintainer
+from repro.workloads import random_graph, with_costs
+
+VIEWS = """
+path(X, Y, C)      :- link(X, Y, C).
+path(X, Y, C1 + C2) :- path(X, Z, C1), link(Z, Y, C2), C1 + C2 < 100.
+
+reach(X, Y)        :- path(X, Y, C).
+
+router(X)          :- link(X, Y, C).
+router(Y)          :- link(X, Y, C).
+isolated(X, Y)     :- router(X), router(Y), not reach(X, Y).
+
+best_route(X, Y, M) :- GROUPBY(path(X, Y, C), [X, Y], M = MIN(C)).
+"""
+
+
+def main() -> None:
+    rng = random.Random(2026)
+    topology = with_costs(random_graph(12, 26, seed=7), low=1, high=9, seed=7)
+
+    db = Database()
+    db.insert_rows("link", topology)
+    monitor = ViewMaintainer.from_source(VIEWS, db, strategy="dred")
+    monitor.initialize()
+
+    print(f"topology: {len(topology)} links across 12 routers")
+    print(f"reachable pairs: {len(monitor.relation('reach'))}")
+    print(f"isolated pairs:  {len(monitor.relation('isolated'))}")
+    print(f"routes tracked:  {len(monitor.relation('best_route'))}")
+
+    # --- Replay a stream of link events ----------------------------------
+    live_links = list(topology)
+    for event in range(5):
+        changes = Changeset()
+        if live_links and rng.random() < 0.6:
+            failed = live_links.pop(rng.randrange(len(live_links)))
+            changes.delete("link", failed)
+            description = f"link {failed[0]}→{failed[1]} DOWN"
+        else:
+            while True:
+                a, b = rng.randrange(12), rng.randrange(12)
+                if a != b and all((a, b) != (s, d) for s, d, _ in live_links):
+                    break
+            fresh = (a, b, rng.randint(1, 9))
+            live_links.append(fresh)
+            changes.insert("link", fresh)
+            description = f"link {a}→{b} UP (cost {fresh[2]})"
+
+        report = monitor.apply(changes)
+        stats = report.dred.stats
+        reroutes = len(report.delta("best_route"))
+        print(
+            f"\nevent {event + 1}: {description}\n"
+            f"  maintained in {report.seconds * 1e3:.1f} ms "
+            f"(overestimated {stats.overestimated}, "
+            f"rederived {stats.rederived}, inserted {stats.inserted})\n"
+            f"  reachability changes: {len(report.delta('reach'))}, "
+            f"route changes: {reroutes}, "
+            f"isolation changes: {len(report.delta('isolated'))}"
+        )
+
+    monitor.consistency_check()
+    print("\nfinal state verified against recomputation ✔")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+"""repro — incremental view maintenance (Gupta, Mumick & Subrahmanian, SIGMOD 1993).
+
+A from-scratch deductive-database engine plus the paper's two maintenance
+algorithms:
+
+* **counting** (Algorithm 4.1) for nonrecursive views — stores the number
+  of alternative derivations per tuple and computes exactly the tuples
+  inserted into / deleted from each view;
+* **DRed** (Section 7) for recursive views — deletes an overestimate,
+  rederives survivors, then propagates insertions.
+
+Quickstart::
+
+    from repro import Database, Changeset, ViewMaintainer
+
+    db = Database()
+    db.insert_rows("link", [("a", "b"), ("b", "c"), ("b", "e"),
+                            ("a", "d"), ("d", "c")])
+    maintainer = ViewMaintainer.from_source(
+        "hop(X, Y) :- link(X, Z), link(Z, Y).", db)
+    maintainer.initialize()
+    report = maintainer.apply(Changeset().delete("link", ("a", "b")))
+    print(maintainer.relation("hop").to_dict())   # {('a', 'c'): 1}
+
+The full public surface is re-exported here; see README.md for the
+architecture overview and DESIGN.md for the paper-to-module map.
+"""
+
+from repro.datalog import (
+    Aggregate,
+    Comparison,
+    Literal,
+    Program,
+    Rule,
+    atom,
+    fact,
+    parse_program,
+    parse_rule,
+    rule,
+    stratify,
+)
+from repro.errors import (
+    DivergenceError,
+    EvaluationError,
+    MaintenanceError,
+    ParseError,
+    ReproError,
+    SafetyError,
+    SchemaError,
+    StratificationError,
+    UnknownRelationError,
+)
+from repro.baselines import (
+    PFMaintainer,
+    RecomputeMaintainer,
+    SemiNaiveInsertMaintainer,
+    true_view_deltas,
+)
+from repro.core import (
+    MaintenanceReport,
+    RecursiveCountingView,
+    Subscription,
+    Transaction,
+    ViewMaintainer,
+)
+from repro.eval import materialize, materialize_into, naive_materialize
+from repro.storage import Changeset, CountedRelation, Database, relation_from_rows
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Aggregate",
+    "Changeset",
+    "Comparison",
+    "CountedRelation",
+    "Database",
+    "DivergenceError",
+    "EvaluationError",
+    "Literal",
+    "MaintenanceError",
+    "MaintenanceReport",
+    "PFMaintainer",
+    "ParseError",
+    "Program",
+    "RecomputeMaintainer",
+    "RecursiveCountingView",
+    "ReproError",
+    "Rule",
+    "SemiNaiveInsertMaintainer",
+    "Subscription",
+    "Transaction",
+    "ViewMaintainer",
+    "SafetyError",
+    "SchemaError",
+    "StratificationError",
+    "UnknownRelationError",
+    "atom",
+    "fact",
+    "materialize",
+    "materialize_into",
+    "naive_materialize",
+    "parse_program",
+    "parse_rule",
+    "relation_from_rows",
+    "rule",
+    "stratify",
+    "true_view_deltas",
+    "__version__",
+]

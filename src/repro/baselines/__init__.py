@@ -1,0 +1,13 @@
+"""Comparator algorithms from the paper's Related Work section."""
+
+from repro.baselines.pf import PFMaintainer
+from repro.baselines.recompute import RecomputeMaintainer
+from repro.baselines.recount import true_view_deltas
+from repro.baselines.seminaive_insert import SemiNaiveInsertMaintainer
+
+__all__ = [
+    "PFMaintainer",
+    "RecomputeMaintainer",
+    "SemiNaiveInsertMaintainer",
+    "true_view_deltas",
+]

@@ -1,0 +1,77 @@
+"""Full-recomputation baseline.
+
+The alternative every incremental algorithm is measured against
+(Section 1: "Recomputing the view from scratch is too wasteful in most
+cases" — but *not* always, which experiment E2 demonstrates).  The
+interface mirrors :class:`~repro.core.maintenance.ViewMaintainer`:
+``apply`` folds the changeset into the base relations and rematerializes
+every view bottom-up.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+from repro.datalog.ast import Program
+from repro.datalog.parser import parse_program
+from repro.datalog.stratify import stratify
+from repro.errors import UnknownRelationError
+from repro.eval.stratified import Semantics, materialize
+from repro.storage.changeset import Changeset
+from repro.storage.database import Database
+from repro.storage.relation import CountedRelation
+
+
+class RecomputeMaintainer:
+    """Maintains views by recomputing them from scratch on every change."""
+
+    def __init__(
+        self,
+        program: Program,
+        database: Database,
+        semantics: Semantics = "set",
+    ) -> None:
+        self.program = program
+        self.database = database
+        self.semantics: Semantics = semantics
+        self.stratification = stratify(program)
+        self.views: Dict[str, CountedRelation] = {}
+        self.last_seconds = 0.0
+
+    @classmethod
+    def from_source(
+        cls, source: str, database: Database, semantics: Semantics = "set"
+    ) -> "RecomputeMaintainer":
+        return cls(parse_program(source), database, semantics)
+
+    def initialize(self) -> "RecomputeMaintainer":
+        self.views = materialize(
+            self.program,
+            self.database,
+            semantics=self.semantics,
+            stratification=self.stratification,
+        )
+        return self
+
+    def apply(self, changes: Changeset) -> Dict[str, CountedRelation]:
+        """Apply the changeset and rematerialize; returns the new views."""
+        started = time.perf_counter()
+        self.database.apply_changeset(changes)
+        self.views = materialize(
+            self.program,
+            self.database,
+            semantics=self.semantics,
+            stratification=self.stratification,
+        )
+        self.last_seconds = time.perf_counter() - started
+        return self.views
+
+    def relation(self, name: str) -> CountedRelation:
+        found = self.views.get(name)
+        if found is not None:
+            return found
+        found = self.database.get(name)
+        if found is None:
+            raise UnknownRelationError(f"no view or base relation named {name}")
+        return found

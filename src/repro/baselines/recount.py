@@ -1,0 +1,57 @@
+"""Recount oracle: derivation counts recomputed from scratch.
+
+Theorem 4.1 says the counting algorithm derives ``Δ(t)`` with count
+exactly ``countⁿ(t) − count(t)``.  This oracle computes both sides
+non-incrementally so tests and experiment E3 can check the theorem: it
+materializes the program before and after a changeset and diffs the
+counts — the ground-truth delta the counting algorithm must reproduce.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.datalog.ast import Program
+from repro.datalog.stratify import stratify
+from repro.eval.stratified import Semantics, materialize
+from repro.storage.changeset import Changeset
+from repro.storage.database import Database
+from repro.storage.relation import CountedRelation
+
+
+def true_view_deltas(
+    program: Program,
+    database: Database,
+    changes: Changeset,
+    semantics: Semantics = "set",
+) -> Dict[str, CountedRelation]:
+    """The exact per-view count deltas a changeset causes (non-incremental).
+
+    ``database`` is left untouched: the "after" state is computed on a
+    copy.  Returns ``{view: Δ}`` with signed counts, omitting unchanged
+    views.
+    """
+    stratification = stratify(program)
+    before = materialize(
+        program, database, semantics=semantics, stratification=stratification
+    )
+    after_db = database.copy()
+    after_db.apply_changeset(changes)
+    after = materialize(
+        program, after_db, semantics=semantics, stratification=stratification
+    )
+    deltas: Dict[str, CountedRelation] = {}
+    for name in program.idb_predicates:
+        delta = CountedRelation(f"Δ({name})")
+        old = before[name]
+        new = after[name]
+        for row, count in new.items():
+            diff = count - old.count(row)
+            if diff:
+                delta.add(row, diff)
+        for row, count in old.items():
+            if row not in new:
+                delta.add(row, -count)
+        if delta:
+            deltas[name] = delta
+    return deltas

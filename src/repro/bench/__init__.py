@@ -1,0 +1,6 @@
+"""Benchmark harness: experiment registry and table rendering."""
+
+from repro.bench.experiments import EXPERIMENTS
+from repro.bench.harness import ExperimentResult, best_of, format_table, timed
+
+__all__ = ["EXPERIMENTS", "ExperimentResult", "best_of", "format_table", "timed"]

@@ -1,0 +1,66 @@
+"""Run reproduction experiments and print their tables.
+
+Usage::
+
+    python -m repro.bench            # run every experiment
+    python -m repro.bench E3 E7      # run selected experiments
+    python -m repro.bench --out EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.experiments import EXPERIMENTS
+from repro.bench.harness import format_table
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Reproduce the paper's quantitative claims (E1–E12).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        metavar="ID",
+        help="experiment ids (default: all)",
+    )
+    parser.add_argument(
+        "--out",
+        metavar="FILE",
+        help="also append the rendered tables to FILE",
+    )
+    args = parser.parse_args(argv)
+
+    # E-experiments (paper claims) first, then A-ablations, numerically.
+    wanted = args.experiments or sorted(
+        EXPERIMENTS, key=lambda x: (x[0] != "E", int(x[1:]))
+    )
+    unknown = [e for e in wanted if e not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment ids: {unknown}; known: {sorted(EXPERIMENTS)}")
+
+    sections = []
+    for experiment_id in wanted:
+        started = time.perf_counter()
+        print(f"running {experiment_id} …", file=sys.stderr, flush=True)
+        result = EXPERIMENTS[experiment_id]()
+        elapsed = time.perf_counter() - started
+        print(
+            f"  {experiment_id} finished in {elapsed:.1f}s", file=sys.stderr
+        )
+        table = format_table(result)
+        sections.append(table)
+        print(table)
+
+    if args.out:
+        with open(args.out, "a", encoding="utf-8") as handle:
+            handle.write("\n".join(sections))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

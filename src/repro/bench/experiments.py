@@ -1,0 +1,921 @@
+"""The reproduction experiments E1–E12 (DESIGN.md §4.2).
+
+The paper is an extended abstract with no numbered tables or figures;
+each experiment here reproduces one of its *quantitative claims* on
+synthetic workloads.  We reproduce shapes (who wins, by roughly what
+factor, where crossovers fall), not absolute numbers — the substrate is
+a pure-Python engine, not the authors' testbed.
+
+Run everything with ``python -m repro.bench`` (writes the tables that
+EXPERIMENTS.md records), or a single experiment with
+``python -m repro.bench E3``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Tuple
+
+from repro.baselines.pf import PFMaintainer
+from repro.baselines.recompute import RecomputeMaintainer
+from repro.baselines.recount import true_view_deltas
+from repro.baselines.seminaive_insert import SemiNaiveInsertMaintainer
+from repro.bench.harness import ExperimentResult, timed
+from repro.core.dred import DRedMaintenance
+from repro.core.maintenance import ViewMaintainer
+from repro.core.recursive_counting import RecursiveCountingView
+from repro.datalog.parser import parse_program
+from repro.errors import DivergenceError
+from repro.eval.seminaive import seminaive
+from repro.eval.rule_eval import Resolver
+from repro.eval.stratified import materialize
+from repro.storage.changeset import Changeset
+from repro.storage.database import Database
+from repro.workloads import (
+    chain,
+    cycle,
+    grid,
+    layered_dag,
+    mixed_batch,
+    random_graph,
+    with_costs,
+)
+
+HOP_SRC = """
+hop(X, Y) :- link(X, Z), link(Z, Y).
+tri_hop(X, Y) :- hop(X, Z), link(Z, Y).
+"""
+
+TC_SRC = """
+tc(X, Y) :- link(X, Y).
+tc(X, Y) :- tc(X, Z), link(Z, Y).
+"""
+
+
+def _database(edges, relation: str = "link") -> Database:
+    db = Database()
+    db.insert_rows(relation, edges)
+    return db
+
+
+# ---------------------------------------------------------------------- E1
+
+
+def e1_counting_vs_recompute() -> ExperimentResult:
+    """Incremental counting vs full recomputation as |Δ| grows."""
+    result = ExperimentResult(
+        "E1",
+        "Counting vs recomputation (nonrecursive views)",
+        "§1: using the heuristic of inertia, computing only the changes is "
+        "often much cheaper than recomputing the view; the advantage "
+        "shrinks as the change grows.",
+        ["Δ fraction", "|Δ| edges", "counting (s)", "recompute (s)", "speedup"],
+    )
+    nodes, n_edges = 250, 1200
+    for fraction in (0.001, 0.01, 0.1, 0.5):
+        batch = max(1, int(n_edges * fraction))
+        edges = random_graph(nodes, n_edges, seed=1)
+        changes, _ = mixed_batch(
+            "link", edges, batch // 2 + 1, batch - batch // 2, nodes, seed=2
+        )
+        inc = ViewMaintainer.from_source(
+            HOP_SRC, _database(edges)
+        ).initialize()
+        _, inc_seconds = timed(lambda: inc.apply(changes.copy()))
+        rec = RecomputeMaintainer.from_source(
+            HOP_SRC, _database(edges)
+        ).initialize()
+        _, rec_seconds = timed(lambda: rec.apply(changes.copy()))
+        result.add_row(**{
+            "Δ fraction": f"{fraction:.1%}",
+            "|Δ| edges": batch,
+            "counting (s)": inc_seconds,
+            "recompute (s)": rec_seconds,
+            "speedup": rec_seconds / inc_seconds if inc_seconds else float("inf"),
+        })
+    result.note(
+        "Expected shape: large speedups at small Δ, converging toward (or "
+        "below) 1× as the change approaches the relation size."
+    )
+    return result
+
+
+# ---------------------------------------------------------------------- E2
+
+
+def e2_inertia_crossover() -> ExperimentResult:
+    """The heuristic of inertia fails when most of the base is deleted."""
+    result = ExperimentResult(
+        "E2",
+        "Inertia crossover (mass deletions)",
+        "§1: if an entire base relation is deleted, recomputing the view "
+        "may be cheaper than computing the changes.",
+        ["deleted", "counting (s)", "recompute (s)", "winner"],
+    )
+    nodes, n_edges = 250, 1200
+    for fraction in (0.05, 0.25, 0.5, 0.75, 1.0):
+        edges = random_graph(nodes, n_edges, seed=3)
+        count = int(len(edges) * fraction)
+        rng = random.Random(4)
+        victims = rng.sample(edges, count)
+        changes = Changeset()
+        for edge in victims:
+            changes.delete("link", edge)
+        inc = ViewMaintainer.from_source(HOP_SRC, _database(edges)).initialize()
+        _, inc_seconds = timed(lambda: inc.apply(changes.copy()))
+        rec = RecomputeMaintainer.from_source(
+            HOP_SRC, _database(edges)
+        ).initialize()
+        _, rec_seconds = timed(lambda: rec.apply(changes.copy()))
+        result.add_row(**{
+            "deleted": f"{fraction:.0%}",
+            "counting (s)": inc_seconds,
+            "recompute (s)": rec_seconds,
+            "winner": "counting" if inc_seconds < rec_seconds else "recompute",
+        })
+    result.note(
+        "Expected shape: counting wins at small fractions; recomputation "
+        "wins as the deleted fraction approaches 100% (the new view is "
+        "nearly empty and cheap to recompute)."
+    )
+    return result
+
+
+# ---------------------------------------------------------------------- E3
+
+
+def e3_optimality() -> ExperimentResult:
+    """Theorem 4.1: counting computes exactly the true delta; DRed overshoots."""
+    result = ExperimentResult(
+        "E3",
+        "Counting optimality vs DRed overestimation",
+        "Theorem 4.1: counting derives Δ(t) with count countⁿ(t)−count(t) — "
+        "exactly the inserted/deleted tuples; DRed's step 1 deletes a "
+        "superset and must rederive.",
+        [
+            "workload",
+            "true |Δ|",
+            "counting |Δ|",
+            "exact",
+            "DRed overestimate",
+            "DRed net deletions",
+            "overshoot",
+        ],
+    )
+    workloads = [
+        ("random 150n/600e, 10 del", random_graph(150, 600, seed=5), 10),
+        ("grid 12×12, 10 del", grid(12, 12), 10),
+        ("chain 150, 3 del", chain(150), 3),
+    ]
+    for label, edges, deletions in workloads:
+        rng = random.Random(6)
+        victims = rng.sample(edges, deletions)
+        changes = Changeset()
+        for edge in victims:
+            changes.delete("link", edge)
+        # Counting on hop/tri_hop.
+        db = _database(edges)
+        truth = true_view_deltas(parse_program(HOP_SRC), db, changes)
+        true_size = sum(len(d) for d in truth.values())
+        inc = ViewMaintainer.from_source(HOP_SRC, db).initialize()
+        report = inc.apply(changes.copy())
+        computed = sum(len(d) for d in report.view_deltas.values())
+        exact = all(
+            report.delta(v).to_dict()
+            == (truth[v].to_dict() if v in truth else {})
+            for v in ("hop", "tri_hop")
+        )
+        # DRed on transitive closure of the same graph.
+        dred = ViewMaintainer.from_source(
+            TC_SRC, _database(edges), strategy="dred"
+        ).initialize()
+        dred_report = dred.apply(changes.copy())
+        stats = dred_report.dred.stats
+        result.add_row(**{
+            "workload": label,
+            "true |Δ|": true_size,
+            "counting |Δ|": computed,
+            "exact": "yes" if exact else "NO",
+            "DRed overestimate": stats.overestimated,
+            "DRed net deletions": stats.deleted,
+            "overshoot": (
+                f"{stats.overestimated / stats.deleted:.1f}×"
+                if stats.deleted
+                else "—"
+            ),
+        })
+    result.note(
+        "Counting's Δ equals the ground-truth delta (set-level) on every "
+        "workload; DRed's step-1 overestimate exceeds its net deletions on "
+        "multi-path graphs, which is exactly what step 2 repairs."
+    )
+    return result
+
+
+# ---------------------------------------------------------------------- E4
+
+
+def e4_count_overhead() -> ExperimentResult:
+    """Counts cost little over plain evaluation (Section 5)."""
+    result = ExperimentResult(
+        "E4",
+        "Overhead of tracking derivation counts",
+        "§5: counts can be computed at little or no cost above the cost of "
+        "evaluating the view; storage is one integer per tuple.",
+        ["graph", "with counts (s)", "dedup eval (s)", "ratio", "tuples"],
+    )
+    program = parse_program(HOP_SRC)
+    for label, edges in (
+        ("random 200n/1000e", random_graph(200, 1000, seed=7)),
+        ("random 300n/1500e", random_graph(300, 1500, seed=8)),
+        ("grid 18×18", grid(18, 18)),
+    ):
+        db = _database(edges)
+        views, with_counts = timed(lambda: materialize(program, db, "set"))
+        tuples = sum(len(relation) for relation in views.values())
+
+        def dedup_eval() -> None:
+            # Evaluation that eliminates duplicates instead of counting
+            # them (the Section 5 "set system" alternative).
+            targets = {
+                "hop": None,
+                "tri_hop": None,
+            }
+            from repro.storage.relation import CountedRelation
+
+            targets = {
+                name: CountedRelation(name, 2) for name in ("hop", "tri_hop")
+            }
+            seminaive(list(program.rules), targets, Resolver(db))
+
+        _, without_counts = timed(dedup_eval)
+        result.add_row(**{
+            "graph": label,
+            "with counts (s)": with_counts,
+            "dedup eval (s)": without_counts,
+            "ratio": with_counts / without_counts if without_counts else 0.0,
+            "tuples": tuples,
+        })
+    result.note(
+        "Expected shape: ratio ≈ 1 or below — tracking counts costs no "
+        "more than evaluating the view with duplicate elimination (here "
+        "the dedup path also pays the semi-naive harness, so counting is "
+        "in fact slightly faster)."
+    )
+    return result
+
+
+# ---------------------------------------------------------------------- E5
+
+
+def e5_set_optimization() -> ExperimentResult:
+    """Statement (2): unchanged set projections stop the cascade."""
+    depth = 6
+    rules = ["v1(X, Y) :- link(X, Z), link(Z, Y)."]
+    for level in range(2, depth + 1):
+        rules.append(f"v{level}(X, Y) :- v{level - 1}(X, Y), anchor(X).")
+    source = "\n".join(rules)
+    result = ExperimentResult(
+        "E5",
+        "Set-semantics cascade suppression (statement (2))",
+        "§5.1/Example 5.1: when a tuple merely loses some (not all) "
+        "derivations, the optimized algorithm does not cascade the change "
+        "to higher strata.",
+        [
+            "semantics",
+            "strata reached",
+            "suppressed tuples",
+            "Δ tuples computed",
+            "seconds",
+        ],
+    )
+    # A graph where every hop has ≥2 derivations: deleting one parallel
+    # edge changes counts but not the set.
+    edges = []
+    for i in range(120):
+        edges.append((f"s{i}", f"m{i}a"))
+        edges.append((f"s{i}", f"m{i}b"))
+        edges.append((f"m{i}a", f"t{i}"))
+        edges.append((f"m{i}b", f"t{i}"))
+    anchors = [(f"s{i}",) for i in range(120)]
+    changes = Changeset()
+    for i in range(0, 40):
+        changes.delete("link", (f"s{i}", f"m{i}a"))
+
+    for semantics in ("set", "duplicate"):
+        db = _database(edges)
+        db.insert_rows("anchor", anchors)
+        maintainer = ViewMaintainer.from_source(
+            source, db, semantics=semantics
+        ).initialize()
+        report, seconds = timed(lambda: maintainer.apply(changes.copy()))
+        stats = report.counting.stats
+        result.add_row(**{
+            "semantics": semantics,
+            "strata reached": stats.strata_reached,
+            "suppressed tuples": stats.cascades_suppressed,
+            "Δ tuples computed": stats.delta_tuples_computed,
+            "seconds": seconds,
+        })
+    result.note(
+        "Deleting one of two parallel derivations per pair: set semantics "
+        "stops at stratum 1 (all cascades suppressed); duplicate semantics "
+        "must propagate the count change through every stratum."
+    )
+    return result
+
+
+# ---------------------------------------------------------------------- E6
+
+
+def e6_dred_vs_recompute() -> ExperimentResult:
+    """DRed vs recomputation for recursive views."""
+    result = ExperimentResult(
+        "E6",
+        "DRed vs recomputation (transitive closure)",
+        "§7: DRed maintains recursive views in response to insertions and "
+        "deletions far cheaper than recomputation for small changes.",
+        ["graph", "batch", "DRed (s)", "recompute (s)", "speedup"],
+    )
+    workloads = [
+        ("sparse random 300n/380e", random_graph(300, 380, seed=9)),
+        ("layered DAG 8×10", layered_dag(8, 10, 2, seed=9)),
+        ("grid 12×12", grid(12, 12)),
+        ("dense random 120n/360e", random_graph(120, 360, seed=9)),
+    ]
+    for label, edges in workloads:
+        for kind in ("insert 10", "delete 2", "mixed 10"):
+            if kind == "insert 10":
+                changes, _ = mixed_batch(
+                    "link", edges, 0, 10, node_count=len(edges), seed=10
+                )
+            elif kind == "delete 2":
+                changes, _ = mixed_batch(
+                    "link", edges, 2, 0, node_count=len(edges), seed=10
+                )
+            else:
+                changes, _ = mixed_batch(
+                    "link", edges, 5, 5, node_count=len(edges), seed=10
+                )
+            dred = ViewMaintainer.from_source(
+                TC_SRC, _database(edges), strategy="dred"
+            ).initialize()
+            _, dred_seconds = timed(lambda: dred.apply(changes.copy()))
+            rec = RecomputeMaintainer.from_source(
+                TC_SRC, _database(edges)
+            ).initialize()
+            _, rec_seconds = timed(lambda: rec.apply(changes.copy()))
+            result.add_row(**{
+                "graph": label,
+                "batch": kind,
+                "DRed (s)": dred_seconds,
+                "recompute (s)": rec_seconds,
+                "speedup": rec_seconds / dred_seconds if dred_seconds else 0.0,
+            })
+    result.note(
+        "Expected shape: DRed far ahead on insertions and on deletions "
+        "whose effects stay local (sparse/DAG/grid graphs).  The dense "
+        "random graph is the honest worst case the paper's 'heuristic of "
+        "inertia' caveat anticipates: one deleted edge invalidates most "
+        "of the closure, the step-1 overestimate approaches |TC|, and "
+        "recomputing wins."
+    )
+    return result
+
+
+# ---------------------------------------------------------------------- E7
+
+
+def e7_dred_vs_pf() -> ExperimentResult:
+    """DRed vs the fragmenting PF algorithm [HD92]."""
+    result = ExperimentResult(
+        "E7",
+        "DRed vs Propagation/Filtration (PF)",
+        "§2: PF fragments computation and can rederive changed and deleted "
+        "tuples again and again; it can be worse than DRed by an order of "
+        "magnitude.",
+        [
+            "graph",
+            "batch",
+            "DRed (s)",
+            "PF (s)",
+            "slowdown",
+            "DRed rederived",
+            "PF rederived",
+        ],
+    )
+    workloads = [
+        ("random 80n/240e", random_graph(80, 240, seed=11), 16),
+        ("grid 10×10", grid(10, 10), 24),
+    ]
+    for label, edges, batch in workloads:
+        changes, _ = mixed_batch(
+            "link", edges, batch // 2, batch - batch // 2,
+            node_count=len(edges), seed=12,
+        )
+        dred = ViewMaintainer.from_source(
+            TC_SRC, _database(edges), strategy="dred"
+        ).initialize()
+        report, dred_seconds = timed(lambda: dred.apply(changes.copy()))
+        pf = PFMaintainer.from_source(TC_SRC, _database(edges)).initialize()
+        _, pf_seconds = timed(lambda: pf.apply(changes.copy()))
+        assert pf.relation("tc").as_set() == dred.relation("tc").as_set()
+        result.add_row(**{
+            "graph": label,
+            "batch": batch,
+            "DRed (s)": dred_seconds,
+            "PF (s)": pf_seconds,
+            "slowdown": f"{pf_seconds / dred_seconds:.1f}×" if dred_seconds else "—",
+            "DRed rederived": report.dred.stats.rederived,
+            "PF rederived": pf.rederivation_attempts,
+        })
+    result.note(
+        "PF processes one small change at a time and pays a rederivation "
+        "pass per fragment; DRed batches all changes stratum by stratum "
+        "and rederives once."
+    )
+    return result
+
+
+# ---------------------------------------------------------------------- E8
+
+
+def e8_dred_negation_aggregation() -> ExperimentResult:
+    """DRed with negation and aggregation over recursion."""
+    source = """
+    path(X, Y, C) :- link(X, Y, C).
+    path(X, Y, C1 + C2) :- path(X, Z, C1), link(Z, Y, C2), C1 + C2 < 40.
+    reach(X, Y) :- path(X, Y, C).
+    node(X) :- link(X, Y, C).
+    node(Y) :- link(X, Y, C).
+    unreachable(X, Y) :- node(X), node(Y), not reach(X, Y).
+    min_cost(X, Y, M) :- GROUPBY(path(X, Y, C), [X, Y], M = MIN(C)).
+    """
+    result = ExperimentResult(
+        "E8",
+        "DRed with negation and aggregation over recursion",
+        "§7/§8: DRed is the first algorithm to handle aggregation (and "
+        "stratified negation) in recursive views.",
+        ["batch", "DRed (s)", "recompute (s)", "speedup", "consistent"],
+    )
+    edges = with_costs(random_graph(60, 180, seed=13), 1, 9, seed=13)
+    for batch in (2, 8):
+        changes, _ = mixed_batch(
+            "link", edges, batch // 2, batch - batch // 2,
+            node_count=60, seed=14, cost_range=(1, 9),
+        )
+        dred = ViewMaintainer.from_source(
+            source, _database(edges), strategy="dred"
+        ).initialize()
+        _, dred_seconds = timed(lambda: dred.apply(changes.copy()))
+        consistent = True
+        try:
+            dred.consistency_check()
+        except Exception:
+            consistent = False
+        rec = RecomputeMaintainer.from_source(
+            source, _database(edges)
+        ).initialize()
+        _, rec_seconds = timed(lambda: rec.apply(changes.copy()))
+        result.add_row(**{
+            "batch": batch,
+            "DRed (s)": dred_seconds,
+            "recompute (s)": rec_seconds,
+            "speedup": rec_seconds / dred_seconds if dred_seconds else 0.0,
+            "consistent": "yes" if consistent else "NO",
+        })
+    result.note(
+        "Views: bounded-cost paths (recursive), reachability, complement "
+        "via stratified negation, and MIN-cost aggregation — maintained "
+        "together and verified against recomputation.  The reproduction "
+        "claim is *capability* (DRed is the first algorithm that handles "
+        "this class at all); speed crosses over as batches grow."
+    )
+    return result
+
+
+# ---------------------------------------------------------------------- E9
+
+
+def e9_duplicate_semantics() -> ExperimentResult:
+    """Counting under SQL duplicate (bag) semantics."""
+    result = ExperimentResult(
+        "E9",
+        "Duplicate-semantics maintenance",
+        "§5: SQL systems retain duplicates; ⊎ maps to bag union/difference "
+        "and counting maintains multiplicities exactly.",
+        ["base multiplicity", "counting (s)", "recompute (s)", "speedup",
+         "max view count"],
+    )
+    edges = random_graph(150, 700, seed=15)
+    for multiplicity in (1, 3):
+        db = Database()
+        for edge in edges:
+            db.insert("link", edge, multiplicity)
+        inc = ViewMaintainer.from_source(
+            HOP_SRC, db, semantics="duplicate"
+        ).initialize()
+        changes = Changeset()
+        rng = random.Random(16)
+        for edge in rng.sample(edges, 8):
+            changes.delete("link", edge, multiplicity)
+        for i in range(8):
+            changes.insert("link", (1000 + i, i), multiplicity)
+        _, inc_seconds = timed(lambda: inc.apply(changes.copy()))
+        inc.consistency_check()
+        db2 = Database()
+        for edge in edges:
+            db2.insert("link", edge, multiplicity)
+        rec = RecomputeMaintainer.from_source(
+            HOP_SRC, db2, semantics="duplicate"
+        ).initialize()
+        _, rec_seconds = timed(lambda: rec.apply(changes.copy()))
+        max_count = max(
+            (count for _, count in inc.relation("tri_hop").items()),
+            default=0,
+        )
+        result.add_row(**{
+            "base multiplicity": multiplicity,
+            "counting (s)": inc_seconds,
+            "recompute (s)": rec_seconds,
+            "speedup": rec_seconds / inc_seconds if inc_seconds else 0.0,
+            "max view count": max_count,
+        })
+    result.note(
+        "Base multiplicities multiply through joins (m³ for tri_hop); the "
+        "maintained multiplicities match recomputation exactly "
+        "(consistency-checked)."
+    )
+    return result
+
+
+# --------------------------------------------------------------------- E10
+
+
+def e10_rule_changes() -> ExperimentResult:
+    """Incremental view redefinition vs full rebuild."""
+    result = ExperimentResult(
+        "E10",
+        "Rule insertion/deletion maintenance",
+        "§7: DRed also maintains views when rules are inserted or deleted, "
+        "cheaper than rebuilding the materialization.",
+        ["change", "incremental (s)", "rebuild (s)", "speedup"],
+    )
+    edges = random_graph(150, 450, seed=17)
+    extra_rule = "tc(X, Y) :- special(X, Y)."
+
+    def fresh() -> ViewMaintainer:
+        db = _database(edges)
+        db.insert_rows("special", [(0, 1), (2, 3)])
+        return ViewMaintainer.from_source(
+            TC_SRC + "tc(X, Y) :- special(X, Y).",
+            db,
+            strategy="dred",
+        ).initialize()
+
+    # Remove a rule incrementally vs rebuilding without it.
+    maintainer = fresh()
+    _, alter_seconds = timed(lambda: maintainer.alter(remove=[extra_rule]))
+    maintainer.consistency_check()
+
+    def rebuild() -> ViewMaintainer:
+        db = _database(edges)
+        db.insert_rows("special", [(0, 1), (2, 3)])
+        return ViewMaintainer.from_source(
+            TC_SRC, db, strategy="dred"
+        ).initialize()
+
+    _, rebuild_seconds = timed(rebuild)
+    result.add_row(**{
+        "change": "remove 1 rule",
+        "incremental (s)": alter_seconds,
+        "rebuild (s)": rebuild_seconds,
+        "speedup": rebuild_seconds / alter_seconds if alter_seconds else 0.0,
+    })
+
+    # Add a rule incrementally vs rebuilding with it.
+    maintainer2 = ViewMaintainer.from_source(
+        TC_SRC, _database(edges), strategy="dred"
+    ).initialize()
+    _, add_seconds = timed(
+        lambda: maintainer2.alter(add=["tc(X, Y) :- link(Y, X)."])
+    )
+    maintainer2.consistency_check()
+
+    def rebuild_with() -> ViewMaintainer:
+        return ViewMaintainer.from_source(
+            TC_SRC + "tc(X, Y) :- link(Y, X).",
+            _database(edges),
+            strategy="dred",
+        ).initialize()
+
+    _, rebuild_with_seconds = timed(rebuild_with)
+    result.add_row(**{
+        "change": "add 1 rule",
+        "incremental (s)": add_seconds,
+        "rebuild (s)": rebuild_with_seconds,
+        "speedup": (
+            rebuild_with_seconds / add_seconds if add_seconds else 0.0
+        ),
+    })
+    result.note(
+        "Adding a rule is cheap: its derivations propagate by semi-naive "
+        "insertion.  Removing a rule pays DRed's overestimate-and-"
+        "rederive pass over everything the removed derivations supported, "
+        "which can approach rebuild cost on dense closures."
+    )
+    return result
+
+
+# --------------------------------------------------------------------- E11
+
+
+def e11_recursive_counting() -> ExperimentResult:
+    """Counting on recursive views: finite counts vs divergence ([GKM92])."""
+    result = ExperimentResult(
+        "E11",
+        "Recursive counting: finite counts vs divergence guard",
+        "§8: counting can maintain certain recursive views, but may not "
+        "terminate when derivation counts are infinite.",
+        ["graph", "outcome", "rounds", "maintain (s)", "max count"],
+    )
+    program = parse_program(TC_SRC)
+
+    dag_edges = layered_dag(6, 8, 3, seed=18)
+    db = _database(dag_edges)
+    view = RecursiveCountingView(parse_program(TC_SRC), db)
+    _, init_seconds = timed(view.initialize)
+    changes = Changeset().delete("link", dag_edges[0]).insert(
+        "link", ((0, 0), (5, 7))
+    )
+    _, maintain_seconds = timed(lambda: view.apply(changes))
+    max_count = max(count for _, count in view.views["tc"].items())
+    result.add_row(**{
+        "graph": "layered DAG 6×8 (acyclic)",
+        "outcome": "converged",
+        "rounds": view.rounds_last_run,
+        "maintain (s)": maintain_seconds,
+        "max count": max_count,
+    })
+
+    cyc = cycle(10)
+    db2 = _database(cyc)
+    guard_view = RecursiveCountingView(parse_program(TC_SRC), db2, max_rounds=200)
+    outcome = "converged"
+    try:
+        guard_view.initialize()
+    except DivergenceError:
+        outcome = "DivergenceError (guard tripped)"
+    result.add_row(**{
+        "graph": "cycle of 10",
+        "outcome": outcome,
+        "rounds": 200,
+        "maintain (s)": "—",
+        "max count": "∞ (by construction)",
+    })
+    result.note(
+        "On acyclic data the counted fixpoint converges and maintenance "
+        "is exact; on cyclic data derivation counts are infinite and the "
+        "round guard raises — use DRed, as the paper recommends."
+    )
+    return result
+
+
+# --------------------------------------------------------------------- E12
+
+
+def e12_aggregate_functions() -> ExperimentResult:
+    """Algorithm 6.1 across the aggregate-function taxonomy ([DAJ91])."""
+    result = ExperimentResult(
+        "E12",
+        "Incremental aggregate maintenance by function",
+        "§6.2: SUM/COUNT (and decomposable AVG/VAR) maintain groups purely "
+        "incrementally; MIN/MAX fall back to a group recompute when the "
+        "extremum is deleted.",
+        ["function", "inserts (s)", "deletes (s)", "incremental", "recomputes"],
+    )
+    base_edges = with_costs(random_graph(80, 600, seed=19), 1, 100, seed=19)
+    for function in ("SUM", "COUNT", "AVG", "MIN", "MAX", "VAR"):
+        source = (
+            f"agg_view(S, M) :- GROUPBY(link(S, D, C), [S], M = {function}(C))."
+        )
+        db = _database(base_edges)
+        maintainer = ViewMaintainer.from_source(source, db).initialize()
+        inserts = Changeset()
+        for i in range(60):
+            inserts.insert("link", (i % 80, 900 + i, 50))
+        _, insert_seconds = timed(lambda: maintainer.apply(inserts))
+        # Delete the cheapest (extremum for MIN) edge of many groups.
+        cheapest: Dict[object, Tuple] = {}
+        for row in base_edges:
+            source_node, _, cost = row
+            if source_node not in cheapest or cost < cheapest[source_node][2]:
+                cheapest[source_node] = row
+        deletes = Changeset()
+        for row in list(cheapest.values())[:40]:
+            deletes.delete("link", row)
+        _, delete_seconds = timed(lambda: maintainer.apply(deletes))
+        maintainer.consistency_check()
+        view = next(iter(maintainer.aggregate_views.values()))
+        result.add_row(**{
+            "function": function,
+            "inserts (s)": insert_seconds,
+            "deletes (s)": delete_seconds,
+            "incremental": view.incremental_updates,
+            "recomputes": view.recomputes,
+        })
+    result.note(
+        "MIN shows recompute fallbacks on extremum deletions; MAX does "
+        "not (the cheapest edge is rarely a group maximum); SUM/COUNT/"
+        "AVG/VAR never recompute."
+    )
+    return result
+
+
+# --------------------------------------------------------------- ablations
+
+
+def a1_delta_mode() -> ExperimentResult:
+    """Factored (paper-literal) vs expansion delta-rule evaluation."""
+    result = ExperimentResult(
+        "A1",
+        "Delta-rule evaluation strategy (ablation)",
+        "Definition 4.1 can be evaluated verbatim (materializing ν-states) "
+        "or via the equivalent bilinear expansion over old states; both "
+        "produce identical deltas (property-tested).",
+        ["mode", "seconds", "relative"],
+    )
+    edges = random_graph(220, 1000, seed=131)
+    changes, _ = mixed_batch("link", edges, 5, 5, node_count=220, seed=132)
+    timings = {}
+    for mode in ("expansion", "factored"):
+        maintainer = ViewMaintainer.from_source(
+            HOP_SRC, _database(edges), counting_mode=mode
+        ).initialize()
+        _, timings[mode] = timed(lambda: maintainer.apply(changes.copy()))
+    base = timings["expansion"]
+    for mode, seconds in timings.items():
+        result.add_row(**{
+            "mode": mode,
+            "seconds": seconds,
+            "relative": f"{seconds / base:.2f}×",
+        })
+    result.note(
+        "Expansion avoids copying relations into ν-states, so its cost "
+        "scales with the change instead of the database."
+    )
+    return result
+
+
+def a2_seed_order() -> ExperimentResult:
+    """§6.1's join-order remark: where the Δ-subgoal sits matters."""
+    from repro.core import names as _names
+    from repro.datalog.parser import parse_rule
+    from repro.eval.rule_eval import EvalContext, Resolver, evaluate_rule
+    from repro.storage.relation import CountedRelation
+
+    result = ExperimentResult(
+        "A2",
+        "Δ-subgoal join order (ablation)",
+        "§6.1: the Δ-subgoal 'is usually the most restrictive subgoal in "
+        "the rule and would be used first in the join order'.",
+        ["join order", "seconds", "relative"],
+    )
+    edges = random_graph(220, 1000, seed=131)
+    changes, _ = mixed_batch("link", edges, 5, 5, node_count=220, seed=132)
+    link = CountedRelation("link", 2)
+    for edge in edges:
+        link.add(edge, 1)
+    delta = CountedRelation(_names.delta("link"), 2)
+    for row, count in changes.delta("link").items():
+        delta.add(row, count)
+    rule = parse_rule("delta_hop(X, Y) :- deltalink(X, Z), link(Z, Y).")
+    resolver = Resolver(None, {"link": link, "deltalink": delta})
+
+    def run(seed):
+        def call():
+            for _ in range(50):
+                evaluate_rule(rule, EvalContext(resolver), seed=seed)
+        return call
+
+    timings = {}
+    for label, seed in (
+        ("Δ pinned first", 0),
+        ("planner-chosen", None),
+        ("Δ forced last", 1),
+    ):
+        _, timings[label] = timed(run(seed))
+    base = timings["Δ pinned first"]
+    for label, seconds in timings.items():
+        result.add_row(**{
+            "join order": label,
+            "seconds": seconds,
+            "relative": f"{seconds / base:.1f}×",
+        })
+    result.note(
+        "The size-aware planner recovers the Δ-first order even without "
+        "the explicit pin; forcing the big relation first is an order of "
+        "magnitude slower."
+    )
+    return result
+
+
+def a3_scaling() -> ExperimentResult:
+    """Maintenance cost vs database size at fixed |Δ| (optimality visible)."""
+    result = ExperimentResult(
+        "A3",
+        "Scaling with database size at fixed |Δ| = 8 rows (ablation)",
+        "Theorem 4.1 optimality: per-batch counting cost tracks the "
+        "affected view delta, while recomputation tracks the whole view.",
+        ["|link|", "counting (s)", "recompute (s)", "ratio"],
+    )
+    for nodes, edge_count in ((120, 480), (240, 1900), (480, 7600)):
+        edges = random_graph(nodes, edge_count, seed=141)
+        changes, _ = mixed_batch(
+            "link", edges, 4, 4, node_count=nodes, seed=141
+        )
+        inc = ViewMaintainer.from_source(
+            HOP_SRC, _database(edges)
+        ).initialize()
+        _, inc_seconds = timed(lambda: inc.apply(changes.copy()))
+        rec = RecomputeMaintainer.from_source(
+            HOP_SRC, _database(edges)
+        ).initialize()
+        _, rec_seconds = timed(lambda: rec.apply(changes.copy()))
+        result.add_row(**{
+            "|link|": edge_count,
+            "counting (s)": inc_seconds,
+            "recompute (s)": rec_seconds,
+            "ratio": f"{rec_seconds / inc_seconds:.0f}×",
+        })
+    result.note(
+        "Counting's residual growth tracks per-change fan-out on denser "
+        "graphs; recomputation grows with the full view."
+    )
+    return result
+
+
+def a4_irrelevance() -> ExperimentResult:
+    """The [BCL89] irrelevant-update pre-filter: honest cost-neutrality."""
+    from repro.core.counting import CountingMaintenance
+    from repro.core.normalize import normalize_program
+    from repro.datalog.stratify import stratify
+
+    result = ExperimentResult(
+        "A4",
+        "[BCL89] irrelevant-update pre-filter (ablation)",
+        "§2 comparator: rows that provably cannot join are rejected before "
+        "delta rules run.  On this engine the Δ-first join order already "
+        "rejects them after O(1) work, so the filter is cost-neutral.",
+        ["configuration", "seconds", "skipped rows"],
+    )
+    source = """
+    cheap(X, Y, C) :- link(X, Y, C), C < 5.
+    cheap_pair(X, Z) :- cheap(X, Y, C1), cheap(Y, Z, C2).
+    """
+    edges = with_costs(random_graph(150, 900, seed=151), 1, 100, seed=151)
+    changes = Changeset()
+    for i in range(120):
+        changes.insert("link", (1000 + i, i % 150, 5 + (i * 7) % 95))
+    for i in range(6):
+        changes.insert("link", (2000 + i, i % 150, 1 + i % 4))
+
+    from repro.eval.stratified import materialize as _materialize
+
+    for prefilter in (True, False):
+        normalized = normalize_program(parse_program(source))
+        strat = stratify(normalized.program)
+        db = _database(edges)
+        views = _materialize(normalized.program, db, "set", strat)
+        run = CountingMaintenance(
+            normalized, strat, db, views, {},
+            prefilter_irrelevant=prefilter,
+        )
+        outcome, seconds = timed(lambda: run.run(changes.copy()))
+        result.add_row(**{
+            "configuration": "with pre-filter" if prefilter else "without",
+            "seconds": seconds,
+            "skipped rows": outcome.stats.irrelevant_skipped,
+        })
+    return result
+
+
+#: Registry used by ``python -m repro.bench`` and the benchmark files.
+EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
+    "A1": a1_delta_mode,
+    "A2": a2_seed_order,
+    "A3": a3_scaling,
+    "A4": a4_irrelevance,
+    "E1": e1_counting_vs_recompute,
+    "E2": e2_inertia_crossover,
+    "E3": e3_optimality,
+    "E4": e4_count_overhead,
+    "E5": e5_set_optimization,
+    "E6": e6_dred_vs_recompute,
+    "E7": e7_dred_vs_pf,
+    "E8": e8_dred_negation_aggregation,
+    "E9": e9_duplicate_semantics,
+    "E10": e10_rule_changes,
+    "E11": e11_recursive_counting,
+    "E12": e12_aggregate_functions,
+}

@@ -1,0 +1,267 @@
+"""Interactive shell for maintained views.
+
+``python -m repro PROGRAM.dl`` loads a Datalog program, materializes its
+views, and then maintains them live while you type updates::
+
+    $ python -m repro views.dl
+    repro> + link(a, b)
+    repro> - link(b, c)
+    repro> commit
+    maintained 2 change(s) in 0.4 ms [counting]
+    repro> show hop
+    hop('a', 'c')  ×2
+    repro> check
+    consistent with recomputation ✔
+
+Ground facts in the program file whose predicate has no proper rules are
+loaded as base data, so a single file can carry both schema and seed
+rows.  ``--data snapshot.json`` loads base relations saved with
+:func:`repro.storage.serialize.save_database`; ``save <path>`` writes
+one back.
+
+The shell is a thin, testable layer: :class:`Shell` consumes command
+strings and returns output strings; ``main`` wires it to argv/stdin.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional, Tuple
+
+from repro.core.maintenance import ViewMaintainer
+from repro.datalog.ast import Program, Rule
+from repro.datalog.parser import parse_program, parse_rule
+from repro.errors import ReproError
+from repro.storage.changeset import Changeset
+from repro.storage.database import Database
+from repro.storage.serialize import load_database, save_database
+
+HELP = """\
+commands:
+  + p(v, ...)     stage an insertion into base relation p
+  - p(v, ...)     stage a deletion from base relation p
+  commit          apply staged changes and maintain all views
+  discard         drop staged changes
+  show NAME       print a relation (view or base) with counts
+  ? BODY          run an ad-hoc query, e.g.  ? hop(a, X), not link(a, X)
+  why NAME(v,..)  explain a view tuple (one derivation tree)
+  views           list maintained views
+  rules           print the current program
+  explain         print the Definition 4.1 delta rules
+  alter + RULE.   add a rule (maintained incrementally)
+  alter - RULE.   remove a rule
+  check           verify views against recomputation
+  save PATH       save base relations as a JSON snapshot
+  help            this text
+  quit            exit
+"""
+
+
+def split_program(program: Program) -> Tuple[Program, List[Rule]]:
+    """Separate seed facts from proper rules.
+
+    A ground fact whose predicate has no non-fact rule is treated as
+    base data; everything else stays in the program.
+    """
+    fact_predicates = {
+        rule.head.predicate for rule in program if rule.is_fact
+    }
+    rule_predicates = {
+        rule.head.predicate for rule in program if not rule.is_fact
+    }
+    seed_predicates = fact_predicates - rule_predicates
+    facts = [
+        rule for rule in program if rule.head.predicate in seed_predicates
+    ]
+    rules = [
+        rule for rule in program if rule.head.predicate not in seed_predicates
+    ]
+    base = tuple(program.edb_predicates | seed_predicates)
+    return Program(rules, base), facts
+
+
+class Shell:
+    """One interactive session over a maintained database."""
+
+    def __init__(
+        self,
+        source: str,
+        database: Optional[Database] = None,
+        strategy: str = "auto",
+        semantics: str = "set",
+    ) -> None:
+        program, facts = split_program(parse_program(source))
+        self.database = database if database is not None else Database()
+        for fact in facts:
+            row = tuple(arg.evaluate({}) for arg in fact.head.args)
+            self.database.insert(fact.head.predicate, row)
+        self.maintainer = ViewMaintainer(
+            program, self.database, strategy=strategy, semantics=semantics
+        ).initialize()
+        self.pending = Changeset()
+        self.done = False
+
+    # ------------------------------------------------------------- dispatch
+
+    def execute(self, line: str) -> str:
+        """Run one command line; returns the text to display."""
+        line = line.strip()
+        if not line or line.startswith("%") or line.startswith("#"):
+            return ""
+        try:
+            return self._dispatch(line)
+        except ReproError as exc:
+            return f"error: {exc}"
+
+    def _dispatch(self, line: str) -> str:
+        if line in ("quit", "exit"):
+            self.done = True
+            return "bye"
+        if line == "help":
+            return HELP
+        if line.startswith("+ "):
+            return self._stage(line[2:], insert=True)
+        if line.startswith("- "):
+            return self._stage(line[2:], insert=False)
+        if line == "commit":
+            return self._commit()
+        if line == "discard":
+            self.pending = Changeset()
+            return "staged changes discarded"
+        if line.startswith("show "):
+            return self._show(line[5:].strip())
+        if line.startswith("? "):
+            return self._query(line[2:].strip())
+        if line.startswith("why "):
+            return self._why(line[4:].strip())
+        if line == "views":
+            return "\n".join(self.maintainer.view_names()) or "(no views)"
+        if line == "rules":
+            return str(self.maintainer.program)
+        if line == "explain":
+            return self.maintainer.delta_program()
+        if line.startswith("alter + "):
+            report = self.maintainer.alter(add=[line[len("alter + "):]])
+            return f"rule added; {report.total_changes()} view change(s)"
+        if line.startswith("alter - "):
+            report = self.maintainer.alter(remove=[line[len("alter - "):]])
+            return f"rule removed; {report.total_changes()} view change(s)"
+        if line == "check":
+            self.maintainer.consistency_check()
+            return "consistent with recomputation ✔"
+        if line.startswith("save "):
+            save_database(self.database, line[5:].strip())
+            return "saved"
+        return f"unknown command: {line!r} (try 'help')"
+
+    # ------------------------------------------------------------- commands
+
+    def _parse_ground_atom(self, text: str) -> Tuple[str, tuple]:
+        text = text.strip()
+        if not text.endswith("."):
+            text += "."
+        fact = parse_rule(text)
+        if not fact.is_fact or fact.head.variables():
+            raise ReproError(f"expected a ground fact, got {text!r}")
+        row = tuple(arg.evaluate({}) for arg in fact.head.args)
+        return fact.head.predicate, row
+
+    def _stage(self, text: str, insert: bool) -> str:
+        predicate, row = self._parse_ground_atom(text)
+        if insert:
+            self.pending.insert(predicate, row)
+            return f"staged: insert {predicate}{row}"
+        self.pending.delete(predicate, row)
+        return f"staged: delete {predicate}{row}"
+
+    def _commit(self) -> str:
+        if self.pending.is_empty():
+            return "nothing staged"
+        report = self.maintainer.apply(self.pending)
+        self.pending = Changeset()
+        return (
+            f"maintained {report.total_changes()} change(s) in "
+            f"{report.seconds * 1e3:.1f} ms [{report.strategy}]"
+        )
+
+    def _query(self, body: str) -> str:
+        results = self.maintainer.query(body)
+        if not results:
+            return "no solutions"
+        if results == [{}]:
+            return "yes"
+        variables = sorted(results[0])
+        lines = []
+        for result in results:
+            cells = ", ".join(f"{v} = {result[v]!r}" for v in variables)
+            lines.append(f"  {cells}")
+        return f"{len(results)} solution(s):\n" + "\n".join(lines)
+
+    def _why(self, text: str) -> str:
+        predicate, row = self._parse_ground_atom(text)
+        tree = self.maintainer.explain_tree(predicate, row)
+        if tree is None:
+            return f"{predicate}{row} is not in the view"
+        return tree.render()
+
+    def _show(self, name: str) -> str:
+        relation = self.maintainer.relation(name)
+        if not relation:
+            return f"{name} is empty"
+        lines = []
+        for row, count in sorted(relation.items(), key=lambda i: repr(i[0])):
+            suffix = f"  ×{count}" if count != 1 else ""
+            lines.append(f"{name}{row}{suffix}")
+        return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Maintain materialized views interactively.",
+    )
+    parser.add_argument("program", help="Datalog program file (views + seed facts)")
+    parser.add_argument("--data", help="JSON base-relation snapshot to load")
+    parser.add_argument(
+        "--strategy", default="auto", choices=["auto", "counting", "dred"]
+    )
+    parser.add_argument(
+        "--semantics", default="set", choices=["set", "duplicate"]
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.program, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    database = load_database(args.data) if args.data else None
+    try:
+        shell = Shell(
+            source,
+            database,
+            strategy=args.strategy,
+            semantics=args.semantics,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    interactive = sys.stdin.isatty()
+    while not shell.done:
+        if interactive:
+            try:
+                line = input("repro> ")
+            except EOFError:
+                break
+        else:
+            line = sys.stdin.readline()
+            if not line:
+                break
+        output = shell.execute(line)
+        if output:
+            print(output)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

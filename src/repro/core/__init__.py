@@ -1,0 +1,48 @@
+"""The paper's contribution: counting, DRed, and the unified maintainer."""
+
+from repro.core.active import Subscription, SubscriptionHub, Transaction
+from repro.core.agg_maintenance import AggregateView
+from repro.core.counting import (
+    CountingMaintenance,
+    CountingResult,
+    CountingStats,
+    delta_neg_relation,
+)
+from repro.core.delta_rules import (
+    DeltaRule,
+    expansion_delta_rules,
+    factored_delta_rules,
+)
+from repro.core.dred import DRedMaintenance, DRedResult, DRedStats
+from repro.core.maintenance import MaintenanceReport, Strategy, ViewMaintainer
+from repro.core.normalize import NormalizedProgram, normalize_program
+from repro.core.recursive_counting import (
+    RecursiveCountingView,
+    has_finite_counts,
+)
+from repro.core.rule_changes import maintain_rule_changes
+
+__all__ = [
+    "AggregateView",
+    "CountingMaintenance",
+    "CountingResult",
+    "CountingStats",
+    "DRedMaintenance",
+    "DRedResult",
+    "DRedStats",
+    "DeltaRule",
+    "MaintenanceReport",
+    "NormalizedProgram",
+    "RecursiveCountingView",
+    "Strategy",
+    "Subscription",
+    "SubscriptionHub",
+    "Transaction",
+    "ViewMaintainer",
+    "delta_neg_relation",
+    "expansion_delta_rules",
+    "factored_delta_rules",
+    "has_finite_counts",
+    "maintain_rule_changes",
+    "normalize_program",
+]

@@ -1,0 +1,139 @@
+"""Active-database support: subscriptions and transactions.
+
+Section 1 lists active databases among view maintenance's applications:
+*"a rule may fire when a particular tuple is inserted into a view"*
+[SPAM91, RS93].  Because the counting and DRed algorithms compute the
+exact per-view deltas anyway, triggering is free: after each maintenance
+pass the :class:`SubscriptionHub` hands every subscriber the signed
+delta of the view it watches.
+
+:class:`Transaction` is the staging companion: collect updates, then
+``commit()`` them as one maintenance pass (or ``rollback()``).  Used as
+a context manager it commits on clean exit and rolls back on exceptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.errors import MaintenanceError
+from repro.storage.changeset import Changeset
+from repro.storage.relation import CountedRelation
+
+#: A subscriber receives (view name, signed delta relation).
+Callback = Callable[[str, CountedRelation], None]
+
+
+@dataclass(frozen=True)
+class Subscription:
+    """A registered callback; returned by subscribe, passed to unsubscribe."""
+
+    view: str
+    callback: Callback
+    token: int
+
+
+class SubscriptionHub:
+    """Dispatches per-view deltas to registered callbacks."""
+
+    def __init__(self) -> None:
+        self._subscriptions: Dict[str, List[Subscription]] = {}
+        self._next_token = 0
+
+    def subscribe(self, view: str, callback: Callback) -> Subscription:
+        subscription = Subscription(view, callback, self._next_token)
+        self._next_token += 1
+        self._subscriptions.setdefault(view, []).append(subscription)
+        return subscription
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        listeners = self._subscriptions.get(subscription.view, [])
+        try:
+            listeners.remove(subscription)
+        except ValueError:
+            raise MaintenanceError(
+                f"subscription {subscription.token} on {subscription.view} "
+                f"is not registered"
+            ) from None
+
+    def has_subscribers(self) -> bool:
+        return any(self._subscriptions.values())
+
+    def notify(self, view_deltas: Dict[str, CountedRelation]) -> None:
+        """Invoke every callback whose view changed (non-empty delta)."""
+        for view, delta in view_deltas.items():
+            if not delta:
+                continue
+            for subscription in tuple(self._subscriptions.get(view, ())):
+                subscription.callback(view, delta)
+
+
+class Transaction:
+    """Staged updates committed as a single maintenance pass.
+
+    ``with maintainer.transaction() as txn:`` commits on normal exit and
+    discards the staged changes when the block raises.  The maintenance
+    report of the commit is available as ``txn.report`` afterwards.
+    """
+
+    def __init__(self, maintainer) -> None:
+        self._maintainer = maintainer
+        self._changes = Changeset()
+        self._closed = False
+        self.report = None
+
+    # ------------------------------------------------------------- staging
+
+    def insert(self, relation: str, row: Iterable[object], count: int = 1
+               ) -> "Transaction":
+        self._require_open()
+        self._changes.insert(relation, row, count)
+        return self
+
+    def delete(self, relation: str, row: Iterable[object], count: int = 1
+               ) -> "Transaction":
+        self._require_open()
+        self._changes.delete(relation, row, count)
+        return self
+
+    def update(self, relation: str, old_row, new_row) -> "Transaction":
+        self._require_open()
+        self._changes.update(relation, old_row, new_row)
+        return self
+
+    @property
+    def staged(self) -> Changeset:
+        """The changes staged so far (a live view, not a copy)."""
+        return self._changes
+
+    # ------------------------------------------------------------ lifecycle
+
+    def commit(self):
+        """Apply the staged changes; returns the maintenance report."""
+        self._require_open()
+        self._closed = True
+        self.report = self._maintainer.apply(self._changes)
+        return self.report
+
+    def rollback(self) -> None:
+        """Discard the staged changes without touching the database."""
+        self._require_open()
+        self._closed = True
+        self._changes = Changeset()
+
+    def _require_open(self) -> None:
+        if self._closed:
+            raise MaintenanceError("transaction is already closed")
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb) -> Optional[bool]:
+        if self._closed:
+            return None
+        if exc_type is None:
+            self.commit()
+        else:
+            self.rollback()
+        return None

@@ -1,0 +1,174 @@
+"""Delta-rule derivation (Definition 4.1) and its algebraic expansion.
+
+Two equivalent rewrites of a rule ``p :- s1 & … & sn`` into rules that
+compute ``Δ(p)``:
+
+**Factored form (the paper's Definition 4.1).**  ``n`` delta rules; the
+i-th reads *new* states left of position ``i``, the change relation at
+``i``, and *old* states right of it::
+
+    Δ(p) :- ν(s1) & … & ν(s_{i-1}) & Δ(s_i) & s_{i+1} & … & s_n
+
+This requires the new states ``ν(q) = q ⊎ Δ(q)`` to be materialized,
+exactly as Algorithm 4.1 does (``initialize Pⁿ to P … Pⁿ = Pⁿ ⊎ Δ(P)``).
+
+**Expansion form.**  Joins are bilinear over counts (counts multiply,
+⊎ adds), so ``(s1 ⊎ Δs1) ⋈ … ⋈ (sn ⊎ Δsn) − s1 ⋈ … ⋈ sn`` expands into
+one variant per *non-empty subset S* of changed positions, each reading
+old states outside ``S`` and change relations inside ``S``::
+
+    Δ(p) :- (Δ(s_j) if j ∈ S else s_j  for each j)
+
+Both forms derive the identical ``Δ(p)`` (a property test checks this);
+the expansion form never materializes new states, so its cost scales
+with the size of the change, not of the database.  Positions whose
+predicate did not change are never in ``S``, so an unchanged rule
+generates no variants at all.
+
+Negated subgoals follow Section 6.1: the ν-version is ``¬(νq)``
+(Lemma 6.1), the old version is ``¬q``, and the Δ-version is a positive
+literal over the ``Δ(¬q)`` relation of Definition 6.1 (computed by
+:func:`repro.core.counting.delta_neg_relation`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from repro.core import names
+from repro.datalog.ast import Aggregate, Comparison, Literal, Rule, Subgoal
+from repro.errors import MaintenanceError
+
+
+@dataclass(frozen=True)
+class DeltaRule:
+    """A rewritten rule computing (part of) ``Δ(head)``.
+
+    ``seed`` is the body index of a Δ-subgoal, pinned first in the join
+    order (Section 6.1: the Δ-subgoal is usually the most restrictive).
+    ``delta_negations`` lists predicates whose ``Δ(¬q)`` relation the
+    evaluator must provide before running this rule.
+    """
+
+    rule: Rule
+    seed: int
+    delta_negations: Tuple[str, ...] = ()
+
+
+def _deltable(subgoal: Subgoal) -> bool:
+    """Can this subgoal change?  (Comparisons cannot.)"""
+    return isinstance(subgoal, Literal)
+
+
+def _as_delta(subgoal: Subgoal) -> Tuple[Subgoal, Tuple[str, ...]]:
+    """The Δ-version of a subgoal, plus required Δ(¬q) relations."""
+    if isinstance(subgoal, Literal):
+        if subgoal.negated:
+            # Definition 6.1: Δ(¬q) is a materialized signed relation,
+            # matched positively.
+            return (
+                Literal(names.delta_neg(subgoal.predicate), subgoal.args),
+                (subgoal.predicate,),
+            )
+        return subgoal.with_predicate(names.delta(subgoal.predicate)), ()
+    raise MaintenanceError(
+        f"subgoal {subgoal} cannot appear at a Δ-position; normalize "
+        f"aggregates first (repro.core.normalize)"
+    )
+
+
+def _as_new(subgoal: Subgoal) -> Subgoal:
+    """The ν-version of a subgoal (Lemma 6.1 for negation)."""
+    if isinstance(subgoal, Literal):
+        return subgoal.with_predicate(names.new(subgoal.predicate))
+    if isinstance(subgoal, Aggregate):
+        raise MaintenanceError(
+            f"aggregate subgoal {subgoal} in a multi-subgoal body; "
+            f"normalize the program first"
+        )
+    return subgoal  # comparisons are state-independent
+
+
+def _reject_inline_aggregates(rule: Rule) -> None:
+    """Delta rules require normalized programs (aggregates isolated).
+
+    Silently skipping an aggregate subgoal would produce *incomplete*
+    deltas when the grouped relation changes, so both generators refuse.
+    """
+    if any(isinstance(subgoal, Aggregate) for subgoal in rule.body):
+        raise MaintenanceError(
+            f"rule [{rule}] contains an inline GROUPBY subgoal; normalize "
+            f"the program first (repro.core.normalize)"
+        )
+
+
+def factored_delta_rules(rule: Rule) -> List[DeltaRule]:
+    """The paper's Definition 4.1 delta rules for ``rule``.
+
+    One rule per deltable body position ``i``; comparisons are skipped
+    (they denote constant relations).  The head predicate is ``Δ:p``.
+    """
+    _reject_inline_aggregates(rule)
+    head = rule.head.with_predicate(names.delta(rule.head.predicate))
+    out: List[DeltaRule] = []
+    for i, subgoal in enumerate(rule.body):
+        if not _deltable(subgoal):
+            continue
+        body: List[Subgoal] = []
+        required: Tuple[str, ...] = ()
+        for j, other in enumerate(rule.body):
+            if j < i:
+                body.append(_as_new(other))
+            elif j == i:
+                delta_subgoal, required = _as_delta(other)
+                body.append(delta_subgoal)
+            else:
+                body.append(other)
+        out.append(DeltaRule(Rule(head, tuple(body)), seed=i,
+                             delta_negations=required))
+    return out
+
+
+def expansion_delta_rules(
+    rule: Rule, changed: Set[str]
+) -> List[DeltaRule]:
+    """Expansion variants of ``rule`` w.r.t. the ``changed`` predicates.
+
+    ``changed`` is the set of predicate names with a non-empty Δ.  A body
+    position is *active* when its (possibly negated) literal references a
+    changed predicate; one variant is emitted per non-empty subset of
+    active positions.  No active positions → no variants (the rule cannot
+    contribute to the delta).
+    """
+    _reject_inline_aggregates(rule)
+    active = [
+        index
+        for index, subgoal in enumerate(rule.body)
+        if isinstance(subgoal, Literal) and subgoal.predicate in changed
+    ]
+    if not active:
+        return []
+    head = rule.head.with_predicate(names.delta(rule.head.predicate))
+    out: List[DeltaRule] = []
+    for size in range(1, len(active) + 1):
+        for subset in combinations(active, size):
+            chosen = set(subset)
+            body: List[Subgoal] = []
+            required: List[str] = []
+            for j, subgoal in enumerate(rule.body):
+                if j in chosen:
+                    delta_subgoal, needs = _as_delta(subgoal)
+                    body.append(delta_subgoal)
+                    required.extend(needs)
+                else:
+                    body.append(subgoal)
+            out.append(
+                DeltaRule(
+                    Rule(head, tuple(body)),
+                    seed=subset[0],
+                    delta_negations=tuple(required),
+                )
+            )
+    return out

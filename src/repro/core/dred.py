@@ -1,0 +1,491 @@
+"""DRed — Delete and Rederive (Section 7), for recursive views.
+
+Set semantics.  Changes are propagated stratum by stratum; within each
+stratum three steps run:
+
+1. **Overestimate deletions** (δ⁻-rules): a semi-naive fixpoint computes
+   every stored tuple with *some* derivation touching a deleted tuple.
+   For each rule ``p :- s1 & … & sn`` and each position ``i`` we build::
+
+       δ⁻(p) :- s1 & … & δ⁻(s_i) & … & sn & p(head args)
+
+   Side subgoals read the *old* relations ("without incorporating the
+   deletions"); the trailing guard keeps the overestimate inside the
+   stored materialization.  ``δ⁻(s_i)`` is the deletions of a lower
+   stratum / base relation, the *insertions* for a negated lower
+   subgoal (¬q dies when q appears), or the growing overestimate for a
+   same-stratum (recursive) predicate.  The overestimate is then removed
+   from the stored views.
+
+2. **Rederive** (ρ-rules): tuples of the overestimate with an alternative
+   derivation in the new database are put back::
+
+       p(head args) :- δ⁻(p)(head args) & s1ⁿ & … & snⁿ
+
+   Side subgoals read *new* values; same-stratum subgoals read the
+   partially rederived materialization, iterated to fixpoint.
+
+3. **Insert** (δ⁺-rules): semi-naive propagation of insertions, reading
+   new values throughout; for negated subgoals the driver is the final
+   deletions of the lower stratum (¬q is born when q disappears).
+
+Aggregate views (normalized GROUPBY rules) are maintained by
+Algorithm 6.1 between strata, with the resulting group-tuple deletions
+and insertions feeding the δ⁻/δ⁺ drivers of higher strata — this is the
+"first algorithm to handle aggregation in recursive views" part of the
+paper.
+
+Theorem 7.1 (checked by the test suite against naive recomputation):
+after the run, the materialization equals the view of the updated
+database.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core import names
+from repro.core.agg_maintenance import AggregateView
+from repro.core.normalize import NormalizedProgram
+from repro.datalog.ast import Comparison, Literal, Rule, Subgoal
+from repro.datalog.terms import Variable
+from repro.datalog.stratify import Stratification
+from repro.errors import MaintenanceError
+from repro.eval.rule_eval import Resolver
+from repro.eval.seminaive import seminaive
+from repro.storage.changeset import Changeset
+from repro.storage.database import Database
+from repro.storage.relation import CountedRelation
+
+
+@dataclass
+class DRedStats:
+    """Work counters for one DRed run (drives experiments E3, E6, E7)."""
+
+    overestimated: int = 0  # tuples in the step-1 overestimate
+    rederived: int = 0      # overestimated tuples put back by step 2
+    inserted: int = 0       # tuples added by step 3
+    deleted: int = 0        # net deletions (overestimated − rederived)
+    seconds: float = 0.0
+
+    @property
+    def overdeletion_ratio(self) -> float:
+        """|overestimate| / |actual deletions| (1.0 = no overshoot)."""
+        if self.deleted == 0:
+            return float(self.overestimated > 0) or 1.0
+        return self.overestimated / self.deleted
+
+
+@dataclass
+class DRedResult:
+    """Net per-view deletions and insertions of one DRed run."""
+
+    deletions: Dict[str, CountedRelation]
+    insertions: Dict[str, CountedRelation]
+    stats: DRedStats = field(default_factory=DRedStats)
+
+    def delta(self, view: str) -> CountedRelation:
+        """The signed set-level delta of ``view`` (+1 inserts, −1 deletes)."""
+        out = CountedRelation(names.delta(view))
+        for row, _ in self.insertions.get(view, CountedRelation()).items():
+            out.add(row, 1)
+        for row, _ in self.deletions.get(view, CountedRelation()).items():
+            out.add(row, -1)
+        return out
+
+
+class DRedMaintenance:
+    """One DRed maintenance pass; create per changeset and call :meth:`run`."""
+
+    def __init__(
+        self,
+        normalized: NormalizedProgram,
+        stratification: Stratification,
+        database: Database,
+        views: Dict[str, CountedRelation],
+        aggregate_views: Dict[str, AggregateView],
+        old_rules: Optional[List[Rule]] = None,
+        full_round0_rules: frozenset = frozenset(),
+        deletion_seeds: Optional[Dict[str, CountedRelation]] = None,
+    ) -> None:
+        self.normalized = normalized
+        self.strat = stratification
+        self.database = database
+        self.views = views
+        self.aggregate_views = aggregate_views
+        #: Rules that existed before the change — deletion propagation
+        #: (step 1) must follow derivations as they *were* (rule-change
+        #: maintenance passes the pre-change rule set here).
+        self.old_rules: List[Rule] = (
+            old_rules if old_rules is not None else list(normalized.program.rules)
+        )
+        #: Rules whose step-3 evaluation must be a full round-0 pass:
+        #: freshly-added rules, whose every derivation is an insertion.
+        self.full_round0_rules = full_round0_rules
+        #: Extra per-predicate deletion seeds (derivations of removed rules).
+        self.deletion_seeds = deletion_seeds if deletion_seeds is not None else {}
+        self.stats = DRedStats()
+        #: Old versions of every relation changed so far (base and derived).
+        self._old: Dict[str, CountedRelation] = {}
+        #: Net set-level deletions/insertions per predicate, so far.
+        self._del: Dict[str, CountedRelation] = {}
+        self._add: Dict[str, CountedRelation] = {}
+
+    # ------------------------------------------------------------ resolvers
+
+    def _current_resolver(self) -> Resolver:
+        """Plain names → the *current* state (old for untouched strata)."""
+        return Resolver(Resolver(self.database, self.views))
+
+    def _old_resolver(self) -> Resolver:
+        """Plain names → the pre-change state."""
+        return Resolver(Resolver(self.database, self.views), self._old)
+
+    def _save_old(self, predicate: str, relation: CountedRelation) -> None:
+        if predicate not in self._old:
+            self._old[predicate] = relation.copy()
+
+    def _deletions_of(self, predicate: str) -> CountedRelation:
+        found = self._del.get(predicate)
+        return found if found is not None else CountedRelation()
+
+    def _insertions_of(self, predicate: str) -> CountedRelation:
+        found = self._add.get(predicate)
+        return found if found is not None else CountedRelation()
+
+    # -------------------------------------------------------------- the run
+
+    def run(self, changes: Changeset) -> DRedResult:
+        """Execute the three DRed steps for every stratum, bottom-up."""
+        started = time.perf_counter()
+        self._apply_base_changes(changes)
+
+        new_by_stratum = self._group_by_stratum(self.normalized.program.rules)
+        old_by_stratum = self._group_by_stratum(self.old_rules)
+        for stratum in range(1, self.strat.max_stratum + 1):
+            new_rules = new_by_stratum.get(stratum, [])
+            old_rules = old_by_stratum.get(stratum, [])
+            if not new_rules and not old_rules:
+                continue
+            for rule in new_rules:
+                if rule.head.predicate in self.aggregate_views:
+                    self._maintain_aggregate(rule)
+            normal_new = [
+                rule
+                for rule in new_rules
+                if rule.head.predicate not in self.aggregate_views
+            ]
+            normal_old = [
+                rule
+                for rule in old_rules
+                if rule.head.predicate not in self.aggregate_views
+            ]
+            if normal_new or normal_old:
+                stratum_preds = {
+                    rule.head.predicate for rule in normal_new + normal_old
+                }
+                overestimate = self._step1_overestimate(
+                    normal_old, stratum_preds
+                )
+                self._prune(overestimate)
+                self._step2_rederive(normal_new, overestimate)
+                inserted = self._step3_insert(normal_new, stratum_preds)
+                self._finalize_stratum(
+                    stratum_preds, overestimate, inserted
+                )
+
+        self.stats.seconds = time.perf_counter() - started
+        idb = self.normalized.program.idb_predicates
+        self.stats.deleted = sum(
+            len(rel) for name, rel in self._del.items() if name in idb
+        )
+        result = DRedResult(
+            deletions={
+                name: rel
+                for name, rel in self._del.items()
+                if rel and name in self.normalized.program.idb_predicates
+            },
+            insertions={
+                name: rel
+                for name, rel in self._add.items()
+                if rel and name in self.normalized.program.idb_predicates
+            },
+            stats=self.stats,
+        )
+        return result
+
+    # ------------------------------------------------------------ sub-steps
+
+    def _group_by_stratum(self, rules) -> Dict[int, List[Rule]]:
+        grouped: Dict[int, List[Rule]] = {}
+        for rule in rules:
+            stratum = self.strat.stratum_of[rule.head.predicate]
+            grouped.setdefault(stratum, []).append(rule)
+        return grouped
+
+    def _apply_base_changes(self, changes: Changeset) -> None:
+        """Canonicalize to set semantics, save old states, update the edb."""
+        for name, delta in changes:
+            if name in self.normalized.program.idb_predicates:
+                raise MaintenanceError(
+                    f"cannot change derived relation {name} directly"
+                )
+            relation = self.database.ensure_relation(name)
+            deletions = CountedRelation(f"del({name})")
+            insertions = CountedRelation(f"add({name})")
+            for row, count in delta.items():
+                present = relation.contains_positive(row)
+                if count < 0:
+                    if not present:
+                        raise MaintenanceError(
+                            f"changeset deletes {row!r} from {name} but it "
+                            f"is not stored"
+                        )
+                    deletions.set_count(row, 1)
+                elif count > 0 and not present:
+                    insertions.set_count(row, 1)
+            if not deletions and not insertions:
+                continue
+            self._save_old(name, relation)
+            for row in deletions.rows():
+                relation.discard(row)
+            for row in insertions.rows():
+                relation.set_count(row, 1)
+            self._del[name] = deletions
+            self._add[name] = insertions
+
+    def _step1_overestimate(
+        self, rules: List[Rule], stratum_preds: set
+    ) -> Dict[str, CountedRelation]:
+        """Semi-naive computation of the δ⁻ overestimate for the stratum."""
+        delta_rules: List[Rule] = []
+        sources: Dict[str, CountedRelation] = {}
+        for rule in rules:
+            head = Literal(
+                names.overestimate(rule.head.predicate), rule.head.args
+            )
+            guard = rule.head  # keeps δ⁻(p) ⊆ P
+            for j, subgoal in enumerate(rule.body):
+                replacement = self._step1_driver(subgoal, stratum_preds, sources)
+                if replacement is None:
+                    continue
+                body = list(rule.body)
+                body[j] = replacement
+                delta_rules.append(Rule(head, tuple(body) + (guard,)))
+        # Rule-change seeds: every derivation of a removed rule is a
+        # deletion candidate for its head predicate.
+        for predicate in sorted(stratum_preds):
+            seed = self.deletion_seeds.get(predicate)
+            if not seed:
+                continue
+            name = names.source("seed", predicate)
+            sources[name] = seed
+            arity = seed.arity if seed.arity is not None else len(next(iter(seed)))
+            variables = tuple(Variable(f"V{i}") for i in range(arity))
+            delta_rules.append(
+                Rule(
+                    Literal(names.overestimate(predicate), variables),
+                    (Literal(name, variables), Literal(predicate, variables)),
+                )
+            )
+        if not delta_rules:
+            return {}
+
+        targets = {
+            names.overestimate(pred): CountedRelation(names.overestimate(pred))
+            for pred in stratum_preds
+        }
+        resolver = Resolver(self._old_resolver(), sources)
+        seminaive(delta_rules, targets, resolver)
+        overestimate = {
+            pred: targets[names.overestimate(pred)] for pred in stratum_preds
+        }
+        self.stats.overestimated += sum(len(r) for r in overestimate.values())
+        return overestimate
+
+    def _step1_driver(
+        self,
+        subgoal: Subgoal,
+        stratum_preds: set,
+        sources: Dict[str, CountedRelation],
+    ) -> Optional[Literal]:
+        """The δ⁻ driver literal for one body position (None = no driver)."""
+        if not isinstance(subgoal, Literal):
+            return None
+        predicate = subgoal.predicate
+        if subgoal.negated:
+            # ¬q loses tuples exactly where q gained them.
+            gained = self._insertions_of(predicate)
+            if not gained:
+                return None
+            name = names.source("add", predicate)
+            sources[name] = gained
+            return Literal(name, subgoal.args)
+        if predicate in stratum_preds:
+            # Recursive driver: the growing overestimate itself.
+            return Literal(names.overestimate(predicate), subgoal.args)
+        lost = self._deletions_of(predicate)
+        if not lost:
+            return None
+        name = names.source("del", predicate)
+        sources[name] = lost
+        return Literal(name, subgoal.args)
+
+    def _prune(self, overestimate: Dict[str, CountedRelation]) -> int:
+        """Remove the overestimate from the stored materializations."""
+        pruned = 0
+        for predicate, rows in overestimate.items():
+            if not rows:
+                continue
+            view = self.views[predicate]
+            self._save_old(predicate, view)
+            for row in rows.rows():
+                if view.discard(row):
+                    pruned += 1
+        return pruned
+
+    def _step2_rederive(
+        self, rules: List[Rule], overestimate: Dict[str, CountedRelation]
+    ) -> Dict[str, CountedRelation]:
+        """Put back overestimated tuples with alternative derivations."""
+        if not any(rows for rows in overestimate.values()):
+            return {}
+        rederive_rules: List[Rule] = []
+        sources: Dict[str, CountedRelation] = {}
+        for rule in rules:
+            rows = overestimate.get(rule.head.predicate)
+            if not rows:
+                continue
+            name = names.overestimate(rule.head.predicate)
+            sources[name] = rows
+            seed = Literal(name, rule.head.args)
+            rederive_rules.append(Rule(rule.head, (seed,) + rule.body))
+        if not rederive_rules:
+            return {}
+        targets = {
+            rule.head.predicate: self.views[rule.head.predicate]
+            for rule in rederive_rules
+        }
+        resolver = Resolver(self._current_resolver(), sources)
+        rederived = seminaive(rederive_rules, targets, resolver)
+        self.stats.rederived += sum(len(r) for r in rederived.values())
+        return rederived
+
+    def _step3_insert(
+        self, rules: List[Rule], stratum_preds: set
+    ) -> Dict[str, CountedRelation]:
+        """Semi-naive propagation of insertions through the stratum."""
+        insert_rules: List[Rule] = []
+        fire_round0: List[bool] = []
+        sources: Dict[str, CountedRelation] = {}
+        for rule in rules:
+            recursive_body = False
+            for j, subgoal in enumerate(rule.body):
+                if not isinstance(subgoal, Literal):
+                    continue
+                predicate = subgoal.predicate
+                if not subgoal.negated and predicate in stratum_preds:
+                    recursive_body = True
+                    continue
+                if subgoal.negated:
+                    # ¬q gains tuples exactly where q lost them.
+                    driver = self._deletions_of(predicate)
+                    tag = "delneg"
+                else:
+                    driver = self._insertions_of(predicate)
+                    tag = "add"
+                if not driver:
+                    continue
+                name = names.source(tag, predicate)
+                sources[name] = driver
+                body = list(rule.body)
+                body[j] = Literal(name, subgoal.args)
+                insert_rules.append(Rule(rule.head, tuple(body)))
+                fire_round0.append(True)
+            if rule in self.full_round0_rules:
+                # A freshly-added rule: every one of its derivations is an
+                # insertion, so it evaluates fully (and its delta variants
+                # propagate recursive growth as usual).
+                insert_rules.append(rule)
+                fire_round0.append(True)
+            elif recursive_body:
+                # Plain rule: only its delta variants fire, propagating
+                # same-stratum growth (a full evaluation would recompute
+                # the view from scratch).
+                insert_rules.append(rule)
+                fire_round0.append(False)
+        if not insert_rules:
+            return {}
+        targets = {
+            pred: self.views[pred]
+            for pred in {rule.head.predicate for rule in insert_rules}
+        }
+        for pred in targets:
+            self._save_old(pred, targets[pred])
+        resolver = Resolver(self._current_resolver(), sources)
+        inserted = seminaive(
+            insert_rules, targets, resolver, fire_round0=fire_round0
+        )
+        self.stats.inserted += sum(len(r) for r in inserted.values())
+        return inserted
+
+    def _finalize_stratum(
+        self,
+        stratum_preds: set,
+        overestimate: Dict[str, CountedRelation],
+        inserted: Dict[str, CountedRelation],
+    ) -> None:
+        """Compute the stratum's net deletions/insertions for upper strata."""
+        for predicate in stratum_preds:
+            view = self.views[predicate]
+            old = self._old.get(predicate)
+            deletions = CountedRelation(f"del({predicate})")
+            for row in overestimate.get(predicate, CountedRelation()).rows():
+                if not view.contains_positive(row):
+                    deletions.set_count(row, 1)
+            insertions = CountedRelation(f"add({predicate})")
+            for row in inserted.get(predicate, CountedRelation()).rows():
+                if old is None or not old.contains_positive(row):
+                    insertions.set_count(row, 1)
+            if deletions:
+                self._del[predicate] = deletions
+            if insertions:
+                self._add[predicate] = insertions
+
+    def _maintain_aggregate(self, rule: Rule) -> None:
+        """Algorithm 6.1 for a normalized GROUPBY rule inside DRed."""
+        predicate = rule.head.predicate
+        view = self.aggregate_views[predicate]
+        grouped = view.aggregate.relation.predicate
+        lost = self._deletions_of(grouped)
+        gained = self._insertions_of(grouped)
+        if not lost and not gained:
+            return
+        delta = CountedRelation(names.delta(grouped))
+        for row in gained.rows():
+            delta.add(row, 1)
+        for row in lost.rows():
+            delta.add(row, -1)
+        old_grouped = self._old.get(grouped)
+        if old_grouped is None:
+            old_grouped = self._current_resolver().relation(grouped)
+        delta_t = view.maintain(old_grouped, delta)
+        if not delta_t:
+            return
+        stored = self.views[predicate]
+        self._save_old(predicate, stored)
+        deletions = CountedRelation(f"del({predicate})")
+        insertions = CountedRelation(f"add({predicate})")
+        for row, count in delta_t.items():
+            if count < 0:
+                stored.discard(row)
+                deletions.set_count(row, 1)
+            else:
+                stored.set_count(row, 1)
+                insertions.set_count(row, 1)
+        if deletions:
+            self._del[predicate] = deletions
+        if insertions:
+            self._add[predicate] = insertions

@@ -1,0 +1,512 @@
+"""The unified maintenance facade: :class:`ViewMaintainer`.
+
+Ties the pieces together the way the paper prescribes: *"we are proposing
+the counting algorithm for nonrecursive views, and the DRed algorithm for
+recursive views, as we believe each is better than the other on the
+specified domain"* (Section 1).  ``strategy="auto"`` implements exactly
+that dispatch; ``"counting"`` and ``"dred"`` force an algorithm (DRed is
+legal for nonrecursive views too, just expected slower — experiment E7
+measures it).
+
+Typical use::
+
+    db = Database()
+    db.insert_rows("link", edges)
+    maintainer = ViewMaintainer.from_source('''
+        hop(X, Y)     :- link(X, Z), link(Z, Y).
+        tri_hop(X, Y) :- hop(X, Z), link(Z, Y).
+    ''', db)
+    maintainer.initialize()
+    report = maintainer.apply(Changeset().delete("link", ("a", "b")))
+    maintainer.relation("hop")        # the maintained view
+    report.delta("hop")               # what changed, signed counts
+
+The maintainer owns the stored materializations (with counts), the
+per-aggregate group states, and the stratification; every
+:meth:`apply` call runs one maintenance pass and folds the results into
+the stored state.  :meth:`alter` applies rule insertions/deletions
+(Section 7's view-redefinition maintenance) without rematerializing.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Literal as TypingLiteral, Optional
+
+from repro.core import names
+from repro.core.agg_maintenance import AggregateView
+from repro.core.counting import CountingMaintenance, CountingMode, CountingResult
+from repro.core.dred import DRedMaintenance, DRedResult
+from repro.core.normalize import NormalizedProgram, normalize_program
+from repro.datalog.ast import Literal, Program, Rule
+from repro.datalog.parser import parse_program, parse_rule
+from repro.datalog.safety import check_program_safety
+from repro.datalog.stratify import Stratification, stratify
+from repro.errors import MaintenanceError, UnknownRelationError
+from repro.eval.rule_eval import Resolver
+from repro.eval.stratified import Semantics, materialize
+from repro.storage.changeset import Changeset
+from repro.storage.database import Database
+from repro.storage.relation import CountedRelation
+
+Strategy = TypingLiteral["auto", "counting", "dred"]
+
+
+@dataclass
+class MaintenanceReport:
+    """Uniform result of one :meth:`ViewMaintainer.apply` call."""
+
+    strategy: str
+    seconds: float
+    view_deltas: Dict[str, CountedRelation] = field(default_factory=dict)
+    counting: Optional[CountingResult] = None
+    dred: Optional[DRedResult] = None
+
+    def delta(self, view: str) -> CountedRelation:
+        """The signed change applied to ``view`` (empty if unchanged)."""
+        found = self.view_deltas.get(view)
+        return found if found is not None else CountedRelation(names.delta(view))
+
+    def changed_views(self) -> List[str]:
+        return sorted(name for name, delta in self.view_deltas.items() if delta)
+
+    def total_changes(self) -> int:
+        """Total number of distinct view tuples inserted or deleted."""
+        return sum(len(delta) for delta in self.view_deltas.values())
+
+
+@dataclass
+class LifetimeStats:
+    """Aggregate counters across a maintainer's whole lifetime."""
+
+    passes: int = 0
+    tuples_changed: int = 0
+    seconds: float = 0.0
+
+    def record(self, report: "MaintenanceReport") -> None:
+        self.passes += 1
+        self.tuples_changed += report.total_changes()
+        self.seconds += report.seconds
+
+
+class ViewMaintainer:
+    """Owns materialized views over a database and maintains them."""
+
+    def __init__(
+        self,
+        program: Program,
+        database: Database,
+        strategy: Strategy = "auto",
+        semantics: Semantics = "set",
+        counting_mode: CountingMode = "expansion",
+    ) -> None:
+        check_program_safety(program)
+        self.database = database
+        self.semantics: Semantics = semantics
+        self.counting_mode: CountingMode = counting_mode
+        self._set_program(normalize_program(program))
+        self._resolve_strategy(strategy)
+        self.views: Dict[str, CountedRelation] = {}
+        self.aggregate_views: Dict[str, AggregateView] = {}
+        self._initialized = False
+        from repro.core.active import SubscriptionHub
+
+        self._subscriptions = SubscriptionHub()
+        self._journal = None
+        self.lifetime = LifetimeStats()
+
+    # ----------------------------------------------------------- construction
+
+    @classmethod
+    def from_source(
+        cls,
+        source: str,
+        database: Database,
+        strategy: Strategy = "auto",
+        semantics: Semantics = "set",
+        counting_mode: CountingMode = "expansion",
+    ) -> "ViewMaintainer":
+        """Build a maintainer from Datalog source text."""
+        return cls(
+            parse_program(source),
+            database,
+            strategy=strategy,
+            semantics=semantics,
+            counting_mode=counting_mode,
+        )
+
+    def _set_program(self, normalized: NormalizedProgram) -> None:
+        self.normalized = normalized
+        self.program: Program = normalized.original
+        self.stratification: Stratification = stratify(normalized.program)
+
+    def _resolve_strategy(self, strategy: Strategy) -> None:
+        if strategy == "auto":
+            strategy = "dred" if self.stratification.is_recursive else "counting"
+        if strategy == "counting" and self.stratification.is_recursive:
+            raise MaintenanceError(
+                "counting does not apply to recursive views; use "
+                "strategy='dred' (or see repro.core.recursive_counting "
+                "for the [GKM92] extension)"
+            )
+        if strategy == "dred" and self.semantics != "set":
+            raise MaintenanceError(
+                "DRed is defined for set semantics only (Section 7)"
+            )
+        self.strategy: str = strategy
+
+    # ----------------------------------------------------------------- state
+
+    def initialize(self) -> "ViewMaintainer":
+        """Materialize every view and set up aggregate group states."""
+        self.views = materialize(
+            self.normalized.program,
+            self.database,
+            semantics=self.semantics,
+            stratification=self.stratification,
+        )
+        if self.strategy == "dred":
+            # DRed maintains pure sets; clamp the per-stratum duplicate
+            # counts the set-mode materialization produces down to 1.
+            self.views = {
+                name: relation.set_view(name)
+                for name, relation in self.views.items()
+            }
+        self._init_aggregate_views()
+        self._initialized = True
+        return self
+
+    def _init_aggregate_views(self, only: Optional[Iterable[str]] = None) -> None:
+        resolver = Resolver(self.database, self.views)
+        wanted = set(only) if only is not None else None
+        for predicate, rule in self.normalized.aggregate_rules.items():
+            if wanted is not None and predicate not in wanted:
+                continue
+            view = AggregateView(rule, unit_counts=self.semantics == "set")
+            grouped = resolver.relation(rule.body[0].relation.predicate)
+            view.initialize(grouped)
+            self.aggregate_views[predicate] = view
+
+    def refresh(self) -> "ViewMaintainer":
+        """Rematerialize every view from the current base relations.
+
+        The repair path: equivalent to a fresh :meth:`initialize` over
+        the same database.  Use after external mutation of the database
+        (which maintenance cannot track) or a failed
+        :meth:`consistency_check`.
+        """
+        return self.initialize()
+
+    def relation(self, name: str) -> CountedRelation:
+        """A maintained view or base relation by name."""
+        self._require_initialized()
+        found = self.views.get(name)
+        if found is not None:
+            return found
+        found = self.database.get(name)
+        if found is None:
+            raise UnknownRelationError(f"no view or base relation named {name}")
+        return found
+
+    def view_names(self) -> List[str]:
+        """User-visible view names.
+
+        Synthetic helpers are excluded: normalized-aggregate predicates
+        and the ``$``-suffixed auxiliaries the SQL front-end generates
+        for NOT EXISTS / EXCEPT / GROUP BY.
+        """
+        return sorted(
+            p
+            for p in self.program.idb_predicates
+            if not names.is_internal(p) and "$" not in p
+        )
+
+    def _require_initialized(self) -> None:
+        if not self._initialized:
+            raise MaintenanceError(
+                "call initialize() before using the maintainer"
+            )
+
+    # ------------------------------------------------------------ maintenance
+
+    def apply(self, changes: Changeset) -> MaintenanceReport:
+        """Maintain all views for a base-relation changeset.
+
+        On success the pass is recorded in :attr:`lifetime` and, when a
+        journal is attached, appended to it (redo-log discipline: only
+        committed batches are logged).
+        """
+        report = self._run_maintenance(changes)
+        if not changes.is_empty():
+            self.lifetime.record(report)
+            if self._journal is not None:
+                self._journal.append(changes)
+        return report
+
+    def _run_maintenance(self, changes: Changeset) -> MaintenanceReport:
+        self._require_initialized()
+        if changes.is_empty():
+            return MaintenanceReport(strategy=self.strategy, seconds=0.0)
+        if self.strategy == "counting":
+            run = CountingMaintenance(
+                self.normalized,
+                self.stratification,
+                self.database,
+                self.views,
+                self.aggregate_views,
+                semantics=self.semantics,
+                mode=self.counting_mode,
+            )
+            result = run.run(changes)
+            deltas = {
+                name: delta
+                for name, delta in result.view_deltas.items()
+                if not names.is_internal(name)
+            }
+            self._subscriptions.notify(deltas)
+            return MaintenanceReport(
+                strategy="counting",
+                seconds=result.stats.seconds,
+                view_deltas=deltas,
+                counting=result,
+            )
+        run = DRedMaintenance(
+            self.normalized,
+            self.stratification,
+            self.database,
+            self.views,
+            self.aggregate_views,
+        )
+        result = run.run(changes)
+        deltas = {
+            name: result.delta(name)
+            for name in set(result.deletions) | set(result.insertions)
+            if not names.is_internal(name)
+        }
+        self._subscriptions.notify(deltas)
+        return MaintenanceReport(
+            strategy="dred",
+            seconds=result.stats.seconds,
+            view_deltas=deltas,
+            dred=result,
+        )
+
+    def alter(
+        self,
+        add: Iterable[Rule | str] = (),
+        remove: Iterable[Rule | str] = (),
+    ) -> MaintenanceReport:
+        """Change the view definitions and maintain incrementally.
+
+        Section 7: "The algorithm can also be used when the view
+        definition is itself altered."  Rules may be given as
+        :class:`Rule` objects or source strings.  Requires set semantics.
+        """
+        self._require_initialized()
+        from repro.core.rule_changes import maintain_rule_changes
+
+        if self._journal is not None:
+            raise MaintenanceError(
+                "rule changes are not representable in the changeset "
+                "journal; save a fresh snapshot, truncate the journal, "
+                "and detach it before calling alter()"
+            )
+        added = [parse_rule(r) if isinstance(r, str) else r for r in add]
+        removed = [parse_rule(r) if isinstance(r, str) else r for r in remove]
+        if self.semantics != "set":
+            raise MaintenanceError(
+                "rule-change maintenance runs under set semantics only; "
+                "re-create the maintainer to change definitions under "
+                "duplicate semantics"
+            )
+        started = time.perf_counter()
+        new_normalized, new_strat, result = maintain_rule_changes(
+            self, added, removed
+        )
+        self.normalized = new_normalized
+        self.program = new_normalized.original
+        self.stratification = new_strat
+        # Rule-change maintenance is a DRed operation (Section 7); it
+        # leaves set-style counts behind, so the maintainer stays on the
+        # DRed strategy from here on.  Re-create the maintainer to go
+        # back to counting after a redefinition.
+        self.strategy = "dred"
+        self.views = {
+            name: relation.set_view(name)
+            for name, relation in self.views.items()
+        }
+        deltas = {
+            name: result.delta(name)
+            for name in set(result.deletions) | set(result.insertions)
+            if not names.is_internal(name)
+        }
+        self._subscriptions.notify(deltas)
+        return MaintenanceReport(
+            strategy="dred(rule-change)",
+            seconds=time.perf_counter() - started,
+            view_deltas=deltas,
+            dred=result,
+        )
+
+    # ----------------------------------------------------------------- query
+
+    def query(self, body: str) -> List[Dict[str, object]]:
+        """Evaluate an ad-hoc conjunctive query against the current state.
+
+        ``body`` uses rule-body syntax over views and base relations::
+
+            maintainer.query("hop(a, X), not tri_hop(a, X)")
+
+        Returns one ``{variable: value}`` dict per solution (set
+        semantics: duplicates collapsed, deterministic order).
+        """
+        self._require_initialized()
+        from repro.datalog.ast import Rule as RuleNode
+        from repro.datalog.parser import parse_body
+        from repro.datalog.safety import bound_variables, check_rule_safety
+        from repro.datalog.terms import Variable
+        from repro.eval.rule_eval import EvalContext, Resolver, solutions
+
+        subgoals = parse_body(body)
+        free = sorted(
+            set().union(*(s.variables() for s in subgoals)) if subgoals else ()
+        )
+        head = Literal("$query", tuple(Variable(name) for name in free))
+        query_rule = RuleNode(head, subgoals)
+        check_rule_safety(query_rule)
+        resolver = Resolver(self.database, self.views)
+        ctx = EvalContext(resolver, unit_counts=lambda _n: True)
+        seen = set()
+        results: List[Dict[str, object]] = []
+        for binding, count in solutions(query_rule, ctx):
+            if count <= 0:
+                continue
+            key = tuple(binding[name] for name in free)
+            if key in seen:
+                continue
+            seen.add(key)
+            results.append({name: binding[name] for name in free})
+        results.sort(key=lambda b: repr(tuple(b[name] for name in free)))
+        return results
+
+    def ask(self, body: str) -> bool:
+        """Boolean query: does the conjunction have any solution?"""
+        return bool(self.query(body)) if body.strip() else False
+
+    # ----------------------------------------------------------- transactions
+
+    def transaction(self):
+        """A staging transaction: commit applies one maintenance pass."""
+        from repro.core.active import Transaction
+
+        self._require_initialized()
+        return Transaction(self)
+
+    # --------------------------------------------------------------- journal
+
+    def attach_journal(self, journal) -> None:
+        """Log every successful :meth:`apply` to ``journal`` (redo log).
+
+        Pair with a base-relation snapshot
+        (:func:`repro.storage.serialize.save_database`) for recovery via
+        :func:`repro.storage.journal.recover`.  Rule changes are not
+        journalable: :meth:`alter` refuses while a journal is attached.
+        """
+        self._journal = journal
+
+    def detach_journal(self) -> None:
+        self._journal = None
+
+    # ----------------------------------------------------------- subscriptions
+
+    def subscribe(self, view: str, callback):
+        """Register ``callback(view, delta)`` to fire when ``view`` changes.
+
+        The active-database hookup of Section 1: callbacks receive the
+        exact signed delta relation the maintenance pass computed.
+        Returns a subscription handle for :meth:`unsubscribe`.
+        """
+        if view not in self.program.idb_predicates and view not in (
+            self.program.edb_predicates
+        ):
+            raise UnknownRelationError(
+                f"cannot subscribe to unknown relation {view}"
+            )
+        return self._subscriptions.subscribe(view, callback)
+
+    def unsubscribe(self, subscription) -> None:
+        self._subscriptions.unsubscribe(subscription)
+
+    # ----------------------------------------------------------- introspection
+
+    def explain_tuple(self, view: str, row) -> List:
+        """Why is ``row`` in ``view``?  One Derivation per distinct proof.
+
+        The number of immediate derivations equals the stored count
+        under set semantics' per-stratum scheme (§5.1) — a handy
+        cross-check.  See :mod:`repro.core.provenance`.
+        """
+        self._require_initialized()
+        from repro.core.provenance import immediate_derivations
+
+        return immediate_derivations(self, view, row)
+
+    def explain_tree(self, view: str, row, max_depth: int = 10):
+        """A full derivation tree of ``view(row)`` down to base facts."""
+        self._require_initialized()
+        from repro.core.provenance import derivation_tree
+
+        return derivation_tree(self, view, row, max_depth)
+
+    def delta_program(self) -> str:
+        """The factored delta rules (Definition 4.1) for every view.
+
+        A debugging/teaching aid: renders the Δ-rules the counting
+        algorithm conceptually evaluates, in the paper's notation —
+        ``Δ:p`` for change relations, ``ν:p`` for new states.  Aggregate
+        views are annotated as maintained by Algorithm 6.1.
+        """
+        from repro.core.delta_rules import factored_delta_rules
+
+        lines: List[str] = []
+        for rule in self.normalized.program:
+            head = rule.head.predicate
+            if head in self.normalized.aggregate_rules:
+                lines.append(f"% {head}: GROUPBY view — Algorithm 6.1")
+                lines.append(f"% source: {rule}")
+                continue
+            lines.append(f"% from: {rule}")
+            for delta_rule in factored_delta_rules(rule):
+                lines.append(str(delta_rule.rule))
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------ validation
+
+    def consistency_check(self) -> None:
+        """Recompute every view from scratch and compare (test oracle).
+
+        Raises :class:`~repro.errors.MaintenanceError` on any divergence —
+        under set semantics the *sets* must match; under duplicate
+        semantics the full counts must match.
+        """
+        self._require_initialized()
+        fresh = materialize(
+            self.normalized.program,
+            self.database,
+            semantics=self.semantics,
+            stratification=self.stratification,
+        )
+        for name, expected in fresh.items():
+            actual = self.views.get(name, CountedRelation(name))
+            if self.semantics == "duplicate" or self.strategy == "counting":
+                matches = actual.to_dict() == expected.to_dict()
+            else:
+                matches = actual.as_set() == expected.as_set()
+            if not matches:
+                missing = expected.as_set() - actual.as_set()
+                extra = actual.as_set() - expected.as_set()
+                raise MaintenanceError(
+                    f"view {name} diverged from recomputation: "
+                    f"missing={sorted(missing)[:5]} extra={sorted(extra)[:5]}"
+                )

@@ -1,0 +1,161 @@
+"""Why-provenance: enumerate the derivations behind a view tuple.
+
+The counting algorithm stores *how many* derivations a tuple has; this
+module reconstructs *which* ones — the immediate rule applications that
+produce it — and, recursively, full derivation trees down to base
+facts.  Useful for debugging unexpected view contents and for checking
+count values by hand (the number of immediate derivations of a tuple
+equals its stored count under the §5.1 per-stratum scheme).
+
+Derivations are recomputed on demand from the current materializations
+(nothing beyond the counts is stored, exactly as the paper prescribes:
+"we store only the number of derivations, not the derivations
+themselves").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.datalog.ast import Aggregate, Comparison, Literal, Rule
+from repro.errors import UnknownRelationError
+from repro.eval.rule_eval import EvalContext, Resolver, solutions
+from repro.storage.relation import Row
+
+#: A ground atom: (predicate, row).
+Atom = Tuple[str, Row]
+
+
+@dataclass(frozen=True)
+class Derivation:
+    """One rule application deriving ``head`` from ``body`` atoms.
+
+    ``body`` lists the ground atoms of the positive relational subgoals
+    (negated subgoals and comparisons hold but contribute no atoms;
+    aggregate subgoals contribute their group tuple over the grouped
+    view's synthetic predicate).
+    """
+
+    rule: Rule
+    head: Atom
+    body: Tuple[Atom, ...]
+
+    def __str__(self) -> str:
+        body_text = " & ".join(f"{p}{r}" for p, r in self.body) or "⊤"
+        return f"{self.head[0]}{self.head[1]} ⇐ {body_text}   [{self.rule}]"
+
+
+@dataclass
+class DerivationTree:
+    """A full derivation tree: one immediate derivation + child trees."""
+
+    atom: Atom
+    derivation: Optional[Derivation]  # None for base facts
+    children: List["DerivationTree"] = field(default_factory=list)
+
+    def render(self, indent: int = 0) -> str:
+        prefix = "  " * indent
+        label = f"{self.atom[0]}{self.atom[1]}"
+        if self.derivation is None:
+            lines = [f"{prefix}{label}   (base fact)"]
+        else:
+            lines = [f"{prefix}{label}   [{self.derivation.rule}]"]
+        for child in self.children:
+            lines.append(child.render(indent + 1))
+        return "\n".join(lines)
+
+
+def immediate_derivations(
+    maintainer, view: str, row: Row
+) -> List[Derivation]:
+    """All single-step derivations of ``view(row)`` in the current state."""
+    row = tuple(row)
+    program = maintainer.normalized.program
+    if view not in program.idb_predicates:
+        raise UnknownRelationError(f"{view} is not a derived view")
+    resolver = Resolver(maintainer.database, maintainer.views)
+    ctx = EvalContext(resolver, unit_counts=lambda _n: True)
+
+    found: List[Derivation] = []
+    for rule in program.rules_for(view):
+        # Seed the evaluation with bindings from the head where possible
+        # (plain-variable head arguments), then filter on the full row.
+        seed_binding: Dict[str, object] = {}
+        consistent = True
+        from repro.datalog.terms import Variable
+
+        for arg, value in zip(rule.head.args, row):
+            if isinstance(arg, Variable):
+                bound = seed_binding.get(arg.name, value)
+                if bound != value:
+                    consistent = False
+                    break
+                seed_binding[arg.name] = value
+        if not consistent:
+            continue
+        seen = set()
+        for binding, count in solutions(
+            rule, ctx, initial_binding=seed_binding
+        ):
+            if count <= 0:
+                continue
+            head_row = tuple(arg.evaluate(binding) for arg in rule.head.args)
+            if head_row != row:
+                continue
+            atoms: List[Atom] = []
+            for subgoal in rule.body:
+                if isinstance(subgoal, Literal) and not subgoal.negated:
+                    atoms.append((
+                        subgoal.predicate,
+                        tuple(arg.evaluate(binding) for arg in subgoal.args),
+                    ))
+                elif isinstance(subgoal, Aggregate):
+                    group = tuple(
+                        binding[v.name] for v in subgoal.group_by
+                    ) + (binding[subgoal.result.name],)
+                    atoms.append((subgoal.relation.predicate + "/groups", group))
+            key = tuple(atoms)
+            if key in seen:
+                continue  # distinct bindings with identical ground body
+            seen.add(key)
+            found.append(Derivation(rule, (view, row), tuple(atoms)))
+    return found
+
+
+def derivation_tree(
+    maintainer,
+    view: str,
+    row: Row,
+    max_depth: int = 10,
+) -> Optional[DerivationTree]:
+    """One full derivation tree of ``view(row)`` down to base facts.
+
+    Picks the first immediate derivation at every level (any witness
+    suffices to explain membership).  Returns None when the tuple has no
+    derivation (i.e. it is not in the view).  ``max_depth`` guards
+    recursive views whose proofs can be deep.
+    """
+    row = tuple(row)
+    program = maintainer.normalized.program
+    if view not in program.idb_predicates:
+        relation = maintainer.database.get(view)
+        if relation is not None and relation.contains_positive(row):
+            return DerivationTree((view, row), None)
+        return None
+    options = immediate_derivations(maintainer, view, row)
+    if not options:
+        return None
+    chosen = options[0]
+    tree = DerivationTree((view, row), chosen)
+    if max_depth <= 0:
+        return tree
+    for predicate, atom_row in chosen.body:
+        if predicate.endswith("/groups"):
+            continue  # aggregate group pseudo-atoms are not expanded
+        child = derivation_tree(
+            maintainer, predicate, atom_row, max_depth - 1
+        )
+        if child is not None:
+            tree.children.append(child)
+    return tree

@@ -1,0 +1,340 @@
+"""Counting on recursive views — the [GKM92] extension (Section 8).
+
+The paper notes that "counting can be used to maintain recursive views
+also.  However computing counts for recursive views is expensive and
+furthermore counting may not terminate on some views."  This module
+implements that extension for the views where it *does* terminate: views
+whose derivation counts are finite (e.g. transitive closure of a DAG).
+
+Both materialization and maintenance run a **counted differential
+fixpoint**: each round derives the count corrections implied by the
+previous round's corrections — for every rule, one variant per non-empty
+subset ``S`` of recursive body positions, reading the round delta inside
+``S`` and the pre-round state outside (the same bilinearity expansion as
+:mod:`repro.core.delta_rules`, applied round by round).  On cyclic data
+the corrections never die out; a round bound detects this and raises
+:class:`~repro.errors.DivergenceError` (experiment E11 demonstrates both
+regimes).
+
+Limitations (documented, enforced): single-stratum positive recursive
+programs (no negation or aggregation inside the recursive stratum —
+exactly the class for which duplicate counts are defined, [Mum91]).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.core import names
+from repro.datalog.ast import Literal, Program, Rule
+from repro.datalog.stratify import Stratification, stratify
+from repro.errors import DivergenceError, MaintenanceError
+from repro.eval.rule_eval import EvalContext, Resolver, evaluate_rule_into
+from repro.storage.changeset import Changeset
+from repro.storage.database import Database
+from repro.storage.relation import CountedRelation
+
+#: Default bound on correction rounds before declaring divergence.
+DEFAULT_MAX_ROUNDS = 10_000
+
+
+def has_finite_counts(program: Program, database: Database) -> bool:
+    """Data-dependent finiteness test (§8: "techniques to detect
+    finiteness [MS93a] … are being explored").
+
+    Derivation counts are finite iff no derived atom transitively
+    supports itself.  The test materializes the program (set semantics),
+    then builds the *ground derivation graph* — an edge from every
+    derived body atom to the head atom of each rule solution — and
+    reports whether it is acyclic.  Cost is proportional to the number
+    of derivations, so run it on representative data before committing
+    to recursive counting; cyclic data should use DRed instead.
+    """
+    from repro.eval.rule_eval import solutions
+    from repro.eval.stratified import materialize
+
+    views = materialize(program, database, "set")
+    resolver = Resolver(database, views)
+    ctx = EvalContext(resolver, unit_counts=lambda _n: True)
+    derived = set(program.idb_predicates)
+
+    successors: Dict[tuple, Set[tuple]] = {}
+    for rule in program:
+        head_args = rule.head.args
+        for binding, count in solutions(rule, ctx):
+            if count <= 0:
+                continue
+            head_atom = (
+                rule.head.predicate,
+                tuple(arg.evaluate(binding) for arg in head_args),
+            )
+            for subgoal in rule.body:
+                if (
+                    isinstance(subgoal, Literal)
+                    and not subgoal.negated
+                    and subgoal.predicate in derived
+                ):
+                    body_atom = (
+                        subgoal.predicate,
+                        tuple(arg.evaluate(binding) for arg in subgoal.args),
+                    )
+                    successors.setdefault(body_atom, set()).add(head_atom)
+
+    # Iterative three-colour DFS cycle detection.
+    WHITE, GREY, BLACK = 0, 1, 2
+    colour: Dict[tuple, int] = {}
+    for root in list(successors):
+        if colour.get(root, WHITE) != WHITE:
+            continue
+        stack = [(root, iter(successors.get(root, ())))]
+        colour[root] = GREY
+        while stack:
+            node, iterator = stack[-1]
+            advanced = False
+            for succ in iterator:
+                state = colour.get(succ, WHITE)
+                if state == GREY:
+                    return False  # back edge: an atom supports itself
+                if state == WHITE:
+                    colour[succ] = GREY
+                    stack.append((succ, iter(successors.get(succ, ()))))
+                    advanced = True
+                    break
+            if not advanced:
+                colour[node] = BLACK
+                stack.pop()
+    return True
+
+
+def _check_supported(program: Program, strat: Stratification) -> None:
+    for rule in program:
+        for subgoal in rule.body:
+            if isinstance(subgoal, Literal) and subgoal.negated:
+                raise MaintenanceError(
+                    "recursive counting supports positive programs only"
+                )
+            if not isinstance(subgoal, Literal):
+                from repro.datalog.ast import Comparison
+
+                if not isinstance(subgoal, Comparison):
+                    raise MaintenanceError(
+                        "recursive counting does not support aggregation"
+                    )
+
+
+def _recursive_variants(
+    rule: Rule, recursive: Set[str]
+) -> List[Tuple[Rule, int]]:
+    """One variant per non-empty subset of recursive body positions."""
+    positions = [
+        index
+        for index, subgoal in enumerate(rule.body)
+        if isinstance(subgoal, Literal)
+        and not subgoal.negated
+        and subgoal.predicate in recursive
+    ]
+    variants: List[Tuple[Rule, int]] = []
+    for size in range(1, len(positions) + 1):
+        for subset in combinations(positions, size):
+            body = list(rule.body)
+            for index in subset:
+                literal = body[index]
+                body[index] = literal.with_predicate(
+                    names.delta(literal.predicate)
+                )
+            variants.append((Rule(rule.head, tuple(body)), subset[0]))
+    return variants
+
+
+def _changed_variants(rule: Rule, changed: Set[str]) -> List[Tuple[Rule, int]]:
+    """Expansion variants over *any* changed predicates (maintenance seed)."""
+    positions = [
+        index
+        for index, subgoal in enumerate(rule.body)
+        if isinstance(subgoal, Literal)
+        and not subgoal.negated
+        and subgoal.predicate in changed
+    ]
+    variants: List[Tuple[Rule, int]] = []
+    for size in range(1, len(positions) + 1):
+        for subset in combinations(positions, size):
+            body = list(rule.body)
+            for index in subset:
+                literal = body[index]
+                body[index] = literal.with_predicate(
+                    names.delta(literal.predicate)
+                )
+            variants.append((Rule(rule.head, tuple(body)), subset[0]))
+    return variants
+
+
+class RecursiveCountingView:
+    """Materialize and maintain recursive views with derivation counts."""
+
+    def __init__(
+        self,
+        program: Program,
+        database: Database,
+        max_rounds: int = DEFAULT_MAX_ROUNDS,
+    ) -> None:
+        self.program = program
+        self.database = database
+        self.max_rounds = max_rounds
+        self.strat = stratify(program)
+        _check_supported(program, self.strat)
+        self.views: Dict[str, CountedRelation] = {}
+        self.rounds_last_run = 0
+
+    # --------------------------------------------------------------- set-up
+
+    def initialize(self) -> "RecursiveCountingView":
+        """Counted fixpoint materialization (duplicate semantics)."""
+        self.views = {
+            predicate: CountedRelation(predicate, self.program.arity_of(predicate))
+            for predicate in self.program.idb_predicates
+        }
+        resolver = Resolver(self.database, self.views)
+        recursive = set(self.program.idb_predicates)
+
+        # Round 0: full evaluation against empty idb → base derivations.
+        delta: Dict[str, CountedRelation] = {
+            predicate: CountedRelation(names.delta(predicate))
+            for predicate in recursive
+        }
+        ctx = EvalContext(resolver)
+        for rule in self.program:
+            evaluate_rule_into(rule, ctx, delta[rule.head.predicate])
+        self._run_rounds(delta, resolver, recursive)
+        return self
+
+    def _run_rounds(
+        self,
+        delta: Dict[str, CountedRelation],
+        resolver: Resolver,
+        recursive: Set[str],
+    ) -> None:
+        """Iterate correction rounds until the deltas die out (or guard)."""
+        rounds = 0
+        while any(d for d in delta.values()):
+            rounds += 1
+            if rounds > self.max_rounds:
+                raise DivergenceError(
+                    f"recursive counting did not converge within "
+                    f"{self.max_rounds} rounds — the view most likely has "
+                    f"infinitely many derivations (cyclic data); use DRed"
+                )
+            # Evaluate next-round corrections BEFORE folding this round in,
+            # so non-delta positions read the pre-round state (exactness of
+            # the subset expansion).
+            next_delta: Dict[str, CountedRelation] = {
+                predicate: CountedRelation(names.delta(predicate))
+                for predicate in recursive
+            }
+            variant_resolver = Resolver(
+                resolver,
+                {names.delta(p): d for p, d in delta.items()},
+            )
+            ctx = EvalContext(variant_resolver)
+            for rule in self.program:
+                for variant, seed in _recursive_variants(rule, recursive):
+                    evaluate_rule_into(
+                        variant, ctx, next_delta[rule.head.predicate], seed=seed
+                    )
+            for predicate, d in delta.items():
+                self.views[predicate].merge(d)
+            delta = next_delta
+        self.rounds_last_run = rounds
+
+    # ------------------------------------------------------------ maintenance
+
+    def apply(self, changes: Changeset) -> Dict[str, CountedRelation]:
+        """Maintain counts for a base changeset; returns per-view deltas.
+
+        Raises :class:`~repro.errors.DivergenceError` when corrections do
+        not die out (the stored state is then inconsistent — rebuild).
+        """
+        if not self.views:
+            raise MaintenanceError("call initialize() first")
+        base_deltas: Dict[str, CountedRelation] = {}
+        for name, delta in changes:
+            if name in self.program.idb_predicates:
+                raise MaintenanceError(
+                    f"cannot change derived relation {name} directly"
+                )
+            base_deltas[name] = delta.copy()
+
+        resolver = Resolver(self.database, self.views)
+        recursive = set(self.program.idb_predicates)
+        applied: Dict[str, CountedRelation] = {
+            predicate: CountedRelation(names.delta(predicate))
+            for predicate in recursive
+        }
+
+        # Round 1: corrections caused directly by the base change
+        # (recursive positions still read the old stored state).
+        delta: Dict[str, CountedRelation] = {
+            predicate: CountedRelation(names.delta(predicate))
+            for predicate in recursive
+        }
+        seed_resolver = Resolver(
+            resolver, {names.delta(p): d for p, d in base_deltas.items()}
+        )
+        ctx = EvalContext(seed_resolver)
+        changed = set(base_deltas)
+        for rule in self.program:
+            for variant, seed in _changed_variants(rule, changed):
+                evaluate_rule_into(
+                    variant, ctx, delta[rule.head.predicate], seed=seed
+                )
+
+        # Base relations switch to their new state for later rounds.
+        self.database.apply_changeset(changes)
+
+        # Track what gets applied, then run correction rounds.
+        tracking = {p: applied[p] for p in recursive}
+        rounds = 0
+        while any(d for d in delta.values()):
+            rounds += 1
+            if rounds > self.max_rounds:
+                raise DivergenceError(
+                    f"recursive counting maintenance did not converge within "
+                    f"{self.max_rounds} rounds; the stored view is now "
+                    f"inconsistent — re-initialize"
+                )
+            next_delta: Dict[str, CountedRelation] = {
+                predicate: CountedRelation(names.delta(predicate))
+                for predicate in recursive
+            }
+            variant_resolver = Resolver(
+                resolver, {names.delta(p): d for p, d in delta.items()}
+            )
+            round_ctx = EvalContext(variant_resolver)
+            for rule in self.program:
+                for variant, seed in _recursive_variants(rule, recursive):
+                    evaluate_rule_into(
+                        variant, round_ctx, next_delta[rule.head.predicate],
+                        seed=seed,
+                    )
+            for predicate, d in delta.items():
+                self.views[predicate].merge(d)
+                tracking[predicate].merge(d)
+            delta = next_delta
+        self.rounds_last_run = rounds
+        for relation in self.views.values():
+            relation.assert_nonnegative()
+        return {p: d for p, d in applied.items() if d}
+
+    def counts_are_finite(self) -> bool:
+        """Pre-flight check: will :meth:`initialize` converge on this data?
+
+        See :func:`has_finite_counts`; cheaper than hitting the round
+        guard on large cyclic inputs.
+        """
+        return has_finite_counts(self.program, self.database)
+
+    def relation(self, name: str) -> CountedRelation:
+        found = self.views.get(name)
+        if found is not None:
+            return found
+        return self.database.relation(name)

@@ -1,0 +1,61 @@
+"""Datalog substrate: terms, AST, parser, and static analysis.
+
+This subpackage is self-contained — it knows nothing about storage or
+evaluation — so the maintenance algorithms in :mod:`repro.core` can
+manipulate programs purely syntactically (delta-rule derivation, DRed
+rule generation).
+"""
+
+from repro.datalog.ast import (
+    AGGREGATE_FUNCTIONS,
+    Aggregate,
+    Comparison,
+    Literal,
+    Program,
+    Rule,
+    Subgoal,
+    atom,
+    fact,
+    rule,
+)
+from repro.datalog.dependency import DependencyGraph
+from repro.datalog.parser import parse_body, parse_program, parse_rule
+from repro.datalog.safety import check_program_safety, check_rule_safety
+from repro.datalog.stratify import Stratification, stratify
+from repro.datalog.terms import (
+    BinaryOp,
+    Constant,
+    Term,
+    UnaryMinus,
+    Value,
+    Variable,
+    make_term,
+)
+
+__all__ = [
+    "AGGREGATE_FUNCTIONS",
+    "Aggregate",
+    "BinaryOp",
+    "Comparison",
+    "Constant",
+    "DependencyGraph",
+    "Literal",
+    "Program",
+    "Rule",
+    "Stratification",
+    "Subgoal",
+    "Term",
+    "UnaryMinus",
+    "Value",
+    "Variable",
+    "atom",
+    "check_program_safety",
+    "check_rule_safety",
+    "fact",
+    "make_term",
+    "parse_body",
+    "parse_program",
+    "parse_rule",
+    "rule",
+    "stratify",
+]

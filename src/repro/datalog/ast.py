@@ -1,0 +1,367 @@
+"""Abstract syntax for Datalog programs with negation and aggregation.
+
+The syntax follows Section 3 of the paper: rules are Horn clauses over
+*subgoals*, where a subgoal is one of
+
+* a positive or negated relational literal — ``link(X, Z)``,
+  ``not hop(X, Y)``;
+* a comparison over terms — ``C1 + C2 < 10``, ``X != Y``;
+* a GROUPBY (aggregate) subgoal — ``GROUPBY(hop(S, D, C), [S, D],
+  M = MIN(C))`` (Section 6.2, Example 6.2).
+
+Heads may contain arithmetic expressions (``hop(S, D, C1 + C2)``).
+
+All AST nodes are immutable, hashable dataclasses; programs are thin
+wrappers over a tuple of rules with convenience accessors.  Analysis
+(safety, stratification) lives in :mod:`repro.datalog.safety` and
+:mod:`repro.datalog.stratify`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, Iterator, Mapping, Sequence, Tuple, Union
+
+from repro.datalog.terms import Constant, Term, Variable, make_term
+from repro.errors import SchemaError
+
+#: Comparison operators allowed in comparison subgoals.
+COMPARISON_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+#: Aggregate function names understood by the engine (Section 6.2).
+AGGREGATE_FUNCTIONS = (
+    "MIN",
+    "MAX",
+    "SUM",
+    "COUNT",
+    "AVG",
+    "VAR",
+    "STDDEV",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Literal:
+    """A relational literal ``p(t1, ..., tn)`` or its negation.
+
+    ``negated`` literals are only legal in rule bodies, and only over
+    predicates in strictly lower strata (stratified negation).
+    """
+
+    predicate: str
+    args: Tuple[Term, ...]
+    negated: bool = False
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    def variables(self) -> FrozenSet[str]:
+        out: FrozenSet[str] = frozenset()
+        for arg in self.args:
+            out |= arg.variables()
+        return out
+
+    def negate(self) -> "Literal":
+        return Literal(self.predicate, self.args, not self.negated)
+
+    def with_predicate(self, predicate: str) -> "Literal":
+        """Return the same literal over a different predicate name.
+
+        Used by the maintenance algorithms to retarget subgoals at delta
+        (``Δp``) and new-state (``pⁿ``) relations.
+        """
+        return Literal(predicate, self.args, self.negated)
+
+    def substitute(self, mapping: dict) -> "Literal":
+        return Literal(
+            self.predicate,
+            tuple(arg.substitute(mapping) for arg in self.args),
+            self.negated,
+        )
+
+    def __str__(self) -> str:
+        inner = f"{self.predicate}({', '.join(map(str, self.args))})"
+        return f"not {inner}" if self.negated else inner
+
+
+@dataclass(frozen=True, slots=True)
+class Comparison:
+    """A comparison subgoal ``left op right``.
+
+    ``=`` doubles as assignment: when the left side is a variable not yet
+    bound by earlier subgoals and the right side is fully bound, evaluation
+    binds the variable (and vice versa).  The safety checker verifies that
+    one side is always computable.
+    """
+
+    op: str
+    left: Term
+    right: Term
+
+    def __post_init__(self) -> None:
+        if self.op not in COMPARISON_OPS:
+            raise SchemaError(f"unknown comparison operator {self.op!r}")
+
+    def variables(self) -> FrozenSet[str]:
+        return self.left.variables() | self.right.variables()
+
+    def substitute(self, mapping: dict) -> "Comparison":
+        return Comparison(
+            self.op, self.left.substitute(mapping), self.right.substitute(mapping)
+        )
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True, slots=True)
+class Aggregate:
+    """A GROUPBY subgoal (Section 6.2).
+
+    ``GROUPBY(hop(S, D, C), [S, D], M = MIN(C))`` groups the relation of
+    the *positive* inner literal ``hop(S, D, C)`` on variables ``[S, D]``
+    and binds ``M`` to ``MIN(C)`` within each group.  The subgoal denotes a
+    relation over ``group_by + (result,)`` with one tuple per distinct
+    group (each with count 1 — aggregate subgoals are duplicate-free).
+    """
+
+    relation: Literal
+    group_by: Tuple[Variable, ...]
+    result: Variable
+    function: str
+    argument: Term
+
+    def __post_init__(self) -> None:
+        if self.relation.negated:
+            raise SchemaError("GROUPBY over a negated literal is not allowed")
+        if self.function not in AGGREGATE_FUNCTIONS:
+            raise SchemaError(f"unknown aggregate function {self.function!r}")
+        missing = [
+            v.name for v in self.group_by if v.name not in self.relation.variables()
+        ]
+        if missing:
+            raise SchemaError(
+                f"GROUPBY variables {missing} do not occur in {self.relation}"
+            )
+        if not self.argument.variables() <= self.relation.variables():
+            raise SchemaError(
+                f"aggregate argument {self.argument} uses variables outside "
+                f"{self.relation}"
+            )
+
+    @property
+    def predicate(self) -> str:
+        """The grouped predicate — the one whose changes drive Algorithm 6.1."""
+        return self.relation.predicate
+
+    def variables(self) -> FrozenSet[str]:
+        """Variables *exported* by the subgoal: the grouping vars + result."""
+        out = frozenset(v.name for v in self.group_by)
+        return out | frozenset((self.result.name,))
+
+    def substitute(self, mapping: dict) -> "Aggregate":
+        group_by = tuple(v.substitute(mapping) for v in self.group_by)
+        if not all(isinstance(v, Variable) for v in group_by):
+            raise SchemaError("GROUPBY variables must remain variables")
+        result = self.result.substitute(mapping)
+        if not isinstance(result, Variable):
+            raise SchemaError("aggregate result must remain a variable")
+        return Aggregate(
+            self.relation.substitute(mapping),
+            group_by,  # type: ignore[arg-type]
+            result,
+            self.function,
+            self.argument.substitute(mapping),
+        )
+
+    def __str__(self) -> str:
+        groups = ", ".join(v.name for v in self.group_by)
+        return (
+            f"GROUPBY({self.relation}, [{groups}], "
+            f"{self.result} = {self.function}({self.argument}))"
+        )
+
+
+#: Any body subgoal.
+Subgoal = Union[Literal, Comparison, Aggregate]
+
+
+@dataclass(frozen=True, slots=True)
+class Rule:
+    """A Datalog rule ``head :- body``.
+
+    A rule with an empty body is a *fact* (its head must be ground).
+    """
+
+    head: Literal
+    body: Tuple[Subgoal, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.head.negated:
+            raise SchemaError(f"rule head must be positive: {self.head}")
+
+    @property
+    def is_fact(self) -> bool:
+        return not self.body
+
+    def head_variables(self) -> FrozenSet[str]:
+        return self.head.variables()
+
+    def body_literals(self) -> Iterator[Literal]:
+        """All relational literals in the body (positive and negated)."""
+        for subgoal in self.body:
+            if isinstance(subgoal, Literal):
+                yield subgoal
+
+    def referenced_predicates(self) -> FrozenSet[str]:
+        """Every predicate the body depends on (incl. grouped relations)."""
+        preds = set()
+        for subgoal in self.body:
+            if isinstance(subgoal, Literal):
+                preds.add(subgoal.predicate)
+            elif isinstance(subgoal, Aggregate):
+                preds.add(subgoal.relation.predicate)
+        return frozenset(preds)
+
+    def __str__(self) -> str:
+        if not self.body:
+            return f"{self.head}."
+        return f"{self.head} :- {', '.join(map(str, self.body))}."
+
+
+class Program:
+    """An immutable collection of rules plus declared base predicates.
+
+    Base (edb) predicates are those declared via ``declared_base`` or,
+    failing that, every predicate referenced in bodies but defined by no
+    rule.  Derived (idb) predicates are those appearing in rule heads.
+    A predicate may not be both (checked here, per standard deductive-DB
+    practice: base relations are updated directly, derived ones only
+    through their rules).
+    """
+
+    __slots__ = ("rules", "_declared_base", "_idb", "_edb", "_by_head", "_arity")
+
+    def __init__(
+        self, rules: Iterable[Rule], declared_base: Iterable[str] = ()
+    ) -> None:
+        self.rules: Tuple[Rule, ...] = tuple(rules)
+        self._declared_base = frozenset(declared_base)
+        self._idb = frozenset(rule.head.predicate for rule in self.rules)
+        referenced = set(self._declared_base)
+        for rule in self.rules:
+            referenced |= rule.referenced_predicates()
+        self._edb = frozenset(referenced - self._idb)
+        overlap = self._declared_base & self._idb
+        if overlap:
+            raise SchemaError(
+                f"predicates {sorted(overlap)} are declared base but defined by rules"
+            )
+        self._by_head: dict[str, Tuple[Rule, ...]] = {}
+        for rule in self.rules:
+            self._by_head.setdefault(rule.head.predicate, ())
+            self._by_head[rule.head.predicate] += (rule,)
+        self._arity = _check_arities(self.rules)
+
+    @property
+    def idb_predicates(self) -> FrozenSet[str]:
+        """Predicates defined by at least one rule."""
+        return self._idb
+
+    @property
+    def edb_predicates(self) -> FrozenSet[str]:
+        """Predicates only referenced (or explicitly declared base)."""
+        return self._edb
+
+    @property
+    def predicates(self) -> FrozenSet[str]:
+        return self._idb | self._edb
+
+    def arity_of(self, predicate: str) -> int | None:
+        """Arity of ``predicate`` as used in this program (None if unseen)."""
+        return self._arity.get(predicate)
+
+    def rules_for(self, predicate: str) -> Tuple[Rule, ...]:
+        """All rules whose head is ``predicate`` (in program order)."""
+        return self._by_head.get(predicate, ())
+
+    def with_rules(
+        self, added: Iterable[Rule] = (), removed: Iterable[Rule] = ()
+    ) -> "Program":
+        """A new program with ``added`` appended and ``removed`` dropped.
+
+        Used by view-redefinition maintenance (Section 7): DRed can
+        maintain the materialization across rule insertions/deletions.
+        """
+        removed_set = set(removed)
+        missing = removed_set - set(self.rules)
+        if missing:
+            raise SchemaError(
+                f"cannot remove rules not present in the program: "
+                f"{[str(r) for r in missing]}"
+            )
+        rules = [rule for rule in self.rules if rule not in removed_set]
+        rules.extend(added)
+        return Program(rules, self._declared_base)
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self.rules)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Program):
+            return NotImplemented
+        return (
+            self.rules == other.rules and self._declared_base == other._declared_base
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.rules, self._declared_base))
+
+    def __str__(self) -> str:
+        return "\n".join(str(rule) for rule in self.rules)
+
+
+def _check_arities(rules: Sequence[Rule]) -> dict[str, int]:
+    """Verify every predicate is used with a single arity program-wide."""
+    arity: dict[str, int] = {}
+
+    def check(predicate: str, n: int, context: str) -> None:
+        seen = arity.setdefault(predicate, n)
+        if seen != n:
+            raise SchemaError(
+                f"predicate {predicate} used with arity {n} in {context} "
+                f"but with arity {seen} elsewhere"
+            )
+
+    for rule in rules:
+        check(rule.head.predicate, rule.head.arity, str(rule))
+        for subgoal in rule.body:
+            if isinstance(subgoal, Literal):
+                check(subgoal.predicate, subgoal.arity, str(rule))
+            elif isinstance(subgoal, Aggregate):
+                check(subgoal.relation.predicate, subgoal.relation.arity, str(rule))
+    return arity
+
+
+def atom(predicate: str, *args: object, negated: bool = False) -> Literal:
+    """Convenience constructor: ``atom("link", "X", "Z")`` → ``link(X, Z)``.
+
+    Arguments are coerced via :func:`repro.datalog.terms.make_term`
+    (capitalised strings become variables, everything else constants).
+    """
+    return Literal(predicate, tuple(make_term(a) for a in args), negated)
+
+
+def fact(predicate: str, *values: object) -> Rule:
+    """Convenience constructor for a ground fact rule."""
+    head = Literal(predicate, tuple(Constant(v) for v in values))
+    return Rule(head, ())
+
+
+def rule(head: Literal, *body: Subgoal) -> Rule:
+    """Convenience constructor pairing :func:`atom` for rule construction."""
+    return Rule(head, tuple(body))

@@ -1,0 +1,131 @@
+"""Predicate dependency graph and strongly connected components.
+
+Definition 3.1 of the paper builds stratum numbers from the *reduced
+dependency graph* (RDG): collapse every strongly connected component (SCC)
+of the predicate dependency graph to a single node, then topologically
+sort.  This module builds the dependency graph and computes SCCs with an
+iterative Tarjan algorithm (iterative so deep view stacks cannot overflow
+the Python recursion limit); :mod:`repro.datalog.stratify` layers the RDG.
+
+Edges are labelled *positive* or *negative*; negated literals and
+GROUPBY subgoals both induce negative (non-monotonic) edges, since both
+negation and aggregation must be stratified (Sections 6, 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.datalog.ast import Aggregate, Literal, Program
+
+
+@dataclass(frozen=True, slots=True)
+class Edge:
+    """A dependency edge: ``head`` depends on ``body`` (body → head)."""
+
+    body: str
+    head: str
+    negative: bool
+
+
+class DependencyGraph:
+    """Dependency structure of a program's predicates.
+
+    ``successors[p]`` holds predicates that depend on ``p``;
+    ``predecessors[p]`` holds predicates ``p`` depends on.
+    """
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.nodes: Set[str] = set(program.predicates)
+        self.edges: List[Edge] = []
+        self.successors: Dict[str, Set[str]] = {p: set() for p in self.nodes}
+        self.predecessors: Dict[str, Set[str]] = {p: set() for p in self.nodes}
+        self._negative_pairs: Set[Tuple[str, str]] = set()
+        for rule in program:
+            head = rule.head.predicate
+            for subgoal in rule.body:
+                if isinstance(subgoal, Literal):
+                    self._add_edge(subgoal.predicate, head, subgoal.negated)
+                elif isinstance(subgoal, Aggregate):
+                    self._add_edge(subgoal.relation.predicate, head, True)
+
+    def _add_edge(self, body: str, head: str, negative: bool) -> None:
+        self.edges.append(Edge(body, head, negative))
+        self.successors[body].add(head)
+        self.predecessors[head].add(body)
+        if negative:
+            self._negative_pairs.add((body, head))
+
+    def depends_negatively(self, head: str, body: str) -> bool:
+        """True if some rule for ``head`` uses ``body`` non-monotonically."""
+        return (body, head) in self._negative_pairs
+
+    def strongly_connected_components(self) -> List[FrozenSet[str]]:
+        """SCCs of the dependency graph, dependencies first.
+
+        Tarjan's algorithm emits an SCC only after every SCC reachable
+        *from* it; with edges pointing body → head that means dependents
+        come out first, so we reverse the emission order to obtain a
+        bottom-up (dependencies-first) processing order.
+        """
+        index_counter = 0
+        index: Dict[str, int] = {}
+        lowlink: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        stack: List[str] = []
+        components: List[FrozenSet[str]] = []
+
+        for root in sorted(self.nodes):
+            if root in index:
+                continue
+            # Iterative Tarjan: work items are (node, iterator position).
+            work: List[Tuple[str, int]] = [(root, 0)]
+            while work:
+                node, succ_pos = work[-1]
+                if succ_pos == 0:
+                    index[node] = index_counter
+                    lowlink[node] = index_counter
+                    index_counter += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                successors = sorted(self.successors[node])
+                advanced = False
+                while succ_pos < len(successors):
+                    succ = successors[succ_pos]
+                    succ_pos += 1
+                    if succ not in index:
+                        work[-1] = (node, succ_pos)
+                        work.append((succ, 0))
+                        advanced = True
+                        break
+                    if succ in on_stack:
+                        lowlink[node] = min(lowlink[node], index[succ])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[node])
+                if lowlink[node] == index[node]:
+                    component: Set[str] = set()
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.add(member)
+                        if member == node:
+                            break
+                    components.append(frozenset(component))
+        components.reverse()
+        return components
+
+    def is_recursive_predicate(self, predicate: str, scc: FrozenSet[str]) -> bool:
+        """True when ``predicate`` participates in a cycle.
+
+        Either its SCC has more than one member, or it directly depends
+        on itself (a self-loop, e.g. ``tc(X,Y) :- tc(X,Z), link(Z,Y)``).
+        """
+        if len(scc) > 1:
+            return True
+        return predicate in self.successors[predicate]

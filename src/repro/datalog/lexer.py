@@ -1,0 +1,129 @@
+"""Tokenizer for the textual Datalog syntax.
+
+The surface syntax follows the paper's notation with ASCII conveniences:
+
+* ``:-`` separates head and body; both ``,`` and ``&`` join subgoals;
+  ``.`` terminates a rule.
+* ``not`` (or ``!``) negates a literal; ``GROUPBY`` introduces an
+  aggregate subgoal.
+* ``%`` and ``#`` start comments to end-of-line.
+* lowercase identifiers are predicate names / symbolic constants;
+  capitalised (or ``_``-prefixed) identifiers are variables; numbers and
+  quoted strings are constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import ParseError
+
+#: Multi-character punctuation, longest first so maximal munch works.
+_MULTI_CHAR = (":-", "!=", "<=", ">=", "//")
+_SINGLE_CHAR = "()[],.&=<>+-*/%!"
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """A lexed token with its source position (1-based line/column)."""
+
+    kind: str  # IDENT | VARIABLE | NUMBER | STRING | PUNCT | EOF
+    text: str
+    value: object
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.text!r})"
+
+
+def tokenize(source: str) -> List[Token]:
+    """Tokenize ``source`` into a list ending with an EOF token."""
+    return list(_tokens(source))
+
+
+def _tokens(source: str) -> Iterator[Token]:
+    i = 0
+    line = 1
+    line_start = 0
+    n = len(source)
+
+    def column() -> int:
+        return i - line_start + 1
+
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            i += 1
+            line += 1
+            line_start = i
+            continue
+        if ch.isspace():
+            i += 1
+            continue
+        if ch in "%#":
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        start_col = column()
+        if ch.isdigit() or (
+            ch == "." and i + 1 < n and source[i + 1].isdigit()
+        ):
+            j = i
+            seen_dot = False
+            while j < n and (source[j].isdigit() or (source[j] == "." and not seen_dot)):
+                if source[j] == ".":
+                    # A dot ends the rule unless followed by a digit.
+                    if j + 1 >= n or not source[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            text = source[i:j]
+            value: object = float(text) if "." in text else int(text)
+            yield Token("NUMBER", text, value, line, start_col)
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            kind = "VARIABLE" if text[0].isupper() or text[0] == "_" else "IDENT"
+            yield Token(kind, text, text, line, start_col)
+            i = j
+            continue
+        if ch in "'\"":
+            quote = ch
+            j = i + 1
+            chars: list[str] = []
+            while j < n and source[j] != quote:
+                if source[j] == "\\" and j + 1 < n:
+                    chars.append(source[j + 1])
+                    j += 2
+                    continue
+                if source[j] == "\n":
+                    raise ParseError("unterminated string literal", line, start_col)
+                chars.append(source[j])
+                j += 1
+            if j >= n:
+                raise ParseError("unterminated string literal", line, start_col)
+            text = source[i : j + 1]
+            yield Token("STRING", text, "".join(chars), line, start_col)
+            i = j + 1
+            continue
+        matched = None
+        for multi in _MULTI_CHAR:
+            if source.startswith(multi, i):
+                matched = multi
+                break
+        if matched:
+            yield Token("PUNCT", matched, matched, line, start_col)
+            i += len(matched)
+            continue
+        if ch in _SINGLE_CHAR:
+            yield Token("PUNCT", ch, ch, line, start_col)
+            i += 1
+            continue
+        raise ParseError(f"unexpected character {ch!r}", line, start_col)
+    yield Token("EOF", "", None, line, column())

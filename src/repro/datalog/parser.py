@@ -1,0 +1,296 @@
+"""Recursive-descent parser for the textual Datalog syntax.
+
+Grammar (terminals in caps; ``{x}`` = zero or more)::
+
+    program     := { statement }
+    statement   := base_decl | rule
+    base_decl   := "base" IDENT "/" NUMBER "."
+    rule        := literal [ ":-" subgoal { ("," | "&") subgoal } ] "."
+    subgoal     := "not"/"!" literal | groupby | literal | comparison
+    groupby     := "GROUPBY" "(" literal "," "[" [ VAR {"," VAR} ] "]" ","
+                   VAR "=" FUNC "(" expr ")" ")"
+    literal     := IDENT "(" [ expr { "," expr } ] ")"
+    comparison  := expr OP expr          (OP in =, !=, <, <=, >, >=)
+    expr        := term { ("+"|"-") term }
+    term        := factor { ("*"|"/"|"//"|"%") factor }
+    factor      := NUMBER | STRING | IDENT | VARIABLE
+                 | "(" expr ")" | "-" factor
+
+Facts are rules with an empty body; ``base p/2.`` declares an edb
+predicate explicitly (useful when a base relation is referenced by no
+rule yet, e.g. before rules are added incrementally).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.datalog.ast import (
+    AGGREGATE_FUNCTIONS,
+    Aggregate,
+    Comparison,
+    Literal,
+    Program,
+    Rule,
+    Subgoal,
+)
+from repro.datalog.lexer import Token, tokenize
+from repro.datalog.terms import BinaryOp, Constant, Term, UnaryMinus, Variable
+from repro.errors import ParseError
+
+_COMPARISON_OPS = ("=", "!=", "<", "<=", ">", ">=")
+
+
+class _Parser:
+    def __init__(self, source: str) -> None:
+        self.tokens = tokenize(source)
+        self.pos = 0
+        self._anonymous_counter = 0
+
+    # ------------------------------------------------------------- helpers
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def peek(self, offset: int = 1) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "EOF":
+            self.pos += 1
+        return token
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        token = self.current
+        if token.kind != kind or (text is not None and token.text != text):
+            wanted = text if text is not None else kind
+            raise ParseError(
+                f"expected {wanted!r}, found {token.text!r}", token.line, token.column
+            )
+        return self.advance()
+
+    def at_punct(self, text: str) -> bool:
+        return self.current.kind == "PUNCT" and self.current.text == text
+
+    def accept_punct(self, text: str) -> bool:
+        if self.at_punct(text):
+            self.advance()
+            return True
+        return False
+
+    # ------------------------------------------------------------- program
+
+    def parse_program(self) -> Tuple[List[Rule], List[str]]:
+        rules: List[Rule] = []
+        base: List[str] = []
+        while self.current.kind != "EOF":
+            if self.current.kind == "IDENT" and self.current.text == "base":
+                base.extend(self.parse_base_decl())
+            else:
+                rules.append(self.parse_rule())
+        return rules, base
+
+    def parse_base_decl(self) -> List[str]:
+        self.expect("IDENT", "base")
+        names: List[str] = []
+        while True:
+            name = self.expect("IDENT").text
+            self.expect("PUNCT", "/")
+            self.expect("NUMBER")  # arity is informational; checked at use sites
+            names.append(name)
+            if not self.accept_punct(","):
+                break
+        self.expect("PUNCT", ".")
+        return names
+
+    def parse_rule(self) -> Rule:
+        head = self.parse_literal()
+        body: List[Subgoal] = []
+        if self.accept_punct(":-"):
+            body.append(self.parse_subgoal())
+            while self.accept_punct(",") or self.accept_punct("&"):
+                body.append(self.parse_subgoal())
+        self.expect("PUNCT", ".")
+        return Rule(head, tuple(body))
+
+    # ------------------------------------------------------------ subgoals
+
+    def parse_subgoal(self) -> Subgoal:
+        token = self.current
+        if token.kind == "IDENT" and token.text == "not":
+            self.advance()
+            literal = self.parse_literal()
+            return literal.negate()
+        if self.at_punct("!") and self.peek().kind == "IDENT":
+            self.advance()
+            literal = self.parse_literal()
+            return literal.negate()
+        if (
+            token.kind in ("IDENT", "VARIABLE")
+            and token.text.upper() == "GROUPBY"
+            and self.peek().kind == "PUNCT"
+            and self.peek().text == "("
+        ):
+            return self.parse_groupby()
+        if (
+            token.kind == "IDENT"
+            and self.peek().kind == "PUNCT"
+            and self.peek().text == "("
+        ):
+            return self.parse_literal()
+        return self.parse_comparison()
+
+    def parse_groupby(self) -> Aggregate:
+        self.advance()  # GROUPBY
+        self.expect("PUNCT", "(")
+        relation = self.parse_literal()
+        self.expect("PUNCT", ",")
+        self.expect("PUNCT", "[")
+        group_by: List[Variable] = []
+        if not self.at_punct("]"):
+            while True:
+                var_token = self.expect("VARIABLE")
+                group_by.append(Variable(var_token.text))
+                if not self.accept_punct(","):
+                    break
+        self.expect("PUNCT", "]")
+        self.expect("PUNCT", ",")
+        result = Variable(self.expect("VARIABLE").text)
+        self.expect("PUNCT", "=")
+        func_token = self.advance()
+        function = func_token.text.upper()
+        if function not in AGGREGATE_FUNCTIONS:
+            raise ParseError(
+                f"unknown aggregate function {func_token.text!r}",
+                func_token.line,
+                func_token.column,
+            )
+        self.expect("PUNCT", "(")
+        argument = self.parse_expr()
+        self.expect("PUNCT", ")")
+        self.expect("PUNCT", ")")
+        return Aggregate(relation, tuple(group_by), result, function, argument)
+
+    def parse_literal(self) -> Literal:
+        name_token = self.expect("IDENT")
+        self.expect("PUNCT", "(")
+        args: List[Term] = []
+        if not self.at_punct(")"):
+            while True:
+                args.append(self.parse_expr())
+                if not self.accept_punct(","):
+                    break
+        self.expect("PUNCT", ")")
+        return Literal(name_token.text, tuple(args))
+
+    def parse_comparison(self) -> Comparison:
+        left = self.parse_expr()
+        token = self.current
+        if token.kind != "PUNCT" or token.text not in _COMPARISON_OPS:
+            raise ParseError(
+                f"expected comparison operator, found {token.text!r}",
+                token.line,
+                token.column,
+            )
+        self.advance()
+        right = self.parse_expr()
+        return Comparison(token.text, left, right)
+
+    # ----------------------------------------------------------------- expr
+
+    def parse_expr(self) -> Term:
+        left = self.parse_term()
+        while self.current.kind == "PUNCT" and self.current.text in ("+", "-"):
+            op = self.advance().text
+            right = self.parse_term()
+            left = BinaryOp(op, left, right)
+        return left
+
+    def parse_term(self) -> Term:
+        left = self.parse_factor()
+        while self.current.kind == "PUNCT" and self.current.text in (
+            "*",
+            "/",
+            "//",
+            "%",
+        ):
+            op = self.advance().text
+            right = self.parse_factor()
+            left = BinaryOp(op, left, right)
+        return left
+
+    def parse_factor(self) -> Term:
+        token = self.current
+        if token.kind == "NUMBER":
+            self.advance()
+            return Constant(token.value)
+        if token.kind == "STRING":
+            self.advance()
+            return Constant(token.value)
+        if token.kind == "VARIABLE":
+            self.advance()
+            if token.text == "_":
+                # Anonymous variable: every occurrence is distinct, so
+                # p(_, _) places no equality constraint on the columns.
+                self._anonymous_counter += 1
+                return Variable(f"_anon{self._anonymous_counter}")
+            return Variable(token.text)
+        if token.kind == "IDENT":
+            self.advance()
+            # Lowercase identifiers in term position are symbolic constants.
+            return Constant(token.text)
+        if self.accept_punct("("):
+            expr = self.parse_expr()
+            self.expect("PUNCT", ")")
+            return expr
+        if self.accept_punct("-"):
+            return UnaryMinus(self.parse_factor())
+        raise ParseError(
+            f"expected a term, found {token.text!r}", token.line, token.column
+        )
+
+
+def parse_program(source: str, declared_base: tuple[str, ...] = ()) -> Program:
+    """Parse ``source`` into a :class:`~repro.datalog.ast.Program`.
+
+    ``declared_base`` adds base-predicate declarations beyond any
+    ``base p/n.`` statements in the source itself.
+    """
+    rules, base = _Parser(source).parse_program()
+    return Program(rules, tuple(base) + tuple(declared_base))
+
+
+def parse_rule(source: str) -> Rule:
+    """Parse a single rule (or fact), e.g. for incremental rule addition."""
+    parser = _Parser(source)
+    rule = parser.parse_rule()
+    if parser.current.kind != "EOF":
+        token = parser.current
+        raise ParseError(
+            f"trailing input after rule: {token.text!r}", token.line, token.column
+        )
+    return rule
+
+
+def parse_body(source: str) -> Tuple[Subgoal, ...]:
+    """Parse a conjunction of subgoals (an ad-hoc query body).
+
+    Accepts the same syntax as a rule body, with an optional trailing
+    period: ``"hop(a, X), link(X, Y), Y != a"``.
+    """
+    parser = _Parser(source)
+    subgoals: List[Subgoal] = [parser.parse_subgoal()]
+    while parser.accept_punct(",") or parser.accept_punct("&"):
+        subgoals.append(parser.parse_subgoal())
+    parser.accept_punct(".")
+    if parser.current.kind != "EOF":
+        token = parser.current
+        raise ParseError(
+            f"trailing input after query: {token.text!r}",
+            token.line,
+            token.column,
+        )
+    return tuple(subgoals)

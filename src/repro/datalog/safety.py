@@ -1,0 +1,124 @@
+"""Safety (range restriction) analysis.
+
+A rule is *safe* when every variable it uses is bound by a positive
+relational subgoal (Section 6.1: "Negation is safe as long as the
+variables that occur in a negated subgoal also occur in some positive
+subgoal of the same rule").  We extend the classical definition to the
+full subgoal language:
+
+* a positive literal binds every bare-variable argument;
+* an aggregate subgoal binds its grouping variables and its result
+  variable (the grouped relation's other variables stay local);
+* an equality comparison ``V = expr`` binds ``V`` once ``expr`` is bound
+  (and symmetrically);
+* negated literals, non-equality comparisons, and expression arguments
+  bind nothing — all their variables must be bound elsewhere.
+
+Binding propagation runs to fixpoint, so subgoal order in the source does
+not matter; the evaluator's planner finds a consistent execution order.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Set
+
+from repro.datalog.ast import Aggregate, Comparison, Literal, Program, Rule, Subgoal
+from repro.datalog.terms import Variable
+from repro.errors import SafetyError
+
+
+def directly_bound_variables(subgoal: Subgoal, bound: Set[str]) -> Set[str]:
+    """Variables the subgoal can newly bind, given already-``bound`` vars."""
+    if isinstance(subgoal, Literal):
+        if subgoal.negated:
+            return set()
+        return {
+            arg.name for arg in subgoal.args if isinstance(arg, Variable)
+        }
+    if isinstance(subgoal, Aggregate):
+        out = {v.name for v in subgoal.group_by}
+        out.add(subgoal.result.name)
+        return out
+    if isinstance(subgoal, Comparison) and subgoal.op == "=":
+        newly: Set[str] = set()
+        if isinstance(subgoal.left, Variable) and subgoal.right.variables() <= bound:
+            newly.add(subgoal.left.name)
+        if isinstance(subgoal.right, Variable) and subgoal.left.variables() <= bound:
+            newly.add(subgoal.right.name)
+        return newly
+    return set()
+
+
+def bound_variables(rule: Rule) -> FrozenSet[str]:
+    """The set of variables bound somewhere in the rule body (fixpoint)."""
+    bound: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for subgoal in rule.body:
+            newly = directly_bound_variables(subgoal, bound) - bound
+            if newly:
+                bound |= newly
+                changed = True
+    return frozenset(bound)
+
+
+def check_rule_safety(rule: Rule) -> None:
+    """Raise :class:`~repro.errors.SafetyError` if ``rule`` is unsafe."""
+    bound = bound_variables(rule)
+
+    unbound_head = rule.head.variables() - bound
+    if unbound_head and rule.body:
+        raise SafetyError(
+            f"head variables {sorted(unbound_head)} of rule [{rule}] are not "
+            f"bound by any positive body subgoal"
+        )
+    if not rule.body and rule.head.variables():
+        raise SafetyError(f"fact [{rule}] must be ground")
+
+    for subgoal in rule.body:
+        if isinstance(subgoal, Literal):
+            if subgoal.negated:
+                unbound = subgoal.variables() - bound
+                if unbound:
+                    raise SafetyError(
+                        f"negated subgoal {subgoal} in rule [{rule}] uses "
+                        f"unbound variables {sorted(unbound)}"
+                    )
+            else:
+                for arg in subgoal.args:
+                    if isinstance(arg, Variable):
+                        continue
+                    unbound = arg.variables() - bound
+                    if unbound:
+                        raise SafetyError(
+                            f"expression argument {arg} of {subgoal} in rule "
+                            f"[{rule}] uses unbound variables {sorted(unbound)}"
+                        )
+        elif isinstance(subgoal, Comparison):
+            unbound = subgoal.variables() - bound
+            if unbound:
+                raise SafetyError(
+                    f"comparison {subgoal} in rule [{rule}] uses unbound "
+                    f"variables {sorted(unbound)}"
+                )
+        elif isinstance(subgoal, Aggregate):
+            # Grouping vars must be bound *inside* the grouped literal; the
+            # Aggregate constructor checks that.  Other rule variables used
+            # by the inner literal (correlated aggregation) are not
+            # supported, matching the paper's GROUPBY form where the
+            # subgoal is self-contained.
+            inner_locals = subgoal.relation.variables()
+            exported = subgoal.variables()
+            leaked = (inner_locals - exported) & rule.head.variables()
+            if leaked:
+                raise SafetyError(
+                    f"variables {sorted(leaked)} are local to the GROUPBY "
+                    f"subgoal {subgoal} but used in the head of [{rule}]"
+                )
+
+
+def check_program_safety(program: Program) -> None:
+    """Check every rule of the program; raise on the first unsafe rule."""
+    for rule in program:
+        check_rule_safety(rule)

@@ -1,0 +1,133 @@
+"""Stratum assignment (Definition 3.1) and stratification checking.
+
+Stratum numbers (SN) are assigned per the paper: collapse SCCs, layer the
+reduced dependency graph bottom-up.  Base predicates get SN 0; a derived
+SCC gets one more than the highest SN among the SCCs it depends on.  The
+rule stratum number RSN(r) equals SN(head(r)).
+
+A program is *stratified* iff no non-monotonic edge (negation or
+aggregation) stays inside a single SCC — equivalently, whenever ``p``
+depends negatively on ``q``, ``SN(q) < SN(p)``.  Nonrecursive programs
+are always stratified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.datalog.ast import Program, Rule
+from repro.datalog.dependency import DependencyGraph
+from repro.errors import StratificationError
+
+
+@dataclass(frozen=True)
+class Stratification:
+    """The result of stratifying a program.
+
+    Attributes:
+        program: the analysed program.
+        stratum_of: SN for every predicate (base predicates: 0).
+        strata: predicate sets indexed by SN; ``strata[0]`` is the edb.
+        recursive_predicates: predicates participating in any cycle.
+    """
+
+    program: Program
+    stratum_of: Dict[str, int]
+    strata: Tuple[FrozenSet[str], ...]
+    recursive_predicates: FrozenSet[str]
+
+    @property
+    def max_stratum(self) -> int:
+        return len(self.strata) - 1
+
+    def rsn(self, rule: Rule) -> int:
+        """Rule stratum number: the SN of the head predicate."""
+        return self.stratum_of[rule.head.predicate]
+
+    def rules_by_stratum(self) -> Tuple[Tuple[Rule, ...], ...]:
+        """Rules grouped by RSN; index 0 is always empty (base stratum)."""
+        groups: List[List[Rule]] = [[] for _ in range(len(self.strata))]
+        for rule in self.program:
+            groups[self.rsn(rule)].append(rule)
+        return tuple(tuple(group) for group in groups)
+
+    def is_recursive_rule(self, rule: Rule) -> bool:
+        """True when the rule's head is in a cycle (needs fixpoint evaluation)."""
+        return rule.head.predicate in self.recursive_predicates
+
+    @property
+    def is_recursive(self) -> bool:
+        """True when any predicate of the program is recursive."""
+        return bool(self.recursive_predicates)
+
+    def explain(self) -> str:
+        """Human-readable stratum assignment (debugging aid)."""
+        lines = []
+        for stratum, predicates in enumerate(self.strata):
+            if not predicates:
+                continue
+            members = ", ".join(
+                p + (" (recursive)" if p in self.recursive_predicates else "")
+                for p in sorted(predicates)
+            )
+            label = "base" if stratum == 0 else f"stratum {stratum}"
+            lines.append(f"{label}: {members}")
+        return "\n".join(lines)
+
+
+def stratify(program: Program) -> Stratification:
+    """Assign stratum numbers and verify stratified negation/aggregation.
+
+    Raises :class:`~repro.errors.StratificationError` when a negated or
+    aggregated dependency occurs inside an SCC (e.g. ``p :- not p``).
+    """
+    graph = DependencyGraph(program)
+    components = graph.strongly_connected_components()
+    scc_of: Dict[str, FrozenSet[str]] = {}
+    for component in components:
+        for predicate in component:
+            scc_of[predicate] = component
+
+    for edge in graph.edges:
+        if edge.negative and scc_of[edge.body] is scc_of[edge.head]:
+            kind = "negation/aggregation"
+            raise StratificationError(
+                f"non-stratified {kind}: {edge.head} depends non-monotonically "
+                f"on {edge.body} within the same recursive component "
+                f"{sorted(scc_of[edge.head])}"
+            )
+
+    idb = program.idb_predicates
+    stratum_of: Dict[str, int] = {}
+    # `components` lists dependencies first: every SCC appears after the
+    # SCCs it depends on, so a single pass assigns consistent layers.
+    for component in components:
+        if not component & idb:
+            stratum = 0  # pure base-predicate component
+        else:
+            stratum = 1
+            for predicate in component:
+                for dep in graph.predecessors[predicate]:
+                    if dep in component:
+                        continue
+                    stratum = max(stratum, stratum_of[dep] + 1)
+        for predicate in component:
+            stratum_of[predicate] = stratum
+
+    height = max(stratum_of.values(), default=0)
+    strata: List[set] = [set() for _ in range(height + 1)]
+    for predicate, stratum in stratum_of.items():
+        strata[stratum].add(predicate)
+
+    recursive = frozenset(
+        predicate
+        for predicate in program.predicates
+        if graph.is_recursive_predicate(predicate, scc_of[predicate])
+    )
+    return Stratification(
+        program=program,
+        stratum_of=stratum_of,
+        strata=tuple(frozenset(s) for s in strata),
+        recursive_predicates=recursive,
+    )

@@ -1,0 +1,202 @@
+"""Term language: variables, constants, and arithmetic expressions.
+
+Terms appear as arguments of literals (``link(X, Z)``), inside comparison
+subgoals (``C1 + C2 < 10``), and as computed head arguments
+(``hop(S, D, C1 + C2)``).  All term classes are immutable and hashable so
+they can be used as dictionary keys and shared freely.
+
+A *binding* (used throughout :mod:`repro.eval`) is a plain ``dict`` mapping
+variable names to Python values.  :meth:`Term.evaluate` reduces a term to a
+Python value under a binding; :meth:`Term.variables` reports the variables
+a term mentions.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Any, Callable, FrozenSet, Iterator
+
+from repro.errors import EvaluationError
+
+#: Python values allowed inside relations: the constants of the term language.
+Value = Any
+
+
+class Term:
+    """Abstract base class for all terms."""
+
+    __slots__ = ()
+
+    def variables(self) -> FrozenSet[str]:
+        """Return the names of all variables occurring in this term."""
+        raise NotImplementedError
+
+    def evaluate(self, binding: dict) -> Value:
+        """Reduce this term to a Python value under ``binding``.
+
+        Raises :class:`~repro.errors.EvaluationError` if a variable is
+        unbound or an arithmetic operation fails.
+        """
+        raise NotImplementedError
+
+    def is_ground(self) -> bool:
+        """True when the term mentions no variables."""
+        return not self.variables()
+
+    def substitute(self, mapping: dict) -> "Term":
+        """Return a copy with variables renamed/replaced per ``mapping``.
+
+        ``mapping`` maps variable names to either new variable names
+        (``str``) or :class:`Term` instances.
+        """
+        raise NotImplementedError
+
+
+@dataclass(frozen=True, slots=True)
+class Variable(Term):
+    """A logical variable, e.g. ``X``.
+
+    By convention (enforced by the parser) variable names start with an
+    uppercase letter or underscore.
+    """
+
+    name: str
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset((self.name,))
+
+    def evaluate(self, binding: dict) -> Value:
+        try:
+            return binding[self.name]
+        except KeyError:
+            raise EvaluationError(
+                f"variable {self.name} is unbound at evaluation time"
+            ) from None
+
+    def substitute(self, mapping: dict) -> Term:
+        replacement = mapping.get(self.name)
+        if replacement is None:
+            return self
+        if isinstance(replacement, Term):
+            return replacement
+        return Variable(replacement)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, slots=True)
+class Constant(Term):
+    """A constant value: number, string, bool, or any hashable Python value."""
+
+    value: Value
+
+    def variables(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def evaluate(self, binding: dict) -> Value:
+        return self.value
+
+    def substitute(self, mapping: dict) -> Term:
+        return self
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return repr(self.value)
+        return str(self.value)
+
+
+#: Binary arithmetic operators supported in term expressions.
+ARITHMETIC_OPS: dict[str, Callable[[Value, Value], Value]] = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+    "//": operator.floordiv,
+    "%": operator.mod,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class BinaryOp(Term):
+    """An arithmetic expression such as ``C1 + C2`` or ``X * 2``."""
+
+    op: str
+    left: Term
+    right: Term
+
+    def __post_init__(self) -> None:
+        if self.op not in ARITHMETIC_OPS:
+            raise EvaluationError(f"unsupported arithmetic operator {self.op!r}")
+
+    def variables(self) -> FrozenSet[str]:
+        return self.left.variables() | self.right.variables()
+
+    def evaluate(self, binding: dict) -> Value:
+        left = self.left.evaluate(binding)
+        right = self.right.evaluate(binding)
+        try:
+            return ARITHMETIC_OPS[self.op](left, right)
+        except (TypeError, ZeroDivisionError) as exc:
+            raise EvaluationError(
+                f"cannot evaluate {left!r} {self.op} {right!r}: {exc}"
+            ) from exc
+
+    def substitute(self, mapping: dict) -> Term:
+        return BinaryOp(
+            self.op, self.left.substitute(mapping), self.right.substitute(mapping)
+        )
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True, slots=True)
+class UnaryMinus(Term):
+    """Arithmetic negation, e.g. ``-C``."""
+
+    operand: Term
+
+    def variables(self) -> FrozenSet[str]:
+        return self.operand.variables()
+
+    def evaluate(self, binding: dict) -> Value:
+        value = self.operand.evaluate(binding)
+        try:
+            return -value
+        except TypeError as exc:
+            raise EvaluationError(f"cannot negate {value!r}: {exc}") from exc
+
+    def substitute(self, mapping: dict) -> Term:
+        return UnaryMinus(self.operand.substitute(mapping))
+
+    def __str__(self) -> str:
+        return f"(-{self.operand})"
+
+
+def iter_subterms(term: Term) -> Iterator[Term]:
+    """Yield ``term`` and every nested sub-term (pre-order)."""
+    yield term
+    if isinstance(term, BinaryOp):
+        yield from iter_subterms(term.left)
+        yield from iter_subterms(term.right)
+    elif isinstance(term, UnaryMinus):
+        yield from iter_subterms(term.operand)
+
+
+def make_term(value: Any) -> Term:
+    """Coerce a Python value or term into a :class:`Term`.
+
+    Strings beginning with an uppercase letter or ``_`` become variables —
+    this mirrors the textual syntax and makes the programmatic API concise:
+    ``atom("link", "X", "Z")`` builds ``link(X, Z)`` while
+    ``atom("link", "a", "b")`` builds ``link('a', 'b')``.
+    Use ``Constant("Upper")`` explicitly for string constants that look
+    like variables.
+    """
+    if isinstance(value, Term):
+        return value
+    if isinstance(value, str) and value and (value[0].isupper() or value[0] == "_"):
+        return Variable(value)
+    return Constant(value)

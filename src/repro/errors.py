@@ -1,0 +1,82 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch a single base class.  Subclasses are grouped by the
+pipeline phase that raises them: parsing, program analysis, storage, and
+evaluation/maintenance.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ParseError(ReproError):
+    """A source text could not be parsed into a Datalog or SQL program.
+
+    Carries the position of the offending token so callers can point at
+    the source.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (at line {line}, column {column})"
+        super().__init__(message)
+
+
+class SafetyError(ReproError):
+    """A rule violates range restriction (safety).
+
+    Raised when a head variable, a negated-subgoal variable, or a
+    comparison operand is not bound by any positive body subgoal.
+    """
+
+
+class StratificationError(ReproError):
+    """A program is not stratified with respect to negation or aggregation.
+
+    The counting and DRed algorithms both require stratified programs
+    (Sections 3, 6, 7 of the paper).
+    """
+
+
+class SchemaError(ReproError):
+    """A relation is used inconsistently with its declared schema.
+
+    Examples: arity mismatch, redefining a base relation as derived,
+    inserting into a derived relation.
+    """
+
+
+class UnknownRelationError(SchemaError):
+    """A referenced relation is neither a base relation nor defined by rules."""
+
+
+class EvaluationError(ReproError):
+    """A runtime failure during rule evaluation.
+
+    Examples: arithmetic on unbound variables (should be prevented by the
+    safety checker, but guarded at runtime too), unsupported operand types.
+    """
+
+
+class MaintenanceError(ReproError):
+    """An incremental maintenance request cannot be honoured.
+
+    Examples: applying the counting algorithm to a recursive program,
+    deleting base tuples that are not present (violating the Lemma 4.1
+    precondition that deletions are a subset of the database).
+    """
+
+
+class DivergenceError(MaintenanceError):
+    """Recursive counting detected (potentially) infinite derivation counts.
+
+    Section 8 of the paper notes that counting may not terminate on
+    recursive views; the recursive-counting extension guards iteration
+    with a bound and raises this error when the bound trips.
+    """

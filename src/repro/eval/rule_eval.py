@@ -1,0 +1,527 @@
+"""Count-aware evaluation of a single rule.
+
+This is the substrate both maintenance algorithms stand on: given a rule
+and a *resolver* (anything mapping relation names to
+:class:`~repro.storage.relation.CountedRelation`), produce the head rows
+the rule derives, with counts.  Per Section 3, the count of a derived row
+is the *product* of the counts of the joined body rows, and rows derived
+by multiple bindings (or multiple rules) accumulate by ⊎.
+
+Key properties:
+
+* **Signed counts flow through.**  Delta relations with negative counts
+  participate in joins like any other relation, so a single evaluation of
+  a delta rule emits both insertions and deletions (Definition 3.2).
+* **Count policy is pluggable.**  ``unit_counts(predicate)`` → True makes
+  rows of that predicate count as 1 regardless of stored multiplicity —
+  this implements the Section 5.1 convention that tuples of lower strata
+  have count 1 under set semantics, while Δ-relations keep their stored
+  signed counts.
+* **Join order is planned.**  Subgoals are greedily reordered so that
+  every subgoal's requirements (safety) are met, filters run early, and
+  the caller can pin a *seed* subgoal (the Δ-subgoal of a delta rule,
+  "usually the most restrictive subgoal … used first in the join order",
+  Section 6.1) to the front.
+* **Index-backed lookups.**  Positive literals probe hash indexes on the
+  statically-known bound positions instead of scanning.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.datalog.ast import Aggregate, Comparison, Literal, Rule, Subgoal
+from repro.datalog.safety import directly_bound_variables
+from repro.datalog.terms import Constant, Term, Variable
+from repro.errors import EvaluationError
+from repro.eval.aggregates import get_aggregate_function
+from repro.storage.database import Database
+from repro.storage.relation import CountedRelation, Row
+
+#: Signature of the per-predicate count policy; True → each row counts 1.
+UnitCountPolicy = Callable[[str], bool]
+
+_COMPARE = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+_EMPTY = CountedRelation("∅")
+
+
+class Resolver:
+    """Maps relation names to relations; missing names resolve to empty.
+
+    ``overrides`` shadow the ``base`` store — the maintenance algorithms
+    use this to graft Δ- and new-state relations over the database
+    without copying it.
+    """
+
+    __slots__ = ("base", "overrides")
+
+    def __init__(
+        self,
+        base: "Database | Resolver | Dict[str, CountedRelation] | None" = None,
+        overrides: Optional[Dict[str, CountedRelation]] = None,
+    ) -> None:
+        self.base = base
+        self.overrides = overrides if overrides is not None else {}
+
+    def relation(self, name: str) -> CountedRelation:
+        found = self.overrides.get(name)
+        if found is not None:
+            return found
+        base = self.base
+        if base is None:
+            return _EMPTY
+        if isinstance(base, Resolver):
+            return base.relation(name)
+        if isinstance(base, Database):
+            return base.get(name) or _EMPTY
+        return base.get(name, _EMPTY)
+
+    def bind(self, name: str, relation: CountedRelation) -> None:
+        self.overrides[name] = relation
+
+    def layered(self) -> "Resolver":
+        """A child resolver whose new overrides do not leak into this one."""
+        return Resolver(self)
+
+
+@dataclass(frozen=True)
+class _PlannedLiteral:
+    """A positive literal with its statically-known bound positions."""
+
+    literal: Literal
+    # Positions whose value is computable before matching: constant args,
+    # ground expressions, or variables bound earlier in the plan.
+    key_positions: Tuple[int, ...]
+
+
+class EvalContext:
+    """Shared evaluation state: resolver, count policy, aggregate cache."""
+
+    __slots__ = ("resolver", "unit_counts", "_aggregate_cache")
+
+    def __init__(
+        self,
+        resolver: "Resolver | Database | Dict[str, CountedRelation]",
+        unit_counts: Optional[UnitCountPolicy] = None,
+    ) -> None:
+        if not isinstance(resolver, Resolver):
+            resolver = Resolver(resolver)
+        self.resolver = resolver
+        self.unit_counts = unit_counts
+        self._aggregate_cache: Dict[Aggregate, CountedRelation] = {}
+
+    def row_count(self, predicate: str, relation: CountedRelation, row: Row) -> int:
+        if self.unit_counts is not None and self.unit_counts(predicate):
+            return 1
+        return relation.count(row)
+
+    def aggregate_relation(self, aggregate: Aggregate) -> CountedRelation:
+        """The relation denoted by a GROUPBY subgoal (computed, cached).
+
+        One row per distinct group: ``group values + (aggregate value,)``,
+        each with count 1 (aggregate subgoals are duplicate-free,
+        Section 6.2).
+        """
+        cached = self._aggregate_cache.get(aggregate)
+        if cached is not None:
+            return cached
+        result = compute_aggregate_relation(aggregate, self)
+        self._aggregate_cache[aggregate] = result
+        return result
+
+
+def compute_aggregate_relation(
+    aggregate: Aggregate, ctx: EvalContext
+) -> CountedRelation:
+    """Group the inner relation and aggregate each group (no caching)."""
+    function = get_aggregate_function(aggregate.function)
+    inner = aggregate.relation
+    relation = ctx.resolver.relation(inner.predicate)
+    group_names = tuple(v.name for v in aggregate.group_by)
+    groups: Dict[Row, List[Tuple[object, int]]] = {}
+    for row, stored in relation.items():
+        if stored <= 0:
+            continue
+        count = ctx.row_count(inner.predicate, relation, row)
+        binding = match_args(inner.args, row, {})
+        if binding is None:
+            continue
+        key = tuple(binding[name] for name in group_names)
+        value = aggregate.argument.evaluate(binding)
+        groups.setdefault(key, []).append((value, count))
+    out = CountedRelation(str(aggregate), len(group_names) + 1)
+    for key, values in groups.items():
+        state = function.compute(values)
+        if not function.is_empty(state):
+            out.add(key + (function.result(state),), 1)
+    return out
+
+
+# --------------------------------------------------------------------------
+# Matching
+# --------------------------------------------------------------------------
+
+
+def match_args(
+    args: Sequence[Term], row: Row, binding: Dict[str, object]
+) -> Optional[Dict[str, object]]:
+    """Extend ``binding`` so that ``args`` matches ``row``; None on failure.
+
+    Bare variables bind (consistently across repeated occurrences); all
+    other terms are evaluated under the *extended* binding and compared.
+    Terms whose variables remain unbound cannot be evaluated — the planner
+    prevents that for well-ordered plans, and it is an evaluation error
+    otherwise.
+    """
+    if len(args) != len(row):
+        return None
+    extended: Optional[Dict[str, object]] = None
+    deferred: List[Tuple[Term, object]] = []
+    for arg, value in zip(args, row):
+        if isinstance(arg, Variable):
+            current = binding if extended is None else extended
+            bound = current.get(arg.name, _UNBOUND)
+            if bound is _UNBOUND:
+                if extended is None:
+                    extended = dict(binding)
+                extended[arg.name] = value
+            elif bound != value:
+                return None
+        elif isinstance(arg, Constant):
+            if arg.value != value:
+                return None
+        else:
+            deferred.append((arg, value))
+    final = extended if extended is not None else binding
+    for term, value in deferred:
+        if term.evaluate(final) != value:
+            return None
+    return final if extended is not None else dict(binding)
+
+
+class _Unbound:
+    __slots__ = ()
+
+
+_UNBOUND = _Unbound()
+
+
+# --------------------------------------------------------------------------
+# Planning
+# --------------------------------------------------------------------------
+
+
+def _requirements(subgoal: Subgoal) -> frozenset:
+    """Variables that must be bound before the subgoal can evaluate."""
+    if isinstance(subgoal, Literal):
+        if subgoal.negated:
+            return subgoal.variables()
+        needed: set = set()
+        for arg in subgoal.args:
+            if not isinstance(arg, Variable):
+                needed |= arg.variables()
+        return frozenset(needed)
+    if isinstance(subgoal, Comparison):
+        if subgoal.op == "=":
+            # An assignment can run once either side is fully bound.
+            left, right = subgoal.left.variables(), subgoal.right.variables()
+            return min(left, right, key=len) if left and right else frozenset()
+        return subgoal.variables()
+    return frozenset()  # aggregates are self-contained
+
+
+def _is_evaluable(subgoal: Subgoal, bound: set) -> bool:
+    if isinstance(subgoal, Comparison) and subgoal.op == "=":
+        left_ready = subgoal.left.variables() <= bound
+        right_ready = subgoal.right.variables() <= bound
+        if left_ready and right_ready:
+            return True
+        if left_ready and isinstance(subgoal.right, Variable):
+            return True
+        if right_ready and isinstance(subgoal.left, Variable):
+            return True
+        return False
+    return _requirements(subgoal) <= bound
+
+
+def _binder_score(
+    subgoal: Subgoal, bound: set, ctx: Optional["EvalContext"]
+) -> Tuple[int, int, int]:
+    """Higher = run earlier among evaluable binder subgoals."""
+    if isinstance(subgoal, Literal):
+        known = 0
+        for arg in subgoal.args:
+            if isinstance(arg, Variable):
+                if arg.name in bound:
+                    known += 1
+            else:
+                known += 1
+        size = (
+            len(ctx.resolver.relation(subgoal.predicate))
+            if ctx is not None
+            else 0
+        )
+        # Fully-keyed probes first, then by fraction of known positions,
+        # then smallest relation (delta relations win automatically).
+        return (2, known * 100 // max(len(subgoal.args), 1), -size)
+    # Aggregates scan their grouped relation: run them late.
+    size = (
+        len(ctx.resolver.relation(subgoal.relation.predicate))
+        if ctx is not None and isinstance(subgoal, Aggregate)
+        else 0
+    )
+    return (1, 0, -size)
+
+
+def plan_body(
+    body: Sequence[Subgoal],
+    seed: Optional[int] = None,
+    ctx: Optional["EvalContext"] = None,
+) -> List[Subgoal]:
+    """Order body subgoals for evaluation.
+
+    Filters (ground comparisons, negations) run as soon as their inputs
+    are bound; binder subgoals are chosen by boundness and (when ``ctx``
+    is given) relation size; ``seed`` pins one subgoal (the Δ-subgoal)
+    to the very front.  Raises :class:`~repro.errors.EvaluationError`
+    when no safe order exists (i.e. the rule is unsafe).
+    """
+    remaining = list(range(len(body)))
+    bound: set = set()
+    ordered: List[Subgoal] = []
+
+    if seed is not None:
+        remaining.remove(seed)
+        subgoal = body[seed]
+        ordered.append(subgoal)
+        bound |= directly_bound_variables(subgoal, bound)
+
+    while remaining:
+        # 1. run every evaluable pure filter immediately
+        progressed = True
+        while progressed:
+            progressed = False
+            for index in list(remaining):
+                subgoal = body[index]
+                is_filter = (
+                    isinstance(subgoal, Literal)
+                    and subgoal.negated
+                    and _is_evaluable(subgoal, bound)
+                ) or (
+                    isinstance(subgoal, Comparison)
+                    and _is_evaluable(subgoal, bound)
+                )
+                if is_filter:
+                    ordered.append(subgoal)
+                    bound |= directly_bound_variables(subgoal, bound)
+                    remaining.remove(index)
+                    progressed = True
+        if not remaining:
+            break
+        # 2. pick the best evaluable binder
+        candidates = [
+            index
+            for index in remaining
+            if not (isinstance(body[index], Literal) and body[index].negated)
+            and not isinstance(body[index], Comparison)
+            and _is_evaluable(body[index], bound)
+        ]
+        if not candidates:
+            unplanned = [str(body[i]) for i in remaining]
+            raise EvaluationError(
+                f"no safe evaluation order: cannot schedule {unplanned} "
+                f"with bound variables {sorted(bound)}"
+            )
+        best = max(
+            candidates, key=lambda i: (_binder_score(body[i], bound, ctx), -i)
+        )
+        subgoal = body[best]
+        ordered.append(subgoal)
+        bound |= directly_bound_variables(subgoal, bound)
+        remaining.remove(best)
+    return ordered
+
+
+# --------------------------------------------------------------------------
+# Execution
+# --------------------------------------------------------------------------
+
+
+def _key_spec(
+    literal: Literal, bound: set
+) -> Tuple[Tuple[int, ...], Tuple[Term, ...]]:
+    """Positions/terms usable as an index key given bound variables."""
+    positions: List[int] = []
+    terms: List[Term] = []
+    for position, arg in enumerate(literal.args):
+        if isinstance(arg, Variable):
+            if arg.name in bound:
+                positions.append(position)
+                terms.append(arg)
+        else:
+            positions.append(position)
+            terms.append(arg)
+    return tuple(positions), tuple(terms)
+
+
+def _eval_positive_literal(
+    literal: Literal,
+    binding: Dict[str, object],
+    ctx: EvalContext,
+    key_positions: Tuple[int, ...],
+    key_terms: Tuple[Term, ...],
+) -> Iterator[Tuple[Dict[str, object], int]]:
+    relation = ctx.resolver.relation(literal.predicate)
+    if key_positions:
+        key = tuple(term.evaluate(binding) for term in key_terms)
+        rows = relation.lookup(key_positions, key)
+    else:
+        rows = relation.rows()
+    for row in rows:
+        extended = match_args(literal.args, row, binding)
+        if extended is None:
+            continue
+        count = ctx.row_count(literal.predicate, relation, row)
+        if count:
+            yield extended, count
+
+
+def _eval_negated_literal(
+    literal: Literal, binding: Dict[str, object], ctx: EvalContext
+) -> Iterator[Tuple[Dict[str, object], int]]:
+    relation = ctx.resolver.relation(literal.predicate)
+    row = tuple(arg.evaluate(binding) for arg in literal.args)
+    if not relation.contains_positive(row):
+        yield binding, 1
+
+
+def _eval_comparison(
+    comparison: Comparison, binding: Dict[str, object]
+) -> Iterator[Tuple[Dict[str, object], int]]:
+    if comparison.op == "=":
+        left_ready = comparison.left.variables() <= binding.keys()
+        right_ready = comparison.right.variables() <= binding.keys()
+        if left_ready and not right_ready and isinstance(comparison.right, Variable):
+            value = comparison.left.evaluate(binding)
+            extended = dict(binding)
+            extended[comparison.right.name] = value
+            yield extended, 1
+            return
+        if right_ready and not left_ready and isinstance(comparison.left, Variable):
+            value = comparison.right.evaluate(binding)
+            extended = dict(binding)
+            extended[comparison.left.name] = value
+            yield extended, 1
+            return
+    left = comparison.left.evaluate(binding)
+    right = comparison.right.evaluate(binding)
+    try:
+        ok = _COMPARE[comparison.op](left, right)
+    except TypeError as exc:
+        raise EvaluationError(
+            f"cannot compare {left!r} {comparison.op} {right!r}: {exc}"
+        ) from exc
+    if ok:
+        yield binding, 1
+
+
+def _eval_aggregate(
+    aggregate: Aggregate, binding: Dict[str, object], ctx: EvalContext
+) -> Iterator[Tuple[Dict[str, object], int]]:
+    relation = ctx.aggregate_relation(aggregate)
+    exported: Tuple[Term, ...] = tuple(aggregate.group_by) + (aggregate.result,)
+    bound = {name for name in binding}
+    key_positions, key_terms = _key_spec(
+        Literal("", exported), bound
+    )
+    if key_positions:
+        key = tuple(term.evaluate(binding) for term in key_terms)
+        rows = relation.lookup(key_positions, key)
+    else:
+        rows = relation.rows()
+    for row in rows:
+        extended = match_args(exported, row, binding)
+        if extended is not None:
+            yield extended, relation.count(row)
+
+
+def solutions(
+    rule: Rule,
+    ctx: EvalContext,
+    seed: Optional[int] = None,
+    initial_binding: Optional[Dict[str, object]] = None,
+) -> Iterator[Tuple[Dict[str, object], int]]:
+    """All body solutions of ``rule`` as ``(binding, count)`` pairs.
+
+    ``seed`` pins the body subgoal at that index to the front of the join
+    order (used for Δ-subgoals).  Counts are products of per-subgoal
+    counts and may be negative when delta relations participate.
+    """
+    plan = plan_body(rule.body, seed, ctx)
+    start = initial_binding if initial_binding is not None else {}
+
+    # Precompute static key specs per planned literal.
+    bound: set = set(start)
+    specs: List[Tuple[Tuple[int, ...], Tuple[Term, ...]]] = []
+    for subgoal in plan:
+        if isinstance(subgoal, Literal) and not subgoal.negated:
+            specs.append(_key_spec(subgoal, bound))
+        else:
+            specs.append(((), ()))
+        bound |= directly_bound_variables(subgoal, bound)
+
+    def extend(depth: int, binding: Dict[str, object], count: int):
+        if depth == len(plan):
+            yield binding, count
+            return
+        subgoal = plan[depth]
+        if isinstance(subgoal, Literal):
+            if subgoal.negated:
+                stream = _eval_negated_literal(subgoal, binding, ctx)
+            else:
+                key_positions, key_terms = specs[depth]
+                stream = _eval_positive_literal(
+                    subgoal, binding, ctx, key_positions, key_terms
+                )
+        elif isinstance(subgoal, Comparison):
+            stream = _eval_comparison(subgoal, binding)
+        else:
+            stream = _eval_aggregate(subgoal, binding, ctx)
+        for extended, sub_count in stream:
+            yield from extend(depth + 1, extended, count * sub_count)
+
+    yield from extend(0, start, 1)
+
+
+def evaluate_rule_into(
+    rule: Rule,
+    ctx: EvalContext,
+    out: CountedRelation,
+    seed: Optional[int] = None,
+) -> None:
+    """⊎ every head row derived by ``rule`` into ``out``."""
+    head_args = rule.head.args
+    for binding, count in solutions(rule, ctx, seed):
+        if count == 0:
+            continue
+        row = tuple(arg.evaluate(binding) for arg in head_args)
+        out.add(row, count)
+
+
+def evaluate_rule(
+    rule: Rule, ctx: EvalContext, seed: Optional[int] = None
+) -> CountedRelation:
+    """The counted relation of head rows derived by ``rule``."""
+    out = CountedRelation(rule.head.predicate, rule.head.arity)
+    evaluate_rule_into(rule, ctx, out, seed)
+    return out

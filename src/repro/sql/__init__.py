@@ -1,0 +1,39 @@
+"""SQL front-end: a ``CREATE VIEW`` subset compiled to internal Datalog.
+
+Usage::
+
+    from repro.sql import Catalog, create_views
+
+    catalog = Catalog().declare_table("link", ["s", "d"])
+    maintainer = create_views('''
+        CREATE VIEW hop AS
+        SELECT r1.s, r2.d FROM link r1, link r2 WHERE r1.d = r2.s;
+    ''', catalog, database)
+    maintainer.initialize()
+"""
+
+from repro.sql.catalog import Catalog
+from repro.sql.parser import parse_sql
+from repro.sql.translate import translate_sql
+
+__all__ = ["Catalog", "create_views", "parse_sql", "translate_sql"]
+
+
+def create_views(
+    source: str,
+    catalog: Catalog,
+    database,
+    strategy: str = "auto",
+    semantics: str = "set",
+):
+    """Parse SQL views, translate to Datalog, and return a ViewMaintainer.
+
+    The maintainer is *not* initialized — call ``.initialize()`` after
+    loading base data, exactly as with the Datalog front-end.
+    """
+    from repro.core.maintenance import ViewMaintainer
+
+    program = translate_sql(catalog, source)
+    return ViewMaintainer(
+        program, database, strategy=strategy, semantics=semantics
+    )

@@ -1,0 +1,141 @@
+"""AST for the SQL view-definition subset.
+
+The subset matches what the paper's views need: select-project-join with
+conjunctive/disjunctive predicates, ``NOT EXISTS`` (negation),
+``GROUP BY`` with the Section 6.2 aggregate functions, ``UNION [ALL]``
+and ``EXCEPT``.  See :mod:`repro.sql.parser` for the grammar and
+:mod:`repro.sql.translate` for the Datalog mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """``alias.column`` or a bare ``column`` (alias resolved later)."""
+
+    table: Optional[str]
+    column: str
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}" if self.table else self.column
+
+
+@dataclass(frozen=True)
+class SQLLiteral:
+    value: object
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class SQLBinary:
+    """Arithmetic over scalar expressions (``+ - * / %``)."""
+
+    op: str
+    left: "ScalarExpr"
+    right: "ScalarExpr"
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class AggregateCall:
+    """``MIN(expr)``, ``COUNT(*)`` (star encoded as argument=None), …"""
+
+    function: str
+    argument: Optional["ScalarExpr"]
+
+    def __str__(self) -> str:
+        return f"{self.function}({self.argument if self.argument else '*'})"
+
+
+ScalarExpr = Union[ColumnRef, SQLLiteral, SQLBinary, AggregateCall]
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: ScalarExpr
+    alias: Optional[str]
+
+
+@dataclass(frozen=True)
+class TableRef:
+    name: str
+    alias: str
+
+
+@dataclass(frozen=True)
+class SQLComparison:
+    op: str  # = <> < <= > >=
+    left: ScalarExpr
+    right: ScalarExpr
+
+
+@dataclass(frozen=True)
+class NotExists:
+    subquery: "Select"
+
+
+@dataclass(frozen=True)
+class Exists:
+    subquery: "Select"
+
+
+@dataclass(frozen=True)
+class InSubquery:
+    """``expr [NOT] IN (SELECT col FROM …)``."""
+
+    expr: ScalarExpr
+    subquery: "Select"
+    negated: bool
+
+
+@dataclass(frozen=True)
+class BoolAnd:
+    parts: Tuple["BoolExpr", ...]
+
+
+@dataclass(frozen=True)
+class BoolOr:
+    parts: Tuple["BoolExpr", ...]
+
+
+BoolExpr = Union[SQLComparison, NotExists, Exists, InSubquery, BoolAnd, BoolOr]
+
+
+@dataclass(frozen=True)
+class Select:
+    distinct: bool
+    items: Tuple[SelectItem, ...]
+    tables: Tuple[TableRef, ...]
+    where: Optional[BoolExpr]
+    group_by: Tuple[ColumnRef, ...]
+    having: Optional[BoolExpr] = None
+
+
+#: Compound set operators between selects.
+SetOp = str  # "UNION" | "UNION ALL" | "EXCEPT"
+
+
+@dataclass(frozen=True)
+class CompoundSelect:
+    """``first (op second) (op third) …`` — left-associative chain."""
+
+    first: Select
+    rest: Tuple[Tuple[SetOp, Select], ...] = ()
+
+    def selects(self) -> List[Select]:
+        return [self.first] + [select for _, select in self.rest]
+
+
+@dataclass(frozen=True)
+class CreateView:
+    name: str
+    columns: Optional[Tuple[str, ...]]
+    query: CompoundSelect

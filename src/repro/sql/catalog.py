@@ -1,0 +1,64 @@
+"""Relation catalog for the SQL front-end.
+
+SQL references columns *by name*; Datalog literals are positional.  The
+catalog records the column list of every base table and every created
+view so the translator can map ``r1.D = r2.S`` to shared variables in
+literal argument positions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import SchemaError, UnknownRelationError
+
+
+class Catalog:
+    """Maps relation names to ordered column-name tuples."""
+
+    def __init__(self) -> None:
+        self._columns: Dict[str, Tuple[str, ...]] = {}
+
+    def declare_table(self, name: str, columns: Sequence[str]) -> "Catalog":
+        """Register a base table (chainable)."""
+        return self._declare(name, columns)
+
+    def declare_view(self, name: str, columns: Sequence[str]) -> "Catalog":
+        """Register a view's output columns (done by the translator)."""
+        return self._declare(name, columns)
+
+    def _declare(self, name: str, columns: Sequence[str]) -> "Catalog":
+        name = name.lower()
+        columns = tuple(c.lower() for c in columns)
+        if len(set(columns)) != len(columns):
+            raise SchemaError(f"duplicate column names in {name}: {columns}")
+        existing = self._columns.get(name)
+        if existing is not None and existing != columns:
+            raise SchemaError(
+                f"relation {name} already declared with columns {existing}"
+            )
+        self._columns[name] = columns
+        return self
+
+    def columns(self, name: str) -> Tuple[str, ...]:
+        found = self._columns.get(name.lower())
+        if found is None:
+            raise UnknownRelationError(
+                f"relation {name} is not declared in the catalog"
+            )
+        return found
+
+    def column_index(self, name: str, column: str) -> int:
+        columns = self.columns(name)
+        try:
+            return columns.index(column.lower())
+        except ValueError:
+            raise SchemaError(
+                f"relation {name} has no column {column}; columns: {columns}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._columns
+
+    def names(self) -> List[str]:
+        return sorted(self._columns)

@@ -1,0 +1,113 @@
+"""Tokenizer for the SQL view-definition subset.
+
+Keywords are case-insensitive and normalized to upper case; identifiers
+are normalized to lower case.  ``--`` comments run to end of line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import ParseError
+
+KEYWORDS = frozenset(
+    """
+    CREATE VIEW AS SELECT DISTINCT FROM WHERE AND OR NOT EXISTS IN
+    GROUP BY HAVING UNION EXCEPT ALL MIN MAX SUM COUNT AVG IS NULL
+    """.split()
+)
+
+_MULTI = ("<>", "!=", "<=", ">=")
+_SINGLE = "(),.*=<>+-/%;"
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    kind: str  # KEYWORD | IDENT | NUMBER | STRING | PUNCT | EOF
+    text: str
+    value: object
+    line: int
+    column: int
+
+
+def tokenize(source: str) -> List[Token]:
+    return list(_tokens(source))
+
+
+def _tokens(source: str) -> Iterator[Token]:
+    i = 0
+    line = 1
+    line_start = 0
+    n = len(source)
+
+    def column() -> int:
+        return i - line_start + 1
+
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            i += 1
+            line += 1
+            line_start = i
+            continue
+        if ch.isspace():
+            i += 1
+            continue
+        if source.startswith("--", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        start_col = column()
+        if ch.isdigit():
+            j = i
+            seen_dot = False
+            while j < n and (source[j].isdigit() or (source[j] == "." and not seen_dot)):
+                if source[j] == ".":
+                    seen_dot = True
+                j += 1
+            text = source[i:j]
+            value: object = float(text) if "." in text else int(text)
+            yield Token("NUMBER", text, value, line, start_col)
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (source[j].isalnum() or source[j] == "_"):
+                j += 1
+            text = source[i:j]
+            upper = text.upper()
+            if upper in KEYWORDS:
+                yield Token("KEYWORD", upper, upper, line, start_col)
+            else:
+                yield Token("IDENT", text.lower(), text.lower(), line, start_col)
+            i = j
+            continue
+        if ch == "'":
+            j = i + 1
+            chars: list[str] = []
+            while j < n:
+                if source[j] == "'" and j + 1 < n and source[j + 1] == "'":
+                    chars.append("'")  # SQL-style escaped quote
+                    j += 2
+                    continue
+                if source[j] == "'":
+                    break
+                chars.append(source[j])
+                j += 1
+            if j >= n:
+                raise ParseError("unterminated string literal", line, start_col)
+            yield Token("STRING", source[i : j + 1], "".join(chars), line, start_col)
+            i = j + 1
+            continue
+        matched = next((m for m in _MULTI if source.startswith(m, i)), None)
+        if matched:
+            yield Token("PUNCT", matched, matched, line, start_col)
+            i += len(matched)
+            continue
+        if ch in _SINGLE:
+            yield Token("PUNCT", ch, ch, line, start_col)
+            i += 1
+            continue
+        raise ParseError(f"unexpected character {ch!r}", line, start_col)
+    yield Token("EOF", "", None, line, column())

@@ -1,0 +1,321 @@
+"""Recursive-descent parser for the SQL view subset.
+
+Grammar (case-insensitive keywords)::
+
+    script      := { create_view ";" }
+    create_view := CREATE VIEW ident [ "(" ident {"," ident} ")" ]
+                   AS compound
+    compound    := select { (UNION [ALL] | EXCEPT) select }
+    select      := SELECT [DISTINCT] item {"," item}
+                   FROM table {"," table}
+                   [ WHERE bool_or ]
+                   [ GROUP BY colref {"," colref} ]
+    item        := scalar [ [AS] ident ]
+    table       := ident [ ident ]                  -- name [alias]
+    bool_or     := bool_and { OR bool_and }
+    bool_and    := bool_atom { AND bool_atom }
+    bool_atom   := "(" bool_or ")" | NOT EXISTS "(" select ")"
+                 | scalar cmp scalar
+    scalar      := term { ("+"|"-") term }
+    term        := factor { ("*"|"/"|"%") factor }
+    factor      := NUMBER | STRING | agg | colref | "(" scalar ")"
+    agg         := (MIN|MAX|SUM|COUNT|AVG) "(" ( "*" | scalar ) ")"
+    colref      := ident [ "." ident ]
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import ParseError
+from repro.sql.ast import (
+    AggregateCall,
+    BoolAnd,
+    BoolExpr,
+    BoolOr,
+    ColumnRef,
+    CompoundSelect,
+    CreateView,
+    Exists,
+    InSubquery,
+    NotExists,
+    ScalarExpr,
+    Select,
+    SelectItem,
+    SQLBinary,
+    SQLComparison,
+    SQLLiteral,
+    TableRef,
+)
+from repro.sql.lexer import Token, tokenize
+
+_AGG_KEYWORDS = ("MIN", "MAX", "SUM", "COUNT", "AVG")
+_CMP_OPS = ("=", "<>", "!=", "<", "<=", ">", ">=")
+
+
+class _Parser:
+    def __init__(self, source: str) -> None:
+        self.tokens = tokenize(source)
+        self.pos = 0
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def peek(self, offset: int = 1) -> Token:
+        return self.tokens[min(self.pos + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != "EOF":
+            self.pos += 1
+        return token
+
+    def error(self, message: str) -> ParseError:
+        token = self.current
+        return ParseError(
+            f"{message} (found {token.text!r})", token.line, token.column
+        )
+
+    def at_keyword(self, *keywords: str) -> bool:
+        return self.current.kind == "KEYWORD" and self.current.text in keywords
+
+    def accept_keyword(self, *keywords: str) -> bool:
+        if self.at_keyword(*keywords):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, keyword: str) -> None:
+        if not self.accept_keyword(keyword):
+            raise self.error(f"expected {keyword}")
+
+    def at_punct(self, text: str) -> bool:
+        return self.current.kind == "PUNCT" and self.current.text == text
+
+    def accept_punct(self, text: str) -> bool:
+        if self.at_punct(text):
+            self.advance()
+            return True
+        return False
+
+    def expect_punct(self, text: str) -> None:
+        if not self.accept_punct(text):
+            raise self.error(f"expected {text!r}")
+
+    def expect_ident(self) -> str:
+        if self.current.kind != "IDENT":
+            raise self.error("expected an identifier")
+        return self.advance().text
+
+    # -------------------------------------------------------------- script
+
+    def parse_script(self) -> List[CreateView]:
+        views: List[CreateView] = []
+        while self.current.kind != "EOF":
+            views.append(self.parse_create_view())
+            self.accept_punct(";")
+        return views
+
+    def parse_create_view(self) -> CreateView:
+        self.expect_keyword("CREATE")
+        self.expect_keyword("VIEW")
+        name = self.expect_ident()
+        columns: Optional[Tuple[str, ...]] = None
+        if self.accept_punct("("):
+            cols = [self.expect_ident()]
+            while self.accept_punct(","):
+                cols.append(self.expect_ident())
+            self.expect_punct(")")
+            columns = tuple(cols)
+        self.expect_keyword("AS")
+        query = self.parse_compound()
+        return CreateView(name, columns, query)
+
+    def parse_compound(self) -> CompoundSelect:
+        first = self.parse_select()
+        rest: List[Tuple[str, Select]] = []
+        while self.at_keyword("UNION", "EXCEPT"):
+            op = self.advance().text
+            if op == "UNION" and self.accept_keyword("ALL"):
+                op = "UNION ALL"
+            rest.append((op, self.parse_select()))
+        return CompoundSelect(first, tuple(rest))
+
+    # -------------------------------------------------------------- select
+
+    def parse_select(self) -> Select:
+        self.expect_keyword("SELECT")
+        distinct = self.accept_keyword("DISTINCT")
+        items: List[SelectItem] = []
+        if not self.accept_punct("*"):  # SELECT * → empty item tuple
+            items.append(self.parse_select_item())
+            while self.accept_punct(","):
+                items.append(self.parse_select_item())
+        self.expect_keyword("FROM")
+        tables = [self.parse_table_ref()]
+        while self.accept_punct(","):
+            tables.append(self.parse_table_ref())
+        where: Optional[BoolExpr] = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_bool_or()
+        group_by: List[ColumnRef] = []
+        if self.accept_keyword("GROUP"):
+            self.expect_keyword("BY")
+            group_by.append(self.parse_column_ref())
+            while self.accept_punct(","):
+                group_by.append(self.parse_column_ref())
+        having: Optional[BoolExpr] = None
+        if self.accept_keyword("HAVING"):
+            having = self.parse_bool_or()
+        return Select(
+            distinct, tuple(items), tuple(tables), where, tuple(group_by),
+            having,
+        )
+
+    def parse_select_item(self) -> SelectItem:
+        expr = self.parse_scalar()
+        alias: Optional[str] = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident()
+        elif self.current.kind == "IDENT" and not self.at_punct(","):
+            alias = self.advance().text
+        return SelectItem(expr, alias)
+
+    def parse_table_ref(self) -> TableRef:
+        name = self.expect_ident()
+        alias = name
+        if self.current.kind == "IDENT":
+            alias = self.advance().text
+        return TableRef(name, alias)
+
+    # ------------------------------------------------------------- boolean
+
+    def parse_bool_or(self) -> BoolExpr:
+        parts = [self.parse_bool_and()]
+        while self.accept_keyword("OR"):
+            parts.append(self.parse_bool_and())
+        return parts[0] if len(parts) == 1 else BoolOr(tuple(parts))
+
+    def parse_bool_and(self) -> BoolExpr:
+        parts = [self.parse_bool_atom()]
+        while self.accept_keyword("AND"):
+            parts.append(self.parse_bool_atom())
+        return parts[0] if len(parts) == 1 else BoolAnd(tuple(parts))
+
+    def parse_bool_atom(self) -> BoolExpr:
+        if self.at_keyword("NOT"):
+            self.advance()
+            if self.at_keyword("EXISTS"):
+                self.advance()
+                return NotExists(self._parse_subquery())
+            # NOT before a scalar must be "scalar NOT IN (…)" — but SQL
+            # puts NOT after the scalar; reject anything else.
+            raise self.error("expected EXISTS after NOT")
+        if self.at_keyword("EXISTS"):
+            self.advance()
+            return Exists(self._parse_subquery())
+        if self.at_punct("(") and self._parenthesized_boolean():
+            self.advance()
+            inner = self.parse_bool_or()
+            self.expect_punct(")")
+            return inner
+        left = self.parse_scalar()
+        if self.at_keyword("NOT"):
+            self.advance()
+            self.expect_keyword("IN")
+            return InSubquery(left, self._parse_subquery(), negated=True)
+        if self.at_keyword("IN"):
+            self.advance()
+            return InSubquery(left, self._parse_subquery(), negated=False)
+        if self.current.kind != "PUNCT" or self.current.text not in _CMP_OPS:
+            raise self.error("expected a comparison operator")
+        op = self.advance().text
+        if op in ("<>", "!="):
+            op = "!="
+        right = self.parse_scalar()
+        return SQLComparison(op, left, right)
+
+    def _parse_subquery(self) -> Select:
+        self.expect_punct("(")
+        subquery = self.parse_select()
+        self.expect_punct(")")
+        return subquery
+
+    def _parenthesized_boolean(self) -> bool:
+        """Lookahead: does this ``(`` open a boolean (vs a scalar) group?
+
+        Scan forward to the matching close paren; a comparison operator or
+        boolean keyword at depth 1 means boolean.
+        """
+        depth = 0
+        pos = self.pos
+        while pos < len(self.tokens):
+            token = self.tokens[pos]
+            if token.kind == "PUNCT" and token.text == "(":
+                depth += 1
+            elif token.kind == "PUNCT" and token.text == ")":
+                depth -= 1
+                if depth == 0:
+                    return False
+            elif depth == 1:
+                if token.kind == "PUNCT" and token.text in _CMP_OPS:
+                    return True
+                if token.kind == "KEYWORD" and token.text in (
+                    "AND",
+                    "OR",
+                    "NOT",
+                    "EXISTS",
+                ):
+                    return True
+            pos += 1
+        return False
+
+    # -------------------------------------------------------------- scalar
+
+    def parse_scalar(self) -> ScalarExpr:
+        left = self.parse_term()
+        while self.current.kind == "PUNCT" and self.current.text in ("+", "-"):
+            op = self.advance().text
+            left = SQLBinary(op, left, self.parse_term())
+        return left
+
+    def parse_term(self) -> ScalarExpr:
+        left = self.parse_factor()
+        while self.current.kind == "PUNCT" and self.current.text in ("*", "/", "%"):
+            op = self.advance().text
+            left = SQLBinary(op, left, self.parse_factor())
+        return left
+
+    def parse_factor(self) -> ScalarExpr:
+        token = self.current
+        if token.kind == "NUMBER" or token.kind == "STRING":
+            self.advance()
+            return SQLLiteral(token.value)
+        if token.kind == "KEYWORD" and token.text in _AGG_KEYWORDS:
+            function = self.advance().text
+            self.expect_punct("(")
+            if self.accept_punct("*"):
+                argument = None
+            else:
+                argument = self.parse_scalar()
+            self.expect_punct(")")
+            return AggregateCall(function, argument)
+        if token.kind == "IDENT":
+            return self.parse_column_ref()
+        if self.accept_punct("("):
+            inner = self.parse_scalar()
+            self.expect_punct(")")
+            return inner
+        raise self.error("expected a scalar expression")
+
+    def parse_column_ref(self) -> ColumnRef:
+        first = self.expect_ident()
+        if self.accept_punct("."):
+            return ColumnRef(first, self.expect_ident())
+        return ColumnRef(None, first)
+
+
+def parse_sql(source: str) -> List[CreateView]:
+    """Parse a script of ``CREATE VIEW`` statements."""
+    return _Parser(source).parse_script()

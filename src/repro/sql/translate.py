@@ -1,0 +1,690 @@
+"""SQL view definitions → Datalog rules.
+
+Section 3: "Datalog extended with stratified negation and aggregation can
+be mapped to a class of recursive SQL queries, and vice versa [Mum91].
+We chose Datalog syntax over SQL syntax for conciseness."  This module is
+the *vice versa*: the SQL view subset is compiled onto the same internal
+Program the maintenance algorithms run on, so SQL-defined views get
+counting/DRed maintenance for free (Example 1.1's ``CREATE VIEW hop`` is
+a golden test).
+
+Mapping summary:
+
+====================  ====================================================
+SQL construct          Datalog shape
+====================  ====================================================
+``FROM a r1, b r2``    one positive literal per table, fresh variables
+``WHERE x = y``        variable unification (equi-join)
+``WHERE x < y + 1``    comparison subgoal
+``WHERE … OR …``       DNF → one rule per disjunct
+``NOT EXISTS (…)``     auxiliary projection view + negated literal
+``GROUP BY``/agg       auxiliary pre-grouping view + GROUPBY subgoal(s)
+``UNION [ALL]``        multiple rules with the same head
+``EXCEPT``             auxiliary views + negated literal
+====================  ====================================================
+
+``UNION`` vs ``UNION ALL``: both become multiple rules; under set
+semantics they coincide, under duplicate semantics multiple rules add
+counts, i.e. ``UNION ALL`` ([ISO90] bag union).  A distinct ``UNION``
+under duplicate semantics is rejected rather than silently mistranslated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.datalog.ast import (
+    Aggregate,
+    Comparison,
+    Literal,
+    Program,
+    Rule,
+    Subgoal,
+)
+from repro.datalog.safety import check_rule_safety
+from repro.datalog.terms import BinaryOp, Constant, Term, Variable
+from repro.errors import ParseError, SafetyError, SchemaError
+from repro.sql.ast import (
+    AggregateCall,
+    BoolAnd,
+    BoolExpr,
+    BoolOr,
+    ColumnRef,
+    CompoundSelect,
+    CreateView,
+    Exists,
+    InSubquery,
+    NotExists,
+    ScalarExpr,
+    Select,
+    SelectItem,
+    SQLBinary,
+    SQLComparison,
+    SQLLiteral,
+    TableRef,
+)
+from repro.sql.catalog import Catalog
+from repro.sql.parser import parse_sql
+
+#: Cap on the number of DNF disjuncts a WHERE clause may expand to.
+MAX_DNF_DISJUNCTS = 128
+
+
+class _Scope:
+    """Alias environment of one SELECT (with optional outer scope)."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        tables: Sequence[TableRef],
+        prefix: str,
+        outer: Optional["_Scope"] = None,
+    ) -> None:
+        self.catalog = catalog
+        self.outer = outer
+        self.aliases: Dict[str, TableRef] = {}
+        self.variables: Dict[Tuple[str, str], Variable] = {}
+        for ref in tables:
+            if ref.alias in self.aliases:
+                raise SchemaError(f"duplicate table alias {ref.alias}")
+            self.aliases[ref.alias] = ref
+            for column in catalog.columns(ref.name):
+                self.variables[(ref.alias, column)] = Variable(
+                    f"V_{prefix}{ref.alias}_{column}"
+                )
+
+    def resolve(self, ref: ColumnRef) -> Variable:
+        if ref.table is not None:
+            found = self.variables.get((ref.table, ref.column))
+            if found is not None:
+                return found
+            if self.outer is not None:
+                return self.outer.resolve(ref)
+            raise SchemaError(f"unknown column reference {ref}")
+        matches = [
+            variable
+            for (alias, column), variable in self.variables.items()
+            if column == ref.column
+        ]
+        if len(matches) > 1:
+            raise SchemaError(f"ambiguous column reference {ref.column}")
+        if matches:
+            return matches[0]
+        if self.outer is not None:
+            return self.outer.resolve(ref)
+        raise SchemaError(f"unknown column reference {ref.column}")
+
+    def is_local(self, variable: Variable) -> bool:
+        return any(v == variable for v in self.variables.values())
+
+    def table_literals(self) -> List[Literal]:
+        literals = []
+        for alias, ref in self.aliases.items():
+            args = tuple(
+                self.variables[(alias, column)]
+                for column in self.catalog.columns(ref.name)
+            )
+            literals.append(Literal(ref.name, args))
+        return literals
+
+
+def _to_dnf(expr: Optional[BoolExpr]) -> List[List[object]]:
+    """Flatten a boolean tree into disjunctive normal form."""
+    if expr is None:
+        return [[]]
+    if isinstance(expr, (SQLComparison, NotExists, Exists, InSubquery)):
+        return [[expr]]
+    if isinstance(expr, BoolAnd):
+        result: List[List[object]] = [[]]
+        for part in expr.parts:
+            expanded = []
+            for left in result:
+                for right in _to_dnf(part):
+                    expanded.append(left + right)
+                    if len(expanded) > MAX_DNF_DISJUNCTS:
+                        raise SchemaError(
+                            "WHERE clause too disjunctive to translate "
+                            f"(more than {MAX_DNF_DISJUNCTS} DNF disjuncts)"
+                        )
+            result = expanded
+        return result
+    if isinstance(expr, BoolOr):
+        result = []
+        for part in expr.parts:
+            result.extend(_to_dnf(part))
+        if len(result) > MAX_DNF_DISJUNCTS:
+            raise SchemaError("WHERE clause too disjunctive to translate")
+        return result
+    raise SchemaError(f"unsupported boolean expression {expr!r}")
+
+
+def _aggregate_calls_of(expr: Optional[BoolExpr]) -> List[AggregateCall]:
+    """Every aggregate call mentioned in a HAVING condition tree."""
+    calls: List[AggregateCall] = []
+
+    def walk_scalar(scalar) -> None:
+        if isinstance(scalar, AggregateCall) and scalar not in calls:
+            calls.append(scalar)
+        elif isinstance(scalar, SQLBinary):
+            walk_scalar(scalar.left)
+            walk_scalar(scalar.right)
+
+    def walk(node) -> None:
+        if node is None:
+            return
+        if isinstance(node, SQLComparison):
+            walk_scalar(node.left)
+            walk_scalar(node.right)
+        elif isinstance(node, (BoolAnd, BoolOr)):
+            for part in node.parts:
+                walk(part)
+
+    walk(expr)
+    return calls
+
+
+class _Unifier:
+    """Union-find over variables, with constants as terminal values."""
+
+    def __init__(self) -> None:
+        self.mapping: Dict[str, Term] = {}
+
+    def find(self, term: Term) -> Term:
+        while isinstance(term, Variable) and term.name in self.mapping:
+            term = self.mapping[term.name]
+        return term
+
+    def unify(self, left: Term, right: Term) -> bool:
+        """Record ``left = right``; False when two constants conflict."""
+        left, right = self.find(left), self.find(right)
+        if left == right:
+            return True
+        if isinstance(left, Variable):
+            self.mapping[left.name] = right
+            return True
+        if isinstance(right, Variable):
+            self.mapping[right.name] = left
+            return True
+        return False  # two distinct constants never unify
+
+    def resolve_all(self) -> Dict[str, Term]:
+        return {name: self.find(Variable(name)) for name in self.mapping}
+
+
+class _Translator:
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+        self.rules: List[Rule] = []
+        self._helper_counter = 0
+        self._scope_counter = 0
+
+    # ------------------------------------------------------------- helpers
+
+    def _helper_name(self, base: str, kind: str) -> str:
+        self._helper_counter += 1
+        return f"{base}${kind}{self._helper_counter}"
+
+    def _scope_prefix(self) -> str:
+        self._scope_counter += 1
+        return f"s{self._scope_counter}_"
+
+    def _scalar(self, expr: ScalarExpr, scope: _Scope) -> Term:
+        if isinstance(expr, ColumnRef):
+            return scope.resolve(expr)
+        if isinstance(expr, SQLLiteral):
+            return Constant(expr.value)
+        if isinstance(expr, SQLBinary):
+            return BinaryOp(
+                expr.op,
+                self._scalar(expr.left, scope),
+                self._scalar(expr.right, scope),
+            )
+        if isinstance(expr, AggregateCall):
+            raise SchemaError(
+                "aggregate calls are only allowed in the SELECT list of a "
+                "GROUP BY query"
+            )
+        raise SchemaError(f"unsupported scalar expression {expr!r}")
+
+    # ----------------------------------------------------------- statements
+
+    def translate_view(self, view: CreateView) -> None:
+        selects = view.query.selects()
+        arities = {self._output_arity(s) for s in selects}
+        if len(arities) != 1:
+            raise SchemaError(
+                f"view {view.name}: set-operation branches have different "
+                f"column counts {sorted(arities)}"
+            )
+        columns = self._output_columns(view)
+        self.catalog.declare_view(view.name, columns)
+
+        has_except = any(op == "EXCEPT" for op, _ in view.query.rest)
+        if not has_except:
+            for select in selects:
+                self._translate_select(select, view.name, len(columns))
+            return
+
+        # Fold the left-associative chain, materializing helpers.
+        accumulator = self._helper_name(view.name, "acc")
+        self._translate_select(view.query.first, accumulator, len(columns))
+        for op, select in view.query.rest:
+            if op in ("UNION", "UNION ALL"):
+                self._translate_select(select, accumulator, len(columns))
+                continue
+            right = self._helper_name(view.name, "exc")
+            self._translate_select(select, right, len(columns))
+            next_accumulator = self._helper_name(view.name, "acc")
+            variables = tuple(Variable(f"E{i}") for i in range(len(columns)))
+            self.rules.append(
+                Rule(
+                    Literal(next_accumulator, variables),
+                    (
+                        Literal(accumulator, variables),
+                        Literal(right, variables, negated=True),
+                    ),
+                )
+            )
+            accumulator = next_accumulator
+        variables = tuple(Variable(f"E{i}") for i in range(len(columns)))
+        self.rules.append(
+            Rule(
+                Literal(view.name, variables),
+                (Literal(accumulator, variables),),
+            )
+        )
+
+    def _output_arity(self, select: Select) -> int:
+        if select.items:
+            return len(select.items)
+        return sum(
+            len(self.catalog.columns(t.name)) for t in select.tables
+        )
+
+    def _output_columns(self, view: CreateView) -> Tuple[str, ...]:
+        first = view.query.first
+        arity = self._output_arity(first)
+        if view.columns is not None:
+            if len(view.columns) != arity:
+                raise SchemaError(
+                    f"view {view.name} declares {len(view.columns)} columns "
+                    f"but selects {arity}"
+                )
+            return view.columns
+        names: List[str] = []
+        if not first.items:  # SELECT *
+            for table in first.tables:
+                names.extend(self.catalog.columns(table.name))
+        else:
+            for index, item in enumerate(first.items):
+                if item.alias:
+                    names.append(item.alias)
+                elif isinstance(item.expr, ColumnRef):
+                    names.append(item.expr.column)
+                elif isinstance(item.expr, AggregateCall):
+                    names.append(item.expr.function.lower())
+                else:
+                    names.append(f"c{index}")
+        if len(set(names)) != len(names):
+            names = [f"{name}_{i}" for i, name in enumerate(names)]
+        return tuple(names)
+
+    # -------------------------------------------------------------- selects
+
+    def _expand_star(self, select: Select, scope: _Scope) -> Tuple[SelectItem, ...]:
+        if select.items:
+            return select.items
+        items: List[SelectItem] = []
+        for table in select.tables:
+            for column in self.catalog.columns(table.name):
+                items.append(SelectItem(ColumnRef(table.alias, column), None))
+        return tuple(items)
+
+    def _translate_select(self, select: Select, head: str, arity: int) -> None:
+        for conjunction in _to_dnf(select.where):
+            self._translate_conjunct(select, conjunction, head)
+
+    def _translate_conjunct(
+        self, select: Select, conjunction: List[object], head: str
+    ) -> None:
+        scope = _Scope(self.catalog, select.tables, self._scope_prefix())
+        items = self._expand_star(select, scope)
+        unifier = _Unifier()
+        body: List[Subgoal] = list(scope.table_literals())
+        extras: List[Subgoal] = []
+
+        for atom in conjunction:
+            if isinstance(atom, SQLComparison):
+                left = self._scalar(atom.left, scope)
+                right = self._scalar(atom.right, scope)
+                simple = isinstance(left, (Variable, Constant)) and isinstance(
+                    right, (Variable, Constant)
+                )
+                if atom.op == "=" and simple:
+                    if not unifier.unify(left, right):
+                        return  # two different constants: empty disjunct
+                else:
+                    extras.append(Comparison(atom.op, left, right))
+            elif isinstance(atom, NotExists):
+                extras.append(
+                    self._translate_exists_like(atom.subquery, scope, True)
+                )
+            elif isinstance(atom, Exists):
+                extras.append(
+                    self._translate_exists_like(atom.subquery, scope, False)
+                )
+            elif isinstance(atom, InSubquery):
+                outer_term = self._scalar(atom.expr, scope)
+                extras.append(
+                    self._translate_exists_like(
+                        atom.subquery,
+                        scope,
+                        atom.negated,
+                        membership=outer_term,
+                    )
+                )
+            else:
+                raise SchemaError(f"unsupported WHERE atom {atom!r}")
+
+        aggregates = [
+            item for item in items if isinstance(item.expr, AggregateCall)
+        ]
+        if aggregates or select.group_by:
+            self._translate_grouped(
+                select, items, scope, unifier, body, extras, head
+            )
+            return
+
+        head_args = tuple(self._scalar(item.expr, scope) for item in items)
+        mapping = unifier.resolve_all()
+        rule = Rule(
+            Literal(head, head_args).substitute(mapping),
+            tuple(s.substitute(mapping) for s in body + extras),
+        )
+        self.rules.append(rule)
+
+    def _translate_exists_like(
+        self,
+        subquery: Select,
+        outer: _Scope,
+        negated: bool,
+        membership: Optional[Term] = None,
+    ) -> Literal:
+        """[NOT] EXISTS / [NOT] IN → auxiliary view + (negated) literal.
+
+        The helper view projects the correlated outer columns (and, for
+        ``IN``, the subquery's selected value); its rule uses the inner
+        body with correlation equalities unified, and the outer rule
+        carries ``[not] helper(…)``.  Correlation must go through
+        equalities (so the helper's head is bound by its own positive
+        subgoals) — inequality-only correlation is rejected.
+
+        ``membership`` is the outer comparand of an ``IN`` predicate:
+        the helper's first column becomes the subquery's single select
+        item, matched against the (possibly computed) outer term.
+        """
+        if subquery.group_by:
+            raise SchemaError("GROUP BY inside NOT EXISTS is not supported")
+        scope = _Scope(
+            self.catalog, subquery.tables, self._scope_prefix(), outer=outer
+        )
+        unifier = _Unifier()
+        body: List[Subgoal] = list(scope.table_literals())
+        extras: List[Subgoal] = []
+        correlated: List[Variable] = []
+
+        def note_correlation(term: Term) -> None:
+            for name in sorted(term.variables()):
+                variable = Variable(name)
+                if not scope.is_local(variable) and variable not in correlated:
+                    correlated.append(variable)
+
+        disjuncts = _to_dnf(subquery.where)
+        if len(disjuncts) != 1:
+            raise SchemaError("OR inside NOT EXISTS / IN is not supported")
+        for atom in disjuncts[0]:
+            if isinstance(atom, (NotExists, Exists, InSubquery)):
+                raise SchemaError("nested subqueries are not supported")
+            assert isinstance(atom, SQLComparison)
+            left = self._scalar(atom.left, scope)
+            right = self._scalar(atom.right, scope)
+            note_correlation(left)
+            note_correlation(right)
+            simple = isinstance(left, (Variable, Constant)) and isinstance(
+                right, (Variable, Constant)
+            )
+            if atom.op == "=" and simple:
+                if not unifier.unify(left, right):
+                    # The correlation can never hold: the subquery is
+                    # empty under every outer binding.
+                    return Literal("$false", (), negated=negated)
+            else:
+                extras.append(Comparison(atom.op, left, right))
+
+        # IN: the helper's first column is the subquery's selected value,
+        # matched against the outer comparand (which may be an expression
+        # over bound outer variables).
+        membership_inner: Tuple[Term, ...] = ()
+        membership_outer: Tuple[Term, ...] = ()
+        if membership is not None:
+            items = self._expand_star(subquery, scope)
+            if len(items) != 1:
+                raise SchemaError(
+                    "an IN subquery must select exactly one column"
+                )
+            if isinstance(items[0].expr, AggregateCall):
+                raise SchemaError(
+                    "aggregates inside IN subqueries are not supported"
+                )
+            membership_inner = (self._scalar(items[0].expr, scope),)
+            membership_outer = (membership,)
+
+        mapping = unifier.resolve_all()
+        helper = self._helper_name("exists", "h")
+        # Head of the helper: the membership value (if any), then each
+        # correlated variable's representative after unification (an
+        # inner variable bound by the inner body, or a pinned constant).
+        head_args = tuple(
+            term.substitute(mapping) for term in membership_inner
+        ) + tuple(
+            unifier.find(variable).substitute(mapping) for variable in correlated
+        )
+        helper_rule = Rule(
+            Literal(helper, head_args),
+            tuple(s.substitute(mapping) for s in body + extras),
+        )
+        try:
+            check_rule_safety(helper_rule)
+        except SafetyError as exc:
+            raise SchemaError(
+                f"the subquery must correlate with outer columns "
+                f"through equalities: {exc}"
+            ) from exc
+        self.rules.append(helper_rule)
+        self.catalog.declare_view(
+            helper, tuple(f"h{i}" for i in range(len(head_args)))
+        )
+        return Literal(
+            helper,
+            membership_outer + tuple(correlated),
+            negated=negated,
+        )
+
+    def _translate_grouped(
+        self,
+        select: Select,
+        items: Tuple[SelectItem, ...],
+        scope: _Scope,
+        unifier: _Unifier,
+        body: List[Subgoal],
+        extras: List[Subgoal],
+        head: str,
+    ) -> None:
+        """GROUP BY queries: pre-grouping helper + GROUPBY subgoal(s)."""
+        mapping = unifier.resolve_all()
+        group_terms: List[Term] = []
+        for ref in select.group_by:
+            group_terms.append(scope.resolve(ref).substitute(mapping))
+        aggregate_items = [
+            (index, item)
+            for index, item in enumerate(items)
+            if isinstance(item.expr, AggregateCall)
+        ]
+        plain_items = [
+            (index, item)
+            for index, item in enumerate(items)
+            if not isinstance(item.expr, AggregateCall)
+        ]
+        if not select.group_by and plain_items:
+            raise SchemaError(
+                "non-aggregate SELECT items require a GROUP BY clause"
+            )
+        for index, item in plain_items:
+            if not isinstance(item.expr, ColumnRef):
+                raise SchemaError(
+                    "non-aggregate SELECT items in a GROUP BY query must be "
+                    "plain grouping columns"
+                )
+            term = scope.resolve(item.expr).substitute(mapping)
+            if term not in group_terms:
+                raise SchemaError(
+                    f"SELECT item {item.expr} is not in the GROUP BY list"
+                )
+
+        # Collect every distinct aggregate call: from SELECT items and
+        # from HAVING (which may aggregate columns SELECT does not).
+        having_calls = _aggregate_calls_of(select.having)
+        calls: List[AggregateCall] = []
+        for _, item in aggregate_items:
+            assert isinstance(item.expr, AggregateCall)
+            if item.expr not in calls:
+                calls.append(item.expr)
+        for call in having_calls:
+            if call not in calls:
+                calls.append(call)
+
+        # Pre-grouping helper: group columns + one column per aggregate arg.
+        helper = self._helper_name(head, "g")
+        agg_arg_terms: List[Term] = []
+        for call in calls:
+            if call.argument is None:  # COUNT(*)
+                agg_arg_terms.append(Constant(1))
+            else:
+                agg_arg_terms.append(
+                    self._scalar(call.argument, scope).substitute(mapping)
+                )
+        helper_body = tuple(s.substitute(mapping) for s in body + extras)
+        # The helper must preserve *row identity*: projecting distinct
+        # source rows onto equal (group, agg-arg) tuples would collapse
+        # them under set semantics and miscount COUNT/SUM.  So it also
+        # carries every remaining body variable.
+        named_args = tuple(group_terms) + tuple(agg_arg_terms)
+        carried = {
+            name
+            for term in named_args
+            if isinstance(term, Variable)
+            for name in term.variables()
+        }
+        body_variables: set = set()
+        for subgoal in helper_body:
+            if isinstance(subgoal, Literal) and not subgoal.negated:
+                body_variables |= subgoal.variables()
+        identity_vars = tuple(
+            Variable(name) for name in sorted(body_variables - carried)
+        )
+        helper_args = named_args + identity_vars
+        self.rules.append(Rule(Literal(helper, helper_args), helper_body))
+        self.catalog.declare_view(
+            helper, tuple(f"g{i}" for i in range(len(helper_args)))
+        )
+
+        # One GROUPBY subgoal per distinct aggregate call over the helper.
+        group_vars = tuple(Variable(f"G{i}") for i in range(len(group_terms)))
+        final_body: List[Subgoal] = []
+        call_results: Dict[AggregateCall, Variable] = {}
+        for k, call in enumerate(calls):
+            inner_args = (
+                group_vars
+                + tuple(Variable(f"A{k}_{j}") for j in range(len(calls)))
+                + tuple(
+                    Variable(f"R{k}_{j}") for j in range(len(identity_vars))
+                )
+            )
+            result = Variable(f"M{k}")
+            call_results[call] = result
+            final_body.append(
+                Aggregate(
+                    Literal(helper, inner_args),
+                    group_vars,
+                    result,
+                    call.function,
+                    inner_args[len(group_vars) + k],
+                )
+            )
+
+        def resolve_grouped(expr: ScalarExpr) -> Term:
+            """Scalar over group columns and aggregate results."""
+            if isinstance(expr, AggregateCall):
+                found = call_results.get(expr)
+                if found is None:
+                    raise SchemaError(
+                        f"aggregate {expr} not available in this query"
+                    )
+                return found
+            if isinstance(expr, ColumnRef):
+                term = scope.resolve(expr).substitute(mapping)
+                if term not in group_terms:
+                    raise SchemaError(
+                        f"column {expr} in HAVING/SELECT is not a "
+                        f"grouping column"
+                    )
+                return group_vars[group_terms.index(term)]
+            if isinstance(expr, SQLLiteral):
+                return Constant(expr.value)
+            if isinstance(expr, SQLBinary):
+                return BinaryOp(
+                    expr.op,
+                    resolve_grouped(expr.left),
+                    resolve_grouped(expr.right),
+                )
+            raise SchemaError(f"unsupported HAVING expression {expr!r}")
+
+        head_args: List[Term] = []
+        for index, item in enumerate(items):
+            head_args.append(resolve_grouped(item.expr))
+
+        # HAVING: one final rule per DNF disjunct of the condition.
+        for disjunct in _to_dnf(select.having):
+            rule_body = list(final_body)
+            for atom in disjunct:
+                if not isinstance(atom, SQLComparison):
+                    raise SchemaError(
+                        "HAVING supports comparisons only (no subqueries)"
+                    )
+                rule_body.append(
+                    Comparison(
+                        "!=" if atom.op == "!=" else atom.op,
+                        resolve_grouped(atom.left),
+                        resolve_grouped(atom.right),
+                    )
+                )
+            self.rules.append(
+                Rule(Literal(head, tuple(head_args)), tuple(rule_body))
+            )
+
+
+def translate_sql(catalog: Catalog, source: str) -> Program:
+    """Translate a script of ``CREATE VIEW`` statements into a Program.
+
+    Base tables must be declared in ``catalog`` beforehand; views may
+    reference views created earlier in the same script.
+    """
+    translator = _Translator(catalog)
+    for view in parse_sql(source):
+        translator.translate_view(view)
+    base = tuple(
+        name
+        for name in catalog.names()
+        if not any(rule.head.predicate == name for rule in translator.rules)
+    )
+    return Program(translator.rules, base)

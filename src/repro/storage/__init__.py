@@ -1,0 +1,14 @@
+"""Storage substrate: counted relations, databases, and changesets."""
+
+from repro.storage.changeset import Changeset, changeset_from_deltas
+from repro.storage.database import Database
+from repro.storage.relation import CountedRelation, Row, relation_from_rows
+
+__all__ = [
+    "Changeset",
+    "CountedRelation",
+    "Database",
+    "Row",
+    "changeset_from_deltas",
+    "relation_from_rows",
+]

@@ -1,0 +1,136 @@
+"""Changesets: batches of base-relation insertions, deletions, updates.
+
+A changeset is the input to every maintenance algorithm: for each base
+relation ``P`` it carries a signed delta ``Δ(P)`` (Definition 3.2) —
+positive counts are insertions, negative counts deletions.  Updates are
+modelled as a deletion plus an insertion, as in the paper.
+
+The builder API is fluent::
+
+    changes = (
+        Changeset()
+        .insert("link", ("a", "b"))
+        .delete("link", ("b", "c"))
+        .update("cost", ("x", 3), ("x", 4))
+    )
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Tuple
+
+from repro.storage.relation import CountedRelation, Row
+
+
+class Changeset:
+    """A collection of per-relation signed deltas."""
+
+    __slots__ = ("_deltas",)
+
+    def __init__(self) -> None:
+        self._deltas: Dict[str, CountedRelation] = {}
+
+    # -------------------------------------------------------------- builder
+
+    def insert(self, relation: str, row: Iterable[object], count: int = 1) -> "Changeset":
+        """Record ``count`` insertions of ``row`` into ``relation``."""
+        if count <= 0:
+            raise ValueError(f"insert count must be positive, got {count}")
+        self._delta(relation).add(tuple(row), count)
+        return self
+
+    def delete(self, relation: str, row: Iterable[object], count: int = 1) -> "Changeset":
+        """Record ``count`` deletions of ``row`` from ``relation``."""
+        if count <= 0:
+            raise ValueError(f"delete count must be positive, got {count}")
+        self._delta(relation).add(tuple(row), -count)
+        return self
+
+    def update(
+        self, relation: str, old_row: Iterable[object], new_row: Iterable[object]
+    ) -> "Changeset":
+        """Record an update: delete ``old_row``, insert ``new_row``."""
+        return self.delete(relation, old_row).insert(relation, new_row)
+
+    def add_delta(self, relation: str, delta: CountedRelation) -> "Changeset":
+        """⊎ a whole prebuilt delta relation into this changeset."""
+        self._delta(relation).merge(delta)
+        return self
+
+    def _delta(self, relation: str) -> CountedRelation:
+        delta = self._deltas.get(relation)
+        if delta is None:
+            delta = CountedRelation(f"Δ({relation})")
+            self._deltas[relation] = delta
+        return delta
+
+    # ------------------------------------------------------------ accessors
+
+    def delta(self, relation: str) -> CountedRelation:
+        """The delta for ``relation`` (empty if the changeset never touched it)."""
+        return self._deltas.get(relation, CountedRelation(f"Δ({relation})"))
+
+    def relations(self) -> Tuple[str, ...]:
+        """Names of relations with a non-empty delta."""
+        return tuple(name for name, delta in self._deltas.items() if delta)
+
+    def __iter__(self) -> Iterator[Tuple[str, CountedRelation]]:
+        for name, delta in self._deltas.items():
+            if delta:
+                yield name, delta
+
+    def is_empty(self) -> bool:
+        return not any(delta for delta in self._deltas.values())
+
+    def insertion_count(self) -> int:
+        """Total multiplicity of insertions across all relations."""
+        return sum(
+            count
+            for delta in self._deltas.values()
+            for _, count in delta.positive_items()
+        )
+
+    def deletion_count(self) -> int:
+        """Total multiplicity of deletions across all relations."""
+        return -sum(
+            count
+            for delta in self._deltas.values()
+            for _, count in delta.negative_items()
+        )
+
+    def inverted(self) -> "Changeset":
+        """The inverse changeset (every insertion becomes a deletion etc.).
+
+        Useful for undo-style tests: applying a changeset then its inverse
+        must restore the original materialization.
+        """
+        inverse = Changeset()
+        for name, delta in self._deltas.items():
+            for row, count in delta.items():
+                inverse._delta(name).add(row, -count)
+        return inverse
+
+    def copy(self) -> "Changeset":
+        clone = Changeset()
+        for name, delta in self._deltas.items():
+            clone._deltas[name] = delta.copy()
+        return clone
+
+    def __repr__(self) -> str:
+        parts = []
+        for name, delta in self._deltas.items():
+            if delta:
+                parts.append(f"{name}: {delta.to_dict()}")
+        return f"<Changeset {'; '.join(parts) or 'empty'}>"
+
+
+def changeset_from_deltas(deltas: Dict[str, Dict[Row, int]]) -> Changeset:
+    """Build a changeset from ``{relation: {row: signed count}}``."""
+    changes = Changeset()
+    for name, rows in deltas.items():
+        for row, count in rows.items():
+            if count > 0:
+                changes.insert(name, row, count)
+            elif count < 0:
+                changes.delete(name, row, -count)
+    return changes

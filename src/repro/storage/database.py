@@ -1,0 +1,152 @@
+"""A named store of counted relations (the edb, plus materializations).
+
+The evaluator and the maintenance algorithms both see the database as a
+uniform mapping from relation name to :class:`CountedRelation`.  Base
+relations are updated directly through changesets; derived relations are
+only written by the evaluator / maintainer.
+
+:meth:`Database.apply_changeset` enforces the Lemma 4.1 precondition:
+deleted base tuples must be a subset (as a multiset) of the stored
+relation — deleting more copies of a row than exist raises
+:class:`~repro.errors.MaintenanceError` before anything is mutated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Optional, Tuple
+
+from repro.errors import MaintenanceError, SchemaError, UnknownRelationError
+from repro.storage.changeset import Changeset
+from repro.storage.relation import CountedRelation, Row
+
+
+class Database:
+    """A mutable collection of named counted relations."""
+
+    __slots__ = ("_relations",)
+
+    def __init__(self) -> None:
+        self._relations: Dict[str, CountedRelation] = {}
+
+    # --------------------------------------------------------------- schema
+
+    def create_relation(self, name: str, arity: Optional[int] = None) -> CountedRelation:
+        """Create an empty relation; error if the name already exists."""
+        if name in self._relations:
+            raise SchemaError(f"relation {name} already exists")
+        relation = CountedRelation(name, arity)
+        self._relations[name] = relation
+        return relation
+
+    def ensure_relation(self, name: str, arity: Optional[int] = None) -> CountedRelation:
+        """Return the relation, creating an empty one if missing."""
+        relation = self._relations.get(name)
+        if relation is None:
+            relation = CountedRelation(name, arity)
+            self._relations[name] = relation
+        elif arity is not None and relation.arity is None:
+            relation.arity = arity
+        return relation
+
+    def drop_relation(self, name: str) -> None:
+        if name not in self._relations:
+            raise UnknownRelationError(f"relation {name} does not exist")
+        del self._relations[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def relation(self, name: str) -> CountedRelation:
+        relation = self._relations.get(name)
+        if relation is None:
+            raise UnknownRelationError(f"relation {name} does not exist")
+        return relation
+
+    def get(self, name: str) -> Optional[CountedRelation]:
+        return self._relations.get(name)
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(self._relations)
+
+    def __iter__(self) -> Iterator[CountedRelation]:
+        return iter(self._relations.values())
+
+    # ----------------------------------------------------------------- data
+
+    def insert(self, name: str, row: Iterable[object], count: int = 1) -> None:
+        """Directly insert into a (base) relation, count 1 by default."""
+        self.ensure_relation(name).add(tuple(row), count)
+
+    def insert_rows(self, name: str, rows: Iterable[Iterable[object]]) -> None:
+        relation = self.ensure_relation(name)
+        for row in rows:
+            relation.add(tuple(row), 1)
+
+    def delete(self, name: str, row: Iterable[object], count: int = 1) -> None:
+        """Directly delete from a (base) relation.
+
+        Raises if the relation does not hold enough copies of the row.
+        """
+        relation = self.relation(name)
+        row = tuple(row)
+        if relation.count(row) < count:
+            raise MaintenanceError(
+                f"cannot delete {count} copies of {row!r} from {name}: "
+                f"only {relation.count(row)} stored"
+            )
+        relation.add(row, -count)
+
+    def apply_changeset(self, changes: Changeset) -> None:
+        """Apply a base-relation changeset atomically.
+
+        Validates the whole changeset first (deletions must not exceed
+        stored multiplicities) so a failed apply leaves the database
+        untouched.
+        """
+        for name, delta in changes:
+            relation = self._relations.get(name)
+            for row, count in delta.negative_items():
+                stored = relation.count(row) if relation is not None else 0
+                if stored + count < 0:  # count is negative
+                    raise MaintenanceError(
+                        f"changeset deletes {-count} copies of {row!r} from "
+                        f"{name} but only {stored} are stored (Lemma 4.1 "
+                        f"requires deletions to be a subset of the database)"
+                    )
+        for name, delta in changes:
+            self.ensure_relation(name).merge(delta)
+
+    # -------------------------------------------------------------- utility
+
+    def copy(self) -> "Database":
+        """A deep copy of every relation (indexes rebuild lazily)."""
+        clone = Database()
+        for name, relation in self._relations.items():
+            clone._relations[name] = relation.copy()
+        return clone
+
+    def total_rows(self) -> int:
+        """Total number of distinct rows across all relations."""
+        return sum(len(relation) for relation in self._relations.values())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Database):
+            return NotImplemented
+        names = set(self._relations) | set(other._relations)
+        for name in names:
+            mine = self._relations.get(name)
+            theirs = other._relations.get(name)
+            mine_rows = mine.to_dict() if mine is not None else {}
+            theirs_rows = theirs.to_dict() if theirs is not None else {}
+            if mine_rows != theirs_rows:
+                return False
+        return True
+
+    def __hash__(self) -> None:  # type: ignore[override]
+        raise TypeError("Database is mutable and unhashable")
+
+    def __repr__(self) -> str:
+        sizes = ", ".join(
+            f"{name}|{len(rel)}|" for name, rel in sorted(self._relations.items())
+        )
+        return f"<Database {sizes}>"

@@ -1,0 +1,280 @@
+"""Counted relations: multisets of tuples with derivation counts.
+
+Section 3 of the paper defines relations whose tuples carry a *count*:
+the number of distinct derivations under duplicate semantics.  Change
+relations (``Δ(P)``) carry positive counts for insertions and negative
+counts for deletions.  Two operations are redefined for counted
+relations:
+
+* the union ``⊎`` adds counts and drops tuples whose counts cancel to 0
+  (:meth:`CountedRelation.merge`, :meth:`CountedRelation.add`);
+* the join multiplies counts of joined tuples (implemented in
+  :mod:`repro.eval.rule_eval`).
+
+A :class:`CountedRelation` never stores a zero count.  Stored
+materializations must satisfy the Lemma 4.1 invariant (no negative
+counts) — :meth:`assert_nonnegative` checks it; delta relations may mix
+signs freely.
+
+Relations maintain hash indexes over column subsets.  Indexes are created
+lazily by the evaluator and maintained incrementally on every mutation,
+so repeated small maintenance batches never pay a full re-index.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+from repro.errors import MaintenanceError, SchemaError
+
+#: A database tuple.  Values are arbitrary hashable Python objects.
+Row = Tuple[object, ...]
+
+
+class CountedRelation:
+    """A multiset of rows with signed multiplicities.
+
+    The public mutators are :meth:`add` (⊎ of a single row),
+    :meth:`merge` (⊎ of a whole relation), and :meth:`clear`; all keep
+    the no-zero-counts invariant and all secondary indexes up to date.
+    """
+
+    __slots__ = ("name", "arity", "_rows", "_indexes")
+
+    def __init__(
+        self,
+        name: str = "",
+        arity: Optional[int] = None,
+        rows: Optional[Iterable[Tuple[Row, int]]] = None,
+    ) -> None:
+        self.name = name
+        self.arity = arity
+        self._rows: Dict[Row, int] = {}
+        # positions → {key values → set of rows}; maintained incrementally.
+        self._indexes: Dict[Tuple[int, ...], Dict[Row, set]] = {}
+        if rows is not None:
+            for row, count in rows:
+                self.add(row, count)
+
+    # ------------------------------------------------------------ basic ops
+
+    def add(self, row: Row, count: int = 1) -> int:
+        """⊎ a single row: returns the row's new count (0 if removed)."""
+        if count == 0:
+            return self._rows.get(row, 0)
+        if self.arity is not None and len(row) != self.arity:
+            raise SchemaError(
+                f"relation {self.name or '<anon>'} has arity {self.arity}; "
+                f"got row of length {len(row)}: {row!r}"
+            )
+        old = self._rows.get(row, 0)
+        new = old + count
+        if new == 0:
+            del self._rows[row]
+            if old != 0:
+                self._index_remove(row)
+        else:
+            self._rows[row] = new
+            if old == 0:
+                self._index_insert(row)
+        return new
+
+    def discard(self, row: Row) -> int:
+        """Remove a row entirely regardless of count; returns the old count."""
+        old = self._rows.pop(row, 0)
+        if old != 0:
+            self._index_remove(row)
+        return old
+
+    def set_count(self, row: Row, count: int) -> None:
+        """Force a row's count (0 removes the row)."""
+        self.add(row, count - self._rows.get(row, 0))
+
+    def merge(self, other: "CountedRelation | Mapping[Row, int]") -> None:
+        """In-place ⊎ with another counted relation (Section 3)."""
+        items = other.items() if isinstance(other, CountedRelation) else other.items()
+        for row, count in items:
+            self.add(row, count)
+
+    def merged(self, other: "CountedRelation") -> "CountedRelation":
+        """Pure ⊎: a fresh relation equal to ``self ⊎ other``."""
+        result = self.copy()
+        result.merge(other)
+        return result
+
+    def clear(self) -> None:
+        self._rows.clear()
+        for index in self._indexes.values():
+            index.clear()
+
+    def copy(self, name: Optional[str] = None) -> "CountedRelation":
+        """A deep copy (indexes are not copied; they rebuild lazily)."""
+        clone = CountedRelation(name if name is not None else self.name, self.arity)
+        clone._rows = dict(self._rows)
+        return clone
+
+    # ----------------------------------------------------------- inspection
+
+    def count(self, row: Row) -> int:
+        """The stored count of ``row`` (0 when absent)."""
+        return self._rows.get(row, 0)
+
+    def __contains__(self, row: Row) -> bool:
+        return self._rows.get(row, 0) != 0
+
+    def contains_positive(self, row: Row) -> bool:
+        """Set-semantics membership: present with a positive count."""
+        return self._rows.get(row, 0) > 0
+
+    def __len__(self) -> int:
+        """Number of *distinct* rows."""
+        return len(self._rows)
+
+    def __bool__(self) -> bool:
+        return bool(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def items(self) -> Iterator[Tuple[Row, int]]:
+        """Iterate ``(row, count)`` pairs.
+
+        Snapshots the backing dict so callers may mutate while iterating
+        (the maintenance algorithms interleave reads and ⊎ updates).
+        """
+        return iter(list(self._rows.items()))
+
+    def rows(self) -> Iterator[Row]:
+        """Iterate distinct rows (snapshot, like :meth:`items`)."""
+        return iter(list(self._rows.keys()))
+
+    def positive_items(self) -> Iterator[Tuple[Row, int]]:
+        """``(row, count)`` pairs with positive counts (the insertions)."""
+        return iter([(r, c) for r, c in self._rows.items() if c > 0])
+
+    def negative_items(self) -> Iterator[Tuple[Row, int]]:
+        """``(row, count)`` pairs with negative counts (the deletions)."""
+        return iter([(r, c) for r, c in self._rows.items() if c < 0])
+
+    def total_count(self) -> int:
+        """Sum of all counts — the duplicate-semantics cardinality."""
+        return sum(self._rows.values())
+
+    def to_dict(self) -> Dict[Row, int]:
+        """A plain dict snapshot ``{row: count}``."""
+        return dict(self._rows)
+
+    def as_set(self) -> frozenset:
+        """The set projection: rows with positive counts."""
+        return frozenset(r for r, c in self._rows.items() if c > 0)
+
+    # ------------------------------------------------- set-semantics helpers
+
+    def set_view(self, name: str = "") -> "CountedRelation":
+        """A copy with every positive count normalized to 1.
+
+        This is the ``set(P)`` of Algorithm 4.1 statement (2) and the
+        Section 5.1 convention that lower-stratum tuples count as 1.
+        """
+        view = CountedRelation(name or self.name, self.arity)
+        for row, count in self._rows.items():
+            if count > 0:
+                view._rows[row] = 1
+        return view
+
+    def set_difference_delta(self, old: "CountedRelation") -> "CountedRelation":
+        """``set(self) − set(old)`` as a signed delta (statement (2)).
+
+        Rows appearing (count became positive) get +1; rows disappearing
+        get −1; rows present on both sides are dropped even if their
+        counts differ — that is the whole point of the optimization.
+        """
+        delta = CountedRelation(f"Δset({self.name})", self.arity)
+        for row, count in self._rows.items():
+            if count > 0 and not old.contains_positive(row):
+                delta._rows[row] = 1
+        for row, count in old._rows.items():
+            if count > 0 and not self.contains_positive(row):
+                delta._rows[row] = -1
+        return delta
+
+    def assert_nonnegative(self) -> None:
+        """Check the Lemma 4.1 invariant for stored materializations."""
+        for row, count in self._rows.items():
+            if count < 0:
+                raise MaintenanceError(
+                    f"stored relation {self.name or '<anon>'} holds row "
+                    f"{row!r} with negative count {count} — more deletions "
+                    f"were applied than derivations exist"
+                )
+
+    # -------------------------------------------------------------- indexes
+
+    def ensure_index(self, positions: Tuple[int, ...]) -> Dict[Row, set]:
+        """Build (once) and return the hash index on ``positions``.
+
+        The index maps a key (the row values at ``positions``) to the set
+        of rows carrying that key.  Subsequent mutations keep it current.
+        """
+        index = self._indexes.get(positions)
+        if index is None:
+            index = {}
+            for row in self._rows:
+                key = tuple(row[p] for p in positions)
+                index.setdefault(key, set()).add(row)
+            self._indexes[positions] = index
+        return index
+
+    def lookup(self, positions: Tuple[int, ...], key: Row) -> Iterable[Row]:
+        """Rows whose values at ``positions`` equal ``key`` (via index)."""
+        if not positions:
+            return self.rows()
+        index = self.ensure_index(positions)
+        return tuple(index.get(key, ()))
+
+    def _index_insert(self, row: Row) -> None:
+        for positions, index in self._indexes.items():
+            key = tuple(row[p] for p in positions)
+            index.setdefault(key, set()).add(row)
+
+    def _index_remove(self, row: Row) -> None:
+        for positions, index in self._indexes.items():
+            key = tuple(row[p] for p in positions)
+            bucket = index.get(key)
+            if bucket is not None:
+                bucket.discard(row)
+                if not bucket:
+                    del index[key]
+
+    # ------------------------------------------------------------- equality
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, CountedRelation):
+            return self._rows == other._rows
+        if isinstance(other, dict):
+            return self._rows == other
+        return NotImplemented
+
+    def __hash__(self) -> None:  # type: ignore[override]
+        raise TypeError("CountedRelation is mutable and unhashable")
+
+    def __repr__(self) -> str:
+        label = self.name or "relation"
+        preview = ", ".join(
+            f"{row}:{count}" for row, count in sorted(self._rows.items())[:8]
+        )
+        suffix = ", ..." if len(self._rows) > 8 else ""
+        return f"<{label} |{len(self._rows)}| {{{preview}{suffix}}}>"
+
+
+def relation_from_rows(
+    name: str, rows: Iterable[Row], arity: Optional[int] = None
+) -> CountedRelation:
+    """Build a counted relation from plain rows, each with count 1.
+
+    Duplicate rows accumulate counts — handy for bag-semantics fixtures.
+    """
+    relation = CountedRelation(name, arity)
+    for row in rows:
+        relation.add(tuple(row), 1)
+    return relation

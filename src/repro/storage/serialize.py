@@ -1,0 +1,161 @@
+"""Serialization: save and load databases and changesets as JSON.
+
+A practical necessity for a library users adopt: snapshot the base
+relations (with bag multiplicities) to disk, reload them later, and
+replay changesets.  The format is plain JSON with a small value-encoding
+layer, because relation values are arbitrary hashable Python objects
+while JSON only has strings/numbers/bools:
+
+* JSON-native scalars pass through;
+* tuples (used as composite node ids by the grid/DAG workloads) are
+  encoded as ``{"t": [...]}``;
+* everything else round-trips via ``repr`` → ``ast.literal_eval`` and
+  is rejected when not literal-evaluable.
+
+The count structure is preserved exactly, so a duplicate-semantics
+database reloads with identical multiplicities.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from typing import Any, Dict, IO, List, Union
+
+from repro.errors import SchemaError
+from repro.storage.changeset import Changeset
+from repro.storage.database import Database
+from repro.storage.relation import CountedRelation
+
+FORMAT_VERSION = 1
+
+_JSON_SCALARS = (str, int, float, bool, type(None))
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, (int, float)):
+        return value
+    if isinstance(value, str):
+        # Guard strings that would collide with the repr escape hatch.
+        return value
+    if isinstance(value, tuple):
+        return {"t": [_encode_value(v) for v in value]}
+    try:
+        text = repr(value)
+        ast.literal_eval(text)
+    except (ValueError, SyntaxError):
+        raise SchemaError(
+            f"value {value!r} of type {type(value).__name__} is not "
+            f"serializable (repr is not literal-evaluable)"
+        ) from None
+    return {"r": text}
+
+
+def _decode_value(encoded: Any) -> Any:
+    if isinstance(encoded, dict):
+        if "t" in encoded:
+            return tuple(_decode_value(v) for v in encoded["t"])
+        if "r" in encoded:
+            return ast.literal_eval(encoded["r"])
+        raise SchemaError(f"unrecognized encoded value {encoded!r}")
+    return encoded
+
+
+def _encode_relation(relation: CountedRelation) -> Dict[str, Any]:
+    return {
+        "arity": relation.arity,
+        "rows": [
+            {"row": [_encode_value(v) for v in row], "count": count}
+            for row, count in sorted(
+                relation.items(), key=lambda item: repr(item[0])
+            )
+        ],
+    }
+
+
+def _decode_relation(name: str, payload: Dict[str, Any]) -> CountedRelation:
+    relation = CountedRelation(name, payload.get("arity"))
+    for entry in payload["rows"]:
+        row = tuple(_decode_value(v) for v in entry["row"])
+        relation.add(row, entry["count"])
+    return relation
+
+
+def database_to_dict(database: Database) -> Dict[str, Any]:
+    """A JSON-ready dict snapshot of every relation in the database."""
+    return {
+        "format": FORMAT_VERSION,
+        "relations": {
+            name: _encode_relation(database.relation(name))
+            for name in sorted(database.names())
+        },
+    }
+
+
+def database_from_dict(payload: Dict[str, Any]) -> Database:
+    """Rebuild a database from :func:`database_to_dict` output."""
+    if payload.get("format") != FORMAT_VERSION:
+        raise SchemaError(
+            f"unsupported database snapshot format {payload.get('format')!r}"
+        )
+    database = Database()
+    for name, relation_payload in payload["relations"].items():
+        relation = _decode_relation(name, relation_payload)
+        database.ensure_relation(name, relation.arity).merge(relation)
+    return database
+
+
+def save_database(database: Database, target: Union[str, IO[str]]) -> None:
+    """Write a database snapshot as JSON to a path or open text file."""
+    payload = database_to_dict(database)
+    if isinstance(target, str):
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1)
+    else:
+        json.dump(payload, target, indent=1)
+
+
+def load_database(source: Union[str, IO[str]]) -> Database:
+    """Read a database snapshot written by :func:`save_database`."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    else:
+        payload = json.load(source)
+    return database_from_dict(payload)
+
+
+def changeset_to_dict(changes: Changeset) -> Dict[str, Any]:
+    """A JSON-ready dict of a changeset's signed deltas."""
+    return {
+        "format": FORMAT_VERSION,
+        "deltas": {
+            name: [
+                {"row": [_encode_value(v) for v in row], "count": count}
+                for row, count in sorted(
+                    delta.items(), key=lambda item: repr(item[0])
+                )
+            ]
+            for name, delta in changes
+        },
+    }
+
+
+def changeset_from_dict(payload: Dict[str, Any]) -> Changeset:
+    """Rebuild a changeset from :func:`changeset_to_dict` output."""
+    if payload.get("format") != FORMAT_VERSION:
+        raise SchemaError(
+            f"unsupported changeset format {payload.get('format')!r}"
+        )
+    changes = Changeset()
+    for name, entries in payload["deltas"].items():
+        for entry in entries:
+            row = tuple(_decode_value(v) for v in entry["row"])
+            count = entry["count"]
+            if count > 0:
+                changes.insert(name, row, count)
+            elif count < 0:
+                changes.delete(name, row, -count)
+    return changes

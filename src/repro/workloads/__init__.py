@@ -1,0 +1,35 @@
+"""Synthetic graph and update-batch generators for tests and benchmarks."""
+
+from repro.workloads.graphs import (
+    chain,
+    cycle,
+    grid,
+    layered_dag,
+    nodes_of,
+    preferential_attachment,
+    random_graph,
+    with_costs,
+)
+from repro.workloads.updates import (
+    delete_batch,
+    delete_fraction,
+    insert_batch,
+    mixed_batch,
+    update_sequence,
+)
+
+__all__ = [
+    "chain",
+    "cycle",
+    "delete_batch",
+    "delete_fraction",
+    "grid",
+    "insert_batch",
+    "layered_dag",
+    "mixed_batch",
+    "nodes_of",
+    "preferential_attachment",
+    "random_graph",
+    "update_sequence",
+    "with_costs",
+]

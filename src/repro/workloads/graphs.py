@@ -1,0 +1,114 @@
+"""Synthetic graph generators for the ``link`` relations.
+
+The paper's running examples are all over a ``link(S, D)`` (or
+``link(S, D, C)`` with costs) relation; its evaluation discussion gives
+no datasets, so the benchmarks use seeded synthetic graphs whose shapes
+stress different aspects of maintenance:
+
+* *uniform random* — typical join fan-out;
+* *chains* — worst case for deletion propagation depth (a deleted edge
+  invalidates a long suffix of the transitive closure);
+* *grids* — many alternative derivations (DRed rederives a lot, counting
+  counts a lot);
+* *layered DAGs* — deep stacks of nonrecursive views; also guarantee
+  finite derivation counts for recursive counting (E11);
+* *preferential attachment* — heavy-tailed degree, hub deletions.
+
+All generators are deterministic in ``seed`` and return sorted edge
+lists so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+Edge = Tuple[object, object]
+WeightedEdge = Tuple[object, object, int]
+
+
+def random_graph(nodes: int, edges: int, seed: int = 0) -> List[Edge]:
+    """A uniform random simple digraph (no self-loops, no duplicates)."""
+    limit = nodes * (nodes - 1)
+    if edges > limit:
+        raise ValueError(f"at most {limit} edges fit on {nodes} nodes")
+    rng = random.Random(seed)
+    out: set = set()
+    while len(out) < edges:
+        a = rng.randrange(nodes)
+        b = rng.randrange(nodes)
+        if a != b:
+            out.add((a, b))
+    return sorted(out)
+
+
+def chain(length: int) -> List[Edge]:
+    """A simple path ``0 → 1 → … → length`` (worst-case TC depth)."""
+    return [(i, i + 1) for i in range(length)]
+
+
+def cycle(length: int) -> List[Edge]:
+    """A directed cycle — infinite derivation counts (E11's bad case)."""
+    return [(i, (i + 1) % length) for i in range(length)]
+
+
+def grid(width: int, height: int) -> List[Edge]:
+    """A right/down grid: many alternative paths between node pairs."""
+    edges: List[Edge] = []
+    for x in range(width):
+        for y in range(height):
+            if x + 1 < width:
+                edges.append(((x, y), (x + 1, y)))
+            if y + 1 < height:
+                edges.append(((x, y), (x, y + 1)))
+    return edges
+
+
+def layered_dag(
+    layers: int, width: int, fanout: int, seed: int = 0
+) -> List[Edge]:
+    """A DAG of ``layers`` layers, ``width`` nodes each, edges layer→next.
+
+    Nodes are ``(layer, index)`` pairs.  Acyclic by construction, so
+    derivation counts of the transitive closure are finite.
+    """
+    rng = random.Random(seed)
+    edges: set = set()
+    for layer in range(layers - 1):
+        for index in range(width):
+            for _ in range(fanout):
+                target = rng.randrange(width)
+                edges.add(((layer, index), (layer + 1, target)))
+    return sorted(edges)
+
+
+def preferential_attachment(nodes: int, per_node: int, seed: int = 0) -> List[Edge]:
+    """A heavy-tailed digraph: each new node links to popular targets."""
+    rng = random.Random(seed)
+    targets: List[int] = [0]
+    edges: set = set()
+    for node in range(1, nodes):
+        for _ in range(per_node):
+            target = rng.choice(targets)
+            if target != node:
+                edges.add((node, target))
+        targets.extend([node] * per_node)
+        targets.append(node)
+    return sorted(edges)
+
+
+def with_costs(
+    edges: Sequence[Edge], low: int = 1, high: int = 10, seed: int = 0
+) -> List[WeightedEdge]:
+    """Attach uniform integer costs (Example 6.2's ``link(S, D, C)``)."""
+    rng = random.Random(seed)
+    return [(a, b, rng.randint(low, high)) for a, b in edges]
+
+
+def nodes_of(edges: Sequence[Edge]) -> List[object]:
+    """All endpoints occurring in an edge list (sorted, de-duplicated)."""
+    seen = set()
+    for a, b, *_ in edges:
+        seen.add(a)
+        seen.add(b)
+    return sorted(seen)

@@ -1,0 +1,123 @@
+"""Update-batch generators: the changesets benchmarks replay.
+
+Each generator takes the current contents of a relation and produces a
+:class:`~repro.storage.changeset.Changeset` plus the post-state, so a
+sequence of batches can be replayed deterministically against several
+maintainers at once (they must all see identical changes).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.storage.changeset import Changeset
+
+Row = Tuple[object, ...]
+
+
+def delete_batch(
+    relation: str, rows: Sequence[Row], count: int, seed: int = 0
+) -> Tuple[Changeset, List[Row]]:
+    """Delete ``count`` random rows; returns (changeset, remaining rows)."""
+    rng = random.Random(seed)
+    count = min(count, len(rows))
+    victims = rng.sample(list(rows), count)
+    changes = Changeset()
+    for row in victims:
+        changes.delete(relation, row)
+    remaining = [row for row in rows if row not in set(victims)]
+    return changes, remaining
+
+
+def insert_batch(
+    relation: str,
+    rows: Sequence[Row],
+    count: int,
+    node_count: int,
+    seed: int = 0,
+    arity: int = 2,
+    cost_range: Optional[Tuple[int, int]] = None,
+) -> Tuple[Changeset, List[Row]]:
+    """Insert ``count`` fresh random edges among integer nodes."""
+    rng = random.Random(seed)
+    existing = {row[:2] for row in rows}
+    changes = Changeset()
+    added: List[Row] = []
+    guard = 0
+    while len(added) < count:
+        guard += 1
+        if guard > 100 * count + 1000:
+            break  # graph nearly complete; give up on the remainder
+        a = rng.randrange(node_count)
+        b = rng.randrange(node_count)
+        if a == b or (a, b) in existing:
+            continue
+        if cost_range is not None:
+            row: Row = (a, b, rng.randint(*cost_range))
+        elif arity == 2:
+            row = (a, b)
+        else:
+            row = (a, b) + tuple(0 for _ in range(arity - 2))
+        existing.add((a, b))
+        added.append(row)
+        changes.insert(relation, row)
+    return changes, list(rows) + added
+
+
+def mixed_batch(
+    relation: str,
+    rows: Sequence[Row],
+    deletions: int,
+    insertions: int,
+    node_count: int,
+    seed: int = 0,
+    cost_range: Optional[Tuple[int, int]] = None,
+) -> Tuple[Changeset, List[Row]]:
+    """A batch with both deletions and insertions (the general case)."""
+    delete_changes, remaining = delete_batch(relation, rows, deletions, seed)
+    insert_changes, final = insert_batch(
+        relation,
+        remaining,
+        insertions,
+        node_count,
+        seed + 1,
+        arity=len(rows[0]) if rows else 2,
+        cost_range=cost_range,
+    )
+    changes = Changeset()
+    for name, delta in delete_changes:
+        changes.add_delta(name, delta)
+    for name, delta in insert_changes:
+        changes.add_delta(name, delta)
+    return changes, final
+
+
+def delete_fraction(
+    relation: str, rows: Sequence[Row], fraction: float, seed: int = 0
+) -> Tuple[Changeset, List[Row]]:
+    """Delete a fraction of the relation (E2's inertia sweep; 1.0 = all)."""
+    count = round(len(rows) * fraction)
+    return delete_batch(relation, rows, count, seed)
+
+
+def update_sequence(
+    relation: str,
+    rows: Sequence[Row],
+    batches: int,
+    batch_size: int,
+    node_count: int,
+    seed: int = 0,
+) -> Iterable[Changeset]:
+    """A replayable sequence of balanced mixed batches."""
+    current = list(rows)
+    for index in range(batches):
+        changes, current = mixed_batch(
+            relation,
+            current,
+            deletions=batch_size // 2,
+            insertions=batch_size - batch_size // 2,
+            node_count=node_count,
+            seed=seed + index,
+        )
+        yield changes

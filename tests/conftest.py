@@ -1,0 +1,72 @@
+"""Shared fixtures: the paper's example databases and small graphs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.database import Database
+
+#: Example 1.1's link relation.
+EXAMPLE_1_1_LINKS = [("a", "b"), ("b", "c"), ("b", "e"), ("a", "d"), ("d", "c")]
+
+#: Example 4.2's initial link relation.
+EXAMPLE_4_2_LINKS = [
+    ("a", "b"),
+    ("a", "d"),
+    ("d", "c"),
+    ("b", "c"),
+    ("c", "h"),
+    ("f", "g"),
+]
+
+#: Example 6.1's link relation.
+EXAMPLE_6_1_LINKS = [
+    ("a", "b"),
+    ("a", "e"),
+    ("a", "f"),
+    ("a", "g"),
+    ("b", "c"),
+    ("c", "d"),
+    ("c", "k"),
+    ("e", "d"),
+    ("f", "d"),
+    ("g", "h"),
+    ("h", "k"),
+]
+
+HOP_SRC = "hop(X, Y) :- link(X, Z), link(Z, Y)."
+
+HOP_TRI_SRC = """
+hop(X, Y) :- link(X, Z), link(Z, Y).
+tri_hop(X, Y) :- hop(X, Z), link(Z, Y).
+"""
+
+ONLY_TRI_SRC = HOP_TRI_SRC + (
+    "only_tri_hop(X, Y) :- tri_hop(X, Y), not hop(X, Y).\n"
+)
+
+TC_SRC = """
+tc(X, Y) :- link(X, Y).
+tc(X, Y) :- tc(X, Z), link(Z, Y).
+"""
+
+
+def database_with(edges, relation="link") -> Database:
+    db = Database()
+    db.insert_rows(relation, edges)
+    return db
+
+
+@pytest.fixture
+def example_1_1_db() -> Database:
+    return database_with(EXAMPLE_1_1_LINKS)
+
+
+@pytest.fixture
+def example_4_2_db() -> Database:
+    return database_with(EXAMPLE_4_2_LINKS)
+
+
+@pytest.fixture
+def example_6_1_db() -> Database:
+    return database_with(EXAMPLE_6_1_LINKS)

@@ -1,0 +1,140 @@
+"""Tests for the baseline maintainers (recompute, PF, insert-only, recount)."""
+
+import pytest
+
+from repro.baselines.pf import PFMaintainer
+from repro.baselines.recompute import RecomputeMaintainer
+from repro.baselines.recount import true_view_deltas
+from repro.baselines.seminaive_insert import SemiNaiveInsertMaintainer
+from repro.datalog.parser import parse_program
+from repro.errors import MaintenanceError
+from repro.storage.changeset import Changeset
+from repro.workloads import mixed_batch, random_graph
+
+from conftest import HOP_TRI_SRC, TC_SRC, database_with
+
+
+class TestRecompute:
+    def test_matches_paper_example(self, example_1_1_db):
+        maintainer = RecomputeMaintainer.from_source(
+            "hop(X,Y) :- link(X,Z), link(Z,Y).", example_1_1_db
+        ).initialize()
+        maintainer.apply(Changeset().delete("link", ("a", "b")))
+        assert maintainer.relation("hop").to_dict() == {("a", "c"): 1}
+
+    def test_duplicate_semantics_supported(self, example_4_2_db):
+        maintainer = RecomputeMaintainer.from_source(
+            HOP_TRI_SRC, example_4_2_db, semantics="duplicate"
+        ).initialize()
+        assert maintainer.relation("tri_hop").count(("a", "h")) == 2
+
+    def test_timing_recorded(self, example_1_1_db):
+        maintainer = RecomputeMaintainer.from_source(
+            TC_SRC, example_1_1_db
+        ).initialize()
+        maintainer.apply(Changeset().insert("link", ("z", "w")))
+        assert maintainer.last_seconds > 0
+
+
+class TestPF:
+    @pytest.mark.parametrize("granularity", ["tuple", "relation"])
+    def test_matches_recompute(self, granularity):
+        edges = random_graph(15, 30, seed=4)
+        changes, _ = mixed_batch("link", edges, 3, 3, node_count=15, seed=5)
+        pf = PFMaintainer.from_source(
+            TC_SRC, database_with(edges), granularity=granularity
+        ).initialize()
+        pf.apply(changes.copy())
+        oracle = RecomputeMaintainer.from_source(
+            TC_SRC, database_with(edges)
+        ).initialize()
+        oracle.apply(changes.copy())
+        assert pf.relation("tc").as_set() == oracle.relation("tc").as_set()
+
+    def test_tuple_granularity_fragments_per_tuple(self):
+        edges = random_graph(12, 24, seed=6)
+        changes, _ = mixed_batch("link", edges, 2, 3, node_count=12, seed=7)
+        # An insert that re-adds a deleted row cancels inside the
+        # changeset, so count the surviving delta entries.
+        expected = sum(
+            len(delta) for _name, delta in changes.copy()
+        )
+        pf = PFMaintainer.from_source(TC_SRC, database_with(edges)).initialize()
+        pf.apply(changes)
+        assert pf.fragments_processed == expected
+
+    def test_relation_granularity_fragments_per_relation(self):
+        edges = random_graph(12, 24, seed=6)
+        changes, _ = mixed_batch("link", edges, 2, 3, node_count=12, seed=7)
+        pf = PFMaintainer.from_source(
+            TC_SRC, database_with(edges), granularity="relation"
+        ).initialize()
+        pf.apply(changes)
+        assert pf.fragments_processed == 1
+
+    def test_rederives_more_than_dred(self):
+        """The §2 criticism: PF rederives again and again."""
+        from repro.core.maintenance import ViewMaintainer
+
+        edges = random_graph(20, 55, seed=8)
+        changes, _ = mixed_batch("link", edges, 5, 0, node_count=20, seed=9)
+        pf = PFMaintainer.from_source(TC_SRC, database_with(edges)).initialize()
+        pf.apply(changes.copy())
+        dred = ViewMaintainer.from_source(
+            TC_SRC, database_with(edges), strategy="dred"
+        ).initialize()
+        report = dred.apply(changes.copy())
+        assert pf.rederivation_attempts >= report.dred.stats.rederived
+
+
+class TestSemiNaiveInsert:
+    def test_insert_only_works(self):
+        maintainer = SemiNaiveInsertMaintainer.from_source(
+            TC_SRC, database_with([(0, 1), (2, 3)])
+        ).initialize()
+        maintainer.apply(Changeset().insert("link", (1, 2)))
+        assert (0, 3) in maintainer.relation("tc")
+
+    def test_deletions_rejected(self):
+        maintainer = SemiNaiveInsertMaintainer.from_source(
+            TC_SRC, database_with([(0, 1)])
+        ).initialize()
+        with pytest.raises(MaintenanceError, match="deletion"):
+            maintainer.apply(Changeset().delete("link", (0, 1)))
+
+    def test_negation_rejected_at_construction(self):
+        with pytest.raises(MaintenanceError, match="positive"):
+            SemiNaiveInsertMaintainer.from_source(
+                "p(X) :- q(X), not r(X).", database_with([])
+            )
+
+    def test_aggregation_rejected_at_construction(self):
+        with pytest.raises(MaintenanceError, match="positive"):
+            SemiNaiveInsertMaintainer.from_source(
+                "m(S, M) :- GROUPBY(q(S, C), [S], M = SUM(C)).",
+                database_with([]),
+            )
+
+
+class TestRecountOracle:
+    def test_reports_exact_deltas(self, example_1_1_db):
+        program = parse_program("hop(X,Y) :- link(X,Z), link(Z,Y).")
+        deltas = true_view_deltas(
+            program, example_1_1_db, Changeset().delete("link", ("a", "b"))
+        )
+        assert deltas["hop"].to_dict() == {("a", "c"): -1, ("a", "e"): -1}
+
+    def test_database_untouched(self, example_1_1_db):
+        program = parse_program("hop(X,Y) :- link(X,Z), link(Z,Y).")
+        before = example_1_1_db.copy()
+        true_view_deltas(
+            program, example_1_1_db, Changeset().delete("link", ("a", "b"))
+        )
+        assert example_1_1_db == before
+
+    def test_unchanged_views_omitted(self, example_1_1_db):
+        program = parse_program(HOP_TRI_SRC)
+        deltas = true_view_deltas(
+            program, example_1_1_db, Changeset().insert("other", ("x",))
+        )
+        assert deltas == {}

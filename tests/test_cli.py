@@ -1,0 +1,188 @@
+"""Tests for the interactive shell (repro.cli)."""
+
+import pytest
+
+from repro.cli import Shell, split_program
+from repro.datalog.parser import parse_program
+from repro.storage.database import Database
+
+PROGRAM = """
+link(a, b).
+link(b, c).
+link(b, e).
+link(a, d).
+link(d, c).
+hop(X, Y) :- link(X, Z), link(Z, Y).
+"""
+
+
+@pytest.fixture
+def shell() -> Shell:
+    return Shell(PROGRAM)
+
+
+class TestSplitProgram:
+    def test_seed_facts_extracted(self):
+        program, facts = split_program(parse_program(PROGRAM))
+        assert len(facts) == 5
+        assert len(program) == 1
+        assert "link" in program.edb_predicates
+
+    def test_predicate_with_rules_keeps_its_facts(self):
+        source = "p(1). p(X) :- q(X)."
+        program, facts = split_program(parse_program(source))
+        assert facts == []
+        assert len(program) == 2
+
+
+class TestShellCommands:
+    def test_show_view(self, shell):
+        output = shell.execute("show hop")
+        assert "hop('a', 'c')  ×2" in output
+        assert "hop('a', 'e')" in output
+
+    def test_stage_and_commit(self, shell):
+        assert "staged" in shell.execute("+ link(c, f)")
+        output = shell.execute("commit")
+        assert "maintained" in output
+        assert "counting" in output
+        assert "hop('b', 'f')" in shell.execute("show hop")
+
+    def test_delete_flow(self, shell):
+        shell.execute("- link(a, b)")
+        shell.execute("commit")
+        output = shell.execute("show hop")
+        assert "×2" not in output
+        assert "('a', 'e')" not in output
+
+    def test_commit_without_staged(self, shell):
+        assert shell.execute("commit") == "nothing staged"
+
+    def test_discard(self, shell):
+        shell.execute("+ link(z, z2)")
+        assert "discard" in shell.execute("discard")
+        assert shell.execute("commit") == "nothing staged"
+
+    def test_views_and_rules(self, shell):
+        assert shell.execute("views") == "hop"
+        assert "hop(X, Y) :- link(X, Z), link(Z, Y)." in shell.execute("rules")
+
+    def test_explain_prints_delta_rules(self, shell):
+        output = shell.execute("explain")
+        assert "Δ:hop" in output
+        assert "Δ:link" in output
+
+    def test_check(self, shell):
+        assert "consistent" in shell.execute("check")
+
+    def test_alter_add_and_remove(self, shell):
+        output = shell.execute("alter + hop(X, Y) :- link(Y, X).")
+        assert "rule added" in output
+        assert ("b", "a") in shell.maintainer.relation("hop")
+        output = shell.execute("alter - hop(X, Y) :- link(Y, X).")
+        assert "rule removed" in output
+        assert ("b", "a") not in shell.maintainer.relation("hop")
+
+    def test_error_reported_not_raised(self, shell):
+        output = shell.execute("- link(nope, nope)")
+        shell.execute("commit")  # may be empty or error; shell must survive
+        output = shell.execute("show ghost")
+        assert output.startswith("error:")
+
+    def test_nonground_update_rejected(self, shell):
+        assert "ground" in shell.execute("+ link(X, b)")
+
+    def test_unknown_command(self, shell):
+        assert "unknown command" in shell.execute("frobnicate")
+
+    def test_comments_and_blanks_ignored(self, shell):
+        assert shell.execute("") == ""
+        assert shell.execute("% comment") == ""
+
+    def test_quit_sets_done(self, shell):
+        assert shell.execute("quit") == "bye"
+        assert shell.done
+
+    def test_help(self, shell):
+        assert "commit" in shell.execute("help")
+
+    def test_save(self, shell, tmp_path):
+        path = tmp_path / "snap.json"
+        assert shell.execute(f"save {path}") == "saved"
+        from repro.storage.serialize import load_database
+
+        assert ("a", "b") in load_database(str(path)).relation("link")
+
+
+class TestShellConstruction:
+    def test_with_external_database(self):
+        db = Database()
+        db.insert_rows("link", [("x", "y"), ("y", "z")])
+        shell = Shell("hop(X, Y) :- link(X, Z), link(Z, Y).", db)
+        assert "hop('x', 'z')" in shell.execute("show hop")
+
+    def test_strategy_forwarded(self):
+        shell = Shell(PROGRAM, strategy="dred")
+        assert shell.maintainer.strategy == "dred"
+        shell.execute("- link(a, b)")
+        assert "dred" in shell.execute("commit")
+
+
+class TestMain:
+    def test_main_script_mode(self, tmp_path, capsys, monkeypatch):
+        import io
+        import sys
+
+        from repro.cli import main
+
+        program_path = tmp_path / "views.dl"
+        program_path.write_text(PROGRAM)
+        monkeypatch.setattr(
+            sys, "stdin", io.StringIO("+ link(c, f)\ncommit\nshow hop\nquit\n")
+        )
+        assert main([str(program_path)]) == 0
+        output = capsys.readouterr().out
+        assert "hop('b', 'f')" in output
+        assert "bye" in output
+
+    def test_main_bad_program(self, tmp_path, capsys):
+        from repro.cli import main
+
+        program_path = tmp_path / "bad.dl"
+        program_path.write_text("p(X) :- q(X, Y).\np(X) :- p(X), not p(X).")
+        assert main([str(program_path)]) == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestQueryAndWhy:
+    def test_query_with_solutions(self, shell):
+        output = shell.execute("? hop(a, X)")
+        assert "2 solution(s)" in output
+        assert "X = 'c'" in output
+        assert "X = 'e'" in output
+
+    def test_query_boolean_yes(self, shell):
+        assert shell.execute("? hop(a, c)") == "yes"
+
+    def test_query_no_solutions(self, shell):
+        assert shell.execute("? hop(q, R)") == "no solutions"
+
+    def test_query_with_negation(self, shell):
+        output = shell.execute("? link(a, X), not hop(a, X)")
+        assert "X = 'b'" in output
+        assert "X = 'd'" in output
+
+    def test_why_renders_tree(self, shell):
+        output = shell.execute("why hop(a, c)")
+        assert "hop('a', 'c')" in output
+        assert "(base fact)" in output
+
+    def test_why_non_member(self, shell):
+        assert "not in the view" in shell.execute("why hop(z, z)")
+
+    def test_why_base_fact(self, shell):
+        output = shell.execute("why link(a, b)")
+        assert "(base fact)" in output
+
+    def test_why_missing_base_fact(self, shell):
+        assert "not in the view" in shell.execute("why link(z, z)")

@@ -1,0 +1,126 @@
+"""White-box tests for counting internals: crossings, Δ(¬q), errors, explain."""
+
+import pytest
+
+from repro.core.counting import (
+    CountingMaintenance,
+    _crossings,
+    delta_neg_relation,
+)
+from repro.core.maintenance import ViewMaintainer
+from repro.core.normalize import normalize_program
+from repro.datalog.parser import parse_program
+from repro.datalog.stratify import stratify
+from repro.errors import MaintenanceError
+from repro.storage.changeset import Changeset
+from repro.storage.database import Database
+from repro.storage.relation import CountedRelation
+
+from conftest import HOP_SRC, TC_SRC, database_with, EXAMPLE_1_1_LINKS
+
+
+def _relation(entries):
+    relation = CountedRelation("r")
+    for row, count in entries.items():
+        relation.add(row, count)
+    return relation
+
+
+class TestCrossings:
+    def test_appearing_tuple(self):
+        old = _relation({})
+        delta = _relation({("a",): 2})
+        assert _crossings(old, delta).to_dict() == {("a",): 1}
+
+    def test_disappearing_tuple(self):
+        old = _relation({("a",): 2})
+        delta = _relation({("a",): -2})
+        assert _crossings(old, delta).to_dict() == {("a",): -1}
+
+    def test_count_change_without_crossing(self):
+        old = _relation({("a",): 2})
+        delta = _relation({("a",): -1})
+        assert _crossings(old, delta).to_dict() == {}
+
+    def test_count_increase_without_crossing(self):
+        old = _relation({("a",): 1})
+        delta = _relation({("a",): 3})
+        assert _crossings(old, delta).to_dict() == {}
+
+    def test_mixed(self):
+        old = _relation({("gone",): 1, ("shrunk",): 5})
+        delta = _relation({("gone",): -1, ("shrunk",): -3, ("new",): 1})
+        assert _crossings(old, delta).to_dict() == {
+            ("gone",): -1, ("new",): 1,
+        }
+
+
+class TestDeltaNegRelation:
+    def test_only_delta_tuples_appear(self):
+        """Definition 6.1: t ∈ Δ(¬Q) only if t ∈ Δ(Q)."""
+        old = _relation({("x",): 1, ("y",): 1})
+        delta = _relation({("x",): -1})
+        result = delta_neg_relation(old, delta)
+        assert set(result.rows()) <= set(delta.rows())
+
+    def test_empty_delta(self):
+        assert len(delta_neg_relation(_relation({("a",): 1}), _relation({}))) == 0
+
+
+class TestConstructionErrors:
+    def test_recursive_program_rejected(self, example_1_1_db):
+        normalized = normalize_program(parse_program(TC_SRC))
+        strat = stratify(normalized.program)
+        with pytest.raises(MaintenanceError, match="nonrecursive"):
+            CountingMaintenance(
+                normalized, strat, example_1_1_db, {}, {}
+            )
+
+    def test_one_run_per_instance_is_fine_repeatedly_from_facade(self):
+        maintainer = ViewMaintainer.from_source(
+            HOP_SRC, database_with(EXAMPLE_1_1_LINKS)
+        ).initialize()
+        for _ in range(3):
+            maintainer.apply(Changeset().insert("link", ("n1", "n2")))
+            maintainer.apply(Changeset().delete("link", ("n1", "n2")))
+        maintainer.consistency_check()
+
+
+class TestExplain:
+    def test_delta_program_lists_all_rules(self, example_1_1_db):
+        maintainer = ViewMaintainer.from_source(
+            "hop(X,Y) :- link(X,Z), link(Z,Y)."
+            "tri(X,Y) :- hop(X,Z), link(Z,Y).",
+            example_1_1_db,
+        )
+        text = maintainer.delta_program()
+        assert "Δ:hop" in text
+        assert "Δ:tri" in text
+        assert "ν:link" in text
+        assert "% from:" in text
+
+    def test_delta_program_annotates_aggregates(self):
+        db = Database()
+        db.insert_rows("u", [("a", 1)])
+        maintainer = ViewMaintainer.from_source(
+            "m(S, M) :- GROUPBY(u(S, C), [S], M = MIN(C)).", db
+        )
+        text = maintainer.delta_program()
+        assert "Algorithm 6.1" in text
+
+
+class TestStatsSemantics:
+    def test_suppression_counted_only_in_set_mode(self, example_1_1_db):
+        # Delete one of hop(a,c)'s two derivations: suppressed in set mode.
+        maintainer = ViewMaintainer.from_source(
+            HOP_SRC, example_1_1_db, semantics="set"
+        ).initialize()
+        report = maintainer.apply(Changeset().delete("link", ("b", "c")))
+        assert report.counting.stats.cascades_suppressed >= 1
+
+    def test_strata_reached_zero_for_irrelevant_change(self, example_1_1_db):
+        maintainer = ViewMaintainer.from_source(
+            HOP_SRC, example_1_1_db
+        ).initialize()
+        report = maintainer.apply(Changeset().insert("noise", ("q",)))
+        assert report.counting.stats.strata_reached == 0

@@ -1,0 +1,157 @@
+"""Tests for the database store and changeset builder."""
+
+import pytest
+
+from repro.errors import MaintenanceError, SchemaError, UnknownRelationError
+from repro.storage.changeset import Changeset, changeset_from_deltas
+from repro.storage.database import Database
+
+
+class TestDatabase:
+    def test_create_and_fetch(self):
+        db = Database()
+        db.create_relation("link", 2)
+        assert db.relation("link").arity == 2
+
+    def test_create_duplicate_rejected(self):
+        db = Database()
+        db.create_relation("link")
+        with pytest.raises(SchemaError):
+            db.create_relation("link")
+
+    def test_missing_relation_raises(self):
+        with pytest.raises(UnknownRelationError):
+            Database().relation("nope")
+
+    def test_ensure_relation_idempotent(self):
+        db = Database()
+        first = db.ensure_relation("p", 2)
+        second = db.ensure_relation("p")
+        assert first is second
+
+    def test_insert_rows(self):
+        db = Database()
+        db.insert_rows("link", [("a", "b"), ("b", "c")])
+        assert len(db.relation("link")) == 2
+
+    def test_delete_more_than_stored_rejected(self):
+        db = Database()
+        db.insert("link", ("a", "b"))
+        with pytest.raises(MaintenanceError):
+            db.delete("link", ("a", "b"), count=2)
+
+    def test_drop_relation(self):
+        db = Database()
+        db.create_relation("p")
+        db.drop_relation("p")
+        assert "p" not in db
+
+    def test_copy_is_independent(self):
+        db = Database()
+        db.insert("p", ("a",))
+        clone = db.copy()
+        clone.insert("p", ("b",))
+        assert len(db.relation("p")) == 1
+
+    def test_equality(self):
+        db1, db2 = Database(), Database()
+        db1.insert("p", ("a",))
+        db2.insert("p", ("a",))
+        assert db1 == db2
+        db2.insert("p", ("b",))
+        assert db1 != db2
+
+    def test_total_rows(self):
+        db = Database()
+        db.insert_rows("p", [("a",), ("b",)])
+        db.insert_rows("q", [("c",)])
+        assert db.total_rows() == 3
+
+
+class TestApplyChangeset:
+    def test_apply_inserts_and_deletes(self):
+        db = Database()
+        db.insert_rows("link", [("a", "b"), ("b", "c")])
+        changes = Changeset().delete("link", ("a", "b")).insert("link", ("x", "y"))
+        db.apply_changeset(changes)
+        assert db.relation("link").as_set() == {("b", "c"), ("x", "y")}
+
+    def test_apply_validates_before_mutating(self):
+        """A failing changeset must leave the database untouched."""
+        db = Database()
+        db.insert("link", ("a", "b"))
+        changes = (
+            Changeset()
+            .insert("link", ("x", "y"))
+            .delete("link", ("missing", "row"))
+        )
+        with pytest.raises(MaintenanceError):
+            db.apply_changeset(changes)
+        assert db.relation("link").as_set() == {("a", "b")}
+
+    def test_apply_creates_new_relation_for_inserts(self):
+        db = Database()
+        db.apply_changeset(Changeset().insert("fresh", ("a",)))
+        assert db.relation("fresh").count(("a",)) == 1
+
+    def test_multiplicity_deletion_validated(self):
+        db = Database()
+        db.insert("p", ("a",), 2)
+        db.apply_changeset(Changeset().delete("p", ("a",), 2))
+        assert ("a",) not in db.relation("p")
+
+
+class TestChangeset:
+    def test_builder_fluent(self):
+        changes = Changeset().insert("p", ("a",)).delete("p", ("b",))
+        assert changes.delta("p").to_dict() == {("a",): 1, ("b",): -1}
+
+    def test_update_is_delete_plus_insert(self):
+        changes = Changeset().update("p", ("a", 1), ("a", 2))
+        assert changes.delta("p").to_dict() == {("a", 1): -1, ("a", 2): 1}
+
+    def test_insert_then_delete_cancels(self):
+        changes = Changeset().insert("p", ("a",)).delete("p", ("a",))
+        assert changes.is_empty()
+
+    def test_nonpositive_counts_rejected(self):
+        with pytest.raises(ValueError):
+            Changeset().insert("p", ("a",), 0)
+        with pytest.raises(ValueError):
+            Changeset().delete("p", ("a",), -1)
+
+    def test_counts(self):
+        changes = (
+            Changeset()
+            .insert("p", ("a",), 2)
+            .insert("q", ("b",))
+            .delete("p", ("c",), 3)
+        )
+        assert changes.insertion_count() == 3
+        assert changes.deletion_count() == 3
+
+    def test_inverted_roundtrip(self):
+        changes = Changeset().insert("p", ("a",), 2).delete("p", ("b",))
+        merged = changes.copy()
+        for name, delta in changes.inverted():
+            merged.add_delta(name, delta)
+        assert merged.is_empty()
+
+    def test_relations_lists_nonempty_only(self):
+        changes = Changeset().insert("p", ("a",)).delete("p", ("a",))
+        changes.insert("q", ("b",))
+        assert changes.relations() == ("q",)
+
+    def test_copy_independent(self):
+        changes = Changeset().insert("p", ("a",))
+        clone = changes.copy()
+        clone.insert("p", ("b",))
+        assert ("b",) not in changes.delta("p")
+
+    def test_from_deltas(self):
+        changes = changeset_from_deltas({"p": {("a",): 2, ("b",): -1}})
+        assert changes.delta("p").to_dict() == {("a",): 2, ("b",): -1}
+
+    def test_repr_mentions_content(self):
+        changes = Changeset().insert("p", ("a",))
+        assert "p" in repr(changes)

@@ -1,0 +1,102 @@
+"""Tests for delta-rule derivation (Definition 4.1 and the expansion)."""
+
+import pytest
+
+from repro.core import names
+from repro.core.delta_rules import expansion_delta_rules, factored_delta_rules
+from repro.datalog.parser import parse_rule
+from repro.errors import MaintenanceError
+
+
+class TestFactoredForm:
+    def test_example_4_1_shape(self):
+        """Definition 4.1 on rule (v1) yields Δ-rules with ν/old split."""
+        rule = parse_rule("hop(X, Y) :- link(X, Z), link(Z, Y).")
+        delta_rules = factored_delta_rules(rule)
+        assert len(delta_rules) == 2
+        first, second = delta_rules
+        # δ1: Δ(hop) :- Δ(link) & link           (old right of the delta)
+        assert first.rule.head.predicate == names.delta("hop")
+        assert first.rule.body[0].predicate == names.delta("link")
+        assert first.rule.body[1].predicate == "link"
+        assert first.seed == 0
+        # δ2: Δ(hop) :- ν(link) & Δ(link)        (new left of the delta)
+        assert second.rule.body[0].predicate == names.new("link")
+        assert second.rule.body[1].predicate == names.delta("link")
+        assert second.seed == 1
+
+    def test_one_rule_per_deltable_position(self):
+        rule = parse_rule("p(X) :- a(X), b(X), c(X).")
+        assert len(factored_delta_rules(rule)) == 3
+
+    def test_comparisons_skipped_as_delta_positions(self):
+        rule = parse_rule("p(X) :- a(X, Y), Y < 3, b(X).")
+        delta_rules = factored_delta_rules(rule)
+        assert len(delta_rules) == 2
+        # The comparison stays in every variant's body, unchanged.
+        for delta_rule in delta_rules:
+            assert any(
+                not hasattr(s, "predicate") for s in delta_rule.rule.body
+            )
+
+    def test_negated_subgoal_cases(self):
+        """Section 6.1: ν(¬q) = ¬(νq); Δ position becomes Δ¬ literal."""
+        rule = parse_rule("p(X) :- a(X), not q(X), b(X).")
+        delta_rules = factored_delta_rules(rule)
+        # Position 1 (the negation) as the delta: positive Δ¬ literal.
+        at_negation = delta_rules[1]
+        assert at_negation.rule.body[1].predicate == names.delta_neg("q")
+        assert not at_negation.rule.body[1].negated
+        assert at_negation.delta_negations == ("q",)
+        # Position 2: the negation is left of the delta → ¬(ν q).
+        after_negation = delta_rules[2]
+        assert after_negation.rule.body[1].predicate == names.new("q")
+        assert after_negation.rule.body[1].negated
+
+    def test_aggregate_in_multi_subgoal_body_rejected(self):
+        rule = parse_rule(
+            "p(S, M) :- keep(S), GROUPBY(u(S2, C), [S2], M = MIN(C)), S = S2."
+        )
+        with pytest.raises(MaintenanceError, match="normalize"):
+            factored_delta_rules(rule)
+
+
+class TestExpansionForm:
+    def test_subset_count(self):
+        rule = parse_rule("hop(X, Y) :- link(X, Z), link(Z, Y).")
+        variants = expansion_delta_rules(rule, {"link"})
+        assert len(variants) == 3  # {0}, {1}, {0,1}
+
+    def test_unchanged_rule_produces_nothing(self):
+        rule = parse_rule("hop(X, Y) :- link(X, Z), link(Z, Y).")
+        assert expansion_delta_rules(rule, {"other"}) == []
+
+    def test_partial_change(self):
+        rule = parse_rule("p(X) :- a(X), b(X).")
+        variants = expansion_delta_rules(rule, {"a"})
+        assert len(variants) == 1
+        assert variants[0].rule.body[0].predicate == names.delta("a")
+        assert variants[0].rule.body[1].predicate == "b"
+
+    def test_non_delta_positions_read_old_state(self):
+        rule = parse_rule("p(X) :- a(X), b(X).")
+        variants = expansion_delta_rules(rule, {"a", "b"})
+        singles = [v for v in variants if sum(
+            s.predicate.startswith(names.DELTA) for s in v.rule.body) == 1]
+        for variant in singles:
+            plain = [s for s in variant.rule.body
+                     if not s.predicate.startswith(names.DELTA)]
+            assert all(s.predicate in ("a", "b") for s in plain)
+
+    def test_seed_is_first_delta_position(self):
+        rule = parse_rule("p(X) :- a(X), b(X), c(X).")
+        variants = expansion_delta_rules(rule, {"b", "c"})
+        seeds = sorted(v.seed for v in variants)
+        assert seeds == [1, 1, 2]
+
+    def test_negated_changed_subgoal_uses_delta_neg(self):
+        rule = parse_rule("p(X) :- a(X), not q(X).")
+        variants = expansion_delta_rules(rule, {"q"})
+        assert len(variants) == 1
+        assert variants[0].rule.body[1].predicate == names.delta_neg("q")
+        assert variants[0].delta_negations == ("q",)

@@ -1,0 +1,106 @@
+"""Tests for the error hierarchy and the benchmark CLI entry point."""
+
+import pytest
+
+from repro import errors
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in (
+            "ParseError",
+            "SafetyError",
+            "StratificationError",
+            "SchemaError",
+            "UnknownRelationError",
+            "EvaluationError",
+            "MaintenanceError",
+            "DivergenceError",
+        ):
+            assert issubclass(getattr(errors, name), errors.ReproError)
+
+    def test_unknown_relation_is_schema_error(self):
+        assert issubclass(errors.UnknownRelationError, errors.SchemaError)
+
+    def test_divergence_is_maintenance_error(self):
+        assert issubclass(errors.DivergenceError, errors.MaintenanceError)
+
+    def test_parse_error_position_formatting(self):
+        error = errors.ParseError("bad token", line=3, column=7)
+        assert "line 3" in str(error)
+        assert error.line == 3
+        assert error.column == 7
+
+    def test_parse_error_without_position(self):
+        error = errors.ParseError("bad")
+        assert str(error) == "bad"
+
+    def test_catching_base_class_catches_everything(self):
+        from repro import Database, ViewMaintainer
+
+        with pytest.raises(errors.ReproError):
+            ViewMaintainer.from_source("p(X :-", Database())
+
+
+class TestBenchCLI:
+    def test_selected_experiment_runs(self, capsys, monkeypatch):
+        from repro.bench import __main__ as bench_main
+        from repro.bench.harness import ExperimentResult
+
+        def fake_experiment():
+            result = ExperimentResult("E1", "Fake", "claim", ["a"])
+            result.add_row(a=1)
+            return result
+
+        monkeypatch.setattr(
+            bench_main, "EXPERIMENTS", {"E1": fake_experiment}
+        )
+        assert bench_main.main(["E1"]) == 0
+        output = capsys.readouterr().out
+        assert "### E1 — Fake" in output
+
+    def test_unknown_experiment_rejected(self, capsys, monkeypatch):
+        from repro.bench import __main__ as bench_main
+
+        with pytest.raises(SystemExit):
+            bench_main.main(["E999"])
+
+    def test_out_appends_to_file(self, tmp_path, monkeypatch, capsys):
+        from repro.bench import __main__ as bench_main
+        from repro.bench.harness import ExperimentResult
+
+        def fake_experiment():
+            result = ExperimentResult("E2", "Fake2", "claim", ["a"])
+            result.add_row(a=2)
+            return result
+
+        monkeypatch.setattr(
+            bench_main, "EXPERIMENTS", {"E2": fake_experiment}
+        )
+        target = tmp_path / "out.md"
+        target.write_text("existing\n")
+        assert bench_main.main(["E2", "--out", str(target)]) == 0
+        content = target.read_text()
+        assert content.startswith("existing")
+        assert "### E2 — Fake2" in content
+
+    def test_all_experiments_default_order(self, monkeypatch, capsys):
+        from repro.bench import __main__ as bench_main
+        from repro.bench.harness import ExperimentResult
+
+        ran = []
+
+        def make(experiment_id):
+            def runner():
+                ran.append(experiment_id)
+                return ExperimentResult(experiment_id, "t", "c", ["x"])
+
+            return runner
+
+        monkeypatch.setattr(
+            bench_main,
+            "EXPERIMENTS",
+            {"E2": make("E2"), "E10": make("E10"), "E1": make("E1")},
+        )
+        assert bench_main.main([]) == 0
+        assert ran == ["E1", "E2", "E10"]  # numeric, not lexicographic

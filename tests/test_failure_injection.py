@@ -1,0 +1,170 @@
+"""Failure-injection tests: invalid inputs, corrupted state, atomicity."""
+
+import pytest
+
+from repro.core.maintenance import ViewMaintainer
+from repro.errors import (
+    DivergenceError,
+    MaintenanceError,
+    ParseError,
+    SafetyError,
+    SchemaError,
+    StratificationError,
+)
+from repro.storage.changeset import Changeset
+from repro.storage.database import Database
+
+from conftest import HOP_SRC, HOP_TRI_SRC, TC_SRC, database_with
+
+
+class TestInvalidChangesets:
+    def test_overdeletion_rejected_before_any_mutation(self, example_1_1_db):
+        maintainer = ViewMaintainer.from_source(
+            HOP_SRC, example_1_1_db
+        ).initialize()
+        hop_before = maintainer.relation("hop").to_dict()
+        link_before = example_1_1_db.relation("link").to_dict()
+        changes = (
+            Changeset()
+            .insert("link", ("new", "edge"))
+            .delete("link", ("a", "b"), count=5)
+        )
+        with pytest.raises(MaintenanceError):
+            maintainer.apply(changes)
+        # Nothing may have leaked into the stored state.
+        assert example_1_1_db.relation("link").to_dict() == link_before
+        assert maintainer.relation("hop").to_dict() == hop_before
+        maintainer.consistency_check()
+
+    def test_dred_overdeletion_keeps_state_usable(self, example_1_1_db):
+        maintainer = ViewMaintainer.from_source(
+            TC_SRC, example_1_1_db, strategy="dred"
+        ).initialize()
+        with pytest.raises(MaintenanceError):
+            maintainer.apply(Changeset().delete("link", ("no", "pe")))
+        maintainer.apply(Changeset().insert("link", ("e", "f")))
+        maintainer.consistency_check()
+
+    def test_derived_relation_change_rejected(self, example_1_1_db):
+        for strategy in ("counting", "dred"):
+            maintainer = ViewMaintainer.from_source(
+                HOP_SRC, example_1_1_db.copy(), strategy=strategy
+            ).initialize()
+            with pytest.raises(MaintenanceError, match="derived"):
+                maintainer.apply(Changeset().insert("hop", ("x", "y")))
+
+
+class TestBadPrograms:
+    def test_parse_error(self, example_1_1_db):
+        with pytest.raises(ParseError):
+            ViewMaintainer.from_source("hop(X Y) :- link.", example_1_1_db)
+
+    def test_unsafe_rule(self, example_1_1_db):
+        with pytest.raises(SafetyError):
+            ViewMaintainer.from_source(
+                "hop(X, Y) :- link(X, Z).", example_1_1_db
+            )
+
+    def test_unstratified_negation(self, example_1_1_db):
+        with pytest.raises(StratificationError):
+            ViewMaintainer.from_source(
+                "win(X) :- move(X, Y), not win(Y)."
+                "win(X) :- win(X).",
+                example_1_1_db,
+            )
+
+    def test_arity_conflict(self, example_1_1_db):
+        with pytest.raises(SchemaError, match="arity"):
+            ViewMaintainer.from_source(
+                "a(X) :- link(X, Y). b(X) :- link(X).", example_1_1_db
+            )
+
+
+class TestCorruptionDetection:
+    def test_negative_stored_count_detected(self, example_1_1_db):
+        maintainer = ViewMaintainer.from_source(
+            HOP_SRC, example_1_1_db
+        ).initialize()
+        # Corrupt the stored view, then run a maintenance pass whose
+        # deltas drive the count below zero.
+        maintainer.views["hop"].set_count(("a", "c"), 1)
+        maintainer.views["hop"].add(("a", "e"), -2)  # now −1
+        with pytest.raises(MaintenanceError, match="negative"):
+            maintainer.views["hop"].assert_nonnegative()
+
+    def test_consistency_check_reports_view_name(self, example_1_1_db):
+        maintainer = ViewMaintainer.from_source(
+            HOP_TRI_SRC, example_1_1_db
+        ).initialize()
+        maintainer.views["tri_hop"].add(("zz", "ww"), 1)
+        with pytest.raises(MaintenanceError, match="tri_hop"):
+            maintainer.consistency_check()
+
+
+class TestDivergenceRecovery:
+    def test_divergence_reported_with_guidance(self):
+        from repro.core.recursive_counting import RecursiveCountingView
+        from repro.datalog.parser import parse_program
+
+        view = RecursiveCountingView(
+            parse_program(TC_SRC),
+            database_with([("a", "b"), ("b", "a")]),
+            max_rounds=16,
+        )
+        with pytest.raises(DivergenceError, match="DRed"):
+            view.initialize()
+
+    def test_dred_handles_what_counting_cannot(self):
+        # The same cyclic graph maintained fine by DRed.
+        maintainer = ViewMaintainer.from_source(
+            TC_SRC, database_with([("a", "b"), ("b", "a")]), strategy="dred"
+        ).initialize()
+        maintainer.apply(Changeset().delete("link", ("b", "a")))
+        assert maintainer.relation("tc").as_set() == {("a", "b")}
+
+
+class TestEdgeCaseData:
+    def test_empty_database(self):
+        maintainer = ViewMaintainer.from_source(
+            HOP_TRI_SRC, Database()
+        ).initialize()
+        report = maintainer.apply(Changeset().insert("link", ("a", "b")))
+        assert report.total_changes() == 0
+        maintainer.apply(Changeset().insert("link", ("b", "c")))
+        assert maintainer.relation("hop").as_set() == {("a", "c")}
+
+    def test_self_loop_edges(self):
+        maintainer = ViewMaintainer.from_source(
+            TC_SRC, database_with([("a", "a")]), strategy="dred"
+        ).initialize()
+        assert maintainer.relation("tc").as_set() == {("a", "a")}
+        maintainer.apply(Changeset().delete("link", ("a", "a")))
+        assert len(maintainer.relation("tc")) == 0
+
+    def test_heterogeneous_value_types(self):
+        maintainer = ViewMaintainer.from_source(
+            HOP_SRC, database_with([(1, "x"), ("x", (2, 3))])
+        ).initialize()
+        assert maintainer.relation("hop").as_set() == {(1, (2, 3))}
+
+    def test_wide_rows(self):
+        db = Database()
+        db.insert("wide", tuple(range(10)))
+        source = (
+            "projected(A, J) :- "
+            "wide(A, B, C, D, E, F, G, H, I, J)."
+        )
+        maintainer = ViewMaintainer.from_source(source, db).initialize()
+        assert maintainer.relation("projected").as_set() == {(0, 9)}
+
+    def test_unit_arity_relations(self):
+        db = Database()
+        db.insert_rows("seen", [("a",), ("b",)])
+        maintainer = ViewMaintainer.from_source(
+            "pair(X, Y) :- seen(X), seen(Y), X != Y.", db
+        ).initialize()
+        assert maintainer.relation("pair").as_set() == {
+            ("a", "b"), ("b", "a"),
+        }
+        maintainer.apply(Changeset().insert("seen", ("c",)))
+        assert len(maintainer.relation("pair")) == 6

@@ -1,0 +1,115 @@
+"""Tests for irrelevant-update detection ([BCL89] pre-filter)."""
+
+import pytest
+
+from repro.core.irrelevance import RelevanceFilter
+from repro.core.maintenance import ViewMaintainer
+from repro.datalog.parser import parse_program
+from repro.storage.changeset import Changeset
+from repro.storage.database import Database
+
+from conftest import database_with
+
+CHEAP_SRC = "cheap(X, Y, C) :- link(X, Y, C), C < 5."
+
+
+class TestRelevanceFilter:
+    def test_comparison_rejects_row(self):
+        relevance = RelevanceFilter(parse_program(CHEAP_SRC))
+        assert relevance.is_relevant("link", ("a", "b", 3))
+        assert not relevance.is_relevant("link", ("a", "b", 50))
+
+    def test_unreferenced_relation_is_irrelevant(self):
+        relevance = RelevanceFilter(parse_program(CHEAP_SRC))
+        assert not relevance.is_relevant("noise", ("x",))
+
+    def test_constant_pattern_rejects_row(self):
+        relevance = RelevanceFilter(
+            parse_program("from_a(Y) :- link(a, Y).")
+        )
+        assert relevance.is_relevant("link", ("a", "q"))
+        assert not relevance.is_relevant("link", ("b", "q"))
+
+    def test_multiple_occurrences_any_accepting_wins(self):
+        source = """
+        low(X) :- reading(X, V), V < 10.
+        high(X) :- reading(X, V), V > 90.
+        """
+        relevance = RelevanceFilter(parse_program(source))
+        assert relevance.is_relevant("reading", ("s1", 5))
+        assert relevance.is_relevant("reading", ("s1", 95))
+        assert not relevance.is_relevant("reading", ("s1", 50))
+
+    def test_cross_subgoal_comparisons_conservative(self):
+        # C < D involves another subgoal's variable: undeterminable from
+        # the link occurrence alone → the row must stay relevant.
+        source = "v(X) :- link(X, C), bound(D), C < D."
+        relevance = RelevanceFilter(parse_program(source))
+        assert relevance.is_relevant("link", ("a", 1_000_000))
+
+    def test_negated_occurrence_counts(self):
+        source = "v(X, Y) :- t(X, Y), not link(X, Y)."
+        relevance = RelevanceFilter(parse_program(source))
+        assert relevance.is_relevant("link", ("a", "b"))
+
+    def test_aggregate_inner_pattern(self):
+        source = "m(S, M) :- GROUPBY(link(S, fixed, C), [S], M = SUM(C))."
+        relevance = RelevanceFilter(parse_program(source))
+        assert relevance.is_relevant("link", ("a", "fixed", 3))
+        assert not relevance.is_relevant("link", ("a", "other", 3))
+
+    def test_incomparable_types_stay_relevant(self):
+        relevance = RelevanceFilter(parse_program(CHEAP_SRC))
+        assert relevance.is_relevant("link", ("a", "b", "not-a-number"))
+
+    def test_split_changeset(self):
+        relevance = RelevanceFilter(parse_program(CHEAP_SRC))
+        changes = (
+            Changeset()
+            .insert("link", ("a", "b", 1))
+            .insert("link", ("a", "c", 99))
+            .delete("link", ("d", "e", 77))
+        )
+        relevant, skipped = relevance.split(changes)
+        assert skipped == 2
+        assert relevant.delta("link").to_dict() == {("a", "b", 1): 1}
+
+
+class TestMaintenanceIntegration:
+    def test_irrelevant_rows_skipped_but_stored(self):
+        db = database_with([("a", "b", 1)])
+        maintainer = ViewMaintainer.from_source(CHEAP_SRC, db).initialize()
+        report = maintainer.apply(
+            Changeset()
+            .insert("link", ("x", "y", 99))
+            .insert("link", ("x", "z", 2))
+        )
+        stats = report.counting.stats
+        assert stats.irrelevant_skipped == 1
+        # The irrelevant row is still in the base relation.
+        assert ("x", "y", 99) in maintainer.relation("link")
+        # The relevant one made it into the view.
+        assert ("x", "z", 2) in maintainer.relation("cheap")
+        maintainer.consistency_check()
+
+    def test_results_identical_with_mixed_relevance(self):
+        db = database_with([("a", "b", 1), ("b", "c", 9)])
+        maintainer = ViewMaintainer.from_source(CHEAP_SRC, db).initialize()
+        maintainer.apply(
+            Changeset()
+            .delete("link", ("b", "c", 9))   # irrelevant (was 9 ≥ 5)
+            .delete("link", ("a", "b", 1))   # relevant
+            .insert("link", ("q", "r", 3))
+        )
+        assert maintainer.relation("cheap").as_set() == {("q", "r", 3)}
+        maintainer.consistency_check()
+
+    def test_fully_irrelevant_batch_touches_no_stratum(self):
+        db = database_with([("a", "b", 1)])
+        maintainer = ViewMaintainer.from_source(CHEAP_SRC, db).initialize()
+        report = maintainer.apply(
+            Changeset().insert("link", ("p", "q", 50), count=1)
+        )
+        assert report.counting.stats.strata_reached == 0
+        assert report.total_changes() == 0
+        maintainer.consistency_check()

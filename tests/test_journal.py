@@ -1,0 +1,158 @@
+"""Tests for the changeset journal and snapshot + replay recovery."""
+
+import json
+
+import pytest
+
+from repro.core.maintenance import ViewMaintainer
+from repro.errors import MaintenanceError
+from repro.storage.changeset import Changeset
+from repro.storage.database import Database
+from repro.storage.journal import Journal, recover
+from repro.storage.serialize import save_database
+
+from conftest import HOP_TRI_SRC, database_with, EXAMPLE_1_1_LINKS
+
+
+@pytest.fixture
+def journal(tmp_path):
+    return Journal(str(tmp_path / "changes.jsonl"))
+
+
+class TestJournalBasics:
+    def test_append_and_replay(self, journal):
+        journal.append(Changeset().insert("link", ("a", "b")))
+        journal.append(Changeset().delete("link", ("a", "b")))
+        replayed = list(journal.replay())
+        assert len(replayed) == 2
+        assert replayed[0].delta("link").to_dict() == {("a", "b"): 1}
+        assert replayed[1].delta("link").to_dict() == {("a", "b"): -1}
+
+    def test_sequence_numbers_persist_across_instances(self, journal):
+        journal.append(Changeset().insert("p", (1,)))
+        reopened = Journal(journal.path)
+        assert len(reopened) == 1
+        reopened.append(Changeset().insert("p", (2,)))
+        assert len(list(reopened.replay())) == 2
+
+    def test_replay_after_offset(self, journal):
+        for i in range(4):
+            journal.append(Changeset().insert("p", (i,)))
+        tail = list(journal.replay(after=2))
+        assert len(tail) == 2
+        assert tail[0].delta("p").to_dict() == {(2,): 1}
+
+    def test_torn_tail_tolerated(self, journal):
+        journal.append(Changeset().insert("p", (1,)))
+        journal.append(Changeset().insert("p", (2,)))
+        with open(journal.path, "a", encoding="utf-8") as handle:
+            handle.write('{"seq": 3, "changes": {"fo')  # crash mid-write
+        assert len(list(Journal(journal.path).replay())) == 2
+
+    def test_truncate(self, journal):
+        journal.append(Changeset().insert("p", (1,)))
+        journal.truncate()
+        assert len(journal) == 0
+        assert list(journal.replay()) == []
+
+    def test_empty_journal(self, journal):
+        assert list(journal.replay()) == []
+        assert len(journal) == 0
+
+
+class TestMaintainerIntegration:
+    def test_applies_are_journaled(self, journal, example_1_1_db):
+        maintainer = ViewMaintainer.from_source(
+            HOP_TRI_SRC, example_1_1_db
+        ).initialize()
+        maintainer.attach_journal(journal)
+        maintainer.apply(Changeset().delete("link", ("a", "b")))
+        maintainer.apply(Changeset().insert("link", ("x", "y")))
+        assert len(journal) == 2
+
+    def test_failed_apply_not_journaled(self, journal, example_1_1_db):
+        maintainer = ViewMaintainer.from_source(
+            HOP_TRI_SRC, example_1_1_db
+        ).initialize()
+        maintainer.attach_journal(journal)
+        with pytest.raises(MaintenanceError):
+            maintainer.apply(Changeset().delete("link", ("no", "pe")))
+        assert len(journal) == 0
+
+    def test_empty_apply_not_journaled(self, journal, example_1_1_db):
+        maintainer = ViewMaintainer.from_source(
+            HOP_TRI_SRC, example_1_1_db
+        ).initialize()
+        maintainer.attach_journal(journal)
+        maintainer.apply(Changeset())
+        assert len(journal) == 0
+
+    def test_alter_refused_while_journaled(self, journal, example_1_1_db):
+        maintainer = ViewMaintainer.from_source(
+            HOP_TRI_SRC, example_1_1_db
+        ).initialize()
+        maintainer.attach_journal(journal)
+        with pytest.raises(MaintenanceError, match="journal"):
+            maintainer.alter(add=["hop(X, Y) :- link(Y, X)."])
+        maintainer.detach_journal()
+        maintainer.alter(add=["hop(X, Y) :- link(Y, X)."])
+
+    def test_lifetime_stats(self, example_1_1_db):
+        maintainer = ViewMaintainer.from_source(
+            HOP_TRI_SRC, example_1_1_db
+        ).initialize()
+        maintainer.apply(Changeset().delete("link", ("a", "b")))
+        maintainer.apply(Changeset().insert("link", ("a", "b")))
+        assert maintainer.lifetime.passes == 2
+        assert maintainer.lifetime.tuples_changed > 0
+        assert maintainer.lifetime.seconds > 0
+
+
+class TestRecovery:
+    def test_snapshot_plus_journal_recovers_full_state(self, tmp_path):
+        snapshot = str(tmp_path / "snap.json")
+        journal = Journal(str(tmp_path / "log.jsonl"))
+
+        db = database_with(EXAMPLE_1_1_LINKS)
+        save_database(db, snapshot)
+
+        live = ViewMaintainer.from_source(HOP_TRI_SRC, db).initialize()
+        live.attach_journal(journal)
+        live.apply(Changeset().delete("link", ("a", "b")))
+        live.apply(Changeset().insert("link", ("c", "q")))
+        live.apply(Changeset().update("link", ("a", "d"), ("a", "z")))
+
+        recovered = recover(
+            lambda database: ViewMaintainer.from_source(
+                HOP_TRI_SRC, database
+            ),
+            snapshot,
+            Journal(journal.path),
+        )
+        for view in live.view_names():
+            assert (
+                recovered.relation(view).to_dict()
+                == live.relation(view).to_dict()
+            )
+        assert recovered.relation("link").to_dict() == live.relation(
+            "link").to_dict()
+        recovered.consistency_check()
+
+    def test_recovery_survives_torn_tail(self, tmp_path):
+        snapshot = str(tmp_path / "snap.json")
+        journal_path = str(tmp_path / "log.jsonl")
+        db = database_with(EXAMPLE_1_1_LINKS)
+        save_database(db, snapshot)
+        live = ViewMaintainer.from_source(HOP_TRI_SRC, db).initialize()
+        live.attach_journal(Journal(journal_path))
+        live.apply(Changeset().delete("link", ("a", "b")))
+        with open(journal_path, "a", encoding="utf-8") as handle:
+            handle.write('{"seq": 2, "chan')  # simulated crash
+        recovered = recover(
+            lambda database: ViewMaintainer.from_source(
+                HOP_TRI_SRC, database
+            ),
+            snapshot,
+            Journal(journal_path),
+        )
+        assert recovered.relation("hop").to_dict() == {("a", "c"): 1}

@@ -1,0 +1,71 @@
+"""Property-based tests for serialization and journal replay."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.storage.changeset import Changeset
+from repro.storage.database import Database
+from repro.storage.serialize import (
+    changeset_from_dict,
+    changeset_to_dict,
+    database_from_dict,
+    database_to_dict,
+)
+
+# JSON-safe-ish scalar values plus tuples (composite keys).
+scalars = st.one_of(
+    st.integers(-1000, 1000),
+    st.text(max_size=8),
+    st.booleans(),
+    st.none(),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+)
+values = st.one_of(scalars, st.tuples(scalars, scalars))
+rows = st.tuples(values, values)
+
+
+@given(st.dictionaries(rows, st.integers(1, 5), max_size=10))
+def test_database_roundtrip_property(entries):
+    db = Database()
+    for row, count in entries.items():
+        db.insert("t", row, count)
+    assert database_from_dict(database_to_dict(db)) == db
+
+
+@given(st.dictionaries(rows, st.integers(-4, 4).filter(bool), max_size=10))
+def test_changeset_roundtrip_property(entries):
+    changes = Changeset()
+    for row, count in entries.items():
+        if count > 0:
+            changes.insert("t", row, count)
+        else:
+            changes.delete("t", row, -count)
+    restored = changeset_from_dict(changeset_to_dict(changes))
+    assert restored.delta("t").to_dict() == changes.delta("t").to_dict()
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.lists(
+        st.dictionaries(rows, st.integers(1, 3), min_size=1, max_size=4),
+        min_size=1,
+        max_size=5,
+    )
+)
+def test_journal_replay_equals_direct_application(tmp_path_factory, batches):
+    from repro.storage.journal import Journal
+
+    path = tmp_path_factory.mktemp("journal") / "log.jsonl"
+    journal = Journal(str(path))
+    direct = Database()
+    for batch in batches:
+        changes = Changeset()
+        for row, count in batch.items():
+            changes.insert("t", row, count)
+        journal.append(changes)
+        direct.apply_changeset(changes)
+    replayed = Database()
+    for changes in Journal(str(path)).replay():
+        replayed.apply_changeset(changes)
+    assert replayed == direct

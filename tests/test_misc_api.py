@@ -1,0 +1,120 @@
+"""Tests for the smaller API conveniences: refresh, explain, CLI --data."""
+
+import pytest
+
+from repro.core.maintenance import ViewMaintainer
+from repro.datalog.parser import parse_program
+from repro.datalog.stratify import stratify
+from repro.storage.changeset import Changeset
+from repro.storage.database import Database
+
+from conftest import HOP_TRI_SRC, TC_SRC, database_with, EXAMPLE_1_1_LINKS
+
+
+class TestRefresh:
+    def test_repairs_external_mutation(self, example_1_1_db):
+        maintainer = ViewMaintainer.from_source(
+            HOP_TRI_SRC, example_1_1_db
+        ).initialize()
+        # External (untracked) mutation of the base relation:
+        example_1_1_db.relation("link").discard(("a", "b"))
+        with pytest.raises(Exception):
+            maintainer.consistency_check()
+        maintainer.refresh()
+        maintainer.consistency_check()
+        assert maintainer.relation("hop").to_dict() == {("a", "c"): 1}
+
+    def test_refresh_is_chainable(self, example_1_1_db):
+        maintainer = ViewMaintainer.from_source(
+            HOP_TRI_SRC, example_1_1_db
+        ).initialize()
+        assert maintainer.refresh() is maintainer
+
+    def test_maintenance_works_after_refresh(self, example_1_1_db):
+        maintainer = ViewMaintainer.from_source(
+            HOP_TRI_SRC, example_1_1_db
+        ).initialize()
+        maintainer.refresh()
+        maintainer.apply(Changeset().delete("link", ("a", "b")))
+        maintainer.consistency_check()
+
+
+class TestStratificationExplain:
+    def test_explain_lists_strata(self):
+        strat = stratify(parse_program(
+            "hop(X,Y) :- link(X,Z), link(Z,Y)."
+            "tri(X,Y) :- hop(X,Z), link(Z,Y)."
+        ))
+        text = strat.explain()
+        assert "base: link" in text
+        assert "stratum 1: hop" in text
+        assert "stratum 2: tri" in text
+
+    def test_explain_marks_recursion(self):
+        strat = stratify(parse_program(TC_SRC))
+        assert "tc (recursive)" in strat.explain()
+
+
+class TestCliDataFlag:
+    def test_loads_snapshot(self, tmp_path, capsys, monkeypatch):
+        import io
+        import sys
+
+        from repro.cli import main
+        from repro.storage.serialize import save_database
+
+        snapshot = tmp_path / "snap.json"
+        save_database(database_with(EXAMPLE_1_1_LINKS), str(snapshot))
+        program = tmp_path / "views.dl"
+        program.write_text("hop(X, Y) :- link(X, Z), link(Z, Y).")
+        monkeypatch.setattr(sys, "stdin", io.StringIO("show hop\nquit\n"))
+        assert main([str(program), "--data", str(snapshot)]) == 0
+        assert "hop('a', 'c')  ×2" in capsys.readouterr().out
+
+    def test_strategy_and_semantics_flags(self, tmp_path, capsys, monkeypatch):
+        import io
+        import sys
+
+        from repro.cli import main
+
+        program = tmp_path / "views.dl"
+        program.write_text(
+            "link(a, b).\nlink(b, c).\n"
+            "tc(X, Y) :- link(X, Y).\ntc(X, Y) :- tc(X, Z), link(Z, Y)."
+        )
+        monkeypatch.setattr(
+            sys, "stdin", io.StringIO("- link(a, b)\ncommit\nquit\n")
+        )
+        assert main([str(program), "--strategy", "dred"]) == 0
+        assert "dred" in capsys.readouterr().out
+
+
+class TestProvenanceWithConstantsInHead:
+    def test_constant_head_argument(self):
+        db = database_with([("a", "b")])
+        maintainer = ViewMaintainer.from_source(
+            "flag(found, X) :- link(X, Y).", db
+        ).initialize()
+        derivations = maintainer.explain_tuple("flag", ("found", "a"))
+        assert len(derivations) == 1
+
+    def test_computed_head_argument(self):
+        db = Database()
+        db.insert_rows("reading", [("s1", 4)])
+        maintainer = ViewMaintainer.from_source(
+            "doubled(S, V * 2) :- reading(S, V).", db
+        ).initialize()
+        derivations = maintainer.explain_tuple("doubled", ("s1", 8))
+        assert len(derivations) == 1
+        assert maintainer.explain_tuple("doubled", ("s1", 9)) == []
+
+    def test_aggregate_view_derivations(self):
+        db = Database()
+        db.insert_rows("u", [("a", 3), ("a", 5)])
+        maintainer = ViewMaintainer.from_source(
+            "m(S, M) :- GROUPBY(u(S, C), [S], M = MIN(C)).", db
+        ).initialize()
+        derivations = maintainer.explain_tuple("m", ("a", 3))
+        assert len(derivations) == 1
+        # The body atom is the group pseudo-atom.
+        assert derivations[0].body[0][0].endswith("/groups")

@@ -1,0 +1,190 @@
+"""Tests for the recursive-counting extension ([GKM92], §8)."""
+
+import pytest
+
+from repro.core.recursive_counting import RecursiveCountingView
+from repro.datalog.parser import parse_program
+from repro.errors import DivergenceError, MaintenanceError
+from repro.storage.changeset import Changeset
+from repro.workloads import cycle, layered_dag
+
+from conftest import TC_SRC, database_with
+
+DIAMOND = [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")]
+
+
+def _view(edges, max_rounds=10_000):
+    return RecursiveCountingView(
+        parse_program(TC_SRC), database_with(edges), max_rounds=max_rounds
+    )
+
+
+class TestInitialization:
+    def test_diamond_path_counts(self):
+        view = _view(DIAMOND).initialize()
+        assert view.views["tc"].to_dict() == {
+            ("a", "b"): 1, ("a", "c"): 1, ("b", "d"): 1, ("c", "d"): 1,
+            ("a", "d"): 2,
+        }
+
+    def test_chain_counts_are_one(self):
+        view = _view([(i, i + 1) for i in range(5)]).initialize()
+        assert set(view.views["tc"].to_dict().values()) == {1}
+
+    def test_divergence_guard_on_cycle(self):
+        with pytest.raises(DivergenceError, match="converge"):
+            _view(cycle(4), max_rounds=50).initialize()
+
+    def test_negation_rejected(self):
+        program = parse_program(
+            "p(X) :- q(X), not r(X). p(X) :- p(X)."
+        )
+        with pytest.raises(MaintenanceError, match="positive"):
+            RecursiveCountingView(program, database_with([]))
+
+    def test_aggregation_rejected(self):
+        program = parse_program(
+            "p(X, M) :- GROUPBY(q(X, C), [X], M = SUM(C))."
+        )
+        with pytest.raises(MaintenanceError, match="aggregation"):
+            RecursiveCountingView(program, database_with([]))
+
+
+class TestMaintenance:
+    def test_delete_updates_counts(self):
+        view = _view(DIAMOND).initialize()
+        view.apply(Changeset().delete("link", ("a", "b")))
+        assert view.views["tc"].count(("a", "d")) == 1
+        assert ("a", "b") not in view.views["tc"]
+
+    def test_insert_updates_counts(self):
+        view = _view(DIAMOND).initialize()
+        view.apply(Changeset().insert("link", ("a", "d")))
+        assert view.views["tc"].count(("a", "d")) == 3
+
+    def test_delete_then_reinsert_restores(self):
+        view = _view(DIAMOND).initialize()
+        before = view.views["tc"].to_dict()
+        view.apply(Changeset().delete("link", ("a", "b")))
+        view.apply(Changeset().insert("link", ("a", "b")))
+        assert view.views["tc"].to_dict() == before
+
+    def test_matches_fresh_fixpoint_on_dag(self):
+        edges = layered_dag(5, 6, 2, seed=1)
+        view = _view(edges).initialize()
+        changes = (
+            Changeset()
+            .delete("link", edges[0])
+            .delete("link", edges[3])
+            .insert("link", ((0, 0), (4, 5)))
+        )
+        view.apply(changes)
+        fresh_db = database_with(edges)
+        fresh_db.apply_changeset(
+            Changeset()
+            .delete("link", edges[0])
+            .delete("link", edges[3])
+            .insert("link", ((0, 0), (4, 5)))
+        )
+        fresh = RecursiveCountingView(
+            parse_program(TC_SRC), fresh_db
+        ).initialize()
+        assert view.views["tc"].to_dict() == fresh.views["tc"].to_dict()
+
+    def test_apply_before_initialize_rejected(self):
+        view = _view(DIAMOND)
+        with pytest.raises(MaintenanceError, match="initialize"):
+            view.apply(Changeset().delete("link", ("a", "b")))
+
+    def test_changing_derived_relation_rejected(self):
+        view = _view(DIAMOND).initialize()
+        with pytest.raises(MaintenanceError, match="derived"):
+            view.apply(Changeset().insert("tc", ("x", "y")))
+
+    def test_maintenance_divergence_guard(self):
+        # Insert an edge that closes a cycle: counts blow up → guard.
+        view = _view([(0, 1), (1, 2)], max_rounds=60).initialize()
+        with pytest.raises(DivergenceError):
+            view.apply(Changeset().insert("link", (2, 0)))
+
+    def test_relation_accessor_falls_back_to_base(self):
+        view = _view(DIAMOND).initialize()
+        assert view.relation("link").count(("a", "b")) == 1
+        assert view.relation("tc").count(("a", "d")) == 2
+
+
+class TestFinitenessDetection:
+    """§8: 'techniques to detect finiteness [MS93a] are being explored'."""
+
+    def test_dag_is_finite(self):
+        from repro.core.recursive_counting import has_finite_counts
+
+        assert has_finite_counts(
+            parse_program(TC_SRC), database_with(DIAMOND)
+        )
+
+    def test_cycle_is_infinite(self):
+        from repro.core.recursive_counting import has_finite_counts
+
+        assert not has_finite_counts(
+            parse_program(TC_SRC), database_with(cycle(3))
+        )
+
+    def test_cycle_unreachable_from_recursion_is_still_infinite(self):
+        from repro.core.recursive_counting import has_finite_counts
+
+        # A disconnected 2-cycle plus a chain: the cycle atoms support
+        # themselves regardless of the chain.
+        edges = [("p", "q"), ("q", "p"), (1, 2), (2, 3)]
+        assert not has_finite_counts(
+            parse_program(TC_SRC), database_with(edges)
+        )
+
+    def test_method_matches_divergence_behaviour(self):
+        view_ok = _view(layered_dag(4, 4, 2, seed=9))
+        assert view_ok.counts_are_finite()
+        view_ok.initialize()  # must converge
+
+        view_bad = _view(cycle(5), max_rounds=40)
+        assert not view_bad.counts_are_finite()
+        with pytest.raises(DivergenceError):
+            view_bad.initialize()
+
+    def test_nonrecursive_program_always_finite(self):
+        from repro.core.recursive_counting import has_finite_counts
+        from repro.datalog.parser import parse_program as pp
+
+        assert has_finite_counts(
+            pp("hop(X,Y) :- link(X,Z), link(Z,Y)."),
+            database_with(cycle(4)),
+        )
+
+
+class TestAnonymousVariables:
+    def test_each_underscore_is_fresh(self):
+        from repro.datalog.parser import parse_rule
+
+        rule = parse_rule("p(X) :- q(X, _), r(_, _).")
+        names = [
+            arg.name
+            for literal in rule.body
+            for arg in literal.args
+            if hasattr(arg, "name")
+        ]
+        assert len(set(names)) == len(names)  # no accidental equality
+
+    def test_underscore_projection(self):
+        from repro.datalog.parser import parse_program as pp
+        from repro.eval import materialize
+
+        db = database_with([("a", "b"), ("a", "c"), ("d", "a")])
+        views = materialize(pp("source(X) :- link(X, _)."), db)
+        assert views["source"].as_set() == {("a",), ("d",)}
+
+    def test_underscores_in_same_literal_independent(self):
+        from repro.datalog.parser import parse_program as pp
+        from repro.eval import materialize
+
+        db = database_with([("a", "b")])  # no self-loop
+        views = materialize(pp("any_edge(yes) :- link(_, _)."), db)
+        assert views["any_edge"].as_set() == {("yes",)}

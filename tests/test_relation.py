@@ -1,0 +1,203 @@
+"""Tests for counted relations: the ⊎ algebra, indexes, set helpers."""
+
+import pytest
+
+from repro.errors import MaintenanceError, SchemaError
+from repro.storage.relation import CountedRelation, relation_from_rows
+
+
+class TestAddAndCounts:
+    def test_add_accumulates(self):
+        relation = CountedRelation("p")
+        relation.add(("a",), 2)
+        relation.add(("a",), 3)
+        assert relation.count(("a",)) == 5
+
+    def test_zero_count_removes(self):
+        relation = CountedRelation("p")
+        relation.add(("a",), 2)
+        relation.add(("a",), -2)
+        assert ("a",) not in relation
+        assert len(relation) == 0
+
+    def test_negative_counts_allowed_for_deltas(self):
+        relation = CountedRelation("Δp")
+        relation.add(("a",), -1)
+        assert relation.count(("a",)) == -1
+        assert list(relation.negative_items()) == [(("a",), -1)]
+
+    def test_add_zero_is_noop(self):
+        relation = CountedRelation("p")
+        assert relation.add(("a",), 0) == 0
+        assert len(relation) == 0
+
+    def test_arity_enforced_when_declared(self):
+        relation = CountedRelation("p", arity=2)
+        with pytest.raises(SchemaError, match="arity"):
+            relation.add(("a",), 1)
+
+    def test_set_count(self):
+        relation = CountedRelation("p")
+        relation.add(("a",), 5)
+        relation.set_count(("a",), 2)
+        assert relation.count(("a",)) == 2
+        relation.set_count(("a",), 0)
+        assert ("a",) not in relation
+
+    def test_discard_returns_old_count(self):
+        relation = CountedRelation("p")
+        relation.add(("a",), 7)
+        assert relation.discard(("a",)) == 7
+        assert relation.discard(("a",)) == 0
+
+
+class TestMerge:
+    def test_merge_is_counted_union(self):
+        left = relation_from_rows("l", [("a",), ("a",), ("b",)])
+        right = CountedRelation("r")
+        right.add(("a",), -1)
+        right.add(("c",), 4)
+        left.merge(right)
+        assert left.to_dict() == {("a",): 1, ("b",): 1, ("c",): 4}
+
+    def test_merge_cancels_to_zero(self):
+        """Section 3: c1 + c2 = 0 → the tuple disappears."""
+        left = CountedRelation("l")
+        left.add(("m", "n"), 2)
+        right = CountedRelation("r")
+        right.add(("m", "n"), -2)
+        left.merge(right)
+        assert len(left) == 0
+
+    def test_merged_is_pure(self):
+        left = relation_from_rows("l", [("a",)])
+        right = relation_from_rows("r", [("b",)])
+        combined = left.merged(right)
+        assert combined.to_dict() == {("a",): 1, ("b",): 1}
+        assert left.to_dict() == {("a",): 1}
+
+    def test_merge_accepts_mapping(self):
+        relation = CountedRelation("p")
+        relation.merge({("a",): 3})
+        assert relation.count(("a",)) == 3
+
+
+class TestSetHelpers:
+    def test_set_view_clamps_positive(self):
+        relation = CountedRelation("p")
+        relation.add(("a",), 5)
+        relation.add(("b",), 1)
+        view = relation.set_view()
+        assert view.to_dict() == {("a",): 1, ("b",): 1}
+
+    def test_set_view_drops_negative(self):
+        relation = CountedRelation("p")
+        relation.add(("a",), -2)
+        assert relation.set_view().to_dict() == {}
+
+    def test_as_set(self):
+        relation = CountedRelation("p")
+        relation.add(("a",), 2)
+        relation.add(("b",), -1)
+        assert relation.as_set() == {("a",)}
+
+    def test_set_difference_delta(self):
+        new = relation_from_rows("n", [("a",), ("b",)])
+        old = relation_from_rows("o", [("b",), ("c",)])
+        delta = new.set_difference_delta(old)
+        assert delta.to_dict() == {("a",): 1, ("c",): -1}
+
+    def test_set_difference_ignores_count_changes(self):
+        """Statement (2): count 2 → 1 is not a set change."""
+        new = CountedRelation("n")
+        new.add(("a",), 1)
+        old = CountedRelation("o")
+        old.add(("a",), 2)
+        assert new.set_difference_delta(old).to_dict() == {}
+
+    def test_contains_positive(self):
+        relation = CountedRelation("p")
+        relation.add(("a",), -1)
+        relation.add(("b",), 1)
+        assert not relation.contains_positive(("a",))
+        assert relation.contains_positive(("b",))
+
+    def test_assert_nonnegative(self):
+        relation = CountedRelation("p")
+        relation.add(("a",), -1)
+        with pytest.raises(MaintenanceError, match="negative count"):
+            relation.assert_nonnegative()
+
+
+class TestIndexes:
+    def test_lookup_by_position(self):
+        relation = relation_from_rows(
+            "link", [("a", "b"), ("a", "c"), ("b", "c")]
+        )
+        assert set(relation.lookup((0,), ("a",))) == {("a", "b"), ("a", "c")}
+        assert set(relation.lookup((1,), ("c",))) == {("a", "c"), ("b", "c")}
+
+    def test_lookup_composite_key(self):
+        relation = relation_from_rows("r", [("a", "b", 1), ("a", "c", 2)])
+        assert set(relation.lookup((0, 2), ("a", 2))) == {("a", "c", 2)}
+
+    def test_index_maintained_on_insert(self):
+        relation = relation_from_rows("link", [("a", "b")])
+        relation.ensure_index((0,))
+        relation.add(("a", "z"), 1)
+        assert set(relation.lookup((0,), ("a",))) == {("a", "b"), ("a", "z")}
+
+    def test_index_maintained_on_delete(self):
+        relation = relation_from_rows("link", [("a", "b"), ("a", "c")])
+        relation.ensure_index((0,))
+        relation.add(("a", "b"), -1)
+        assert set(relation.lookup((0,), ("a",))) == {("a", "c")}
+
+    def test_empty_positions_returns_all(self):
+        relation = relation_from_rows("p", [("a",), ("b",)])
+        assert set(relation.lookup((), ())) == {("a",), ("b",)}
+
+    def test_count_change_does_not_duplicate_index_entry(self):
+        relation = relation_from_rows("p", [("a", "b")])
+        relation.ensure_index((0,))
+        relation.add(("a", "b"), 3)
+        assert list(relation.lookup((0,), ("a",))) == [("a", "b")]
+
+
+class TestMisc:
+    def test_total_count_is_bag_cardinality(self):
+        relation = relation_from_rows("p", [("a",), ("a",), ("b",)])
+        assert relation.total_count() == 3
+        assert len(relation) == 2
+
+    def test_copy_is_deep_for_rows(self):
+        relation = relation_from_rows("p", [("a",)])
+        clone = relation.copy()
+        clone.add(("b",), 1)
+        assert ("b",) not in relation
+
+    def test_items_snapshot_allows_mutation(self):
+        relation = relation_from_rows("p", [("a",), ("b",)])
+        for row, _count in relation.items():
+            relation.add(row, 1)  # must not raise RuntimeError
+        assert relation.count(("a",)) == 2
+
+    def test_equality_with_dict(self):
+        relation = relation_from_rows("p", [("a",)])
+        assert relation == {("a",): 1}
+
+    def test_unhashable(self):
+        with pytest.raises(TypeError):
+            hash(CountedRelation("p"))
+
+    def test_clear(self):
+        relation = relation_from_rows("p", [("a",)])
+        relation.ensure_index((0,))
+        relation.clear()
+        assert len(relation) == 0
+        assert list(relation.lookup((0,), ("a",))) == []
+
+    def test_repr_contains_name_and_size(self):
+        relation = relation_from_rows("link", [("a", "b")])
+        assert "link" in repr(relation)
+        assert "|1|" in repr(relation)

@@ -1,0 +1,120 @@
+"""Tests for view-redefinition maintenance (rule insert/delete, §7)."""
+
+import pytest
+
+from repro.core.maintenance import ViewMaintainer
+from repro.errors import MaintenanceError, SchemaError
+from repro.storage.changeset import Changeset
+from repro.workloads import mixed_batch, random_graph
+
+from conftest import HOP_TRI_SRC, TC_SRC, database_with
+
+
+def _tc_maintainer(edges, source=TC_SRC):
+    return ViewMaintainer.from_source(
+        source, database_with(edges), strategy="dred"
+    ).initialize()
+
+
+class TestAddRule:
+    def test_added_rule_derivations_appear(self):
+        maintainer = _tc_maintainer([(0, 1), (5, 6)])
+        maintainer.alter(add=["tc(X, Y) :- link(Y, X)."])
+        assert (1, 0) in maintainer.relation("tc")
+        maintainer.consistency_check()
+
+    def test_added_rule_feeds_recursion(self):
+        maintainer = _tc_maintainer([(0, 1), (2, 3)])
+        maintainer.alter(add=["tc(X, Y) :- bridge(X, Y)."])
+        maintainer.apply(Changeset().insert("bridge", (1, 2)))
+        # The bridge tuple enters tc and the recursive rule extends it
+        # through link: tc(1,2) ⋈ link(2,3) → tc(1,3).
+        assert (1, 2) in maintainer.relation("tc")
+        assert (1, 3) in maintainer.relation("tc")
+        maintainer.consistency_check()
+
+    def test_new_view_predicate_created(self):
+        maintainer = _tc_maintainer([(0, 1), (1, 2)])
+        maintainer.alter(add=["pair(X, Y) :- tc(X, Y), tc(Y, X)."])
+        assert "pair" in maintainer.view_names()
+        maintainer.consistency_check()
+
+    def test_rule_objects_accepted(self):
+        from repro.datalog.parser import parse_rule
+
+        maintainer = _tc_maintainer([(0, 1)])
+        maintainer.alter(add=[parse_rule("tc(X, Y) :- link(Y, X).")])
+        assert (1, 0) in maintainer.relation("tc")
+
+
+class TestRemoveRule:
+    def test_removed_rule_derivations_disappear(self):
+        maintainer = _tc_maintainer(
+            [(0, 1), (1, 2)], source=TC_SRC + "tc(X, Y) :- link(Y, X)."
+        )
+        assert (1, 0) in maintainer.relation("tc")
+        maintainer.alter(remove=["tc(X, Y) :- link(Y, X)."])
+        assert (1, 0) not in maintainer.relation("tc")
+        maintainer.consistency_check()
+
+    def test_shared_derivations_survive(self):
+        source = TC_SRC + "tc(X, Y) :- extra(X, Y)."
+        maintainer = ViewMaintainer.from_source(
+            source, database_with([(0, 1)]), strategy="dred"
+        )
+        maintainer.database.insert("extra", (0, 1))
+        maintainer.initialize()
+        maintainer.alter(remove=["tc(X, Y) :- extra(X, Y)."])
+        # (0,1) still derivable through link.
+        assert (0, 1) in maintainer.relation("tc")
+        maintainer.consistency_check()
+
+    def test_removing_missing_rule_rejected(self):
+        maintainer = _tc_maintainer([(0, 1)])
+        with pytest.raises(SchemaError):
+            maintainer.alter(remove=["tc(X, Y) :- nothing(X, Y)."])
+
+    def test_removing_only_rule_of_predicate_empties_it(self):
+        source = TC_SRC + "mirror(X, Y) :- link(Y, X)."
+        maintainer = _tc_maintainer([(0, 1)], source=source)
+        maintainer.alter(remove=["mirror(X, Y) :- link(Y, X)."])
+        assert "mirror" not in maintainer.view_names()
+
+
+class TestStrategyAfterAlter:
+    def test_maintainer_switches_to_dred(self, example_1_1_db):
+        maintainer = ViewMaintainer.from_source(
+            "hop(X,Y) :- link(X,Z), link(Z,Y).", example_1_1_db
+        ).initialize()
+        assert maintainer.strategy == "counting"
+        maintainer.alter(add=["hop(X, Y) :- link(X, Y), link(Y, X)."])
+        assert maintainer.strategy == "dred"
+        maintainer.apply(Changeset().delete("link", ("a", "b")))
+        maintainer.consistency_check()
+
+    def test_duplicate_semantics_rejected(self, example_1_1_db):
+        maintainer = ViewMaintainer.from_source(
+            "hop(X,Y) :- link(X,Z), link(Z,Y).",
+            example_1_1_db,
+            semantics="duplicate",
+        ).initialize()
+        with pytest.raises(MaintenanceError, match="set semantics"):
+            maintainer.alter(add=["hop(X, Y) :- link(Y, X)."])
+
+
+class TestRandomized:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_alter_sequences_stay_consistent(self, seed):
+        edges = random_graph(12, 24, seed=seed)
+        maintainer = ViewMaintainer.from_source(
+            HOP_TRI_SRC, database_with(edges), strategy="dred"
+        ).initialize()
+        maintainer.alter(add=["hop(X, Y) :- link(X, Y), link(Y, X)."])
+        maintainer.consistency_check()
+        changes, _ = mixed_batch(
+            "link", edges, 2, 2, node_count=12, seed=seed + 60
+        )
+        maintainer.apply(changes)
+        maintainer.consistency_check()
+        maintainer.alter(remove=["tri_hop(X, Y) :- hop(X, Z), link(Z, Y)."])
+        maintainer.consistency_check()

@@ -1,0 +1,107 @@
+"""Tests for range-restriction (safety) analysis."""
+
+import pytest
+
+from repro.datalog.parser import parse_program, parse_rule
+from repro.datalog.safety import (
+    bound_variables,
+    check_program_safety,
+    check_rule_safety,
+)
+from repro.errors import SafetyError
+
+
+def test_simple_join_is_safe():
+    check_rule_safety(parse_rule("hop(X, Y) :- link(X, Z), link(Z, Y)."))
+
+
+def test_unbound_head_variable_rejected():
+    with pytest.raises(SafetyError, match="head variables"):
+        check_rule_safety(parse_rule("p(X, Y) :- q(X)."))
+
+
+def test_negated_subgoal_fully_bound_ok():
+    check_rule_safety(
+        parse_rule("only(X, Y) :- tri(X, Y), not hop(X, Y).")
+    )
+
+
+def test_negated_subgoal_with_free_variable_rejected():
+    with pytest.raises(SafetyError, match="negated"):
+        check_rule_safety(parse_rule("p(X) :- q(X), not r(X, Y)."))
+
+
+def test_comparison_with_unbound_variable_rejected():
+    with pytest.raises(SafetyError, match="comparison|head"):
+        check_rule_safety(parse_rule("p(X) :- q(X), X < Y."))
+
+
+def test_assignment_binds_variable():
+    check_rule_safety(parse_rule("p(X, Y) :- q(X), Y = X + 1."))
+
+
+def test_assignment_chain_binds_transitively():
+    check_rule_safety(
+        parse_rule("p(X, Z) :- q(X), Y = X + 1, Z = Y * 2.")
+    )
+
+
+def test_assignment_order_in_source_is_irrelevant():
+    # Fixpoint propagation: the assignment textually precedes the binder.
+    check_rule_safety(parse_rule("p(X, Y) :- Y = X + 1, q(X)."))
+
+
+def test_unbound_assignment_rejected():
+    with pytest.raises(SafetyError):
+        check_rule_safety(parse_rule("p(Y) :- q(X), Y = Z + 1."))
+
+
+def test_expression_argument_requires_bound_vars():
+    # X is only used inside an expression argument, so it is never bound:
+    # both the head check and the expression check legitimately fire.
+    with pytest.raises(SafetyError, match="head variables|expression"):
+        check_rule_safety(parse_rule("p(X) :- q(X + 1)."))
+
+
+def test_expression_argument_in_nonhead_position_rejected():
+    with pytest.raises(SafetyError, match="expression argument"):
+        check_rule_safety(parse_rule("p(Y) :- r(Y), q(X + 1)."))
+
+
+def test_expression_argument_with_binder_ok():
+    check_rule_safety(parse_rule("p(X) :- r(X), q(X + 1)."))
+
+
+def test_nonground_fact_rejected():
+    with pytest.raises(SafetyError, match="ground"):
+        check_rule_safety(parse_rule("p(X)."))
+
+
+def test_ground_fact_ok():
+    check_rule_safety(parse_rule("p(1, a)."))
+
+
+def test_aggregate_binds_group_and_result():
+    check_rule_safety(
+        parse_rule("m(S, M) :- GROUPBY(h(S, C), [S], M = MIN(C)).")
+    )
+
+
+def test_aggregate_local_variable_leak_rejected():
+    # C is local to the GROUPBY subgoal; using it in the head is unsafe
+    # (reported either as a leak or as an unbound head variable).
+    with pytest.raises(SafetyError, match="local|head variables"):
+        check_rule_safety(
+            parse_rule("m(S, C) :- GROUPBY(h(S, C), [S], M = MIN(C)).")
+        )
+
+
+def test_bound_variables_reports_fixpoint():
+    rule = parse_rule("p(X, Z) :- q(X), Y = X + 1, Z = Y * 2.")
+    assert bound_variables(rule) == {"X", "Y", "Z"}
+
+
+def test_check_program_safety_walks_all_rules():
+    program = parse_program("ok(X) :- q(X).\nbad(X, Y) :- q(X).")
+    with pytest.raises(SafetyError):
+        check_program_safety(program)

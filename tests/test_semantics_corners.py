@@ -1,0 +1,155 @@
+"""Semantics corner cases: comparisons in maintained rules, deep stacks,
+negation Case 2, duplicate-mode negation, and computed heads."""
+
+import pytest
+
+from repro.core.maintenance import ViewMaintainer
+from repro.storage.changeset import Changeset
+from repro.storage.database import Database
+
+from conftest import database_with
+
+
+class TestComparisonsInMaintainedRules:
+    SRC = """
+    cheap(X, Y, C) :- link(X, Y, C), C < 5.
+    pricey(X, Y, C) :- link(X, Y, C), C >= 5.
+    """
+
+    def test_initial_partition(self):
+        db = database_with([("a", "b", 3), ("b", "c", 9)])
+        m = ViewMaintainer.from_source(self.SRC, db).initialize()
+        assert m.relation("cheap").as_set() == {("a", "b", 3)}
+        assert m.relation("pricey").as_set() == {("b", "c", 9)}
+
+    def test_insert_routed_by_comparison(self):
+        db = database_with([("a", "b", 3)])
+        m = ViewMaintainer.from_source(self.SRC, db).initialize()
+        m.apply(Changeset().insert("link", ("x", "y", 4)).insert(
+            "link", ("x", "z", 50)))
+        assert ("x", "y", 4) in m.relation("cheap")
+        assert ("x", "z", 50) in m.relation("pricey")
+        m.consistency_check()
+
+    def test_update_moves_between_views(self):
+        db = database_with([("a", "b", 3)])
+        m = ViewMaintainer.from_source(self.SRC, db).initialize()
+        m.apply(Changeset().update("link", ("a", "b", 3), ("a", "b", 7)))
+        assert len(m.relation("cheap")) == 0
+        assert ("a", "b", 7) in m.relation("pricey")
+        m.consistency_check()
+
+
+class TestComputedHeads:
+    SRC = "total(X, Y, C1 + C2 * 10) :- link(X, Y, C1), weight(Y, C2)."
+
+    def test_maintained_with_arithmetic_head(self):
+        db = database_with([("a", "b", 3)])
+        db.insert_rows("weight", [("b", 2)])
+        m = ViewMaintainer.from_source(self.SRC, db).initialize()
+        assert m.relation("total").as_set() == {("a", "b", 23)}
+        m.apply(Changeset().update("weight", ("b", 2), ("b", 5)))
+        assert m.relation("total").as_set() == {("a", "b", 53)}
+        m.consistency_check()
+
+
+class TestDeepViewStacks:
+    def test_five_strata_propagation(self):
+        rules = ["v1(X, Y) :- link(X, Y)."]
+        for level in range(2, 6):
+            rules.append(f"v{level}(X, Y) :- v{level-1}(X, Z), link(Z, Y).")
+        db = database_with([(i, i + 1) for i in range(6)])
+        m = ViewMaintainer.from_source("\n".join(rules), db).initialize()
+        assert m.relation("v5").as_set() == {(0, 5), (1, 6)}
+        m.apply(Changeset().delete("link", (2, 3)))
+        assert len(m.relation("v5")) == 0
+        m.consistency_check()
+
+    def test_mid_stack_negation(self):
+        source = """
+        step2(X, Y) :- link(X, Z), link(Z, Y).
+        blocked(X, Y) :- barrier(X, Y).
+        ok2(X, Y) :- step2(X, Y), not blocked(X, Y).
+        ok3(X, Y) :- ok2(X, Z), link(Z, Y).
+        """
+        db = database_with([("a", "b"), ("b", "c"), ("c", "d")])
+        db.ensure_relation("barrier", 2)
+        m = ViewMaintainer.from_source(source, db).initialize()
+        assert ("a", "d") in m.relation("ok3")
+        # Inserting a barrier kills ok2(a,c) and cascades to ok3.
+        m.apply(Changeset().insert("barrier", ("a", "c")))
+        assert ("a", "d") not in m.relation("ok3")
+        m.consistency_check()
+        # Removing it restores everything.
+        m.apply(Changeset().delete("barrier", ("a", "c")))
+        assert ("a", "d") in m.relation("ok3")
+        m.consistency_check()
+
+
+class TestFactoredNegationCase2:
+    """§6.1 Case 2: a negated subgoal LEFT of the Δ-position reads ¬(νq)."""
+
+    SRC = """
+    hop(X, Y) :- link(X, Z), link(Z, Y).
+    lonely(X, Y) :- not hop(X, Y), link(X, Y).
+    """
+
+    @pytest.mark.parametrize("mode", ["factored", "expansion"])
+    def test_simultaneous_negation_and_positive_change(self, mode):
+        # One changeset both inserts a link (changing the positive
+        # subgoal) and changes hop (flipping the negation) — the mixed
+        # case where Case 2's ν-reading matters.
+        db = database_with([("a", "b"), ("b", "c")])
+        m = ViewMaintainer.from_source(
+            self.SRC, db, counting_mode=mode
+        ).initialize()
+        assert ("a", "b") in m.relation("lonely")
+        m.apply(
+            Changeset().insert("link", ("a", "c")).insert("link", ("c", "d"))
+        )
+        # hop now holds (a,c) and (b,d): link(a,c) is NOT lonely.
+        assert ("a", "c") not in m.relation("lonely")
+        assert ("c", "d") in m.relation("lonely")
+        m.consistency_check()
+
+
+class TestDuplicateModeNegation:
+    SRC = """
+    hop(X, Y) :- link(X, Z), link(Z, Y).
+    direct_only(X, Y) :- link(X, Y), not hop(X, Y).
+    """
+
+    def test_count_drop_without_crossing_keeps_negation_false(self):
+        # hop(a,c) has 2 derivations; delete one: still present, so
+        # direct_only must not gain (a, c).
+        db = database_with(
+            [("a", "b"), ("b", "c"), ("a", "d"), ("d", "c"), ("a", "c")]
+        )
+        m = ViewMaintainer.from_source(
+            self.SRC, db, semantics="duplicate"
+        ).initialize()
+        assert ("a", "c") not in m.relation("direct_only")
+        m.apply(Changeset().delete("link", ("a", "b")))
+        assert ("a", "c") not in m.relation("direct_only")
+        m.consistency_check()
+
+    def test_crossing_flips_negation(self):
+        db = database_with([("a", "b"), ("b", "c"), ("a", "c")])
+        m = ViewMaintainer.from_source(
+            self.SRC, db, semantics="duplicate"
+        ).initialize()
+        m.apply(Changeset().delete("link", ("a", "b")))
+        assert ("a", "c") in m.relation("direct_only")
+        m.consistency_check()
+
+
+class TestBagBasesUnderSetSemantics:
+    def test_duplicate_base_rows_read_as_set(self):
+        db = Database()
+        db.insert("link", ("a", "b"), 3)  # bag base, set-mode maintainer
+        db.insert("link", ("b", "c"), 1)
+        m = ViewMaintainer.from_source(
+            "hop(X, Y) :- link(X, Z), link(Z, Y).", db
+        ).initialize()
+        # §5.1: each base tuple counts 1 regardless of multiplicity.
+        assert m.relation("hop").to_dict() == {("a", "c"): 1}

@@ -1,0 +1,117 @@
+"""Tests for JSON serialization of databases and changesets."""
+
+import io
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage.changeset import Changeset
+from repro.storage.database import Database
+from repro.storage.serialize import (
+    changeset_from_dict,
+    changeset_to_dict,
+    database_from_dict,
+    database_to_dict,
+    load_database,
+    save_database,
+)
+
+
+def _roundtrip(db: Database) -> Database:
+    return database_from_dict(database_to_dict(db))
+
+
+class TestDatabaseRoundtrip:
+    def test_simple_rows(self):
+        db = Database()
+        db.insert_rows("link", [("a", "b"), ("b", "c")])
+        assert _roundtrip(db) == db
+
+    def test_multiplicities_preserved(self):
+        db = Database()
+        db.insert("orders", (1, "ada", 120), 3)
+        restored = _roundtrip(db)
+        assert restored.relation("orders").count((1, "ada", 120)) == 3
+
+    def test_mixed_value_types(self):
+        db = Database()
+        db.insert("t", (1, "x", 2.5, True, None))
+        assert _roundtrip(db) == db
+
+    def test_tuple_values(self):
+        """Grid/DAG workloads use tuple node ids; they must round-trip."""
+        db = Database()
+        db.insert("link", ((0, 0), (1, 0)))
+        restored = _roundtrip(db)
+        assert restored.relation("link").contains_positive(((0, 0), (1, 0)))
+
+    def test_nested_tuple_values(self):
+        db = Database()
+        db.insert("t", ((("deep", 1), 2),))
+        assert _roundtrip(db) == db
+
+    def test_arity_preserved(self):
+        db = Database()
+        db.create_relation("p", 3)
+        db.insert("p", (1, 2, 3))
+        assert _roundtrip(db).relation("p").arity == 3
+
+    def test_unserializable_value_rejected(self):
+        db = Database()
+        db.insert("t", (object(),))
+        with pytest.raises(SchemaError, match="serializable"):
+            database_to_dict(db)
+
+    def test_bad_format_version_rejected(self):
+        with pytest.raises(SchemaError, match="format"):
+            database_from_dict({"format": 99, "relations": {}})
+
+    def test_file_like_objects(self):
+        db = Database()
+        db.insert("p", ("x",))
+        buffer = io.StringIO()
+        save_database(db, buffer)
+        buffer.seek(0)
+        assert load_database(buffer) == db
+
+    def test_path_roundtrip(self, tmp_path):
+        db = Database()
+        db.insert_rows("link", [("a", "b")])
+        path = str(tmp_path / "snap.json")
+        save_database(db, path)
+        assert load_database(path) == db
+
+    def test_empty_database(self):
+        assert _roundtrip(Database()) == Database()
+
+
+class TestChangesetRoundtrip:
+    def test_signed_deltas(self):
+        changes = (
+            Changeset()
+            .insert("p", ("a",), 2)
+            .delete("p", ("b",))
+            .insert("q", (1, 2))
+        )
+        restored = changeset_from_dict(changeset_to_dict(changes))
+        assert restored.delta("p").to_dict() == {("a",): 2, ("b",): -1}
+        assert restored.delta("q").to_dict() == {(1, 2): 1}
+
+    def test_empty_changeset(self):
+        restored = changeset_from_dict(changeset_to_dict(Changeset()))
+        assert restored.is_empty()
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(SchemaError):
+            changeset_from_dict({"format": 0, "deltas": {}})
+
+    def test_replay_equivalence(self):
+        """Applying a reloaded changeset must equal applying the original."""
+        db1, db2 = Database(), Database()
+        for db in (db1, db2):
+            db.insert_rows("link", [("a", "b"), ("b", "c")])
+        changes = Changeset().delete("link", ("a", "b")).insert(
+            "link", ("c", "d"))
+        db1.apply_changeset(changes.copy())
+        db2.apply_changeset(changeset_from_dict(changeset_to_dict(changes)))
+        assert db1 == db2

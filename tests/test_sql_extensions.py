@@ -1,0 +1,197 @@
+"""Tests for the extended SQL constructs: HAVING, EXISTS, IN / NOT IN."""
+
+import pytest
+
+from repro.errors import ParseError, SchemaError
+from repro.sql import Catalog, create_views, parse_sql, translate_sql
+from repro.storage.changeset import Changeset
+from repro.storage.database import Database
+
+
+def _sales_db():
+    db = Database()
+    db.insert_rows(
+        "sales",
+        [("e", 50), ("e", 60), ("e", 10), ("w", 500), ("n", 1), ("n", 2),
+         ("n", 3)],
+    )
+    return db
+
+
+SALES = Catalog().declare_table("sales", ["region", "amount"])
+
+
+class TestHaving:
+    def test_having_filters_groups(self):
+        sql = (
+            "CREATE VIEW busy AS SELECT s.region, COUNT(*) AS n "
+            "FROM sales s GROUP BY s.region HAVING COUNT(*) > 2;"
+        )
+        m = create_views(sql, SALES, _sales_db()).initialize()
+        assert m.relation("busy").as_set() == {("e", 3), ("n", 3)}
+
+    def test_having_with_aggregate_not_in_select(self):
+        sql = (
+            "CREATE VIEW rich AS SELECT s.region FROM sales s "
+            "GROUP BY s.region HAVING SUM(s.amount) > 100;"
+        )
+        m = create_views(sql, SALES, _sales_db()).initialize()
+        assert m.relation("rich").as_set() == {("e",), ("w",)}
+
+    def test_having_conjunction(self):
+        sql = (
+            "CREATE VIEW both AS SELECT s.region FROM sales s "
+            "GROUP BY s.region "
+            "HAVING COUNT(*) > 2 AND SUM(s.amount) > 100;"
+        )
+        m = create_views(sql, SALES, _sales_db()).initialize()
+        assert m.relation("both").as_set() == {("e",)}
+
+    def test_having_or_splits_rules(self):
+        sql = (
+            "CREATE VIEW either AS SELECT s.region FROM sales s "
+            "GROUP BY s.region "
+            "HAVING COUNT(*) > 2 OR SUM(s.amount) > 400;"
+        )
+        program = translate_sql(SALES, sql)
+        assert len(program.rules_for("either")) == 2
+        m = create_views(sql, SALES, _sales_db(), strategy="dred").initialize()
+        assert m.relation("either").as_set() == {("e",), ("n",), ("w",)}
+
+    def test_having_group_column_comparison(self):
+        sql = (
+            "CREATE VIEW named AS SELECT s.region, COUNT(*) FROM sales s "
+            "GROUP BY s.region HAVING s.region <> 'w';"
+        )
+        m = create_views(sql, SALES, _sales_db()).initialize()
+        assert m.relation("named").as_set() == {("e", 3), ("n", 3)}
+
+    def test_having_arithmetic_over_aggregates(self):
+        sql = (
+            "CREATE VIEW avgish AS SELECT s.region FROM sales s "
+            "GROUP BY s.region HAVING SUM(s.amount) / COUNT(*) > 30;"
+        )
+        m = create_views(sql, SALES, _sales_db()).initialize()
+        assert m.relation("avgish").as_set() == {("e",), ("w",)}
+
+    def test_having_maintained_incrementally(self):
+        sql = (
+            "CREATE VIEW busy AS SELECT s.region, COUNT(*) AS n "
+            "FROM sales s GROUP BY s.region HAVING COUNT(*) > 2;"
+        )
+        m = create_views(sql, SALES, _sales_db()).initialize()
+        m.apply(Changeset().delete("sales", ("e", 10)))
+        assert m.relation("busy").as_set() == {("n", 3)}
+        m.consistency_check()
+
+    def test_having_non_group_column_rejected(self):
+        sql = (
+            "CREATE VIEW bad AS SELECT s.region FROM sales s "
+            "GROUP BY s.region HAVING s.amount > 3;"
+        )
+        with pytest.raises(SchemaError, match="grouping column"):
+            translate_sql(SALES, sql)
+
+    def test_having_subquery_rejected(self):
+        sql = (
+            "CREATE VIEW bad AS SELECT s.region FROM sales s "
+            "GROUP BY s.region "
+            "HAVING NOT EXISTS (SELECT * FROM sales q);"
+        )
+        with pytest.raises(SchemaError):
+            translate_sql(SALES, sql)
+
+
+EMP = (
+    Catalog()
+    .declare_table("emp", ["name", "dept"])
+    .declare_table("banned", ["name"])
+    .declare_table("dept", ["dept"])
+)
+
+
+def _emp_db():
+    db = Database()
+    db.insert_rows("emp", [("ada", "eng"), ("bob", "hr"), ("cyd", "eng")])
+    db.insert_rows("banned", [("bob",)])
+    db.insert_rows("dept", [("eng",), ("ops",)])
+    return db
+
+
+class TestExistsAndIn:
+    def test_exists(self):
+        sql = (
+            "CREATE VIEW staffed AS SELECT d.dept FROM dept d "
+            "WHERE EXISTS (SELECT * FROM emp e WHERE e.dept = d.dept);"
+        )
+        m = create_views(sql, EMP, _emp_db(), strategy="dred").initialize()
+        assert m.relation("staffed").as_set() == {("eng",)}
+
+    def test_exists_maintained(self):
+        sql = (
+            "CREATE VIEW staffed AS SELECT d.dept FROM dept d "
+            "WHERE EXISTS (SELECT * FROM emp e WHERE e.dept = d.dept);"
+        )
+        m = create_views(sql, EMP, _emp_db(), strategy="dred").initialize()
+        m.apply(Changeset().insert("emp", ("dee", "ops")))
+        assert m.relation("staffed").as_set() == {("eng",), ("ops",)}
+        m.consistency_check()
+
+    def test_in_subquery(self):
+        sql = (
+            "CREATE VIEW valid AS SELECT e.name FROM emp e "
+            "WHERE e.dept IN (SELECT d.dept FROM dept d);"
+        )
+        m = create_views(sql, EMP, _emp_db(), strategy="dred").initialize()
+        assert m.relation("valid").as_set() == {("ada",), ("cyd",)}
+
+    def test_not_in_subquery(self):
+        sql = (
+            "CREATE VIEW ok AS SELECT e.name FROM emp e "
+            "WHERE e.name NOT IN (SELECT b.name FROM banned b);"
+        )
+        m = create_views(sql, EMP, _emp_db(), strategy="dred").initialize()
+        assert m.relation("ok").as_set() == {("ada",), ("cyd",)}
+        m.apply(Changeset().insert("banned", ("ada",)))
+        assert m.relation("ok").as_set() == {("cyd",)}
+        m.consistency_check()
+
+    def test_in_with_expression_comparand(self):
+        catalog = (
+            Catalog()
+            .declare_table("nums", ["v"])
+            .declare_table("targets", ["t"])
+        )
+        sql = (
+            "CREATE VIEW hits AS SELECT n.v FROM nums n "
+            "WHERE n.v + 1 IN (SELECT t.t FROM targets t);"
+        )
+        db = Database()
+        db.insert_rows("nums", [(1,), (2,), (3,)])
+        db.insert_rows("targets", [(3,), (9,)])
+        m = create_views(sql, catalog, db, strategy="dred").initialize()
+        assert m.relation("hits").as_set() == {(2,)}
+
+    def test_in_requires_single_column(self):
+        sql = (
+            "CREATE VIEW bad AS SELECT e.name FROM emp e "
+            "WHERE e.dept IN (SELECT * FROM emp q);"
+        )
+        with pytest.raises(SchemaError, match="exactly one column"):
+            translate_sql(EMP, sql)
+
+    def test_not_without_exists_or_in_rejected(self):
+        with pytest.raises(ParseError):
+            parse_sql(
+                "CREATE VIEW v AS SELECT e.name FROM emp e WHERE NOT "
+                "e.name = 'x';"
+            )
+
+    def test_parse_shapes(self):
+        views = parse_sql(
+            "CREATE VIEW v AS SELECT e.name FROM emp e "
+            "WHERE e.name IN (SELECT b.name FROM banned b) "
+            "AND EXISTS (SELECT * FROM dept d);"
+        )
+        where = views[0].query.first.where
+        assert where is not None

@@ -1,0 +1,146 @@
+"""Tests for dependency analysis and stratification (Definition 3.1)."""
+
+import pytest
+
+from repro.datalog.dependency import DependencyGraph
+from repro.datalog.parser import parse_program
+from repro.datalog.stratify import stratify
+from repro.errors import StratificationError
+
+
+class TestDependencyGraph:
+    def test_edges_directions(self):
+        program = parse_program("p(X) :- q(X). r(X) :- p(X).")
+        graph = DependencyGraph(program)
+        assert "p" in graph.successors["q"]
+        assert "q" in graph.predecessors["p"]
+
+    def test_negative_edge_recorded(self):
+        program = parse_program("p(X) :- q(X), not s(X).")
+        graph = DependencyGraph(program)
+        assert graph.depends_negatively("p", "s")
+        assert not graph.depends_negatively("p", "q")
+
+    def test_aggregate_edge_is_negative(self):
+        program = parse_program(
+            "m(S, M) :- GROUPBY(u(S, C), [S], M = SUM(C))."
+        )
+        graph = DependencyGraph(program)
+        assert graph.depends_negatively("m", "u")
+
+    def test_scc_of_mutual_recursion(self):
+        program = parse_program(
+            "even(X) :- base(X). even(X) :- odd(X), step(X)."
+            "odd(X) :- even(X), step(X)."
+        )
+        graph = DependencyGraph(program)
+        components = graph.strongly_connected_components()
+        mutual = [c for c in components if len(c) > 1]
+        assert mutual == [frozenset({"even", "odd"})]
+
+    def test_components_listed_dependencies_first(self):
+        program = parse_program("p(X) :- q(X). r(X) :- p(X).")
+        components = DependencyGraph(program).strongly_connected_components()
+        order = [next(iter(c)) for c in components]
+        assert order.index("q") < order.index("p") < order.index("r")
+
+    def test_self_loop_is_recursive(self):
+        program = parse_program("tc(X,Y) :- tc(X,Z), link(Z,Y).")
+        graph = DependencyGraph(program)
+        scc = frozenset({"tc"})
+        assert graph.is_recursive_predicate("tc", scc)
+        assert not graph.is_recursive_predicate("link", frozenset({"link"}))
+
+    def test_deep_chain_no_recursion_limit(self):
+        # 500 stacked views: iterative Tarjan must not blow the stack.
+        rules = ["v0(X) :- base(X)."]
+        for i in range(1, 500):
+            rules.append(f"v{i}(X) :- v{i - 1}(X).")
+        program = parse_program("\n".join(rules))
+        strat = stratify(program)
+        assert strat.stratum_of["v499"] == 500
+
+
+class TestStratify:
+    def test_paper_example_stratum_numbers(self):
+        """Example 4.2: SN(hop) = 1, SN(tri_hop) = 2, base = 0."""
+        program = parse_program(
+            "hop(X,Y) :- link(X,Z), link(Z,Y)."
+            "tri_hop(X,Y) :- hop(X,Z), link(Z,Y)."
+        )
+        strat = stratify(program)
+        assert strat.stratum_of["link"] == 0
+        assert strat.stratum_of["hop"] == 1
+        assert strat.stratum_of["tri_hop"] == 2
+
+    def test_rsn_equals_head_sn(self):
+        program = parse_program(
+            "hop(X,Y) :- link(X,Z), link(Z,Y)."
+            "tri_hop(X,Y) :- hop(X,Z), link(Z,Y)."
+        )
+        strat = stratify(program)
+        for rule in program:
+            assert strat.rsn(rule) == strat.stratum_of[rule.head.predicate]
+
+    def test_recursive_scc_shares_stratum(self):
+        program = parse_program(
+            "even(X) :- zero(X). even(X) :- odd(Y), succ(Y, X)."
+            "odd(X) :- even(Y), succ(Y, X)."
+        )
+        strat = stratify(program)
+        assert strat.stratum_of["even"] == strat.stratum_of["odd"]
+        assert strat.recursive_predicates == {"even", "odd"}
+
+    def test_negation_through_strata_allowed(self):
+        program = parse_program(
+            "p(X) :- q(X). r(X) :- q(X), not p(X)."
+        )
+        strat = stratify(program)
+        assert strat.stratum_of["r"] > strat.stratum_of["p"]
+
+    def test_negative_self_cycle_rejected(self):
+        program = parse_program("p(X) :- q(X), not p(X).")
+        with pytest.raises(StratificationError):
+            stratify(program)
+
+    def test_negative_cycle_through_two_predicates_rejected(self):
+        program = parse_program(
+            "p(X) :- q(X), not r(X). r(X) :- q(X), p(X)."
+        )
+        with pytest.raises(StratificationError):
+            stratify(program)
+
+    def test_aggregation_inside_recursion_rejected(self):
+        program = parse_program(
+            "p(X, C) :- GROUPBY(p(X, D), [X], C = SUM(D))."
+        )
+        with pytest.raises(StratificationError):
+            stratify(program)
+
+    def test_nonrecursive_program_flag(self):
+        strat = stratify(parse_program("p(X) :- q(X)."))
+        assert not strat.is_recursive
+
+    def test_recursive_program_flag(self):
+        strat = stratify(
+            parse_program("tc(X,Y) :- link(X,Y). tc(X,Y) :- tc(X,Z), link(Z,Y).")
+        )
+        assert strat.is_recursive
+
+    def test_rules_by_stratum_groups(self):
+        program = parse_program(
+            "hop(X,Y) :- link(X,Z), link(Z,Y)."
+            "tri(X,Y) :- hop(X,Z), link(Z,Y)."
+        )
+        strat = stratify(program)
+        groups = strat.rules_by_stratum()
+        assert groups[0] == ()
+        assert [r.head.predicate for r in groups[1]] == ["hop"]
+        assert [r.head.predicate for r in groups[2]] == ["tri"]
+
+    def test_independent_views_share_stratum(self):
+        program = parse_program(
+            "a(X) :- base(X). b(X) :- base(X)."
+        )
+        strat = stratify(program)
+        assert strat.stratum_of["a"] == strat.stratum_of["b"] == 1

@@ -1,0 +1,156 @@
+"""Unit tests for the term language (variables, constants, arithmetic)."""
+
+import pytest
+
+from repro.datalog.terms import (
+    BinaryOp,
+    Constant,
+    UnaryMinus,
+    Variable,
+    iter_subterms,
+    make_term,
+)
+from repro.errors import EvaluationError
+
+
+class TestVariable:
+    def test_evaluate_bound(self):
+        assert Variable("X").evaluate({"X": 7}) == 7
+
+    def test_evaluate_unbound_raises(self):
+        with pytest.raises(EvaluationError, match="unbound"):
+            Variable("X").evaluate({})
+
+    def test_variables(self):
+        assert Variable("X").variables() == frozenset({"X"})
+
+    def test_not_ground(self):
+        assert not Variable("X").is_ground()
+
+    def test_substitute_to_new_name(self):
+        assert Variable("X").substitute({"X": "Y"}) == Variable("Y")
+
+    def test_substitute_to_term(self):
+        assert Variable("X").substitute({"X": Constant(3)}) == Constant(3)
+
+    def test_substitute_missing_is_identity(self):
+        variable = Variable("X")
+        assert variable.substitute({"Y": "Z"}) is variable
+
+    def test_str(self):
+        assert str(Variable("Abc")) == "Abc"
+
+    def test_hashable_and_equal(self):
+        assert Variable("X") == Variable("X")
+        assert hash(Variable("X")) == hash(Variable("X"))
+        assert Variable("X") != Variable("Y")
+
+
+class TestConstant:
+    def test_evaluate(self):
+        assert Constant("a").evaluate({}) == "a"
+
+    def test_ground(self):
+        assert Constant(1).is_ground()
+
+    def test_no_variables(self):
+        assert Constant(1).variables() == frozenset()
+
+    def test_substitute_identity(self):
+        constant = Constant(1)
+        assert constant.substitute({"X": "Y"}) is constant
+
+    def test_str_string_repr(self):
+        assert str(Constant("a")) == "'a'"
+        assert str(Constant(3)) == "3"
+
+    def test_distinct_types_not_equal(self):
+        assert Constant(1) != Constant("1")
+
+
+class TestBinaryOp:
+    def test_addition(self):
+        term = BinaryOp("+", Variable("X"), Constant(2))
+        assert term.evaluate({"X": 3}) == 5
+
+    def test_nested_expression(self):
+        term = BinaryOp(
+            "*", BinaryOp("+", Variable("X"), Constant(1)), Constant(10)
+        )
+        assert term.evaluate({"X": 2}) == 30
+
+    @pytest.mark.parametrize(
+        "op,expected",
+        [("+", 7), ("-", 3), ("*", 10), ("/", 2.5), ("//", 2), ("%", 1)],
+    )
+    def test_all_operators(self, op, expected):
+        assert BinaryOp(op, Constant(5), Constant(2)).evaluate({}) == expected
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(EvaluationError):
+            BinaryOp("**", Constant(1), Constant(2))
+
+    def test_division_by_zero(self):
+        with pytest.raises(EvaluationError):
+            BinaryOp("/", Constant(1), Constant(0)).evaluate({})
+
+    def test_type_error_wrapped(self):
+        with pytest.raises(EvaluationError):
+            BinaryOp("-", Constant("a"), Constant(1)).evaluate({})
+
+    def test_variables_union(self):
+        term = BinaryOp("+", Variable("X"), Variable("Y"))
+        assert term.variables() == frozenset({"X", "Y"})
+
+    def test_substitute_recurses(self):
+        term = BinaryOp("+", Variable("X"), Variable("Y"))
+        replaced = term.substitute({"X": Constant(1)})
+        assert replaced == BinaryOp("+", Constant(1), Variable("Y"))
+
+    def test_string_concatenation_works(self):
+        # '+' is polymorphic, matching SQL string concatenation dialects.
+        term = BinaryOp("+", Constant("ab"), Constant("cd"))
+        assert term.evaluate({}) == "abcd"
+
+
+class TestUnaryMinus:
+    def test_evaluate(self):
+        assert UnaryMinus(Variable("X")).evaluate({"X": 4}) == -4
+
+    def test_type_error(self):
+        with pytest.raises(EvaluationError):
+            UnaryMinus(Constant("a")).evaluate({})
+
+    def test_substitute(self):
+        assert UnaryMinus(Variable("X")).substitute({"X": "Y"}) == UnaryMinus(
+            Variable("Y")
+        )
+
+
+class TestIterSubterms:
+    def test_covers_nested(self):
+        term = BinaryOp("+", UnaryMinus(Variable("X")), Constant(1))
+        parts = list(iter_subterms(term))
+        assert term in parts
+        assert Variable("X") in parts
+        assert Constant(1) in parts
+        assert len(parts) == 4
+
+
+class TestMakeTerm:
+    def test_uppercase_becomes_variable(self):
+        assert make_term("X") == Variable("X")
+        assert make_term("_tmp") == Variable("_tmp")
+
+    def test_lowercase_becomes_constant(self):
+        assert make_term("abc") == Constant("abc")
+
+    def test_numbers_become_constants(self):
+        assert make_term(3) == Constant(3)
+
+    def test_term_passes_through(self):
+        term = Variable("X")
+        assert make_term(term) is term
+
+    def test_empty_string_is_constant(self):
+        assert make_term("") == Constant("")

@@ -1,0 +1,128 @@
+"""Tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.workloads import (
+    chain,
+    cycle,
+    delete_batch,
+    delete_fraction,
+    grid,
+    insert_batch,
+    layered_dag,
+    mixed_batch,
+    nodes_of,
+    preferential_attachment,
+    random_graph,
+    update_sequence,
+    with_costs,
+)
+
+
+class TestGraphs:
+    def test_random_graph_size_and_simplicity(self):
+        edges = random_graph(20, 50, seed=1)
+        assert len(edges) == 50
+        assert len(set(edges)) == 50
+        assert all(a != b for a, b in edges)
+
+    def test_random_graph_deterministic(self):
+        assert random_graph(20, 50, seed=7) == random_graph(20, 50, seed=7)
+        assert random_graph(20, 50, seed=7) != random_graph(20, 50, seed=8)
+
+    def test_random_graph_too_many_edges_rejected(self):
+        with pytest.raises(ValueError):
+            random_graph(3, 10)
+
+    def test_chain(self):
+        assert chain(3) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_cycle(self):
+        edges = cycle(4)
+        assert (3, 0) in edges
+        assert len(edges) == 4
+
+    def test_grid_edge_count(self):
+        edges = grid(3, 3)
+        # 3×3 grid: 2 rights × 3 rows + 2 downs × 3 columns = 12.
+        assert len(edges) == 12
+
+    def test_layered_dag_is_acyclic_by_layers(self):
+        edges = layered_dag(4, 5, 2, seed=2)
+        assert all(src[0] + 1 == dst[0] for src, dst in edges)
+
+    def test_preferential_attachment_hubs(self):
+        edges = preferential_attachment(50, 2, seed=3)
+        indegree = {}
+        for _a, b in edges:
+            indegree[b] = indegree.get(b, 0) + 1
+        assert max(indegree.values()) > 5  # heavy tail exists
+
+    def test_with_costs_range(self):
+        edges = with_costs(chain(10), 1, 5, seed=4)
+        assert all(1 <= c <= 5 for _a, _b, c in edges)
+
+    def test_nodes_of(self):
+        assert nodes_of([(1, 2), (2, 3)]) == [1, 2, 3]
+        assert nodes_of([(1, 2, 9)]) == [1, 2]
+
+
+class TestUpdates:
+    def test_delete_batch(self):
+        edges = chain(10)
+        changes, remaining = delete_batch("link", edges, 3, seed=5)
+        assert changes.deletion_count() == 3
+        assert len(remaining) == 7
+        for row, count in changes.delta("link").items():
+            assert count == -1
+            assert row in edges
+            assert row not in remaining
+
+    def test_delete_batch_capped_at_relation_size(self):
+        changes, remaining = delete_batch("link", chain(2), 10, seed=5)
+        assert changes.deletion_count() == 2
+        assert remaining == []
+
+    def test_insert_batch_avoids_existing(self):
+        edges = chain(5)
+        changes, result = insert_batch("link", edges, 4, 6, seed=6)
+        inserted = set(changes.delta("link").rows())
+        assert len(inserted) == 4
+        assert not inserted & set(edges)
+        assert len(result) == 9
+
+    def test_insert_batch_with_costs(self):
+        edges = with_costs(chain(5), 1, 5, seed=1)
+        changes, _ = insert_batch(
+            "link", edges, 3, 6, seed=7, cost_range=(1, 5)
+        )
+        for row in changes.delta("link").rows():
+            assert len(row) == 3
+            assert 1 <= row[2] <= 5
+
+    def test_mixed_batch(self):
+        edges = chain(10)
+        changes, result = mixed_batch("link", edges, 2, 3, 12, seed=8)
+        assert changes.deletion_count() == 2
+        assert changes.insertion_count() == 3
+        assert len(result) == 11
+
+    def test_delete_fraction_full(self):
+        changes, remaining = delete_fraction("link", chain(10), 1.0, seed=9)
+        assert remaining == []
+        assert changes.deletion_count() == 10
+
+    def test_update_sequence_replayable(self):
+        first = list(update_sequence("link", chain(20), 3, 4, 25, seed=10))
+        second = list(update_sequence("link", chain(20), 3, 4, 25, seed=10))
+        assert len(first) == 3
+        for a, b in zip(first, second):
+            assert a.delta("link").to_dict() == b.delta("link").to_dict()
+
+    def test_update_sequence_applies_cleanly(self):
+        from repro.storage.database import Database
+
+        db = Database()
+        db.insert_rows("link", chain(20))
+        for changes in update_sequence("link", chain(20), 4, 4, 25, seed=11):
+            db.apply_changeset(changes)  # must never over-delete
