@@ -1,0 +1,27 @@
+# Test targets.  Tier-1 (`make test`) runs the whole suite exactly as CI
+# does; the split targets exist so the slow layers can be exercised (or
+# skipped) independently without changing what the default run covers.
+
+PYTHON ?= python
+PYTEST := env PYTHONPATH=src $(PYTHON) -m pytest
+TIMEOUT ?= timeout
+
+.PHONY: test test-fast test-faults test-soak
+
+# The tier-1 gate: everything, fail fast.
+test:
+	$(PYTEST) -x -q
+
+# Everything except the slow layers — the inner-loop developer run.
+test-fast:
+	$(PYTEST) -x -q -m "not soak and not faults"
+
+# Crash-injection / durability tests only, fenced by a hard timeout so a
+# recovery bug that hangs (e.g. replaying a corrupt journal forever)
+# kills the run instead of wedging CI.
+test-faults:
+	$(TIMEOUT) 300 $(PYTEST) -x -q -m faults
+
+# Long randomized integration soaks, same fencing.
+test-soak:
+	$(TIMEOUT) 900 $(PYTEST) -x -q -m soak

@@ -64,7 +64,23 @@ from repro.core import (
     ViewMaintainer,
 )
 from repro.eval import materialize, materialize_into, naive_materialize
-from repro.storage import Changeset, CountedRelation, Database, relation_from_rows
+from repro.resilience import (
+    FaultInjector,
+    InjectedFault,
+    RepairReport,
+    UndoLog,
+)
+from repro.storage import (
+    Changeset,
+    CountedRelation,
+    Database,
+    Journal,
+    load_database,
+    load_snapshot,
+    recover,
+    relation_from_rows,
+    save_database,
+)
 
 __version__ = "1.0.0"
 
@@ -76,6 +92,9 @@ __all__ = [
     "Database",
     "DivergenceError",
     "EvaluationError",
+    "FaultInjector",
+    "InjectedFault",
+    "Journal",
     "Literal",
     "MaintenanceError",
     "MaintenanceReport",
@@ -84,11 +103,13 @@ __all__ = [
     "Program",
     "RecomputeMaintainer",
     "RecursiveCountingView",
+    "RepairReport",
     "ReproError",
     "Rule",
     "SemiNaiveInsertMaintainer",
     "Subscription",
     "Transaction",
+    "UndoLog",
     "ViewMaintainer",
     "SafetyError",
     "SchemaError",
@@ -96,13 +117,17 @@ __all__ = [
     "UnknownRelationError",
     "atom",
     "fact",
+    "load_database",
+    "load_snapshot",
     "materialize",
     "materialize_into",
     "naive_materialize",
     "parse_program",
     "parse_rule",
+    "recover",
     "relation_from_rows",
     "rule",
+    "save_database",
     "stratify",
     "true_view_deltas",
     "__version__",

@@ -31,10 +31,11 @@ from typing import List, Optional, Tuple
 from repro.core.maintenance import ViewMaintainer
 from repro.datalog.ast import Program, Rule
 from repro.datalog.parser import parse_program, parse_rule
-from repro.errors import ReproError
+from repro.errors import DivergenceError, ReproError
 from repro.storage.changeset import Changeset
 from repro.storage.database import Database
-from repro.storage.serialize import load_database, save_database
+from repro.storage.journal import Journal
+from repro.storage.serialize import load_database, load_snapshot, save_database
 
 HELP = """\
 commands:
@@ -51,6 +52,9 @@ commands:
   alter + RULE.   add a rule (maintained incrementally)
   alter - RULE.   remove a rule
   check           verify views against recomputation
+  heal            verify and rebuild any diverged views in place
+  checkpoint      write the snapshot (journal mode) and prune the log
+  status          journal/checkpoint/dead-letter health summary
   save PATH       save base relations as a JSON snapshot
   help            this text
   quit            exit
@@ -89,17 +93,62 @@ class Shell:
         database: Optional[Database] = None,
         strategy: str = "auto",
         semantics: str = "set",
+        journal: Optional[Journal] = None,
+        snapshot_path: Optional[str] = None,
+        checkpoint_every: Optional[int] = None,
+        skip_seed_facts: bool = False,
     ) -> None:
         program, facts = split_program(parse_program(source))
         self.database = database if database is not None else Database()
-        for fact in facts:
-            row = tuple(arg.evaluate({}) for arg in fact.head.args)
-            self.database.insert(fact.head.predicate, row)
+        if not skip_seed_facts:
+            for fact in facts:
+                row = tuple(arg.evaluate({}) for arg in fact.head.args)
+                self.database.insert(fact.head.predicate, row)
         self.maintainer = ViewMaintainer(
             program, self.database, strategy=strategy, semantics=semantics
         ).initialize()
+        if journal is not None:
+            self.maintainer.attach_journal(
+                journal,
+                snapshot_path=snapshot_path,
+                checkpoint_every=checkpoint_every,
+            )
         self.pending = Changeset()
         self.done = False
+
+    @classmethod
+    def recovered(
+        cls,
+        source: str,
+        snapshot_path: str,
+        journal: Journal,
+        strategy: str = "auto",
+        semantics: str = "set",
+        checkpoint_every: Optional[int] = None,
+    ) -> "Shell":
+        """Rebuild a session from snapshot + journal and keep journaling.
+
+        Seed facts in the program file are skipped — the snapshot already
+        contains them (re-adding would double-count under duplicate
+        semantics); the journal suffix after the snapshot's watermark is
+        replayed through full maintenance.
+        """
+        database, watermark = load_snapshot(snapshot_path)
+        shell = cls(
+            source,
+            database,
+            strategy=strategy,
+            semantics=semantics,
+            skip_seed_facts=True,
+        )
+        for changes in journal.replay(after=watermark):
+            shell.maintainer.apply(changes)
+        shell.maintainer.attach_journal(
+            journal,
+            snapshot_path=snapshot_path,
+            checkpoint_every=checkpoint_every,
+        )
+        return shell
 
     # ------------------------------------------------------------- dispatch
 
@@ -149,6 +198,14 @@ class Shell:
         if line == "check":
             self.maintainer.consistency_check()
             return "consistent with recomputation ✔"
+        if line == "heal":
+            report = self.maintainer.heal()
+            return report.summary()
+        if line == "checkpoint":
+            watermark = self.maintainer.checkpoint()
+            return f"checkpoint written (journal watermark {watermark})"
+        if line == "status":
+            return self._status()
         if line.startswith("save "):
             save_database(self.database, line[5:].strip())
             return "saved"
@@ -204,6 +261,36 @@ class Shell:
             return f"{predicate}{row} is not in the view"
         return tree.render()
 
+    def _status(self) -> str:
+        maintainer = self.maintainer
+        lines = [
+            f"strategy: {maintainer.strategy}  semantics: {maintainer.semantics}",
+            f"passes applied: {maintainer.lifetime.passes} "
+            f"({maintainer.lifetime.tuples_changed} view tuples changed)",
+        ]
+        if maintainer._journal is not None:
+            lines.append(
+                f"journal: attached, last seq {len(maintainer._journal)}, "
+                f"watermark {maintainer.watermark}"
+            )
+        else:
+            lines.append("journal: not attached")
+        if maintainer.checkpoint_errors:
+            lines.append(
+                f"checkpoint errors: {len(maintainer.checkpoint_errors)} "
+                f"(last: {maintainer.checkpoint_errors[-1]})"
+            )
+        if maintainer.dead_letters:
+            lines.append(
+                f"dead-lettered notifications: {len(maintainer.dead_letters)}"
+            )
+        try:
+            maintainer.consistency_check()
+            lines.append("views: consistent with recomputation ✔")
+        except DivergenceError as exc:
+            lines.append(f"views: DIVERGED — {exc} (run 'heal')")
+        return "\n".join(lines)
+
     def _show(self, name: str) -> str:
         relation = self.maintainer.relation(name)
         if not relation:
@@ -230,18 +317,56 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--semantics", default="set", choices=["set", "duplicate"]
     )
+    parser.add_argument(
+        "--journal", help="append committed changesets to this redo log"
+    )
+    parser.add_argument(
+        "--snapshot",
+        help="checkpoint target (atomic, watermarked); written on attach "
+        "if missing",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        metavar="N",
+        help="auto-checkpoint after every N committed passes "
+        "(requires --snapshot)",
+    )
+    parser.add_argument(
+        "--recover",
+        action="store_true",
+        help="rebuild state from --snapshot + --journal instead of the "
+        "program's seed facts, then continue journaling",
+    )
     args = parser.parse_args(argv)
 
     with open(args.program, "r", encoding="utf-8") as handle:
         source = handle.read()
-    database = load_database(args.data) if args.data else None
+    if args.recover and (not args.journal or not args.snapshot):
+        print("error: --recover requires --journal and --snapshot",
+              file=sys.stderr)
+        return 1
     try:
-        shell = Shell(
-            source,
-            database,
-            strategy=args.strategy,
-            semantics=args.semantics,
-        )
+        if args.recover:
+            shell = Shell.recovered(
+                source,
+                args.snapshot,
+                Journal(args.journal),
+                strategy=args.strategy,
+                semantics=args.semantics,
+                checkpoint_every=args.checkpoint_every,
+            )
+        else:
+            database = load_database(args.data) if args.data else None
+            shell = Shell(
+                source,
+                database,
+                strategy=args.strategy,
+                semantics=args.semantics,
+                journal=Journal(args.journal) if args.journal else None,
+                snapshot_path=args.snapshot,
+                checkpoint_every=args.checkpoint_every,
+            )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

@@ -14,12 +14,16 @@ a context manager it commits on clean exit and rolls back on exceptions.
 
 from __future__ import annotations
 
+import logging
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.errors import MaintenanceError
 from repro.storage.changeset import Changeset
 from repro.storage.relation import CountedRelation
+
+logger = logging.getLogger(__name__)
 
 #: A subscriber receives (view name, signed delta relation).
 Callback = Callable[[str, CountedRelation], None]
@@ -34,12 +38,40 @@ class Subscription:
     token: int
 
 
-class SubscriptionHub:
-    """Dispatches per-view deltas to registered callbacks."""
+@dataclass(frozen=True)
+class DeadLetter:
+    """A delivery that failed every retry; parked for inspection."""
 
-    def __init__(self) -> None:
+    view: str
+    delta: CountedRelation
+    subscription: Subscription
+    error: Exception
+    attempts: int
+
+
+class SubscriptionHub:
+    """Dispatches per-view deltas to registered callbacks.
+
+    Deliveries are *isolated*: a callback that raises cannot poison the
+    maintenance pass that produced the delta (the views are already
+    committed by the time callbacks run).  Each failing delivery is
+    retried ``max_attempts`` times with exponential backoff starting at
+    ``backoff_seconds``; a delivery that exhausts its retries is recorded
+    in :attr:`dead_letters` together with the delta it carried, so no
+    notification is ever silently lost.
+    """
+
+    def __init__(
+        self, max_attempts: int = 3, backoff_seconds: float = 0.01
+    ) -> None:
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.max_attempts = max_attempts
+        self.backoff_seconds = backoff_seconds
         self._subscriptions: Dict[str, List[Subscription]] = {}
         self._next_token = 0
+        #: Deliveries that failed every retry, oldest first.
+        self.dead_letters: List[DeadLetter] = []
 
     def subscribe(self, view: str, callback: Callback) -> Subscription:
         subscription = Subscription(view, callback, self._next_token)
@@ -61,12 +93,36 @@ class SubscriptionHub:
         return any(self._subscriptions.values())
 
     def notify(self, view_deltas: Dict[str, CountedRelation]) -> None:
-        """Invoke every callback whose view changed (non-empty delta)."""
+        """Invoke every callback whose view changed (non-empty delta).
+
+        Callback exceptions never propagate; see the class docstring.
+        """
         for view, delta in view_deltas.items():
             if not delta:
                 continue
             for subscription in tuple(self._subscriptions.get(view, ())):
+                self._deliver(subscription, view, delta)
+
+    def _deliver(
+        self, subscription: Subscription, view: str, delta: CountedRelation
+    ) -> None:
+        delay = self.backoff_seconds
+        for attempt in range(1, self.max_attempts + 1):
+            try:
                 subscription.callback(view, delta)
+                return
+            except Exception as exc:  # noqa: BLE001 — isolation is the point
+                error = exc
+                logger.warning(
+                    "subscriber %d on view %r failed (attempt %d/%d): %s",
+                    subscription.token, view, attempt, self.max_attempts, exc,
+                )
+                if attempt < self.max_attempts and delay > 0:
+                    time.sleep(delay)
+                    delay *= 2
+        self.dead_letters.append(
+            DeadLetter(view, delta, subscription, error, self.max_attempts)
+        )
 
 
 class Transaction:

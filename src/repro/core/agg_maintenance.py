@@ -102,15 +102,28 @@ class AggregateView:
     # ----------------------------------------------------------- maintenance
 
     def maintain(
-        self, old_grouped: CountedRelation, delta: CountedRelation
+        self,
+        old_grouped: CountedRelation,
+        delta: CountedRelation,
+        undo=None,
     ) -> CountedRelation:
         """Algorithm 6.1: Δ(T) for the change ``delta`` to the grouped relation.
 
         ``old_grouped`` is the grouped relation *before* the change (used
         only for group recomputes); ``delta`` carries signed counts.
-        Group states are updated in place.
+        Group states are updated in place.  With an
+        :class:`~repro.resilience.shadow.UndoLog` passed as ``undo``,
+        every touched group's pre-image is recorded first, so a failed
+        maintenance pass can restore the states exactly (group states are
+        immutable tuples, so recording the reference suffices).
         """
+        if undo is not None:
+            undo.note_attr(self, "incremental_updates")
+            undo.note_attr(self, "recomputes")
         if not self._initialized:
+            if undo is not None:
+                undo.note_attr(self, "_states")
+                undo.note_attr(self, "_initialized")
             self.initialize(old_grouped)
 
         # Collect the touched groups and their per-value changes.
@@ -127,6 +140,8 @@ class AggregateView:
             f"Δ({self.rule.head.predicate})", len(self._group_names) + 1
         )
         for key, changes in touched.items():
+            if undo is not None:
+                undo.note_group(self._states, key)
             old_state = self._states.get(key)
             old_tuple: Optional[Row] = None
             if old_state is not None and not self.function.is_empty(old_state):

@@ -120,6 +120,8 @@ class CountingMaintenance:
         semantics: Semantics = "set",
         mode: CountingMode = "expansion",
         prefilter_irrelevant: bool = True,
+        faults=None,
+        undo=None,
     ) -> None:
         if stratification.is_recursive:
             raise MaintenanceError(
@@ -134,6 +136,10 @@ class CountingMaintenance:
         self.semantics = semantics
         self.mode = mode
         self.stats = CountingStats()
+        #: Optional FaultInjector (crash-point testing) and UndoLog
+        #: (shadow-commit rollback); both inert when None.
+        self.faults = faults
+        self.undo = undo
         from repro.core.irrelevance import RelevanceFilter
 
         #: [BCL89]-style pre-filter: base rows that provably cannot join
@@ -220,6 +226,8 @@ class CountingMaintenance:
         """Execute Algorithm 4.1 and fold the deltas into the stored state."""
         started = time.perf_counter()
         self._seed_base_deltas(changes)
+        if self.faults is not None:
+            self.faults.fire("delta_derivation")
 
         rules_by_stratum = self.strat.rules_by_stratum()
         for stratum in range(1, self.strat.max_stratum + 1):
@@ -345,7 +353,10 @@ class CountingMaintenance:
         self.stats.rules_fired += 1
         old_grouped = self._old_relation(grouped_pred)
         delta = self._cascade_of(grouped_pred)
-        return view.maintain(old_grouped, delta)
+        delta_t = view.maintain(old_grouped, delta, undo=self.undo)
+        if self.faults is not None:
+            self.faults.fire("aggregate_merge")
+        return delta_t
 
     def _commit_stratum(self, pending: Dict[str, CountedRelation]) -> None:
         """Record Δ(P) for the stratum and derive what cascades upward."""
@@ -366,11 +377,23 @@ class CountingMaintenance:
                 self._cascade[predicate] = delta
 
     def _apply_to_store(self, changes: Changeset) -> None:
+        undo = self.undo
+        if undo is not None:
+            for name, delta in changes:
+                relation = self.database.get(name)
+                if relation is None:
+                    undo.note_base_created(self.database, name)
+                else:
+                    undo.note_counts(relation, delta.rows())
         self.database.apply_changeset(changes)
+        if self.faults is not None:
+            self.faults.fire("count_merge")
         for predicate, delta in self._store_deltas.items():
             view = self.views.get(predicate)
             if view is None:
                 continue  # base predicate: already applied via the changeset
+            if undo is not None:
+                undo.note_counts(view, delta.rows())
             view.merge(delta)
             view.assert_nonnegative()
 

@@ -109,6 +109,8 @@ class DRedMaintenance:
         old_rules: Optional[List[Rule]] = None,
         full_round0_rules: frozenset = frozenset(),
         deletion_seeds: Optional[Dict[str, CountedRelation]] = None,
+        faults=None,
+        undo=None,
     ) -> None:
         self.normalized = normalized
         self.strat = stratification
@@ -126,6 +128,12 @@ class DRedMaintenance:
         self.full_round0_rules = full_round0_rules
         #: Extra per-predicate deletion seeds (derivations of removed rules).
         self.deletion_seeds = deletion_seeds if deletion_seeds is not None else {}
+        #: Optional FaultInjector (crash-point testing) and UndoLog
+        #: (shadow-commit rollback); both inert when None.  The undo log
+        #: piggybacks on :attr:`_old` — every relation DRed mutates is
+        #: copied there anyway, so crash safety costs nothing extra.
+        self.faults = faults
+        self.undo = undo
         self.stats = DRedStats()
         #: Old versions of every relation changed so far (base and derived).
         self._old: Dict[str, CountedRelation] = {}
@@ -145,7 +153,11 @@ class DRedMaintenance:
 
     def _save_old(self, predicate: str, relation: CountedRelation) -> None:
         if predicate not in self._old:
-            self._old[predicate] = relation.copy()
+            old = relation.copy()
+            self._old[predicate] = old
+            if self.undo is not None:
+                # The copy doubles as the rollback pre-image, shared.
+                self.undo.note_rows(relation, old)
 
     def _deletions_of(self, predicate: str) -> CountedRelation:
         found = self._del.get(predicate)
@@ -161,6 +173,8 @@ class DRedMaintenance:
         """Execute the three DRed steps for every stratum, bottom-up."""
         started = time.perf_counter()
         self._apply_base_changes(changes)
+        if self.faults is not None:
+            self.faults.fire("delta_derivation")
 
         new_by_stratum = self._group_by_stratum(self.normalized.program.rules)
         old_by_stratum = self._group_by_stratum(self.old_rules)
@@ -190,8 +204,12 @@ class DRedMaintenance:
                     normal_old, stratum_preds
                 )
                 self._prune(overestimate)
+                if self.faults is not None:
+                    self.faults.fire("rederivation")
                 self._step2_rederive(normal_new, overestimate)
                 inserted = self._step3_insert(normal_new, stratum_preds)
+                if self.faults is not None:
+                    self.faults.fire("count_merge")
                 self._finalize_stratum(
                     stratum_preds, overestimate, inserted
                 )
@@ -232,6 +250,8 @@ class DRedMaintenance:
                 raise MaintenanceError(
                     f"cannot change derived relation {name} directly"
                 )
+            if self.undo is not None and name not in self.database:
+                self.undo.note_base_created(self.database, name)
             relation = self.database.ensure_relation(name)
             deletions = CountedRelation(f"del({name})")
             insertions = CountedRelation(f"add({name})")
@@ -471,7 +491,9 @@ class DRedMaintenance:
         old_grouped = self._old.get(grouped)
         if old_grouped is None:
             old_grouped = self._current_resolver().relation(grouped)
-        delta_t = view.maintain(old_grouped, delta)
+        delta_t = view.maintain(old_grouped, delta, undo=self.undo)
+        if self.faults is not None:
+            self.faults.fire("aggregate_merge")
         if not delta_t:
             return
         stored = self.views[predicate]

@@ -30,6 +30,7 @@ the stored state.  :meth:`alter` applies rule insertions/deletions
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Literal as TypingLiteral, Optional
@@ -43,12 +44,15 @@ from repro.datalog.ast import Literal, Program, Rule
 from repro.datalog.parser import parse_program, parse_rule
 from repro.datalog.safety import check_program_safety
 from repro.datalog.stratify import Stratification, stratify
-from repro.errors import MaintenanceError, UnknownRelationError
+from repro.errors import DivergenceError, MaintenanceError, UnknownRelationError
 from repro.eval.rule_eval import Resolver
 from repro.eval.stratified import Semantics, materialize
+from repro.resilience.faults import FaultInjector
+from repro.resilience.shadow import UndoLog
 from repro.storage.changeset import Changeset
 from repro.storage.database import Database
 from repro.storage.relation import CountedRelation
+from repro.storage.serialize import save_database
 
 Strategy = TypingLiteral["auto", "counting", "dred"]
 
@@ -100,6 +104,7 @@ class ViewMaintainer:
         strategy: Strategy = "auto",
         semantics: Semantics = "set",
         counting_mode: CountingMode = "expansion",
+        crash_safe: bool = True,
     ) -> None:
         check_program_safety(program)
         self.database = database
@@ -113,7 +118,22 @@ class ViewMaintainer:
         from repro.core.active import SubscriptionHub
 
         self._subscriptions = SubscriptionHub()
+        #: Shadow-commit apply: when True (the default), every pass runs
+        #: over an undo log and any mid-pass exception restores the
+        #: pre-pass state exactly.  Disable only to benchmark the
+        #: (per-changed-row) bookkeeping cost.
+        self.crash_safe = crash_safe
+        #: Deterministic crash-point injection (tests/ops drills); inert
+        #: until armed.  See :mod:`repro.resilience.faults`.
+        self.faults = FaultInjector()
         self._journal = None
+        self._snapshot_path: Optional[str] = None
+        self._checkpoint_every: Optional[int] = None
+        self._entries_since_checkpoint = 0
+        self._watermark = 0
+        #: Exceptions swallowed by auto-checkpointing (a committed pass
+        #: must not be failed retroactively by checkpoint I/O).
+        self.checkpoint_errors: List[Exception] = []
         self.lifetime = LifetimeStats()
 
     # ----------------------------------------------------------- construction
@@ -126,6 +146,7 @@ class ViewMaintainer:
         strategy: Strategy = "auto",
         semantics: Semantics = "set",
         counting_mode: CountingMode = "expansion",
+        crash_safe: bool = True,
     ) -> "ViewMaintainer":
         """Build a maintainer from Datalog source text."""
         return cls(
@@ -134,6 +155,7 @@ class ViewMaintainer:
             strategy=strategy,
             semantics=semantics,
             counting_mode=counting_mode,
+            crash_safe=crash_safe,
         )
 
     def _set_program(self, normalized: NormalizedProgram) -> None:
@@ -233,18 +255,40 @@ class ViewMaintainer:
     def apply(self, changes: Changeset) -> MaintenanceReport:
         """Maintain all views for a base-relation changeset.
 
-        On success the pass is recorded in :attr:`lifetime` and, when a
-        journal is attached, appended to it (redo-log discipline: only
-        committed batches are logged).
+        The pass is *all-or-nothing* (shadow-commit, on by default): the
+        engine records the pre-image of every cell it touches in an undo
+        log, and any exception before the commit point — validation
+        failures, bugs, injected faults, a failed journal append —
+        unwinds the log, leaving base relations, view counts, and
+        aggregate group states exactly as they were.
+
+        The commit point is the journal append (redo-log discipline:
+        only committed batches are logged).  After it, the pass is
+        recorded in :attr:`lifetime`, subscribers are notified (isolated
+        — their exceptions are retried and dead-lettered, never raised
+        here), and an auto-checkpoint may fire.
         """
-        report = self._run_maintenance(changes)
-        if not changes.is_empty():
-            self.lifetime.record(report)
+        self._require_initialized()
+        if changes.is_empty():
+            return MaintenanceReport(strategy=self.strategy, seconds=0.0)
+        undo = UndoLog() if self.crash_safe else None
+        try:
+            report = self._run_maintenance(changes, undo)
+            self.faults.fire("journal_append")
             if self._journal is not None:
-                self._journal.append(changes)
+                self._watermark = self._journal.append(changes)
+        except BaseException:
+            if undo is not None:
+                undo.unwind()
+            raise
+        self.lifetime.record(report)
+        self._subscriptions.notify(report.view_deltas)
+        self._auto_checkpoint()
         return report
 
-    def _run_maintenance(self, changes: Changeset) -> MaintenanceReport:
+    def _run_maintenance(
+        self, changes: Changeset, undo: Optional[UndoLog] = None
+    ) -> MaintenanceReport:
         self._require_initialized()
         if changes.is_empty():
             return MaintenanceReport(strategy=self.strategy, seconds=0.0)
@@ -257,6 +301,8 @@ class ViewMaintainer:
                 self.aggregate_views,
                 semantics=self.semantics,
                 mode=self.counting_mode,
+                faults=self.faults,
+                undo=undo,
             )
             result = run.run(changes)
             deltas = {
@@ -264,7 +310,6 @@ class ViewMaintainer:
                 for name, delta in result.view_deltas.items()
                 if not names.is_internal(name)
             }
-            self._subscriptions.notify(deltas)
             return MaintenanceReport(
                 strategy="counting",
                 seconds=result.stats.seconds,
@@ -277,6 +322,8 @@ class ViewMaintainer:
             self.database,
             self.views,
             self.aggregate_views,
+            faults=self.faults,
+            undo=undo,
         )
         result = run.run(changes)
         deltas = {
@@ -284,7 +331,6 @@ class ViewMaintainer:
             for name in set(result.deletions) | set(result.insertions)
             if not names.is_internal(name)
         }
-        self._subscriptions.notify(deltas)
         return MaintenanceReport(
             strategy="dred",
             seconds=result.stats.seconds,
@@ -321,21 +367,47 @@ class ViewMaintainer:
                 "duplicate semantics"
             )
         started = time.perf_counter()
-        new_normalized, new_strat, result = maintain_rule_changes(
-            self, added, removed
-        )
-        self.normalized = new_normalized
-        self.program = new_normalized.original
-        self.stratification = new_strat
-        # Rule-change maintenance is a DRed operation (Section 7); it
-        # leaves set-style counts behind, so the maintainer stays on the
-        # DRed strategy from here on.  Re-create the maintainer to go
-        # back to counting after a redefinition.
-        self.strategy = "dred"
-        self.views = {
-            name: relation.set_view(name)
-            for name, relation in self.views.items()
-        }
+        undo = UndoLog() if self.crash_safe else None
+        if undo is not None:
+            # Rule changes rewrite the program *and* rewrite views in
+            # place; snapshot everything a failed redefinition could
+            # have touched.  alter() is rare, so whole-relation copies
+            # are acceptable here (apply() never pays this).
+            for attribute in (
+                "normalized", "program", "stratification", "strategy", "views"
+            ):
+                undo.note_attr(self, attribute)
+            undo.note_mapping(self.views)
+            for relation in self.views.values():
+                undo.note_rows(relation, relation.copy())
+            undo.note_attr(self, "aggregate_views")
+            undo.note_mapping(self.aggregate_views)
+            for view in self.aggregate_views.values():
+                undo.note_attr(view, "_states")
+                undo.note_mapping(view._states)
+                undo.note_attr(view, "_initialized")
+                undo.note_attr(view, "incremental_updates")
+                undo.note_attr(view, "recomputes")
+        try:
+            new_normalized, new_strat, result = maintain_rule_changes(
+                self, added, removed
+            )
+            self.normalized = new_normalized
+            self.program = new_normalized.original
+            self.stratification = new_strat
+            # Rule-change maintenance is a DRed operation (Section 7); it
+            # leaves set-style counts behind, so the maintainer stays on the
+            # DRed strategy from here on.  Re-create the maintainer to go
+            # back to counting after a redefinition.
+            self.strategy = "dred"
+            self.views = {
+                name: relation.set_view(name)
+                for name, relation in self.views.items()
+            }
+        except BaseException:
+            if undo is not None:
+                undo.unwind()
+            raise
         deltas = {
             name: result.delta(name)
             for name in set(result.deletions) | set(result.insertions)
@@ -405,18 +477,93 @@ class ViewMaintainer:
 
     # --------------------------------------------------------------- journal
 
-    def attach_journal(self, journal) -> None:
+    def attach_journal(
+        self,
+        journal,
+        snapshot_path: Optional[str] = None,
+        checkpoint_every: Optional[int] = None,
+    ) -> None:
         """Log every successful :meth:`apply` to ``journal`` (redo log).
 
-        Pair with a base-relation snapshot
-        (:func:`repro.storage.serialize.save_database`) for recovery via
-        :func:`repro.storage.journal.recover`.  Rule changes are not
-        journalable: :meth:`alter` refuses while a journal is attached.
+        Pair with a base-relation snapshot for recovery via
+        :func:`repro.storage.journal.recover`.  With ``snapshot_path``
+        the maintainer can :meth:`checkpoint` — write an atomic snapshot
+        stamped with the journal's current sequence number (the
+        *watermark*), so recovery replays only the journal suffix and
+        never double-applies.  If no snapshot exists yet, one is written
+        immediately (recovery must always have a base to start from).
+        ``checkpoint_every=N`` auto-checkpoints after every N applied
+        passes; auto-checkpoint failures are recorded in
+        :attr:`checkpoint_errors` instead of failing the committed pass.
+
+        Rule changes are not journalable: :meth:`alter` refuses while a
+        journal is attached.
         """
+        if checkpoint_every is not None:
+            if snapshot_path is None:
+                raise MaintenanceError(
+                    "checkpoint_every requires snapshot_path"
+                )
+            if checkpoint_every < 1:
+                raise MaintenanceError(
+                    f"checkpoint_every must be >= 1, got {checkpoint_every}"
+                )
         self._journal = journal
+        self._snapshot_path = snapshot_path
+        self._checkpoint_every = checkpoint_every
+        self._entries_since_checkpoint = 0
+        self._watermark = len(journal)
+        if snapshot_path is not None and not os.path.exists(snapshot_path):
+            self.checkpoint()
 
     def detach_journal(self) -> None:
         self._journal = None
+        self._snapshot_path = None
+        self._checkpoint_every = None
+        self._entries_since_checkpoint = 0
+
+    @property
+    def watermark(self) -> int:
+        """The journal sequence number of the last committed pass."""
+        return self._watermark
+
+    def checkpoint(self) -> int:
+        """Write an atomic snapshot stamped with the current watermark.
+
+        The snapshot goes to the ``snapshot_path`` given to
+        :meth:`attach_journal`, written as tmp + fsync + rename (a crash
+        mid-write leaves the previous snapshot intact).  Archived journal
+        segments wholly covered by the new watermark are pruned.
+        Returns the watermark written.
+        """
+        if self._journal is None or self._snapshot_path is None:
+            raise MaintenanceError(
+                "checkpoint() requires attach_journal(journal, "
+                "snapshot_path=...)"
+            )
+        watermark = len(self._journal)
+        save_database(
+            self.database,
+            self._snapshot_path,
+            watermark=watermark,
+            faults=self.faults,
+        )
+        self._journal.prune(watermark)
+        self._entries_since_checkpoint = 0
+        return watermark
+
+    def _auto_checkpoint(self) -> None:
+        if self._checkpoint_every is None or self._journal is None:
+            return
+        self._entries_since_checkpoint += 1
+        if self._entries_since_checkpoint < self._checkpoint_every:
+            return
+        try:
+            self.checkpoint()
+        except Exception as exc:
+            # The pass already committed; a checkpoint failure must not
+            # fail it retroactively.  Record and retry next pass.
+            self.checkpoint_errors.append(exc)
 
     # ----------------------------------------------------------- subscriptions
 
@@ -483,14 +630,22 @@ class ViewMaintainer:
 
     # ------------------------------------------------------------ validation
 
-    def consistency_check(self) -> None:
+    def consistency_check(self, repair: bool = False):
         """Recompute every view from scratch and compare (test oracle).
 
-        Raises :class:`~repro.errors.MaintenanceError` on any divergence —
+        Raises :class:`~repro.errors.DivergenceError` (a
+        :class:`~repro.errors.MaintenanceError`) on any divergence —
         under set semantics the *sets* must match; under duplicate
         semantics the full counts must match.
+
+        With ``repair=True`` a detected divergence triggers
+        :meth:`heal` instead of raising, and the resulting
+        :class:`~repro.resilience.repair.RepairReport` is returned
+        (``None`` when everything was already consistent).
         """
         self._require_initialized()
+        from repro.resilience.repair import view_matches
+
         fresh = materialize(
             self.normalized.program,
             self.database,
@@ -499,14 +654,32 @@ class ViewMaintainer:
         )
         for name, expected in fresh.items():
             actual = self.views.get(name, CountedRelation(name))
-            if self.semantics == "duplicate" or self.strategy == "counting":
-                matches = actual.to_dict() == expected.to_dict()
-            else:
-                matches = actual.as_set() == expected.as_set()
-            if not matches:
+            if not view_matches(self, actual, expected):
+                if repair:
+                    return self.heal()
                 missing = expected.as_set() - actual.as_set()
                 extra = actual.as_set() - expected.as_set()
-                raise MaintenanceError(
+                raise DivergenceError(
                     f"view {name} diverged from recomputation: "
                     f"missing={sorted(missing)[:5]} extra={sorted(extra)[:5]}"
                 )
+        return None
+
+    def heal(self):
+        """Rebuild every diverged view from the base relations.
+
+        The self-healing counterpart of :meth:`consistency_check`:
+        damaged materializations are patched in place, aggregate group
+        states are rebuilt, and a
+        :class:`~repro.resilience.repair.RepairReport` describes what
+        changed.  Safe to call on a healthy maintainer (empty report).
+        """
+        self._require_initialized()
+        from repro.resilience.repair import repair_divergence
+
+        return repair_divergence(self)
+
+    @property
+    def dead_letters(self):
+        """Subscriber deliveries that failed every retry (see active.py)."""
+        return self._subscriptions.dead_letters

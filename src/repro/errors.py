@@ -74,9 +74,16 @@ class MaintenanceError(ReproError):
 
 
 class DivergenceError(MaintenanceError):
-    """Recursive counting detected (potentially) infinite derivation counts.
+    """A maintained state no longer matches what recomputation says.
 
-    Section 8 of the paper notes that counting may not terminate on
-    recursive views; the recursive-counting extension guards iteration
-    with a bound and raises this error when the bound trips.
+    Raised in two places:
+
+    * :meth:`ViewMaintainer.consistency_check` — a stored
+      materialization differs from a from-scratch recomputation
+      (external mutation, corruption, or a maintenance bug); pass
+      ``repair=True`` or call :meth:`ViewMaintainer.heal` to rebuild
+      the damaged views in place.
+    * recursive counting (Section 8): counting may not terminate on
+      recursive views, so the recursive-counting extension bounds its
+      iteration and raises this error when the bound trips.
     """

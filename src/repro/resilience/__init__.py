@@ -1,0 +1,27 @@
+"""Fault tolerance for the maintenance engine.
+
+Three pieces back the durability contract documented in
+``docs/operations.md``:
+
+* :mod:`repro.resilience.shadow` — the undo log that makes every
+  :meth:`ViewMaintainer.apply` all-or-nothing;
+* :mod:`repro.resilience.faults` — deterministic fault injection at
+  named maintenance phases, so tests can prove atomicity at each crash
+  point;
+* :mod:`repro.resilience.repair` — self-healing: rebuild diverged views
+  from base relations and report what was fixed.
+"""
+
+from repro.resilience.faults import PHASES, FaultInjector, InjectedFault
+from repro.resilience.repair import RepairReport, repair_divergence, view_matches
+from repro.resilience.shadow import UndoLog
+
+__all__ = [
+    "PHASES",
+    "FaultInjector",
+    "InjectedFault",
+    "RepairReport",
+    "UndoLog",
+    "repair_divergence",
+    "view_matches",
+]

@@ -1,0 +1,103 @@
+"""Deterministic fault injection at named maintenance phases.
+
+The durability contract of :mod:`repro.core.maintenance` — *any*
+exception mid-pass leaves the maintainer state byte-identical to the
+pre-pass state — is only worth claiming if it can be proven at every
+crash point.  A :class:`FaultInjector` is the proof harness: tests arm a
+named phase and the engine raises :class:`InjectedFault` exactly when
+execution reaches it, simulating a crash at that point.
+
+Every :class:`~repro.core.maintenance.ViewMaintainer` owns an injector
+(inert unless armed, a dict lookup per phase).  The phases:
+
+========================  =====================================================
+``delta_derivation``      after the base deltas are seeded / the base relations
+                          are updated, before view deltas are derived
+``aggregate_merge``       after an aggregate view's group states were updated
+``count_merge``           mid-install: base relations updated, stored view
+                          counts not yet (counting), or between DRed's
+                          insertion step and the stratum's finalization
+``rederivation``          after DRed pruned the deletion overestimate, before
+                          rederiving survivors
+``journal_append``        after the pass computed, before the redo-log append
+``snapshot_write``        after the checkpoint temp file is written, before it
+                          atomically replaces the snapshot
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import ReproError
+
+#: Every phase a FaultInjector can be armed at.
+PHASES = (
+    "delta_derivation",
+    "aggregate_merge",
+    "count_merge",
+    "rederivation",
+    "journal_append",
+    "snapshot_write",
+)
+
+
+class InjectedFault(ReproError):
+    """The simulated crash raised by an armed :class:`FaultInjector`."""
+
+
+class FaultInjector:
+    """Raises deterministically when execution reaches an armed phase.
+
+    ``arm(phase, at=k)`` schedules a fault on the *k*-th time the engine
+    reaches ``phase``; the plan is one-shot (it disarms when it fires),
+    so recovery and retry flows run clean without re-arming.
+    """
+
+    def __init__(self) -> None:
+        self._plans: Dict[str, dict] = {}
+        #: Phases that actually fired, in order (test introspection).
+        self.fired: List[str] = []
+
+    def arm(
+        self,
+        phase: str,
+        at: int = 1,
+        exception: Optional[BaseException] = None,
+    ) -> "FaultInjector":
+        """Schedule a fault on the ``at``-th arrival at ``phase``."""
+        if phase not in PHASES:
+            raise ValueError(
+                f"unknown fault phase {phase!r}; choose from {PHASES}"
+            )
+        if at < 1:
+            raise ValueError(f"arm(at=...) must be >= 1, got {at}")
+        self._plans[phase] = {"countdown": at, "exception": exception}
+        return self
+
+    def disarm(self, phase: Optional[str] = None) -> None:
+        """Cancel one armed phase, or all of them."""
+        if phase is None:
+            self._plans.clear()
+        else:
+            self._plans.pop(phase, None)
+
+    def armed(self, phase: str) -> bool:
+        return phase in self._plans
+
+    def fire(self, phase: str) -> None:
+        """Called by the engine when execution reaches ``phase``."""
+        if not self._plans:
+            return
+        plan = self._plans.get(phase)
+        if plan is None:
+            return
+        plan["countdown"] -= 1
+        if plan["countdown"] > 0:
+            return
+        del self._plans[phase]
+        self.fired.append(phase)
+        exception = plan["exception"]
+        if exception is None:
+            exception = InjectedFault(f"injected fault at phase {phase!r}")
+        raise exception

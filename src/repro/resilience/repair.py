@@ -1,0 +1,111 @@
+"""Self-healing: rebuild diverged views from the base relations.
+
+:meth:`ViewMaintainer.consistency_check` raises
+:class:`~repro.errors.DivergenceError` when a stored materialization no
+longer matches recomputation — external database mutation, a bug, or
+state corruption survived from before crash safety existed.  The opt-in
+repair path here recomputes every view from the base relations, replaces
+exactly the damaged ones (in place, so held references stay valid),
+rebuilds the aggregate group states that depend on them, and reports
+what was healed.
+
+Usage::
+
+    try:
+        maintainer.consistency_check()
+    except DivergenceError:
+        report = maintainer.heal()
+        print(report.summary())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.storage.relation import CountedRelation
+
+
+@dataclass
+class RepairReport:
+    """What :func:`repair_divergence` found and fixed.
+
+    ``healed`` maps each rebuilt view to ``(missing, extra)`` — the
+    number of set-level tuples that were absent from / spurious in the
+    stored materialization.  Count-only divergence (right tuples, wrong
+    multiplicities) heals with ``(0, 0)``.
+    """
+
+    healed: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+    aggregates_reset: List[str] = field(default_factory=list)
+
+    def is_clean(self) -> bool:
+        """True when nothing needed repair."""
+        return not self.healed
+
+    def summary(self) -> str:
+        if self.is_clean():
+            return "all views consistent; nothing healed"
+        parts = [
+            f"{view} (missing {missing}, extra {extra})"
+            for view, (missing, extra) in sorted(self.healed.items())
+        ]
+        text = f"healed {len(self.healed)} view(s): " + ", ".join(parts)
+        if self.aggregates_reset:
+            text += "; aggregate states rebuilt: " + ", ".join(
+                self.aggregates_reset
+            )
+        return text
+
+
+def view_matches(maintainer, actual: CountedRelation, expected: CountedRelation) -> bool:
+    """The comparator :meth:`consistency_check` uses, shared with repair.
+
+    Under duplicate semantics (and under counting, whose stored counts
+    are meaningful) the full multiplicities must match; under DRed's set
+    semantics only the set projections must.
+    """
+    if maintainer.semantics == "duplicate" or maintainer.strategy == "counting":
+        return actual.to_dict() == expected.to_dict()
+    return actual.as_set() == expected.as_set()
+
+
+def repair_divergence(maintainer) -> RepairReport:
+    """Rebuild every diverged view from the base relations.
+
+    Repaired relations are patched *in place* (their row stores are
+    replaced, the objects stay), group states of all aggregate views are
+    rebuilt whenever anything was healed, and the returned
+    :class:`RepairReport` lists the damage.  A clean maintainer returns
+    an empty report — calling this is always safe.
+    """
+    from repro.eval.stratified import materialize
+
+    fresh = materialize(
+        maintainer.normalized.program,
+        maintainer.database,
+        semantics=maintainer.semantics,
+        stratification=maintainer.stratification,
+    )
+    report = RepairReport()
+    for name, expected in fresh.items():
+        if maintainer.strategy == "dred":
+            expected = expected.set_view(name)
+        actual = maintainer.views.get(name)
+        if actual is None:
+            actual = CountedRelation(name, expected.arity)
+            maintainer.views[name] = actual
+        if view_matches(maintainer, actual, expected):
+            continue
+        missing = expected.as_set() - actual.as_set()
+        extra = actual.as_set() - expected.as_set()
+        actual.replace_rows(expected.to_dict())
+        actual.arity = expected.arity
+        report.healed[name] = (len(missing), len(extra))
+    if report.healed:
+        # Aggregate group states are derived caches over the (possibly
+        # damaged) grouped relations; rebuild them all from the repaired
+        # state rather than guessing which drifted.
+        maintainer._init_aggregate_views()
+        report.aggregates_reset = sorted(maintainer.aggregate_views)
+    return report

@@ -1,0 +1,113 @@
+"""Shadow-commit overlay: the undo log behind crash-safe ``apply()``.
+
+A maintenance pass mutates shared state in many places — base relations,
+stored view counts, aggregate group states — and the paper's algorithms
+assume every pass runs to completion.  :class:`UndoLog` removes that
+assumption: the maintenance engine notes the pre-image of every cell it
+is about to touch (one ``(relation, row, old count)`` entry per changed
+row, one saved group state per touched group), and
+:meth:`UndoLog.unwind` replays the notes in reverse, restoring the
+pre-pass state byte-identically.
+
+The overhead is proportional to the *change*, not the database: a pass
+touching 10 rows records 10 pre-images, no matter how large the views
+are.  DRed already snapshots every relation it mutates (its ``_old``
+map); those snapshots are shared with the undo log, so DRed pays nothing
+extra.  On success the log is simply dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Tuple
+
+from repro.storage.relation import CountedRelation, Row
+
+
+class UndoLog:
+    """Reverse-order log of pre-images; ``unwind()`` restores them all.
+
+    Note-methods are cheap and may be called redundantly: entries are
+    unwound newest-first, so the *earliest* note for a cell wins and
+    later notes for the same cell are harmlessly overwritten on the way
+    back.
+    """
+
+    __slots__ = ("_ops",)
+
+    def __init__(self) -> None:
+        self._ops: List[Tuple] = []
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    # ------------------------------------------------------------- recording
+
+    def note_count(self, relation: CountedRelation, row: Row) -> None:
+        """Record one row's current count before it changes."""
+        self._ops.append(("count", relation, row, relation.count(row)))
+
+    def note_counts(self, relation: CountedRelation, rows: Iterable[Row]) -> None:
+        """Record current counts for every row about to be merged into."""
+        ops = self._ops
+        count = relation.count
+        for row in rows:
+            ops.append(("count", relation, row, count(row)))
+
+    def note_rows(self, relation: CountedRelation, old: CountedRelation) -> None:
+        """Record a full pre-image of ``relation`` (``old`` is a copy).
+
+        Used where a whole-relation copy already exists (DRed's
+        ``_save_old``) or where fine-grained notes are not worth it
+        (rule-change maintenance).  The copy is shared, not re-copied.
+        """
+        self._ops.append(("rows", relation, old))
+
+    def note_base_created(self, database, name: str) -> None:
+        """Record that a base relation is about to be created."""
+        self._ops.append(("drop_base", database, name))
+
+    def note_group(self, states: Dict[Row, tuple], key: Row) -> None:
+        """Record one aggregate group's state before it changes."""
+        self._ops.append(("group", states, key, states.get(key)))
+
+    def note_attr(self, obj: Any, attribute: str) -> None:
+        """Record an attribute's current value before reassignment."""
+        self._ops.append(("attr", obj, attribute, getattr(obj, attribute)))
+
+    def note_mapping(self, mapping: Dict) -> None:
+        """Record a dict's current contents before in-place mutation."""
+        self._ops.append(("mapping", mapping, dict(mapping)))
+
+    # -------------------------------------------------------------- unwinding
+
+    def unwind(self) -> int:
+        """Restore every pre-image, newest first; returns ops replayed."""
+        ops = self._ops
+        for op in reversed(ops):
+            kind = op[0]
+            if kind == "count":
+                _, relation, row, old_count = op
+                relation.set_count(row, old_count)
+            elif kind == "rows":
+                _, relation, old = op
+                relation.replace_rows(old.to_dict())
+            elif kind == "drop_base":
+                _, database, name = op
+                if name in database:
+                    database.drop_relation(name)
+            elif kind == "group":
+                _, states, key, old_state = op
+                if old_state is None:
+                    states.pop(key, None)
+                else:
+                    states[key] = old_state
+            elif kind == "attr":
+                _, obj, attribute, old_value = op
+                setattr(obj, attribute, old_value)
+            else:  # "mapping"
+                _, mapping, old_items = op
+                mapping.clear()
+                mapping.update(old_items)
+        replayed = len(ops)
+        self._ops = []
+        return replayed

@@ -1,14 +1,27 @@
-"""Storage substrate: counted relations, databases, and changesets."""
+"""Storage substrate: counted relations, databases, changesets, durability."""
 
 from repro.storage.changeset import Changeset, changeset_from_deltas
 from repro.storage.database import Database
+from repro.storage.journal import Journal, recover
 from repro.storage.relation import CountedRelation, Row, relation_from_rows
+from repro.storage.serialize import (
+    load_database,
+    load_snapshot,
+    save_database,
+    snapshot_watermark,
+)
 
 __all__ = [
     "Changeset",
     "CountedRelation",
     "Database",
+    "Journal",
     "Row",
     "changeset_from_deltas",
+    "load_database",
+    "load_snapshot",
+    "recover",
     "relation_from_rows",
+    "save_database",
+    "snapshot_watermark",
 ]

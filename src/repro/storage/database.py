@@ -100,11 +100,18 @@ class Database:
         """Apply a base-relation changeset atomically.
 
         Validates the whole changeset first (deletions must not exceed
-        stored multiplicities) so a failed apply leaves the database
-        untouched.
+        stored multiplicities, rows must match declared arities) so a
+        failed apply leaves the database untouched.
         """
         for name, delta in changes:
             relation = self._relations.get(name)
+            if relation is not None and relation.arity is not None:
+                for row in delta.rows():
+                    if len(row) != relation.arity:
+                        raise SchemaError(
+                            f"relation {name} has arity {relation.arity}; "
+                            f"changeset row {row!r} has length {len(row)}"
+                        )
             for row, count in delta.negative_items():
                 stored = relation.count(row) if relation is not None else 0
                 if stored + count < 0:  # count is negative

@@ -5,68 +5,247 @@ base-relation *snapshot* (:mod:`repro.storage.serialize`) with an
 append-only *journal* of changesets, and any state is recoverable::
 
     journal = Journal(path)
-    maintainer.attach_journal(journal)     # every apply() is logged
+    maintainer.attach_journal(journal, snapshot_path="snap.json",
+                              checkpoint_every=100)
     ...
     # later / elsewhere:
-    db = load_database(snapshot_path)
-    for changes in Journal(path).replay():
-        db.apply_changeset(changes)        # or maintainer.apply(...)
+    maintainer = recover(
+        lambda db: ViewMaintainer.from_source(SOURCE, db),
+        "snap.json", Journal(path))
 
 The format is JSON-lines: one serialized changeset per line, each with
 a sequence number and an integrity-checked payload, so a torn final
 line (crash mid-append) is detected and skipped rather than corrupting
 recovery.
+
+Appends reuse one persistent file handle; the default policy fsyncs
+every append (``fsync=True``) and can be relaxed to flush-only with an
+explicit :meth:`Journal.sync` for group-commit batching.  With
+``segment_entries=N`` the active file rotates to an archived segment
+(``<path>.seg<first-seq>``) every N entries; :meth:`Journal.prune`
+deletes archived segments whose entries a checkpoint's watermark has
+already folded into the snapshot.  Sequence numbers are global across
+segments, so replay order and gap detection survive rotation.
 """
 
 from __future__ import annotations
 
 import json
 import os
-from typing import IO, Iterator, List, Optional, Union
+from typing import IO, Iterator, List, Optional, Tuple
 
 from repro.errors import SchemaError
 from repro.storage.changeset import Changeset
 from repro.storage.serialize import changeset_from_dict, changeset_to_dict
 
+#: Archived-segment filename suffix: ``<path>.seg<first seq, zero padded>``.
+_SEGMENT_TAG = ".seg"
+_SEGMENT_DIGITS = 12
+
 
 class Journal:
-    """An append-only changeset log backed by a JSON-lines file."""
+    """An append-only changeset log backed by JSON-lines segment files."""
 
-    def __init__(self, path: str) -> None:
+    def __init__(
+        self,
+        path: str,
+        fsync: bool = True,
+        segment_entries: Optional[int] = None,
+    ) -> None:
+        if segment_entries is not None and segment_entries < 1:
+            raise ValueError(
+                f"segment_entries must be >= 1, got {segment_entries}"
+            )
         self.path = path
-        self._sequence = self._scan_sequence()
+        self.fsync = fsync
+        self.segment_entries = segment_entries
+        self._handle: Optional[IO[str]] = None
+        self._sequence = 0
+        self._active_first: Optional[int] = None
+        self._active_count = 0
+        self._scan()
 
-    def _scan_sequence(self) -> int:
+    # ------------------------------------------------------------- segments
+
+    def _archived_paths(self) -> List[str]:
+        directory, base = os.path.split(self.path)
+        directory = directory or "."
+        prefix = base + _SEGMENT_TAG
+        if not os.path.isdir(directory):
+            return []
+        found = [
+            os.path.join(directory, name)
+            for name in os.listdir(directory)
+            if name.startswith(prefix) and name[len(prefix):].isdigit()
+        ]
+        return sorted(found)
+
+    def _segment_files(self) -> List[str]:
+        files = self._archived_paths()
+        if os.path.exists(self.path):
+            files.append(self.path)
+        return files
+
+    @staticmethod
+    def _segment_first_seq(path: str) -> Optional[int]:
+        tag = path.rfind(_SEGMENT_TAG)
+        if tag == -1:
+            return None
+        suffix = path[tag + len(_SEGMENT_TAG):]
+        return int(suffix) if suffix.isdigit() else None
+
+    def _trim_torn_tail(self) -> None:
+        """Truncate a partial final line left by a crash mid-append.
+
+        Each append is one ``write(line + "\\n")``; a final line without
+        its newline (or unparseable) means the write never completed and
+        the commit was never acknowledged, so dropping it is safe.
+        Without the trim, the next append would be glued onto the torn
+        fragment and the *new* — acknowledged — entry would be lost.
+        Damage that is not confined to the final line is left untouched
+        (replay reports it as corruption rather than silently erasing
+        evidence).
+        """
         if not os.path.exists(self.path):
-            return 0
+            return
+        with open(self.path, "rb") as handle:
+            lines = handle.readlines()
+        good = 0
+        for index, line in enumerate(lines):
+            intact = line.endswith(b"\n")
+            if intact and line.strip():
+                try:
+                    json.loads(line.decode("utf-8"))
+                except (ValueError, UnicodeDecodeError):
+                    intact = False
+            if intact:
+                good += len(line)
+                continue
+            if index == len(lines) - 1:  # torn tail, not mid-file damage
+                with open(self.path, "r+b") as out:
+                    out.truncate(good)
+            break
+
+    def _scan(self) -> None:
+        """Recover sequence counters from the on-disk segment files."""
+        self._trim_torn_tail()
+        self._active_first = None
+        self._active_count = 0
         last = 0
-        for entry in self._entries(strict=False):
+        for entry, is_active in self._iter_entries(strict=False):
             last = entry["seq"]
-        return last
+            if is_active:
+                if self._active_first is None:
+                    self._active_first = entry["seq"]
+                self._active_count += 1
+        if last == 0:
+            # Empty active file, but archived segments still pin the
+            # sequence: continue after the highest archived first-seq.
+            for path in reversed(self._archived_paths()):
+                for entry, _ in self._iter_file(path, strict=False, last_file=True):
+                    last = max(last, entry["seq"])
+                break
+        self._sequence = last
 
     # -------------------------------------------------------------- writing
 
     def append(self, changes: Changeset) -> int:
         """Durably append one changeset; returns its sequence number."""
-        self._sequence += 1
+        self._maybe_rotate()
         entry = {
-            "seq": self._sequence,
+            "seq": self._sequence + 1,
             "changes": changeset_to_dict(changes),
         }
         line = json.dumps(entry, separators=(",", ":"))
-        with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(line + "\n")
-            handle.flush()
+        handle = self._ensure_handle()
+        handle.write(line + "\n")
+        handle.flush()
+        if self.fsync:
             os.fsync(handle.fileno())
+        self._sequence += 1
+        if self._active_first is None:
+            self._active_first = self._sequence
+        self._active_count += 1
         return self._sequence
+
+    def _ensure_handle(self) -> IO[str]:
+        if self._handle is None or self._handle.closed:
+            self._handle = open(self.path, "a", encoding="utf-8")
+        return self._handle
+
+    def sync(self) -> None:
+        """Flush and fsync the active segment (for ``fsync=False`` runs)."""
+        if self._handle is not None and not self._handle.closed:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        """Release the persistent file handle (appends reopen lazily)."""
+        if self._handle is not None and not self._handle.closed:
+            self._handle.close()
+        self._handle = None
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------- rotation
+
+    def _maybe_rotate(self) -> None:
+        if self.segment_entries is None:
+            return
+        if self._active_count >= self.segment_entries:
+            self.rotate()
+
+    def rotate(self) -> Optional[str]:
+        """Archive the active segment; the next append starts a new one.
+
+        Returns the archived path, or None when there was nothing to
+        rotate.  Sequence numbering continues unbroken.
+        """
+        if self._active_count == 0 or self._active_first is None:
+            return None
+        self.close()
+        target = (
+            f"{self.path}{_SEGMENT_TAG}"
+            f"{self._active_first:0{_SEGMENT_DIGITS}d}"
+        )
+        os.replace(self.path, target)
+        self._active_first = None
+        self._active_count = 0
+        return target
+
+    def prune(self, upto: int) -> List[str]:
+        """Delete archived segments fully covered by watermark ``upto``.
+
+        A segment is removable when every entry in it has ``seq <=
+        upto`` — i.e. a checkpoint snapshot already contains its
+        effects.  The active segment is never pruned.  Returns the
+        deleted paths.
+        """
+        removed: List[str] = []
+        archived = self._archived_paths()
+        for index, path in enumerate(archived):
+            if index + 1 < len(archived):
+                next_first = self._segment_first_seq(archived[index + 1])
+            else:
+                next_first = self._active_first or (self._sequence + 1)
+            if next_first is not None and next_first - 1 <= upto:
+                os.remove(path)
+                removed.append(path)
+            else:
+                break
+        return removed
 
     # -------------------------------------------------------------- reading
 
-    def _entries(self, strict: bool) -> Iterator[dict]:
-        if not os.path.exists(self.path):
-            return
-        expected = 1
-        with open(self.path, "r", encoding="utf-8") as handle:
+    def _iter_file(
+        self, path: str, strict: bool, last_file: bool
+    ) -> Iterator[Tuple[dict, bool]]:
+        is_active = path == self.path
+        with open(path, "r", encoding="utf-8") as handle:
             for line_number, line in enumerate(handle, start=1):
                 line = line.strip()
                 if not line:
@@ -74,62 +253,101 @@ class Journal:
                 try:
                     entry = json.loads(line)
                 except json.JSONDecodeError:
+                    if last_file and not strict:
+                        return  # torn tail: stop at the last good entry
+                    raise SchemaError(
+                        f"journal segment {path} line {line_number} is corrupt"
+                    ) from None
+                yield entry, is_active
+
+    def _iter_entries(
+        self, strict: bool, after: int = 0
+    ) -> Iterator[Tuple[dict, bool]]:
+        """Entries across all segments, in order, continuity-checked.
+
+        ``after`` skips whole archived segments whose every entry is
+        known (from the neighbouring segment's name) to be ≤ after.
+        """
+        files = self._segment_files()
+        expected: Optional[int] = None
+        for index, path in enumerate(files):
+            if after and index + 1 < len(files):
+                next_first = self._segment_first_seq(files[index + 1])
+                if next_first is not None and next_first - 1 <= after:
+                    expected = None  # reseed continuity after the skip
+                    continue
+            last_file = index == len(files) - 1
+            for entry, is_active in self._iter_file(path, strict, last_file):
+                seq = entry.get("seq")
+                if not isinstance(seq, int):
                     if strict:
                         raise SchemaError(
-                            f"journal {self.path} line {line_number} is "
-                            f"corrupt"
-                        ) from None
-                    return  # torn tail: stop at the last good entry
-                if entry.get("seq") != expected:
-                    if strict:
-                        raise SchemaError(
-                            f"journal {self.path} line {line_number}: "
-                            f"expected seq {expected}, found {entry.get('seq')}"
+                            f"journal segment {path}: entry without a "
+                            f"sequence number"
                         )
                     return
-                expected += 1
-                yield entry
+                if expected is not None and seq != expected:
+                    if strict:
+                        raise SchemaError(
+                            f"journal segment {path}: expected seq "
+                            f"{expected}, found {seq}"
+                        )
+                    return
+                expected = seq + 1
+                yield entry, is_active
 
     def replay(self, after: int = 0) -> Iterator[Changeset]:
-        """Yield logged changesets in order, skipping ``seq ≤ after``.
+        """Yield logged changesets in order, skipping ``seq <= after``.
 
         Tolerates a torn final line (the entry being written during a
         crash); raises :class:`~repro.errors.SchemaError` on corruption
-        *inside* the log (a gap in sequence numbers).
+        *inside* the log (a gap in sequence numbers or a mangled line in
+        an archived segment).
         """
-        for entry in self._entries(strict=False):
+        for entry, _ in self._iter_entries(strict=False, after=after):
             if entry["seq"] <= after:
                 continue
             yield changeset_from_dict(entry["changes"])
 
     def __len__(self) -> int:
+        """The sequence number of the last appended entry."""
         return self._sequence
 
     def truncate(self) -> None:
         """Reset the journal (e.g. after writing a fresh snapshot)."""
-        if os.path.exists(self.path):
-            os.remove(self.path)
+        self.close()
+        for path in self._segment_files():
+            os.remove(path)
         self._sequence = 0
+        self._active_first = None
+        self._active_count = 0
 
 
 def recover(
     maintainer_factory,
     snapshot_path: str,
     journal: Journal,
+    attach: bool = False,
 ):
     """Rebuild a maintainer from snapshot + journal.
 
     ``maintainer_factory(database)`` builds and returns an
     *uninitialized* ViewMaintainer over the given database; recovery
-    initializes it and replays every journaled changeset through full
-    maintenance, so views, counts, and aggregate states all match the
-    pre-crash state.
-    """
-    from repro.storage.serialize import load_database
+    initializes it and replays every journaled changeset *after the
+    snapshot's watermark* through full maintenance, so views, counts,
+    and aggregate states all match the pre-crash state without
+    double-applying entries the snapshot already contains.
 
-    database = load_database(snapshot_path)
+    With ``attach=True`` the recovered maintainer continues journaling
+    to ``journal`` (and checkpointing to ``snapshot_path``).
+    """
+    from repro.storage.serialize import load_snapshot
+
+    database, watermark = load_snapshot(snapshot_path)
     maintainer = maintainer_factory(database)
     maintainer.initialize()
-    for changes in journal.replay():
+    for changes in journal.replay(after=watermark):
         maintainer.apply(changes)
+    if attach:
+        maintainer.attach_journal(journal, snapshot_path=snapshot_path)
     return maintainer

@@ -113,6 +113,16 @@ class CountedRelation:
         clone._rows = dict(self._rows)
         return clone
 
+    def replace_rows(self, rows: Mapping[Row, int]) -> None:
+        """Replace the whole row store in place (rollback/repair hook).
+
+        Keeps this object's identity — references held elsewhere stay
+        valid — while the contents become exactly ``rows``.  Indexes are
+        dropped and rebuild lazily.
+        """
+        self._rows = dict(rows)
+        self._indexes = {}
+
     # ----------------------------------------------------------- inspection
 
     def count(self, row: Row) -> int:

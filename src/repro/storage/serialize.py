@@ -14,13 +14,22 @@ while JSON only has strings/numbers/bools:
 
 The count structure is preserved exactly, so a duplicate-semantics
 database reloads with identical multiplicities.
+
+Snapshots written to a *path* are crash-safe: the payload goes to a
+temporary file which is fsynced and then atomically renamed over the
+target, so a crash mid-write can never leave a torn snapshot — readers
+see either the old file or the new one, whole.  A snapshot may carry a
+*journal watermark*: the sequence number of the last journal entry
+already folded into it, which :func:`repro.storage.journal.recover` uses
+to replay only the journal suffix instead of double-applying entries.
 """
 
 from __future__ import annotations
 
 import ast
 import json
-from typing import Any, Dict, IO, List, Union
+import os
+from typing import Any, Dict, IO, List, Optional, Tuple, Union
 
 from repro.errors import SchemaError
 from repro.storage.changeset import Changeset
@@ -83,15 +92,25 @@ def _decode_relation(name: str, payload: Dict[str, Any]) -> CountedRelation:
     return relation
 
 
-def database_to_dict(database: Database) -> Dict[str, Any]:
-    """A JSON-ready dict snapshot of every relation in the database."""
-    return {
+def database_to_dict(
+    database: Database, watermark: Optional[int] = None
+) -> Dict[str, Any]:
+    """A JSON-ready dict snapshot of every relation in the database.
+
+    ``watermark`` records the last journal sequence number whose effects
+    the snapshot already contains (omitted when None, for compatibility
+    with pre-watermark snapshots).
+    """
+    payload: Dict[str, Any] = {
         "format": FORMAT_VERSION,
         "relations": {
             name: _encode_relation(database.relation(name))
             for name in sorted(database.names())
         },
     }
+    if watermark is not None:
+        payload["watermark"] = int(watermark)
+    return payload
 
 
 def database_from_dict(payload: Dict[str, Any]) -> Database:
@@ -107,24 +126,80 @@ def database_from_dict(payload: Dict[str, Any]) -> Database:
     return database
 
 
-def save_database(database: Database, target: Union[str, IO[str]]) -> None:
-    """Write a database snapshot as JSON to a path or open text file."""
-    payload = database_to_dict(database)
+def save_database(
+    database: Database,
+    target: Union[str, IO[str]],
+    watermark: Optional[int] = None,
+    faults=None,
+) -> None:
+    """Write a database snapshot as JSON to a path or open text file.
+
+    Path targets are written atomically (tmp file + fsync + rename), so
+    a crash mid-write leaves any existing snapshot untouched.
+    ``faults`` is an optional
+    :class:`~repro.resilience.faults.FaultInjector` whose
+    ``snapshot_write`` phase fires between the tmp write and the rename.
+    """
+    payload = database_to_dict(database, watermark=watermark)
     if isinstance(target, str):
-        with open(target, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=1)
+        _atomic_write_json(payload, target, faults)
     else:
         json.dump(payload, target, indent=1)
 
 
+def _atomic_write_json(payload: Dict[str, Any], path: str, faults) -> None:
+    tmp_path = path + ".tmp"
+    try:
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=1)
+            handle.flush()
+            os.fsync(handle.fileno())
+        if faults is not None:
+            faults.fire("snapshot_write")
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.remove(tmp_path)
+        except OSError:
+            pass
+        raise
+    _fsync_directory(os.path.dirname(os.path.abspath(path)))
+
+
+def _fsync_directory(path: str) -> None:
+    """Flush a rename to stable storage (best-effort off POSIX)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
 def load_database(source: Union[str, IO[str]]) -> Database:
     """Read a database snapshot written by :func:`save_database`."""
+    return load_snapshot(source)[0]
+
+
+def load_snapshot(source: Union[str, IO[str]]) -> Tuple[Database, int]:
+    """Read a snapshot plus its journal watermark (0 when absent)."""
     if isinstance(source, str):
         with open(source, "r", encoding="utf-8") as handle:
             payload = json.load(handle)
     else:
         payload = json.load(source)
-    return database_from_dict(payload)
+    return database_from_dict(payload), int(payload.get("watermark", 0))
+
+
+def snapshot_watermark(path: str) -> int:
+    """The journal watermark stored in a snapshot file (0 when absent)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return int(payload.get("watermark", 0))
 
 
 def changeset_to_dict(changes: Changeset) -> Dict[str, Any]:

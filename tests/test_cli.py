@@ -5,6 +5,7 @@ import pytest
 from repro.cli import Shell, split_program
 from repro.datalog.parser import parse_program
 from repro.storage.database import Database
+from repro.storage.journal import Journal
 
 PROGRAM = """
 link(a, b).
@@ -128,7 +129,103 @@ class TestShellConstruction:
         assert "dred" in shell.execute("commit")
 
 
+class TestDurabilityCommands:
+    def _journaled(self, tmp_path, **kwargs):
+        return Shell(
+            PROGRAM,
+            journal=Journal(str(tmp_path / "log.jsonl")),
+            snapshot_path=str(tmp_path / "snap.json"),
+            **kwargs,
+        )
+
+    def test_checkpoint_command(self, shell, tmp_path):
+        journaled = self._journaled(tmp_path)
+        journaled.execute("+ link(c, f)")
+        journaled.execute("commit")
+        output = journaled.execute("checkpoint")
+        assert "watermark 1" in output
+
+    def test_checkpoint_without_journal_reports_error(self, shell):
+        assert shell.execute("checkpoint").startswith("error:")
+
+    def test_status_reports_journal_and_consistency(self, shell, tmp_path):
+        assert "journal: not attached" in shell.execute("status")
+        journaled = self._journaled(tmp_path)
+        journaled.execute("+ link(c, f)")
+        journaled.execute("commit")
+        output = journaled.execute("status")
+        assert "journal: attached, last seq 1" in output
+        assert "consistent with recomputation" in output
+
+    def test_status_flags_divergence_and_heal_fixes_it(self, shell):
+        shell.maintainer.views["hop"].add(("z", "z"), 1)
+        assert "DIVERGED" in shell.execute("status")
+        output = shell.execute("heal")
+        assert "healed 1 view(s)" in output
+        assert "consistent" in shell.execute("check")
+
+    def test_heal_on_healthy_state(self, shell):
+        assert "nothing healed" in shell.execute("heal")
+
+    def test_recovered_shell_skips_seed_facts(self, tmp_path):
+        # Session one: journaled work, snapshot written on attach.
+        first = self._journaled(tmp_path)
+        first.execute("+ link(c, f)")
+        first.execute("commit")
+        first.maintainer._journal.close()
+
+        # Session two: rebuilt from disk; seed facts must NOT be
+        # re-inserted on top of the snapshot.
+        second = Shell.recovered(
+            PROGRAM,
+            str(tmp_path / "snap.json"),
+            Journal(str(tmp_path / "log.jsonl")),
+        )
+        assert second.database.relation("link").count(("a", "b")) == 1
+        assert "hop('b', 'f')" in second.execute("show hop")
+        assert "consistent" in second.execute("check")
+        # And it keeps journaling.
+        second.execute("+ link(f, g)")
+        second.execute("commit")
+        assert second.maintainer.watermark == 2
+
+
 class TestMain:
+    def test_main_recover_round_trip(self, tmp_path, capsys, monkeypatch):
+        import io
+        import sys
+
+        from repro.cli import main
+
+        program_path = tmp_path / "views.dl"
+        program_path.write_text(PROGRAM)
+        journal = str(tmp_path / "log.jsonl")
+        snapshot = str(tmp_path / "snap.json")
+
+        monkeypatch.setattr(sys, "stdin", io.StringIO("+ link(c, f)\ncommit\nquit\n"))
+        assert main([
+            str(program_path), "--journal", journal, "--snapshot", snapshot,
+        ]) == 0
+        capsys.readouterr()
+
+        monkeypatch.setattr(sys, "stdin", io.StringIO("show hop\nstatus\nquit\n"))
+        assert main([
+            str(program_path), "--journal", journal, "--snapshot", snapshot,
+            "--recover",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "hop('b', 'f')" in output
+        assert "consistent with recomputation" in output
+
+    def test_main_recover_requires_journal_and_snapshot(self, tmp_path, capsys):
+        from repro.cli import main
+
+        program_path = tmp_path / "views.dl"
+        program_path.write_text(PROGRAM)
+        assert main([str(program_path), "--recover"]) == 1
+        assert "--recover requires" in capsys.readouterr().err
+
+
     def test_main_script_mode(self, tmp_path, capsys, monkeypatch):
         import io
         import sys

@@ -18,6 +18,8 @@ from repro.workloads import random_graph, with_costs
 
 from conftest import HOP_TRI_SRC, ONLY_TRI_SRC, TC_SRC, database_with
 
+pytestmark = pytest.mark.soak
+
 
 def _random_changes(rng, current, node_count, relation="link", costs=None):
     changes = Changeset()

@@ -49,6 +49,33 @@ class TestJournalBasics:
             handle.write('{"seq": 3, "changes": {"fo')  # crash mid-write
         assert len(list(Journal(journal.path).replay())) == 2
 
+    def test_append_after_torn_tail_not_glued_to_fragment(self, journal):
+        journal.append(Changeset().insert("p", (1,)))
+        with open(journal.path, "a", encoding="utf-8") as handle:
+            handle.write('{"seq": 2, "changes": {"fo')  # crash mid-write
+        reopened = Journal(journal.path)  # trims the torn fragment
+        reopened.append(Changeset().insert("p", (2,)))
+        replayed = list(Journal(journal.path).replay())
+        assert [c.delta("p").to_dict() for c in replayed] == [
+            {(1,): 1}, {(2,): 1},
+        ]
+
+    def test_mid_file_damage_not_silently_truncated(self, journal):
+        journal.append(Changeset().insert("p", (1,)))
+        with open(journal.path, "a", encoding="utf-8") as handle:
+            handle.write("garbage\n")
+        journal.append(Changeset().insert("p", (2,)))
+        journal.close()
+        # The valid entry after the damage must survive reopen...
+        with open(journal.path, "r", encoding="utf-8") as handle:
+            assert '"seq":2' in handle.read().replace(" ", "")
+        # ...and strict iteration reports the corruption.
+        from repro.errors import SchemaError
+
+        reopened = Journal(journal.path)
+        with pytest.raises(SchemaError):
+            list(reopened._iter_entries(strict=True))
+
     def test_truncate(self, journal):
         journal.append(Changeset().insert("p", (1,)))
         journal.truncate()
@@ -58,6 +85,98 @@ class TestJournalBasics:
     def test_empty_journal(self, journal):
         assert list(journal.replay()) == []
         assert len(journal) == 0
+
+
+class TestDurabilityPolicy:
+    def test_persistent_handle_reused_across_appends(self, journal):
+        journal.append(Changeset().insert("p", (1,)))
+        handle = journal._handle
+        journal.append(Changeset().insert("p", (2,)))
+        assert journal._handle is handle
+        journal.close()
+        assert journal._handle is None
+        journal.append(Changeset().insert("p", (3,)))  # reopens lazily
+        assert len(list(journal.replay())) == 3
+
+    def test_fsync_false_with_explicit_sync(self, tmp_path):
+        journal = Journal(str(tmp_path / "lazy.jsonl"), fsync=False)
+        journal.append(Changeset().insert("p", (1,)))
+        journal.sync()  # group-commit point
+        journal.close()
+        assert len(list(Journal(journal.path).replay())) == 1
+
+    def test_context_manager_closes_handle(self, tmp_path):
+        with Journal(str(tmp_path / "ctx.jsonl")) as journal:
+            journal.append(Changeset().insert("p", (1,)))
+            assert journal._handle is not None
+        assert journal._handle is None
+
+
+class TestSegmentRotation:
+    def test_rotation_archives_and_replay_spans_segments(self, tmp_path):
+        journal = Journal(str(tmp_path / "seg.jsonl"), segment_entries=2)
+        for i in range(5):
+            journal.append(Changeset().insert("p", (i,)))
+        archived = journal._archived_paths()
+        assert len(archived) == 2
+        assert archived[0].endswith(".seg" + "1".zfill(12))
+        assert archived[1].endswith(".seg" + "3".zfill(12))
+        replayed = list(journal.replay())
+        assert [c.delta("p").to_dict() for c in replayed] == [
+            {(i,): 1} for i in range(5)
+        ]
+
+    def test_sequence_continues_across_reopen_with_segments(self, tmp_path):
+        journal = Journal(str(tmp_path / "seg.jsonl"), segment_entries=2)
+        for i in range(3):
+            journal.append(Changeset().insert("p", (i,)))
+        reopened = Journal(journal.path, segment_entries=2)
+        assert len(reopened) == 3
+        reopened.append(Changeset().insert("p", (3,)))
+        assert len(list(reopened.replay())) == 4
+
+    def test_replay_after_skips_covered_segments(self, tmp_path):
+        journal = Journal(str(tmp_path / "seg.jsonl"), segment_entries=2)
+        for i in range(6):
+            journal.append(Changeset().insert("p", (i,)))
+        tail = list(journal.replay(after=4))
+        assert [c.delta("p").to_dict() for c in tail] == [{(4,): 1}, {(5,): 1}]
+
+    def test_prune_removes_only_covered_segments(self, tmp_path):
+        journal = Journal(str(tmp_path / "seg.jsonl"), segment_entries=2)
+        for i in range(6):
+            journal.append(Changeset().insert("p", (i,)))
+        assert len(journal._archived_paths()) == 2  # [1-2], [3-4]; active [5-6]
+        removed = journal.prune(upto=2)
+        assert len(removed) == 1
+        removed = journal.prune(upto=6)  # active segment is never pruned
+        assert len(removed) == 1
+        assert journal._archived_paths() == []
+        assert len(list(journal.replay(after=4))) == 2
+
+    def test_truncate_removes_archived_segments_too(self, tmp_path):
+        journal = Journal(str(tmp_path / "seg.jsonl"), segment_entries=1)
+        for i in range(3):
+            journal.append(Changeset().insert("p", (i,)))
+        journal.truncate()
+        assert journal._archived_paths() == []
+        assert len(journal) == 0
+        assert list(journal.replay()) == []
+
+    def test_torn_tail_only_tolerated_in_active_segment(self, tmp_path):
+        journal = Journal(str(tmp_path / "seg.jsonl"), segment_entries=2)
+        for i in range(3):
+            journal.append(Changeset().insert("p", (i,)))
+        archived = journal._archived_paths()[0]
+        journal.close()
+        with open(archived, "a", encoding="utf-8") as handle:
+            handle.write('{"seq": 99, "chan')  # corruption mid-log
+        with pytest.raises(Exception):
+            list(Journal(journal.path, segment_entries=2).replay())
+
+    def test_segment_entries_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            Journal(str(tmp_path / "bad.jsonl"), segment_entries=0)
 
 
 class TestMaintainerIntegration:

@@ -1,0 +1,494 @@
+"""Crash-safety tests: shadow-commit apply, checkpoints, self-healing.
+
+The contract under test (docs/operations.md): any exception raised
+during a maintenance pass — at *any* crash point — leaves the
+maintainer's whole state (base relations, view counts, aggregate group
+states, the journal) byte-identical to the pre-pass state, and a
+subsequent retry produces exactly the state a never-crashed run would
+have.  Faults are injected deterministically at every named phase of
+both algorithms via the per-maintainer :class:`FaultInjector`.
+"""
+
+import os
+
+import pytest
+
+from repro.core.maintenance import ViewMaintainer
+from repro.errors import DivergenceError, MaintenanceError
+from repro.resilience import PHASES, FaultInjector, InjectedFault, UndoLog
+from repro.storage.changeset import Changeset
+from repro.storage.database import Database
+from repro.storage.journal import Journal, recover
+from repro.storage.relation import CountedRelation
+from repro.storage.serialize import load_snapshot, snapshot_watermark
+
+from conftest import EXAMPLE_1_1_LINKS, HOP_TRI_SRC, TC_SRC, database_with
+
+pytestmark = pytest.mark.faults
+
+#: Nonrecursive program with a join chain and an aggregate — exercises
+#: counting's delta derivation, count merge, and Algorithm 6.1.
+COUNTING_SRC = """
+hop(X, Y) :- link(X, Z), link(Z, Y).
+tri_hop(X, Y) :- hop(X, Z), link(Z, Y).
+mn(S, M) :- GROUPBY(link(S, C), [S], M = MIN(C)).
+"""
+
+#: Recursive program with the same aggregate — exercises DRed's
+#: overestimate/rederive/insert steps plus Algorithm 6.1.
+DRED_SRC = """
+tc(X, Y) :- link(X, Y).
+tc(X, Y) :- tc(X, Z), link(Z, Y).
+mn(S, M) :- GROUPBY(link(S, C), [S], M = MIN(C)).
+"""
+
+#: Every injectable phase each strategy actually reaches for a mixed
+#: delete+insert changeset against the programs above.
+STRATEGY_PHASES = [
+    ("counting", COUNTING_SRC, "delta_derivation"),
+    ("counting", COUNTING_SRC, "aggregate_merge"),
+    ("counting", COUNTING_SRC, "count_merge"),
+    ("counting", COUNTING_SRC, "journal_append"),
+    ("dred", DRED_SRC, "delta_derivation"),
+    ("dred", DRED_SRC, "rederivation"),
+    ("dred", DRED_SRC, "aggregate_merge"),
+    ("dred", DRED_SRC, "count_merge"),
+    ("dred", DRED_SRC, "journal_append"),
+]
+
+
+def build(source, strategy, semantics="set", links=EXAMPLE_1_1_LINKS):
+    maintainer = ViewMaintainer.from_source(
+        source, database_with(links), strategy=strategy, semantics=semantics
+    )
+    return maintainer.initialize()
+
+
+def fingerprint(maintainer):
+    """The complete observable state: bases, view counts, group states."""
+    return {
+        "base": {
+            name: maintainer.database.relation(name).to_dict()
+            for name in sorted(maintainer.database.names())
+        },
+        "views": {
+            name: relation.to_dict()
+            for name, relation in sorted(maintainer.views.items())
+        },
+        "agg": {
+            name: dict(view._states)
+            for name, view in sorted(maintainer.aggregate_views.items())
+        },
+    }
+
+
+MIXED = Changeset().delete("link", ("a", "b")).insert("link", ("e", "a"))
+
+
+class TestCrashPointAtomicity:
+    """Arm every phase, crash there, verify pre-pass state survives."""
+
+    @pytest.mark.parametrize("strategy, source, phase", STRATEGY_PHASES)
+    def test_fault_leaves_state_identical(
+        self, strategy, source, phase, tmp_path
+    ):
+        maintainer = build(source, strategy)
+        journal = Journal(str(tmp_path / "log.jsonl"))
+        maintainer.attach_journal(journal)
+        before = fingerprint(maintainer)
+
+        maintainer.faults.arm(phase)
+        with pytest.raises(InjectedFault):
+            maintainer.apply(MIXED)
+
+        assert maintainer.faults.fired == [phase]
+        assert fingerprint(maintainer) == before
+        assert len(journal) == 0 and list(journal.replay()) == []
+        assert maintainer.lifetime.passes == 0
+        maintainer.consistency_check()
+
+    @pytest.mark.parametrize("strategy, source, phase", STRATEGY_PHASES)
+    def test_retry_after_fault_matches_clean_run(self, strategy, source, phase):
+        maintainer = build(source, strategy)
+        control = build(source, strategy)
+
+        maintainer.faults.arm(phase)
+        with pytest.raises(InjectedFault):
+            maintainer.apply(MIXED)
+        maintainer.apply(MIXED)  # one-shot plan: retry runs clean
+        control.apply(MIXED)
+
+        assert fingerprint(maintainer) == fingerprint(control)
+        maintainer.consistency_check()
+
+    def test_arbitrary_exception_also_rolls_back(self):
+        maintainer = build(COUNTING_SRC, "counting")
+        before = fingerprint(maintainer)
+        maintainer.faults.arm("count_merge", exception=RuntimeError("disk on fire"))
+        with pytest.raises(RuntimeError, match="disk on fire"):
+            maintainer.apply(MIXED)
+        assert fingerprint(maintainer) == before
+
+    def test_duplicate_semantics_counts_restored_exactly(self):
+        maintainer = build(COUNTING_SRC, "counting", semantics="duplicate")
+        maintainer.apply(Changeset().insert("link", ("a", "b")))  # count 2
+        before = fingerprint(maintainer)
+        maintainer.faults.arm("count_merge")
+        with pytest.raises(InjectedFault):
+            maintainer.apply(Changeset().delete("link", ("a", "b")))
+        assert fingerprint(maintainer) == before
+
+    def test_crash_safety_can_be_disabled(self):
+        maintainer = ViewMaintainer.from_source(
+            HOP_TRI_SRC,
+            database_with(EXAMPLE_1_1_LINKS),
+            crash_safe=False,
+        ).initialize()
+        before = fingerprint(maintainer)
+        maintainer.faults.arm("count_merge")
+        with pytest.raises(InjectedFault):
+            maintainer.apply(Changeset().delete("link", ("a", "b")))
+        # No undo log: the base relations were already mutated.
+        assert fingerprint(maintainer) != before
+
+    def test_validation_failure_mid_changeset_rolls_back_dred(self):
+        """Regression: DRed used to mutate earlier relations before a
+        later relation's overdeletion check fired (torn apply)."""
+        db = database_with(EXAMPLE_1_1_LINKS)
+        db.insert_rows("blocked", [("x",)])
+        maintainer = ViewMaintainer.from_source(
+            TC_SRC + "safe(X) :- link(X, Y), not blocked(X).\n", db
+        ).initialize()
+        before = fingerprint(maintainer)
+        changes = (
+            Changeset()
+            .delete("link", ("a", "b"))      # valid, applied first
+            .delete("blocked", ("never",))   # invalid: not stored
+        )
+        with pytest.raises(MaintenanceError, match="not stored"):
+            maintainer.apply(changes)
+        assert fingerprint(maintainer) == before
+        maintainer.consistency_check()
+
+    def test_counting_overdeletion_rolls_back(self):
+        maintainer = build(COUNTING_SRC, "counting")
+        before = fingerprint(maintainer)
+        changes = (
+            Changeset()
+            .insert("link", ("q", "r"))
+            .delete("link", ("no", "pe"))
+        )
+        with pytest.raises(MaintenanceError):
+            maintainer.apply(changes)
+        assert fingerprint(maintainer) == before
+
+
+class TestCheckpointRecovery:
+    def _factory(self, source, strategy):
+        return lambda db: ViewMaintainer.from_source(
+            source, db, strategy=strategy
+        )
+
+    def test_watermark_round_trip_never_double_applies(self, tmp_path):
+        """Duplicate semantics would double counts if the snapshot's
+        entries were replayed again (the old recover() bug)."""
+        snap = str(tmp_path / "snap.json")
+        maintainer = build(COUNTING_SRC, "counting", semantics="duplicate")
+        journal = Journal(str(tmp_path / "log.jsonl"))
+        maintainer.attach_journal(journal, snapshot_path=snap)
+
+        maintainer.apply(Changeset().insert("link", ("a", "b")))  # count 2
+        maintainer.checkpoint()
+        assert snapshot_watermark(snap) == 1
+        maintainer.apply(Changeset().insert("link", ("e", "a")))
+
+        # The journal still holds entry 1 (covered by the snapshot):
+        # recovery must replay only entry 2.
+        recovered = recover(
+            lambda db: ViewMaintainer.from_source(
+                COUNTING_SRC, db, semantics="duplicate"
+            ),
+            snap,
+            Journal(journal.path),
+        )
+        assert recovered.relation("link").count(("a", "b")) == 2
+        assert fingerprint(recovered) == fingerprint(maintainer)
+
+    def test_attach_writes_initial_snapshot(self, tmp_path):
+        snap = str(tmp_path / "snap.json")
+        maintainer = build(COUNTING_SRC, "counting")
+        maintainer.attach_journal(
+            Journal(str(tmp_path / "log.jsonl")), snapshot_path=snap
+        )
+        assert os.path.exists(snap)
+        database, watermark = load_snapshot(snap)
+        assert watermark == 0
+        assert database.relation("link").to_dict() == (
+            maintainer.database.relation("link").to_dict()
+        )
+
+    def test_auto_checkpoint_every_n_passes(self, tmp_path):
+        snap = str(tmp_path / "snap.json")
+        maintainer = build(COUNTING_SRC, "counting")
+        maintainer.attach_journal(
+            Journal(str(tmp_path / "log.jsonl")),
+            snapshot_path=snap,
+            checkpoint_every=2,
+        )
+        maintainer.apply(Changeset().insert("link", ("e", "a")))
+        assert snapshot_watermark(snap) == 0  # not yet
+        maintainer.apply(Changeset().insert("link", ("e", "b")))
+        assert snapshot_watermark(snap) == 2  # fired
+        maintainer.apply(Changeset().insert("link", ("e", "c")))
+        assert snapshot_watermark(snap) == 2
+
+    def test_checkpoint_prunes_covered_segments(self, tmp_path):
+        snap = str(tmp_path / "snap.json")
+        journal = Journal(str(tmp_path / "log.jsonl"), segment_entries=1)
+        maintainer = build(COUNTING_SRC, "counting")
+        maintainer.attach_journal(journal, snapshot_path=snap)
+        for node in ("u", "v", "w"):
+            maintainer.apply(Changeset().insert("link", (node, "a")))
+        assert len(journal._archived_paths()) >= 2
+        maintainer.checkpoint()
+        assert journal._archived_paths() == []
+        # Everything is in the snapshot now; replay after watermark is empty.
+        assert list(journal.replay(after=snapshot_watermark(snap))) == []
+
+    def test_torn_snapshot_write_preserves_old_snapshot(self, tmp_path):
+        snap = str(tmp_path / "snap.json")
+        maintainer = build(COUNTING_SRC, "counting")
+        journal = Journal(str(tmp_path / "log.jsonl"))
+        maintainer.attach_journal(journal, snapshot_path=snap)  # watermark 0
+        maintainer.apply(MIXED)
+
+        maintainer.faults.arm("snapshot_write")
+        with pytest.raises(InjectedFault):
+            maintainer.checkpoint()
+        assert not os.path.exists(snap + ".tmp")  # no torn temp left
+        assert snapshot_watermark(snap) == 0      # old snapshot intact
+
+        # Recovery from the surviving snapshot + journal reproduces the
+        # exact live state, as if the checkpoint had never been tried.
+        recovered = recover(
+            self._factory(COUNTING_SRC, "counting"), snap, Journal(journal.path)
+        )
+        assert fingerprint(recovered) == fingerprint(maintainer)
+        recovered.consistency_check()
+
+    def test_auto_checkpoint_failure_does_not_fail_the_pass(self, tmp_path):
+        snap = str(tmp_path / "snap.json")
+        maintainer = build(COUNTING_SRC, "counting")
+        maintainer.attach_journal(
+            Journal(str(tmp_path / "log.jsonl")),
+            snapshot_path=snap,
+            checkpoint_every=1,
+        )
+        maintainer.faults.arm("snapshot_write")
+        report = maintainer.apply(Changeset().insert("link", ("e", "a")))
+        assert report.total_changes() > 0          # the pass committed
+        assert maintainer.lifetime.passes == 1
+        assert len(maintainer.checkpoint_errors) == 1
+        assert isinstance(maintainer.checkpoint_errors[0], InjectedFault)
+        # The next pass retries the checkpoint and succeeds.
+        maintainer.apply(Changeset().insert("link", ("e", "b")))
+        assert snapshot_watermark(snap) == 2
+
+    def test_recover_after_dred_crash(self, tmp_path):
+        """End-to-end drill: crash mid-pass, restart from disk, retry."""
+        snap = str(tmp_path / "snap.json")
+        journal = Journal(str(tmp_path / "log.jsonl"))
+        maintainer = build(DRED_SRC, "dred")
+        maintainer.attach_journal(journal, snapshot_path=snap)
+        maintainer.apply(Changeset().insert("link", ("e", "a")))
+        maintainer.faults.arm("rederivation")
+        with pytest.raises(InjectedFault):
+            maintainer.apply(MIXED)
+
+        recovered = recover(
+            self._factory(DRED_SRC, "dred"),
+            snap,
+            Journal(journal.path),
+            attach=True,
+        )
+        assert fingerprint(recovered) == fingerprint(maintainer)
+        recovered.apply(MIXED)  # the interrupted batch, retried
+        recovered.consistency_check()
+
+    def test_checkpoint_requires_snapshot_path(self, tmp_path):
+        maintainer = build(COUNTING_SRC, "counting")
+        maintainer.attach_journal(Journal(str(tmp_path / "log.jsonl")))
+        with pytest.raises(MaintenanceError, match="snapshot_path"):
+            maintainer.checkpoint()
+        with pytest.raises(MaintenanceError, match="snapshot_path"):
+            maintainer.attach_journal(
+                Journal(str(tmp_path / "log2.jsonl")), checkpoint_every=5
+            )
+
+
+class TestSubscriberIsolation:
+    def _maintainer(self):
+        maintainer = build(COUNTING_SRC, "counting")
+        maintainer._subscriptions.backoff_seconds = 0.0  # fast tests
+        return maintainer
+
+    def test_subscriber_exception_does_not_fail_committed_pass(self):
+        """Regression: a raising callback used to propagate out of apply
+        *after* the views were already mutated, faking a failed pass."""
+        maintainer = self._maintainer()
+        calls = []
+
+        def bad(view, delta):
+            calls.append(view)
+            raise RuntimeError("subscriber crashed")
+
+        maintainer.subscribe("hop", bad)
+        report = maintainer.apply(Changeset().delete("link", ("a", "b")))
+        assert report.total_changes() > 0
+        assert maintainer.lifetime.passes == 1
+        maintainer.consistency_check()
+        assert len(calls) == 3  # retried max_attempts times
+
+    def test_failed_delivery_is_dead_lettered_with_delta(self):
+        maintainer = self._maintainer()
+
+        def bad(view, delta):
+            raise ValueError("nope")
+
+        maintainer.subscribe("hop", bad)
+        report = maintainer.apply(Changeset().delete("link", ("a", "b")))
+        assert len(maintainer.dead_letters) == 1
+        letter = maintainer.dead_letters[0]
+        assert letter.view == "hop"
+        assert letter.attempts == 3
+        assert isinstance(letter.error, ValueError)
+        assert letter.delta.to_dict() == report.delta("hop").to_dict()
+
+    def test_transient_failure_is_retried_to_success(self):
+        maintainer = self._maintainer()
+        attempts = []
+
+        def flaky(view, delta):
+            attempts.append(view)
+            if len(attempts) == 1:
+                raise TimeoutError("first try fails")
+
+        maintainer.subscribe("hop", flaky)
+        maintainer.apply(Changeset().delete("link", ("a", "b")))
+        assert len(attempts) == 2
+        assert maintainer.dead_letters == []
+
+    def test_one_bad_subscriber_does_not_starve_others(self):
+        maintainer = self._maintainer()
+        received = []
+        maintainer.subscribe("hop", lambda v, d: 1 / 0)
+        maintainer.subscribe("hop", lambda v, d: received.append(v))
+        maintainer.apply(Changeset().delete("link", ("a", "b")))
+        assert received == ["hop"]
+        assert len(maintainer.dead_letters) == 1
+
+
+class TestSelfHealing:
+    def test_divergence_error_raised_and_subclasses_maintenance_error(self):
+        maintainer = build(COUNTING_SRC, "counting")
+        maintainer.views["hop"].add(("z", "z"), 1)  # simulate corruption
+        with pytest.raises(DivergenceError, match="hop"):
+            maintainer.consistency_check()
+        assert issubclass(DivergenceError, MaintenanceError)
+
+    def test_heal_rebuilds_damaged_views_in_place(self):
+        maintainer = build(COUNTING_SRC, "counting")
+        damaged = maintainer.views["hop"]
+        damaged.add(("z", "z"), 1)
+        damaged.discard(("a", "c"))
+        report = maintainer.heal()
+        assert report.healed["hop"] == (1, 1)  # one missing, one extra
+        assert maintainer.views["hop"] is damaged  # identity preserved
+        assert "mn" in report.aggregates_reset
+        maintainer.consistency_check()
+
+    def test_consistency_check_repair_true_heals_instead_of_raising(self):
+        maintainer = build(DRED_SRC, "dred")
+        maintainer.views["tc"].add(("z", "z"), 1)
+        report = maintainer.consistency_check(repair=True)
+        assert report is not None and "tc" in report.healed
+        maintainer.consistency_check()
+
+    def test_heal_on_healthy_maintainer_is_a_noop(self):
+        maintainer = build(COUNTING_SRC, "counting")
+        report = maintainer.heal()
+        assert report.is_clean()
+        assert "nothing healed" in report.summary()
+        assert maintainer.consistency_check(repair=True) is None
+
+    def test_heal_restores_duplicate_counts(self):
+        maintainer = build(COUNTING_SRC, "counting", semantics="duplicate")
+        maintainer.views["hop"].set_count(("a", "c"), 99)
+        report = maintainer.heal()
+        assert report.healed["hop"] == (0, 0)  # count-only divergence
+        maintainer.consistency_check()
+
+
+class TestFaultInjectorUnit:
+    def test_unknown_phase_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault phase"):
+            FaultInjector().arm("warp_core_breach")
+
+    def test_fires_on_nth_arrival_then_disarms(self):
+        faults = FaultInjector().arm("count_merge", at=2)
+        faults.fire("count_merge")  # first arrival: armed, no fire
+        with pytest.raises(InjectedFault):
+            faults.fire("count_merge")
+        faults.fire("count_merge")  # one-shot: now inert
+        assert faults.fired == ["count_merge"]
+
+    def test_disarm(self):
+        faults = FaultInjector().arm("count_merge").arm("rederivation")
+        faults.disarm("count_merge")
+        faults.fire("count_merge")
+        faults.disarm()
+        faults.fire("rederivation")
+        assert faults.fired == []
+
+    def test_all_documented_phases_are_armable(self):
+        faults = FaultInjector()
+        for phase in PHASES:
+            faults.arm(phase)
+            assert faults.armed(phase)
+
+
+class TestUndoLogUnit:
+    def test_count_notes_restore_earliest_preimage(self):
+        relation = CountedRelation("r", 1)
+        relation.add((1,), 5)
+        undo = UndoLog()
+        undo.note_count(relation, (1,))
+        relation.set_count((1,), 7)
+        undo.note_count(relation, (1,))  # later note, later pre-image
+        relation.set_count((1,), 9)
+        undo.unwind()
+        assert relation.count((1,)) == 5  # earliest note wins
+
+    def test_unwind_drops_created_base_and_restores_groups(self):
+        database = Database()
+        undo = UndoLog()
+        undo.note_base_created(database, "fresh")
+        database.create_relation("fresh").add((1,), 1)
+        states = {("g",): (1, 2)}
+        undo.note_group(states, ("g",))
+        undo.note_group(states, ("new",))
+        states[("g",)] = (9, 9)
+        states[("new",)] = (0, 0)
+        undo.unwind()
+        assert "fresh" not in database
+        assert states == {("g",): (1, 2)}
+
+    def test_unwind_is_idempotent_and_resets(self):
+        relation = CountedRelation("r", 1)
+        relation.add((1,), 1)
+        undo = UndoLog()
+        undo.note_count(relation, (1,))
+        relation.set_count((1,), 3)
+        assert undo.unwind() == 1
+        assert undo.unwind() == 0  # log cleared
+        assert relation.count((1,)) == 1
