@@ -6,7 +6,10 @@ PYTHON ?= python
 PYTEST := env PYTHONPATH=src $(PYTHON) -m pytest
 TIMEOUT ?= timeout
 
-.PHONY: test test-fast test-faults test-soak
+.PHONY: check test test-fast test-faults test-soak bench-smoke
+
+# The default gate: the whole suite plus the benchmark smoke run.
+check: test bench-smoke
 
 # The tier-1 gate: everything, fail fast.
 test:
@@ -25,3 +28,10 @@ test-faults:
 # Long randomized integration soaks, same fencing.
 test-soak:
 	$(TIMEOUT) 900 $(PYTEST) -x -q -m soak
+
+# Plan-cache benchmark at toy scale: proves the harness runs end-to-end
+# and BENCH_maintenance.json stays well-formed, without the full run's
+# cost.  (The full benchmark is `python benchmarks/bench_plan_cache.py`.)
+bench-smoke:
+	env PYTHONPATH=src $(PYTHON) benchmarks/bench_plan_cache.py --smoke \
+		--out /tmp/bench_plan_cache_smoke.json

@@ -1,0 +1,294 @@
+"""Plan-cache and batching benchmark → BENCH_maintenance.json.
+
+Measures the compiled delta-plan cache on the workload it exists for:
+*many* maintenance passes with *tiny* changesets (the paper's sweet spot
+— maintenance cost should track the size of the change, so per-pass
+fixed costs like join planning, delta-rule rewriting, and relevance-
+filter compilation dominate).  Three workloads:
+
+* ``counting-small-delta`` — an E1-style chain of twenty nonrecursive
+  hop views over a sparse ``link`` graph (deep chains make the per-pass
+  fixed costs program-proportional), a stream of tiny changesets,
+  cache on vs. cache off;
+* ``dred-small-delta`` — the recursive TC program under DRed, same
+  stream shape (DRed rebuilds structurally-equal δ⁻/ρ/δ⁺ rules every
+  pass, so the cache's structural keys all hit from pass 2 on);
+* ``batched-vs-sequential`` — the same stream applied one changeset at
+  a time vs. coalesced through ``apply_many`` in buckets.
+
+Run standalone (no pytest-benchmark needed)::
+
+    PYTHONPATH=src python benchmarks/bench_plan_cache.py
+    PYTHONPATH=src python benchmarks/bench_plan_cache.py --passes 50 --smoke
+
+Emits ``BENCH_maintenance.json`` (repo root by default, ``--out`` to
+move it) with per-workload timings, the speedup ratios, and the
+maintainer's ``MaintenanceStats`` snapshot (plan-cache hit rate, index
+probes, per-phase seconds).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Callable, Dict, List
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from helpers import HOP_SRC, TC_SRC, database_with  # noqa: E402
+
+from repro.bench.harness import write_bench_json  # noqa: E402
+from repro.core.maintenance import ViewMaintainer  # noqa: E402
+from repro.storage.changeset import Changeset  # noqa: E402
+from repro.workloads import random_graph, update_sequence  # noqa: E402
+
+
+def chain_src(depth: int) -> str:
+    """An E1-style chain: ``hop1`` = E1's hop, then ``hop_i`` joins on."""
+    lines = ["hop1(X,Y) :- link(X,Z), link(Z,Y)."]
+    for level in range(2, depth + 1):
+        lines.append(f"hop{level}(X,Y) :- hop{level - 1}(X,Z), link(Z,Y).")
+    return "\n".join(lines)
+
+
+def build_maintainer(
+    source: str, edges, plan_cache: bool, strategy: str = "auto"
+) -> ViewMaintainer:
+    return ViewMaintainer.from_source(
+        source,
+        database_with(edges),
+        strategy=strategy,
+        plan_cache=plan_cache,
+    ).initialize()
+
+
+def changeset_stream(
+    edges, passes: int, batch_size: int, nodes: int, seed: int
+) -> List[Changeset]:
+    """A replayable list of tiny mixed batches (same for every config)."""
+    return list(
+        update_sequence(
+            "link",
+            edges,
+            batches=passes,
+            batch_size=batch_size,
+            node_count=nodes,
+            seed=seed,
+        )
+    )
+
+
+def run_stream(maintainer: ViewMaintainer, stream: List[Changeset]) -> float:
+    """Apply every changeset one pass at a time; return wall seconds."""
+    started = time.perf_counter()
+    for changes in stream:
+        maintainer.apply(changes.copy())
+    return time.perf_counter() - started
+
+
+def run_batched(
+    maintainer: ViewMaintainer, stream: List[Changeset], bucket: int
+) -> float:
+    """Apply the stream through ``apply_many`` in coalesced buckets."""
+    started = time.perf_counter()
+    for index in range(0, len(stream), bucket):
+        maintainer.apply_many(
+            changes.copy() for changes in stream[index:index + bucket]
+        )
+    return time.perf_counter() - started
+
+
+def measure(label: str, runs: int, build: Callable[[], float]) -> Dict:
+    """Best-of-``runs`` wall time for one configuration."""
+    seconds = min(build() for _ in range(runs))
+    return {"label": label, "seconds": seconds}
+
+
+def cache_workload(
+    name: str,
+    source: str,
+    strategy: str,
+    nodes: int,
+    n_edges: int,
+    passes: int,
+    batch_size: int,
+    runs: int,
+    seed: int,
+) -> Dict:
+    """Cache-on vs cache-off over an identical small-delta stream."""
+    edges = random_graph(nodes, n_edges, seed=seed)
+    stream = changeset_stream(edges, passes, batch_size, nodes, seed + 1)
+
+    def one(plan_cache: bool) -> float:
+        maintainer = build_maintainer(source, edges, plan_cache, strategy)
+        return run_stream(maintainer, stream)
+
+    on = measure("cache-on", runs, lambda: one(True))
+    off = measure("cache-off", runs, lambda: one(False))
+
+    # One extra instrumented run for the stats snapshot (hit rate etc.).
+    maintainer = build_maintainer(source, edges, True, strategy)
+    run_stream(maintainer, stream)
+    # Warmup = pass 1 (every plan compiles); steady state = the rest.
+    warm = ViewMaintainer.from_source(
+        source, database_with(edges), strategy=strategy, plan_cache=True
+    ).initialize()
+    warm.apply(stream[0].copy())
+    warm_cache = warm.plan_cache
+    warm_hits, warm_misses = warm_cache.hits, warm_cache.misses
+    for changes in stream[1:]:
+        warm.apply(changes.copy())
+    steady_hits = warm_cache.hits - warm_hits
+    steady_misses = warm_cache.misses - warm_misses
+    steady_total = steady_hits + steady_misses
+    return {
+        "workload": name,
+        "strategy": strategy,
+        "nodes": nodes,
+        "edges": n_edges,
+        "passes": passes,
+        "batch_size": batch_size,
+        "cache_on_seconds": on["seconds"],
+        "cache_off_seconds": off["seconds"],
+        "speedup": off["seconds"] / on["seconds"] if on["seconds"] else 0.0,
+        "stats": maintainer.stats.to_dict(),
+        "post_warmup_hit_rate": (
+            steady_hits / steady_total if steady_total else 0.0
+        ),
+    }
+
+
+def batching_workload(
+    nodes: int,
+    n_edges: int,
+    passes: int,
+    batch_size: int,
+    bucket: int,
+    runs: int,
+    seed: int,
+) -> Dict:
+    """apply() per changeset vs apply_many() per bucket (cache on)."""
+    edges = random_graph(nodes, n_edges, seed=seed)
+    stream = changeset_stream(edges, passes, batch_size, nodes, seed + 1)
+
+    sequential = measure(
+        "sequential",
+        runs,
+        lambda: run_stream(build_maintainer(HOP_SRC, edges, True), stream),
+    )
+    batched = measure(
+        "batched",
+        runs,
+        lambda: run_batched(
+            build_maintainer(HOP_SRC, edges, True), stream, bucket
+        ),
+    )
+    return {
+        "workload": "batched-vs-sequential",
+        "nodes": nodes,
+        "edges": n_edges,
+        "passes": passes,
+        "batch_size": batch_size,
+        "bucket": bucket,
+        "sequential_seconds": sequential["seconds"],
+        "batched_seconds": batched["seconds"],
+        "speedup": (
+            sequential["seconds"] / batched["seconds"]
+            if batched["seconds"]
+            else 0.0
+        ),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Plan-cache / batched-maintenance benchmark"
+    )
+    parser.add_argument("--passes", type=int, default=200,
+                        help="changesets per stream (default 200)")
+    parser.add_argument("--nodes", type=int, default=400)
+    parser.add_argument("--edges", type=int, default=120)
+    parser.add_argument("--depth", type=int, default=20,
+                        help="hop-chain length of the counting workload")
+    parser.add_argument("--batch-size", type=int, default=2,
+                        help="rows per changeset (default 2: 1 del + 1 ins)")
+    parser.add_argument("--bucket", type=int, default=10,
+                        help="changesets coalesced per apply_many bucket")
+    parser.add_argument("--runs", type=int, default=3,
+                        help="best-of repetitions per configuration")
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default: repo-root/"
+                        "BENCH_maintenance.json)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="toy scale: tiny graph, few passes, 1 run "
+                        "(CI smoke test; numbers are meaningless)")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.passes = min(args.passes, 12)
+        args.nodes, args.edges, args.depth, args.runs = 40, 30, 6, 1
+
+    out = args.out or os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "BENCH_maintenance.json",
+    )
+
+    workloads = [
+        cache_workload(
+            "counting-small-delta", chain_src(args.depth), "counting",
+            args.nodes, args.edges, args.passes, args.batch_size,
+            args.runs, seed=31,
+        ),
+        cache_workload(
+            "dred-small-delta", TC_SRC, "dred",
+            args.nodes, max(args.edges // 3, 10), args.passes,
+            args.batch_size, args.runs, seed=37,
+        ),
+        batching_workload(
+            args.nodes, args.edges, args.passes, args.batch_size,
+            args.bucket, args.runs, seed=41,
+        ),
+    ]
+
+    payload = {
+        "benchmark": "plan_cache",
+        "schema_version": 1,
+        "config": {
+            "passes": args.passes,
+            "nodes": args.nodes,
+            "edges": args.edges,
+            "depth": args.depth,
+            "batch_size": args.batch_size,
+            "bucket": args.bucket,
+            "runs": args.runs,
+            "smoke": args.smoke,
+        },
+        "workloads": workloads,
+    }
+    write_bench_json(out, payload)
+
+    for workload in workloads:
+        name = workload["workload"]
+        speedup = workload["speedup"]
+        if "cache_on_seconds" in workload:
+            print(
+                f"{name:24s} cache-on {workload['cache_on_seconds']:.3f}s  "
+                f"cache-off {workload['cache_off_seconds']:.3f}s  "
+                f"speedup ×{speedup:.2f}  "
+                f"post-warmup hit rate "
+                f"{workload['post_warmup_hit_rate']:.0%}"
+            )
+        else:
+            print(
+                f"{name:24s} sequential {workload['sequential_seconds']:.3f}s"
+                f"  batched {workload['batched_seconds']:.3f}s  "
+                f"speedup ×{speedup:.2f}"
+            )
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

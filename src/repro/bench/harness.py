@@ -8,6 +8,8 @@ returning an :class:`ExperimentResult`; the registry in
 
 from __future__ import annotations
 
+import json
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Sequence, Tuple
@@ -84,3 +86,20 @@ def format_table(result: ExperimentResult) -> str:
         lines.append(f"> {note}")
     lines.append("")
     return "\n".join(lines)
+
+
+def write_bench_json(path: str, payload: Dict[str, Any]) -> str:
+    """Write a benchmark result document as JSON (atomic; returns path).
+
+    The document is written via tmp + rename so a crashed benchmark run
+    never leaves a truncated file behind for CI to mis-parse.  ``payload``
+    must be JSON-serializable; benchmarks put their config, per-group
+    measurements, and derived ratios in it (see
+    ``benchmarks/bench_plan_cache.py`` → ``BENCH_maintenance.json``).
+    """
+    tmp = f"{path}.tmp"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+    return path

@@ -97,6 +97,7 @@ class Shell:
         snapshot_path: Optional[str] = None,
         checkpoint_every: Optional[int] = None,
         skip_seed_facts: bool = False,
+        plan_cache: bool = True,
     ) -> None:
         program, facts = split_program(parse_program(source))
         self.database = database if database is not None else Database()
@@ -105,7 +106,11 @@ class Shell:
                 row = tuple(arg.evaluate({}) for arg in fact.head.args)
                 self.database.insert(fact.head.predicate, row)
         self.maintainer = ViewMaintainer(
-            program, self.database, strategy=strategy, semantics=semantics
+            program,
+            self.database,
+            strategy=strategy,
+            semantics=semantics,
+            plan_cache=plan_cache,
         ).initialize()
         if journal is not None:
             self.maintainer.attach_journal(
@@ -284,6 +289,26 @@ class Shell:
             lines.append(
                 f"dead-lettered notifications: {len(maintainer.dead_letters)}"
             )
+        stats = maintainer.stats
+        cache = maintainer.plan_cache
+        if cache is None:
+            lines.append("plan cache: disabled")
+        else:
+            # Read the live cache, not the per-pass stats snapshot —
+            # alter() moves the counters without running a pass.
+            lines.append(
+                f"plan cache: {len(cache)} entries, "
+                f"{cache.hits} hits / {cache.misses} misses "
+                f"(hit rate {cache.hit_rate():.0%}), "
+                f"{cache.invalidations} invalidated, "
+                f"{cache.index_probes} index probes"
+            )
+        if stats.phase_seconds:
+            phases = "  ".join(
+                f"{phase}={seconds * 1e3:.2f}ms"
+                for phase, seconds in sorted(stats.phase_seconds.items())
+            )
+            lines.append(f"maintenance phases (cumulative): {phases}")
         try:
             maintainer.consistency_check()
             lines.append("views: consistent with recomputation ✔")
@@ -333,6 +358,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(requires --snapshot)",
     )
     parser.add_argument(
+        "--no-plan-cache",
+        action="store_true",
+        help="disable the compiled delta-plan cache (replan every pass; "
+        "the baseline configuration of benchmarks/bench_plan_cache.py)",
+    )
+    parser.add_argument(
         "--recover",
         action="store_true",
         help="rebuild state from --snapshot + --journal instead of the "
@@ -366,6 +397,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 journal=Journal(args.journal) if args.journal else None,
                 snapshot_path=args.snapshot,
                 checkpoint_every=args.checkpoint_every,
+                plan_cache=not args.no_plan_cache,
             )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

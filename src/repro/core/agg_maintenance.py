@@ -76,6 +76,12 @@ class AggregateView:
 
     def initialize(self, grouped: CountedRelation) -> CountedRelation:
         """Build group states from the full grouped relation; return T."""
+        positions = self._group_positions()
+        if positions:
+            # Group recomputes probe this index; declare it up front so
+            # it is built once and maintained incrementally (and survives
+            # clear/replace_rows/rollback) instead of rebuilt per fallback.
+            grouped.declare_index(positions)
         per_group: Dict[Row, List[Tuple[object, int]]] = {}
         for row, count in grouped.items():
             multiplicity = self._multiplicity(count)

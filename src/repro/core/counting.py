@@ -43,6 +43,7 @@ from repro.core.delta_rules import (
     factored_delta_rules,
 )
 from repro.core.normalize import NormalizedProgram
+from repro.datalog.ast import Literal
 from repro.datalog.stratify import Stratification
 from repro.errors import MaintenanceError
 from repro.eval.rule_eval import EvalContext, Resolver, evaluate_rule_into
@@ -66,6 +67,8 @@ class CountingStats:
     cascades_suppressed: int = 0
     irrelevant_skipped: int = 0  # base rows rejected by the [BCL89] filter
     seconds: float = 0.0
+    #: Wall seconds per pass phase: seed / propagate / apply.
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -107,6 +110,38 @@ def delta_neg_relation(
     return out
 
 
+#: Override kinds in a resolver recipe (see resolver_overrides_recipe).
+_OLD, _DELTA, _NEW, _DELTA_NEG = range(4)
+
+
+def resolver_overrides_recipe(rule) -> tuple:
+    """``(predicate, kind, base_predicate)`` per distinct body literal.
+
+    Pure rule structure — which names resolve to old relations, cascaded
+    deltas (``Δ:``), new states (``ν:``), or Δ¬ relations — extracted
+    once so repeated passes skip the per-literal prefix dispatch
+    (:class:`~repro.eval.plan_cache.PlanCache` memoizes it per rule).
+    """
+    entries = []
+    seen = set()
+    for subgoal in rule.body_literals():
+        predicate = subgoal.predicate
+        if predicate in seen:
+            continue
+        seen.add(predicate)
+        if predicate.startswith(names.DELTA_NEG):
+            entries.append(
+                (predicate, _DELTA_NEG, predicate[len(names.DELTA_NEG):])
+            )
+        elif predicate.startswith(names.DELTA):
+            entries.append((predicate, _DELTA, predicate[len(names.DELTA):]))
+        elif predicate.startswith(names.NEW):
+            entries.append((predicate, _NEW, predicate[len(names.NEW):]))
+        else:
+            entries.append((predicate, _OLD, predicate))
+    return tuple(entries)
+
+
 class CountingMaintenance:
     """One maintenance pass; create per changeset and call :meth:`run`."""
 
@@ -122,6 +157,7 @@ class CountingMaintenance:
         prefilter_irrelevant: bool = True,
         faults=None,
         undo=None,
+        plan_cache=None,
     ) -> None:
         if stratification.is_recursive:
             raise MaintenanceError(
@@ -140,16 +176,22 @@ class CountingMaintenance:
         #: (shadow-commit rollback); both inert when None.
         self.faults = faults
         self.undo = undo
-        from repro.core.irrelevance import RelevanceFilter
-
+        #: Optional PlanCache shared across passes by the maintainer:
+        #: compiled plans, delta-variant rewrites, and the relevance
+        #: filter below are then reused instead of rebuilt per pass.
+        self.plan_cache = plan_cache
         #: [BCL89]-style pre-filter: base rows that provably cannot join
         #: into any rule are kept out of the delta propagation (the full
         #: changeset is still applied to the base relations).  Disabled
         #: only by the ablation benchmark.
-        self._relevance = (
-            RelevanceFilter(normalized.program) if prefilter_irrelevant
-            else None
-        )
+        if not prefilter_irrelevant:
+            self._relevance = None
+        elif plan_cache is not None:
+            self._relevance = plan_cache.relevance_filter(normalized.program)
+        else:
+            from repro.core.irrelevance import RelevanceFilter
+
+            self._relevance = RelevanceFilter(normalized.program)
         # Signed deltas applied to stored counts, per predicate.
         self._store_deltas: Dict[str, CountedRelation] = {}
         # Deltas visible to delta rules of higher strata (Δ:q bindings).
@@ -182,20 +224,20 @@ class CountingMaintenance:
         return not name.startswith((names.DELTA, names.DELTA_NEG))
 
     def _build_resolver(self, delta_rule: DeltaRule) -> Resolver:
+        if self.plan_cache is not None:
+            recipe = self.plan_cache.resolver_recipe(delta_rule.rule)
+        else:
+            recipe = resolver_overrides_recipe(delta_rule.rule)
         overrides: Dict[str, CountedRelation] = {}
-        for subgoal in delta_rule.rule.body_literals():
-            predicate = subgoal.predicate
-            if predicate.startswith(names.DELTA_NEG):
-                base_pred = predicate[len(names.DELTA_NEG):]
-                overrides[predicate] = self._delta_neg(base_pred)
-            elif predicate.startswith(names.DELTA):
-                base_pred = predicate[len(names.DELTA):]
+        for predicate, kind, base_pred in recipe:
+            if kind == _OLD:
+                overrides[predicate] = self._old_relation(base_pred)
+            elif kind == _DELTA:
                 overrides[predicate] = self._cascade_of(base_pred)
-            elif predicate.startswith(names.NEW):
-                base_pred = predicate[len(names.NEW):]
+            elif kind == _NEW:
                 overrides[predicate] = self._new_relation(base_pred)
-            elif predicate not in overrides:
-                overrides[predicate] = self._old_relation(predicate)
+            else:
+                overrides[predicate] = self._delta_neg(base_pred)
         return Resolver(None, overrides)
 
     def _delta_neg(self, predicate: str) -> CountedRelation:
@@ -228,6 +270,8 @@ class CountingMaintenance:
         self._seed_base_deltas(changes)
         if self.faults is not None:
             self.faults.fire("delta_derivation")
+        seeded = time.perf_counter()
+        self.stats.phase_seconds["seed"] = seeded - started
 
         rules_by_stratum = self.strat.rules_by_stratum()
         for stratum in range(1, self.strat.max_stratum + 1):
@@ -263,7 +307,10 @@ class CountingMaintenance:
                 self.stats.strata_reached = stratum
             self._commit_stratum(pending)
 
+        propagated = time.perf_counter()
+        self.stats.phase_seconds["propagate"] = propagated - seeded
         self._apply_to_store(changes)
+        self.stats.phase_seconds["apply"] = time.perf_counter() - propagated
         self.stats.seconds = time.perf_counter() - started
         view_deltas = {
             name: delta
@@ -311,12 +358,23 @@ class CountingMaintenance:
     def _apply_delta_rules(
         self, rule, changed: Set[str]
     ) -> Optional[CountedRelation]:
+        cache = self.plan_cache
         if self.mode == "expansion":
-            delta_rules = expansion_delta_rules(rule, changed)
+            if cache is not None:
+                delta_rules = cache.expansion_variants(
+                    rule, frozenset(changed)
+                )
+            else:
+                delta_rules = expansion_delta_rules(rule, changed)
         else:
+            variants = (
+                cache.factored_variants(rule)
+                if cache is not None
+                else factored_delta_rules(rule)
+            )
             delta_rules = [
                 delta_rule
-                for delta_rule in factored_delta_rules(rule)
+                for delta_rule in variants
                 if self._delta_position_changed(delta_rule, changed)
             ]
         if not delta_rules:
@@ -326,7 +384,7 @@ class CountingMaintenance:
         unit = self._unit_policy if self.semantics == "set" else None
         for delta_rule in delta_rules:
             resolver = self._build_resolver(delta_rule)
-            ctx = EvalContext(resolver, unit_counts=unit)
+            ctx = EvalContext(resolver, unit_counts=unit, plan_cache=cache)
             evaluate_rule_into(delta_rule.rule, ctx, out, seed=delta_rule.seed)
             self.stats.variants_evaluated += 1
         self.stats.delta_tuples_computed += len(out)

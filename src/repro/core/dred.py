@@ -68,7 +68,10 @@ class DRedStats:
     rederived: int = 0      # overestimated tuples put back by step 2
     inserted: int = 0       # tuples added by step 3
     deleted: int = 0        # net deletions (overestimated − rederived)
+    rules_fired: int = 0    # rewritten rules handed to the fixpoints
     seconds: float = 0.0
+    #: Wall seconds per pass phase: seed / overestimate / rederive / insert.
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def overdeletion_ratio(self) -> float:
@@ -111,6 +114,7 @@ class DRedMaintenance:
         deletion_seeds: Optional[Dict[str, CountedRelation]] = None,
         faults=None,
         undo=None,
+        plan_cache=None,
     ) -> None:
         self.normalized = normalized
         self.strat = stratification
@@ -134,6 +138,10 @@ class DRedMaintenance:
         #: copied there anyway, so crash safety costs nothing extra.
         self.faults = faults
         self.undo = undo
+        #: Optional PlanCache shared across passes by the maintainer.
+        #: DRed rebuilds structurally-equal δ⁻/ρ/δ⁺ rules every pass, so
+        #: their compiled plans and semi-naive variant rewrites all hit.
+        self.plan_cache = plan_cache
         self.stats = DRedStats()
         #: Old versions of every relation changed so far (base and derived).
         self._old: Dict[str, CountedRelation] = {}
@@ -175,6 +183,8 @@ class DRedMaintenance:
         self._apply_base_changes(changes)
         if self.faults is not None:
             self.faults.fire("delta_derivation")
+        phases = self.stats.phase_seconds
+        phases["seed"] = time.perf_counter() - started
 
         new_by_stratum = self._group_by_stratum(self.normalized.program.rules)
         old_by_stratum = self._group_by_stratum(self.old_rules)
@@ -200,16 +210,25 @@ class DRedMaintenance:
                 stratum_preds = {
                     rule.head.predicate for rule in normal_new + normal_old
                 }
+                tick = time.perf_counter()
                 overestimate = self._step1_overestimate(
                     normal_old, stratum_preds
                 )
                 self._prune(overestimate)
                 if self.faults is not None:
                     self.faults.fire("rederivation")
+                tock = time.perf_counter()
+                phases["overestimate"] = (
+                    phases.get("overestimate", 0.0) + tock - tick
+                )
                 self._step2_rederive(normal_new, overestimate)
+                tick = time.perf_counter()
+                phases["rederive"] = phases.get("rederive", 0.0) + tick - tock
                 inserted = self._step3_insert(normal_new, stratum_preds)
                 if self.faults is not None:
                     self.faults.fire("count_merge")
+                tock = time.perf_counter()
+                phases["insert"] = phases.get("insert", 0.0) + tock - tick
                 self._finalize_stratum(
                     stratum_preds, overestimate, inserted
                 )
@@ -317,8 +336,9 @@ class DRedMaintenance:
             names.overestimate(pred): CountedRelation(names.overestimate(pred))
             for pred in stratum_preds
         }
+        self.stats.rules_fired += len(delta_rules)
         resolver = Resolver(self._old_resolver(), sources)
-        seminaive(delta_rules, targets, resolver)
+        seminaive(delta_rules, targets, resolver, plan_cache=self.plan_cache)
         overestimate = {
             pred: targets[names.overestimate(pred)] for pred in stratum_preds
         }
@@ -388,8 +408,11 @@ class DRedMaintenance:
             rule.head.predicate: self.views[rule.head.predicate]
             for rule in rederive_rules
         }
+        self.stats.rules_fired += len(rederive_rules)
         resolver = Resolver(self._current_resolver(), sources)
-        rederived = seminaive(rederive_rules, targets, resolver)
+        rederived = seminaive(
+            rederive_rules, targets, resolver, plan_cache=self.plan_cache
+        )
         self.stats.rederived += sum(len(r) for r in rederived.values())
         return rederived
 
@@ -444,9 +467,14 @@ class DRedMaintenance:
         }
         for pred in targets:
             self._save_old(pred, targets[pred])
+        self.stats.rules_fired += len(insert_rules)
         resolver = Resolver(self._current_resolver(), sources)
         inserted = seminaive(
-            insert_rules, targets, resolver, fire_round0=fire_round0
+            insert_rules,
+            targets,
+            resolver,
+            fire_round0=fire_round0,
+            plan_cache=self.plan_cache,
         )
         self.stats.inserted += sum(len(r) for r in inserted.values())
         return inserted

@@ -45,6 +45,7 @@ from repro.datalog.parser import parse_program, parse_rule
 from repro.datalog.safety import check_program_safety
 from repro.datalog.stratify import Stratification, stratify
 from repro.errors import DivergenceError, MaintenanceError, UnknownRelationError
+from repro.eval.plan_cache import PlanCache
 from repro.eval.rule_eval import Resolver
 from repro.eval.stratified import Semantics, materialize
 from repro.resilience.faults import FaultInjector
@@ -94,6 +95,69 @@ class LifetimeStats:
         self.seconds += report.seconds
 
 
+@dataclass
+class MaintenanceStats:
+    """Lifetime perf counters for a maintainer (bench harness / CLI status).
+
+    ``phase_seconds`` accumulates the per-phase wall time the passes
+    report (counting: seed/propagate/apply; DRed: seed/overestimate/
+    rederive/insert).  The plan-cache counters mirror the owned
+    :class:`~repro.eval.plan_cache.PlanCache` (zero when caching is off).
+    """
+
+    passes: int = 0
+    seconds: float = 0.0
+    rules_fired: int = 0
+    phase_seconds: Dict[str, float] = field(default_factory=dict)
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    plan_cache_invalidations: int = 0
+    plan_cache_size: int = 0
+    index_probes: int = 0
+
+    def record_pass(
+        self, report: "MaintenanceReport", cache: Optional[PlanCache]
+    ) -> None:
+        self.passes += 1
+        self.seconds += report.seconds
+        inner = report.counting.stats if report.counting else (
+            report.dred.stats if report.dred else None
+        )
+        if inner is not None:
+            self.rules_fired += inner.rules_fired
+            for phase, seconds in inner.phase_seconds.items():
+                self.phase_seconds[phase] = (
+                    self.phase_seconds.get(phase, 0.0) + seconds
+                )
+        if cache is not None:
+            # PlanCache counters are lifetime totals; copy, don't add.
+            self.plan_cache_hits = cache.hits
+            self.plan_cache_misses = cache.misses
+            self.plan_cache_invalidations = cache.invalidations
+            self.plan_cache_size = len(cache)
+            self.index_probes = cache.index_probes
+
+    def hit_rate(self) -> float:
+        """Plan-cache hit rate over the maintainer's lifetime."""
+        total = self.plan_cache_hits + self.plan_cache_misses
+        return self.plan_cache_hits / total if total else 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-ready snapshot (bench output, CLI ``status``)."""
+        return {
+            "passes": self.passes,
+            "seconds": self.seconds,
+            "rules_fired": self.rules_fired,
+            "phase_seconds": dict(self.phase_seconds),
+            "plan_cache_hits": self.plan_cache_hits,
+            "plan_cache_misses": self.plan_cache_misses,
+            "plan_cache_invalidations": self.plan_cache_invalidations,
+            "plan_cache_size": self.plan_cache_size,
+            "plan_cache_hit_rate": self.hit_rate(),
+            "index_probes": self.index_probes,
+        }
+
+
 class ViewMaintainer:
     """Owns materialized views over a database and maintains them."""
 
@@ -105,6 +169,7 @@ class ViewMaintainer:
         semantics: Semantics = "set",
         counting_mode: CountingMode = "expansion",
         crash_safe: bool = True,
+        plan_cache: bool = True,
     ) -> None:
         check_program_safety(program)
         self.database = database
@@ -135,6 +200,14 @@ class ViewMaintainer:
         #: must not be failed retroactively by checkpoint I/O).
         self.checkpoint_errors: List[Exception] = []
         self.lifetime = LifetimeStats()
+        #: Compiled delta-plan cache shared by every pass this maintainer
+        #: runs (``plan_cache=False`` disables it — the ablation/baseline
+        #: configuration, which replans every rule on every pass).
+        #: Invalidated whenever the program changes (:meth:`alter`).
+        self.plan_cache: Optional[PlanCache] = (
+            PlanCache() if plan_cache else None
+        )
+        self.stats = MaintenanceStats()
 
     # ----------------------------------------------------------- construction
 
@@ -147,6 +220,7 @@ class ViewMaintainer:
         semantics: Semantics = "set",
         counting_mode: CountingMode = "expansion",
         crash_safe: bool = True,
+        plan_cache: bool = True,
     ) -> "ViewMaintainer":
         """Build a maintainer from Datalog source text."""
         return cls(
@@ -156,6 +230,7 @@ class ViewMaintainer:
             semantics=semantics,
             counting_mode=counting_mode,
             crash_safe=crash_safe,
+            plan_cache=plan_cache,
         )
 
     def _set_program(self, normalized: NormalizedProgram) -> None:
@@ -282,9 +357,30 @@ class ViewMaintainer:
                 undo.unwind()
             raise
         self.lifetime.record(report)
+        self.stats.record_pass(report, self.plan_cache)
         self._subscriptions.notify(report.view_deltas)
         self._auto_checkpoint()
         return report
+
+    def apply_many(self, changesets: Iterable[Changeset]) -> MaintenanceReport:
+        """Coalesce a stream of changesets and maintain in ONE pass.
+
+        The changesets are ⊎-merged (:func:`~repro.storage.changeset.coalesce`)
+        so a row inserted by one batch and deleted by a later one cancels
+        before any maintenance work happens; the net changeset then runs
+        through the ordinary :meth:`apply` — same shadow-commit
+        all-or-nothing guarantee, and at most ONE journal entry (none if
+        the stream nets out to nothing).  Requires each changeset to be
+        valid against the state left by its predecessors, which makes
+        the net changeset valid against the current state.
+
+        Returns the report of the single coalesced pass (an empty report
+        with ``strategy=self.strategy`` when everything cancelled).
+        """
+        from repro.storage.changeset import coalesce
+
+        self._require_initialized()
+        return self.apply(coalesce(changesets))
 
     def _run_maintenance(
         self, changes: Changeset, undo: Optional[UndoLog] = None
@@ -303,6 +399,7 @@ class ViewMaintainer:
                 mode=self.counting_mode,
                 faults=self.faults,
                 undo=undo,
+                plan_cache=self.plan_cache,
             )
             result = run.run(changes)
             deltas = {
@@ -324,6 +421,7 @@ class ViewMaintainer:
             self.aggregate_views,
             faults=self.faults,
             undo=undo,
+            plan_cache=self.plan_cache,
         )
         result = run.run(changes)
         deltas = {
@@ -388,6 +486,13 @@ class ViewMaintainer:
                 undo.note_attr(view, "_initialized")
                 undo.note_attr(view, "incremental_updates")
                 undo.note_attr(view, "recomputes")
+        # The program is about to change: every cached plan, variant
+        # rewrite, and relevance filter compiled from it is now suspect.
+        # (Keys are structural, so stale entries would in fact still be
+        # correct — but dropping them keeps the cache's footprint tied to
+        # the live program and is what the invalidation contract states.)
+        if self.plan_cache is not None:
+            self.plan_cache.invalidate()
         try:
             new_normalized, new_strat, result = maintain_rule_changes(
                 self, added, removed
@@ -407,7 +512,15 @@ class ViewMaintainer:
         except BaseException:
             if undo is not None:
                 undo.unwind()
+            if self.plan_cache is not None:
+                # Drop anything compiled mid-redefinition against the
+                # transitional program the unwind just rolled back.
+                self.plan_cache.invalidate()
             raise
+        # Drop plans the rule-change pass compiled from the *old* rules;
+        # from here on only the new program's plans may be cached.
+        if self.plan_cache is not None:
+            self.plan_cache.invalidate()
         deltas = {
             name: result.delta(name)
             for name in set(result.deletions) | set(result.insertions)

@@ -123,6 +123,7 @@ def maintain_rule_changes(
         old_rules=old_rules,
         full_round0_rules=added_set,
         deletion_seeds=seeds,
+        plan_cache=maintainer.plan_cache,
     )
     result = run.run(Changeset())
 

@@ -51,6 +51,20 @@ class Literal:
     predicate: str
     args: Tuple[Term, ...]
     negated: bool = False
+    #: Memoized structural hash (hash=False/compare=False: not a value).
+    #: Literals key the compiled-plan cache, so they are hashed far more
+    #: often than they are built; computing the recursive hash once per
+    #: object keeps cache lookups cheaper than the planning they skip.
+    _hash: int = field(
+        default=0, init=False, repr=False, compare=False, hash=False
+    )
+
+    def __hash__(self) -> int:
+        cached = self._hash
+        if cached == 0:
+            cached = hash((self.predicate, self.args, self.negated)) or 1
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     @property
     def arity(self) -> int:
@@ -196,10 +210,23 @@ class Rule:
 
     head: Literal
     body: Tuple[Subgoal, ...] = ()
+    #: Memoized structural hash — see :class:`Literal`.  DRed rebuilds
+    #: structurally-equal rules each pass; the hash is recomputed once
+    #: per fresh object, then every plan-cache lookup reuses it.
+    _hash: int = field(
+        default=0, init=False, repr=False, compare=False, hash=False
+    )
 
     def __post_init__(self) -> None:
         if self.head.negated:
             raise SchemaError(f"rule head must be positive: {self.head}")
+
+    def __hash__(self) -> int:
+        cached = self._hash
+        if cached == 0:
+            cached = hash((self.head, self.body)) or 1
+            object.__setattr__(self, "_hash", cached)
+        return cached
 
     @property
     def is_fact(self) -> bool:

@@ -105,19 +105,27 @@ class _PlannedLiteral:
 
 
 class EvalContext:
-    """Shared evaluation state: resolver, count policy, aggregate cache."""
+    """Shared evaluation state: resolver, count policy, aggregate cache.
 
-    __slots__ = ("resolver", "unit_counts", "_aggregate_cache")
+    ``plan_cache`` (optional) is a
+    :class:`~repro.eval.plan_cache.PlanCache`: when set,
+    :func:`solutions` reuses compiled plans instead of re-planning, and
+    indexed probes are counted on the cache's ``index_probes`` counter.
+    """
+
+    __slots__ = ("resolver", "unit_counts", "_aggregate_cache", "plan_cache")
 
     def __init__(
         self,
         resolver: "Resolver | Database | Dict[str, CountedRelation]",
         unit_counts: Optional[UnitCountPolicy] = None,
+        plan_cache=None,
     ) -> None:
         if not isinstance(resolver, Resolver):
             resolver = Resolver(resolver)
         self.resolver = resolver
         self.unit_counts = unit_counts
+        self.plan_cache = plan_cache
         self._aggregate_cache: Dict[Aggregate, CountedRelation] = {}
 
     def row_count(self, predicate: str, relation: CountedRelation, row: Row) -> int:
@@ -214,6 +222,10 @@ class _Unbound:
 
 
 _UNBOUND = _Unbound()
+
+#: Shared empty adornment (frozenset hashes are cached per object, so a
+#: singleton keeps the common no-initial-binding plan lookups cheap).
+_EMPTY_ADORNMENT: frozenset = frozenset()
 
 
 # --------------------------------------------------------------------------
@@ -385,6 +397,8 @@ def _eval_positive_literal(
     if key_positions:
         key = tuple(term.evaluate(binding) for term in key_terms)
         rows = relation.lookup(key_positions, key)
+        if ctx.plan_cache is not None:
+            ctx.plan_cache.index_probes += 1
     else:
         rows = relation.rows()
     for row in rows:
@@ -466,19 +480,32 @@ def solutions(
     ``seed`` pins the body subgoal at that index to the front of the join
     order (used for Δ-subgoals).  Counts are products of per-subgoal
     counts and may be negative when delta relations participate.
-    """
-    plan = plan_body(rule.body, seed, ctx)
-    start = initial_binding if initial_binding is not None else {}
 
-    # Precompute static key specs per planned literal.
-    bound: set = set(start)
-    specs: List[Tuple[Tuple[int, ...], Tuple[Term, ...]]] = []
-    for subgoal in plan:
-        if isinstance(subgoal, Literal) and not subgoal.negated:
-            specs.append(_key_spec(subgoal, bound))
-        else:
-            specs.append(((), ()))
-        bound |= directly_bound_variables(subgoal, bound)
+    With ``ctx.plan_cache`` set, the join order and key specs come from
+    the compiled-plan cache (planned once per (rule, seed, adornment));
+    otherwise they are recomputed per call.
+    """
+    start = initial_binding if initial_binding is not None else {}
+    if ctx.plan_cache is not None:
+        compiled = ctx.plan_cache.plan(
+            rule, seed, _EMPTY_ADORNMENT if not start else frozenset(start), ctx
+        )
+        plan: Sequence[Subgoal] = compiled.order
+        specs: Sequence[Tuple[Tuple[int, ...], Tuple[Term, ...]]] = (
+            compiled.specs
+        )
+    else:
+        plan = plan_body(rule.body, seed, ctx)
+        # Precompute static key specs per planned literal.
+        bound: set = set(start)
+        fresh: List[Tuple[Tuple[int, ...], Tuple[Term, ...]]] = []
+        for subgoal in plan:
+            if isinstance(subgoal, Literal) and not subgoal.negated:
+                fresh.append(_key_spec(subgoal, bound))
+            else:
+                fresh.append(((), ()))
+            bound |= directly_bound_variables(subgoal, bound)
+        specs = fresh
 
     def extend(depth: int, binding: Dict[str, object], count: int):
         if depth == len(plan):

@@ -62,6 +62,7 @@ def seminaive(
     base: Resolver,
     max_rounds: Optional[int] = None,
     fire_round0: Optional[Sequence[bool]] = None,
+    plan_cache=None,
 ) -> Dict[str, CountedRelation]:
     """Run the differential fixpoint; mutate ``targets`` in place.
 
@@ -78,9 +79,16 @@ def seminaive(
     rules: they exist only to propagate target growth through their delta
     variants, and a full round-0 evaluation would amount to recomputing
     the view from scratch.
+
+    ``plan_cache`` — an optional
+    :class:`~repro.eval.plan_cache.PlanCache`; join plans and the
+    one-delta-subgoal variant rewrites are then compiled once and reused
+    across rounds *and* across maintenance passes (DRed rebuilds
+    structurally-equal rules each pass, which hit the same entries).
     """
     resolver = Resolver(base, dict(targets))
-    ctx = EvalContext(resolver, unit_counts=_unit)
+    ctx = EvalContext(resolver, unit_counts=_unit, plan_cache=plan_cache)
+    target_names = frozenset(targets)
 
     added: Dict[str, CountedRelation] = {
         name: CountedRelation(f"added({name})", relation.arity)
@@ -111,18 +119,21 @@ def seminaive(
         next_delta: Dict[str, CountedRelation] = {
             name: CountedRelation(DELTA_PREFIX + name) for name in targets
         }
+        round_resolver = Resolver(
+            resolver,
+            {DELTA_PREFIX + name: delta for name, delta in last_delta.items()},
+        )
+        round_ctx = EvalContext(
+            round_resolver, unit_counts=_unit, plan_cache=plan_cache
+        )
         for rule in rules:
             head = rule.head.predicate
-            for variant, seed in _delta_variants(rule, targets):
-                variant_resolver = Resolver(
-                    resolver,
-                    {
-                        DELTA_PREFIX + name: delta
-                        for name, delta in last_delta.items()
-                    },
-                )
-                variant_ctx = EvalContext(variant_resolver, unit_counts=_unit)
-                derived = evaluate_rule(variant, variant_ctx, seed=seed)
+            if plan_cache is not None:
+                variants = plan_cache.seminaive_variants(rule, target_names)
+            else:
+                variants = _delta_variants(rule, targets)
+            for variant, seed in variants:
+                derived = evaluate_rule(variant, round_ctx, seed=seed)
                 for row in derived.rows():
                     if not targets[head].contains_positive(row):
                         next_delta[head].set_count(row, 1)

@@ -57,6 +57,18 @@ class Changeset:
         self._delta(relation).merge(delta)
         return self
 
+    def merge(self, other: "Changeset") -> "Changeset":
+        """⊎ every delta of ``other`` into this changeset (in place).
+
+        Opposite-signed changes to the same row cancel (⊎ drops zero
+        counts), so merging an insert-then-delete sequence leaves no
+        trace — the *net effect* is what remains.  This is the primitive
+        behind :func:`coalesce` and ``ViewMaintainer.apply_many``.
+        """
+        for name, delta in other._deltas.items():
+            self._delta(name).merge(delta)
+        return self
+
     def _delta(self, relation: str) -> CountedRelation:
         delta = self._deltas.get(relation)
         if delta is None:
@@ -122,6 +134,25 @@ class Changeset:
             if delta:
                 parts.append(f"{name}: {delta.to_dict()}")
         return f"<Changeset {'; '.join(parts) or 'empty'}>"
+
+
+def coalesce(changesets: Iterable[Changeset]) -> Changeset:
+    """Fold a stream of changesets into one net-effect changeset (⊎).
+
+    A row inserted by one changeset and deleted by a later one (or vice
+    versa) cancels out entirely; counts of same-signed changes
+    accumulate.  Maintaining the coalesced changeset is equivalent to
+    maintaining the sequence one by one — the signed deltas compose by ⊎
+    (Section 3) — but a single pass pays the propagation fixed costs
+    once.  Validity note: if each changeset in the sequence is valid
+    against the state left by its predecessors, the net changeset is
+    valid against the initial state (deletions never exceed stored
+    counts), so coalescing never manufactures an invalid batch.
+    """
+    merged = Changeset()
+    for changes in changesets:
+        merged.merge(changes)
+    return merged
 
 
 def changeset_from_deltas(deltas: Dict[str, Dict[Row, int]]) -> Changeset:

@@ -18,12 +18,16 @@ signs freely.
 
 Relations maintain hash indexes over column subsets.  Indexes are created
 lazily by the evaluator and maintained incrementally on every mutation,
-so repeated small maintenance batches never pay a full re-index.
+so repeated small maintenance batches never pay a full re-index.  Index
+key specs can additionally be *declared* (:meth:`declare_index`) —
+declared specs survive :meth:`clear`, :meth:`replace_rows`, and
+:meth:`copy`, so a compiled plan that probes a declared index never pays
+a surprise full rebuild after the relation is reset or rolled back.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Set, Tuple
 
 from repro.errors import MaintenanceError, SchemaError
 
@@ -39,7 +43,7 @@ class CountedRelation:
     the no-zero-counts invariant and all secondary indexes up to date.
     """
 
-    __slots__ = ("name", "arity", "_rows", "_indexes")
+    __slots__ = ("name", "arity", "_rows", "_indexes", "_declared")
 
     def __init__(
         self,
@@ -52,6 +56,8 @@ class CountedRelation:
         self._rows: Dict[Row, int] = {}
         # positions → {key values → set of rows}; maintained incrementally.
         self._indexes: Dict[Tuple[int, ...], Dict[Row, set]] = {}
+        # Declared index key specs: re-registered across clear/replace/copy.
+        self._declared: Set[Tuple[int, ...]] = set()
         if rows is not None:
             for row, count in rows:
                 self.add(row, count)
@@ -103,25 +109,42 @@ class CountedRelation:
         return result
 
     def clear(self) -> None:
+        """Remove every row; all registered index key specs stay live.
+
+        Built indexes are emptied, not dropped, and declared specs are
+        re-registered, so cached plans probing them after a clear pay no
+        full rebuild — the (empty) indexes are simply maintained forward.
+        """
         self._rows.clear()
         for index in self._indexes.values():
             index.clear()
+        for positions in self._declared:
+            self._indexes.setdefault(positions, {})
 
     def copy(self, name: Optional[str] = None) -> "CountedRelation":
-        """A deep copy (indexes are not copied; they rebuild lazily)."""
+        """A deep copy (indexes are not copied; they rebuild lazily).
+
+        Declared index key specs carry over, so the clone rebuilds them
+        once on first probe and maintains them incrementally after that.
+        """
         clone = CountedRelation(name if name is not None else self.name, self.arity)
         clone._rows = dict(self._rows)
+        clone._declared = set(self._declared)
         return clone
 
     def replace_rows(self, rows: Mapping[Row, int]) -> None:
         """Replace the whole row store in place (rollback/repair hook).
 
         Keeps this object's identity — references held elsewhere stay
-        valid — while the contents become exactly ``rows``.  Indexes are
-        dropped and rebuild lazily.
+        valid — while the contents become exactly ``rows``.  Ad-hoc
+        indexes are dropped (they rebuild lazily); declared index key
+        specs are rebuilt immediately so cached plans keep their
+        always-on indexes through rollback and repair.
         """
         self._rows = dict(rows)
         self._indexes = {}
+        for positions in self._declared:
+            self.ensure_index(positions)
 
     # ----------------------------------------------------------- inspection
 
@@ -219,6 +242,25 @@ class CountedRelation:
                 )
 
     # -------------------------------------------------------------- indexes
+
+    def declare_index(self, positions: Tuple[int, ...]) -> None:
+        """Register ``positions`` as an always-on index key spec.
+
+        The index is built now (if absent) and maintained incrementally
+        on every mutation, like any other; unlike lazily-created
+        indexes it is re-registered by :meth:`clear`,
+        :meth:`replace_rows`, and :meth:`copy`.  Compiled plans declare
+        the specs they probe so repeated maintenance passes never pay a
+        full rebuild.
+        """
+        if not positions:
+            return
+        self._declared.add(tuple(positions))
+        self.ensure_index(tuple(positions))
+
+    def declared_indexes(self) -> Tuple[Tuple[int, ...], ...]:
+        """The declared index key specs, sorted (introspection/tests)."""
+        return tuple(sorted(self._declared))
 
     def ensure_index(self, positions: Tuple[int, ...]) -> Dict[Row, set]:
         """Build (once) and return the hash index on ``positions``.

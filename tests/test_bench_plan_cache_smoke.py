@@ -1,0 +1,65 @@
+"""Smoke test: the plan-cache benchmark runs end-to-end and emits
+well-formed ``BENCH_maintenance.json``.
+
+Runs ``benchmarks/bench_plan_cache.py --smoke`` (toy scale — the
+numbers are meaningless, only the machinery is under test) and
+validates the JSON schema the full benchmark publishes.  Wired into
+``make bench-smoke`` and the default ``make check``.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SCRIPT = os.path.join(REPO, "benchmarks", "bench_plan_cache.py")
+
+
+def run_smoke(tmp_path):
+    out = str(tmp_path / "bench.json")
+    env = dict(os.environ, PYTHONPATH=os.path.join(REPO, "src"))
+    completed = subprocess.run(
+        [sys.executable, SCRIPT, "--smoke", "--out", out],
+        capture_output=True, text=True, env=env, timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    return out, completed.stdout
+
+
+def test_smoke_emits_valid_bench_json(tmp_path):
+    out, stdout = run_smoke(tmp_path)
+    with open(out, encoding="utf-8") as handle:
+        payload = json.load(handle)
+
+    assert payload["benchmark"] == "plan_cache"
+    assert payload["schema_version"] == 1
+    assert payload["config"]["smoke"] is True
+
+    by_name = {w["workload"]: w for w in payload["workloads"]}
+    assert set(by_name) == {
+        "counting-small-delta", "dred-small-delta", "batched-vs-sequential",
+    }
+
+    for name in ("counting-small-delta", "dred-small-delta"):
+        workload = by_name[name]
+        assert workload["cache_on_seconds"] > 0
+        assert workload["cache_off_seconds"] > 0
+        assert workload["speedup"] > 0
+        assert 0.0 <= workload["post_warmup_hit_rate"] <= 1.0
+        stats = workload["stats"]
+        assert stats["passes"] == payload["config"]["passes"]
+        assert stats["plan_cache_hits"] > 0
+        assert stats["rules_fired"] > 0
+        # Counting reports seed/propagate/apply; DRed reports
+        # seed/overestimate/rederive/insert.
+        assert "seed" in stats["phase_seconds"]
+        assert len(stats["phase_seconds"]) >= 3
+
+    batched = by_name["batched-vs-sequential"]
+    assert batched["sequential_seconds"] > 0
+    assert batched["batched_seconds"] > 0
+
+    # Human-readable lines mirror the JSON.
+    assert "counting-small-delta" in stdout
+    assert out in stdout

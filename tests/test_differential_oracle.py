@@ -1,0 +1,242 @@
+"""Differential-oracle suite: maintenance ≡ recomputation, at scale.
+
+Hypothesis generates stratified programs (joins, unions, filters,
+negation, GROUPBY aggregates over a base ``link`` relation) together
+with model-tracked streams of insert/delete changesets (deletions only
+ever remove rows the model says exist, so every changeset is valid
+against the state it meets).  Each case then runs the real maintenance
+machinery — counting and DRed, batched (``apply_many``) and unbatched,
+plan cache on and off, set and duplicate semantics — and checks it
+against two independent oracles:
+
+* **recount** (:func:`repro.baselines.recount.true_view_deltas`): the
+  per-pass signed deltas must equal a from-scratch before/after diff
+  (Theorem 4.1);
+* **recompute**: the maintained views must equal a fresh
+  materialization of the final database — both via the maintainer's own
+  ``consistency_check()`` and against a database tracked independently
+  of the maintainer (guarding against the maintainer corrupting its own
+  base relations and then agreeing with them).
+
+The suite runs 220 generated cases (see the ``max_examples`` settings:
+25×4 counting + 15×4 DRed + 15×4 recursive DRed), derandomized so CI
+is reproducible.  Any divergence is a real bug: the oracles share no
+code path with the incremental algorithms.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.recount import true_view_deltas
+from repro.core.maintenance import ViewMaintainer
+from repro.datalog.parser import parse_program
+from repro.eval.stratified import materialize
+from repro.storage.changeset import Changeset
+
+from conftest import TC_SRC, database_with
+
+# ------------------------------------------------------------------ programs
+
+NODE = st.integers(0, 7)
+EDGE = st.tuples(NODE, NODE).filter(lambda e: e[0] != e[1])
+
+
+@st.composite
+def stratified_program(draw):
+    """Source for a random stratified program over base ``link``.
+
+    Views are built bottom-up, each referencing only ``link`` or an
+    earlier *graph-shaped* (binary, node-valued) view — so the program
+    is stratified by construction.  Every program ends with one
+    negation view and one GROUPBY aggregate view, so the features the
+    paper treats specially (Section 5's Δ¬ and Section 6's aggregate
+    maintenance) are exercised in every single case.
+    """
+    graph_views = ["link"]
+    rules = []
+
+    def fresh(prefix):
+        return f"{prefix}{len(rules)}"
+
+    for _ in range(draw(st.integers(1, 3))):
+        prev = draw(st.sampled_from(graph_views))
+        shape = draw(st.sampled_from(["join", "union", "filter"]))
+        name = fresh("v")
+        if shape == "join":
+            rules.append(f"{name}(X,Y) :- {prev}(X,Z), link(Z,Y).")
+        elif shape == "union":
+            rules.append(f"{name}(X,Y) :- {prev}(X,Y).")
+            rules.append(f"{name}(X,Y) :- link(Y,X).")
+        else:
+            rules.append(f"{name}(X,Y) :- {prev}(X,Y), X < Y.")
+        graph_views.append(name)
+
+    negated = draw(st.sampled_from(graph_views))
+    neg_name = fresh("neg")
+    rules.append(f"{neg_name}(X,Y) :- link(X,Y), not {negated}(X,Y).")
+    graph_views.append(neg_name)
+
+    grouped = draw(st.sampled_from(graph_views))
+    function = draw(st.sampled_from(["COUNT", "MIN", "MAX", "SUM"]))
+    rules.append(
+        f"agg(X, M) :- GROUPBY({grouped}(X, Y), [X], M = {function}(Y))."
+    )
+    return "\n".join(rules)
+
+
+# ------------------------------------------------------------------- streams
+
+
+@st.composite
+def update_stream(draw, set_model=False):
+    """Initial edges plus a model-tracked list of valid changesets.
+
+    The model (a row → count multiset) is updated as each changeset is
+    drawn, so deletions always target rows that exist *at that point in
+    the stream* — the validity contract ``Changeset`` enforces.
+
+    With ``set_model=True`` the stream is additionally *set-valid*:
+    inserts only add absent rows and deletes only remove rows with a
+    single copy.  DRed canonicalizes its base relations to set
+    semantics (a duplicate insert is a no-op), so only set-valid
+    streams mean the same thing to DRed and to a multiset-tracked
+    oracle database.
+    """
+    edges = draw(st.lists(EDGE, min_size=2, max_size=10, unique=True))
+    model = {edge: 1 for edge in edges}
+
+    stream = []
+    for _ in range(draw(st.integers(1, 3))):
+        changes = Changeset()
+        net = {}
+        for _ in range(draw(st.integers(1, 3))):
+            present = [row for row, count in model.items()
+                       if count + net.get(row, 0) > 0]
+            if present and draw(st.booleans()):
+                row = draw(st.sampled_from(present))
+                changes.delete("link", row)
+                net[row] = net.get(row, 0) - 1
+            else:
+                row = draw(EDGE)
+                if set_model and model.get(row, 0) + net.get(row, 0) > 0:
+                    continue  # would create a duplicate: skip this op
+                changes.insert("link", row)
+                net[row] = net.get(row, 0) + 1
+        if not any(net.values()):
+            continue
+        for row, count in net.items():
+            model[row] = model.get(row, 0) + count
+        stream.append(changes)
+    return edges, stream
+
+
+CONFIGS = [
+    pytest.param(cache, batched, id=f"cache-{cache}-batched-{batched}")
+    for cache in (True, False)
+    for batched in (True, False)
+]
+
+
+def _buckets(stream, size=2):
+    return [stream[i:i + size] for i in range(0, len(stream), size)]
+
+
+def _final_state_matches(maintainer, source, oracle_db, semantics):
+    """Maintained views ≡ fresh materialization of the tracked database."""
+    truth = materialize(parse_program(source), oracle_db, semantics=semantics)
+    for view in maintainer.view_names():
+        maintained = maintainer.relation(view)
+        if semantics == "set":
+            assert maintained.as_set() == truth[view].as_set(), view
+        else:
+            assert maintained.to_dict() == truth[view].to_dict(), view
+    maintainer.consistency_check()
+
+
+# ---------------------------------------------------------- counting ≡ oracle
+
+
+@pytest.mark.parametrize("cache,batched", CONFIGS)
+@settings(max_examples=25, derandomize=True, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(case=stratified_program(), updates=update_stream(),
+       semantics=st.sampled_from(["set", "duplicate"]))
+def test_counting_matches_oracles(cache, batched, case, updates, semantics):
+    edges, stream = updates
+    program = parse_program(case)
+    maintainer = ViewMaintainer.from_source(
+        case, database_with(edges), strategy="counting",
+        semantics=semantics, plan_cache=cache,
+    ).initialize()
+    oracle_db = database_with(edges)
+
+    if batched:
+        for bucket in _buckets(stream):
+            maintainer.apply_many(changes.copy() for changes in bucket)
+            for changes in bucket:
+                oracle_db.apply_changeset(changes.copy())
+    else:
+        for changes in stream:
+            truth = true_view_deltas(
+                program, oracle_db, changes, semantics
+            )
+            report = maintainer.apply(changes.copy())
+            for view in maintainer.view_names():
+                expected = truth[view].to_dict() if view in truth else {}
+                assert report.delta(view).to_dict() == expected, view
+            oracle_db.apply_changeset(changes.copy())
+
+    _final_state_matches(maintainer, case, oracle_db, semantics)
+
+
+# -------------------------------------------------------------- DRed ≡ oracle
+
+
+@pytest.mark.parametrize("cache,batched", CONFIGS)
+@settings(max_examples=15, derandomize=True, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(case=stratified_program(), updates=update_stream(set_model=True))
+def test_dred_matches_recompute(cache, batched, case, updates):
+    edges, stream = updates
+    maintainer = ViewMaintainer.from_source(
+        case, database_with(edges), strategy="dred", plan_cache=cache,
+    ).initialize()
+    oracle_db = database_with(edges)
+
+    if batched:
+        for bucket in _buckets(stream):
+            maintainer.apply_many(changes.copy() for changes in bucket)
+            for changes in bucket:
+                oracle_db.apply_changeset(changes.copy())
+    else:
+        for changes in stream:
+            maintainer.apply(changes.copy())
+            oracle_db.apply_changeset(changes.copy())
+            _final_state_matches(maintainer, case, oracle_db, "set")
+
+    _final_state_matches(maintainer, case, oracle_db, "set")
+
+
+@pytest.mark.parametrize("cache,batched", CONFIGS)
+@settings(max_examples=15, derandomize=True, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(updates=update_stream(set_model=True))
+def test_dred_recursive_matches_recompute(cache, batched, updates):
+    """Same contract on the recursive TC program (fixpoint + rederive)."""
+    edges, stream = updates
+    maintainer = ViewMaintainer.from_source(
+        TC_SRC, database_with(edges), strategy="dred", plan_cache=cache,
+    ).initialize()
+    oracle_db = database_with(edges)
+
+    if batched:
+        maintainer.apply_many(changes.copy() for changes in stream)
+        for changes in stream:
+            oracle_db.apply_changeset(changes.copy())
+    else:
+        for changes in stream:
+            maintainer.apply(changes.copy())
+            oracle_db.apply_changeset(changes.copy())
+
+    _final_state_matches(maintainer, TC_SRC, oracle_db, "set")

@@ -1,0 +1,229 @@
+"""Plan-cache unit tests: reuse, staleness, invalidation, declared indexes.
+
+The cache's contract has three legs:
+
+* a cached plan is *exactly* what fresh planning would produce — the
+  size-rank signature in the key forces a recompile whenever the
+  relative sizes of a rule's body relations flip (join ordering breaks
+  ties by size);
+* ``alter()`` drops every cached artifact, so no plan or index key spec
+  compiled under the old program is ever probed again;
+* index key specs referenced by cached plans are *declared* on their
+  relations and survive ``clear()`` / ``replace_rows()`` / ``copy()``.
+"""
+
+import pytest
+
+from repro.core.maintenance import ViewMaintainer
+from repro.datalog.parser import parse_rule
+from repro.eval.plan_cache import PlanCache
+from repro.eval.rule_eval import EvalContext, Resolver, plan_body
+from repro.storage.changeset import Changeset
+from repro.storage.relation import CountedRelation
+
+from conftest import EXAMPLE_1_1_LINKS, HOP_TRI_SRC, database_with
+
+
+def build(plan_cache=True, source=HOP_TRI_SRC, **kwargs):
+    return ViewMaintainer.from_source(
+        source, database_with(EXAMPLE_1_1_LINKS), plan_cache=plan_cache,
+        **kwargs,
+    ).initialize()
+
+
+def passes(maintainer, count=4):
+    for i in range(count):
+        maintainer.apply(Changeset().insert("link", (f"n{i}", "a")))
+        maintainer.apply(Changeset().delete("link", (f"n{i}", "a")))
+
+
+# ----------------------------------------------------------------- reuse
+
+
+class TestPlanReuse:
+    def test_second_pass_hits_cache(self):
+        maintainer = build()
+        cache = maintainer.plan_cache
+        maintainer.apply(Changeset().insert("link", ("x", "a")))
+        warm_misses = cache.misses
+        assert warm_misses > 0  # the first pass compiled plans
+        maintainer.apply(Changeset().insert("link", ("y", "a")))
+        assert cache.hits > 0
+        assert cache.misses == warm_misses  # nothing recompiled
+
+    def test_steady_state_hit_rate_above_90_percent(self):
+        maintainer = build()
+        cache = maintainer.plan_cache
+        maintainer.apply(Changeset().insert("link", ("x", "a")))
+        warm_hits, warm_misses = cache.hits, cache.misses
+        passes(maintainer, 5)
+        steady_hits = cache.hits - warm_hits
+        steady_misses = cache.misses - warm_misses
+        assert steady_hits / (steady_hits + steady_misses) > 0.9
+
+    def test_stats_surface_cache_counters(self):
+        maintainer = build()
+        passes(maintainer, 2)
+        stats = maintainer.stats.to_dict()
+        assert stats["plan_cache_hits"] == maintainer.plan_cache.hits
+        assert stats["plan_cache_misses"] == maintainer.plan_cache.misses
+        assert stats["index_probes"] > 0
+        assert 0.0 < stats["plan_cache_hit_rate"] <= 1.0
+
+    def test_disabled_cache_matches_enabled_results(self):
+        cached = build(plan_cache=True)
+        plain = build(plan_cache=False)
+        assert plain.plan_cache is None
+        for maintainer in (cached, plain):
+            passes(maintainer, 3)
+        for view in cached.view_names():
+            assert cached.relation(view).to_dict() == (
+                plain.relation(view).to_dict()
+            ), view
+        assert plain.stats.plan_cache_hits == 0
+        assert plain.stats.plan_cache_misses == 0
+
+
+# ------------------------------------------------------- size-rank staleness
+
+
+class TestSizeSignature:
+    RULE = parse_rule("p(X, Y) :- small(X, Z), big(Z, Y).")
+
+    def _ctx(self, small_rows, big_rows):
+        small = CountedRelation("small", 2)
+        big = CountedRelation("big", 2)
+        for i in range(small_rows):
+            small.add((i, i + 1), 1)
+        for i in range(big_rows):
+            big.add((i, i + 1), 1)
+        return EvalContext(Resolver({"small": small, "big": big}))
+
+    def test_cached_plan_equals_fresh_plan(self):
+        cache = PlanCache()
+        ctx = self._ctx(small_rows=2, big_rows=8)
+        compiled = cache.plan(self.RULE, None, frozenset(), ctx)
+        assert list(compiled.order) == list(
+            plan_body(self.RULE.body, None, ctx)
+        )
+
+    def test_size_flip_forces_recompile_matching_fresh_plan(self):
+        cache = PlanCache()
+        ctx = self._ctx(small_rows=2, big_rows=8)
+        first = cache.plan(self.RULE, None, frozenset(), ctx)
+        assert cache.misses == 1
+
+        # Flip the relative sizes: now "small" dominates.
+        flipped = self._ctx(small_rows=8, big_rows=2)
+        second = cache.plan(self.RULE, None, frozenset(), flipped)
+        assert cache.misses == 2  # new size-rank → new plan
+        assert list(second.order) == list(
+            plan_body(self.RULE.body, None, flipped)
+        )
+        assert first.order != second.order  # the join order really moved
+
+        # Returning to the original ranks hits the original entry.
+        again = cache.plan(self.RULE, None, frozenset(), ctx)
+        assert cache.hits == 1
+        assert again is first
+
+    def test_adornment_is_part_of_the_key(self):
+        cache = PlanCache()
+        ctx = self._ctx(small_rows=2, big_rows=8)
+        cache.plan(self.RULE, None, frozenset(), ctx)
+        cache.plan(self.RULE, None, frozenset(["X"]), ctx)
+        assert cache.misses == 2  # bound X indexes differently
+
+
+# ------------------------------------------------------------- invalidation
+
+
+class TestInvalidation:
+    def test_alter_drops_cached_plans(self):
+        maintainer = build(source="tc(X, Y) :- link(X, Y).")
+        cache = maintainer.plan_cache
+        passes(maintainer, 2)
+        assert len(cache) > 0 and cache.invalidations == 0
+
+        maintainer.alter(add=["tc(X, Y) :- link(Y, X)."])
+        assert cache.invalidations > 0
+
+        # Post-alter passes recompile under the new program and stay
+        # correct — the recompute oracle agrees.
+        misses_after_alter = cache.misses
+        maintainer.apply(Changeset().insert("link", ("q", "r")))
+        assert cache.misses > misses_after_alter
+        maintainer.consistency_check()
+
+    def test_no_stale_entries_survive_rule_removal(self):
+        source = "tc(X, Y) :- link(X, Y).\ntc(X, Y) :- link(Y, X)."
+        maintainer = build(source=source)
+        cache = maintainer.plan_cache
+        passes(maintainer, 2)
+        removed = parse_rule("tc(X, Y) :- link(Y, X).")
+
+        maintainer.alter(remove=[str(removed)])
+        maintainer.apply(Changeset().insert("link", ("q", "r")))
+        # Every cached plan and variant rewrite must derive from rules
+        # of the *current* program: nothing mentions the removed body
+        # orientation link(Y, X) anymore.
+        for key in list(cache._plans) + list(cache._variants):
+            for part in key:
+                if hasattr(part, "head"):
+                    assert part != removed
+        maintainer.consistency_check()
+
+    def test_failed_alter_also_invalidates(self):
+        maintainer = build(source="tc(X, Y) :- link(X, Y).")
+        cache = maintainer.plan_cache
+        passes(maintainer, 2)
+        with pytest.raises(Exception):
+            maintainer.alter(add=["tc(X) :- not link(X, X)."])  # unsafe
+        assert cache.invalidations > 0
+        maintainer.apply(Changeset().insert("link", ("q", "r")))
+        maintainer.consistency_check()
+
+
+# --------------------------------------------------------- declared indexes
+
+
+class TestDeclaredIndexes:
+    def _relation(self):
+        relation = CountedRelation("r", 2)
+        relation.declare_index((0,))
+        relation.add(("a", "b"), 1)
+        relation.add(("a", "c"), 1)
+        return relation
+
+    def test_declare_survives_clear(self):
+        relation = self._relation()
+        relation.clear()
+        assert (0,) in relation.declared_indexes()
+        relation.add(("x", "y"), 1)
+        assert set(relation.lookup((0,), ("x",))) == {("x", "y")}
+
+    def test_declare_survives_replace_rows(self):
+        relation = self._relation()
+        relation.replace_rows({("z", "w"): 2})
+        assert (0,) in relation.declared_indexes()
+        assert set(relation.lookup((0,), ("z",))) == {("z", "w")}
+
+    def test_declare_survives_copy(self):
+        clone = self._relation().copy("clone")
+        assert (0,) in clone.declared_indexes()
+        clone.clear()
+        clone.add(("p", "q"), 1)
+        assert set(clone.lookup((0,), ("p",))) == {("p", "q")}
+
+    def test_index_stays_consistent_through_mutations(self):
+        relation = self._relation()
+        relation.add(("d", "e"), 1)
+        relation.discard(("a", "b"))
+        assert set(relation.lookup((0,), ("a",))) == {("a", "c")}
+        assert set(relation.lookup((0,), ("d",))) == {("d", "e")}
+
+    def test_plan_compilation_declares_specs(self):
+        maintainer = build()
+        maintainer.apply(Changeset().insert("link", ("x", "a")))
+        link = maintainer.database.relation("link")
+        assert link.declared_indexes()  # join plans probe link by key

@@ -183,6 +183,108 @@ class TestCrashPointAtomicity:
         assert fingerprint(maintainer) == before
 
 
+def mixed_batch():
+    """Two changesets whose ⊎-coalesced net is exactly ``MIXED``.
+
+    The intermediate row ``(zz, zz)`` is inserted by the first batch and
+    deleted by the second, so batching must cancel it before any
+    maintenance work — the run is indistinguishable from ``apply(MIXED)``.
+    """
+    return [
+        Changeset().delete("link", ("a", "b")).insert("link", ("zz", "zz")),
+        Changeset().insert("link", ("e", "a")).delete("link", ("zz", "zz")),
+    ]
+
+
+class TestBatchedApply:
+    """apply_many(): one coalesced pass, same crash-safety contract."""
+
+    def test_batched_equals_net_and_sequential(self):
+        batched = build(COUNTING_SRC, "counting")
+        net = build(COUNTING_SRC, "counting")
+        sequential = build(COUNTING_SRC, "counting")
+
+        batched.apply_many(mixed_batch())
+        net.apply(MIXED.copy())
+        for changes in mixed_batch():
+            sequential.apply(changes)
+
+        assert fingerprint(batched) == fingerprint(net)
+        assert fingerprint(batched) == fingerprint(sequential)
+        assert batched.lifetime.passes == 1
+        assert sequential.lifetime.passes == 2
+
+    @pytest.mark.parametrize("strategy, source, phase", STRATEGY_PHASES)
+    def test_batched_fault_leaves_state_identical(
+        self, strategy, source, phase, tmp_path
+    ):
+        """The full crash matrix, driven through apply_many()."""
+        maintainer = build(source, strategy)
+        journal = Journal(str(tmp_path / "log.jsonl"))
+        maintainer.attach_journal(journal)
+        before = fingerprint(maintainer)
+
+        maintainer.faults.arm(phase)
+        with pytest.raises(InjectedFault):
+            maintainer.apply_many(mixed_batch())
+
+        assert maintainer.faults.fired == [phase]
+        assert fingerprint(maintainer) == before
+        assert len(journal) == 0 and list(journal.replay()) == []
+        assert maintainer.lifetime.passes == 0
+        maintainer.consistency_check()
+
+    @pytest.mark.parametrize("strategy, source, phase", STRATEGY_PHASES)
+    def test_batched_retry_after_fault_matches_clean_run(
+        self, strategy, source, phase
+    ):
+        maintainer = build(source, strategy)
+        control = build(source, strategy)
+
+        maintainer.faults.arm(phase)
+        with pytest.raises(InjectedFault):
+            maintainer.apply_many(mixed_batch())
+        maintainer.apply_many(mixed_batch())  # one-shot plan: retry clean
+        control.apply(MIXED.copy())
+
+        assert fingerprint(maintainer) == fingerprint(control)
+        maintainer.consistency_check()
+
+    def test_batched_pass_appends_single_journal_entry(self, tmp_path):
+        maintainer = build(COUNTING_SRC, "counting")
+        journal = Journal(str(tmp_path / "log.jsonl"))
+        maintainer.attach_journal(journal)
+        maintainer.apply_many(mixed_batch())
+        assert len(journal) == 1
+        (entry,) = journal.replay()
+        logged = {name: delta.to_dict() for name, delta in entry}
+        assert logged == {name: delta.to_dict() for name, delta in MIXED}
+
+    def test_net_zero_batch_is_a_noop(self, tmp_path):
+        maintainer = build(COUNTING_SRC, "counting")
+        journal = Journal(str(tmp_path / "log.jsonl"))
+        maintainer.attach_journal(journal)
+        before = fingerprint(maintainer)
+        changes = Changeset().delete("link", ("a", "b"))
+        report = maintainer.apply_many([changes.copy(), changes.inverted()])
+        assert report.total_changes() == 0
+        assert fingerprint(maintainer) == before
+        assert maintainer.lifetime.passes == 0
+        assert len(journal) == 0
+
+    def test_invalid_net_delete_rolls_back_batch(self):
+        maintainer = build(COUNTING_SRC, "counting")
+        before = fingerprint(maintainer)
+        batch = [
+            Changeset().insert("link", ("q", "r")),
+            Changeset().delete("link", ("no", "pe")),  # net delete: invalid
+        ]
+        with pytest.raises(MaintenanceError):
+            maintainer.apply_many(batch)
+        assert fingerprint(maintainer) == before
+        maintainer.consistency_check()
+
+
 class TestCheckpointRecovery:
     def _factory(self, source, strategy):
         return lambda db: ViewMaintainer.from_source(
