@@ -6,10 +6,11 @@ PYTHON ?= python
 PYTEST := env PYTHONPATH=src $(PYTHON) -m pytest
 TIMEOUT ?= timeout
 
-.PHONY: check test test-fast test-faults test-soak bench-smoke
+.PHONY: check test test-fast test-faults test-soak bench-smoke obs-smoke
 
-# The default gate: the whole suite plus the benchmark smoke run.
-check: test bench-smoke
+# The default gate: the whole suite plus the benchmark and
+# observability smoke runs.
+check: test bench-smoke obs-smoke
 
 # The tier-1 gate: everything, fail fast.
 test:
@@ -35,3 +36,10 @@ test-soak:
 bench-smoke:
 	env PYTHONPATH=src $(PYTHON) benchmarks/bench_plan_cache.py --smoke \
 		--out /tmp/bench_plan_cache_smoke.json
+
+# Observability acceptance at toy scale: traced counting+DRed passes
+# emit a well-formed span-tree JSONL, the metrics registry renders
+# valid Prometheus exposition (>= 10 families), and `explain`
+# reproduces the stored derivation count (Theorem 4.1).
+obs-smoke:
+	env PYTHONPATH=src $(PYTHON) -m repro.obs.smoke

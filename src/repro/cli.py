@@ -25,6 +25,7 @@ strings and returns output strings; ``main`` wires it to argv/stdin.
 
 from __future__ import annotations
 
+import json
 import sys
 from typing import List, Optional, Tuple
 
@@ -32,6 +33,16 @@ from repro.core.maintenance import ViewMaintainer
 from repro.datalog.ast import Program, Rule
 from repro.datalog.parser import parse_program, parse_rule
 from repro.errors import DivergenceError, ReproError
+from repro.obs import (
+    JsonlSink,
+    RingSink,
+    TeeSink,
+    Tracer,
+    configure_logging,
+    get_default_registry,
+    pass_tree,
+    render_pass,
+)
 from repro.storage.changeset import Changeset
 from repro.storage.database import Database
 from repro.storage.journal import Journal
@@ -55,6 +66,14 @@ commands:
   heal            verify and rebuild any diverged views in place
   checkpoint      write the snapshot (journal mode) and prune the log
   status          journal/checkpoint/dead-letter health summary
+  status --json   the same, as a JSON document
+  metrics         engine metrics, Prometheus text format (also --prom)
+  metrics --json  engine metrics as a JSON snapshot
+  trace           flame-style breakdown of the most recent pass
+  trace tail N    last N raw trace events
+  trace dump PATH write the trace buffer as JSONL to PATH
+  explain NAME(v,..)  support tree + count check for one view tuple
+  explain pass    same as 'trace'
   save PATH       save base relations as a JSON snapshot
   help            this text
   quit            exit
@@ -98,6 +117,7 @@ class Shell:
         checkpoint_every: Optional[int] = None,
         skip_seed_facts: bool = False,
         plan_cache: bool = True,
+        trace_path: Optional[str] = None,
     ) -> None:
         program, facts = split_program(parse_program(source))
         self.database = database if database is not None else Database()
@@ -105,12 +125,24 @@ class Shell:
             for fact in facts:
                 row = tuple(arg.evaluate({}) for arg in fact.head.args)
                 self.database.insert(fact.head.predicate, row)
+        # Every session keeps a span ring buffer for 'trace' / 'explain
+        # pass'; --trace additionally streams the events to a JSONL log.
+        self.ring = RingSink(2048)
+        sink = (
+            TeeSink([self.ring, JsonlSink(trace_path)])
+            if trace_path
+            else self.ring
+        )
+        self.tracer = Tracer(sink)
+        self.metrics = get_default_registry()
         self.maintainer = ViewMaintainer(
             program,
             self.database,
             strategy=strategy,
             semantics=semantics,
             plan_cache=plan_cache,
+            tracer=self.tracer,
+            metrics=self.metrics,
         ).initialize()
         if journal is not None:
             self.maintainer.attach_journal(
@@ -130,6 +162,7 @@ class Shell:
         strategy: str = "auto",
         semantics: str = "set",
         checkpoint_every: Optional[int] = None,
+        trace_path: Optional[str] = None,
     ) -> "Shell":
         """Rebuild a session from snapshot + journal and keep journaling.
 
@@ -145,6 +178,7 @@ class Shell:
             strategy=strategy,
             semantics=semantics,
             skip_seed_facts=True,
+            trace_path=trace_path,
         )
         for changes in journal.replay(after=watermark):
             shell.maintainer.apply(changes)
@@ -194,6 +228,20 @@ class Shell:
             return str(self.maintainer.program)
         if line == "explain":
             return self.maintainer.delta_program()
+        if line == "explain pass":
+            return self._trace_flame()
+        if line.startswith("explain "):
+            return self._explain(line[len("explain "):].strip())
+        if line in ("metrics", "metrics --prom"):
+            return self.metrics.to_prometheus() or "(no metrics recorded)"
+        if line == "metrics --json":
+            return self.metrics.to_json()
+        if line == "trace":
+            return self._trace_flame()
+        if line.startswith("trace tail"):
+            return self._trace_tail(line[len("trace tail"):].strip())
+        if line.startswith("trace dump "):
+            return self._trace_dump(line[len("trace dump "):].strip())
         if line.startswith("alter + "):
             report = self.maintainer.alter(add=[line[len("alter + "):]])
             return f"rule added; {report.total_changes()} view change(s)"
@@ -211,6 +259,8 @@ class Shell:
             return f"checkpoint written (journal watermark {watermark})"
         if line == "status":
             return self._status()
+        if line == "status --json":
+            return json.dumps(self._status_dict(), indent=2, sort_keys=True)
         if line.startswith("save "):
             save_database(self.database, line[5:].strip())
             return "saved"
@@ -316,6 +366,75 @@ class Shell:
             lines.append(f"views: DIVERGED — {exc} (run 'heal')")
         return "\n".join(lines)
 
+    def _status_dict(self) -> dict:
+        maintainer = self.maintainer
+        status = {
+            "strategy": maintainer.strategy,
+            "semantics": maintainer.semantics,
+            "lifetime": maintainer.lifetime.to_dict(),
+            "last_pass": maintainer.stats.to_dict(),
+            "journal": (
+                {
+                    "attached": True,
+                    "last_seq": len(maintainer._journal),
+                    "watermark": maintainer.watermark,
+                }
+                if maintainer._journal is not None
+                else {"attached": False}
+            ),
+            "checkpoint_errors": len(maintainer.checkpoint_errors),
+            "dead_letters": len(maintainer.dead_letters),
+            "staged_insertions": self.pending.insertion_count(),
+            "staged_deletions": self.pending.deletion_count(),
+        }
+        cache = maintainer.plan_cache
+        if cache is not None:
+            status["plan_cache"] = {
+                "entries": len(cache),
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "hit_ratio": cache.hit_rate(),
+                "invalidations": cache.invalidations,
+                "index_probes": cache.index_probes,
+            }
+        try:
+            maintainer.consistency_check()
+            status["consistent"] = True
+        except DivergenceError as exc:
+            status["consistent"] = False
+            status["divergence"] = str(exc)
+        return status
+
+    def _explain(self, text: str) -> str:
+        predicate, row = self._parse_ground_atom(text)
+        return self.maintainer.explain(predicate, row)
+
+    def _trace_flame(self) -> str:
+        return render_pass(pass_tree(list(self.ring.events)))
+
+    def _trace_tail(self, arg: str) -> str:
+        count = 20
+        if arg:
+            try:
+                count = int(arg)
+            except ValueError:
+                return f"error: trace tail expects a number, got {arg!r}"
+        events = self.ring.tail(count)
+        if not events:
+            return "trace buffer is empty (commit something first)"
+        return "\n".join(
+            json.dumps(event, sort_keys=True, default=str)
+            for event in events
+        )
+
+    def _trace_dump(self, path: str) -> str:
+        events = list(self.ring.events)
+        with open(path, "w", encoding="utf-8") as handle:
+            for event in events:
+                handle.write(json.dumps(event, sort_keys=True, default=str))
+                handle.write("\n")
+        return f"wrote {len(events)} trace event(s) to {path}"
+
     def _show(self, name: str) -> str:
         relation = self.maintainer.relation(name)
         if not relation:
@@ -369,7 +488,25 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="rebuild state from --snapshot + --journal instead of the "
         "program's seed facts, then continue journaling",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="stream span trace events to this JSONL log "
+        "(the in-memory 'trace' buffer is always on)",
+    )
+    parser.add_argument(
+        "--log-level",
+        default="WARNING",
+        choices=["DEBUG", "INFO", "WARNING", "ERROR"],
+        help="engine log verbosity on stderr (default: WARNING)",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit engine logs as JSON lines instead of text",
+    )
     args = parser.parse_args(argv)
+    configure_logging(level=args.log_level, json_mode=args.log_json)
 
     with open(args.program, "r", encoding="utf-8") as handle:
         source = handle.read()
@@ -386,6 +523,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 strategy=args.strategy,
                 semantics=args.semantics,
                 checkpoint_every=args.checkpoint_every,
+                trace_path=args.trace,
             )
         else:
             database = load_database(args.data) if args.data else None
@@ -398,6 +536,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 snapshot_path=args.snapshot,
                 checkpoint_every=args.checkpoint_every,
                 plan_cache=not args.no_plan_cache,
+                trace_path=args.trace,
             )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -62,12 +62,18 @@ class SubscriptionHub:
     """
 
     def __init__(
-        self, max_attempts: int = 3, backoff_seconds: float = 0.01
+        self,
+        max_attempts: int = 3,
+        backoff_seconds: float = 0.01,
+        metrics=None,
+        tracer=None,
     ) -> None:
         if max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
         self.max_attempts = max_attempts
         self.backoff_seconds = backoff_seconds
+        self.metrics = metrics
+        self.tracer = tracer
         self._subscriptions: Dict[str, List[Subscription]] = {}
         self._next_token = 0
         #: Deliveries that failed every retry, oldest first.
@@ -117,9 +123,41 @@ class SubscriptionHub:
                     "subscriber %d on view %r failed (attempt %d/%d): %s",
                     subscription.token, view, attempt, self.max_attempts, exc,
                 )
+                if self.metrics is not None:
+                    self.metrics.counter(
+                        "repro_subscriber_retries_total",
+                        "Failed subscriber delivery attempts.",
+                        labels=("view",),
+                    ).inc(view=view)
+                if self.tracer is not None:
+                    self.tracer.event(
+                        "subscriber_retry",
+                        view=view,
+                        token=subscription.token,
+                        attempt=attempt,
+                        error=str(exc),
+                    )
                 if attempt < self.max_attempts and delay > 0:
                     time.sleep(delay)
                     delay *= 2
+        logger.warning(
+            "subscriber %d on view %r dead-lettered after %d attempts: %s",
+            subscription.token, view, self.max_attempts, error,
+        )
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_subscriber_dead_letters_total",
+                "Deliveries that exhausted every retry.",
+                labels=("view",),
+            ).inc(view=view)
+        if self.tracer is not None:
+            self.tracer.event(
+                "dead_letter",
+                view=view,
+                token=subscription.token,
+                attempts=self.max_attempts,
+                error=str(error),
+            )
         self.dead_letters.append(
             DeadLetter(view, delta, subscription, error, self.max_attempts)
         )

@@ -20,6 +20,7 @@ maintenance batches never rescan untouched groups.
 
 from __future__ import annotations
 
+import logging
 from typing import Dict, List, Optional, Tuple
 
 from repro.datalog.ast import Aggregate, Rule
@@ -27,6 +28,8 @@ from repro.errors import MaintenanceError
 from repro.eval.aggregates import AggregateFunction, get_aggregate_function
 from repro.eval.rule_eval import match_args
 from repro.storage.relation import CountedRelation, Row
+
+logger = logging.getLogger(__name__)
 
 
 class AggregateView:
@@ -165,6 +168,10 @@ class AggregateView:
                 new_state = stepped
             if new_state is None:
                 self.recomputes += 1
+                logger.debug(
+                    "aggregate %s: non-invertible delete, recomputing "
+                    "group %r", self.rule.head.predicate, key,
+                )
                 new_state = self._recompute_group(key, old_grouped, changes)
             else:
                 self.incremental_updates += 1

@@ -31,6 +31,7 @@ normalized program (Algorithm 6.1 via
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Literal as TypingLiteral, Optional, Set, Tuple
@@ -48,9 +49,12 @@ from repro.datalog.stratify import Stratification
 from repro.errors import MaintenanceError
 from repro.eval.rule_eval import EvalContext, Resolver, evaluate_rule_into
 from repro.eval.stratified import Semantics
+from repro.obs.trace import Tracer
 from repro.storage.changeset import Changeset
 from repro.storage.database import Database
 from repro.storage.relation import CountedRelation
+
+logger = logging.getLogger(__name__)
 
 #: Delta-rule evaluation strategies (equivalent; see module docstring).
 CountingMode = TypingLiteral["expansion", "factored"]
@@ -158,6 +162,7 @@ class CountingMaintenance:
         faults=None,
         undo=None,
         plan_cache=None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         if stratification.is_recursive:
             raise MaintenanceError(
@@ -176,6 +181,9 @@ class CountingMaintenance:
         #: (shadow-commit rollback); both inert when None.
         self.faults = faults
         self.undo = undo
+        #: Span tracer (see repro.obs.trace); a disabled tracer's span()
+        #: calls cost one method call each, nothing more.
+        self.tracer = tracer if tracer is not None else Tracer()
         #: Optional PlanCache shared across passes by the maintainer:
         #: compiled plans, delta-variant rewrites, and the relevance
         #: filter below are then reused instead of rebuilt per pass.
@@ -266,10 +274,12 @@ class CountingMaintenance:
 
     def run(self, changes: Changeset) -> CountingResult:
         """Execute Algorithm 4.1 and fold the deltas into the stored state."""
+        tracer = self.tracer
         started = time.perf_counter()
-        self._seed_base_deltas(changes)
-        if self.faults is not None:
-            self.faults.fire("delta_derivation")
+        with tracer.span("phase", "seed"):
+            self._seed_base_deltas(changes)
+            if self.faults is not None:
+                self.faults.fire("delta_derivation")
         seeded = time.perf_counter()
         self.stats.phase_seconds["seed"] = seeded - started
 
@@ -286,30 +296,30 @@ class CountingMaintenance:
             if not changed:
                 break  # nothing can change above this point
             pending: Dict[str, CountedRelation] = {}
-            fired = False
-            for rule in stratum_rules:
-                head = rule.head.predicate
-                if head in self.aggregate_views:
-                    delta_t = self._maintain_aggregate(head, changed)
-                    if delta_t is not None:
-                        pending.setdefault(
-                            head, CountedRelation(names.delta(head))
-                        ).merge(delta_t)
-                        fired = True
-                    continue
-                contribution = self._apply_delta_rules(rule, changed)
-                if contribution is not None:
-                    pending.setdefault(
-                        head, CountedRelation(names.delta(head))
-                    ).merge(contribution)
-                    fired = True
+            if tracer.enabled:
+                stratum_span = tracer.span(
+                    "stratum", f"stratum {stratum}", stratum=stratum,
+                    changed_predicates=len(changed),
+                )
+                with stratum_span, tracer.span("phase", "propagate"):
+                    fired = self._propagate_stratum(
+                        stratum_rules, changed, pending
+                    )
+                    stratum_span.set(
+                        delta_tuples=sum(len(d) for d in pending.values())
+                    )
+            else:
+                fired = self._propagate_stratum(
+                    stratum_rules, changed, pending
+                )
             if fired:
                 self.stats.strata_reached = stratum
             self._commit_stratum(pending)
 
         propagated = time.perf_counter()
         self.stats.phase_seconds["propagate"] = propagated - seeded
-        self._apply_to_store(changes)
+        with tracer.span("phase", "apply"):
+            self._apply_to_store(changes)
         self.stats.phase_seconds["apply"] = time.perf_counter() - propagated
         self.stats.seconds = time.perf_counter() - started
         view_deltas = {
@@ -323,6 +333,32 @@ class CountingMaintenance:
         return CountingResult(view_deltas, cascaded, self.stats)
 
     # ----------------------------------------------------------- sub-steps
+
+    def _propagate_stratum(
+        self,
+        stratum_rules,
+        changed: Set[str],
+        pending: Dict[str, CountedRelation],
+    ) -> bool:
+        """Fire every rule of one stratum into ``pending``; True if any did."""
+        fired = False
+        for rule in stratum_rules:
+            head = rule.head.predicate
+            if head in self.aggregate_views:
+                delta_t = self._maintain_aggregate(head, changed)
+                if delta_t is not None:
+                    pending.setdefault(
+                        head, CountedRelation(names.delta(head))
+                    ).merge(delta_t)
+                    fired = True
+                continue
+            contribution = self._apply_delta_rules(rule, changed)
+            if contribution is not None:
+                pending.setdefault(
+                    head, CountedRelation(names.delta(head))
+                ).merge(contribution)
+                fired = True
+        return fired
 
     def _seed_base_deltas(self, changes: Changeset) -> None:
         for name, delta in changes:
@@ -382,13 +418,38 @@ class CountingMaintenance:
         self.stats.rules_fired += 1
         out = CountedRelation(names.delta(rule.head.predicate), rule.head.arity)
         unit = self._unit_policy if self.semantics == "set" else None
+        tracer = self.tracer
+        if tracer.enabled:
+            span = tracer.span(
+                "rule", rule.head.predicate, variants=len(delta_rules),
+                tuples_in=sum(
+                    len(self._cascade_of(predicate))
+                    for predicate in changed
+                ),
+            )
+            hits0 = cache.hits if cache is not None else 0
+            misses0 = cache.misses if cache is not None else 0
+            probes0 = cache.index_probes if cache is not None else 0
+            with span:
+                self._evaluate_variants(delta_rules, out, unit, cache)
+                span.set(tuples_out=len(out))
+                if cache is not None:
+                    span.set(
+                        cache_hits=cache.hits - hits0,
+                        cache_misses=cache.misses - misses0,
+                        index_probes=cache.index_probes - probes0,
+                    )
+        else:
+            self._evaluate_variants(delta_rules, out, unit, cache)
+        self.stats.delta_tuples_computed += len(out)
+        return out if out else None
+
+    def _evaluate_variants(self, delta_rules, out, unit, cache) -> None:
         for delta_rule in delta_rules:
             resolver = self._build_resolver(delta_rule)
             ctx = EvalContext(resolver, unit_counts=unit, plan_cache=cache)
             evaluate_rule_into(delta_rule.rule, ctx, out, seed=delta_rule.seed)
             self.stats.variants_evaluated += 1
-        self.stats.delta_tuples_computed += len(out)
-        return out if out else None
 
     def _delta_position_changed(
         self, delta_rule: DeltaRule, changed: Set[str]
@@ -409,8 +470,20 @@ class CountingMaintenance:
         if grouped_pred not in changed:
             return None
         self.stats.rules_fired += 1
-        old_grouped = self._old_relation(grouped_pred)
         delta = self._cascade_of(grouped_pred)
+        if self.tracer.enabled:
+            with self.tracer.span(
+                "rule", head, aggregate=True, tuples_in=len(delta)
+            ) as span:
+                old_grouped = self._old_relation(grouped_pred)
+                delta_t = view.maintain(old_grouped, delta, undo=self.undo)
+                if self.faults is not None:
+                    self.faults.fire("aggregate_merge")
+                span.set(
+                    tuples_out=len(delta_t) if delta_t is not None else 0
+                )
+            return delta_t
+        old_grouped = self._old_relation(grouped_pred)
         delta_t = view.maintain(old_grouped, delta, undo=self.undo)
         if self.faults is not None:
             self.faults.fire("aggregate_merge")

@@ -42,6 +42,7 @@ database.
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -55,9 +56,12 @@ from repro.datalog.stratify import Stratification
 from repro.errors import MaintenanceError
 from repro.eval.rule_eval import Resolver
 from repro.eval.seminaive import seminaive
+from repro.obs.trace import Tracer
 from repro.storage.changeset import Changeset
 from repro.storage.database import Database
 from repro.storage.relation import CountedRelation
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -115,6 +119,7 @@ class DRedMaintenance:
         faults=None,
         undo=None,
         plan_cache=None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.normalized = normalized
         self.strat = stratification
@@ -142,6 +147,7 @@ class DRedMaintenance:
         #: DRed rebuilds structurally-equal δ⁻/ρ/δ⁺ rules every pass, so
         #: their compiled plans and semi-naive variant rewrites all hit.
         self.plan_cache = plan_cache
+        self.tracer = tracer if tracer is not None else Tracer()
         self.stats = DRedStats()
         #: Old versions of every relation changed so far (base and derived).
         self._old: Dict[str, CountedRelation] = {}
@@ -180,9 +186,11 @@ class DRedMaintenance:
     def run(self, changes: Changeset) -> DRedResult:
         """Execute the three DRed steps for every stratum, bottom-up."""
         started = time.perf_counter()
-        self._apply_base_changes(changes)
-        if self.faults is not None:
-            self.faults.fire("delta_derivation")
+        tracer = self.tracer
+        with tracer.span("phase", "seed"):
+            self._apply_base_changes(changes)
+            if self.faults is not None:
+                self.faults.fire("delta_derivation")
         phases = self.stats.phase_seconds
         phases["seed"] = time.perf_counter() - started
 
@@ -210,28 +218,61 @@ class DRedMaintenance:
                 stratum_preds = {
                     rule.head.predicate for rule in normal_new + normal_old
                 }
-                tick = time.perf_counter()
-                overestimate = self._step1_overestimate(
-                    normal_old, stratum_preds
-                )
-                self._prune(overestimate)
-                if self.faults is not None:
-                    self.faults.fire("rederivation")
-                tock = time.perf_counter()
-                phases["overestimate"] = (
-                    phases.get("overestimate", 0.0) + tock - tick
-                )
-                self._step2_rederive(normal_new, overestimate)
-                tick = time.perf_counter()
-                phases["rederive"] = phases.get("rederive", 0.0) + tick - tock
-                inserted = self._step3_insert(normal_new, stratum_preds)
-                if self.faults is not None:
-                    self.faults.fire("count_merge")
-                tock = time.perf_counter()
-                phases["insert"] = phases.get("insert", 0.0) + tock - tick
-                self._finalize_stratum(
-                    stratum_preds, overestimate, inserted
-                )
+                with tracer.span(
+                    "stratum", f"stratum {stratum}", stratum=stratum
+                ) as stratum_span:
+                    overestimated0 = self.stats.overestimated
+                    tick = time.perf_counter()
+                    with tracer.span("phase", "overestimate") as phase_span:
+                        overestimate = self._step1_overestimate(
+                            normal_old, stratum_preds
+                        )
+                        self._prune(overestimate)
+                        if self.faults is not None:
+                            self.faults.fire("rederivation")
+                        phase_span.set(
+                            overestimated=(
+                                self.stats.overestimated - overestimated0
+                            )
+                        )
+                    tock = time.perf_counter()
+                    phases["overestimate"] = (
+                        phases.get("overestimate", 0.0) + tock - tick
+                    )
+                    rederived0 = self.stats.rederived
+                    with tracer.span("phase", "rederive") as phase_span:
+                        self._step2_rederive(normal_new, overestimate)
+                        phase_span.set(
+                            rederived=self.stats.rederived - rederived0
+                        )
+                    tick = time.perf_counter()
+                    phases["rederive"] = (
+                        phases.get("rederive", 0.0) + tick - tock
+                    )
+                    inserted0 = self.stats.inserted
+                    with tracer.span("phase", "insert") as phase_span:
+                        inserted = self._step3_insert(
+                            normal_new, stratum_preds
+                        )
+                        if self.faults is not None:
+                            self.faults.fire("count_merge")
+                        phase_span.set(
+                            inserted=self.stats.inserted - inserted0
+                        )
+                    tock = time.perf_counter()
+                    phases["insert"] = (
+                        phases.get("insert", 0.0) + tock - tick
+                    )
+                    self._finalize_stratum(
+                        stratum_preds, overestimate, inserted
+                    )
+                    stratum_span.set(
+                        overestimated=(
+                            self.stats.overestimated - overestimated0
+                        ),
+                        rederived=self.stats.rederived - rederived0,
+                        inserted=self.stats.inserted - inserted0,
+                    )
 
         self.stats.seconds = time.perf_counter() - started
         idb = self.normalized.program.idb_predicates
@@ -338,7 +379,13 @@ class DRedMaintenance:
         }
         self.stats.rules_fired += len(delta_rules)
         resolver = Resolver(self._old_resolver(), sources)
-        seminaive(delta_rules, targets, resolver, plan_cache=self.plan_cache)
+        seminaive(
+            delta_rules,
+            targets,
+            resolver,
+            plan_cache=self.plan_cache,
+            tracer=self.tracer,
+        )
         overestimate = {
             pred: targets[names.overestimate(pred)] for pred in stratum_preds
         }
@@ -411,7 +458,11 @@ class DRedMaintenance:
         self.stats.rules_fired += len(rederive_rules)
         resolver = Resolver(self._current_resolver(), sources)
         rederived = seminaive(
-            rederive_rules, targets, resolver, plan_cache=self.plan_cache
+            rederive_rules,
+            targets,
+            resolver,
+            plan_cache=self.plan_cache,
+            tracer=self.tracer,
         )
         self.stats.rederived += sum(len(r) for r in rederived.values())
         return rederived
@@ -475,6 +526,7 @@ class DRedMaintenance:
             resolver,
             fire_round0=fire_round0,
             plan_cache=self.plan_cache,
+            tracer=self.tracer,
         )
         self.stats.inserted += sum(len(r) for r in inserted.values())
         return inserted

@@ -30,6 +30,7 @@ the stored state.  :meth:`alter` applies rule insertions/deletions
 
 from __future__ import annotations
 
+import logging
 import os
 import time
 from dataclasses import dataclass, field
@@ -48,12 +49,16 @@ from repro.errors import DivergenceError, MaintenanceError, UnknownRelationError
 from repro.eval.plan_cache import PlanCache
 from repro.eval.rule_eval import Resolver
 from repro.eval.stratified import Semantics, materialize
+from repro.obs.metrics import MetricsRegistry, get_default_registry
+from repro.obs.trace import Tracer
 from repro.resilience.faults import FaultInjector
 from repro.resilience.shadow import UndoLog
 from repro.storage.changeset import Changeset
 from repro.storage.database import Database
 from repro.storage.relation import CountedRelation
 from repro.storage.serialize import save_database
+
+logger = logging.getLogger(__name__)
 
 Strategy = TypingLiteral["auto", "counting", "dred"]
 
@@ -93,6 +98,14 @@ class LifetimeStats:
         self.passes += 1
         self.tuples_changed += report.total_changes()
         self.seconds += report.seconds
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-ready snapshot (``cli status --json``)."""
+        return {
+            "passes": self.passes,
+            "tuples_changed": self.tuples_changed,
+            "seconds": self.seconds,
+        }
 
 
 @dataclass
@@ -170,6 +183,8 @@ class ViewMaintainer:
         counting_mode: CountingMode = "expansion",
         crash_safe: bool = True,
         plan_cache: bool = True,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         check_program_safety(program)
         self.database = database
@@ -180,9 +195,17 @@ class ViewMaintainer:
         self.views: Dict[str, CountedRelation] = {}
         self.aggregate_views: Dict[str, AggregateView] = {}
         self._initialized = False
+        #: Span tracer (disabled unless constructed with a sink) and the
+        #: metrics registry every pass reports into.  See repro.obs.
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.metrics = metrics if metrics is not None else (
+            get_default_registry()
+        )
         from repro.core.active import SubscriptionHub
 
-        self._subscriptions = SubscriptionHub()
+        self._subscriptions = SubscriptionHub(
+            metrics=self.metrics, tracer=self.tracer
+        )
         #: Shadow-commit apply: when True (the default), every pass runs
         #: over an undo log and any mid-pass exception restores the
         #: pre-pass state exactly.  Disable only to benchmark the
@@ -221,6 +244,8 @@ class ViewMaintainer:
         counting_mode: CountingMode = "expansion",
         crash_safe: bool = True,
         plan_cache: bool = True,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> "ViewMaintainer":
         """Build a maintainer from Datalog source text."""
         return cls(
@@ -231,6 +256,8 @@ class ViewMaintainer:
             counting_mode=counting_mode,
             crash_safe=crash_safe,
             plan_cache=plan_cache,
+            tracer=tracer,
+            metrics=metrics,
         )
 
     def _set_program(self, normalized: NormalizedProgram) -> None:
@@ -347,17 +374,41 @@ class ViewMaintainer:
         if changes.is_empty():
             return MaintenanceReport(strategy=self.strategy, seconds=0.0)
         undo = UndoLog() if self.crash_safe else None
+        span = self.tracer.span(
+            "pass",
+            self.strategy,
+            insertions=changes.insertion_count(),
+            deletions=changes.deletion_count(),
+        )
         try:
-            report = self._run_maintenance(changes, undo)
-            self.faults.fire("journal_append")
-            if self._journal is not None:
-                self._watermark = self._journal.append(changes)
-        except BaseException:
+            with span:
+                report = self._run_maintenance(changes, undo)
+                self.faults.fire("journal_append")
+                if self._journal is not None:
+                    self._watermark = self._journal.append(changes)
+                span.set(
+                    tuples_changed=report.total_changes(),
+                    seconds=report.seconds,
+                )
+        except BaseException as exc:
             if undo is not None:
+                logger.warning(
+                    "maintenance pass failed (%s: %s); unwinding %d undo "
+                    "entries", type(exc).__name__, exc, len(undo),
+                )
                 undo.unwind()
+                self.metrics.counter(
+                    "repro_rollbacks_total",
+                    "Maintenance passes rolled back by the shadow-commit "
+                    "undo log",
+                ).inc()
+                self.tracer.event(
+                    "rollback", error=type(exc).__name__, entries=len(undo)
+                )
             raise
         self.lifetime.record(report)
         self.stats.record_pass(report, self.plan_cache)
+        self._record_metrics(report)
         self._subscriptions.notify(report.view_deltas)
         self._auto_checkpoint()
         return report
@@ -382,6 +433,86 @@ class ViewMaintainer:
         self._require_initialized()
         return self.apply(coalesce(changesets))
 
+    def _record_metrics(self, report: MaintenanceReport) -> None:
+        """Fold one committed pass into the metrics registry."""
+        metrics = self.metrics
+        metrics.counter(
+            "repro_passes_total",
+            "Maintenance passes committed",
+            labels=("strategy",),
+        ).inc(strategy=report.strategy)
+        metrics.histogram(
+            "repro_pass_seconds",
+            "Wall time of one maintenance pass",
+            labels=("strategy",),
+        ).observe(report.seconds, strategy=report.strategy)
+        metrics.counter(
+            "repro_view_tuples_changed_total",
+            "Distinct view tuples inserted or deleted by maintenance",
+        ).inc(report.total_changes())
+        inner = report.counting.stats if report.counting else (
+            report.dred.stats if report.dred else None
+        )
+        if inner is not None:
+            metrics.counter(
+                "repro_rules_fired_total",
+                "Delta/DRed rules fired by maintenance passes",
+            ).inc(inner.rules_fired)
+            phase_counter = metrics.counter(
+                "repro_phase_seconds_total",
+                "Cumulative wall seconds per maintenance phase",
+                labels=("phase",),
+            )
+            for phase, seconds in inner.phase_seconds.items():
+                phase_counter.inc(seconds, phase=phase)
+        if report.dred is not None:
+            stats = report.dred.stats
+            metrics.counter(
+                "repro_dred_overestimated_total",
+                "Tuples in DRed deletion overestimates",
+            ).inc(stats.overestimated)
+            metrics.counter(
+                "repro_dred_rederived_total",
+                "Overestimated tuples DRed rederived",
+            ).inc(stats.rederived)
+            metrics.gauge(
+                "repro_dred_overestimate_waste_ratio",
+                "Last pass's |overestimate| / |actual deletions| "
+                "(1.0 = no overshoot)",
+            ).set(stats.overdeletion_ratio)
+        cache = self.plan_cache
+        if cache is not None:
+            metrics.gauge(
+                "repro_plan_cache_hits",
+                "Lifetime plan-cache hits of this process's maintainers",
+            ).set(cache.hits)
+            metrics.gauge(
+                "repro_plan_cache_misses",
+                "Lifetime plan-cache misses",
+            ).set(cache.misses)
+            metrics.gauge(
+                "repro_plan_cache_size", "Entries in the plan cache"
+            ).set(len(cache))
+            metrics.gauge(
+                "repro_plan_cache_hit_ratio",
+                "Lifetime plan-cache hit ratio",
+            ).set(cache.hit_rate())
+            metrics.gauge(
+                "repro_index_probes", "Indexed lookups executed by plans"
+            ).set(cache.index_probes)
+        if self.aggregate_views:
+            metrics.gauge(
+                "repro_aggregate_incremental_updates",
+                "Aggregate groups maintained incrementally (lifetime)",
+            ).set(
+                sum(v.incremental_updates for v in self.aggregate_views.values())
+            )
+            metrics.gauge(
+                "repro_aggregate_recomputes",
+                "Aggregate groups that needed the recompute fallback "
+                "(lifetime)",
+            ).set(sum(v.recomputes for v in self.aggregate_views.values()))
+
     def _run_maintenance(
         self, changes: Changeset, undo: Optional[UndoLog] = None
     ) -> MaintenanceReport:
@@ -400,6 +531,7 @@ class ViewMaintainer:
                 faults=self.faults,
                 undo=undo,
                 plan_cache=self.plan_cache,
+                tracer=self.tracer,
             )
             result = run.run(changes)
             deltas = {
@@ -422,6 +554,7 @@ class ViewMaintainer:
             faults=self.faults,
             undo=undo,
             plan_cache=self.plan_cache,
+            tracer=self.tracer,
         )
         result = run.run(changes)
         deltas = {
@@ -655,6 +788,7 @@ class ViewMaintainer:
                 "snapshot_path=...)"
             )
         watermark = len(self._journal)
+        started = time.perf_counter()
         save_database(
             self.database,
             self._snapshot_path,
@@ -663,6 +797,15 @@ class ViewMaintainer:
         )
         self._journal.prune(watermark)
         self._entries_since_checkpoint = 0
+        self.metrics.counter(
+            "repro_checkpoints_total", "Snapshot checkpoints written"
+        ).inc()
+        self.metrics.histogram(
+            "repro_checkpoint_seconds",
+            "Wall time of one checkpoint (snapshot write + prune)",
+        ).observe(time.perf_counter() - started)
+        self.tracer.event("checkpoint", watermark=watermark)
+        logger.info("checkpoint written at watermark %d", watermark)
         return watermark
 
     def _auto_checkpoint(self) -> None:
@@ -677,6 +820,14 @@ class ViewMaintainer:
             # The pass already committed; a checkpoint failure must not
             # fail it retroactively.  Record and retry next pass.
             self.checkpoint_errors.append(exc)
+            logger.warning(
+                "auto-checkpoint failed (%s: %s); will retry next pass",
+                type(exc).__name__, exc,
+            )
+            self.metrics.counter(
+                "repro_checkpoint_errors_total",
+                "Auto-checkpoints that failed (pass stayed committed)",
+            ).inc()
 
     # ----------------------------------------------------------- subscriptions
 
@@ -718,6 +869,18 @@ class ViewMaintainer:
         from repro.core.provenance import derivation_tree
 
         return derivation_tree(self, view, row, max_depth)
+
+    def explain(self, view: str, row, max_depth: int = 6) -> str:
+        """The ``explain`` report: support tree + Theorem 4.1 count check.
+
+        Expands *every* immediate derivation (unlike :meth:`explain_tree`,
+        which picks one witness) and cross-checks the stored derivation
+        count.  See :mod:`repro.obs.explain`.
+        """
+        self._require_initialized()
+        from repro.obs.explain import explain_report
+
+        return explain_report(self, view, row, max_depth=max_depth)
 
     def delta_program(self) -> str:
         """The factored delta rules (Definition 4.1) for every view.

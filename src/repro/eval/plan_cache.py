@@ -38,6 +38,7 @@ time; the order stays safe regardless of later growth).
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
@@ -45,6 +46,8 @@ from repro.datalog.ast import Literal, Rule, Subgoal
 from repro.datalog.safety import directly_bound_variables
 from repro.datalog.terms import Term
 from repro.eval.rule_eval import EvalContext, _key_spec, plan_body
+
+logger = logging.getLogger(__name__)
 
 #: One positive literal's (positions, terms) index key spec.
 KeySpec = Tuple[Tuple[int, ...], Tuple[Term, ...]]
@@ -270,6 +273,8 @@ class PlanCache:
         self._variants.clear()
         self._relevance.clear()
         self.invalidations += dropped
+        if dropped:
+            logger.debug("plan cache invalidated: %d entries dropped", dropped)
         return dropped
 
     def __len__(self) -> int:

@@ -22,11 +22,14 @@ the delta is usually the most restrictive subgoal).
 
 from __future__ import annotations
 
+import logging
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.datalog.ast import Literal, Rule
 from repro.eval.rule_eval import EvalContext, Resolver, evaluate_rule, solutions
 from repro.storage.relation import CountedRelation
+
+logger = logging.getLogger(__name__)
 
 #: Namespace prefix for the per-round delta relations.
 DELTA_PREFIX = "Δ⟲:"
@@ -63,6 +66,7 @@ def seminaive(
     max_rounds: Optional[int] = None,
     fire_round0: Optional[Sequence[bool]] = None,
     plan_cache=None,
+    tracer=None,
 ) -> Dict[str, CountedRelation]:
     """Run the differential fixpoint; mutate ``targets`` in place.
 
@@ -85,10 +89,15 @@ def seminaive(
     one-delta-subgoal variant rewrites are then compiled once and reused
     across rounds *and* across maintenance passes (DRed rebuilds
     structurally-equal rules each pass, which hit the same entries).
+
+    ``tracer`` — an optional :class:`~repro.obs.trace.Tracer`; when
+    enabled, each rule evaluation is wrapped in a ``rule`` span carrying
+    the fixpoint round and the number of rows it contributed.
     """
     resolver = Resolver(base, dict(targets))
     ctx = EvalContext(resolver, unit_counts=_unit, plan_cache=plan_cache)
     target_names = frozenset(targets)
+    traced = tracer is not None and tracer.enabled
 
     added: Dict[str, CountedRelation] = {
         name: CountedRelation(f"added({name})", relation.arity)
@@ -103,7 +112,12 @@ def seminaive(
         if fire_round0 is not None and not fire_round0[index]:
             continue
         head = rule.head.predicate
-        derived = evaluate_rule(rule, ctx)
+        if traced:
+            with tracer.span("rule", head, round=0) as span:
+                derived = evaluate_rule(rule, ctx)
+                span.set(tuples_out=len(derived))
+        else:
+            derived = evaluate_rule(rule, ctx)
         for row in derived.rows():
             if not targets[head].contains_positive(row):
                 last_delta[head].set_count(row, 1)
@@ -133,9 +147,16 @@ def seminaive(
             else:
                 variants = _delta_variants(rule, targets)
             for variant, seed in variants:
-                derived = evaluate_rule(variant, round_ctx, seed=seed)
+                if traced:
+                    with tracer.span("rule", head, round=rounds) as span:
+                        derived = evaluate_rule(variant, round_ctx, seed=seed)
+                        span.set(tuples_out=len(derived))
+                else:
+                    derived = evaluate_rule(variant, round_ctx, seed=seed)
                 for row in derived.rows():
                     if not targets[head].contains_positive(row):
                         next_delta[head].set_count(row, 1)
         last_delta = next_delta
+    if traced:
+        tracer.event("seminaive_fixpoint", rounds=rounds, rules=len(rules))
     return added

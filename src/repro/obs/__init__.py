@@ -1,0 +1,77 @@
+"""repro.obs — maintenance telemetry: tracing, metrics, logging, explain.
+
+The observability layer of the engine, zero-dependency and inert until
+switched on:
+
+* :mod:`repro.obs.trace` — span tracer (pass → stratum → phase → rule)
+  with ring-buffer / JSONL / no-op sinks;
+* :mod:`repro.obs.metrics` — counter/gauge/histogram registry with
+  Prometheus text exposition and JSON snapshots;
+* :mod:`repro.obs.logconfig` — one-call logging setup for every
+  ``repro`` module logger (text or JSON lines);
+* :mod:`repro.obs.explain` — support trees for view tuples and
+  flame-style replays of traced passes;
+* :mod:`repro.obs.schema` — validators for the JSONL trace schema and
+  the Prometheus exposition format (tests + ``make obs-smoke``).
+
+See ``docs/observability.md`` for the metric catalog and a walkthrough.
+"""
+
+from repro.obs.explain import (
+    explain_report,
+    pass_tree,
+    render_pass,
+    render_support,
+    rule_totals,
+    support_tree,
+)
+from repro.obs.logconfig import JsonLogFormatter, configure_logging
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_default_registry,
+    set_default_registry,
+)
+from repro.obs.schema import (
+    span_tree_paths,
+    validate_prometheus,
+    validate_trace_events,
+    validate_trace_jsonl,
+)
+from repro.obs.trace import (
+    JsonlSink,
+    NullSink,
+    RingSink,
+    Span,
+    TeeSink,
+    Tracer,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonLogFormatter",
+    "JsonlSink",
+    "MetricsRegistry",
+    "NullSink",
+    "RingSink",
+    "Span",
+    "TeeSink",
+    "Tracer",
+    "configure_logging",
+    "explain_report",
+    "get_default_registry",
+    "pass_tree",
+    "render_pass",
+    "render_support",
+    "rule_totals",
+    "set_default_registry",
+    "span_tree_paths",
+    "support_tree",
+    "validate_prometheus",
+    "validate_trace_events",
+    "validate_trace_jsonl",
+]

@@ -1,0 +1,280 @@
+"""``explain`` tooling: support trees for view tuples, flame views of passes.
+
+Two complementary "why" questions a maintainer gets asked:
+
+* **Why is this tuple in the view?** — :func:`support_tree` walks the
+  stored counts and derivations (:mod:`repro.core.provenance`) and
+  builds the tuple's support tree: which rules produced it, from which
+  base/derived tuples, with multiplicities.  Under the counting
+  algorithm's per-stratum scheme (Theorem 4.1 / §5.1) the number of
+  immediate derivations equals the stored count — the report
+  cross-checks the two and flags any mismatch.
+
+* **Why was that pass slow?** — :func:`pass_tree` replays a recent
+  pass's trace events (from a :class:`~repro.obs.trace.RingSink` or a
+  JSONL log) into the span tree, and :func:`render_pass` prints it
+  flame-style — per-stratum, per-phase, per-rule wall time and tuple
+  counts, plus an aggregated per-rule table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import UnknownRelationError
+
+__all__ = [
+    "SupportNode",
+    "support_tree",
+    "render_support",
+    "explain_report",
+    "pass_tree",
+    "render_pass",
+    "rule_totals",
+]
+
+
+# --------------------------------------------------------------- support tree
+
+
+@dataclass
+class SupportNode:
+    """One atom in a support tree, with its derivations one level down."""
+
+    predicate: str
+    row: tuple
+    stored_count: int
+    is_base: bool
+    #: One entry per immediate derivation: (rule text, child nodes).
+    derivations: List[Tuple[str, List["SupportNode"]]] = field(
+        default_factory=list
+    )
+    truncated: bool = False
+
+    @property
+    def derivation_count(self) -> int:
+        return len(self.derivations)
+
+
+def support_tree(
+    maintainer, view: str, row, max_depth: int = 6
+) -> SupportNode:
+    """The support tree of ``view(row)`` in the current state.
+
+    Expands every immediate derivation (not just one witness, unlike
+    ``explain_tree``), recursively down to base facts or ``max_depth``.
+    Raises :class:`~repro.errors.UnknownRelationError` for names that
+    are neither views nor base relations.
+    """
+    from repro.core.provenance import immediate_derivations
+
+    row = tuple(row)
+    program = maintainer.normalized.program
+
+    def build(predicate: str, atom_row: tuple, depth: int) -> SupportNode:
+        if predicate not in program.idb_predicates:
+            relation = maintainer.database.get(predicate)
+            count = relation.count(atom_row) if relation is not None else 0
+            return SupportNode(predicate, atom_row, count, is_base=True)
+        stored = maintainer.views.get(predicate)
+        count = stored.count(atom_row) if stored is not None else 0
+        node = SupportNode(predicate, atom_row, count, is_base=False)
+        if depth <= 0:
+            node.truncated = True
+            return node
+        for derivation in immediate_derivations(
+            maintainer, predicate, atom_row
+        ):
+            children = [
+                build(body_pred, body_row, depth - 1)
+                for body_pred, body_row in derivation.body
+                if not body_pred.endswith("/groups")
+            ]
+            node.derivations.append((str(derivation.rule), children))
+        return node
+
+    if (
+        view not in program.idb_predicates
+        and maintainer.database.get(view) is None
+    ):
+        raise UnknownRelationError(f"no view or base relation named {view}")
+    return build(view, row, max_depth)
+
+
+def render_support(node: SupportNode, indent: int = 0) -> str:
+    """Human-readable rendering of a support tree."""
+    pad = "  " * indent
+    label = f"{node.predicate}{node.row}"
+    if node.is_base:
+        suffix = f"  ×{node.stored_count}  (base fact)"
+        if node.stored_count == 0:
+            suffix = "  (NOT PRESENT in base relation)"
+        return f"{pad}{label}{suffix}"
+    lines = [
+        f"{pad}{label}  stored count = {node.stored_count}, "
+        f"immediate derivations = {node.derivation_count}"
+    ]
+    if node.truncated:
+        lines.append(f"{pad}  … (depth limit reached)")
+        return "\n".join(lines)
+    for index, (rule_text, children) in enumerate(node.derivations, start=1):
+        lines.append(f"{pad}  derivation {index}: {rule_text}")
+        for child in children:
+            lines.append(render_support(child, indent + 2))
+    return "\n".join(lines)
+
+
+def explain_report(maintainer, view: str, row, max_depth: int = 6) -> str:
+    """The full ``explain`` text for one view tuple.
+
+    Support tree plus the Theorem 4.1 cross-check: under counting, the
+    stored count must equal the number of immediate derivations.
+    """
+    node = support_tree(maintainer, view, row, max_depth=max_depth)
+    lines = [render_support(node)]
+    if node.is_base:
+        return lines[0]
+    if node.stored_count == 0 and not node.derivations:
+        lines.append(f"{view}{tuple(row)} is not in the view.")
+    elif maintainer.strategy == "counting":
+        if node.stored_count == node.derivation_count:
+            lines.append(
+                f"count check: stored count {node.stored_count} == "
+                f"{node.derivation_count} immediate derivation(s) ✔ "
+                f"(Theorem 4.1)"
+            )
+        else:
+            lines.append(
+                f"count check: stored count {node.stored_count} != "
+                f"{node.derivation_count} immediate derivation(s) ✘ "
+                f"— run 'check' / heal()"
+            )
+    else:
+        lines.append(
+            f"set semantics (DRed): tuple present with "
+            f"{node.derivation_count} immediate derivation(s)"
+        )
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------- pass replay
+
+
+@dataclass
+class PassSpan:
+    """One reconstructed span of a traced pass."""
+
+    kind: str
+    name: str
+    span_id: int
+    seconds: float
+    attrs: dict
+    ts: float = 0.0
+    children: List["PassSpan"] = field(default_factory=list)
+
+
+def pass_tree(
+    events: Iterable[dict], index: int = -1
+) -> Optional[PassSpan]:
+    """Reconstruct the ``index``-th pass span tree from trace events.
+
+    ``events`` is any iterable of trace event dicts (a RingSink's
+    buffer, parsed JSONL lines…).  ``index`` selects among the pass
+    spans present, Python-style (-1 = most recent).  Returns ``None``
+    when no pass span exists in the window.
+    """
+    events = [e for e in events if isinstance(e, dict) and "id" in e]
+    passes = [e for e in events if e.get("kind") == "pass"]
+    if not passes:
+        return None
+    try:
+        root_event = passes[index]
+    except IndexError:
+        return None
+    by_parent: Dict[Optional[int], List[dict]] = {}
+    for event in events:
+        by_parent.setdefault(event.get("parent"), []).append(event)
+
+    def build(event: dict) -> PassSpan:
+        span = PassSpan(
+            kind=event["kind"],
+            name=event["name"],
+            span_id=event["id"],
+            seconds=float(event.get("seconds", 0.0)),
+            attrs=dict(event.get("attrs", {})),
+            ts=float(event.get("ts", 0.0)),
+        )
+        for child in by_parent.get(event["id"], []):
+            span.children.append(build(child))
+        # Spans are emitted on close (children before parents); restore
+        # execution order by start timestamp.
+        span.children.sort(key=lambda s: s.ts)
+        return span
+
+    return build(root_event)
+
+
+def _attr_text(attrs: dict) -> str:
+    shown = {
+        k: v for k, v in attrs.items() if not k.startswith("_") and k != "error"
+    }
+    if not shown:
+        return ""
+    cells = " ".join(f"{k}={v}" for k, v in sorted(shown.items()))
+    return f"  [{cells}]"
+
+
+def render_pass(tree: Optional[PassSpan]) -> str:
+    """Flame-style text rendering of one pass's span tree + rule table."""
+    if tree is None:
+        return "no traced pass in the buffer (is tracing enabled?)"
+    total = tree.seconds or 1e-12
+    lines: List[str] = []
+
+    def walk(span: PassSpan, depth: int) -> None:
+        pad = "  " * depth
+        share = span.seconds / total
+        bar = "█" * max(1, round(share * 20)) if span.seconds else ""
+        lines.append(
+            f"{pad}{span.kind} {span.name}  "
+            f"{span.seconds * 1e3:.3f}ms ({share:.0%}) {bar}"
+            f"{_attr_text(span.attrs)}"
+        )
+        for child in span.children:
+            walk(child, depth + 1)
+
+    walk(tree, 0)
+    totals = rule_totals([tree])
+    if totals:
+        lines.append("")
+        lines.append("per-rule totals (this pass):")
+        width = max(len(name) for name in totals)
+        for name, agg in sorted(
+            totals.items(), key=lambda item: -item[1]["seconds"]
+        ):
+            lines.append(
+                f"  {name.ljust(width)}  {agg['seconds'] * 1e3:9.3f}ms  "
+                f"fires={agg['fires']}  tuples_out={agg['tuples_out']}"
+            )
+    return "\n".join(lines)
+
+
+def rule_totals(trees: Iterable[PassSpan]) -> Dict[str, dict]:
+    """Aggregate rule spans by name: seconds, fire count, tuples out."""
+    totals: Dict[str, dict] = {}
+    stack = list(trees)
+    while stack:
+        span = stack.pop()
+        stack.extend(span.children)
+        if span.kind != "rule":
+            continue
+        agg = totals.setdefault(
+            span.name, {"seconds": 0.0, "fires": 0, "tuples_out": 0}
+        )
+        agg["seconds"] += span.seconds
+        agg["fires"] += 1
+        out = span.attrs.get("tuples_out")
+        if isinstance(out, (int, float)):
+            agg["tuples_out"] += int(out)
+    return totals

@@ -1,0 +1,70 @@
+"""One-stop logging configuration for every ``repro`` module logger.
+
+Each engine module owns a standard ``logging.getLogger(__name__)``;
+this module configures the shared ``repro`` parent once:
+
+    from repro.obs import configure_logging
+    configure_logging(level="DEBUG")            # human-readable lines
+    configure_logging(level="INFO", json_mode=True)   # one JSON obj/line
+
+Calling it again reconfigures (the previously installed handler is
+replaced, never stacked), so interactive sessions can flip levels or
+formats freely.  Libraries embedding repro that already configure the
+root logger can simply not call this — module loggers propagate as
+usual.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import IO, Optional
+
+__all__ = ["configure_logging", "JsonLogFormatter"]
+
+TEXT_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+#: Marker attribute so reconfiguration replaces only our own handler.
+_HANDLER_TAG = "_repro_obs_handler"
+
+
+class JsonLogFormatter(logging.Formatter):
+    """Structured log lines: one JSON object per record."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exception"] = self.formatException(record.exc_info)
+        return json.dumps(payload, separators=(",", ":"))
+
+
+def configure_logging(
+    level: str = "INFO",
+    json_mode: bool = False,
+    stream: Optional[IO[str]] = None,
+) -> logging.Logger:
+    """Install (or replace) the handler on the ``repro`` parent logger.
+
+    ``level`` is a standard logging level name; ``json_mode=True``
+    switches to one-JSON-object-per-line output; ``stream`` defaults to
+    stderr.  Returns the configured logger.
+    """
+    logger = logging.getLogger("repro")
+    logger.setLevel(level.upper() if isinstance(level, str) else level)
+    for handler in list(logger.handlers):
+        if getattr(handler, _HANDLER_TAG, False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    setattr(handler, _HANDLER_TAG, True)
+    handler.setFormatter(
+        JsonLogFormatter() if json_mode else logging.Formatter(TEXT_FORMAT)
+    )
+    logger.addHandler(handler)
+    return logger

@@ -1,0 +1,372 @@
+"""Metrics registry: counters, gauges, and histograms for maintenance.
+
+The engine's perf counters used to live scattered across
+``MaintenanceStats``, ``PlanCache``, and per-pass stats blobs; this
+module gives them one process-wide home with two export formats:
+
+* :meth:`MetricsRegistry.to_prometheus` — the Prometheus text
+  exposition format (version 0.0.4), ready to serve from a
+  ``/metrics`` endpoint or scrape from a file;
+* :meth:`MetricsRegistry.snapshot` — a JSON-ready dict, embedded in
+  ``BENCH_*.json`` outputs and printed by ``cli metrics --json``.
+
+Zero dependencies, and deliberately small: three metric kinds, label
+support, and get-or-create registration so instrumentation points can
+re-declare the same metric without coordination.  A process-wide default
+registry (:func:`get_default_registry`) is what the engine's hooks feed
+unless a caller supplies its own (tests do, to observe in isolation).
+
+The metric catalog the engine emits is documented in
+``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricsRegistry",
+    "get_default_registry",
+    "set_default_registry",
+]
+
+#: Legal metric / label names (Prometheus data model).
+_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+_LABEL_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*\Z")
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_number(value: float) -> str:
+    """A Prometheus-legal sample value (plain float text, +Inf aware)."""
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class Metric:
+    """Base class: one named family with zero or more label dimensions."""
+
+    kind = "untyped"
+
+    def __init__(
+        self, name: str, help: str = "", label_names: Sequence[str] = ()
+    ) -> None:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for label in label_names:
+            if not _LABEL_RE.match(label) or label.startswith("__"):
+                raise ValueError(f"invalid label name {label!r}")
+        self.name = name
+        self.help = help
+        self.label_names: Tuple[str, ...] = tuple(label_names)
+        self._values: Dict[Tuple[str, ...], float] = {}
+
+    def _key(self, labels: Dict[str, object]) -> Tuple[str, ...]:
+        if set(labels) != set(self.label_names):
+            raise ValueError(
+                f"metric {self.name} takes labels {self.label_names}, "
+                f"got {tuple(sorted(labels))}"
+            )
+        return tuple(str(labels[name]) for name in self.label_names)
+
+    def _label_text(self, key: Tuple[str, ...]) -> str:
+        if not self.label_names:
+            return ""
+        pairs = ", ".join(
+            f'{name}="{_escape_label_value(value)}"'
+            for name, value in zip(self.label_names, key)
+        )
+        return "{" + pairs + "}"
+
+    # ------------------------------------------------------------- reading
+
+    def value(self, **labels: object) -> float:
+        """The current value for one label combination (0.0 if unseen)."""
+        return self._values.get(self._key(labels), 0.0)
+
+    def samples(self) -> List[Tuple[Tuple[str, ...], float]]:
+        """All (label values, value) pairs, in stable sorted order."""
+        return sorted(self._values.items())
+
+    # ------------------------------------------------------------- export
+
+    def exposition_lines(self) -> List[str]:
+        lines = []
+        for key, value in self.samples():
+            lines.append(
+                f"{self.name}{self._label_text(key)} {_format_number(value)}"
+            )
+        return lines
+
+    def snapshot_values(self) -> List[dict]:
+        return [
+            {
+                "labels": dict(zip(self.label_names, key)),
+                "value": value,
+            }
+            for key, value in self.samples()
+        ]
+
+
+class Counter(Metric):
+    """A monotonically increasing count (``_total`` names by convention)."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if amount < 0:
+            raise ValueError(
+                f"counter {self.name} cannot decrease (inc by {amount})"
+            )
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+
+class Gauge(Metric):
+    """A value that can go up and down (sizes, ratios, watermarks)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels: object) -> None:
+        self._values[self._key(labels)] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        key = self._key(labels)
+        self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        self.inc(-amount, **labels)
+
+
+#: Default latency buckets: 100µs .. 10s, roughly log-spaced — sized for
+#: maintenance passes that should track the (small) change, not the db.
+DEFAULT_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Histogram(Metric):
+    """Cumulative-bucket histogram (Prometheus semantics)."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        label_names: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        super().__init__(name, help, label_names)
+        bounds = tuple(sorted(buckets if buckets is not None else DEFAULT_BUCKETS))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.bounds: Tuple[float, ...] = bounds
+        # per label key: [per-bound counts..., +Inf count], sum, count
+        self._series: Dict[Tuple[str, ...], List[float]] = {}
+        self._sums: Dict[Tuple[str, ...], float] = {}
+        self._counts: Dict[Tuple[str, ...], int] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = self._key(labels)
+        series = self._series.get(key)
+        if series is None:
+            series = [0.0] * (len(self.bounds) + 1)
+            self._series[key] = series
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                series[index] += 1
+        series[-1] += 1  # +Inf
+        self._sums[key] = self._sums.get(key, 0.0) + value
+        self._counts[key] = self._counts.get(key, 0) + 1
+
+    def count(self, **labels: object) -> int:
+        return self._counts.get(self._key(labels), 0)
+
+    def sum(self, **labels: object) -> float:
+        return self._sums.get(self._key(labels), 0.0)
+
+    def samples(self) -> List[Tuple[Tuple[str, ...], float]]:
+        return sorted((key, self._sums[key]) for key in self._series)
+
+    def exposition_lines(self) -> List[str]:
+        lines = []
+        for key in sorted(self._series):
+            series = self._series[key]
+            for bound, cumulative in zip(self.bounds, series):
+                labels = dict(zip(self.label_names, key))
+                labels["le"] = _format_number(bound)
+                pairs = ", ".join(
+                    f'{n}="{_escape_label_value(str(v))}"'
+                    for n, v in labels.items()
+                )
+                lines.append(
+                    f"{self.name}_bucket{{{pairs}}} "
+                    f"{_format_number(cumulative)}"
+                )
+            labels = dict(zip(self.label_names, key))
+            labels["le"] = "+Inf"
+            pairs = ", ".join(
+                f'{n}="{_escape_label_value(str(v))}"'
+                for n, v in labels.items()
+            )
+            lines.append(
+                f"{self.name}_bucket{{{pairs}}} {_format_number(series[-1])}"
+            )
+            suffix = self._label_text(key)
+            lines.append(
+                f"{self.name}_sum{suffix} {_format_number(self._sums[key])}"
+            )
+            lines.append(
+                f"{self.name}_count{suffix} "
+                f"{_format_number(float(self._counts[key]))}"
+            )
+        return lines
+
+    def snapshot_values(self) -> List[dict]:
+        out = []
+        for key in sorted(self._series):
+            series = self._series[key]
+            out.append(
+                {
+                    "labels": dict(zip(self.label_names, key)),
+                    "count": self._counts[key],
+                    "sum": self._sums[key],
+                    "buckets": {
+                        _format_number(bound): series[index]
+                        for index, bound in enumerate(self.bounds)
+                    },
+                }
+            )
+        return out
+
+
+class MetricsRegistry:
+    """A named collection of metrics with get-or-create registration.
+
+    Registration is idempotent: asking for an existing name returns the
+    existing metric, provided kind and label names agree (a mismatch is
+    a programming error and raises).  Thread-safe at the registration
+    level; individual updates are plain dict ops (GIL-atomic enough for
+    the engine's single-writer passes).
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(
+        self, cls, name: str, help: str, label_names: Sequence[str], **extra
+    ) -> Metric:
+        with self._lock:
+            found = self._metrics.get(name)
+            if found is not None:
+                if type(found) is not cls or found.label_names != tuple(
+                    label_names
+                ):
+                    raise ValueError(
+                        f"metric {name} already registered as "
+                        f"{found.kind}{found.label_names}"
+                    )
+                return found
+            metric = cls(name, help, label_names, **extra)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(
+        self, name: str, help: str = "", labels: Sequence[str] = ()
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(
+        self, name: str, help: str = "", labels: Sequence[str] = ()
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        buckets: Optional[Sequence[float]] = None,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help, labels, buckets=buckets
+        )
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def __iter__(self):
+        return iter(sorted(self._metrics.values(), key=lambda m: m.name))
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    # -------------------------------------------------------------- export
+
+    def to_prometheus(self) -> str:
+        """The registry in Prometheus text exposition format 0.0.4."""
+        lines: List[str] = []
+        for metric in self:
+            if metric.help:
+                escaped = metric.help.replace("\\", "\\\\").replace(
+                    "\n", "\\n"
+                )
+                lines.append(f"# HELP {metric.name} {escaped}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            lines.extend(metric.exposition_lines())
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def snapshot(self) -> Dict[str, dict]:
+        """A JSON-ready dict of every metric's current values."""
+        return {
+            metric.name: {
+                "kind": metric.kind,
+                "help": metric.help,
+                "values": metric.snapshot_values(),
+            }
+            for metric in self
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def reset(self) -> None:
+        """Drop every registered metric (tests / fresh sessions)."""
+        with self._lock:
+            self._metrics.clear()
+
+
+_default_registry = MetricsRegistry()
+
+
+def get_default_registry() -> MetricsRegistry:
+    """The process-wide registry the engine's hooks feed by default."""
+    return _default_registry
+
+
+def set_default_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide default (tests); returns the previous one."""
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous

@@ -1,0 +1,216 @@
+"""Validators for the telemetry wire formats.
+
+Shared by the test suite and ``make obs-smoke``: one validator for the
+JSONL trace-event schema (:mod:`repro.obs.trace`), one for Prometheus
+text exposition output (:meth:`repro.obs.metrics.MetricsRegistry.to_prometheus`).
+Each returns a list of problem strings — empty means valid — so callers
+can assert emptiness and print every violation at once.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, Iterable, List, Optional
+
+from repro.obs.trace import SPAN_KINDS
+
+__all__ = [
+    "validate_trace_events",
+    "validate_trace_jsonl",
+    "validate_prometheus",
+    "span_tree_paths",
+]
+
+_REQUIRED_KEYS = {
+    "ts": (int, float),
+    "kind": str,
+    "name": str,
+    "id": int,
+    "seconds": (int, float),
+    "attrs": dict,
+}
+
+_METRIC_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
+_SAMPLE_LINE = re.compile(
+    r"(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r"\s+(?P<value>[^\s]+)"
+    r"(\s+(?P<timestamp>-?\d+))?\s*\Z"
+)
+_LABEL_PAIR = re.compile(
+    r'\s*(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)\s*=\s*"(?P<value>(\\.|[^"\\])*)"\s*'
+)
+
+
+def validate_trace_events(events: Iterable[dict]) -> List[str]:
+    """Structural problems in a sequence of trace event dicts."""
+    problems: List[str] = []
+    seen_ids: Dict[int, dict] = {}
+    events = list(events)
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {index}: not an object")
+            continue
+        for key, types in _REQUIRED_KEYS.items():
+            if key not in event:
+                problems.append(f"event {index}: missing key {key!r}")
+            elif not isinstance(event[key], types):
+                problems.append(
+                    f"event {index}: key {key!r} has type "
+                    f"{type(event[key]).__name__}"
+                )
+        if "parent" not in event:
+            problems.append(f"event {index}: missing key 'parent'")
+        elif event["parent"] is not None and not isinstance(
+            event["parent"], int
+        ):
+            problems.append(f"event {index}: 'parent' must be int or null")
+        kind = event.get("kind")
+        if isinstance(kind, str) and kind not in SPAN_KINDS:
+            problems.append(f"event {index}: unknown kind {kind!r}")
+        if isinstance(event.get("seconds"), (int, float)) and (
+            event["seconds"] < 0
+        ):
+            problems.append(f"event {index}: negative duration")
+        span_id = event.get("id")
+        if isinstance(span_id, int):
+            if span_id in seen_ids:
+                problems.append(f"event {index}: duplicate span id {span_id}")
+            seen_ids[span_id] = event
+    # Every parent reference must resolve to an emitted span.
+    for index, event in enumerate(events):
+        parent = event.get("parent") if isinstance(event, dict) else None
+        if parent is not None and parent not in seen_ids:
+            problems.append(
+                f"event {index}: parent {parent} never emitted"
+            )
+    return problems
+
+
+def validate_trace_jsonl(text: str) -> List[str]:
+    """Validate a JSONL trace log: parse every line, then the events."""
+    problems: List[str] = []
+    events: List[dict] = []
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            problems.append(f"line {line_number}: invalid JSON ({exc})")
+    problems.extend(validate_trace_events(events))
+    return problems
+
+
+def span_tree_paths(events: Iterable[dict]) -> List[List[str]]:
+    """Root-to-leaf kind paths of the span forest (tree well-formedness).
+
+    Used to assert the acceptance shape: a traced pass must contain a
+    ``['pass', 'stratum', 'phase', 'rule']`` path.
+    """
+    events = [e for e in events if isinstance(e, dict) and "id" in e]
+    children: Dict[Optional[int], List[dict]] = {}
+    ids = {event["id"] for event in events}
+    for event in events:
+        parent = event.get("parent")
+        key = parent if parent in ids else None
+        children.setdefault(key, []).append(event)
+    paths: List[List[str]] = []
+
+    def walk(event: dict, prefix: List[str]) -> None:
+        path = prefix + [event["kind"]]
+        kids = children.get(event["id"], [])
+        if not kids:
+            paths.append(path)
+            return
+        for kid in kids:
+            walk(kid, path)
+
+    for root in children.get(None, []):
+        walk(root, [])
+    return paths
+
+
+def validate_prometheus(text: str) -> List[str]:
+    """Problems in a Prometheus text-exposition document (format 0.0.4)."""
+    problems: List[str] = []
+    typed: Dict[str, str] = {}
+    seen_samples: set = set()
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) < 4:
+                problems.append(f"line {line_number}: malformed TYPE line")
+                continue
+            _, _, name, kind = parts
+            if not _METRIC_NAME.match(name):
+                problems.append(
+                    f"line {line_number}: invalid metric name {name!r}"
+                )
+            if kind not in (
+                "counter", "gauge", "histogram", "summary", "untyped"
+            ):
+                problems.append(
+                    f"line {line_number}: invalid metric type {kind!r}"
+                )
+            if name in typed:
+                problems.append(
+                    f"line {line_number}: duplicate TYPE for {name}"
+                )
+            typed[name] = kind
+            continue
+        if line.startswith("#"):
+            continue  # HELP / comments
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            problems.append(f"line {line_number}: unparseable sample line")
+            continue
+        name = match.group("name")
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[: -len(suffix)] in typed:
+                base = name[: -len(suffix)]
+                break
+        if base not in typed:
+            problems.append(
+                f"line {line_number}: sample {name} precedes its TYPE line"
+            )
+        label_blob = match.group("labels")
+        if label_blob:
+            inner = label_blob[1:-1].strip()
+            position = 0
+            while position < len(inner):
+                pair = _LABEL_PAIR.match(inner, position)
+                if pair is None:
+                    problems.append(
+                        f"line {line_number}: malformed label pair in "
+                        f"{label_blob!r}"
+                    )
+                    break
+                position = pair.end()
+                if position < len(inner):
+                    if inner[position] != ",":
+                        problems.append(
+                            f"line {line_number}: expected ',' between "
+                            f"labels"
+                        )
+                        break
+                    position += 1
+        value = match.group("value")
+        if value not in ("+Inf", "-Inf", "NaN"):
+            try:
+                float(value)
+            except ValueError:
+                problems.append(
+                    f"line {line_number}: invalid sample value {value!r}"
+                )
+        sample_key = (name, label_blob or "")
+        if sample_key in seen_samples:
+            problems.append(
+                f"line {line_number}: duplicate sample {name}{label_blob or ''}"
+            )
+        seen_samples.add(sample_key)
+    return problems

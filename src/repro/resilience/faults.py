@@ -27,9 +27,13 @@ Every :class:`~repro.core.maintenance.ViewMaintainer` owns an injector
 
 from __future__ import annotations
 
+import logging
 from typing import Dict, List, Optional
 
 from repro.errors import ReproError
+from repro.obs.metrics import get_default_registry
+
+logger = logging.getLogger(__name__)
 
 #: Every phase a FaultInjector can be armed at.
 PHASES = (
@@ -97,6 +101,12 @@ class FaultInjector:
             return
         del self._plans[phase]
         self.fired.append(phase)
+        logger.warning("fault injected at phase %r", phase)
+        get_default_registry().counter(
+            "repro_faults_injected_total",
+            "Faults fired by the injection harness.",
+            labels=("phase",),
+        ).inc(phase=phase)
         exception = plan["exception"]
         if exception is None:
             exception = InjectedFault(f"injected fault at phase {phase!r}")

@@ -20,10 +20,14 @@ Usage::
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
+from repro.obs.metrics import get_default_registry
 from repro.storage.relation import CountedRelation
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -108,4 +112,9 @@ def repair_divergence(maintainer) -> RepairReport:
         # state rather than guessing which drifted.
         maintainer._init_aggregate_views()
         report.aggregates_reset = sorted(maintainer.aggregate_views)
+        logger.warning("divergence repaired: %s", report.summary())
+        get_default_registry().counter(
+            "repro_heal_healed_views_total",
+            "Views rebuilt by repair_divergence.",
+        ).inc(len(report.healed))
     return report

@@ -31,12 +31,17 @@ segments, so replay order and gap detection survive rotation.
 from __future__ import annotations
 
 import json
+import logging
 import os
+import time
 from typing import IO, Iterator, List, Optional, Tuple
 
 from repro.errors import SchemaError
+from repro.obs.metrics import get_default_registry
 from repro.storage.changeset import Changeset
 from repro.storage.serialize import changeset_from_dict, changeset_to_dict
+
+logger = logging.getLogger(__name__)
 
 #: Archived-segment filename suffix: ``<path>.seg<first seq, zero padded>``.
 _SEGMENT_TAG = ".seg"
@@ -51,6 +56,7 @@ class Journal:
         path: str,
         fsync: bool = True,
         segment_entries: Optional[int] = None,
+        metrics=None,
     ) -> None:
         if segment_entries is not None and segment_entries < 1:
             raise ValueError(
@@ -59,6 +65,7 @@ class Journal:
         self.path = path
         self.fsync = fsync
         self.segment_entries = segment_entries
+        self.metrics = metrics if metrics is not None else get_default_registry()
         self._handle: Optional[IO[str]] = None
         self._sequence = 0
         self._active_first: Optional[int] = None
@@ -151,6 +158,7 @@ class Journal:
 
     def append(self, changes: Changeset) -> int:
         """Durably append one changeset; returns its sequence number."""
+        started = time.perf_counter()
         self._maybe_rotate()
         entry = {
             "seq": self._sequence + 1,
@@ -161,8 +169,25 @@ class Journal:
         handle.write(line + "\n")
         handle.flush()
         if self.fsync:
+            fsync_started = time.perf_counter()
             os.fsync(handle.fileno())
+            self.metrics.histogram(
+                "repro_journal_fsync_seconds",
+                "Wall seconds spent in fsync per journal append.",
+            ).observe(time.perf_counter() - fsync_started)
         self._sequence += 1
+        self.metrics.counter(
+            "repro_journal_appends_total",
+            "Changesets appended to the journal.",
+        ).inc()
+        self.metrics.histogram(
+            "repro_journal_append_seconds",
+            "Wall seconds per journal append (serialize + write + fsync).",
+        ).observe(time.perf_counter() - started)
+        self.metrics.gauge(
+            "repro_journal_entries",
+            "Sequence number of the last journal entry.",
+        ).set(self._sequence)
         if self._active_first is None:
             self._active_first = self._sequence
         self._active_count += 1
@@ -213,6 +238,11 @@ class Journal:
             f"{self._active_first:0{_SEGMENT_DIGITS}d}"
         )
         os.replace(self.path, target)
+        logger.info("journal segment archived: %s", target)
+        self.metrics.counter(
+            "repro_journal_rotations_total",
+            "Active-segment rotations.",
+        ).inc()
         self._active_first = None
         self._active_count = 0
         return target
@@ -237,6 +267,10 @@ class Journal:
                 removed.append(path)
             else:
                 break
+        if removed:
+            logger.info(
+                "pruned %d journal segment(s) up to seq %d", len(removed), upto
+            )
         return removed
 
     # -------------------------------------------------------------- reading

@@ -39,6 +39,7 @@ def test_smoke_emits_valid_bench_json(tmp_path):
     by_name = {w["workload"]: w for w in payload["workloads"]}
     assert set(by_name) == {
         "counting-small-delta", "dred-small-delta", "batched-vs-sequential",
+        "tracing-overhead",
     }
 
     for name in ("counting-small-delta", "dred-small-delta"):
@@ -60,6 +61,16 @@ def test_smoke_emits_valid_bench_json(tmp_path):
     assert batched["sequential_seconds"] > 0
     assert batched["batched_seconds"] > 0
 
+    # The 5% no-op tracing budget held (the script exits 1 otherwise).
+    overhead = by_name["tracing-overhead"]
+    assert overhead["within_budget"] is True
+    assert overhead["overhead_ratio"] < overhead["budget"]
+    assert overhead["hook_crossings"] > 0
+
+    # Engine telemetry rides along in every bench document.
+    assert "metrics" in payload["telemetry"]
+
     # Human-readable lines mirror the JSON.
     assert "counting-small-delta" in stdout
+    assert "tracing-overhead" in stdout
     assert out in stdout

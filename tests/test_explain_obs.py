@@ -1,0 +1,193 @@
+"""Tests for explain provenance tooling and the telemetry CLI commands.
+
+The explain side exercises Example 4.1 from the paper (the hop view over
+the five-edge ``link`` relation): the support tree must reproduce the
+stored derivation count (Theorem 4.1) and survive a maintenance pass.
+The CLI side drives ``status --json``, ``metrics``, ``trace``, and
+``explain view(args)`` through the shell exactly as a user would.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import Shell
+from repro.core.maintenance import ViewMaintainer
+from repro.obs import (
+    pass_tree,
+    render_pass,
+    rule_totals,
+    RingSink,
+    support_tree,
+    Tracer,
+    validate_prometheus,
+    validate_trace_jsonl,
+)
+from repro.storage.changeset import Changeset
+from repro.storage.database import Database
+
+# Example 4.1: link = {(a,b),(b,c),(b,e),(a,d),(d,c)}; hop(a,c) has two
+# derivations (via b and via d), every other hop tuple has one.
+EXAMPLE_41 = """
+link(a, b).
+link(b, c).
+link(b, e).
+link(a, d).
+link(d, c).
+hop(X, Y) :- link(X, Z), link(Z, Y).
+"""
+
+CHAIN_SRC = (
+    "hop(X,Y) :- link(X,Z), link(Z,Y).\n"
+    "trihop(X,Y) :- hop(X,Z), link(Z,Y)."
+)
+
+
+def example_maintainer(strategy="counting"):
+    db = Database()
+    db.insert_rows(
+        "link", [("a", "b"), ("b", "c"), ("b", "e"), ("a", "d"), ("d", "c")]
+    )
+    m = ViewMaintainer.from_source(
+        "hop(X, Y) :- link(X, Z), link(Z, Y).", db, strategy=strategy
+    )
+    m.initialize()
+    return m
+
+
+# ----------------------------------------------------------------- explain
+
+
+class TestExplainExample41:
+    def test_support_tree_reproduces_stored_count(self):
+        maintainer = example_maintainer()
+        node = support_tree(maintainer, "hop", ("a", "c"))
+        assert node.stored_count == 2
+        assert node.derivation_count == 2
+        assert node.stored_count == node.derivation_count
+
+    def test_single_derivation_tuple(self):
+        maintainer = example_maintainer()
+        node = support_tree(maintainer, "hop", ("a", "e"))
+        assert node.stored_count == 1
+        assert node.derivation_count == 1
+
+    def test_count_check_survives_maintenance(self):
+        maintainer = example_maintainer()
+        # Deleting link(a, b) kills the via-b derivation: count 2 -> 1.
+        maintainer.apply(Changeset().delete("link", ("a", "b")))
+        node = support_tree(maintainer, "hop", ("a", "c"))
+        assert node.stored_count == 1
+        assert node.derivation_count == 1
+
+    def test_explain_report_text(self):
+        maintainer = example_maintainer()
+        report = maintainer.explain("hop", ("a", "c"))
+        assert "stored count 2 == 2 immediate derivation(s)" in report
+        assert "Theorem 4.1" in report
+        assert "link('a', 'b')" in report and "link('a', 'd')" in report
+
+    def test_explain_report_missing_tuple(self):
+        maintainer = example_maintainer()
+        report = maintainer.explain("hop", ("e", "a"))
+        assert "not in the view" in report
+
+    def test_explain_under_dred_reports_derivations(self):
+        maintainer = example_maintainer(strategy="dred")
+        report = maintainer.explain("hop", ("a", "c"))
+        assert "set semantics (DRed)" in report
+        assert "2 immediate derivation(s)" in report
+
+
+class TestPassReplay:
+    def test_pass_tree_and_flame_render(self):
+        ring = RingSink()
+        db = Database()
+        db.insert_rows("link", [("a", "b"), ("b", "c"), ("c", "d")])
+        maintainer = ViewMaintainer.from_source(
+            CHAIN_SRC, db, tracer=Tracer(ring)
+        )
+        maintainer.initialize()
+        maintainer.apply(Changeset().insert("link", ("d", "e")))
+        root = pass_tree(list(ring.events))
+        assert root is not None
+        assert root.kind == "pass"
+        text = render_pass(root)
+        assert "pass" in text and "stratum" in text
+        totals = rule_totals([root])
+        assert totals  # at least one rule fired and was attributed
+
+
+# --------------------------------------------------------------------- CLI
+
+
+@pytest.fixture
+def shell():
+    return Shell(EXAMPLE_41)
+
+
+class TestTelemetryCli:
+    def test_explain_view_tuple(self, shell):
+        output = shell.execute("explain hop(a, c)")
+        assert "stored count 2 == 2 immediate derivation(s)" in output
+        assert "Theorem 4.1" in output
+
+    def test_bare_explain_still_prints_delta_rules(self, shell):
+        output = shell.execute("explain")
+        assert "hop" in output  # the delta program, not a support tree
+
+    def test_status_json(self, shell):
+        shell.execute("+ link(c, f)")
+        shell.execute("commit")
+        payload = json.loads(shell.execute("status --json"))
+        assert payload["strategy"] == "counting"
+        assert payload["lifetime"]["passes"] == 1
+        assert payload["consistent"] is True
+        assert payload["last_pass"]["passes"] == 1
+        assert payload["plan_cache"]["entries"] >= 0
+
+    def test_metrics_prom_valid_after_commit(self, shell):
+        shell.execute("+ link(c, f)")
+        shell.execute("commit")
+        text = shell.execute("metrics --prom")
+        assert validate_prometheus(text) == []
+        assert "repro_passes_total" in text
+
+    def test_metrics_json(self, shell):
+        shell.execute("+ link(c, f)")
+        shell.execute("commit")
+        payload = json.loads(shell.execute("metrics --json"))
+        assert payload["repro_passes_total"]["kind"] == "counter"
+
+    def test_trace_flame_after_commit(self, shell):
+        shell.execute("+ link(c, f)")
+        shell.execute("commit")
+        output = shell.execute("trace")
+        assert "pass" in output
+        assert "stratum" in output
+
+    def test_trace_tail(self, shell):
+        shell.execute("+ link(c, f)")
+        shell.execute("commit")
+        output = shell.execute("trace tail 3")
+        assert len(output.splitlines()) == 3
+
+    def test_trace_dump(self, shell, tmp_path):
+        shell.execute("+ link(c, f)")
+        shell.execute("commit")
+        path = str(tmp_path / "trace.jsonl")
+        shell.execute(f"trace dump {path}")
+        with open(path, encoding="utf-8") as handle:
+            assert validate_trace_jsonl(handle.read()) == []
+
+    def test_jsonl_trace_file(self, tmp_path):
+        path = str(tmp_path / "live.jsonl")
+        shell = Shell(EXAMPLE_41, trace_path=path)
+        shell.execute("+ link(c, f)")
+        shell.execute("commit")
+        shell.maintainer.tracer.close()
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+        assert validate_trace_jsonl(text) == []
+        kinds = {json.loads(line)["kind"] for line in text.splitlines()}
+        assert {"pass", "stratum", "phase", "rule"} <= kinds
