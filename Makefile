@@ -6,11 +6,12 @@ PYTHON ?= python
 PYTEST := env PYTHONPATH=src $(PYTHON) -m pytest
 TIMEOUT ?= timeout
 
-.PHONY: check test test-fast test-faults test-soak bench-smoke obs-smoke
+.PHONY: check test test-fast test-faults test-soak bench-smoke obs-smoke \
+	guard-smoke
 
-# The default gate: the whole suite plus the benchmark and
-# observability smoke runs.
-check: test bench-smoke obs-smoke
+# The default gate: the whole suite plus the benchmark, observability
+# and guardrail smoke runs.
+check: test bench-smoke obs-smoke guard-smoke
 
 # The tier-1 gate: everything, fail fast.
 test:
@@ -43,3 +44,10 @@ bench-smoke:
 # reproduces the stored derivation count (Theorem 4.1).
 obs-smoke:
 	env PYTHONPATH=src $(PYTHON) -m repro.obs.smoke
+
+# Guardrail acceptance at toy scale: a budget breach rolls back to the
+# bit-identical pre-pass state, a forced fallback produces
+# recompute-identical views, and a poison changeset round-trips
+# through the quarantine dead-letter file.
+guard-smoke:
+	env PYTHONPATH=src $(PYTHON) -m repro.guard.smoke

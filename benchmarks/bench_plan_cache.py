@@ -41,6 +41,11 @@ from helpers import HOP_SRC, TC_SRC, database_with  # noqa: E402
 
 from repro.bench.harness import write_bench_json  # noqa: E402
 from repro.core.maintenance import ViewMaintainer  # noqa: E402
+from repro.guard import (  # noqa: E402
+    BudgetMeter,
+    GuardPolicy,
+    MaintenanceBudget,
+)
 from repro.obs import NullSink, Tracer, get_default_registry  # noqa: E402
 from repro.obs.trace import NOOP_SPAN  # noqa: E402
 from repro.storage.changeset import Changeset  # noqa: E402
@@ -49,6 +54,10 @@ from repro.workloads import random_graph, update_sequence  # noqa: E402
 #: Hard budget for the span machinery with a no-op sink: the traced run
 #: may be at most 5% slower than the tracing-disabled fast path.
 TRACING_OVERHEAD_BUDGET = 0.05
+
+#: Hard budget for the guard meter with no limits configured: the
+#: default (disabled) meter may cost at most 5% of pass time.
+GUARD_OVERHEAD_BUDGET = 0.05
 
 
 def chain_src(depth: int) -> str:
@@ -309,6 +318,127 @@ def tracing_overhead_workload(
     }
 
 
+class _CountingStubMeter:
+    """A budget-off stand-in that counts every meter crossing.
+
+    ``enabled`` is False, so the engines treat it exactly like the
+    disabled fast path (``if guard.enabled:`` hot sites skip it
+    entirely); the warm per-rule/per-stratum sites call ``tick()`` /
+    ``checkpoint()`` unconditionally, which is what this stub counts.
+    """
+
+    enabled = False
+    blowup_enabled = False
+
+    def __init__(self) -> None:
+        self.calls = 0
+
+    def reset(self) -> None:
+        self.calls += 1
+
+    def tick(self, rules: int = 0, tuples: int = 0) -> None:
+        self.calls += 1
+
+    def checkpoint(self, phase: str) -> None:
+        self.calls += 1
+
+    def observe_delta_ratio(self, view, delta_len, view_len) -> None:
+        self.calls += 1
+
+
+def _noop_guard_seconds(iterations: int = 200_000) -> float:
+    """Measured per-call cost of the worst-case disabled meter hook."""
+    meter = BudgetMeter()  # unbounded budget: enabled is False
+    assert not meter.enabled
+    started = time.perf_counter()
+    for _ in range(iterations):
+        meter.tick(rules=1, tuples=2)
+        meter.checkpoint("counting.rule")
+    return (time.perf_counter() - started) / (2 * iterations)
+
+
+def guard_overhead_workload(
+    source: str,
+    nodes: int,
+    n_edges: int,
+    passes: int,
+    batch_size: int,
+    runs: int,
+    seed: int,
+) -> Dict:
+    """The 5%-budget guard for the budgets-off (no-op) configuration.
+
+    Same methodology as :func:`tracing_overhead_workload`: with no
+    budget configured — the default every maintainer ships with — the
+    meter hooks must cost < 5% of pass time.  The bound is
+    ``meter crossings × measured worst-case no-op hook cost`` (the
+    hottest per-variant sites are guarded behind ``if guard.enabled:``
+    and skip the hook entirely, so counting every crossing at the
+    unguarded price is conservative).  A fully *enabled* run — huge,
+    unreachable budget, so every checkpoint does real limit arithmetic
+    — is also timed and reported (``enabled_overhead_ratio``) for
+    visibility; that ratio is informational, not part of the budget.
+    """
+    edges = random_graph(nodes, n_edges, seed=seed)
+    stream = changeset_stream(edges, passes, batch_size, nodes, seed + 1)
+
+    def one(guard_policy) -> float:
+        maintainer = ViewMaintainer.from_source(
+            source,
+            database_with(edges),
+            strategy="counting",
+            plan_cache=True,
+            guard=guard_policy,
+        ).initialize()
+        return run_stream(maintainer, stream)
+
+    def one_stub() -> float:
+        maintainer = ViewMaintainer.from_source(
+            source,
+            database_with(edges),
+            strategy="counting",
+            plan_cache=True,
+        ).initialize()
+        maintainer.guard.meter = stub
+        return run_stream(maintainer, stream)
+
+    enabled_policy = GuardPolicy(
+        budget=MaintenanceBudget(
+            deadline_seconds=3600.0,
+            max_delta_tuples=10**9,
+            max_rule_firings=10**9,
+        )
+    )
+    disabled = measure("guard-off", runs, lambda: one(None))
+    enabled = measure("guard-enabled", runs, lambda: one(enabled_policy))
+    stub = _CountingStubMeter()
+    one_stub()
+    hook_seconds = _noop_guard_seconds()
+    noop_cost = stub.calls * hook_seconds
+    ratio = (
+        noop_cost / disabled["seconds"] if disabled["seconds"] else 0.0
+    )
+    return {
+        "workload": "guard-overhead",
+        "nodes": nodes,
+        "edges": n_edges,
+        "passes": passes,
+        "batch_size": batch_size,
+        "disabled_seconds": disabled["seconds"],
+        "enabled_seconds": enabled["seconds"],
+        "enabled_overhead_ratio": (
+            enabled["seconds"] / disabled["seconds"] - 1.0
+            if disabled["seconds"]
+            else 0.0
+        ),
+        "meter_crossings": stub.calls,
+        "noop_hook_seconds": hook_seconds,
+        "overhead_ratio": ratio,
+        "budget": GUARD_OVERHEAD_BUDGET,
+        "within_budget": ratio < GUARD_OVERHEAD_BUDGET,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Plan-cache / batched-maintenance benchmark"
@@ -361,6 +491,10 @@ def main(argv=None) -> int:
             chain_src(args.depth), args.nodes, args.edges, args.passes,
             args.batch_size, args.runs, seed=43,
         ),
+        guard_overhead_workload(
+            chain_src(args.depth), args.nodes, args.edges, args.passes,
+            args.batch_size, args.runs, seed=47,
+        ),
     ]
 
     payload = {
@@ -395,7 +529,7 @@ def main(argv=None) -> int:
                 f"post-warmup hit rate "
                 f"{workload['post_warmup_hit_rate']:.0%}"
             )
-        elif "overhead_ratio" in workload:
+        elif "hook_crossings" in workload:
             print(
                 f"{name:24s} off {workload['disabled_seconds']:.3f}s  "
                 f"null-sink {workload['nullsink_seconds']:.3f}s "
@@ -408,6 +542,23 @@ def main(argv=None) -> int:
                 failed = True
                 print(
                     f"FAIL: tracing no-op overhead "
+                    f"{workload['overhead_ratio']:.1%} exceeds the "
+                    f"{workload['budget']:.0%} budget",
+                    file=sys.stderr,
+                )
+        elif "meter_crossings" in workload:
+            print(
+                f"{name:24s} off {workload['disabled_seconds']:.3f}s  "
+                f"enabled {workload['enabled_seconds']:.3f}s "
+                f"({workload['enabled_overhead_ratio']:+.1%} metering)  "
+                f"no-op bound {workload['overhead_ratio']:.2%} over "
+                f"{workload['meter_crossings']} hooks "
+                f"(budget {workload['budget']:.0%})"
+            )
+            if not workload["within_budget"]:
+                failed = True
+                print(
+                    f"FAIL: guard no-op overhead "
                     f"{workload['overhead_ratio']:.1%} exceeds the "
                     f"{workload['budget']:.0%} budget",
                     file=sys.stderr,

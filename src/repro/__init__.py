@@ -40,15 +40,24 @@ from repro.datalog import (
     stratify,
 )
 from repro.errors import (
+    BudgetExceeded,
     DivergenceError,
     EvaluationError,
     MaintenanceError,
     ParseError,
+    PoisonChangesetError,
     ReproError,
     SafetyError,
     SchemaError,
+    StaleViewError,
     StratificationError,
     UnknownRelationError,
+)
+from repro.guard import (
+    DeadLetterQueue,
+    GuardPolicy,
+    MaintenanceBudget,
+    MaintenanceGuard,
 )
 from repro.baselines import (
     PFMaintainer,
@@ -86,18 +95,25 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Aggregate",
+    "BudgetExceeded",
     "Changeset",
     "Comparison",
     "CountedRelation",
     "Database",
+    "DeadLetterQueue",
     "DivergenceError",
     "EvaluationError",
     "FaultInjector",
+    "GuardPolicy",
     "InjectedFault",
     "Journal",
     "Literal",
+    "MaintenanceBudget",
     "MaintenanceError",
+    "MaintenanceGuard",
     "MaintenanceReport",
+    "PoisonChangesetError",
+    "StaleViewError",
     "PFMaintainer",
     "ParseError",
     "Program",

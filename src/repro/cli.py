@@ -33,6 +33,7 @@ from repro.core.maintenance import ViewMaintainer
 from repro.datalog.ast import Program, Rule
 from repro.datalog.parser import parse_program, parse_rule
 from repro.errors import DivergenceError, ReproError
+from repro.guard import GuardPolicy, MaintenanceBudget
 from repro.obs import (
     JsonlSink,
     RingSink,
@@ -65,7 +66,10 @@ commands:
   check           verify views against recomputation
   heal            verify and rebuild any diverged views in place
   checkpoint      write the snapshot (journal mode) and prune the log
-  status          journal/checkpoint/dead-letter health summary
+  quarantine      list quarantined (poison) changesets
+  quarantine requeue [ID]  re-apply quarantined changesets
+  quarantine purge         drop all quarantined changesets
+  status          journal/checkpoint/guard/dead-letter health summary
   status --json   the same, as a JSON document
   metrics         engine metrics, Prometheus text format (also --prom)
   metrics --json  engine metrics as a JSON snapshot
@@ -118,6 +122,7 @@ class Shell:
         skip_seed_facts: bool = False,
         plan_cache: bool = True,
         trace_path: Optional[str] = None,
+        guard: Optional[GuardPolicy] = None,
     ) -> None:
         program, facts = split_program(parse_program(source))
         self.database = database if database is not None else Database()
@@ -143,6 +148,7 @@ class Shell:
             plan_cache=plan_cache,
             tracer=self.tracer,
             metrics=self.metrics,
+            guard=guard,
         ).initialize()
         if journal is not None:
             self.maintainer.attach_journal(
@@ -163,6 +169,7 @@ class Shell:
         semantics: str = "set",
         checkpoint_every: Optional[int] = None,
         trace_path: Optional[str] = None,
+        guard: Optional[GuardPolicy] = None,
     ) -> "Shell":
         """Rebuild a session from snapshot + journal and keep journaling.
 
@@ -179,6 +186,7 @@ class Shell:
             semantics=semantics,
             skip_seed_facts=True,
             trace_path=trace_path,
+            guard=guard,
         )
         for changes in journal.replay(after=watermark):
             shell.maintainer.apply(changes)
@@ -257,6 +265,14 @@ class Shell:
         if line == "checkpoint":
             watermark = self.maintainer.checkpoint()
             return f"checkpoint written (journal watermark {watermark})"
+        if line == "quarantine":
+            return self._quarantine_list()
+        if line == "quarantine purge":
+            return self._quarantine_purge()
+        if line.startswith("quarantine requeue"):
+            return self._quarantine_requeue(
+                line[len("quarantine requeue"):].strip()
+            )
         if line == "status":
             return self._status()
         if line == "status --json":
@@ -309,6 +325,44 @@ class Shell:
             lines.append(f"  {cells}")
         return f"{len(results)} solution(s):\n" + "\n".join(lines)
 
+    def _quarantine_list(self) -> str:
+        queue = self.maintainer.quarantine
+        if queue is None:
+            return "quarantine: not configured (pass --quarantine PATH)"
+        entries = queue.entries()
+        if not entries:
+            return "quarantine is empty"
+        lines = []
+        for entry in entries:
+            deltas = entry.get("changes", {}).get("deltas", {})
+            relations = ", ".join(sorted(deltas)) or "(empty)"
+            lines.append(
+                f"#{entry['id']}  reason={entry['reason']}  "
+                f"relations=[{relations}]  error: {entry.get('error')}"
+            )
+        return "\n".join(lines)
+
+    def _quarantine_requeue(self, arg: str) -> str:
+        entry_id: Optional[int] = None
+        if arg:
+            try:
+                entry_id = int(arg)
+            except ValueError:
+                return f"error: quarantine requeue expects an id, got {arg!r}"
+        reports = self.maintainer.requeue_quarantined(entry_id)
+        if not reports:
+            return "nothing to requeue"
+        applied = sum(1 for r in reports if r.strategy != "quarantined")
+        requarantined = len(reports) - applied
+        text = f"requeued {len(reports)} changeset(s): {applied} applied"
+        if requarantined:
+            text += f", {requarantined} re-quarantined (still poison)"
+        return text
+
+    def _quarantine_purge(self) -> str:
+        dropped = self.maintainer.purge_quarantined()
+        return f"purged {dropped} quarantined changeset(s)"
+
     def _why(self, text: str) -> str:
         predicate, row = self._parse_ground_atom(text)
         tree = self.maintainer.explain_tree(predicate, row)
@@ -339,6 +393,27 @@ class Shell:
             lines.append(
                 f"dead-lettered notifications: {len(maintainer.dead_letters)}"
             )
+        guard = maintainer.guard
+        if guard.active:
+            info = guard.to_dict()
+            lines.append(
+                f"guard: breaker {info['breaker']}, "
+                f"{info['breaches_total']} breach(es), "
+                f"{info['fallback_passes']} fallback / "
+                f"{info['skipped_passes']} skipped pass(es)"
+            )
+            if info["quarantine"] is not None:
+                lines.append(
+                    f"quarantine: {info['quarantine']['depth']} entries "
+                    f"at {info['quarantine']['path']}"
+                )
+            lag = maintainer.lag()
+            if lag["changesets"]:
+                lines.append(
+                    f"staleness: views lag the stream by "
+                    f"{lag['changesets']} changeset(s) "
+                    f"(~{lag['seconds']:.1f}s)"
+                )
         stats = maintainer.stats
         cache = maintainer.plan_cache
         if cache is None:
@@ -386,7 +461,13 @@ class Shell:
             "dead_letters": len(maintainer.dead_letters),
             "staged_insertions": self.pending.insertion_count(),
             "staged_deletions": self.pending.deletion_count(),
+            "guard": maintainer.guard.to_dict(),
         }
+        lag = maintainer.lag()
+        status["lag"] = dict(
+            lag,
+            views={name: dict(lag) for name in maintainer.view_names()},
+        )
         cache = maintainer.plan_cache
         if cache is not None:
             status["plan_cache"] = {
@@ -495,6 +576,52 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(the in-memory 'trace' buffer is always on)",
     )
     parser.add_argument(
+        "--guard-deadline",
+        type=float,
+        metavar="SECONDS",
+        help="abort (and fall back) any maintenance pass that runs "
+        "longer than this wall-clock budget",
+    )
+    parser.add_argument(
+        "--guard-max-delta",
+        type=int,
+        metavar="N",
+        help="abort a pass after it has computed N delta tuples",
+    )
+    parser.add_argument(
+        "--guard-max-rules",
+        type=int,
+        metavar="N",
+        help="abort a pass after N rule firings",
+    )
+    parser.add_argument(
+        "--guard-blowup",
+        type=float,
+        metavar="RATIO",
+        help="abort a pass whose per-view delta exceeds RATIO x the "
+        "view size (delta-blowup heuristic)",
+    )
+    parser.add_argument(
+        "--guard-fallback",
+        default="recompute",
+        choices=["recompute", "skip", "raise"],
+        help="what a budget breach does after rollback: recompute the "
+        "views from base relations (default), skip the changeset "
+        "(quarantining it when --quarantine is set), or re-raise",
+    )
+    parser.add_argument(
+        "--quarantine",
+        metavar="PATH",
+        help="validate changesets on admission and park poison ones in "
+        "this JSONL dead-letter file (inspect with 'quarantine')",
+    )
+    parser.add_argument(
+        "--strict-reads",
+        action="store_true",
+        help="make 'show' and queries fail with StaleViewError while "
+        "views lag the stream (default: serve degraded reads)",
+    )
+    parser.add_argument(
         "--log-level",
         default="WARNING",
         choices=["DEBUG", "INFO", "WARNING", "ERROR"],
@@ -507,6 +634,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
     configure_logging(level=args.log_level, json_mode=args.log_json)
+
+    guard: Optional[GuardPolicy] = None
+    if (
+        args.guard_deadline is not None
+        or args.guard_max_delta is not None
+        or args.guard_max_rules is not None
+        or args.guard_blowup is not None
+        or args.quarantine
+        or args.strict_reads
+    ):
+        guard = GuardPolicy(
+            budget=MaintenanceBudget(
+                deadline_seconds=args.guard_deadline,
+                max_delta_tuples=args.guard_max_delta,
+                max_rule_firings=args.guard_max_rules,
+            ),
+            blowup_ratio=args.guard_blowup,
+            fallback=args.guard_fallback,
+            quarantine_path=args.quarantine,
+            strict_reads=args.strict_reads,
+        )
 
     with open(args.program, "r", encoding="utf-8") as handle:
         source = handle.read()
@@ -524,6 +672,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 semantics=args.semantics,
                 checkpoint_every=args.checkpoint_every,
                 trace_path=args.trace,
+                guard=guard,
             )
         else:
             database = load_database(args.data) if args.data else None
@@ -537,6 +686,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 checkpoint_every=args.checkpoint_every,
                 plan_cache=not args.no_plan_cache,
                 trace_path=args.trace,
+                guard=guard,
             )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -15,6 +15,7 @@ a context manager it commits on clean exit and rolls back on exceptions.
 from __future__ import annotations
 
 import logging
+import random
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional
@@ -59,21 +60,36 @@ class SubscriptionHub:
     ``backoff_seconds``; a delivery that exhausts its retries is recorded
     in :attr:`dead_letters` together with the delta it carried, so no
     notification is ever silently lost.
+
+    Each retry pause is jittered: the ``k``-th pause is drawn uniformly
+    from ``[b·2^k, b·2^k·(1+jitter)]``, so subscribers that failed on the
+    same pass don't retry in lockstep (synchronized retry storms hammer
+    whatever shared backend made them fail in the first place).  Pass
+    ``seed`` for reproducible schedules and ``sleep`` to observe or stub
+    the pauses in tests.
     """
 
     def __init__(
         self,
         max_attempts: int = 3,
         backoff_seconds: float = 0.01,
+        jitter: float = 0.25,
         metrics=None,
         tracer=None,
+        seed: Optional[int] = None,
+        sleep: Callable[[float], None] = time.sleep,
     ) -> None:
         if max_attempts < 1:
             raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if jitter < 0:
+            raise ValueError(f"jitter must be >= 0, got {jitter}")
         self.max_attempts = max_attempts
         self.backoff_seconds = backoff_seconds
+        self.jitter = jitter
         self.metrics = metrics
         self.tracer = tracer
+        self._rng = random.Random(seed)
+        self._sleep = sleep
         self._subscriptions: Dict[str, List[Subscription]] = {}
         self._next_token = 0
         #: Deliveries that failed every retry, oldest first.
@@ -138,7 +154,9 @@ class SubscriptionHub:
                         error=str(exc),
                     )
                 if attempt < self.max_attempts and delay > 0:
-                    time.sleep(delay)
+                    self._sleep(
+                        delay * (1.0 + self.jitter * self._rng.random())
+                    )
                     delay *= 2
         logger.warning(
             "subscriber %d on view %r dead-lettered after %d attempts: %s",

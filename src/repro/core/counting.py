@@ -49,6 +49,7 @@ from repro.datalog.stratify import Stratification
 from repro.errors import MaintenanceError
 from repro.eval.rule_eval import EvalContext, Resolver, evaluate_rule_into
 from repro.eval.stratified import Semantics
+from repro.guard.budget import NOOP_METER
 from repro.obs.trace import Tracer
 from repro.storage.changeset import Changeset
 from repro.storage.database import Database
@@ -163,6 +164,7 @@ class CountingMaintenance:
         undo=None,
         plan_cache=None,
         tracer: Optional[Tracer] = None,
+        guard=None,
     ) -> None:
         if stratification.is_recursive:
             raise MaintenanceError(
@@ -184,6 +186,10 @@ class CountingMaintenance:
         #: Span tracer (see repro.obs.trace); a disabled tracer's span()
         #: calls cost one method call each, nothing more.
         self.tracer = tracer if tracer is not None else Tracer()
+        #: Budget meter (see repro.guard.budget); same cost model as the
+        #: tracer — disabled checkpoints early-return, and the hottest
+        #: per-variant sites are skipped behind ``if guard.enabled:``.
+        self.guard = guard if guard is not None else NOOP_METER
         #: Optional PlanCache shared across passes by the maintainer:
         #: compiled plans, delta-variant rewrites, and the relevance
         #: filter below are then reused instead of rebuilt per pass.
@@ -280,6 +286,7 @@ class CountingMaintenance:
             self._seed_base_deltas(changes)
             if self.faults is not None:
                 self.faults.fire("delta_derivation")
+        self.guard.checkpoint("counting.seed")
         seeded = time.perf_counter()
         self.stats.phase_seconds["seed"] = seeded - started
 
@@ -295,6 +302,7 @@ class CountingMaintenance:
             }
             if not changed:
                 break  # nothing can change above this point
+            self.guard.checkpoint("counting.stratum")
             pending: Dict[str, CountedRelation] = {}
             if tracer.enabled:
                 stratum_span = tracer.span(
@@ -416,6 +424,7 @@ class CountingMaintenance:
         if not delta_rules:
             return None
         self.stats.rules_fired += 1
+        self.guard.tick(rules=1)
         out = CountedRelation(names.delta(rule.head.predicate), rule.head.arity)
         unit = self._unit_policy if self.semantics == "set" else None
         tracer = self.tracer
@@ -442,10 +451,15 @@ class CountingMaintenance:
         else:
             self._evaluate_variants(delta_rules, out, unit, cache)
         self.stats.delta_tuples_computed += len(out)
+        self.guard.tick(tuples=len(out))
+        self.guard.checkpoint("counting.rule")
         return out if out else None
 
     def _evaluate_variants(self, delta_rules, out, unit, cache) -> None:
+        guard = self.guard
         for delta_rule in delta_rules:
+            if guard.enabled:
+                guard.checkpoint("counting.variant")
             resolver = self._build_resolver(delta_rule)
             ctx = EvalContext(resolver, unit_counts=unit, plan_cache=cache)
             evaluate_rule_into(delta_rule.rule, ctx, out, seed=delta_rule.seed)
@@ -470,6 +484,7 @@ class CountingMaintenance:
         if grouped_pred not in changed:
             return None
         self.stats.rules_fired += 1
+        self.guard.tick(rules=1)
         delta = self._cascade_of(grouped_pred)
         if self.tracer.enabled:
             with self.tracer.span(
@@ -491,9 +506,17 @@ class CountingMaintenance:
 
     def _commit_stratum(self, pending: Dict[str, CountedRelation]) -> None:
         """Record Δ(P) for the stratum and derive what cascades upward."""
+        guard = self.guard
         for predicate, delta in pending.items():
             if not delta:
                 continue
+            if guard.blowup_enabled:
+                # The mid-pass blowup heuristic: a pending delta far
+                # larger than the view it maintains means recompute
+                # would be cheaper.
+                guard.observe_delta_ratio(
+                    predicate, len(delta), len(self._old_relation(predicate))
+                )
             self._store_deltas.setdefault(
                 predicate, CountedRelation(names.delta(predicate))
             ).merge(delta)
@@ -508,6 +531,7 @@ class CountingMaintenance:
                 self._cascade[predicate] = delta
 
     def _apply_to_store(self, changes: Changeset) -> None:
+        self.guard.checkpoint("counting.apply")
         undo = self.undo
         if undo is not None:
             for name, delta in changes:

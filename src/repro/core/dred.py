@@ -56,6 +56,7 @@ from repro.datalog.stratify import Stratification
 from repro.errors import MaintenanceError
 from repro.eval.rule_eval import Resolver
 from repro.eval.seminaive import seminaive
+from repro.guard.budget import NOOP_METER
 from repro.obs.trace import Tracer
 from repro.storage.changeset import Changeset
 from repro.storage.database import Database
@@ -120,6 +121,7 @@ class DRedMaintenance:
         undo=None,
         plan_cache=None,
         tracer: Optional[Tracer] = None,
+        guard=None,
     ) -> None:
         self.normalized = normalized
         self.strat = stratification
@@ -148,6 +150,10 @@ class DRedMaintenance:
         #: their compiled plans and semi-naive variant rewrites all hit.
         self.plan_cache = plan_cache
         self.tracer = tracer if tracer is not None else Tracer()
+        #: Budget meter (see repro.guard.budget); disabled meters cost
+        #: one early-returning call at the warm per-stratum/per-step
+        #: sites, nothing in the semi-naive inner loops.
+        self.guard = guard if guard is not None else NOOP_METER
         self.stats = DRedStats()
         #: Old versions of every relation changed so far (base and derived).
         self._old: Dict[str, CountedRelation] = {}
@@ -191,6 +197,7 @@ class DRedMaintenance:
             self._apply_base_changes(changes)
             if self.faults is not None:
                 self.faults.fire("delta_derivation")
+        self.guard.checkpoint("dred.seed")
         phases = self.stats.phase_seconds
         phases["seed"] = time.perf_counter() - started
 
@@ -215,6 +222,7 @@ class DRedMaintenance:
                 if rule.head.predicate not in self.aggregate_views
             ]
             if normal_new or normal_old:
+                self.guard.checkpoint("dred.stratum")
                 stratum_preds = {
                     rule.head.predicate for rule in normal_new + normal_old
                 }
@@ -378,6 +386,7 @@ class DRedMaintenance:
             for pred in stratum_preds
         }
         self.stats.rules_fired += len(delta_rules)
+        self.guard.tick(rules=len(delta_rules))
         resolver = Resolver(self._old_resolver(), sources)
         seminaive(
             delta_rules,
@@ -385,11 +394,15 @@ class DRedMaintenance:
             resolver,
             plan_cache=self.plan_cache,
             tracer=self.tracer,
+            guard=self.guard,
         )
         overestimate = {
             pred: targets[names.overestimate(pred)] for pred in stratum_preds
         }
-        self.stats.overestimated += sum(len(r) for r in overestimate.values())
+        overestimated = sum(len(r) for r in overestimate.values())
+        self.stats.overestimated += overestimated
+        self.guard.tick(tuples=overestimated)
+        self.guard.checkpoint("dred.overestimate")
         return overestimate
 
     def _step1_driver(
@@ -427,6 +440,11 @@ class DRedMaintenance:
             if not rows:
                 continue
             view = self.views[predicate]
+            if self.guard.blowup_enabled:
+                # Blowup heuristic before the prune touches the view: an
+                # overestimate rivaling the view itself means recompute
+                # would be cheaper than delete-and-rederive.
+                self.guard.observe_delta_ratio(predicate, len(rows), len(view))
             self._save_old(predicate, view)
             for row in rows.rows():
                 if view.discard(row):
@@ -456,6 +474,7 @@ class DRedMaintenance:
             for rule in rederive_rules
         }
         self.stats.rules_fired += len(rederive_rules)
+        self.guard.tick(rules=len(rederive_rules))
         resolver = Resolver(self._current_resolver(), sources)
         rederived = seminaive(
             rederive_rules,
@@ -463,8 +482,12 @@ class DRedMaintenance:
             resolver,
             plan_cache=self.plan_cache,
             tracer=self.tracer,
+            guard=self.guard,
         )
-        self.stats.rederived += sum(len(r) for r in rederived.values())
+        count = sum(len(r) for r in rederived.values())
+        self.stats.rederived += count
+        self.guard.tick(tuples=count)
+        self.guard.checkpoint("dred.rederive")
         return rederived
 
     def _step3_insert(
@@ -519,6 +542,7 @@ class DRedMaintenance:
         for pred in targets:
             self._save_old(pred, targets[pred])
         self.stats.rules_fired += len(insert_rules)
+        self.guard.tick(rules=len(insert_rules))
         resolver = Resolver(self._current_resolver(), sources)
         inserted = seminaive(
             insert_rules,
@@ -527,8 +551,12 @@ class DRedMaintenance:
             fire_round0=fire_round0,
             plan_cache=self.plan_cache,
             tracer=self.tracer,
+            guard=self.guard,
         )
-        self.stats.inserted += sum(len(r) for r in inserted.values())
+        count = sum(len(r) for r in inserted.values())
+        self.stats.inserted += count
+        self.guard.tick(tuples=count)
+        self.guard.checkpoint("dred.insert")
         return inserted
 
     def _finalize_stratum(

@@ -45,8 +45,17 @@ from repro.datalog.ast import Literal, Program, Rule
 from repro.datalog.parser import parse_program, parse_rule
 from repro.datalog.safety import check_program_safety
 from repro.datalog.stratify import Stratification, stratify
-from repro.errors import DivergenceError, MaintenanceError, UnknownRelationError
+from repro.errors import (
+    BudgetExceeded,
+    DivergenceError,
+    MaintenanceError,
+    PoisonChangesetError,
+    StaleViewError,
+    UnknownRelationError,
+)
 from repro.eval.plan_cache import PlanCache
+from repro.guard.admission import validate_changeset
+from repro.guard.controller import GuardPolicy, MaintenanceGuard
 from repro.eval.rule_eval import Resolver
 from repro.eval.stratified import Semantics, materialize
 from repro.obs.metrics import MetricsRegistry, get_default_registry
@@ -185,6 +194,7 @@ class ViewMaintainer:
         plan_cache: bool = True,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        guard: Optional[GuardPolicy] = None,
     ) -> None:
         check_program_safety(program)
         self.database = database
@@ -214,6 +224,20 @@ class ViewMaintainer:
         #: Deterministic crash-point injection (tests/ops drills); inert
         #: until armed.  See :mod:`repro.resilience.faults`.
         self.faults = FaultInjector()
+        #: The guard envelope around every pass: budgets with cooperative
+        #: cancellation, the circuit breaker routing breached views to
+        #: the recompute baseline, admission control + quarantine, and
+        #: journal retry.  The default policy is fully inert.  See
+        #: :mod:`repro.guard`.
+        self.guard = MaintenanceGuard(
+            guard if guard is not None else GuardPolicy(),
+            faults=self.faults,
+            metrics=metrics if metrics is not None else get_default_registry(),
+        )
+        #: Staleness bookkeeping: changesets admitted to the stream but
+        #: not applied (quarantined or skipped), and when the lag began.
+        self._lag_changesets = 0
+        self._lag_since: Optional[float] = None
         self._journal = None
         self._snapshot_path: Optional[str] = None
         self._checkpoint_every: Optional[int] = None
@@ -246,6 +270,7 @@ class ViewMaintainer:
         plan_cache: bool = True,
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
+        guard: Optional[GuardPolicy] = None,
     ) -> "ViewMaintainer":
         """Build a maintainer from Datalog source text."""
         return cls(
@@ -258,6 +283,7 @@ class ViewMaintainer:
             plan_cache=plan_cache,
             tracer=tracer,
             metrics=metrics,
+            guard=guard,
         )
 
     def _set_program(self, normalized: NormalizedProgram) -> None:
@@ -320,11 +346,30 @@ class ViewMaintainer:
         (which maintenance cannot track) or a failed
         :meth:`consistency_check`.
         """
+        self.clear_lag()
         return self.initialize()
 
-    def relation(self, name: str) -> CountedRelation:
-        """A maintained view or base relation by name."""
+    def relation(
+        self, name: str, strict: Optional[bool] = None
+    ) -> CountedRelation:
+        """A maintained view or base relation by name.
+
+        With ``strict=True`` (or ``GuardPolicy(strict_reads=True)``) the
+        read refuses to serve a degraded materialization: if quarantined
+        or skipped changesets are pending, :class:`StaleViewError` is
+        raised instead of returning a view that lags the stream.
+        ``strict=False`` always serves (degraded reads).
+        """
         self._require_initialized()
+        if strict is None:
+            strict = self.guard.policy.strict_reads
+        if strict and self._lag_changesets:
+            lag = self.lag()
+            raise StaleViewError(
+                f"{name} is stale: {lag['changesets']} changeset(s) "
+                f"(~{lag['seconds']:.1f}s) behind the stream; drain the "
+                "quarantine or refresh() to catch up"
+            )
         found = self.views.get(name)
         if found is not None:
             return found
@@ -369,10 +414,54 @@ class ViewMaintainer:
         recorded in :attr:`lifetime`, subscribers are notified (isolated
         — their exceptions are retried and dead-lettered, never raised
         here), and an auto-checkpoint may fire.
+
+        With a :class:`~repro.guard.GuardPolicy` configured the pass
+        runs inside the guard envelope: admission control may quarantine
+        a poison changeset (``strategy="quarantined"`` report, stream
+        continues), a budget breach rolls back and — per the policy —
+        reroutes to the full-recompute baseline
+        (``strategy="recompute"``), parks the changeset
+        (``strategy="skipped"``), or raises
+        :class:`~repro.errors.BudgetExceeded`.  An open circuit breaker
+        routes passes straight to the baseline without an incremental
+        attempt.
         """
         self._require_initialized()
         if changes.is_empty():
             return MaintenanceReport(strategy=self.strategy, seconds=0.0)
+        guard = self.guard
+        policy = guard.policy
+        if policy.admission_enabled:
+            try:
+                self.faults.fire("admission")
+                validate_changeset(self, changes)
+            except PoisonChangesetError as exc:
+                return self._quarantine_changes(changes, "admission", exc)
+        route = guard.route()
+        if route == "incremental":
+            if guard.meter.enabled:
+                guard.meter.reset()
+            try:
+                return self._commit(self._incremental_pass(changes), route)
+            except BudgetExceeded as exc:
+                # The undo log already unwound; state is pre-pass.
+                guard.record_breach(exc)
+                logger.warning(
+                    "maintenance budget breached (%s); fallback=%s",
+                    exc, policy.fallback,
+                )
+                if policy.fallback == "raise":
+                    raise
+                if policy.fallback == "skip":
+                    return self._skip_pass(changes, exc)
+                route = "fallback"
+                reason = getattr(exc, "kind", "budget")
+        else:
+            reason = "forced" if policy.force_fallback else "breaker_open"
+        return self._commit(self._recompute_pass(changes, reason), route)
+
+    def _incremental_pass(self, changes: Changeset) -> MaintenanceReport:
+        """One shadow-committed incremental pass (no commit tail)."""
         undo = UndoLog() if self.crash_safe else None
         span = self.tracer.span(
             "pass",
@@ -383,35 +472,334 @@ class ViewMaintainer:
         try:
             with span:
                 report = self._run_maintenance(changes, undo)
-                self.faults.fire("journal_append")
-                if self._journal is not None:
-                    self._watermark = self._journal.append(changes)
+                self._append_journal(changes)
                 span.set(
                     tuples_changed=report.total_changes(),
                     seconds=report.seconds,
                 )
         except BaseException as exc:
-            if undo is not None:
-                logger.warning(
-                    "maintenance pass failed (%s: %s); unwinding %d undo "
-                    "entries", type(exc).__name__, exc, len(undo),
-                )
-                undo.unwind()
-                self.metrics.counter(
-                    "repro_rollbacks_total",
-                    "Maintenance passes rolled back by the shadow-commit "
-                    "undo log",
-                ).inc()
-                self.tracer.event(
-                    "rollback", error=type(exc).__name__, entries=len(undo)
-                )
+            self._rollback(undo, exc)
             raise
+        return report
+
+    def _rollback(self, undo: Optional[UndoLog], exc: BaseException) -> None:
+        if undo is None:
+            return
+        logger.warning(
+            "maintenance pass failed (%s: %s); unwinding %d undo "
+            "entries", type(exc).__name__, exc, len(undo),
+        )
+        undo.unwind()
+        self.metrics.counter(
+            "repro_rollbacks_total",
+            "Maintenance passes rolled back by the shadow-commit "
+            "undo log",
+        ).inc()
+        self.tracer.event(
+            "rollback", error=type(exc).__name__, entries=len(undo)
+        )
+
+    def _commit(self, report: MaintenanceReport, route: str) -> MaintenanceReport:
+        """The shared post-commit tail of every successful pass."""
+        self.guard.record_success(route)
         self.lifetime.record(report)
         self.stats.record_pass(report, self.plan_cache)
         self._record_metrics(report)
         self._subscriptions.notify(report.view_deltas)
         self._auto_checkpoint()
         return report
+
+    def _append_journal(self, changes: Changeset) -> None:
+        """The commit point: redo-log append, with bounded retry.
+
+        Transient journal ``OSError``s are retried with exponential
+        backoff and jitter (``GuardPolicy.journal_retry_*``); the
+        journal truncates its own torn line on a failed append, so a
+        retry can never duplicate an entry.  Any other exception — and
+        an ``OSError`` that survives every attempt — propagates and
+        rolls the pass back.
+        """
+        policy = self.guard.policy
+        attempts = max(1, policy.journal_retry_attempts)
+        delay = policy.journal_retry_base_seconds
+        for attempt in range(1, attempts + 1):
+            try:
+                self.faults.fire("journal_append")
+                if self._journal is not None:
+                    self._watermark = self._journal.append(changes)
+                return
+            except OSError as exc:
+                if attempt == attempts:
+                    raise
+                self.guard.journal_retries += 1
+                self.metrics.counter(
+                    "repro_guard_journal_retries_total",
+                    "Journal appends retried after a transient OSError.",
+                ).inc()
+                logger.warning(
+                    "journal append failed (%s); retry %d/%d",
+                    exc, attempt, attempts - 1,
+                )
+                if delay > 0:
+                    time.sleep(
+                        delay
+                        * (1.0 + policy.journal_retry_jitter
+                           * self.guard.rng.random())
+                    )
+                    delay *= 2
+
+    # ------------------------------------------------------ guard envelope
+
+    def _quarantine_changes(
+        self, changes: Changeset, reason: str, exc: Exception
+    ) -> MaintenanceReport:
+        """Park a poison changeset in the dead-letter queue.
+
+        Without a queue configured the admission error propagates (the
+        caller opted into validation but not quarantine).
+        """
+        queue = self.guard.quarantine
+        if queue is None:
+            raise exc
+        queue.append(changes, reason, error=exc)
+        self._note_lag()
+        self.tracer.event("quarantine", reason=reason, error=str(exc))
+        return MaintenanceReport(strategy="quarantined", seconds=0.0)
+
+    def _skip_pass(
+        self, changes: Changeset, exc: BudgetExceeded
+    ) -> MaintenanceReport:
+        """``fallback="skip"``: park the changeset and serve stale reads.
+
+        With a quarantine queue the changeset is preserved for requeue;
+        without one it is dropped (the lag counter still records it).
+        """
+        if self.guard.quarantine is not None:
+            self.guard.quarantine.append(changes, "budget", error=exc)
+        self.guard.skipped_passes += 1
+        self._note_lag()
+        self.metrics.counter(
+            "repro_guard_skipped_passes_total",
+            "Passes skipped by the guard (changeset parked, views lag).",
+        ).inc()
+        self.tracer.event("guard_skip", error=str(exc))
+        return MaintenanceReport(strategy="skipped", seconds=0.0)
+
+    def _recompute_pass(
+        self, changes: Changeset, reason: str
+    ) -> MaintenanceReport:
+        """Apply ``changes`` via the full-recompute baseline.
+
+        The fallback route when incremental maintenance breached its
+        budget (or the breaker is open): update the base relations,
+        rematerialize every view from scratch, and patch the stored
+        views in place (references held elsewhere stay valid — the
+        repair-path idiom).  Same shadow-commit contract as the
+        incremental path: any exception restores the pre-pass state,
+        including the journal.
+        """
+        started = time.perf_counter()
+        undo = UndoLog() if self.crash_safe else None
+        old_views = {
+            name: relation.copy() for name, relation in self.views.items()
+        }
+        span = self.tracer.span(
+            "pass",
+            "recompute",
+            reason=reason,
+            insertions=changes.insertion_count(),
+            deletions=changes.deletion_count(),
+        )
+        try:
+            with span:
+                if undo is not None:
+                    undo.note_mapping(self.views)
+                    for name, relation in self.views.items():
+                        undo.note_rows(relation, old_views[name])
+                        undo.note_attr(relation, "arity")
+                    # _init_aggregate_views builds fresh AggregateView
+                    # objects and reassigns the mapping entries; the old
+                    # objects are never mutated, so restoring the
+                    # mapping restores their states too.
+                    undo.note_mapping(self.aggregate_views)
+                self._apply_base_changes_direct(changes, undo)
+                self.faults.fire("fallback_recompute")
+                fresh = materialize(
+                    self.normalized.program,
+                    self.database,
+                    semantics=self.semantics,
+                    stratification=self.stratification,
+                )
+                if self.strategy == "dred":
+                    fresh = {
+                        name: relation.set_view(name)
+                        for name, relation in fresh.items()
+                    }
+                for name, expected in fresh.items():
+                    actual = self.views.get(name)
+                    if actual is None:
+                        self.views[name] = expected
+                    else:
+                        actual.replace_rows(expected.to_dict())
+                        actual.arity = expected.arity
+                self._init_aggregate_views()
+                self._append_journal(changes)
+                span.set(seconds=time.perf_counter() - started)
+        except BaseException as exc:
+            self._rollback(undo, exc)
+            raise
+        self.guard.fallback_passes += 1
+        self.metrics.counter(
+            "repro_guard_fallback_passes_total",
+            "Passes rerouted to the full-recompute baseline.",
+            labels=("reason",),
+        ).inc(reason=reason)
+        self.tracer.event("guard_fallback", reason=reason)
+        return MaintenanceReport(
+            strategy="recompute",
+            seconds=time.perf_counter() - started,
+            view_deltas=self._diff_views(old_views),
+        )
+
+    def _apply_base_changes_direct(
+        self, changes: Changeset, undo: Optional[UndoLog]
+    ) -> None:
+        """Update base relations for the recompute fallback.
+
+        Mirrors each engine's base-apply semantics exactly so fallback
+        passes interleave with incremental ones: counting merges signed
+        multiplicities (after Lemma 4.1 validation); DRed canonicalizes
+        to sets — duplicate insertions are no-ops, deleting an absent
+        row is an error.
+        """
+        derived = self.normalized.program.idb_predicates
+        for name, _delta in changes:
+            if name in derived:
+                raise MaintenanceError(
+                    f"cannot change derived relation {name} directly; "
+                    "change the base relations it is derived from"
+                )
+        if self.strategy == "dred":
+            for name, delta in changes:
+                relation = self.database.get(name)
+                if relation is None:
+                    if undo is not None:
+                        undo.note_base_created(self.database, name)
+                    relation = self.database.ensure_relation(name)
+                elif undo is not None:
+                    undo.note_counts(relation, delta.rows())
+                for row, count in sorted(
+                    delta.items(), key=lambda item: repr(item[0])
+                ):
+                    present = relation.contains_positive(row)
+                    if count < 0:
+                        if not present:
+                            raise MaintenanceError(
+                                f"changeset deletes {row!r} from {name} "
+                                "but it is not stored"
+                            )
+                        relation.discard(row)
+                    elif count > 0 and not present:
+                        relation.set_count(row, 1)
+            return
+        if undo is not None:
+            for name, delta in changes:
+                relation = self.database.get(name)
+                if relation is None:
+                    undo.note_base_created(self.database, name)
+                else:
+                    undo.note_counts(relation, delta.rows())
+        # Validates arity and Lemma 4.1 before mutating anything.
+        self.database.apply_changeset(changes)
+
+    def _diff_views(
+        self, old_views: Dict[str, CountedRelation]
+    ) -> Dict[str, CountedRelation]:
+        """Signed per-view deltas: new stored counts minus old."""
+        deltas: Dict[str, CountedRelation] = {}
+        for name, new in self.views.items():
+            if names.is_internal(name):
+                continue
+            old = old_views.get(name)
+            delta = CountedRelation(names.delta(name), new.arity)
+            rows = set(new.rows())
+            if old is not None:
+                rows |= set(old.rows())
+            for row in rows:
+                change = new.count(row) - (old.count(row) if old else 0)
+                if change:
+                    delta.add(row, change)
+            if delta:
+                deltas[name] = delta
+        return deltas
+
+    # ----------------------------------------------------------- staleness
+
+    def _note_lag(self) -> None:
+        self._lag_changesets += 1
+        if self._lag_since is None:
+            self._lag_since = time.time()
+        self.metrics.gauge(
+            "repro_guard_lag_changesets",
+            "Changesets admitted to the stream but not applied "
+            "(quarantined or skipped).",
+        ).set(self._lag_changesets)
+
+    def _drop_lag(self, count: int = 1) -> None:
+        self._lag_changesets = max(0, self._lag_changesets - count)
+        if self._lag_changesets == 0:
+            self._lag_since = None
+        self.metrics.gauge(
+            "repro_guard_lag_changesets",
+            "Changesets admitted to the stream but not applied "
+            "(quarantined or skipped).",
+        ).set(self._lag_changesets)
+
+    def lag(self) -> Dict[str, object]:
+        """How far the views lag the stream: changesets and seconds."""
+        seconds = (
+            time.time() - self._lag_since if self._lag_since is not None
+            else 0.0
+        )
+        return {"changesets": self._lag_changesets, "seconds": seconds}
+
+    def clear_lag(self) -> None:
+        """Declare the views caught up (e.g. after an out-of-band fix)."""
+        self._drop_lag(self._lag_changesets)
+
+    @property
+    def quarantine(self):
+        """The dead-letter queue, or ``None`` when not configured."""
+        return self.guard.quarantine
+
+    def requeue_quarantined(
+        self, entry_id: Optional[int] = None
+    ) -> List[MaintenanceReport]:
+        """Re-apply quarantined changesets, oldest first.
+
+        Each entry is removed from the queue and pushed back through
+        :meth:`apply` — still-poison changesets are re-quarantined (and
+        re-counted as lag), healed ones commit normally.  Pass
+        ``entry_id`` to requeue a single entry.  Returns the per-entry
+        reports.
+        """
+        queue = self.guard.quarantine
+        if queue is None:
+            raise MaintenanceError("no quarantine queue configured")
+        reports: List[MaintenanceReport] = []
+        for _entry, changes in queue.take(entry_id):
+            self._drop_lag()
+            reports.append(self.apply(changes))
+        return reports
+
+    def purge_quarantined(self) -> int:
+        """Drop every quarantined changeset; returns how many."""
+        queue = self.guard.quarantine
+        if queue is None:
+            raise MaintenanceError("no quarantine queue configured")
+        dropped = queue.purge()
+        self._drop_lag(dropped)
+        return dropped
 
     def apply_many(self, changesets: Iterable[Changeset]) -> MaintenanceReport:
         """Coalesce a stream of changesets and maintain in ONE pass.
@@ -532,6 +920,7 @@ class ViewMaintainer:
                 undo=undo,
                 plan_cache=self.plan_cache,
                 tracer=self.tracer,
+                guard=self.guard.meter,
             )
             result = run.run(changes)
             deltas = {
@@ -555,6 +944,7 @@ class ViewMaintainer:
             undo=undo,
             plan_cache=self.plan_cache,
             tracer=self.tracer,
+            guard=self.guard.meter,
         )
         result = run.run(changes)
         deltas = {

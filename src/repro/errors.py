@@ -73,6 +73,48 @@ class MaintenanceError(ReproError):
     """
 
 
+class BudgetExceeded(MaintenanceError):
+    """A maintenance pass breached its :class:`~repro.guard.MaintenanceBudget`.
+
+    Raised cooperatively at guard checkpoints inside the counting/DRed/
+    semi-naive hot loops; the shadow-commit undo log unwinds before the
+    error escapes ``apply()``, so the database is bit-identical to its
+    pre-pass state.  ``kind`` names the limit that tripped (``deadline``,
+    ``delta_tuples``, ``rule_firings``, ``delta_blowup``) and ``phase``
+    the checkpoint that observed it.
+    """
+
+    def __init__(
+        self, message: str, kind: str = "budget", phase: str = ""
+    ) -> None:
+        self.kind = kind
+        self.phase = phase
+        super().__init__(message)
+
+
+class PoisonChangesetError(MaintenanceError):
+    """A changeset failed admission control and must not enter a pass.
+
+    Examples: writes to a derived relation, arity mismatches against the
+    stored schema, deletions of rows/copies that are not stored.  With a
+    dead-letter queue configured the changeset is quarantined instead of
+    raised; ``relation`` names the offending relation when known.
+    """
+
+    def __init__(self, message: str, relation: str = "") -> None:
+        self.relation = relation
+        super().__init__(message)
+
+
+class StaleViewError(MaintenanceError):
+    """A strict read hit a view lagging behind the changeset stream.
+
+    Raised by ``ViewMaintainer.relation(..., strict=True)`` (or with
+    ``GuardPolicy(strict_reads=True)``) while quarantined or skipped
+    changesets are pending, i.e. the materialization is degraded.
+    """
+
+
 class DivergenceError(MaintenanceError):
     """A maintained state no longer matches what recomputation says.
 

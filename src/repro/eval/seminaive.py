@@ -27,6 +27,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.datalog.ast import Literal, Rule
 from repro.eval.rule_eval import EvalContext, Resolver, evaluate_rule, solutions
+from repro.guard.budget import NOOP_METER
 from repro.storage.relation import CountedRelation
 
 logger = logging.getLogger(__name__)
@@ -67,6 +68,7 @@ def seminaive(
     fire_round0: Optional[Sequence[bool]] = None,
     plan_cache=None,
     tracer=None,
+    guard=None,
 ) -> Dict[str, CountedRelation]:
     """Run the differential fixpoint; mutate ``targets`` in place.
 
@@ -93,11 +95,18 @@ def seminaive(
     ``tracer`` — an optional :class:`~repro.obs.trace.Tracer`; when
     enabled, each rule evaluation is wrapped in a ``rule`` span carrying
     the fixpoint round and the number of rows it contributed.
+
+    ``guard`` — an optional :class:`~repro.guard.budget.BudgetMeter`;
+    enabled meters get a cooperative cancellation checkpoint per
+    fixpoint round (and per variant evaluation), so a budget breach
+    interrupts a diverging fixpoint instead of waiting it out.
     """
     resolver = Resolver(base, dict(targets))
     ctx = EvalContext(resolver, unit_counts=_unit, plan_cache=plan_cache)
     target_names = frozenset(targets)
     traced = tracer is not None and tracer.enabled
+    if guard is None:
+        guard = NOOP_METER
 
     added: Dict[str, CountedRelation] = {
         name: CountedRelation(f"added({name})", relation.arity)
@@ -130,6 +139,11 @@ def seminaive(
         if max_rounds is not None and rounds >= max_rounds:
             break
         rounds += 1
+        if guard.enabled:
+            guard.tick(
+                tuples=sum(len(delta) for delta in last_delta.values())
+            )
+        guard.checkpoint("seminaive.round")
         next_delta: Dict[str, CountedRelation] = {
             name: CountedRelation(DELTA_PREFIX + name) for name in targets
         }
@@ -147,6 +161,8 @@ def seminaive(
             else:
                 variants = _delta_variants(rule, targets)
             for variant, seed in variants:
+                if guard.enabled:
+                    guard.checkpoint("seminaive.variant")
                 if traced:
                     with tracer.span("rule", head, round=rounds) as span:
                         derived = evaluate_rule(variant, round_ctx, seed=seed)

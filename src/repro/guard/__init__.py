@@ -1,0 +1,32 @@
+"""Guarded maintenance: budgets, adaptive fallback, quarantine.
+
+The serving-side robustness layer around the paper's incremental
+algorithms.  See :mod:`repro.guard.budget` (cooperative cancellation),
+:mod:`repro.guard.controller` (policy + circuit breaker),
+:mod:`repro.guard.quarantine` (poison-changeset dead-letter queue), and
+:mod:`repro.guard.admission` (entry validation).
+"""
+
+from repro.guard.admission import validate_changeset
+from repro.guard.budget import NOOP_METER, BudgetMeter, MaintenanceBudget
+from repro.guard.controller import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    GuardPolicy,
+    MaintenanceGuard,
+)
+from repro.guard.quarantine import DeadLetterQueue
+
+__all__ = [
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "BudgetMeter",
+    "DeadLetterQueue",
+    "GuardPolicy",
+    "MaintenanceBudget",
+    "MaintenanceGuard",
+    "NOOP_METER",
+    "validate_changeset",
+]

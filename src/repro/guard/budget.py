@@ -1,0 +1,188 @@
+"""Maintenance budgets and the cooperative cancellation meter.
+
+The paper's incremental algorithms only pay off when the delta is small
+relative to the view; an adversarial changeset can make a counting or
+DRed pass arbitrarily slower than the recompute baseline.  A
+:class:`MaintenanceBudget` bounds a single pass — wall-clock deadline,
+derived delta tuples, rule firings — and a :class:`BudgetMeter` enforces
+it cooperatively: the engine hot loops call ``tick()`` / ``checkpoint()``
+at the same sites the tracer instruments, and a breach raises
+:class:`~repro.errors.BudgetExceeded`, which unwinds through the
+shadow-commit undo log to a bit-identical pre-pass state.
+
+The cost model mirrors the tracer exactly: a *disabled* meter is either
+skipped entirely behind ``if guard.enabled:`` in the hottest per-variant
+loops, or costs one early-returning method call at the warmer per-rule /
+per-stratum / per-round sites.  ``NOOP_METER`` is the shared inert
+instance engines default to, like ``NOOP_SPAN``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import BudgetExceeded
+
+
+@dataclass(frozen=True)
+class MaintenanceBudget:
+    """Per-pass resource limits; ``None`` disables the corresponding check.
+
+    * ``deadline_seconds`` — wall-clock bound for the whole pass.
+    * ``max_delta_tuples`` — bound on derived delta tuples computed.
+    * ``max_rule_firings`` — bound on delta-rule firings.
+    """
+
+    deadline_seconds: Optional[float] = None
+    max_delta_tuples: Optional[int] = None
+    max_rule_firings: Optional[int] = None
+
+    def is_bounded(self) -> bool:
+        return (
+            self.deadline_seconds is not None
+            or self.max_delta_tuples is not None
+            or self.max_rule_firings is not None
+        )
+
+
+class BudgetMeter:
+    """Accumulates pass progress and raises at checkpoints on breach.
+
+    ``enabled`` is computed once at construction; when false, every
+    method is a cheap no-op (the engines additionally skip the hottest
+    call sites entirely behind ``if guard.enabled:``).  ``reset()`` must
+    be called at the start of each pass to restart the clock and zero
+    the counters.
+    """
+
+    __slots__ = (
+        "budget",
+        "blowup_ratio",
+        "blowup_min_view",
+        "faults",
+        "enabled",
+        "blowup_enabled",
+        "started",
+        "rule_firings",
+        "delta_tuples",
+    )
+
+    def __init__(
+        self,
+        budget: Optional[MaintenanceBudget] = None,
+        blowup_ratio: Optional[float] = None,
+        blowup_min_view: int = 64,
+        faults=None,
+    ) -> None:
+        self.budget = budget
+        self.blowup_ratio = blowup_ratio
+        self.blowup_min_view = blowup_min_view
+        self.faults = faults
+        self.enabled = (
+            budget is not None and budget.is_bounded()
+        ) or blowup_ratio is not None
+        self.blowup_enabled = blowup_ratio is not None
+        self.started = 0.0
+        self.rule_firings = 0
+        self.delta_tuples = 0
+
+    def reset(self) -> None:
+        """Restart the pass clock and zero the progress counters."""
+        self.started = time.perf_counter()
+        self.rule_firings = 0
+        self.delta_tuples = 0
+
+    def tick(self, rules: int = 0, tuples: int = 0) -> None:
+        """Record progress; never raises (checks happen at checkpoints)."""
+        self.rule_firings += rules
+        self.delta_tuples += tuples
+
+    def checkpoint(self, phase: str) -> None:
+        """Raise :class:`BudgetExceeded` if any limit is breached."""
+        if not self.enabled:
+            return
+        if self.faults is not None:
+            self.faults.fire("budget_check")
+        budget = self.budget
+        if budget is None:
+            return
+        if (
+            budget.deadline_seconds is not None
+            and time.perf_counter() - self.started > budget.deadline_seconds
+        ):
+            raise BudgetExceeded(
+                f"pass exceeded {budget.deadline_seconds}s deadline "
+                f"at {phase}",
+                kind="deadline",
+                phase=phase,
+            )
+        if (
+            budget.max_delta_tuples is not None
+            and self.delta_tuples > budget.max_delta_tuples
+        ):
+            raise BudgetExceeded(
+                f"pass derived {self.delta_tuples} delta tuples "
+                f"(budget {budget.max_delta_tuples}) at {phase}",
+                kind="delta_tuples",
+                phase=phase,
+            )
+        if (
+            budget.max_rule_firings is not None
+            and self.rule_firings > budget.max_rule_firings
+        ):
+            raise BudgetExceeded(
+                f"pass fired {self.rule_firings} delta rules "
+                f"(budget {budget.max_rule_firings}) at {phase}",
+                kind="rule_firings",
+                phase=phase,
+            )
+
+    def observe_delta_ratio(
+        self, view: str, delta_len: int, view_len: int
+    ) -> None:
+        """Mid-pass delta-blowup heuristic: |delta| vs |view|.
+
+        Trips when a view's pending delta exceeds ``blowup_ratio`` times
+        the stored view size — the regime where rematerializing is
+        cheaper than maintaining (cf. Hu/Motik/Horrocks).  Tiny deltas
+        (≤ ``blowup_min_view`` rows) never trip, so small views aren't
+        penalized for ordinary churn.
+        """
+        ratio = self.blowup_ratio
+        if ratio is None or delta_len <= self.blowup_min_view:
+            return
+        if delta_len > ratio * max(view_len, 1):
+            raise BudgetExceeded(
+                f"delta for {view} has {delta_len} rows vs {view_len} "
+                f"stored (blowup ratio > {ratio}); rematerializing is "
+                "cheaper than maintaining",
+                kind="delta_blowup",
+                phase="blowup",
+            )
+
+
+class _NoopMeter:
+    """Shared inert meter; the ``NOOP_SPAN`` of the guard layer."""
+
+    __slots__ = ()
+    enabled = False
+    blowup_enabled = False
+
+    def reset(self) -> None:
+        pass
+
+    def tick(self, rules: int = 0, tuples: int = 0) -> None:
+        pass
+
+    def checkpoint(self, phase: str) -> None:
+        pass
+
+    def observe_delta_ratio(
+        self, view: str, delta_len: int, view_len: int
+    ) -> None:
+        pass
+
+
+NOOP_METER = _NoopMeter()

@@ -1,0 +1,217 @@
+"""Guard policy and the adaptive fallback controller.
+
+:class:`GuardPolicy` is the declarative configuration — budgets, the
+delta-blowup heuristic, what to do on a breach, breaker tuning,
+quarantine location, journal retry schedule, strict reads.  The default
+policy is fully inert: no budget, no admission, no quarantine, zero
+added cost on the hot path.
+
+:class:`MaintenanceGuard` is the per-maintainer runtime: it owns the
+:class:`~repro.guard.budget.BudgetMeter`, the optional
+:class:`~repro.guard.quarantine.DeadLetterQueue`, and a circuit breaker
+with the classic closed → open → half-open life cycle.  Budget breaches
+increment a consecutive-breach streak; at ``breaker_threshold`` the
+breaker opens and whole passes are routed straight to the recompute
+baseline (no incremental attempt, no breach cost).  After
+``breaker_cooldown_passes`` fallback passes, one probe pass runs
+incrementally (half-open); success closes the breaker, another breach
+reopens it for a fresh cooldown.
+"""
+
+from __future__ import annotations
+
+import logging
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.guard.budget import BudgetMeter, MaintenanceBudget
+from repro.guard.quarantine import DeadLetterQueue
+
+logger = logging.getLogger(__name__)
+
+BREAKER_CLOSED = "closed"
+BREAKER_HALF_OPEN = "half_open"
+BREAKER_OPEN = "open"
+_STATE_CODES = {BREAKER_CLOSED: 0, BREAKER_HALF_OPEN: 1, BREAKER_OPEN: 2}
+
+_FALLBACK_MODES = ("recompute", "skip", "raise")
+
+
+@dataclass(frozen=True)
+class GuardPolicy:
+    """Declarative guard configuration; the default is fully inert.
+
+    * ``budget`` / ``blowup_ratio`` / ``blowup_min_view`` — pass limits
+      (see :class:`MaintenanceBudget` and
+      :meth:`BudgetMeter.observe_delta_ratio`).
+    * ``fallback`` — what a breach does: ``"recompute"`` reroutes the
+      pass to the full-recompute baseline, ``"skip"`` parks the
+      changeset (quarantined when a queue is configured) and reports
+      lag, ``"raise"`` propagates :class:`BudgetExceeded` after the
+      rollback.
+    * ``breaker_threshold`` consecutive breaches open the breaker;
+      ``breaker_cooldown_passes`` fallback passes later a half-open
+      probe runs incrementally again.  ``force_fallback`` pins every
+      pass to the baseline (testing / emergency lever).
+    * ``quarantine_path`` — dead-letter JSONL file; setting it also
+      enables admission control unless ``admission`` overrides.
+    * ``journal_retry_*`` — bounded exponential backoff with jitter for
+      transient journal ``OSError``s.
+    * ``strict_reads`` — reads raise :class:`StaleViewError` while
+      quarantined/skipped changesets are pending.
+    """
+
+    budget: Optional[MaintenanceBudget] = None
+    blowup_ratio: Optional[float] = None
+    blowup_min_view: int = 64
+    fallback: str = "recompute"
+    breaker_threshold: int = 3
+    breaker_cooldown_passes: int = 8
+    force_fallback: bool = False
+    quarantine_path: Optional[str] = None
+    admission: Optional[bool] = None
+    journal_retry_attempts: int = 3
+    journal_retry_base_seconds: float = 0.01
+    journal_retry_jitter: float = 0.5
+    strict_reads: bool = False
+    seed: Optional[int] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.fallback not in _FALLBACK_MODES:
+            raise ValueError(
+                f"fallback must be one of {_FALLBACK_MODES}, "
+                f"got {self.fallback!r}"
+            )
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker_threshold must be >= 1")
+        if self.breaker_cooldown_passes < 1:
+            raise ValueError("breaker_cooldown_passes must be >= 1")
+        if self.journal_retry_attempts < 1:
+            raise ValueError("journal_retry_attempts must be >= 1")
+
+    @property
+    def admission_enabled(self) -> bool:
+        if self.admission is not None:
+            return self.admission
+        return self.quarantine_path is not None
+
+
+class MaintenanceGuard:
+    """Per-maintainer guard runtime: meter, breaker, quarantine."""
+
+    def __init__(self, policy: GuardPolicy, faults=None, metrics=None) -> None:
+        self.policy = policy
+        self.metrics = metrics
+        self.meter = BudgetMeter(
+            budget=policy.budget,
+            blowup_ratio=policy.blowup_ratio,
+            blowup_min_view=policy.blowup_min_view,
+            faults=faults,
+        )
+        self.quarantine = (
+            DeadLetterQueue(policy.quarantine_path, metrics=metrics, faults=faults)
+            if policy.quarantine_path is not None
+            else None
+        )
+        self.rng = random.Random(policy.seed)
+        self.state = BREAKER_CLOSED
+        self.consecutive_breaches = 0
+        self.passes_until_probe = 0
+        self.breaches = 0
+        self.fallback_passes = 0
+        self.skipped_passes = 0
+        self.journal_retries = 0
+
+    @property
+    def active(self) -> bool:
+        """True when any guard feature can influence a pass."""
+        return (
+            self.meter.enabled
+            or self.policy.force_fallback
+            or self.policy.admission_enabled
+            or self.quarantine is not None
+            or self.state != BREAKER_CLOSED
+        )
+
+    # ------------------------------------------------------------ breaker
+
+    def route(self) -> str:
+        """Decide how the next pass runs: ``incremental`` or ``fallback``."""
+        if self.policy.force_fallback:
+            return "fallback"
+        if self.state == BREAKER_OPEN:
+            self.passes_until_probe -= 1
+            if self.passes_until_probe <= 0:
+                self._transition(BREAKER_HALF_OPEN)
+                return "incremental"
+            return "fallback"
+        return "incremental"
+
+    def record_breach(self, exc) -> None:
+        """A budget breach rolled back an incremental attempt."""
+        kind = getattr(exc, "kind", "budget")
+        self.breaches += 1
+        self.consecutive_breaches += 1
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_guard_budget_breaches_total",
+                "Maintenance budget breaches, by limit kind.",
+                labels=("kind",),
+            ).inc(kind=kind)
+        if self.state == BREAKER_HALF_OPEN:
+            # The probe failed: reopen for another cooldown.
+            self.passes_until_probe = self.policy.breaker_cooldown_passes
+            self._transition(BREAKER_OPEN)
+        elif (
+            self.state == BREAKER_CLOSED
+            and self.consecutive_breaches >= self.policy.breaker_threshold
+        ):
+            self.passes_until_probe = self.policy.breaker_cooldown_passes
+            self._transition(BREAKER_OPEN)
+
+    def record_success(self, route: str) -> None:
+        """A pass committed; close the breaker after a good probe."""
+        if route != "incremental":
+            return
+        if self.state == BREAKER_HALF_OPEN:
+            self._transition(BREAKER_CLOSED)
+        self.consecutive_breaches = 0
+
+    def _transition(self, to: str) -> None:
+        logger.info("guard breaker %s -> %s", self.state, to)
+        self.state = to
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_guard_breaker_transitions_total",
+                "Circuit-breaker state transitions.",
+                labels=("to",),
+            ).inc(to=to)
+            self.metrics.gauge(
+                "repro_guard_breaker_state",
+                "Breaker state: 0=closed, 1=half_open, 2=open.",
+            ).set(_STATE_CODES[to])
+
+    # ------------------------------------------------------------- status
+
+    def to_dict(self) -> dict:
+        quarantine = None
+        if self.quarantine is not None:
+            quarantine = {
+                "path": self.quarantine.path,
+                "depth": len(self.quarantine),
+            }
+        return {
+            "breaker": self.state,
+            "consecutive_breaches": self.consecutive_breaches,
+            "breaches_total": self.breaches,
+            "fallback_passes": self.fallback_passes,
+            "skipped_passes": self.skipped_passes,
+            "journal_retries": self.journal_retries,
+            "budget_enabled": self.meter.enabled,
+            "fallback_mode": self.policy.fallback,
+            "force_fallback": self.policy.force_fallback,
+            "admission": self.policy.admission_enabled,
+            "strict_reads": self.policy.strict_reads,
+            "quarantine": quarantine,
+        }

@@ -1,0 +1,146 @@
+"""Dead-letter queue for poison changesets.
+
+A changeset rejected by admission control (or parked by a ``skip``
+fallback) is quarantined to a journal-adjacent JSONL file instead of
+aborting the stream: one self-describing entry per line with the
+rejection reason, the error text, and the full serialized changeset, so
+an operator can inspect, requeue, or purge it from the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import time
+from typing import List, Optional, Tuple
+
+from repro.storage.changeset import Changeset
+from repro.storage.serialize import changeset_from_dict, changeset_to_dict
+
+logger = logging.getLogger(__name__)
+
+
+class DeadLetterQueue:
+    """Append-only JSONL quarantine file next to the journal.
+
+    Entries are dicts ``{"id", "ts", "reason", "error", "changes"}``;
+    ``changes`` is :func:`changeset_to_dict` output so a requeued entry
+    round-trips losslessly.  A torn final line (crash mid-append) is
+    tolerated on read, mirroring the journal.
+    """
+
+    def __init__(self, path: str, metrics=None, faults=None) -> None:
+        self.path = str(path)
+        self.metrics = metrics
+        self.faults = faults
+
+    # ------------------------------------------------------------- write
+
+    def append(self, changes: Changeset, reason: str, error=None) -> dict:
+        """Quarantine ``changes``; returns the entry written."""
+        if self.faults is not None:
+            self.faults.fire("quarantine_append")
+        entry = {
+            "id": len(self) + 1,
+            "ts": time.time(),
+            "reason": reason,
+            "error": str(error) if error is not None else None,
+            "changes": changeset_to_dict(changes),
+        }
+        line = json.dumps(entry, separators=(",", ":"), default=repr)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(line + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        logger.warning(
+            "quarantined changeset (reason=%s): %s", reason, entry["error"]
+        )
+        if self.metrics is not None:
+            self.metrics.counter(
+                "repro_guard_quarantined_total",
+                "Changesets quarantined to the dead-letter queue.",
+                labels=("reason",),
+            ).inc(reason=reason)
+            self._depth_gauge()
+        return entry
+
+    # -------------------------------------------------------------- read
+
+    def entries(self) -> List[dict]:
+        """All quarantined entries, oldest first; torn tail tolerated."""
+        if not os.path.exists(self.path):
+            return []
+        result: List[dict] = []
+        with open(self.path, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+        for index, line in enumerate(lines):
+            if not line.strip():
+                continue
+            try:
+                result.append(json.loads(line))
+            except json.JSONDecodeError:
+                if index == len(lines) - 1:
+                    logger.warning(
+                        "dead-letter queue %s has a torn final line; "
+                        "ignored",
+                        self.path,
+                    )
+                    break
+                raise
+        return result
+
+    def __len__(self) -> int:
+        return len(self.entries())
+
+    # ------------------------------------------------------------- drain
+
+    def take(
+        self, entry_id: Optional[int] = None
+    ) -> List[Tuple[dict, Changeset]]:
+        """Remove entries (all, or one by id) and decode their changesets.
+
+        The file is rewritten without the taken entries before the pairs
+        are returned, so a requeue that poisons again re-appends rather
+        than duplicating.
+        """
+        kept: List[dict] = []
+        taken: List[Tuple[dict, Changeset]] = []
+        for entry in self.entries():
+            if entry_id is not None and entry.get("id") != entry_id:
+                kept.append(entry)
+                continue
+            taken.append((entry, changeset_from_dict(entry["changes"])))
+        self._rewrite(kept)
+        return taken
+
+    def purge(self) -> int:
+        """Drop every quarantined entry; returns how many were dropped."""
+        dropped = len(self)
+        self._rewrite([])
+        return dropped
+
+    def _rewrite(self, entries: List[dict]) -> None:
+        if not entries:
+            if os.path.exists(self.path):
+                os.remove(self.path)
+            self._depth_gauge()
+            return
+        tmp = f"{self.path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            for entry in entries:
+                handle.write(
+                    json.dumps(entry, separators=(",", ":"), default=repr)
+                    + "\n"
+                )
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+        self._depth_gauge()
+
+    def _depth_gauge(self) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge(
+                "repro_guard_quarantine_depth",
+                "Changesets currently parked in the dead-letter queue.",
+            ).set(len(self))

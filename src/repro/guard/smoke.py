@@ -1,0 +1,199 @@
+"""End-to-end guardrail smoke check (``make guard-smoke``).
+
+Runs the acceptance scenario for the guarded-maintenance layer on the
+chain workload and exits non-zero on the first violation:
+
+1. a budget breach (``fallback="raise"``) rolls the pass back to the
+   bit-identical pre-pass state, for counting AND DRed;
+2. a forced fallback pass (``force_fallback=True``) produces views
+   identical to a plain incremental maintainer fed the same changes,
+   and passes the recomputation consistency check;
+3. a poison changeset quarantines instead of failing the stream, makes
+   strict reads raise :class:`StaleViewError`, round-trips through the
+   dead-letter file, and purges cleanly;
+4. breaker trips and quarantines surface as ``repro_guard_*`` metric
+   families.
+
+Kept deliberately tiny (sub-second) so it can ride in ``make check``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+
+from repro.core.maintenance import ViewMaintainer
+from repro.errors import BudgetExceeded, StaleViewError
+from repro.guard import GuardPolicy, MaintenanceBudget
+from repro.obs.metrics import MetricsRegistry, set_default_registry
+from repro.storage.changeset import Changeset
+from repro.storage.database import Database
+
+COUNTING_SRC = "\n".join(
+    [
+        "hop(X,Y) :- link(X,Z), link(Z,Y).",
+        "trihop(X,Y) :- hop(X,Z), link(Z,Y).",
+    ]
+)
+DRED_SRC = "\n".join(
+    [
+        "tc(X,Y) :- link(X,Y).",
+        "tc(X,Y) :- tc(X,Z), link(Z,Y).",
+    ]
+)
+
+EDGES = [("a", "b"), ("b", "c"), ("c", "d"), ("d", "e"), ("a", "d")]
+MIXED = Changeset().delete("link", ("a", "b")).insert("link", ("e", "a"))
+
+
+def _build(source, strategy, registry, guard=None):
+    db = Database()
+    db.insert_rows("link", EDGES)
+    maintainer = ViewMaintainer.from_source(
+        source, db, strategy=strategy, metrics=registry, guard=guard
+    )
+    return maintainer.initialize()
+
+
+def _fingerprint(maintainer):
+    return {
+        "base": {
+            name: maintainer.database.relation(name).to_dict()
+            for name in sorted(maintainer.database.names())
+        },
+        "views": {
+            name: relation.to_dict()
+            for name, relation in sorted(maintainer.views.items())
+        },
+    }
+
+
+def _check_breach_rollback(registry) -> list:
+    """Budget breach at fallback='raise' must unwind bit-identically."""
+    problems = []
+    for strategy, source in (("counting", COUNTING_SRC), ("dred", DRED_SRC)):
+        guard = GuardPolicy(
+            budget=MaintenanceBudget(max_rule_firings=0), fallback="raise"
+        )
+        maintainer = _build(source, strategy, registry, guard)
+        before = _fingerprint(maintainer)
+        try:
+            maintainer.apply(MIXED)
+            problems.append(f"{strategy}: zero-rule budget did not breach")
+            continue
+        except BudgetExceeded:
+            pass
+        if _fingerprint(maintainer) != before:
+            problems.append(
+                f"{strategy}: state changed after budget-breach rollback"
+            )
+        if maintainer.lifetime.passes != 0:
+            problems.append(f"{strategy}: breached pass was committed")
+    return problems
+
+
+def _check_fallback_equivalence(registry) -> list:
+    """Forced recompute fallback must match a plain incremental run."""
+    problems = []
+    for strategy, source in (("counting", COUNTING_SRC), ("dred", DRED_SRC)):
+        guarded = _build(
+            source, strategy, registry, GuardPolicy(force_fallback=True)
+        )
+        plain = _build(source, strategy, registry)
+        report = guarded.apply(MIXED)
+        plain.apply(MIXED)
+        if report.strategy != "recompute":
+            problems.append(
+                f"{strategy}: forced fallback ran as {report.strategy!r}"
+            )
+        if _fingerprint(guarded) != _fingerprint(plain):
+            problems.append(
+                f"{strategy}: fallback views differ from incremental views"
+            )
+        try:
+            guarded.consistency_check()
+        except Exception as exc:  # noqa: BLE001 — report, don't crash
+            problems.append(f"{strategy}: fallback diverged: {exc}")
+        if guarded.guard.fallback_passes != 1:
+            problems.append(
+                f"{strategy}: fallback_passes == "
+                f"{guarded.guard.fallback_passes}, expected 1"
+            )
+    return problems
+
+
+def _check_quarantine_roundtrip(registry, tmp) -> list:
+    """Poison changeset → DLQ → strict read raises → requeue/purge."""
+    problems = []
+    path = os.path.join(tmp, "quarantine.dlq")
+    maintainer = _build(
+        COUNTING_SRC,
+        "counting",
+        registry,
+        GuardPolicy(quarantine_path=path, strict_reads=True),
+    )
+    poison = Changeset().insert("hop", ("x", "y"))
+    report = maintainer.apply(poison)
+    if report.strategy != "quarantined":
+        problems.append(
+            f"quarantine: poison changeset ran as {report.strategy!r}"
+        )
+        return problems
+    queue = maintainer.quarantine
+    if len(queue) != 1:
+        problems.append(f"quarantine: depth {len(queue)}, expected 1")
+    try:
+        maintainer.relation("hop")
+        problems.append("quarantine: strict read served a stale view")
+    except StaleViewError:
+        pass
+    if not maintainer.relation("hop", strict=False):
+        problems.append("quarantine: degraded read returned nothing")
+    reports = maintainer.requeue_quarantined()
+    if [r.strategy for r in reports] != ["quarantined"]:
+        problems.append(
+            "quarantine: still-poison requeue did not re-quarantine "
+            f"(got {[r.strategy for r in reports]!r})"
+        )
+    if maintainer.purge_quarantined() != 1:
+        problems.append("quarantine: purge did not drop the entry")
+    if maintainer.lag()["changesets"] != 0:
+        problems.append("quarantine: purge left residual lag")
+    maintainer.relation("hop")  # strict read is legal again
+    return problems
+
+
+def main() -> int:
+    registry = MetricsRegistry()
+    set_default_registry(registry)
+    problems = []
+
+    with tempfile.TemporaryDirectory(prefix="repro-guard-smoke-") as tmp:
+        problems += _check_breach_rollback(registry)
+        problems += _check_fallback_equivalence(registry)
+        problems += _check_quarantine_roundtrip(registry, tmp)
+
+    exposition = registry.to_prometheus()
+    for family in (
+        "repro_guard_budget_breaches_total",
+        "repro_guard_fallback_passes_total",
+        "repro_guard_quarantined_total",
+    ):
+        if family not in exposition:
+            problems.append(f"metrics: {family} missing from exposition")
+
+    if problems:
+        for problem in problems:
+            print(f"guard-smoke FAIL: {problem}", file=sys.stderr)
+        return 1
+    print(
+        "guard-smoke ok: breach rollback (counting+dred), "
+        "recompute-identical fallback, quarantine round-trip, "
+        "repro_guard_* metrics exported"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

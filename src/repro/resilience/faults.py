@@ -20,8 +20,19 @@ Every :class:`~repro.core.maintenance.ViewMaintainer` owns an injector
 ``rederivation``          after DRed pruned the deletion overestimate, before
                           rederiving survivors
 ``journal_append``        after the pass computed, before the redo-log append
+                          (fires once per retry attempt when journal retries
+                          are configured)
 ``snapshot_write``        after the checkpoint temp file is written, before it
                           atomically replaces the snapshot
+``budget_check``          inside every guard checkpoint of an *enabled*
+                          :class:`~repro.guard.BudgetMeter`, before the limits
+                          are evaluated
+``admission``             at ``apply()`` entry, before admission control
+                          validates the changeset
+``quarantine_append``     before a rejected changeset is written to the
+                          dead-letter queue
+``fallback_recompute``    mid-fallback: base relations updated, views not yet
+                          rematerialized
 ========================  =====================================================
 """
 
@@ -43,6 +54,10 @@ PHASES = (
     "rederivation",
     "journal_append",
     "snapshot_write",
+    "budget_check",
+    "admission",
+    "quarantine_append",
+    "fallback_recompute",
 )
 
 
@@ -56,6 +71,14 @@ class FaultInjector:
     ``arm(phase, at=k)`` schedules a fault on the *k*-th time the engine
     reaches ``phase``; the plan is one-shot (it disarms when it fires),
     so recovery and retry flows run clean without re-arming.
+
+    Intermittent modes exercise retry/backoff paths deterministically:
+
+    * ``arm(phase, first_k=k)`` fires on each of the first *k* arrivals,
+      then disarms — "transient" failures that a bounded retry outlives.
+    * ``arm(phase, every_n=n)`` fires on every *n*-th arrival and stays
+      armed — a persistent intermittent failure (``every_n=1`` fails
+      every single attempt, exhausting any retry budget).
     """
 
     def __init__(self) -> None:
@@ -68,6 +91,8 @@ class FaultInjector:
         phase: str,
         at: int = 1,
         exception: Optional[BaseException] = None,
+        every_n: Optional[int] = None,
+        first_k: Optional[int] = None,
     ) -> "FaultInjector":
         """Schedule a fault on the ``at``-th arrival at ``phase``."""
         if phase not in PHASES:
@@ -76,7 +101,19 @@ class FaultInjector:
             )
         if at < 1:
             raise ValueError(f"arm(at=...) must be >= 1, got {at}")
-        self._plans[phase] = {"countdown": at, "exception": exception}
+        if every_n is not None and first_k is not None:
+            raise ValueError("arm() takes every_n or first_k, not both")
+        if every_n is not None and every_n < 1:
+            raise ValueError(f"arm(every_n=...) must be >= 1, got {every_n}")
+        if first_k is not None and first_k < 1:
+            raise ValueError(f"arm(first_k=...) must be >= 1, got {first_k}")
+        self._plans[phase] = {
+            "countdown": at,
+            "exception": exception,
+            "every_n": every_n,
+            "first_k": first_k,
+            "arrivals": 0,
+        }
         return self
 
     def disarm(self, phase: Optional[str] = None) -> None:
@@ -96,10 +133,23 @@ class FaultInjector:
         plan = self._plans.get(phase)
         if plan is None:
             return
-        plan["countdown"] -= 1
-        if plan["countdown"] > 0:
-            return
-        del self._plans[phase]
+        if plan["every_n"] is not None:
+            plan["arrivals"] += 1
+            if plan["arrivals"] % plan["every_n"]:
+                return
+            # Persistent intermittent plan: stays armed after firing.
+        elif plan["first_k"] is not None:
+            plan["arrivals"] += 1
+            if plan["arrivals"] > plan["first_k"]:
+                del self._plans[phase]
+                return
+            if plan["arrivals"] == plan["first_k"]:
+                del self._plans[phase]
+        else:
+            plan["countdown"] -= 1
+            if plan["countdown"] > 0:
+                return
+            del self._plans[phase]
         self.fired.append(phase)
         logger.warning("fault injected at phase %r", phase)
         get_default_registry().counter(

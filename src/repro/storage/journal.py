@@ -166,15 +166,20 @@ class Journal:
         }
         line = json.dumps(entry, separators=(",", ":"))
         handle = self._ensure_handle()
-        handle.write(line + "\n")
-        handle.flush()
-        if self.fsync:
-            fsync_started = time.perf_counter()
-            os.fsync(handle.fileno())
-            self.metrics.histogram(
-                "repro_journal_fsync_seconds",
-                "Wall seconds spent in fsync per journal append.",
-            ).observe(time.perf_counter() - fsync_started)
+        position = handle.tell()
+        try:
+            handle.write(line + "\n")
+            handle.flush()
+            if self.fsync:
+                fsync_started = time.perf_counter()
+                os.fsync(handle.fileno())
+                self.metrics.histogram(
+                    "repro_journal_fsync_seconds",
+                    "Wall seconds spent in fsync per journal append.",
+                ).observe(time.perf_counter() - fsync_started)
+        except BaseException:
+            self._rewind(position)
+            raise
         self._sequence += 1
         self.metrics.counter(
             "repro_journal_appends_total",
@@ -197,6 +202,25 @@ class Journal:
         if self._handle is None or self._handle.closed:
             self._handle = open(self.path, "a", encoding="utf-8")
         return self._handle
+
+    def _rewind(self, position: int) -> None:
+        """Truncate the active segment back to ``position``.
+
+        Called when a write/flush/fsync fails mid-append: the partial
+        line (if any) is cut away so the file never holds a torn entry.
+        A caller that retries the append therefore cannot glue a
+        duplicate onto a fragment.  Best-effort — if the truncate
+        itself fails, recovery's torn-tail tolerance is the backstop.
+        """
+        self.close()
+        try:
+            with open(self.path, "rb+") as handle:
+                handle.truncate(position)
+        except OSError as exc:
+            logger.warning(
+                "journal rewind to offset %d failed (%s); a torn final "
+                "line may remain for recovery to skip", position, exc,
+            )
 
     def sync(self) -> None:
         """Flush and fsync the active segment (for ``fsync=False`` runs)."""

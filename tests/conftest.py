@@ -1,10 +1,61 @@
-"""Shared fixtures: the paper's example databases and small graphs."""
+"""Shared fixtures: the paper's example databases and small graphs.
+
+Also installs a per-test wall-clock fence for the ``faults`` and
+``soak`` markers: a crash-injection or soak test that hangs (e.g. a
+recovery loop replaying a corrupt journal forever) is killed by
+``SIGALRM`` after ``FAULTS_TIMEOUT``/``SOAK_TIMEOUT`` seconds instead
+of wedging the whole run until the coarse ``make`` fence fires.
+POSIX-only (no-op where ``signal.SIGALRM`` is unavailable or off the
+main thread); ``pytest-timeout`` isn't in the image, so this is the
+dependency-free equivalent.
+"""
 
 from __future__ import annotations
+
+import signal
+import threading
 
 import pytest
 
 from repro.storage.database import Database
+
+#: Per-test wall-clock budgets (seconds) by marker.
+FAULTS_TIMEOUT = 120
+SOAK_TIMEOUT = 300
+
+
+def _marker_timeout(item) -> int:
+    if item.get_closest_marker("soak") is not None:
+        return SOAK_TIMEOUT
+    if item.get_closest_marker("faults") is not None:
+        return FAULTS_TIMEOUT
+    return 0
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    seconds = _marker_timeout(item)
+    usable = (
+        seconds > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not usable:
+        yield
+        return
+
+    def _expired(_signum, _frame):
+        raise TimeoutError(
+            f"{item.nodeid} exceeded its {seconds}s marker timeout"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 #: Example 1.1's link relation.
 EXAMPLE_1_1_LINKS = [("a", "b"), ("b", "c"), ("b", "e"), ("a", "d"), ("d", "c")]

@@ -189,3 +189,93 @@ class TestSubscriptions:
         with maintainer.transaction() as txn:
             txn.insert("link", ("c", "f"))
         assert events == ["hop"]
+
+
+class TestRetryBackoffJitter:
+    """Failed deliveries retry with jittered exponential backoff.
+
+    The k-th pause is drawn uniformly from [b*2^k, b*2^k*(1+jitter)] —
+    bounded below by the exponential schedule, bounded above by the
+    jitter factor, and (with overwhelming probability for a seeded RNG)
+    not identical across retries, so subscribers that failed on the
+    same pass don't hammer their shared backend in lockstep.
+    """
+
+    def hub(self, **kwargs):
+        from repro.core.active import SubscriptionHub
+
+        pauses = []
+        hub = SubscriptionHub(sleep=pauses.append, **kwargs)
+        return hub, pauses
+
+    def always_failing(self, hub):
+        calls = []
+
+        def callback(view, delta):
+            calls.append(view)
+            raise RuntimeError("backend down")
+
+        hub.subscribe("hop", callback)
+        return calls
+
+    def delta(self):
+        from repro.storage.relation import CountedRelation
+
+        delta = CountedRelation("Δhop", 2)
+        delta.add(("a", "c"), 1)
+        return delta
+
+    def test_pauses_bounded_by_jittered_exponential(self):
+        base, jitter = 0.01, 0.25
+        hub, pauses = self.hub(
+            max_attempts=5, backoff_seconds=base, jitter=jitter, seed=7
+        )
+        calls = self.always_failing(hub)
+        hub.notify({"hop": self.delta()})
+
+        assert len(calls) == 5
+        assert len(pauses) == 4  # no pause after the final attempt
+        for k, pause in enumerate(pauses):
+            floor = base * 2 ** k
+            assert floor <= pause <= floor * (1.0 + jitter), (
+                f"pause {k} = {pause} outside "
+                f"[{floor}, {floor * (1 + jitter)}]"
+            )
+
+    def test_jitter_desynchronizes_retries(self):
+        hub, pauses = self.hub(
+            max_attempts=4, backoff_seconds=0.01, jitter=0.5, seed=11
+        )
+        self.always_failing(hub)
+        hub.notify({"hop": self.delta()})
+
+        # Normalize out the exponential doubling: identical ratios would
+        # mean every retry waits the same jitter multiple (lockstep).
+        ratios = [pause / (0.01 * 2 ** k) for k, pause in enumerate(pauses)]
+        assert len(set(ratios)) > 1
+        assert all(1.0 <= ratio <= 1.5 for ratio in ratios)
+
+    def test_seed_makes_schedule_reproducible(self):
+        schedules = []
+        for _ in range(2):
+            hub, pauses = self.hub(
+                max_attempts=4, backoff_seconds=0.01, jitter=0.5, seed=3
+            )
+            self.always_failing(hub)
+            hub.notify({"hop": self.delta()})
+            schedules.append(tuple(pauses))
+        assert schedules[0] == schedules[1]
+
+    def test_zero_jitter_is_exact_exponential(self):
+        hub, pauses = self.hub(
+            max_attempts=4, backoff_seconds=0.01, jitter=0.0
+        )
+        self.always_failing(hub)
+        hub.notify({"hop": self.delta()})
+        assert pauses == [0.01, 0.02, 0.04]
+
+    def test_negative_jitter_rejected(self):
+        from repro.core.active import SubscriptionHub
+
+        with pytest.raises(ValueError, match="jitter"):
+            SubscriptionHub(jitter=-0.1)

@@ -39,7 +39,7 @@ def test_smoke_emits_valid_bench_json(tmp_path):
     by_name = {w["workload"]: w for w in payload["workloads"]}
     assert set(by_name) == {
         "counting-small-delta", "dred-small-delta", "batched-vs-sequential",
-        "tracing-overhead",
+        "tracing-overhead", "guard-overhead",
     }
 
     for name in ("counting-small-delta", "dred-small-delta"):
@@ -66,6 +66,12 @@ def test_smoke_emits_valid_bench_json(tmp_path):
     assert overhead["within_budget"] is True
     assert overhead["overhead_ratio"] < overhead["budget"]
     assert overhead["hook_crossings"] > 0
+
+    # Same 5% gate for the disabled guard meter.
+    guard = by_name["guard-overhead"]
+    assert guard["within_budget"] is True
+    assert guard["overhead_ratio"] < guard["budget"]
+    assert guard["meter_crossings"] > 0
 
     # Engine telemetry rides along in every bench document.
     assert "metrics" in payload["telemetry"]

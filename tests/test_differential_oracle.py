@@ -30,6 +30,7 @@ from hypothesis import strategies as st
 
 from repro.baselines.recount import true_view_deltas
 from repro.core.maintenance import ViewMaintainer
+from repro.guard import GuardPolicy, MaintenanceBudget
 from repro.datalog.parser import parse_program
 from repro.eval.stratified import materialize
 from repro.storage.changeset import Changeset
@@ -132,10 +133,32 @@ def update_stream(draw, set_model=False):
 
 
 CONFIGS = [
-    pytest.param(cache, batched, id=f"cache-{cache}-batched-{batched}")
+    pytest.param(
+        cache, batched, None, id=f"cache-{cache}-batched-{batched}"
+    )
     for cache in (True, False)
     for batched in (True, False)
+] + [
+    # The same contract must hold inside the guard envelope: with an
+    # enabled (but unreachable) budget metering every pass, and with
+    # every pass forced through the recompute fallback.
+    pytest.param(True, False, "enabled", id="guard-enabled"),
+    pytest.param(True, False, "forced", id="guard-forced"),
 ]
+
+
+def _guard_policy(mode):
+    if mode == "enabled":
+        return GuardPolicy(
+            budget=MaintenanceBudget(
+                deadline_seconds=3600.0,
+                max_delta_tuples=10**9,
+                max_rule_firings=10**9,
+            )
+        )
+    if mode == "forced":
+        return GuardPolicy(force_fallback=True)
+    return None
 
 
 def _buckets(stream, size=2):
@@ -157,17 +180,18 @@ def _final_state_matches(maintainer, source, oracle_db, semantics):
 # ---------------------------------------------------------- counting ≡ oracle
 
 
-@pytest.mark.parametrize("cache,batched", CONFIGS)
+@pytest.mark.parametrize("cache,batched,guard", CONFIGS)
 @settings(max_examples=25, derandomize=True, deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
 @given(case=stratified_program(), updates=update_stream(),
        semantics=st.sampled_from(["set", "duplicate"]))
-def test_counting_matches_oracles(cache, batched, case, updates, semantics):
+def test_counting_matches_oracles(cache, batched, guard, case, updates,
+                                  semantics):
     edges, stream = updates
     program = parse_program(case)
     maintainer = ViewMaintainer.from_source(
         case, database_with(edges), strategy="counting",
-        semantics=semantics, plan_cache=cache,
+        semantics=semantics, plan_cache=cache, guard=_guard_policy(guard),
     ).initialize()
     oracle_db = database_with(edges)
 
@@ -193,14 +217,15 @@ def test_counting_matches_oracles(cache, batched, case, updates, semantics):
 # -------------------------------------------------------------- DRed ≡ oracle
 
 
-@pytest.mark.parametrize("cache,batched", CONFIGS)
+@pytest.mark.parametrize("cache,batched,guard", CONFIGS)
 @settings(max_examples=15, derandomize=True, deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
 @given(case=stratified_program(), updates=update_stream(set_model=True))
-def test_dred_matches_recompute(cache, batched, case, updates):
+def test_dred_matches_recompute(cache, batched, guard, case, updates):
     edges, stream = updates
     maintainer = ViewMaintainer.from_source(
         case, database_with(edges), strategy="dred", plan_cache=cache,
+        guard=_guard_policy(guard),
     ).initialize()
     oracle_db = database_with(edges)
 
@@ -218,15 +243,16 @@ def test_dred_matches_recompute(cache, batched, case, updates):
     _final_state_matches(maintainer, case, oracle_db, "set")
 
 
-@pytest.mark.parametrize("cache,batched", CONFIGS)
+@pytest.mark.parametrize("cache,batched,guard", CONFIGS)
 @settings(max_examples=15, derandomize=True, deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
 @given(updates=update_stream(set_model=True))
-def test_dred_recursive_matches_recompute(cache, batched, updates):
+def test_dred_recursive_matches_recompute(cache, batched, guard, updates):
     """Same contract on the recursive TC program (fixpoint + rederive)."""
     edges, stream = updates
     maintainer = ViewMaintainer.from_source(
         TC_SRC, database_with(edges), strategy="dred", plan_cache=cache,
+        guard=_guard_policy(guard),
     ).initialize()
     oracle_db = database_with(edges)
 

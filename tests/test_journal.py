@@ -174,9 +174,108 @@ class TestSegmentRotation:
         with pytest.raises(Exception):
             list(Journal(journal.path, segment_entries=2).replay())
 
+    def test_torn_active_tail_trimmed_after_rotation(self, tmp_path):
+        journal = Journal(str(tmp_path / "seg.jsonl"), segment_entries=2)
+        for i in range(3):
+            journal.append(Changeset().insert("p", (i,)))
+        journal.close()
+        # Crash mid-append into the active segment (one entry + fragment).
+        with open(journal.path, "a", encoding="utf-8") as handle:
+            handle.write('{"seq": 4, "changes": {"fo')
+        reopened = Journal(journal.path, segment_entries=2)
+        assert len(reopened) == 3  # fragment trimmed, archive intact
+        reopened.append(Changeset().insert("p", (3,)))
+        replayed = list(reopened.replay())
+        assert [c.delta("p").to_dict() for c in replayed] == [
+            {(i,): 1} for i in range(4)
+        ]
+
+    def test_torn_fragment_as_entire_active_segment(self, tmp_path):
+        journal = Journal(str(tmp_path / "seg.jsonl"), segment_entries=10)
+        journal.append(Changeset().insert("p", (0,)))
+        journal.append(Changeset().insert("p", (1,)))
+        journal.rotate()  # archive both; no active file remains
+        # The next append crashes before finishing its first line.
+        with open(journal.path, "w", encoding="utf-8") as handle:
+            handle.write('{"seq": 3, "changes": {"fo')
+        reopened = Journal(journal.path, segment_entries=10)
+        # Trim empties the active file; archived segments still pin
+        # the sequence, so the next append is seq 3, not seq 1.
+        assert len(reopened) == 2
+        assert reopened.append(Changeset().insert("p", (2,))) == 3
+        replayed = list(reopened.replay())
+        assert [c.delta("p").to_dict() for c in replayed] == [
+            {(i,): 1} for i in range(3)
+        ]
+
     def test_segment_entries_validation(self, tmp_path):
         with pytest.raises(ValueError):
             Journal(str(tmp_path / "bad.jsonl"), segment_entries=0)
+
+
+class TestFailedAppendRewind:
+    """A failed append truncates its own partial line (guard retries
+    must never glue a duplicate entry onto a torn fragment)."""
+
+    def test_failed_fsync_leaves_no_torn_line(self, journal, monkeypatch):
+        import repro.storage.journal as journal_module
+
+        journal.append(Changeset().insert("p", (1,)))
+        real_fsync = journal_module.os.fsync
+        calls = {"n": 0}
+
+        def flaky_fsync(fd):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise OSError("fsync: disk wobble")
+            return real_fsync(fd)
+
+        monkeypatch.setattr(journal_module.os, "fsync", flaky_fsync)
+        with pytest.raises(OSError, match="disk wobble"):
+            journal.append(Changeset().insert("p", (2,)))
+
+        # The partial line was rewound: the file holds exactly the one
+        # durable entry, byte-clean.
+        with open(journal.path, "rb") as handle:
+            content = handle.read()
+        assert content.count(b"\n") == 1
+        assert len(journal) == 1
+
+        # A retry of the same append succeeds without duplication.
+        journal.append(Changeset().insert("p", (2,)))
+        replayed = list(Journal(journal.path).replay())
+        assert [c.delta("p").to_dict() for c in replayed] == [
+            {(1,): 1}, {(2,): 1},
+        ]
+
+    def test_rewind_failure_degrades_to_torn_tail(
+        self, journal, monkeypatch
+    ):
+        import repro.storage.journal as journal_module
+
+        journal.append(Changeset().insert("p", (1,)))
+        monkeypatch.setattr(
+            journal_module.os,
+            "fsync",
+            lambda fd: (_ for _ in ()).throw(OSError("fsync down")),
+        )
+        original_open = open
+
+        def no_rewind(path, mode="r", **kwargs):
+            if mode == "rb+":
+                raise OSError("cannot reopen")
+            return original_open(path, mode, **kwargs)
+
+        monkeypatch.setattr("builtins.open", no_rewind)
+        with pytest.raises(OSError, match="fsync down"):
+            journal.append(Changeset().insert("p", (2,)))
+        monkeypatch.undo()
+
+        # The un-fsynced line survives on disk, but reopening trims or
+        # accepts it exactly like any crash tail — replay stays sane.
+        replayed = list(Journal(journal.path).replay())
+        assert replayed[0].delta("p").to_dict() == {(1,): 1}
+        assert len(replayed) <= 2
 
 
 class TestMaintainerIntegration:

@@ -14,7 +14,8 @@ import os
 import pytest
 
 from repro.core.maintenance import ViewMaintainer
-from repro.errors import DivergenceError, MaintenanceError
+from repro.errors import BudgetExceeded, DivergenceError, MaintenanceError
+from repro.guard import GuardPolicy, MaintenanceBudget
 from repro.resilience import PHASES, FaultInjector, InjectedFault, UndoLog
 from repro.storage.changeset import Changeset
 from repro.storage.database import Database
@@ -531,6 +532,137 @@ class TestSelfHealing:
         maintainer.consistency_check()
 
 
+class TestGuardCheckpointAtomicity:
+    """BudgetExceeded injected at EVERY guard checkpoint rolls back.
+
+    The guard checkpoints are new crash points inside the hot loops;
+    each must preserve the shadow-commit contract.  The meter is armed
+    with an enormous (but bounded, hence enabled) budget so checkpoints
+    execute without tripping on their own, and the fault injector
+    raises ``BudgetExceeded`` at the k-th checkpoint for every k the
+    pass reaches.
+    """
+
+    BREACH = GuardPolicy(
+        budget=MaintenanceBudget(max_rule_firings=10**9), fallback="raise"
+    )
+
+    @pytest.mark.parametrize("strategy, source", [
+        ("counting", COUNTING_SRC), ("dred", DRED_SRC),
+    ])
+    def test_breach_at_every_checkpoint_leaves_state_identical(
+        self, strategy, source
+    ):
+        checkpoints = 0
+        for position in range(1, 200):
+            maintainer = ViewMaintainer.from_source(
+                source,
+                database_with(EXAMPLE_1_1_LINKS),
+                strategy=strategy,
+                guard=self.BREACH,
+            ).initialize()
+            before = fingerprint(maintainer)
+            maintainer.faults.arm(
+                "budget_check",
+                at=position,
+                exception=BudgetExceeded("injected", kind="injected"),
+            )
+            if maintainer.faults.armed("budget_check"):
+                try:
+                    maintainer.apply(MIXED)
+                except BudgetExceeded:
+                    pass
+            if not maintainer.faults.fired:
+                # The pass has fewer than `position` checkpoints: the
+                # apply committed normally and the sweep is complete.
+                assert maintainer.lifetime.passes == 1
+                break
+            checkpoints += 1
+            assert fingerprint(maintainer) == before
+            assert maintainer.lifetime.passes == 0
+            maintainer.consistency_check()
+        else:
+            pytest.fail("checkpoint sweep never terminated")
+        assert checkpoints >= 3, f"only {checkpoints} checkpoints reached"
+
+    @pytest.mark.parametrize("strategy, source", [
+        ("counting", COUNTING_SRC), ("dred", DRED_SRC),
+    ])
+    def test_fallback_after_any_checkpoint_matches_control(
+        self, strategy, source
+    ):
+        policy = GuardPolicy(budget=MaintenanceBudget(max_rule_firings=10**9))
+        control = build(source, strategy)
+        control.apply(MIXED)
+        expected = fingerprint(control)
+        for position in (1, 2, 3):
+            maintainer = ViewMaintainer.from_source(
+                source,
+                database_with(EXAMPLE_1_1_LINKS),
+                strategy=strategy,
+                guard=policy,
+            ).initialize()
+            maintainer.faults.arm(
+                "budget_check",
+                at=position,
+                exception=BudgetExceeded("injected", kind="injected"),
+            )
+            report = maintainer.apply(MIXED)
+            assert report.strategy == "recompute"
+            assert fingerprint(maintainer) == expected
+            maintainer.consistency_check()
+
+    def test_fault_during_admission_leaves_state_identical(self, tmp_path):
+        guard = GuardPolicy(quarantine_path=str(tmp_path / "q.dlq"))
+        maintainer = ViewMaintainer.from_source(
+            COUNTING_SRC,
+            database_with(EXAMPLE_1_1_LINKS),
+            strategy="counting",
+            guard=guard,
+        ).initialize()
+        before = fingerprint(maintainer)
+        maintainer.faults.arm("admission")
+        with pytest.raises(InjectedFault):
+            maintainer.apply(MIXED)
+        assert fingerprint(maintainer) == before
+        assert len(maintainer.quarantine) == 0
+
+    def test_fault_during_quarantine_append_leaves_state_identical(
+        self, tmp_path
+    ):
+        guard = GuardPolicy(quarantine_path=str(tmp_path / "q.dlq"))
+        maintainer = ViewMaintainer.from_source(
+            COUNTING_SRC,
+            database_with(EXAMPLE_1_1_LINKS),
+            strategy="counting",
+            guard=guard,
+        ).initialize()
+        before = fingerprint(maintainer)
+        maintainer.faults.arm("quarantine_append")
+        with pytest.raises(InjectedFault):
+            maintainer.apply(Changeset().insert("hop", ("x", "y")))
+        assert fingerprint(maintainer) == before
+        assert len(maintainer.quarantine) == 0
+        assert maintainer.lag()["changesets"] == 0
+
+    def test_fault_during_fallback_recompute_leaves_state_identical(self):
+        maintainer = ViewMaintainer.from_source(
+            COUNTING_SRC,
+            database_with(EXAMPLE_1_1_LINKS),
+            strategy="counting",
+            guard=GuardPolicy(force_fallback=True),
+        ).initialize()
+        before = fingerprint(maintainer)
+        maintainer.faults.arm("fallback_recompute")
+        with pytest.raises(InjectedFault):
+            maintainer.apply(MIXED)
+        assert fingerprint(maintainer) == before
+        assert maintainer.lifetime.passes == 0
+        # The one-shot plan is spent: the retry commits cleanly.
+        maintainer.apply(MIXED)
+        maintainer.consistency_check()
+
+
 class TestFaultInjectorUnit:
     def test_unknown_phase_rejected(self):
         with pytest.raises(ValueError, match="unknown fault phase"):
@@ -557,6 +689,42 @@ class TestFaultInjectorUnit:
         for phase in PHASES:
             faults.arm(phase)
             assert faults.armed(phase)
+
+    def test_every_n_fires_periodically_and_stays_armed(self):
+        faults = FaultInjector().arm("count_merge", every_n=3)
+        fired = 0
+        for _ in range(9):
+            try:
+                faults.fire("count_merge")
+            except InjectedFault:
+                fired += 1
+        assert fired == 3  # arrivals 3, 6, 9
+        assert faults.armed("count_merge")  # persistent plan
+
+    def test_first_k_fires_k_times_then_disarms(self):
+        faults = FaultInjector().arm("count_merge", first_k=2)
+        for _ in range(2):
+            with pytest.raises(InjectedFault):
+                faults.fire("count_merge")
+        faults.fire("count_merge")  # third arrival: plan consumed
+        assert faults.fired == ["count_merge", "count_merge"]
+        assert not faults.armed("count_merge")
+
+    def test_intermittent_modes_are_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            FaultInjector().arm("count_merge", every_n=2, first_k=2)
+        with pytest.raises(ValueError):
+            FaultInjector().arm("count_merge", every_n=0)
+        with pytest.raises(ValueError):
+            FaultInjector().arm("count_merge", first_k=0)
+
+    def test_intermittent_custom_exception(self):
+        faults = FaultInjector().arm(
+            "journal_append", every_n=2, exception=OSError("flaky disk")
+        )
+        faults.fire("journal_append")
+        with pytest.raises(OSError, match="flaky disk"):
+            faults.fire("journal_append")
 
 
 class TestUndoLogUnit:
