@@ -7,11 +7,11 @@ PYTEST := env PYTHONPATH=src $(PYTHON) -m pytest
 TIMEOUT ?= timeout
 
 .PHONY: check test test-fast test-faults test-soak bench-smoke obs-smoke \
-	guard-smoke
+	guard-smoke lint-smoke lint ruff pylint
 
-# The default gate: the whole suite plus the benchmark, observability
-# and guardrail smoke runs.
-check: test bench-smoke obs-smoke guard-smoke
+# The default gate: the whole suite plus the benchmark, observability,
+# guardrail and static-analysis smoke runs.
+check: test bench-smoke obs-smoke guard-smoke lint-smoke
 
 # The tier-1 gate: everything, fail fast.
 test:
@@ -51,3 +51,35 @@ obs-smoke:
 # through the quarantine dead-letter file.
 guard-smoke:
 	env PYTHONPATH=src $(PYTHON) -m repro.guard.smoke
+
+# Static-analysis acceptance: every Datalog program embedded in
+# examples/*.py lints clean of error diagnostics through the real
+# `repro lint --format json` CLI (schema-validated), the strategy
+# advisor's counting/DRed pick matches ViewMaintainer's own
+# auto-selection on each, and a known-bad fixture produces exactly the
+# expected RV codes.  See docs/analysis.md for the code catalogue.
+lint-smoke:
+	env PYTHONPATH=src $(PYTHON) -m repro.analysis.smoke
+
+# Lint an arbitrary program: make lint FILE=path/to/views.dl
+lint:
+	env PYTHONPATH=src $(PYTHON) -m repro lint $(FILE)
+
+# Static passes over the codebase itself.  Both tools are optional in
+# the base image; the targets skip (successfully) when the tool is not
+# installed so `make ruff pylint` stays usable everywhere.  Ruff is
+# configured in pyproject.toml ([tool.ruff]).
+ruff:
+	@if $(PYTHON) -m ruff --version >/dev/null 2>&1; then \
+		$(PYTHON) -m ruff check src tests benchmarks examples; \
+	else \
+		echo "ruff not installed; skipping (pip install ruff)"; \
+	fi
+
+pylint:
+	@if $(PYTHON) -m pylint --version >/dev/null 2>&1; then \
+		env PYTHONPATH=src $(PYTHON) -m pylint --rcfile=pyproject.toml \
+			repro; \
+	else \
+		echo "pylint not installed; skipping (pip install pylint)"; \
+	fi

@@ -51,6 +51,7 @@ from repro.errors import (
     SchemaError,
     StaleViewError,
     StratificationError,
+    StrategyError,
     UnknownRelationError,
 )
 from repro.guard import (
@@ -79,6 +80,7 @@ from repro.resilience import (
     RepairReport,
     UndoLog,
 )
+from repro.analysis import AnalysisReport, Diagnostic, Severity, analyze
 from repro.storage import (
     Changeset,
     CountedRelation,
@@ -95,6 +97,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "Aggregate",
+    "AnalysisReport",
+    "analyze",
     "BudgetExceeded",
     "Changeset",
     "Comparison",
@@ -130,6 +134,9 @@ __all__ = [
     "SafetyError",
     "SchemaError",
     "StratificationError",
+    "StrategyError",
+    "Severity",
+    "Diagnostic",
     "UnknownRelationError",
     "atom",
     "fact",

@@ -1,0 +1,53 @@
+"""Static program analysis: diagnostics, lint checks, strategy advisor.
+
+The paper is full of statically checkable preconditions — counting
+applies only to nonrecursive views (Section 4), ``Δ(¬q)`` needs safe
+negation (Section 6.1), only incrementally-computable aggregates avoid
+group recomputation on deletes (Algorithm 6.1).  This package turns
+them into positioned diagnostics with stable codes (``RV001`` …) before
+a program hits the maintenance hot paths::
+
+    from repro.analysis import analyze
+
+    report = analyze("hop(X, Y) :- link(X, Z), link(Z, Y).")
+    report.ok                 # True: no error-severity findings
+    report.advice.overall     # "counting" — matches strategy="auto"
+    print(report.render_text())
+
+The same battery backs the ``python -m repro lint`` CLI command.  The
+full code catalogue (with paper citations) lives in
+:data:`~repro.analysis.diagnostics.CODES` and ``docs/analysis.md``.
+"""
+
+from repro.analysis.analyzer import AnalysisReport, analyze
+from repro.analysis.advisor import StratumAdvice, StrategyAdvice, advise
+from repro.analysis.diagnostics import (
+    CODES,
+    CodeInfo,
+    Diagnostic,
+    Severity,
+    count_by_severity,
+    make_diagnostic,
+    max_severity,
+    render_json,
+    render_text,
+    suppress,
+)
+
+__all__ = [
+    "AnalysisReport",
+    "analyze",
+    "advise",
+    "StrategyAdvice",
+    "StratumAdvice",
+    "CODES",
+    "CodeInfo",
+    "Diagnostic",
+    "Severity",
+    "count_by_severity",
+    "make_diagnostic",
+    "max_severity",
+    "render_json",
+    "render_text",
+    "suppress",
+]

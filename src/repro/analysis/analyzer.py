@@ -1,0 +1,232 @@
+"""The analyzer entry point: run the whole battery over one program.
+
+:func:`analyze` accepts Datalog source text, a parsed
+:class:`~repro.datalog.ast.Program` (including one produced by the SQL
+translator), or a live maintainer (anything with a ``program``
+attribute, e.g. :class:`~repro.core.maintenance.ViewMaintainer`), and
+returns an :class:`AnalysisReport`: every diagnostic the checks found,
+the stratification (when one exists), and the strategy advisor's
+recommendation.
+
+The pipeline is staged the way the engine itself consumes programs:
+
+1. parse (``RV000``) and schema (``RV010``) errors end the analysis —
+   there is no AST to inspect;
+2. safety (``RV001``-``RV006``) and stratification (``RV007``) run on
+   the AST; both may fail while the other succeeds;
+3. the structural checks (``RV10x``) run whenever an AST exists;
+4. the strategy checks (``RV008``/``RV009``) and the advisor
+   (``RV201``/``RV202``) run only on stratified programs — strategy is
+   a property of the stratification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis import checks as _checks
+from repro.analysis.advisor import StrategyAdvice, advise
+from repro.analysis.diagnostics import (
+    Diagnostic,
+    Severity,
+    count_by_severity,
+    make_diagnostic,
+    max_severity,
+    render_json,
+    render_text,
+    suppress,
+)
+from repro.datalog.ast import Program, Span
+from repro.datalog.parser import parse_program
+from repro.datalog.stratify import Stratification
+from repro.errors import ParseError, SchemaError
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """Everything one analysis run found.
+
+    ``program``/``stratification``/``advice`` are ``None`` when the
+    corresponding stage could not run (parse error, unstratifiable
+    program).
+    """
+
+    diagnostics: Tuple[Diagnostic, ...]
+    program: Optional[Program] = None
+    stratification: Optional[Stratification] = None
+    advice: Optional[StrategyAdvice] = None
+    path: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when no error-severity diagnostic was produced."""
+        return not self.errors()
+
+    def errors(self) -> List[Diagnostic]:
+        return self.at_severity(Severity.ERROR)
+
+    def warnings(self) -> List[Diagnostic]:
+        return [
+            d for d in self.diagnostics if d.severity == Severity.WARNING
+        ]
+
+    def at_severity(self, threshold: Severity) -> List[Diagnostic]:
+        """Diagnostics at or above ``threshold``."""
+        return [d for d in self.diagnostics if d.severity >= threshold]
+
+    def codes(self) -> List[str]:
+        return sorted({d.code for d in self.diagnostics})
+
+    def exit_code(self, fail_on: Union[Severity, str, None] = None) -> int:
+        """CLI exit status: 1 when findings reach ``fail_on`` (default
+        error), 0 otherwise."""
+        threshold = (
+            Severity.from_name(fail_on)
+            if isinstance(fail_on, str)
+            else (fail_on if fail_on is not None else Severity.ERROR)
+        )
+        worst = max_severity(self.diagnostics)
+        return 1 if worst is not None and worst >= threshold else 0
+
+    def summary(self) -> Dict[str, int]:
+        return count_by_severity(self.diagnostics)
+
+    def render_text(self, show_hints: bool = True) -> str:
+        body = render_text(
+            self.diagnostics, self.path, show_hints=show_hints
+        )
+        lines = [body] if body else []
+        counts = self.summary()
+        lines.append(
+            f"{counts['errors']} error(s), {counts['warnings']} "
+            f"warning(s), {counts['infos']} info(s)"
+        )
+        if self.advice is not None:
+            lines.append(f"strategy advisor: {self.advice.overall}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "version": 1,
+            "path": self.path,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "summary": self.summary(),
+            "advice": (
+                self.advice.to_dict() if self.advice is not None else None
+            ),
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        extra = {
+            "advice": (
+                self.advice.to_dict() if self.advice is not None else None
+            )
+        }
+        return render_json(
+            self.diagnostics, self.path, extra=extra, indent=indent
+        )
+
+
+def analyze(
+    target: Union[str, Program, object],
+    *,
+    strategy: str = "auto",
+    semantics: str = "set",
+    counting_mode: str = "expansion",
+    budget: Optional[object] = None,
+    suppress_codes: Iterable[str] = (),
+    path: Optional[str] = None,
+) -> AnalysisReport:
+    """Run the full check battery over ``target``.
+
+    ``strategy``/``semantics`` describe how the program will be
+    maintained, so the strategy checks (``RV008``/``RV009``) can flag a
+    forced strategy the program cannot run under; when ``target`` is a
+    maintainer those are read from it.  ``budget`` feeds the advisor's
+    guard-risk prediction (``RV202``).  ``suppress_codes`` drops
+    diagnostics by stable code.
+    """
+    program: Optional[Program]
+    diagnostics: List[Diagnostic] = []
+
+    if isinstance(target, Program):
+        program = target
+    elif isinstance(target, str):
+        try:
+            program = parse_program(target)
+        except ParseError as exc:
+            span = Span(exc.line, exc.column) if exc.line else None
+            return _finish(
+                [make_diagnostic("RV000", str(exc), span=span)],
+                suppress_codes,
+                path,
+            )
+        except SchemaError as exc:
+            return _finish(
+                [make_diagnostic("RV010", str(exc))], suppress_codes, path
+            )
+    elif hasattr(target, "program"):
+        # A live maintainer: analyze the original (pre-normalization)
+        # program under the maintainer's actual configuration.
+        program = target.program
+        strategy = getattr(target, "strategy", strategy)
+        semantics = getattr(target, "semantics", semantics)
+        counting_mode = getattr(target, "counting_mode", counting_mode)
+    else:
+        raise TypeError(
+            "analyze() expects Datalog source text, a Program, or a "
+            f"maintainer with a .program attribute, got {type(target)!r}"
+        )
+
+    diagnostics.extend(_checks.check_safety(program))
+    stratification, strat_diags = _checks.check_stratification(program)
+    diagnostics.extend(strat_diags)
+    for check in _checks.STRUCTURAL_CHECKS:
+        diagnostics.extend(check(program))
+
+    advice: Optional[StrategyAdvice] = None
+    if stratification is not None:
+        diagnostics.extend(
+            _checks.check_strategy(stratification, strategy, semantics)
+        )
+        advice = advise(
+            stratification, counting_mode=counting_mode, budget=budget
+        )
+        diagnostics.extend(advice.diagnostics)
+
+    return _finish(
+        diagnostics,
+        suppress_codes,
+        path,
+        program=program,
+        stratification=stratification,
+        advice=advice,
+    )
+
+
+def _finish(
+    diagnostics: Sequence[Diagnostic],
+    suppress_codes: Iterable[str],
+    path: Optional[str],
+    program: Optional[Program] = None,
+    stratification: Optional[Stratification] = None,
+    advice: Optional[StrategyAdvice] = None,
+) -> AnalysisReport:
+    kept = suppress(list(diagnostics), suppress_codes)
+    ordered = sorted(
+        kept,
+        key=lambda d: (
+            -int(d.severity),
+            d.span.line if d.span else 1 << 30,
+            d.span.column if d.span else 1 << 30,
+            d.code,
+        ),
+    )
+    return AnalysisReport(
+        diagnostics=tuple(ordered),
+        program=program,
+        stratification=stratification,
+        advice=advice,
+        path=path,
+    )

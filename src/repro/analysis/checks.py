@@ -1,0 +1,539 @@
+"""The analyzer's check battery: paper preconditions as diagnostics.
+
+Each check is a pure function over a parsed
+:class:`~repro.datalog.ast.Program` (plus, where useful, its
+:class:`~repro.datalog.stratify.Stratification`) returning a list of
+:class:`~repro.analysis.diagnostics.Diagnostic`.  The checks turn the
+paper's statically checkable preconditions into positioned findings:
+
+* safety / range restriction (Section 6.1) — errors RV001-RV006;
+* stratification with the offending cycle (Definition 3.1) — RV007;
+* strategy applicability (counting nonrecursive only, Section 4; DRed
+  set-only, Section 7) — RV008/RV009;
+* duplicate derivations that inflate bag-semantics counts (Section 5)
+  — RV103/RV104;
+* non-incrementally-computable aggregates (Algorithm 6.1) — RV105;
+* reachability on the dependency graph (dead rules, empty predicates)
+  — RV106/RV107;
+* delta-rule fan-out per Definition 4.1 — RV108;
+* plus classic lint hygiene: singleton variables (RV101), cartesian
+  bodies (RV102), undefined predicates (RV109), unused base
+  declarations (RV110).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.datalog.ast import (
+    Aggregate,
+    Comparison,
+    Literal,
+    Program,
+    Rule,
+)
+from repro.datalog.dependency import DependencyGraph
+from repro.datalog.safety import SafetyIssue, program_safety_issues
+from repro.datalog.stratify import Stratification, stratify
+from repro.errors import StratificationError
+from repro.analysis.diagnostics import Diagnostic, make_diagnostic
+
+#: SafetyIssue.kind → stable diagnostic code.
+_SAFETY_CODES = {
+    "head": "RV001",
+    "negation": "RV002",
+    "comparison": "RV003",
+    "expression": "RV004",
+    "fact": "RV005",
+    "aggregate-leak": "RV006",
+}
+
+#: Aggregates Algorithm 6.1 maintains incrementally under deletions too:
+#: COUNT/SUM (and the moment-derived AVG/VAR/STDDEV) reverse a delete by
+#: subtracting; MIN/MAX cannot — deleting the current extreme forces a
+#: group recomputation.
+NON_INCREMENTAL_AGGREGATES = ("MIN", "MAX")
+
+#: A body with this many deltable subgoals produces >= 2^n - 1 = 127
+#: expansion variants (Definition 4.1); flag it before it burns budget.
+FANOUT_WARN_SUBGOALS = 7
+
+
+def _issue_diag(issue: SafetyIssue) -> Diagnostic:
+    return make_diagnostic(
+        _SAFETY_CODES[issue.kind],
+        issue.message,
+        span=issue.span,
+        rule=issue.rule,
+        predicate=issue.rule.head.predicate,
+        data={"variables": issue.variables} if issue.variables else None,
+    )
+
+
+def check_safety(program: Program) -> List[Diagnostic]:
+    """RV001-RV006: every range-restriction violation, positioned."""
+    return [_issue_diag(issue) for issue in program_safety_issues(program)]
+
+
+def check_stratification(
+    program: Program,
+) -> Tuple[Optional[Stratification], List[Diagnostic]]:
+    """RV007: why stratification failed, with the offending cycle."""
+    try:
+        return stratify(program), []
+    except StratificationError as exc:
+        cycle = exc.cycle
+        span = None
+        rule_text = None
+        if len(cycle) >= 2:
+            head, body = cycle[0], cycle[1]
+            for rule in program:
+                if rule.head.predicate != head:
+                    continue
+                for subgoal in rule.body:
+                    negative = (
+                        isinstance(subgoal, Literal)
+                        and subgoal.negated
+                        and subgoal.predicate == body
+                    ) or (
+                        isinstance(subgoal, Aggregate)
+                        and subgoal.relation.predicate == body
+                    )
+                    if negative:
+                        span = subgoal.span
+                        rule_text = str(rule)
+                        break
+                if span is not None:
+                    break
+        return None, [
+            make_diagnostic(
+                "RV007",
+                str(exc),
+                span=span,
+                rule=rule_text,
+                predicate=cycle[0] if cycle else None,
+                data={"cycle": cycle},
+            )
+        ]
+
+
+def check_strategy(
+    stratification: Stratification,
+    strategy: str = "auto",
+    semantics: str = "set",
+) -> List[Diagnostic]:
+    """RV008/RV009: a forced strategy the program cannot run under."""
+    diagnostics: List[Diagnostic] = []
+    if strategy == "counting" and stratification.is_recursive:
+        diagnostics.append(counting_on_recursive(stratification))
+    if strategy == "dred" and semantics != "set":
+        diagnostics.append(dred_duplicate_semantics())
+    return diagnostics
+
+
+def counting_on_recursive(stratification: Stratification) -> Diagnostic:
+    """The RV008 diagnostic, with a concrete recursive cycle attached."""
+    cycle = _recursive_cycle(stratification)
+    rendered = " -> ".join(cycle) if cycle else ""
+    recursive = sorted(stratification.recursive_predicates)
+    message = (
+        "counting does not apply to recursive views "
+        f"(recursive predicates: {recursive}"
+        + (f"; cycle: {rendered}" if rendered else "")
+        + ")"
+    )
+    return make_diagnostic(
+        "RV008",
+        message,
+        predicate=recursive[0] if recursive else None,
+        data={"cycle": cycle, "recursive_predicates": tuple(recursive)},
+    )
+
+
+def dred_duplicate_semantics() -> Diagnostic:
+    return make_diagnostic(
+        "RV009",
+        "DRed is defined for set semantics only (Section 7); use "
+        "semantics='set' or the counting strategy",
+    )
+
+
+def _recursive_cycle(stratification: Stratification) -> Tuple[str, ...]:
+    """A shortest self-reaching path for some recursive predicate.
+
+    BFS from ``start`` along "depends on" edges (``predecessors``) until
+    it reaches ``start`` again; the result lists predicates in
+    "depends on" order with first == last: ``(start, ..., start)``.
+    """
+    recursive = sorted(stratification.recursive_predicates)
+    if not recursive:
+        return ()
+    graph = DependencyGraph(stratification.program)
+    start = recursive[0]
+    if start in graph.predecessors.get(start, ()):  # self-loop
+        return (start, start)
+    parents: Dict[str, str] = {}
+    frontier = [start]
+    while frontier:
+        nxt: List[str] = []
+        for node in frontier:
+            for dep in sorted(graph.predecessors.get(node, ())):
+                if dep == start:
+                    # node depends on start; walking parents from node
+                    # up to start gives the path start -> ... -> node in
+                    # "depends on" order once reversed.
+                    chain = [node]
+                    while chain[-1] != start:
+                        chain.append(parents[chain[-1]])
+                    return tuple(reversed(chain)) + (start,)
+                if dep in parents:
+                    continue
+                parents[dep] = node
+                nxt.append(dep)
+        frontier = nxt
+    return (start, start)
+
+
+def check_singleton_variables(program: Program) -> List[Diagnostic]:
+    """RV101: a named variable used exactly once in its rule."""
+    diagnostics: List[Diagnostic] = []
+    for rule in program:
+        if rule.is_fact:
+            continue
+        counts: Counter = Counter()
+        for name in _variable_occurrences(rule):
+            counts[name] += 1
+        singles = sorted(
+            name for name, count in counts.items()
+            if count == 1 and not name.startswith("_")
+        )
+        if singles:
+            diagnostics.append(
+                make_diagnostic(
+                    "RV101",
+                    f"variables {singles} occur only once in rule "
+                    f"[{rule}]; use '_' for intentionally unconstrained "
+                    "columns",
+                    span=rule.span,
+                    rule=rule,
+                    predicate=rule.head.predicate,
+                    data={"variables": tuple(singles)},
+                )
+            )
+    return diagnostics
+
+
+def _variable_occurrences(rule: Rule):
+    """Every variable occurrence in the rule (with repetition)."""
+    def from_term(term):
+        for name in term.variables():
+            yield name
+
+    for arg in rule.head.args:
+        yield from from_term(arg)
+    for subgoal in rule.body:
+        if isinstance(subgoal, Literal):
+            for arg in subgoal.args:
+                yield from from_term(arg)
+        elif isinstance(subgoal, Comparison):
+            yield from from_term(subgoal.left)
+            yield from from_term(subgoal.right)
+        elif isinstance(subgoal, Aggregate):
+            for arg in subgoal.relation.args:
+                yield from from_term(arg)
+            for var in subgoal.group_by:
+                yield var.name
+            yield subgoal.result.name
+            yield from from_term(subgoal.argument)
+
+
+def check_cartesian_products(program: Program) -> List[Diagnostic]:
+    """RV102: body subgoals that share no variables (cross product)."""
+    diagnostics: List[Diagnostic] = []
+    for rule in program:
+        positives = [
+            subgoal
+            for subgoal in rule.body
+            if (isinstance(subgoal, Literal) and not subgoal.negated)
+            or isinstance(subgoal, Aggregate)
+        ]
+        with_vars = [s for s in positives if s.variables()]
+        if len(with_vars) < 2:
+            continue
+        # Union-find over shared variables.
+        parent = list(range(len(with_vars)))
+
+        def find(i: int) -> int:
+            while parent[i] != i:
+                parent[i] = parent[parent[i]]
+                i = parent[i]
+            return i
+
+        by_var: Dict[str, int] = {}
+        for index, subgoal in enumerate(with_vars):
+            for name in subgoal.variables():
+                if name in by_var:
+                    parent[find(index)] = find(by_var[name])
+                else:
+                    by_var[name] = index
+        components = {find(i) for i in range(len(with_vars))}
+        if len(components) > 1:
+            groups = sorted(
+                str(with_vars[i])
+                for i in range(len(with_vars))
+                if find(i) == i
+            )
+            diagnostics.append(
+                make_diagnostic(
+                    "RV102",
+                    f"rule [{rule}] joins {len(components)} groups of "
+                    f"subgoals with no shared variables (cartesian "
+                    f"product); every maintenance pass multiplies their "
+                    f"sizes",
+                    span=rule.span,
+                    rule=rule,
+                    predicate=rule.head.predicate,
+                    data={"components": len(components),
+                          "representatives": tuple(groups)},
+                )
+            )
+    return diagnostics
+
+
+def check_duplicate_subgoals(program: Program) -> List[Diagnostic]:
+    """RV103: the same subgoal appearing twice in one body."""
+    diagnostics: List[Diagnostic] = []
+    for rule in program:
+        seen: Counter = Counter(str(subgoal) for subgoal in rule.body)
+        repeats = sorted(text for text, count in seen.items() if count > 1)
+        if repeats:
+            diagnostics.append(
+                make_diagnostic(
+                    "RV103",
+                    f"rule [{rule}] repeats subgoal(s) "
+                    f"{', '.join(repeats)}; under duplicate semantics "
+                    "each repetition multiplies stored derivation counts",
+                    span=rule.span,
+                    rule=rule,
+                    predicate=rule.head.predicate,
+                    data={"subgoals": tuple(repeats)},
+                )
+            )
+    return diagnostics
+
+
+def check_duplicate_rules(program: Program) -> List[Diagnostic]:
+    """RV104: structurally identical rules (counts double per copy)."""
+    diagnostics: List[Diagnostic] = []
+    seen: Dict[Rule, Rule] = {}
+    for rule in program:
+        first = seen.get(rule)
+        if first is None:
+            seen[rule] = rule
+            continue
+        diagnostics.append(
+            make_diagnostic(
+                "RV104",
+                f"rule [{rule}] duplicates an earlier rule"
+                + (f" (first at {first.span})" if first.span else "")
+                + "; every derivation is counted once per copy",
+                span=rule.span,
+                rule=rule,
+                predicate=rule.head.predicate,
+            )
+        )
+    return diagnostics
+
+
+def check_aggregates(program: Program) -> List[Diagnostic]:
+    """RV105: MIN/MAX views recompute groups on deletes (Algorithm 6.1)."""
+    diagnostics: List[Diagnostic] = []
+    for rule in program:
+        for subgoal in rule.body:
+            if not isinstance(subgoal, Aggregate):
+                continue
+            if subgoal.function in NON_INCREMENTAL_AGGREGATES:
+                diagnostics.append(
+                    make_diagnostic(
+                        "RV105",
+                        f"{subgoal.function} in [{rule}] is not "
+                        "incrementally computable under deletions "
+                        "(Algorithm 6.1): deleting a group's current "
+                        f"{subgoal.function.lower()} recomputes the "
+                        "whole group",
+                        span=subgoal.span,
+                        rule=rule,
+                        predicate=rule.head.predicate,
+                        data={"function": subgoal.function},
+                    )
+                )
+    return diagnostics
+
+
+def check_reachability(program: Program) -> List[Diagnostic]:
+    """RV106/RV107: predicates that can never hold tuples, dead rules.
+
+    Least fixpoint of *inhabitability*: base predicates may hold tuples;
+    a derived predicate may once some rule for it has every positive
+    dependency (positive literals and grouped relations) inhabitable.
+    Recursion with no base case never enters the fixpoint — the classic
+    "always empty" view — and any rule reading such a predicate
+    positively can never fire.
+    """
+    inhabitable: Set[str] = set(program.edb_predicates)
+    changed = True
+    while changed:
+        changed = False
+        for rule in program:
+            head = rule.head.predicate
+            if head in inhabitable:
+                continue
+            if all(
+                dep in inhabitable for dep in _positive_dependencies(rule)
+            ):
+                inhabitable.add(head)
+                changed = True
+
+    diagnostics: List[Diagnostic] = []
+    for predicate in sorted(program.idb_predicates - inhabitable):
+        rules = program.rules_for(predicate)
+        span = rules[0].span if rules else None
+        diagnostics.append(
+            make_diagnostic(
+                "RV106",
+                f"predicate {predicate} can never hold tuples: every "
+                "rule for it depends on itself (or on another empty "
+                "predicate) with no base case",
+                span=span,
+                rule=rules[0] if rules else None,
+                predicate=predicate,
+            )
+        )
+    for rule in program:
+        if rule.head.predicate not in inhabitable:
+            continue  # already covered by RV106 on the head
+        dead = sorted(
+            dep for dep in _positive_dependencies(rule)
+            if dep not in inhabitable
+        )
+        if dead:
+            diagnostics.append(
+                make_diagnostic(
+                    "RV107",
+                    f"rule [{rule}] can never fire: it reads "
+                    f"always-empty predicate(s) {dead} positively",
+                    span=rule.span,
+                    rule=rule,
+                    predicate=rule.head.predicate,
+                    data={"empty_dependencies": tuple(dead)},
+                )
+            )
+    return diagnostics
+
+
+def _positive_dependencies(rule: Rule) -> Set[str]:
+    deps: Set[str] = set()
+    for subgoal in rule.body:
+        if isinstance(subgoal, Literal) and not subgoal.negated:
+            deps.add(subgoal.predicate)
+        elif isinstance(subgoal, Aggregate):
+            deps.add(subgoal.relation.predicate)
+    return deps
+
+
+def check_declarations(program: Program) -> List[Diagnostic]:
+    """RV109/RV110: declared-base hygiene.
+
+    Only meaningful when the program declares base predicates explicitly
+    (``base p/n.``): then a referenced predicate with neither rules nor
+    a declaration is suspicious (RV109), and a declaration nothing
+    references is clutter (RV110).  Programs relying on the implicit
+    referenced-but-undefined-is-base convention are skipped.
+    """
+    declared = program.declared_base
+    if not declared:
+        return []
+    referenced: Set[str] = set()
+    for rule in program:
+        referenced |= rule.referenced_predicates()
+    diagnostics: List[Diagnostic] = []
+    for predicate in sorted(
+        referenced - program.idb_predicates - declared
+    ):
+        spans = [
+            subgoal.span
+            for rule in program
+            for subgoal in rule.body
+            if isinstance(subgoal, Literal)
+            and subgoal.predicate == predicate
+        ]
+        diagnostics.append(
+            make_diagnostic(
+                "RV109",
+                f"predicate {predicate} is referenced but neither "
+                "declared base nor defined by any rule (this program "
+                "declares its base relations explicitly)",
+                span=next((s for s in spans if s is not None), None),
+                predicate=predicate,
+            )
+        )
+    for predicate in sorted(declared - referenced):
+        diagnostics.append(
+            make_diagnostic(
+                "RV110",
+                f"base declaration for {predicate} is never referenced "
+                "by any rule",
+                predicate=predicate,
+            )
+        )
+    return diagnostics
+
+
+def deltable_subgoals(rule: Rule) -> int:
+    """Deltable positions per Definition 4.1 (relational literals)."""
+    return sum(1 for s in rule.body if isinstance(s, Literal))
+
+
+def check_delta_fanout(program: Program) -> List[Diagnostic]:
+    """RV108: bodies whose delta-variant count explodes (Definition 4.1)."""
+    diagnostics: List[Diagnostic] = []
+    for rule in program:
+        if rule.is_fact:
+            continue
+        if any(isinstance(s, Aggregate) for s in rule.body):
+            continue  # aggregate rules are maintained by Algorithm 6.1
+        n = deltable_subgoals(rule)
+        if n >= FANOUT_WARN_SUBGOALS:
+            diagnostics.append(
+                make_diagnostic(
+                    "RV108",
+                    f"rule [{rule}] has {n} deltable subgoals: "
+                    f"Definition 4.1 yields {n} factored delta rules "
+                    f"and up to {2 ** n - 1} expansion variants per "
+                    "pass",
+                    span=rule.span,
+                    rule=rule,
+                    predicate=rule.head.predicate,
+                    data={
+                        "subgoals": n,
+                        "factored_variants": n,
+                        "expansion_variants": 2 ** n - 1,
+                    },
+                )
+            )
+    return diagnostics
+
+
+#: The rule/program-shape checks every analysis runs (safety and
+#: stratification run separately because they gate the advisor).
+STRUCTURAL_CHECKS = (
+    check_singleton_variables,
+    check_cartesian_products,
+    check_duplicate_subgoals,
+    check_duplicate_rules,
+    check_aggregates,
+    check_reachability,
+    check_declarations,
+    check_delta_fanout,
+)

@@ -1,0 +1,208 @@
+"""End-to-end analyzer smoke check (``make lint-smoke``).
+
+Acceptance scenario for the static-analysis layer, exercised on the
+repository's own examples, exits non-zero on the first violation:
+
+1. every Datalog program embedded in ``examples/*.py`` lints clean of
+   error-severity diagnostics (the examples all run against the real
+   engine, so an analyzer error on any of them is a false positive);
+2. on every one of those programs the strategy advisor's counting/DRed
+   recommendation equals the strategy ``ViewMaintainer`` itself picks
+   under ``strategy="auto"``;
+3. the ``repro lint --format json`` document for each program validates
+   against the v1 schema (:func:`repro.analysis.diagnostics.validate_document`),
+   exercising the actual CLI path;
+4. a known-bad fixture produces exactly the expected diagnostic codes,
+   with positions, and a nonzero exit under ``--fail-on warning``.
+
+Kept deliberately tiny (sub-second) so it can ride in ``make check``.
+"""
+
+from __future__ import annotations
+
+import ast as python_ast
+import contextlib
+import io
+import json
+import os
+import sys
+import tempfile
+from typing import Dict, List
+
+from repro.analysis import analyze
+from repro.analysis.diagnostics import validate_document
+from repro.core.maintenance import ViewMaintainer
+from repro.datalog.parser import parse_program
+from repro.errors import ReproError
+from repro.storage.database import Database
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))
+    ))),
+    "examples",
+)
+
+#: The known-bad fixture: one program tripping a spread of checks, with
+#: the exact codes it must (and must only) produce at each severity.
+BAD_FIXTURE = """\
+p(X, Y) :- q(X), r(Z).
+s(X) :- q(X), not s(X).
+t(X) :- q(X), q(X).
+u(X) :- u(X).
+w(X) :- q(X).
+w(X) :- u(X), q(X).
+m(G, M) :- GROUPBY(q2(G, V), [G], M = MIN(V)).
+"""
+BAD_EXPECTED_ERRORS = {"RV001", "RV007"}
+BAD_EXPECTED_WARNINGS = {
+    "RV101", "RV102", "RV103", "RV105", "RV106", "RV107",
+}
+
+
+def extract_programs(path: str) -> List[str]:
+    """Datalog program sources embedded as string literals in a .py file.
+
+    Walks the Python AST for string constants that parse as Datalog with
+    at least one proper (non-fact) rule — the same strings the examples
+    feed to ``ViewMaintainer.from_source``.  SQL sources and incidental
+    prose simply fail to parse and are skipped.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        tree = python_ast.parse(handle.read(), filename=path)
+    programs: List[str] = []
+    for node in python_ast.walk(tree):
+        if not (
+            isinstance(node, python_ast.Constant)
+            and isinstance(node.value, str)
+        ):
+            continue
+        text = node.value
+        if ":-" not in text:
+            continue
+        try:
+            program = parse_program(text)
+        except ReproError:
+            continue
+        if any(not rule.is_fact for rule in program):
+            programs.append(text)
+    return programs
+
+
+def _check(condition: bool, label: str) -> None:
+    if not condition:
+        raise SystemExit(f"lint-smoke FAILED: {label}")
+    print(f"  ok: {label}")
+
+
+def _lint_via_cli(source: str, *extra: str) -> Dict[str, object]:
+    """Run the real ``repro lint`` CLI on ``source``; parsed JSON + exit."""
+    from repro.cli import lint_main
+
+    with tempfile.NamedTemporaryFile(
+        "w", suffix=".dl", delete=False, encoding="utf-8"
+    ) as handle:
+        handle.write(source)
+        path = handle.name
+    try:
+        stdout = io.StringIO()
+        with contextlib.redirect_stdout(stdout):
+            code = lint_main([path, "--format", "json", *extra])
+        document = json.loads(stdout.getvalue())
+        document["__exit_code__"] = code
+        return document
+    finally:
+        os.unlink(path)
+
+
+def check_examples() -> None:
+    """Steps 1-3: the shipped examples lint clean, CLI path included."""
+    example_files = sorted(
+        os.path.join(EXAMPLES_DIR, name)
+        for name in os.listdir(EXAMPLES_DIR)
+        if name.endswith(".py")
+    )
+    _check(bool(example_files), f"found example files in {EXAMPLES_DIR}")
+    total = 0
+    for path in example_files:
+        for source in extract_programs(path):
+            total += 1
+            name = os.path.basename(path)
+            report = analyze(source)
+            errors = [d.code for d in report.errors()]
+            _check(
+                not errors,
+                f"{name} program #{total} lints clean (got {errors or 'none'})",
+            )
+            _check(
+                report.advice is not None,
+                f"{name} program #{total} produced strategy advice",
+            )
+            maintainer = ViewMaintainer.from_source(source, Database())
+            _check(
+                report.advice.overall == maintainer.strategy,
+                f"{name} program #{total}: advisor says "
+                f"{report.advice.overall}, auto-selection picked "
+                f"{maintainer.strategy}",
+            )
+            document = _lint_via_cli(source)
+            exit_code = document.pop("__exit_code__")
+            validate_document(document)
+            _check(
+                exit_code == 0,
+                f"{name} program #{total}: CLI JSON validates, exit 0",
+            )
+    _check(total >= 5, f"extracted {total} programs (expected >= 5)")
+
+
+def check_bad_fixture() -> None:
+    """Step 4: the known-bad fixture produces exactly the expected codes."""
+    report = analyze(BAD_FIXTURE)
+    errors = {d.code for d in report.errors()}
+    warnings = {d.code for d in report.warnings()}
+    _check(
+        errors == BAD_EXPECTED_ERRORS,
+        f"bad fixture error codes {sorted(errors)} == "
+        f"{sorted(BAD_EXPECTED_ERRORS)}",
+    )
+    _check(
+        warnings == BAD_EXPECTED_WARNINGS,
+        f"bad fixture warning codes {sorted(warnings)} == "
+        f"{sorted(BAD_EXPECTED_WARNINGS)}",
+    )
+    positioned = [d for d in report.errors() if d.span is not None]
+    _check(
+        len(positioned) == len(report.errors()),
+        "every bad-fixture error carries a source position",
+    )
+    document = _lint_via_cli(BAD_FIXTURE, "--fail-on", "warning")
+    exit_code = document.pop("__exit_code__")
+    validate_document(document)
+    _check(
+        exit_code == 1,
+        "CLI exits 1 on the bad fixture under --fail-on warning",
+    )
+    suppressed = _lint_via_cli(
+        BAD_FIXTURE,
+        "--fail-on", "error",
+        "--suppress", ",".join(sorted(BAD_EXPECTED_ERRORS)),
+    )
+    exit_code = suppressed.pop("__exit_code__")
+    codes = {entry["code"] for entry in suppressed["diagnostics"]}
+    _check(
+        exit_code == 0 and not (codes & BAD_EXPECTED_ERRORS),
+        "--suppress drops the error codes and flips the exit to 0",
+    )
+
+
+def main() -> int:
+    print("lint-smoke: examples lint clean + advisor matches auto-selection")
+    check_examples()
+    print("lint-smoke: known-bad fixture produces the expected codes")
+    check_bad_fixture()
+    print("lint-smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

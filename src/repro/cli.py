@@ -29,6 +29,7 @@ import json
 import sys
 from typing import List, Optional, Tuple
 
+from repro.analysis import Severity, analyze
 from repro.core.maintenance import ViewMaintainer
 from repro.datalog.ast import Program, Rule
 from repro.datalog.parser import parse_program, parse_rule
@@ -78,6 +79,7 @@ commands:
   trace dump PATH write the trace buffer as JSONL to PATH
   explain NAME(v,..)  support tree + count check for one view tuple
   explain pass    same as 'trace'
+  lint            run the static analyzer over the loaded program
   save PATH       save base relations as a JSON snapshot
   help            this text
   quit            exit
@@ -256,6 +258,8 @@ class Shell:
         if line.startswith("alter - "):
             report = self.maintainer.alter(remove=[line[len("alter - "):]])
             return f"rule removed; {report.total_changes()} view change(s)"
+        if line == "lint":
+            return analyze(self.maintainer).render_text()
         if line == "check":
             self.maintainer.consistency_check()
             return "consistent with recomputation ✔"
@@ -527,12 +531,127 @@ class Shell:
         return "\n".join(lines)
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def lint_main(argv: List[str]) -> int:
+    """``python -m repro lint`` — the static analyzer as a CLI command.
+
+    Exit status: 0 when no diagnostic reaches ``--fail-on`` (default:
+    error), 1 when one does, 2 on usage or I/O errors.
+    """
     import argparse
 
     parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description=(
+            "Statically analyze a Datalog view program: safety, "
+            "stratification, strategy applicability, and maintenance "
+            "pathologies (dead rules, cartesian products, delta-rule "
+            "fan-out, non-incremental aggregates, ...), each reported "
+            "with a stable RVnnn code and a source position."
+        ),
+        epilog=(
+            "The full diagnostic catalogue, with the paper section "
+            "justifying each check and a fix suggestion per code, is "
+            "documented in docs/analysis.md.  Library API: "
+            "repro.analysis.analyze()."
+        ),
+    )
+    parser.add_argument(
+        "program",
+        help="Datalog program file to analyze ('-' reads stdin)",
+    )
+    parser.add_argument(
+        "--format",
+        default="text",
+        choices=["text", "json"],
+        help="output format (default: text; json emits one document "
+        "with per-diagnostic positions, hints, and paper citations)",
+    )
+    parser.add_argument(
+        "--fail-on",
+        default="error",
+        choices=["error", "warning", "info"],
+        metavar="SEVERITY",
+        help="exit nonzero when any diagnostic is at or above this "
+        "severity (error, warning, or info; default: error)",
+    )
+    parser.add_argument(
+        "--suppress",
+        action="append",
+        default=[],
+        metavar="CODES",
+        help="comma-separated diagnostic codes to drop (e.g. "
+        "RV101,RV110); repeatable",
+    )
+    parser.add_argument(
+        "--strategy",
+        default="auto",
+        choices=["auto", "counting", "dred"],
+        help="the maintenance strategy the program is intended for; "
+        "forcing one enables the strategy-mismatch checks "
+        "(RV008/RV009)",
+    )
+    parser.add_argument(
+        "--semantics", default="set", choices=["set", "duplicate"]
+    )
+    parser.add_argument(
+        "--counting-mode",
+        default="expansion",
+        choices=["expansion", "factored"],
+        help="delta-rule rewrite assumed for the fan-out estimate "
+        "(Definition 4.1; default: expansion)",
+    )
+    parser.add_argument(
+        "--no-hints",
+        action="store_true",
+        help="omit the fix-suggestion lines from text output",
+    )
+    args = parser.parse_args(argv)
+
+    if args.program == "-":
+        source = sys.stdin.read()
+        path = "<stdin>"
+    else:
+        try:
+            with open(args.program, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        path = args.program
+
+    suppressed = [
+        code
+        for chunk in args.suppress
+        for code in chunk.split(",")
+        if code.strip()
+    ]
+    report = analyze(
+        source,
+        strategy=args.strategy,
+        semantics=args.semantics,
+        counting_mode=args.counting_mode,
+        suppress_codes=suppressed,
+        path=path,
+    )
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.render_text(show_hints=not args.no_hints))
+    return report.exit_code(Severity.from_name(args.fail_on))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    import argparse
+
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "lint":
+        return lint_main(argv[1:])
+
+    parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Maintain materialized views interactively.",
+        description="Maintain materialized views interactively, or "
+        "statically analyze a program with the 'lint' subcommand "
+        "(python -m repro lint --help; see docs/analysis.md).",
     )
     parser.add_argument("program", help="Datalog program file (views + seed facts)")
     parser.add_argument("--data", help="JSON base-relation snapshot to load")

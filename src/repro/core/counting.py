@@ -167,9 +167,15 @@ class CountingMaintenance:
         guard=None,
     ) -> None:
         if stratification.is_recursive:
-            raise MaintenanceError(
+            from repro.analysis.checks import counting_on_recursive
+            from repro.errors import StrategyError
+
+            diagnostic = counting_on_recursive(stratification)
+            raise StrategyError(
                 "the counting algorithm applies to nonrecursive views only; "
-                "use DRed for recursive programs (Section 7)"
+                "use DRed for recursive programs (Section 7) — "
+                f"[{diagnostic.code}] {diagnostic.message}",
+                diagnostic=diagnostic,
             )
         self.normalized = normalized
         self.strat = stratification

@@ -51,6 +51,7 @@ from repro.errors import (
     MaintenanceError,
     PoisonChangesetError,
     StaleViewError,
+    StrategyError,
     UnknownRelationError,
 )
 from repro.eval.plan_cache import PlanCache
@@ -295,14 +296,27 @@ class ViewMaintainer:
         if strategy == "auto":
             strategy = "dred" if self.stratification.is_recursive else "counting"
         if strategy == "counting" and self.stratification.is_recursive:
-            raise MaintenanceError(
+            # Typed error carrying the analyzer diagnostic: the RV008
+            # code plus the concrete recursive cycle, so callers (and
+            # `repro lint`) can point at *why* counting is ruled out.
+            from repro.analysis.checks import counting_on_recursive
+
+            diagnostic = counting_on_recursive(self.stratification)
+            raise StrategyError(
                 "counting does not apply to recursive views; use "
                 "strategy='dred' (or see repro.core.recursive_counting "
-                "for the [GKM92] extension)"
+                f"for the [GKM92] extension) — [{diagnostic.code}] "
+                f"{diagnostic.message}",
+                diagnostic=diagnostic,
             )
         if strategy == "dred" and self.semantics != "set":
-            raise MaintenanceError(
-                "DRed is defined for set semantics only (Section 7)"
+            from repro.analysis.checks import dred_duplicate_semantics
+
+            diagnostic = dred_duplicate_semantics()
+            raise StrategyError(
+                "DRed is defined for set semantics only (Section 7) — "
+                f"[{diagnostic.code}]",
+                diagnostic=diagnostic,
             )
         self.strategy: str = strategy
 

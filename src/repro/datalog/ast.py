@@ -20,7 +20,16 @@ wrappers over a tuple of rules with convenience accessors.  Analysis
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, Iterable, Iterator, Mapping, Sequence, Tuple, Union
+from typing import (
+    FrozenSet,
+    Iterable,
+    Iterator,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.datalog.terms import Constant, Term, Variable, make_term
 from repro.errors import SchemaError
@@ -41,6 +50,24 @@ AGGREGATE_FUNCTIONS = (
 
 
 @dataclass(frozen=True, slots=True)
+class Span:
+    """A 1-based source position a diagnostic can point at.
+
+    The lexer tracks line/column on every token; the parser attaches a
+    span to each AST node it builds (the node's first token).  Spans are
+    carried outside structural identity — two nodes parsed from
+    different places compare (and hash) equal when they denote the same
+    syntax — so plan-cache keys and rule equality are unaffected.
+    """
+
+    line: int
+    column: int
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+@dataclass(frozen=True, slots=True)
 class Literal:
     """A relational literal ``p(t1, ..., tn)`` or its negation.
 
@@ -51,6 +78,10 @@ class Literal:
     predicate: str
     args: Tuple[Term, ...]
     negated: bool = False
+    #: Source position (not part of structural identity).
+    span: Optional[Span] = field(
+        default=None, repr=False, compare=False, hash=False
+    )
     #: Memoized structural hash (hash=False/compare=False: not a value).
     #: Literals key the compiled-plan cache, so they are hashed far more
     #: often than they are built; computing the recursive hash once per
@@ -77,7 +108,7 @@ class Literal:
         return out
 
     def negate(self) -> "Literal":
-        return Literal(self.predicate, self.args, not self.negated)
+        return Literal(self.predicate, self.args, not self.negated, self.span)
 
     def with_predicate(self, predicate: str) -> "Literal":
         """Return the same literal over a different predicate name.
@@ -85,13 +116,14 @@ class Literal:
         Used by the maintenance algorithms to retarget subgoals at delta
         (``Δp``) and new-state (``pⁿ``) relations.
         """
-        return Literal(predicate, self.args, self.negated)
+        return Literal(predicate, self.args, self.negated, self.span)
 
     def substitute(self, mapping: dict) -> "Literal":
         return Literal(
             self.predicate,
             tuple(arg.substitute(mapping) for arg in self.args),
             self.negated,
+            self.span,
         )
 
     def __str__(self) -> str:
@@ -112,6 +144,10 @@ class Comparison:
     op: str
     left: Term
     right: Term
+    #: Source position (not part of structural identity).
+    span: Optional[Span] = field(
+        default=None, repr=False, compare=False, hash=False
+    )
 
     def __post_init__(self) -> None:
         if self.op not in COMPARISON_OPS:
@@ -122,7 +158,10 @@ class Comparison:
 
     def substitute(self, mapping: dict) -> "Comparison":
         return Comparison(
-            self.op, self.left.substitute(mapping), self.right.substitute(mapping)
+            self.op,
+            self.left.substitute(mapping),
+            self.right.substitute(mapping),
+            self.span,
         )
 
     def __str__(self) -> str:
@@ -145,6 +184,10 @@ class Aggregate:
     result: Variable
     function: str
     argument: Term
+    #: Source position (not part of structural identity).
+    span: Optional[Span] = field(
+        default=None, repr=False, compare=False, hash=False
+    )
 
     def __post_init__(self) -> None:
         if self.relation.negated:
@@ -187,6 +230,7 @@ class Aggregate:
             result,
             self.function,
             self.argument.substitute(mapping),
+            self.span,
         )
 
     def __str__(self) -> str:
@@ -210,6 +254,10 @@ class Rule:
 
     head: Literal
     body: Tuple[Subgoal, ...] = ()
+    #: Source position (not part of structural identity).
+    span: Optional[Span] = field(
+        default=None, repr=False, compare=False, hash=False
+    )
     #: Memoized structural hash — see :class:`Literal`.  DRed rebuilds
     #: structurally-equal rules each pass; the hash is recomputed once
     #: per fresh object, then every plan-cache lookup reuses it.
@@ -290,6 +338,11 @@ class Program:
             self._by_head.setdefault(rule.head.predicate, ())
             self._by_head[rule.head.predicate] += (rule,)
         self._arity = _check_arities(self.rules)
+
+    @property
+    def declared_base(self) -> FrozenSet[str]:
+        """Predicates explicitly declared base (``base p/n.``)."""
+        return self._declared_base
 
     @property
     def idb_predicates(self) -> FrozenSet[str]:

@@ -32,6 +32,7 @@ from repro.datalog.ast import (
     Literal,
     Program,
     Rule,
+    Span,
     Subgoal,
 )
 from repro.datalog.lexer import Token, tokenize
@@ -107,6 +108,7 @@ class _Parser:
         return names
 
     def parse_rule(self) -> Rule:
+        start = self.current
         head = self.parse_literal()
         body: List[Subgoal] = []
         if self.accept_punct(":-"):
@@ -114,7 +116,7 @@ class _Parser:
             while self.accept_punct(",") or self.accept_punct("&"):
                 body.append(self.parse_subgoal())
         self.expect("PUNCT", ".")
-        return Rule(head, tuple(body))
+        return Rule(head, tuple(body), span=Span(start.line, start.column))
 
     # ------------------------------------------------------------ subgoals
 
@@ -144,7 +146,7 @@ class _Parser:
         return self.parse_comparison()
 
     def parse_groupby(self) -> Aggregate:
-        self.advance()  # GROUPBY
+        start = self.advance()  # GROUPBY
         self.expect("PUNCT", "(")
         relation = self.parse_literal()
         self.expect("PUNCT", ",")
@@ -172,7 +174,14 @@ class _Parser:
         argument = self.parse_expr()
         self.expect("PUNCT", ")")
         self.expect("PUNCT", ")")
-        return Aggregate(relation, tuple(group_by), result, function, argument)
+        return Aggregate(
+            relation,
+            tuple(group_by),
+            result,
+            function,
+            argument,
+            span=Span(start.line, start.column),
+        )
 
     def parse_literal(self) -> Literal:
         name_token = self.expect("IDENT")
@@ -184,7 +193,11 @@ class _Parser:
                 if not self.accept_punct(","):
                     break
         self.expect("PUNCT", ")")
-        return Literal(name_token.text, tuple(args))
+        return Literal(
+            name_token.text,
+            tuple(args),
+            span=Span(name_token.line, name_token.column),
+        )
 
     def parse_comparison(self) -> Comparison:
         left = self.parse_expr()
@@ -197,7 +210,9 @@ class _Parser:
             )
         self.advance()
         right = self.parse_expr()
-        return Comparison(token.text, left, right)
+        return Comparison(
+            token.text, left, right, span=Span(token.line, token.column)
+        )
 
     # ----------------------------------------------------------------- expr
 

@@ -16,15 +16,57 @@ full subgoal language:
 
 Binding propagation runs to fixpoint, so subgoal order in the source does
 not matter; the evaluator's planner finds a consistent execution order.
+
+Violations are collected exhaustively: :func:`rule_safety_issues` returns
+*every* problem in a rule (each a :class:`SafetyIssue` with a source span
+when the AST carries one), and :func:`check_rule_safety` raises a single
+:class:`~repro.errors.SafetyError` listing them all — so users fix a rule
+in one pass instead of playing whack-a-mole.
 """
 
 from __future__ import annotations
 
-from typing import FrozenSet, Set
+from dataclasses import dataclass
+from typing import FrozenSet, List, Optional, Set, Tuple
 
-from repro.datalog.ast import Aggregate, Comparison, Literal, Program, Rule, Subgoal
+from repro.datalog.ast import (
+    Aggregate,
+    Comparison,
+    Literal,
+    Program,
+    Rule,
+    Span,
+    Subgoal,
+)
 from repro.datalog.terms import Variable
 from repro.errors import SafetyError
+
+
+@dataclass(frozen=True)
+class SafetyIssue:
+    """One range-restriction violation, with enough context to fix it.
+
+    ``kind`` is a stable machine-readable tag the analyzer maps to a
+    diagnostic code:
+
+    * ``"head"`` — head variables bound by no positive subgoal;
+    * ``"negation"`` — unbound variables in a negated subgoal;
+    * ``"comparison"`` — unbound variables in a comparison;
+    * ``"expression"`` — unbound variables in an expression argument;
+    * ``"fact"`` — a fact (empty body) with variables in its head;
+    * ``"aggregate-leak"`` — GROUPBY-local variables used in the head.
+    """
+
+    kind: str
+    message: str
+    rule: Rule
+    variables: Tuple[str, ...] = ()
+    span: Optional[Span] = None
+
+    def __str__(self) -> str:
+        if self.span is not None:
+            return f"{self.message} (at {self.span})"
+        return self.message
 
 
 def directly_bound_variables(subgoal: Subgoal, bound: Set[str]) -> Set[str]:
@@ -63,27 +105,47 @@ def bound_variables(rule: Rule) -> FrozenSet[str]:
     return frozenset(bound)
 
 
-def check_rule_safety(rule: Rule) -> None:
-    """Raise :class:`~repro.errors.SafetyError` if ``rule`` is unsafe."""
+def rule_safety_issues(rule: Rule) -> List[SafetyIssue]:
+    """Every range-restriction violation in ``rule`` (empty = safe)."""
     bound = bound_variables(rule)
+    issues: List[SafetyIssue] = []
+
+    def note(
+        kind: str,
+        message: str,
+        variables: Tuple[str, ...] = (),
+        span: Optional[Span] = None,
+    ) -> None:
+        issues.append(SafetyIssue(kind, message, rule, variables, span))
 
     unbound_head = rule.head.variables() - bound
     if unbound_head and rule.body:
-        raise SafetyError(
-            f"head variables {sorted(unbound_head)} of rule [{rule}] are not "
-            f"bound by any positive body subgoal"
+        note(
+            "head",
+            f"head variables {sorted(unbound_head)} of rule [{rule}] are "
+            f"not bound by any positive body subgoal",
+            tuple(sorted(unbound_head)),
+            rule.head.span,
         )
     if not rule.body and rule.head.variables():
-        raise SafetyError(f"fact [{rule}] must be ground")
+        note(
+            "fact",
+            f"fact [{rule}] must be ground",
+            tuple(sorted(rule.head.variables())),
+            rule.head.span,
+        )
 
     for subgoal in rule.body:
         if isinstance(subgoal, Literal):
             if subgoal.negated:
                 unbound = subgoal.variables() - bound
                 if unbound:
-                    raise SafetyError(
+                    note(
+                        "negation",
                         f"negated subgoal {subgoal} in rule [{rule}] uses "
-                        f"unbound variables {sorted(unbound)}"
+                        f"unbound variables {sorted(unbound)}",
+                        tuple(sorted(unbound)),
+                        subgoal.span,
                     )
             else:
                 for arg in subgoal.args:
@@ -91,16 +153,23 @@ def check_rule_safety(rule: Rule) -> None:
                         continue
                     unbound = arg.variables() - bound
                     if unbound:
-                        raise SafetyError(
-                            f"expression argument {arg} of {subgoal} in rule "
-                            f"[{rule}] uses unbound variables {sorted(unbound)}"
+                        note(
+                            "expression",
+                            f"expression argument {arg} of {subgoal} in "
+                            f"rule [{rule}] uses unbound variables "
+                            f"{sorted(unbound)}",
+                            tuple(sorted(unbound)),
+                            subgoal.span,
                         )
         elif isinstance(subgoal, Comparison):
             unbound = subgoal.variables() - bound
             if unbound:
-                raise SafetyError(
+                note(
+                    "comparison",
                     f"comparison {subgoal} in rule [{rule}] uses unbound "
-                    f"variables {sorted(unbound)}"
+                    f"variables {sorted(unbound)}",
+                    tuple(sorted(unbound)),
+                    subgoal.span,
                 )
         elif isinstance(subgoal, Aggregate):
             # Grouping vars must be bound *inside* the grouped literal; the
@@ -112,13 +181,40 @@ def check_rule_safety(rule: Rule) -> None:
             exported = subgoal.variables()
             leaked = (inner_locals - exported) & rule.head.variables()
             if leaked:
-                raise SafetyError(
+                note(
+                    "aggregate-leak",
                     f"variables {sorted(leaked)} are local to the GROUPBY "
-                    f"subgoal {subgoal} but used in the head of [{rule}]"
+                    f"subgoal {subgoal} but used in the head of [{rule}]",
+                    tuple(sorted(leaked)),
+                    subgoal.span,
                 )
+    return issues
+
+
+def program_safety_issues(program: Program) -> List[SafetyIssue]:
+    """Every violation in every rule, in program order."""
+    issues: List[SafetyIssue] = []
+    for rule in program:
+        issues.extend(rule_safety_issues(rule))
+    return issues
+
+
+def _raise(issues: List[SafetyIssue]) -> None:
+    if not issues:
+        return
+    raise SafetyError("; ".join(str(issue) for issue in issues), tuple(issues))
+
+
+def check_rule_safety(rule: Rule) -> None:
+    """Raise :class:`~repro.errors.SafetyError` if ``rule`` is unsafe.
+
+    The error reports **all** violations in the rule at once (see
+    :func:`rule_safety_issues`); its ``issues`` attribute carries them
+    individually, each with a source span when available.
+    """
+    _raise(rule_safety_issues(rule))
 
 
 def check_program_safety(program: Program) -> None:
-    """Check every rule of the program; raise on the first unsafe rule."""
-    for rule in program:
-        check_rule_safety(rule)
+    """Check every rule of the program; raise one error listing all issues."""
+    _raise(program_safety_issues(program))

@@ -76,6 +76,48 @@ class Stratification:
         return "\n".join(lines)
 
 
+def _offending_cycle(graph, edge, scc) -> Tuple[str, ...]:
+    """A concrete dependency cycle witnessing the stratification failure.
+
+    ``edge.head`` depends (non-monotonically) on ``edge.body``; both sit
+    in the same SCC, so ``edge.body`` transitively feeds back into
+    ``edge.head``.  BFS along dependency edges (``predecessors``)
+    restricted to the SCC finds the shortest such feedback path; the
+    result lists predicates in "depends on" order, first == last::
+
+        (head, body, ..., head)
+    """
+    if edge.head == edge.body:
+        return (edge.head, edge.head)
+    # BFS from body along "depends on" edges (predecessors), inside the
+    # SCC, until head is reached; parents[dep] is the node whose
+    # expansion discovered dep (i.e. parents[dep] depends on dep).
+    parents: Dict[str, str] = {}
+    frontier = [edge.body]
+    seen = {edge.body}
+    while frontier:
+        nxt: List[str] = []
+        for node in frontier:
+            for dep in sorted(graph.predecessors[node]):
+                if dep not in scc or dep in seen:
+                    continue
+                parents[dep] = node
+                if dep == edge.head:
+                    chain = [edge.head]
+                    while chain[-1] != edge.body:
+                        chain.append(parents[chain[-1]])
+                    # chain is head, ..., body walking parents upward;
+                    # reversed it reads body -> ... -> head in
+                    # "depends on" order.  Prefix the closing negative
+                    # dependency head -> body.
+                    return (edge.head,) + tuple(reversed(chain))
+                seen.add(dep)
+                nxt.append(dep)
+        frontier = nxt
+    # Fallback (shouldn't happen inside a genuine SCC): the two ends.
+    return (edge.head, edge.body, edge.head)
+
+
 def stratify(program: Program) -> Stratification:
     """Assign stratum numbers and verify stratified negation/aggregation.
 
@@ -92,10 +134,13 @@ def stratify(program: Program) -> Stratification:
     for edge in graph.edges:
         if edge.negative and scc_of[edge.body] is scc_of[edge.head]:
             kind = "negation/aggregation"
+            cycle = _offending_cycle(graph, edge, scc_of[edge.head])
+            rendered = " -> ".join(cycle)
             raise StratificationError(
                 f"non-stratified {kind}: {edge.head} depends non-monotonically "
                 f"on {edge.body} within the same recursive component "
-                f"{sorted(scc_of[edge.head])}"
+                f"{sorted(scc_of[edge.head])}; cycle: {rendered}",
+                cycle=cycle,
             )
 
     idb = program.idb_predicates

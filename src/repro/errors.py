@@ -33,15 +33,28 @@ class SafetyError(ReproError):
 
     Raised when a head variable, a negated-subgoal variable, or a
     comparison operand is not bound by any positive body subgoal.
+    ``issues`` carries every individual violation found (a tuple of
+    :class:`repro.datalog.safety.SafetyIssue`), so one error reports
+    all unsafe variables of a rule — or of a whole program — at once.
     """
+
+    def __init__(self, message: str, issues: tuple = ()) -> None:
+        self.issues = tuple(issues)
+        super().__init__(message)
 
 
 class StratificationError(ReproError):
     """A program is not stratified with respect to negation or aggregation.
 
     The counting and DRed algorithms both require stratified programs
-    (Sections 3, 6, 7 of the paper).
+    (Sections 3, 6, 7 of the paper).  ``cycle`` names the offending
+    dependency cycle (first and last element coincide) so diagnostics
+    can explain *why* stratification failed, not just that it did.
     """
+
+    def __init__(self, message: str, cycle: tuple = ()) -> None:
+        self.cycle = tuple(cycle)
+        super().__init__(message)
 
 
 class SchemaError(ReproError):
@@ -71,6 +84,23 @@ class MaintenanceError(ReproError):
     deleting base tuples that are not present (violating the Lemma 4.1
     precondition that deletions are a subset of the database).
     """
+
+
+class StrategyError(MaintenanceError):
+    """A maintenance strategy cannot be applied to the given program.
+
+    Examples: ``strategy="counting"`` on a recursive program (the paper
+    restricts counting to nonrecursive views, Section 1/4) or
+    ``strategy="dred"`` under duplicate semantics (DRed is defined for
+    sets, Section 7).  ``diagnostic`` carries the analyzer diagnostic
+    explaining the mismatch — a
+    :class:`repro.analysis.Diagnostic` with a stable code (``RV008``,
+    ``RV009``) and, for recursion mismatches, the offending cycle.
+    """
+
+    def __init__(self, message: str, diagnostic=None) -> None:
+        self.diagnostic = diagnostic
+        super().__init__(message)
 
 
 class BudgetExceeded(MaintenanceError):

@@ -28,10 +28,14 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
+from repro.analysis import analyze
 from repro.baselines.recount import true_view_deltas
 from repro.core.maintenance import ViewMaintainer
+from repro.errors import SafetyError, StratificationError
 from repro.guard import GuardPolicy, MaintenanceBudget
 from repro.datalog.parser import parse_program
+from repro.datalog.safety import check_program_safety
+from repro.datalog.stratify import stratify
 from repro.eval.stratified import materialize
 from repro.storage.changeset import Changeset
 
@@ -84,6 +88,91 @@ def stratified_program(draw):
         f"agg(X, M) :- GROUPBY({grouped}(X, Y), [X], M = {function}(Y))."
     )
     return "\n".join(rules)
+
+
+# The defect menu for the analyzer-soundness tests below: each entry is
+# a rule (or rule pair) that the engine's own gatekeepers —
+# ``check_program_safety`` / ``stratify`` — must reject.  Spanning every
+# rejection family keeps the analyzer's error codes honest on both
+# sides: accepted programs must lint clean of errors, rejected ones must
+# produce at least one.
+DEFECTS = [
+    "bad(X, W) :- link(X, Y).",                      # unbound head var
+    "bad(X) :- link(X, Y), not link(X, W).",         # unsafe negation
+    "bad(X) :- link(X, Y), W < 3.",                  # unsafe comparison
+    "bad(X).",                                       # non-ground fact
+    "bad(X, Y) :- GROUPBY(link(X, Y), [X], M = COUNT(Y)).",  # agg leak
+    "bad(X) :- link(X, Y), not bad(X).",             # negative self-cycle
+    (
+        "odd(X) :- link(X, Y), not even(X).\n"
+        "even(X) :- link(X, Y), not odd(X)."         # mutual neg cycle
+    ),
+]
+
+
+@st.composite
+def rejected_program(draw):
+    """A generated stratified program with one injected defect."""
+    base = draw(stratified_program())
+    defect = draw(st.sampled_from(DEFECTS))
+    rules = base.split("\n")
+    position = draw(st.integers(0, len(rules)))
+    rules.insert(position, defect)
+    return "\n".join(rules)
+
+
+def _gatekeepers_accept(source):
+    """Does the engine's own front door admit this program?"""
+    program = parse_program(source)
+    try:
+        check_program_safety(program)
+        stratify(program)
+    except (SafetyError, StratificationError):
+        return False
+    return True
+
+
+# ------------------------------------------------------- analyzer soundness
+
+
+@settings(max_examples=220, derandomize=True, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(case=stratified_program())
+def test_analyzer_has_no_error_false_positives(case):
+    """Accepted program ⇒ zero error-severity diagnostics.
+
+    Every generated program is stratified and safe by construction, so
+    the engine admits it; an error-level diagnostic on any of them would
+    be a false positive (warnings — singleton variables and the like —
+    are allowed).  The advisor's recommendation must also equal the
+    dispatch ``ViewMaintainer`` applies under ``strategy="auto"``.
+    """
+    assert _gatekeepers_accept(case)
+    report = analyze(case)
+    assert report.ok, [
+        (d.code, d.message) for d in report.errors()
+    ]
+    expected = "dred" if report.stratification.is_recursive else "counting"
+    assert report.advice.overall == expected
+
+
+@settings(max_examples=120, derandomize=True, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(case=rejected_program())
+def test_analyzer_flags_every_rejected_program(case):
+    """Rejected program ⇒ at least one error-severity diagnostic.
+
+    Each injected defect trips ``check_program_safety`` or ``stratify``,
+    and the analyzer must agree — with an error code from the RV0xx
+    band, so ``repro lint`` (default ``--fail-on error``) exits nonzero
+    on exactly the programs the engine would refuse to load.
+    """
+    assert not _gatekeepers_accept(case)
+    report = analyze(case)
+    errors = report.errors()
+    assert errors, f"analyzer missed the defect in:\n{case}"
+    assert all(e.code.startswith("RV0") for e in errors)
+    assert report.exit_code() == 1
 
 
 # ------------------------------------------------------------------- streams
