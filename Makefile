@@ -7,11 +7,11 @@ PYTEST := env PYTHONPATH=src $(PYTHON) -m pytest
 TIMEOUT ?= timeout
 
 .PHONY: check test test-fast test-faults test-soak bench-smoke obs-smoke \
-	guard-smoke lint-smoke lint ruff pylint
+	guard-smoke mvcc-smoke lint-smoke lint ruff pylint
 
 # The default gate: the whole suite plus the benchmark, observability,
 # guardrail and static-analysis smoke runs.
-check: test bench-smoke obs-smoke guard-smoke lint-smoke
+check: test bench-smoke obs-smoke guard-smoke mvcc-smoke lint-smoke
 
 # The tier-1 gate: everything, fail fast.
 test:
@@ -51,6 +51,14 @@ obs-smoke:
 # through the quarantine dead-letter file.
 guard-smoke:
 	env PYTHONPATH=src $(PYTHON) -m repro.guard.smoke
+
+# MVCC acceptance at toy scale: 4 reader threads race 200 maintenance
+# passes under injected crash points and guard-budget breaches; every
+# pinned snapshot read must equal the recompute oracle at its epoch
+# (zero torn reads) and the version chains must stay within the
+# retention cap.  (The long randomized version is `make test-soak`.)
+mvcc-smoke:
+	env PYTHONPATH=src $(PYTHON) -m repro.storage.mvcc_smoke
 
 # Static-analysis acceptance: every Datalog program embedded in
 # examples/*.py lints clean of error diagnostics through the real

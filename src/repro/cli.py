@@ -64,6 +64,7 @@ commands:
   explain         print the Definition 4.1 delta rules
   alter + RULE.   add a rule (maintained incrementally)
   alter - RULE.   remove a rule
+  snapshot NAME   read a relation at the last committed epoch (MVCC)
   check           verify views against recomputation
   heal            verify and rebuild any diverged views in place
   checkpoint      write the snapshot (journal mode) and prune the log
@@ -178,7 +179,10 @@ class Shell:
         Seed facts in the program file are skipped — the snapshot already
         contains them (re-adding would double-count under duplicate
         semantics); the journal suffix after the snapshot's watermark is
-        replayed through full maintenance.
+        replayed through full maintenance.  Like
+        :func:`repro.storage.journal.recover`, the commit epoch is
+        restored from the last replayed entry so post-recovery commits
+        continue the pre-crash numbering.
         """
         database, watermark = load_snapshot(snapshot_path)
         shell = cls(
@@ -190,8 +194,13 @@ class Shell:
             trace_path=trace_path,
             guard=guard,
         )
-        for changes in journal.replay(after=watermark):
+        last_epoch = None
+        for _seq, epoch, changes in journal.replay_entries(after=watermark):
             shell.maintainer.apply(changes)
+            if epoch is not None:
+                last_epoch = epoch
+        if last_epoch is not None and database.mvcc is not None:
+            database.mvcc.restore_epoch(last_epoch)
         shell.maintainer.attach_journal(
             journal,
             snapshot_path=snapshot_path,
@@ -228,6 +237,8 @@ class Shell:
             return "staged changes discarded"
         if line.startswith("show "):
             return self._show(line[5:].strip())
+        if line.startswith("snapshot "):
+            return self._snapshot(line[len("snapshot "):].strip())
         if line.startswith("? "):
             return self._query(line[2:].strip())
         if line.startswith("why "):
@@ -388,6 +399,16 @@ class Shell:
             )
         else:
             lines.append("journal: not attached")
+        mvcc = maintainer.database.mvcc
+        if mvcc is not None:
+            info = mvcc.to_dict()
+            oldest = info["oldest_pinned"]
+            lines.append(
+                f"mvcc: epoch {info['epoch']}, "
+                f"{info['active_snapshots']} pinned snapshot(s)"
+                + (f" (oldest epoch {oldest})" if oldest is not None else "")
+                + f", {info['retained_versions']} retained version(s)"
+            )
         if maintainer.checkpoint_errors:
             lines.append(
                 f"checkpoint errors: {len(maintainer.checkpoint_errors)} "
@@ -467,6 +488,9 @@ class Shell:
             "staged_deletions": self.pending.deletion_count(),
             "guard": maintainer.guard.to_dict(),
         }
+        mvcc = maintainer.database.mvcc
+        if mvcc is not None:
+            status["mvcc"] = mvcc.to_dict()
         lag = maintainer.lag()
         status["lag"] = dict(
             lag,
@@ -526,6 +550,25 @@ class Shell:
             return f"{name} is empty"
         lines = []
         for row, count in sorted(relation.items(), key=lambda i: repr(i[0])):
+            suffix = f"  ×{count}" if count != 1 else ""
+            lines.append(f"{name}{row}{suffix}")
+        return "\n".join(lines)
+
+    def _snapshot(self, name: str) -> str:
+        if self.database.mvcc is None:
+            return "error: MVCC is disabled on this database"
+        read = self.maintainer.snapshot_read(name)
+        lag = read.staleness or {}
+        header = f"epoch {read.epoch}"
+        if lag.get("changesets"):
+            header += (
+                f"  (views lag the stream by {lag['changesets']} "
+                f"changeset(s))"
+            )
+        if not read:
+            return f"{header}\n{name} is empty"
+        lines = [header]
+        for row, count in sorted(read.items(), key=lambda i: repr(i[0])):
             suffix = f"  ×{count}" if count != 1 else ""
             lines.append(f"{name}{row}{suffix}")
         return "\n".join(lines)
@@ -640,18 +683,127 @@ def lint_main(argv: List[str]) -> int:
     return report.exit_code(Severity.from_name(args.fail_on))
 
 
+def snapshot_main(argv: List[str]) -> int:
+    """``python -m repro snapshot`` — query a view at a pinned epoch.
+
+    Rebuilds state from ``--snapshot`` + ``--journal`` (the same pair a
+    ``--recover`` session uses), replaying the journal only up to
+    ``--epoch`` (point-in-time recovery; default: the whole log), then
+    prints the requested relation as of that commit.  Exit status: 0 on
+    success, 1 on engine errors, 2 on usage or I/O errors.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro snapshot",
+        description=(
+            "Query a maintained view (or base relation) at a pinned MVCC "
+            "commit epoch, reconstructed from a snapshot + journal pair. "
+            "Entries written before the epoch field existed count by "
+            "sequence number instead."
+        ),
+    )
+    parser.add_argument(
+        "program", help="Datalog program file (views + seed facts)"
+    )
+    parser.add_argument("relation", help="view or base relation to print")
+    parser.add_argument(
+        "--snapshot", required=True,
+        help="base-relation snapshot the journal replays on top of",
+    )
+    parser.add_argument(
+        "--journal", required=True, help="changeset journal to replay"
+    )
+    parser.add_argument(
+        "--epoch",
+        type=int,
+        default=None,
+        metavar="N",
+        help="stop the replay after the entry that published epoch N "
+        "(default: replay the whole journal)",
+    )
+    parser.add_argument(
+        "--strategy", default="auto", choices=["auto", "counting", "dred"]
+    )
+    parser.add_argument(
+        "--semantics", default="set", choices=["set", "duplicate"]
+    )
+    parser.add_argument(
+        "--format", default="text", choices=["text", "json"]
+    )
+    args = parser.parse_args(argv)
+
+    from repro.storage.journal import recover
+
+    try:
+        with open(args.program, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    program, _facts = split_program(parse_program(source))
+    try:
+        maintainer = recover(
+            lambda db: ViewMaintainer(
+                program,
+                db,
+                strategy=args.strategy,
+                semantics=args.semantics,
+            ),
+            args.snapshot,
+            Journal(args.journal),
+            upto_epoch=args.epoch,
+        )
+        with maintainer.database.snapshot() as snap:
+            relation = snap.relation(args.relation)
+            epoch = snap.epoch
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.format == "json":
+        print(json.dumps(
+            {
+                "relation": args.relation,
+                "epoch": epoch,
+                "rows": [
+                    {"row": list(row), "count": count}
+                    for row, count in sorted(
+                        relation.items(), key=lambda i: repr(i[0])
+                    )
+                ],
+            },
+            indent=2,
+        ))
+        return 0
+    print(f"epoch {epoch}")
+    if not relation:
+        print(f"{args.relation} is empty")
+        return 0
+    for row, count in sorted(relation.items(), key=lambda i: repr(i[0])):
+        suffix = f"  ×{count}" if count != 1 else ""
+        print(f"{args.relation}{row}{suffix}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     import argparse
 
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "lint":
         return lint_main(argv[1:])
+    if argv and argv[0] == "snapshot":
+        return snapshot_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Maintain materialized views interactively, or "
+        description="Maintain materialized views interactively, "
         "statically analyze a program with the 'lint' subcommand "
-        "(python -m repro lint --help; see docs/analysis.md).",
+        "(python -m repro lint --help; see docs/analysis.md), or query "
+        "a view at a pinned MVCC epoch with the 'snapshot' subcommand "
+        "(python -m repro snapshot --help).",
     )
     parser.add_argument("program", help="Datalog program file (views + seed facts)")
     parser.add_argument("--data", help="JSON base-relation snapshot to load")
@@ -736,9 +888,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--strict-reads",
-        action="store_true",
-        help="make 'show' and queries fail with StaleViewError while "
-        "views lag the stream (default: serve degraded reads)",
+        nargs="?",
+        const="reject",
+        default=None,
+        choices=["serve", "reject", "snapshot"],
+        help="what 'show' and queries serve while views lag the stream: "
+        "'serve' returns live (possibly degraded) state, 'reject' "
+        "raises StaleViewError, 'snapshot' serves the last consistent "
+        "MVCC epoch with the staleness lag attached; a bare "
+        "--strict-reads means 'reject' (default: serve)",
     )
     parser.add_argument(
         "--log-level",
@@ -761,7 +919,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         or args.guard_max_rules is not None
         or args.guard_blowup is not None
         or args.quarantine
-        or args.strict_reads
+        or args.strict_reads is not None
     ):
         guard = GuardPolicy(
             budget=MaintenanceBudget(
@@ -772,7 +930,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             blowup_ratio=args.guard_blowup,
             fallback=args.guard_fallback,
             quarantine_path=args.quarantine,
-            strict_reads=args.strict_reads,
+            strict_reads=(
+                args.strict_reads if args.strict_reads is not None else False
+            ),
         )
 
     with open(args.program, "r", encoding="utf-8") as handle:

@@ -14,6 +14,7 @@ a context manager it commits on clean exit and rolls back on exceptions.
 
 from __future__ import annotations
 
+import inspect
 import logging
 import random
 import time
@@ -26,8 +27,29 @@ from repro.storage.relation import CountedRelation
 
 logger = logging.getLogger(__name__)
 
-#: A subscriber receives (view name, signed delta relation).
+#: A subscriber receives (view name, signed delta relation) — or, with a
+#: third positional parameter, (view name, delta, commit epoch): the
+#: MVCC epoch the pass published, so subscribers know exactly which
+#: commit the delta reflects (``None`` when MVCC is off).
 Callback = Callable[[str, CountedRelation], None]
+
+
+def _wants_epoch(callback: Callable) -> bool:
+    """True when ``callback`` accepts a third positional argument."""
+    try:
+        signature = inspect.signature(callback)
+    except (TypeError, ValueError):
+        return False
+    positional = 0
+    for parameter in signature.parameters.values():
+        if parameter.kind in (
+            inspect.Parameter.POSITIONAL_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        ):
+            positional += 1
+        elif parameter.kind is inspect.Parameter.VAR_POSITIONAL:
+            return True
+    return positional >= 3
 
 
 @dataclass(frozen=True)
@@ -37,6 +59,9 @@ class Subscription:
     view: str
     callback: Callback
     token: int
+    #: Whether the callback takes (view, delta, epoch) instead of the
+    #: two-argument form; detected from its signature at subscribe time.
+    wants_epoch: bool = False
 
 
 @dataclass(frozen=True)
@@ -48,6 +73,8 @@ class DeadLetter:
     subscription: Subscription
     error: Exception
     attempts: int
+    #: The commit epoch the failed delivery carried (None: MVCC off).
+    epoch: Optional[int] = None
 
 
 class SubscriptionHub:
@@ -96,7 +123,9 @@ class SubscriptionHub:
         self.dead_letters: List[DeadLetter] = []
 
     def subscribe(self, view: str, callback: Callback) -> Subscription:
-        subscription = Subscription(view, callback, self._next_token)
+        subscription = Subscription(
+            view, callback, self._next_token, _wants_epoch(callback)
+        )
         self._next_token += 1
         self._subscriptions.setdefault(view, []).append(subscription)
         return subscription
@@ -114,24 +143,37 @@ class SubscriptionHub:
     def has_subscribers(self) -> bool:
         return any(self._subscriptions.values())
 
-    def notify(self, view_deltas: Dict[str, CountedRelation]) -> None:
+    def notify(
+        self,
+        view_deltas: Dict[str, CountedRelation],
+        epoch: Optional[int] = None,
+    ) -> None:
         """Invoke every callback whose view changed (non-empty delta).
 
+        ``epoch`` is the MVCC epoch the pass published; three-argument
+        callbacks receive it, two-argument callbacks are unaffected.
         Callback exceptions never propagate; see the class docstring.
         """
         for view, delta in view_deltas.items():
             if not delta:
                 continue
             for subscription in tuple(self._subscriptions.get(view, ())):
-                self._deliver(subscription, view, delta)
+                self._deliver(subscription, view, delta, epoch)
 
     def _deliver(
-        self, subscription: Subscription, view: str, delta: CountedRelation
+        self,
+        subscription: Subscription,
+        view: str,
+        delta: CountedRelation,
+        epoch: Optional[int] = None,
     ) -> None:
         delay = self.backoff_seconds
         for attempt in range(1, self.max_attempts + 1):
             try:
-                subscription.callback(view, delta)
+                if subscription.wants_epoch:
+                    subscription.callback(view, delta, epoch)
+                else:
+                    subscription.callback(view, delta)
                 return
             except Exception as exc:  # noqa: BLE001 — isolation is the point
                 error = exc
@@ -177,7 +219,9 @@ class SubscriptionHub:
                 error=str(error),
             )
         self.dead_letters.append(
-            DeadLetter(view, delta, subscription, error, self.max_attempts)
+            DeadLetter(
+                view, delta, subscription, error, self.max_attempts, epoch
+            )
         )
 
 

@@ -82,6 +82,9 @@ class MaintenanceReport:
     view_deltas: Dict[str, CountedRelation] = field(default_factory=dict)
     counting: Optional[CountingResult] = None
     dred: Optional[DRedResult] = None
+    #: The MVCC epoch this pass published (``None``: MVCC off, or the
+    #: pass did not commit — quarantined/skipped).
+    epoch: Optional[int] = None
 
     def delta(self, view: str) -> CountedRelation:
         """The signed change applied to ``view`` (empty if unchanged)."""
@@ -248,6 +251,9 @@ class ViewMaintainer:
         #: must not be failed retroactively by checkpoint I/O).
         self.checkpoint_errors: List[Exception] = []
         self.lifetime = LifetimeStats()
+        #: The epoch the last :meth:`consistency_check` validated
+        #: (``None``: never checked, or MVCC off).
+        self.last_validated_epoch: Optional[int] = None
         #: Compiled delta-plan cache shared by every pass this maintainer
         #: runs (``plan_cache=False`` disables it — the ablation/baseline
         #: configuration, which replans every rule on every pass).
@@ -338,8 +344,23 @@ class ViewMaintainer:
                 for name, relation in self.views.items()
             }
         self._init_aggregate_views()
+        self._register_views()
         self._initialized = True
         return self
+
+    def _register_views(self) -> None:
+        """Adopt the view relations into the database's MVCC registry.
+
+        Snapshots must cover views, not just base relations — a reader
+        comparing a pinned view against a recompute over pinned bases is
+        the torn-read oracle.  Re-binding an existing name to a *new*
+        relation object (``refresh``/``alter``) severs version history:
+        past epochs cannot be reconstructed across an object swap, so
+        older snapshots fail typed instead of reading a mix.
+        """
+        mvcc = self.database.mvcc
+        if mvcc is not None:
+            mvcc.rebind(self.views)
 
     def _init_aggregate_views(self, only: Optional[Iterable[str]] = None) -> None:
         resolver = Resolver(self.database, self.views)
@@ -364,20 +385,28 @@ class ViewMaintainer:
         return self.initialize()
 
     def relation(
-        self, name: str, strict: Optional[bool] = None
+        self, name: str, strict: "Optional[bool | str]" = None
     ) -> CountedRelation:
         """A maintained view or base relation by name.
 
-        With ``strict=True`` (or ``GuardPolicy(strict_reads=True)``) the
-        read refuses to serve a degraded materialization: if quarantined
-        or skipped changesets are pending, :class:`StaleViewError` is
-        raised instead of returning a view that lags the stream.
-        ``strict=False`` always serves (degraded reads).
+        ``strict`` (defaulting to ``GuardPolicy(strict_reads=...)``)
+        picks what a degraded materialization — quarantined or skipped
+        changesets pending — serves:
+
+        * ``False`` / ``"serve"``: always return the live relation,
+          even lagging (the default);
+        * ``True`` / ``"reject"``: raise :class:`StaleViewError`
+          instead of serving a view that lags the stream;
+        * ``"snapshot"``: serve the last *consistent* committed epoch —
+          a :class:`~repro.storage.mvcc.SnapshotRead` with the epoch
+          and the staleness lag attached (requires MVCC).
         """
         self._require_initialized()
         if strict is None:
             strict = self.guard.policy.strict_reads
-        if strict and self._lag_changesets:
+        if strict == "snapshot":
+            return self.snapshot_read(name)
+        if strict in (True, "reject") and self._lag_changesets:
             lag = self.lag()
             raise StaleViewError(
                 f"{name} is stale: {lag['changesets']} changeset(s) "
@@ -391,6 +420,32 @@ class ViewMaintainer:
         if found is None:
             raise UnknownRelationError(f"no view or base relation named {name}")
         return found
+
+    def snapshot_read(self, name: str):
+        """The last committed epoch's state of ``name``, lag attached.
+
+        The ``strict_reads="snapshot"`` serving path: never a torn or
+        half-maintained state — the read is materialized from the MVCC
+        version chains at the last committed epoch, and the returned
+        :class:`~repro.storage.mvcc.SnapshotRead` carries ``epoch`` plus
+        the :meth:`lag` dict measured at read time.
+        """
+        self._require_initialized()
+        mvcc = self.database.mvcc
+        if mvcc is None:
+            raise MaintenanceError(
+                "snapshot reads need MVCC; this database was built "
+                "with mvcc=False"
+            )
+        from repro.storage.mvcc import SnapshotRead
+
+        with self.database.snapshot() as snap:
+            state = snap.relation(name)
+        read = SnapshotRead(name, state.arity)
+        read._rows = state.to_dict()
+        read.epoch = snap.epoch
+        read.staleness = self.lag()
+        return read
 
     def view_names(self) -> List[str]:
         """User-visible view names.
@@ -475,8 +530,23 @@ class ViewMaintainer:
         return self._commit(self._recompute_pass(changes, reason), route)
 
     def _incremental_pass(self, changes: Changeset) -> MaintenanceReport:
-        """One shadow-committed incremental pass (no commit tail)."""
-        undo = UndoLog() if self.crash_safe else None
+        """One shadow-committed incremental pass (no commit tail).
+
+        With MVCC the whole pass runs inside one epoch: every relation
+        records pre-images while the engines mutate, the journal entry
+        is stamped with the epoch about to be published, and the commit
+        flips all views and base relations to the new epoch atomically.
+        Row-level undo recording is disabled (``track_rows=False``) —
+        crash unwind *discards the uncommitted version* via
+        ``mvcc.abort()`` instead of replaying the undo log, which keeps
+        only the structural notes (created relations, remapped dicts).
+        """
+        mvcc = self.database.mvcc
+        undo = (
+            UndoLog(track_rows=mvcc is None) if self.crash_safe else None
+        )
+        if mvcc is not None:
+            mvcc.begin()
         span = self.tracer.span(
             "pass",
             self.strategy,
@@ -494,9 +564,18 @@ class ViewMaintainer:
         except BaseException as exc:
             self._rollback(undo, exc)
             raise
+        if mvcc is not None:
+            self._register_views()
+            report.epoch = mvcc.commit()
         return report
 
     def _rollback(self, undo: Optional[UndoLog], exc: BaseException) -> None:
+        mvcc = self.database.mvcc
+        if mvcc is not None and mvcc.in_flight:
+            restored = mvcc.abort()
+            self.tracer.event(
+                "mvcc_abort", error=type(exc).__name__, rows=restored
+            )
         if undo is None:
             return
         logger.warning(
@@ -519,7 +598,7 @@ class ViewMaintainer:
         self.lifetime.record(report)
         self.stats.record_pass(report, self.plan_cache)
         self._record_metrics(report)
-        self._subscriptions.notify(report.view_deltas)
+        self._subscriptions.notify(report.view_deltas, epoch=report.epoch)
         self._auto_checkpoint()
         return report
 
@@ -536,11 +615,22 @@ class ViewMaintainer:
         policy = self.guard.policy
         attempts = max(1, policy.journal_retry_attempts)
         delay = policy.journal_retry_base_seconds
+        mvcc = self.database.mvcc
+        # The append precedes the epoch flip, so the entry carries the
+        # epoch this pass is *about to* publish — recovery replays land
+        # on exactly the epoch subscribers saw.
+        epoch = (
+            mvcc.next_epoch
+            if mvcc is not None and mvcc.in_flight
+            else None
+        )
         for attempt in range(1, attempts + 1):
             try:
                 self.faults.fire("journal_append")
                 if self._journal is not None:
-                    self._watermark = self._journal.append(changes)
+                    self._watermark = self._journal.append(
+                        changes, epoch=epoch
+                    )
                 return
             except OSError as exc:
                 if attempt == attempts:
@@ -613,7 +703,12 @@ class ViewMaintainer:
         including the journal.
         """
         started = time.perf_counter()
-        undo = UndoLog() if self.crash_safe else None
+        mvcc = self.database.mvcc
+        undo = (
+            UndoLog(track_rows=mvcc is None) if self.crash_safe else None
+        )
+        if mvcc is not None:
+            mvcc.begin()
         old_views = {
             name: relation.copy() for name, relation in self.views.items()
         }
@@ -662,6 +757,10 @@ class ViewMaintainer:
         except BaseException as exc:
             self._rollback(undo, exc)
             raise
+        epoch = None
+        if mvcc is not None:
+            self._register_views()
+            epoch = mvcc.commit()
         self.guard.fallback_passes += 1
         self.metrics.counter(
             "repro_guard_fallback_passes_total",
@@ -673,6 +772,7 @@ class ViewMaintainer:
             strategy="recompute",
             seconds=time.perf_counter() - started,
             view_deltas=self._diff_views(old_views),
+            epoch=epoch,
         )
 
     def _apply_base_changes_direct(
@@ -1002,7 +1102,12 @@ class ViewMaintainer:
                 "duplicate semantics"
             )
         started = time.perf_counter()
-        undo = UndoLog() if self.crash_safe else None
+        mvcc = self.database.mvcc
+        undo = (
+            UndoLog(track_rows=mvcc is None) if self.crash_safe else None
+        )
+        if mvcc is not None:
+            mvcc.begin()
         if undo is not None:
             # Rule changes rewrite the program *and* rewrite views in
             # place; snapshot everything a failed redefinition could
@@ -1047,6 +1152,8 @@ class ViewMaintainer:
                 for name, relation in self.views.items()
             }
         except BaseException:
+            if mvcc is not None and mvcc.in_flight:
+                mvcc.abort()
             if undo is not None:
                 undo.unwind()
             if self.plan_cache is not None:
@@ -1054,6 +1161,13 @@ class ViewMaintainer:
                 # transitional program the unwind just rolled back.
                 self.plan_cache.invalidate()
             raise
+        epoch = None
+        if mvcc is not None:
+            # Publish the rule-change pass, then adopt the replacement
+            # view objects — the rebind severs history (a redefinition
+            # is a structural change no older snapshot can span).
+            epoch = mvcc.commit()
+            self._register_views()
         # Drop plans the rule-change pass compiled from the *old* rules;
         # from here on only the new program's plans may be cached.
         if self.plan_cache is not None:
@@ -1063,12 +1177,13 @@ class ViewMaintainer:
             for name in set(result.deletions) | set(result.insertions)
             if not names.is_internal(name)
         }
-        self._subscriptions.notify(deltas)
+        self._subscriptions.notify(deltas, epoch=epoch)
         return MaintenanceReport(
             strategy="dred(rule-change)",
             seconds=time.perf_counter() - started,
             view_deltas=deltas,
             dred=result,
+            epoch=epoch,
         )
 
     # ----------------------------------------------------------------- query
@@ -1318,34 +1433,61 @@ class ViewMaintainer:
         under set semantics the *sets* must match; under duplicate
         semantics the full counts must match.
 
+        With MVCC the whole check runs against a pinned snapshot, so it
+        never races an in-flight pass: bases and views are both read at
+        one committed epoch, recorded in :attr:`last_validated_epoch`.
         With ``repair=True`` a detected divergence triggers
-        :meth:`heal` instead of raising, and the resulting
-        :class:`~repro.resilience.repair.RepairReport` is returned
-        (``None`` when everything was already consistent).
+        :meth:`heal` pinned to that epoch — the patch is refused
+        (:class:`~repro.errors.MaintenanceError`) if a newer epoch
+        landed mid-check, since the divergence evidence would then be
+        stale.  Returns the
+        :class:`~repro.resilience.repair.RepairReport` (``None`` when
+        everything was already consistent).
         """
         self._require_initialized()
         from repro.resilience.repair import view_matches
 
-        fresh = materialize(
-            self.normalized.program,
-            self.database,
-            semantics=self.semantics,
-            stratification=self.stratification,
-        )
+        mvcc = self.database.mvcc
+        if mvcc is None:
+            fresh = materialize(
+                self.normalized.program,
+                self.database,
+                semantics=self.semantics,
+                stratification=self.stratification,
+            )
+            reader = self.views
+            epoch = None
+        else:
+            with self.database.snapshot() as snap:
+                epoch = snap.epoch
+                fresh = materialize(
+                    self.normalized.program,
+                    snap.as_database(self.database.names()),
+                    semantics=self.semantics,
+                    stratification=self.stratification,
+                )
+                reader = {
+                    name: snap.relation(name)
+                    for name in fresh
+                    if name in self.views
+                }
+        self.last_validated_epoch = epoch
         for name, expected in fresh.items():
-            actual = self.views.get(name, CountedRelation(name))
+            actual = reader.get(name, CountedRelation(name))
             if not view_matches(self, actual, expected):
                 if repair:
-                    return self.heal()
+                    return self.heal(validated_epoch=epoch)
                 missing = expected.as_set() - actual.as_set()
                 extra = actual.as_set() - expected.as_set()
                 raise DivergenceError(
-                    f"view {name} diverged from recomputation: "
-                    f"missing={sorted(missing)[:5]} extra={sorted(extra)[:5]}"
+                    f"view {name} diverged from recomputation"
+                    + (f" at epoch {epoch}" if epoch is not None else "")
+                    + f": missing={sorted(missing)[:5]} "
+                    f"extra={sorted(extra)[:5]}"
                 )
         return None
 
-    def heal(self):
+    def heal(self, validated_epoch: Optional[int] = None):
         """Rebuild every diverged view from the base relations.
 
         The self-healing counterpart of :meth:`consistency_check`:
@@ -1353,11 +1495,19 @@ class ViewMaintainer:
         states are rebuilt, and a
         :class:`~repro.resilience.repair.RepairReport` describes what
         changed.  Safe to call on a healthy maintainer (empty report).
+
+        ``validated_epoch`` (threaded through by
+        ``consistency_check(repair=True)``) makes the patch
+        conditional: if a newer epoch has landed since the divergence
+        was observed — or a pass is in flight — the repair refuses
+        rather than patch live state from stale evidence; re-run the
+        check.  Under MVCC the repair itself commits one epoch, so
+        pinned snapshot readers never see a half-healed state.
         """
         self._require_initialized()
         from repro.resilience.repair import repair_divergence
 
-        return repair_divergence(self)
+        return repair_divergence(self, validated_epoch=validated_epoch)
 
     @property
     def dead_letters(self):

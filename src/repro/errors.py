@@ -145,6 +145,25 @@ class StaleViewError(MaintenanceError):
     """
 
 
+class SnapshotTooOldError(MaintenanceError):
+    """A pinned snapshot's epoch is no longer reconstructible.
+
+    Raised when a reader asks for an epoch below the MVCC layer's
+    ``min_readable`` watermark: either the requested epoch predates the
+    retained version history, or the retention cap
+    (``Database(retain_versions=...)``) force-dropped version entries a
+    long-lived snapshot still needed.  ``epoch`` is the epoch the reader
+    asked for; ``min_readable`` is the oldest epoch still servable.
+    """
+
+    def __init__(
+        self, message: str, epoch: int = 0, min_readable: int = 0
+    ) -> None:
+        self.epoch = epoch
+        self.min_readable = min_readable
+        super().__init__(message)
+
+
 class DivergenceError(MaintenanceError):
     """A maintained state no longer matches what recomputation says.
 

@@ -37,6 +37,12 @@ _STATE_CODES = {BREAKER_CLOSED: 0, BREAKER_HALF_OPEN: 1, BREAKER_OPEN: 2}
 
 _FALLBACK_MODES = ("recompute", "skip", "raise")
 
+#: Legal ``strict_reads`` modes.  ``False``/``"serve"`` serve live (even
+#: degraded) state; ``True``/``"reject"`` raise ``StaleViewError`` on a
+#: lagging read; ``"snapshot"`` serves the last consistent MVCC epoch
+#: with the staleness lag attached.
+_STRICT_READ_MODES = ("serve", "reject", "snapshot")
+
 
 @dataclass(frozen=True)
 class GuardPolicy:
@@ -58,8 +64,11 @@ class GuardPolicy:
       enables admission control unless ``admission`` overrides.
     * ``journal_retry_*`` — bounded exponential backoff with jitter for
       transient journal ``OSError``s.
-    * ``strict_reads`` — reads raise :class:`StaleViewError` while
-      quarantined/skipped changesets are pending.
+    * ``strict_reads`` — what a degraded read serves: ``False`` /
+      ``"serve"`` return live state even while quarantined/skipped
+      changesets are pending; ``True`` / ``"reject"`` raise
+      :class:`StaleViewError`; ``"snapshot"`` serve the last consistent
+      MVCC commit epoch with the staleness lag attached.
     """
 
     budget: Optional[MaintenanceBudget] = None
@@ -74,7 +83,7 @@ class GuardPolicy:
     journal_retry_attempts: int = 3
     journal_retry_base_seconds: float = 0.01
     journal_retry_jitter: float = 0.5
-    strict_reads: bool = False
+    strict_reads: "bool | str" = False
     seed: Optional[int] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
@@ -82,6 +91,14 @@ class GuardPolicy:
             raise ValueError(
                 f"fallback must be one of {_FALLBACK_MODES}, "
                 f"got {self.fallback!r}"
+            )
+        if (
+            not isinstance(self.strict_reads, bool)
+            and self.strict_reads not in _STRICT_READ_MODES
+        ):
+            raise ValueError(
+                f"strict_reads must be a bool or one of "
+                f"{_STRICT_READ_MODES}, got {self.strict_reads!r}"
             )
         if self.breaker_threshold < 1:
             raise ValueError("breaker_threshold must be >= 1")

@@ -7,7 +7,8 @@ workload and exits non-zero on the first violation:
    log that parses, validates against the event schema, and contains a
    ``pass -> stratum -> phase -> rule`` path;
 2. the metrics registry renders valid Prometheus text exposition with
-   at least ten ``repro_*`` metric families;
+   at least ten ``repro_*`` metric families, including every
+   ``repro_mvcc_*`` family the version manager publishes;
 3. ``explain`` reproduces the stored derivation count (Theorem 4.1).
 
 Kept deliberately tiny (sub-second) so it can ride in ``make check``.
@@ -38,6 +39,16 @@ EDGES = [("a", "b"), ("b", "c"), ("c", "d"), ("d", "e"), ("a", "d")]
 
 REQUIRED_PATH = ["pass", "stratum", "phase", "rule"]
 MIN_FAMILIES = 10
+#: Every family the MVCC version manager emits; each commit refreshes
+#: them, so a maintained pass must leave all of them in the registry.
+MVCC_FAMILIES = (
+    "repro_mvcc_epoch",
+    "repro_mvcc_active_snapshots",
+    "repro_mvcc_version_entries",
+    "repro_mvcc_commits_total",
+    "repro_mvcc_gc_reclaimed_total",
+    "repro_mvcc_snapshot_too_old_total",
+)
 
 
 def _database() -> Database:
@@ -115,6 +126,12 @@ def main() -> int:
         problems.append(
             f"prometheus: only {len(families)} metric families "
             f"(need >= {MIN_FAMILIES}): {sorted(families)}"
+        )
+    missing_mvcc = [f for f in MVCC_FAMILIES if f not in families]
+    if missing_mvcc:
+        problems.append(
+            f"prometheus: missing MVCC families {missing_mvcc} "
+            f"(the version manager should refresh them on every commit)"
         )
 
     if problems:

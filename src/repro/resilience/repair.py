@@ -22,8 +22,9 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro.errors import MaintenanceError
 from repro.obs.metrics import get_default_registry
 from repro.storage.relation import CountedRelation
 
@@ -37,11 +38,13 @@ class RepairReport:
     ``healed`` maps each rebuilt view to ``(missing, extra)`` — the
     number of set-level tuples that were absent from / spurious in the
     stored materialization.  Count-only divergence (right tuples, wrong
-    multiplicities) heals with ``(0, 0)``.
+    multiplicities) heals with ``(0, 0)``.  ``epoch`` is the MVCC epoch
+    the repair itself committed (``None``: MVCC off or nothing healed).
     """
 
     healed: Dict[str, Tuple[int, int]] = field(default_factory=dict)
     aggregates_reset: List[str] = field(default_factory=list)
+    epoch: Optional[int] = None
 
     def is_clean(self) -> bool:
         """True when nothing needed repair."""
@@ -74,7 +77,9 @@ def view_matches(maintainer, actual: CountedRelation, expected: CountedRelation)
     return actual.as_set() == expected.as_set()
 
 
-def repair_divergence(maintainer) -> RepairReport:
+def repair_divergence(
+    maintainer, validated_epoch: Optional[int] = None
+) -> RepairReport:
     """Rebuild every diverged view from the base relations.
 
     Repaired relations are patched *in place* (their row stores are
@@ -82,9 +87,28 @@ def repair_divergence(maintainer) -> RepairReport:
     rebuilt whenever anything was healed, and the returned
     :class:`RepairReport` lists the damage.  A clean maintainer returns
     an empty report — calling this is always safe.
+
+    ``validated_epoch`` guards against racing the writer: when given
+    (by ``consistency_check(repair=True)``), the repair refuses to
+    patch if the database has committed a newer epoch since the
+    divergence was observed, or a pass is currently in flight — the
+    evidence is stale; re-run the check.  Under MVCC the patch itself
+    runs in one autocommitted epoch, so pinned snapshot readers see
+    either the damaged state or the healed state, never a mix.
     """
     from repro.eval.stratified import materialize
+    from repro.storage.mvcc import autocommit
 
+    mvcc = maintainer.database.mvcc
+    if mvcc is not None and validated_epoch is not None:
+        if mvcc.in_flight or mvcc.epoch != validated_epoch:
+            raise MaintenanceError(
+                f"refusing to repair: divergence was validated at epoch "
+                f"{validated_epoch} but the database is now at epoch "
+                f"{mvcc.epoch}"
+                + (" with a pass in flight" if mvcc.in_flight else "")
+                + "; re-run consistency_check()"
+            )
     fresh = materialize(
         maintainer.normalized.program,
         maintainer.database,
@@ -92,6 +116,7 @@ def repair_divergence(maintainer) -> RepairReport:
         stratification=maintainer.stratification,
     )
     report = RepairReport()
+    damaged = []
     for name, expected in fresh.items():
         if maintainer.strategy == "dred":
             expected = expected.set_view(name)
@@ -103,10 +128,20 @@ def repair_divergence(maintainer) -> RepairReport:
             continue
         missing = expected.as_set() - actual.as_set()
         extra = actual.as_set() - expected.as_set()
-        actual.replace_rows(expected.to_dict())
-        actual.arity = expected.arity
+        damaged.append((name, actual, expected))
         report.healed[name] = (len(missing), len(extra))
+    if damaged:
+        # One epoch for the whole patch set: snapshot readers see the
+        # damaged state or the healed state, never a mix (a clean heal
+        # commits nothing and bumps no epoch).
+        with autocommit(mvcc):
+            for _name, actual, expected in damaged:
+                actual.replace_rows(expected.to_dict())
+                actual.arity = expected.arity
     if report.healed:
+        if mvcc is not None:
+            maintainer._register_views()
+            report.epoch = mvcc.epoch
         # Aggregate group states are derived caches over the (possibly
         # damaged) grouped relations; rebuild them all from the repaired
         # state rather than guessing which drifted.

@@ -30,12 +30,22 @@ class UndoLog:
     unwound newest-first, so the *earliest* note for a cell wins and
     later notes for the same cell are harmlessly overwritten on the way
     back.
+
+    With ``track_rows=False`` the row-level notes (:meth:`note_count`,
+    :meth:`note_counts`, :meth:`note_rows`) become no-ops: the MVCC
+    layer (:mod:`repro.storage.mvcc`) already records every touched
+    row's pre-image in the open epoch, and rollback restores row state
+    by *discarding the uncommitted version* instead of replaying the
+    undo log.  Everything else — aggregate group states, created base
+    relations, reassigned attributes, remapped dicts — stays live; MVCC
+    versions relation rows, not object graphs.
     """
 
-    __slots__ = ("_ops",)
+    __slots__ = ("_ops", "track_rows")
 
-    def __init__(self) -> None:
+    def __init__(self, track_rows: bool = True) -> None:
         self._ops: List[Tuple] = []
+        self.track_rows = track_rows
 
     def __len__(self) -> int:
         return len(self._ops)
@@ -44,10 +54,14 @@ class UndoLog:
 
     def note_count(self, relation: CountedRelation, row: Row) -> None:
         """Record one row's current count before it changes."""
+        if not self.track_rows:
+            return
         self._ops.append(("count", relation, row, relation.count(row)))
 
     def note_counts(self, relation: CountedRelation, rows: Iterable[Row]) -> None:
         """Record current counts for every row about to be merged into."""
+        if not self.track_rows:
+            return
         ops = self._ops
         count = relation.count
         for row in rows:
@@ -57,9 +71,11 @@ class UndoLog:
         """Record a full pre-image of ``relation`` (``old`` is a copy).
 
         Used where a whole-relation copy already exists (DRed's
-        ``_save_old``) or where fine-grained notes are not worth it
+        ``_old`` map) or where fine-grained notes are not worth it
         (rule-change maintenance).  The copy is shared, not re-copied.
         """
+        if not self.track_rows:
+            return
         self._ops.append(("rows", relation, old))
 
     def note_base_created(self, database, name: str) -> None:

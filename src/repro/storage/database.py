@@ -21,12 +21,61 @@ from repro.storage.relation import CountedRelation, Row
 
 
 class Database:
-    """A mutable collection of named counted relations."""
+    """A mutable collection of named counted relations.
 
-    __slots__ = ("_relations",)
+    With ``mvcc=True`` (the default) the database owns a
+    :class:`~repro.storage.mvcc.VersionManager`: every commit stamps a
+    monotonically increasing epoch, relations keep a bounded chain of
+    committed versions (``retain_versions`` entries per relation at
+    most), and readers take :meth:`snapshot` handles pinned to an
+    epoch.  Direct writes outside a maintenance pass commit their own
+    mini-epoch; maintenance passes bracket the whole pass in one epoch
+    via the maintainer.  ``mvcc=False`` restores the bare store
+    (scratch databases, the recompute oracle).
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("_relations", "_mvcc")
+
+    def __init__(self, mvcc: bool = True, retain_versions: int = 8) -> None:
         self._relations: Dict[str, CountedRelation] = {}
+        if mvcc:
+            from repro.storage.mvcc import VersionManager
+
+            self._mvcc: Optional["VersionManager"] = VersionManager(
+                retain_versions=retain_versions
+            )
+        else:
+            self._mvcc = None
+
+    # ----------------------------------------------------------------- mvcc
+
+    @property
+    def mvcc(self):
+        """The :class:`~repro.storage.mvcc.VersionManager`, or ``None``."""
+        return self._mvcc
+
+    @property
+    def epoch(self) -> int:
+        """The last committed epoch (0 when MVCC is off)."""
+        return self._mvcc.epoch if self._mvcc is not None else 0
+
+    def snapshot(self, epoch: Optional[int] = None):
+        """Pin a consistent read handle (a context manager).
+
+        ``epoch=None`` pins the current committed epoch.  Raises
+        :class:`~repro.errors.MaintenanceError` when MVCC is off.
+        """
+        if self._mvcc is None:
+            raise MaintenanceError(
+                "snapshots need MVCC; this database was built with "
+                "mvcc=False"
+            )
+        return self._mvcc.snapshot(epoch)
+
+    def _autocommit(self):
+        from repro.storage.mvcc import autocommit
+
+        return autocommit(self._mvcc)
 
     # --------------------------------------------------------------- schema
 
@@ -36,6 +85,8 @@ class Database:
             raise SchemaError(f"relation {name} already exists")
         relation = CountedRelation(name, arity)
         self._relations[name] = relation
+        if self._mvcc is not None:
+            self._mvcc.register(name, relation)
         return relation
 
     def ensure_relation(self, name: str, arity: Optional[int] = None) -> CountedRelation:
@@ -44,14 +95,31 @@ class Database:
         if relation is None:
             relation = CountedRelation(name, arity)
             self._relations[name] = relation
+            if self._mvcc is not None:
+                self._mvcc.register(name, relation)
         elif arity is not None and relation.arity is None:
             relation.arity = arity
+        return relation
+
+    def adopt_relation(self, name: str, relation: CountedRelation) -> CountedRelation:
+        """Install an existing relation object under ``name``.
+
+        Replacing a different object already bound to ``name`` severs
+        MVCC history (old epochs can no longer be reconstructed across
+        the object swap).
+        """
+        current = self._relations.get(name)
+        self._relations[name] = relation
+        if self._mvcc is not None and current is not relation:
+            self._mvcc.rebind({name: relation})
         return relation
 
     def drop_relation(self, name: str) -> None:
         if name not in self._relations:
             raise UnknownRelationError(f"relation {name} does not exist")
         del self._relations[name]
+        if self._mvcc is not None:
+            self._mvcc.unregister(name)
 
     def __contains__(self, name: str) -> bool:
         return name in self._relations
@@ -75,12 +143,14 @@ class Database:
 
     def insert(self, name: str, row: Iterable[object], count: int = 1) -> None:
         """Directly insert into a (base) relation, count 1 by default."""
-        self.ensure_relation(name).add(tuple(row), count)
+        with self._autocommit():
+            self.ensure_relation(name).add(tuple(row), count)
 
     def insert_rows(self, name: str, rows: Iterable[Iterable[object]]) -> None:
-        relation = self.ensure_relation(name)
-        for row in rows:
-            relation.add(tuple(row), 1)
+        with self._autocommit():
+            relation = self.ensure_relation(name)
+            for row in rows:
+                relation.add(tuple(row), 1)
 
     def delete(self, name: str, row: Iterable[object], count: int = 1) -> None:
         """Directly delete from a (base) relation.
@@ -94,7 +164,8 @@ class Database:
                 f"cannot delete {count} copies of {row!r} from {name}: "
                 f"only {relation.count(row)} stored"
             )
-        relation.add(row, -count)
+        with self._autocommit():
+            relation.add(row, -count)
 
     def apply_changeset(self, changes: Changeset) -> None:
         """Apply a base-relation changeset atomically.
@@ -120,16 +191,28 @@ class Database:
                         f"{name} but only {stored} are stored (Lemma 4.1 "
                         f"requires deletions to be a subset of the database)"
                     )
-        for name, delta in changes:
-            self.ensure_relation(name).merge(delta)
+        with self._autocommit():
+            for name, delta in changes:
+                self.ensure_relation(name).merge(delta)
 
     # -------------------------------------------------------------- utility
 
     def copy(self) -> "Database":
-        """A deep copy of every relation (indexes rebuild lazily)."""
-        clone = Database()
+        """A deep copy of every relation (indexes rebuild lazily).
+
+        The clone gets its own fresh version manager (epoch 0, empty
+        chains) when this database has one — version history is not
+        copied; it describes *this* store's commits, not the clone's.
+        """
+        if self._mvcc is not None:
+            clone = Database(retain_versions=self._mvcc.retain_versions)
+        else:
+            clone = Database(mvcc=False)
         for name, relation in self._relations.items():
-            clone._relations[name] = relation.copy()
+            copied = relation.copy()
+            clone._relations[name] = copied
+            if clone._mvcc is not None:
+                clone._mvcc.register(name, copied)
         return clone
 
     def total_rows(self) -> int:

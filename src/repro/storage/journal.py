@@ -156,14 +156,23 @@ class Journal:
 
     # -------------------------------------------------------------- writing
 
-    def append(self, changes: Changeset) -> int:
-        """Durably append one changeset; returns its sequence number."""
+    def append(self, changes: Changeset, epoch: Optional[int] = None) -> int:
+        """Durably append one changeset; returns its sequence number.
+
+        ``epoch`` stamps the entry with the MVCC epoch the batch
+        published, so recovery and subscribers agree on exactly which
+        commit an entry reflects.  Old journals (entries without the
+        field) replay fine — the epoch is simply unknown for them
+        (versioned-format fallback).
+        """
         started = time.perf_counter()
         self._maybe_rotate()
         entry = {
             "seq": self._sequence + 1,
             "changes": changeset_to_dict(changes),
         }
+        if epoch is not None:
+            entry["epoch"] = epoch
         line = json.dumps(entry, separators=(",", ":"))
         handle = self._ensure_handle()
         position = handle.tell()
@@ -367,6 +376,25 @@ class Journal:
                 continue
             yield changeset_from_dict(entry["changes"])
 
+    def replay_entries(
+        self, after: int = 0
+    ) -> Iterator[Tuple[int, Optional[int], Changeset]]:
+        """Like :meth:`replay`, but yields ``(seq, epoch, changeset)``.
+
+        ``epoch`` is the MVCC epoch the entry's batch published, or
+        ``None`` for entries written before the epoch field existed
+        (the versioned-format fallback).
+        """
+        for entry, _ in self._iter_entries(strict=False, after=after):
+            if entry["seq"] <= after:
+                continue
+            epoch = entry.get("epoch")
+            yield (
+                entry["seq"],
+                epoch if isinstance(epoch, int) else None,
+                changeset_from_dict(entry["changes"]),
+            )
+
     def __len__(self) -> int:
         """The sequence number of the last appended entry."""
         return self._sequence
@@ -386,6 +414,7 @@ def recover(
     snapshot_path: str,
     journal: Journal,
     attach: bool = False,
+    upto_epoch: Optional[int] = None,
 ):
     """Rebuild a maintainer from snapshot + journal.
 
@@ -396,6 +425,18 @@ def recover(
     and aggregate states all match the pre-crash state without
     double-applying entries the snapshot already contains.
 
+    When the recovered database has MVCC, the commit-epoch counter is
+    restored from the last replayed entry's recorded epoch — the epoch
+    the pre-crash process actually published, not a synthetic number —
+    so post-recovery commits continue the pre-crash numbering and
+    subscribers/journal stay in agreement.  Entries from old journals
+    without the epoch field leave the counter at the replay's own
+    epochs (versioned-format fallback).
+
+    ``upto_epoch`` stops the replay after the entry that published that
+    epoch — point-in-time recovery to a known-good commit (entries
+    without an epoch field count by sequence number instead).
+
     With ``attach=True`` the recovered maintainer continues journaling
     to ``journal`` (and checkpointing to ``snapshot_path``).
     """
@@ -404,8 +445,17 @@ def recover(
     database, watermark = load_snapshot(snapshot_path)
     maintainer = maintainer_factory(database)
     maintainer.initialize()
-    for changes in journal.replay(after=watermark):
+    last_epoch: Optional[int] = None
+    for seq, epoch, changes in journal.replay_entries(after=watermark):
+        marker = epoch if epoch is not None else seq
+        if upto_epoch is not None and marker > upto_epoch:
+            break
         maintainer.apply(changes)
+        if epoch is not None:
+            last_epoch = epoch
+    mvcc = maintainer.database.mvcc
+    if mvcc is not None and last_epoch is not None:
+        mvcc.restore_epoch(last_epoch)
     if attach:
         maintainer.attach_journal(journal, snapshot_path=snapshot_path)
     return maintainer

@@ -43,7 +43,10 @@ class CountedRelation:
     the no-zero-counts invariant and all secondary indexes up to date.
     """
 
-    __slots__ = ("name", "arity", "_rows", "_indexes", "_declared")
+    __slots__ = (
+        "name", "arity", "_rows", "_indexes", "_declared",
+        "_pending", "_versions",
+    )
 
     def __init__(
         self,
@@ -58,6 +61,15 @@ class CountedRelation:
         self._indexes: Dict[Tuple[int, ...], Dict[Row, set]] = {}
         # Declared index key specs: re-registered across clear/replace/copy.
         self._declared: Set[Tuple[int, ...]] = set()
+        # MVCC hooks (repro.storage.mvcc).  While an epoch is open,
+        # ``_pending`` maps each row touched so far to its pre-image
+        # count; ``None`` means no epoch is recording.  ``_versions`` is
+        # the committed backward-delta chain: ``(epoch, pre_images)``
+        # entries, oldest first.  Pre-images are recorded *before* the
+        # mutation they shadow — concurrent snapshot readers rely on
+        # that ordering for torn-read freedom.
+        self._pending: Optional[Dict[Row, int]] = None
+        self._versions: list = []
         if rows is not None:
             for row, count in rows:
                 self.add(row, count)
@@ -74,6 +86,9 @@ class CountedRelation:
                 f"got row of length {len(row)}: {row!r}"
             )
         old = self._rows.get(row, 0)
+        pending = self._pending
+        if pending is not None and row not in pending:
+            pending[row] = old
         new = old + count
         if new == 0:
             del self._rows[row]
@@ -87,9 +102,14 @@ class CountedRelation:
 
     def discard(self, row: Row) -> int:
         """Remove a row entirely regardless of count; returns the old count."""
-        old = self._rows.pop(row, 0)
-        if old != 0:
-            self._index_remove(row)
+        old = self._rows.get(row, 0)
+        if old == 0:
+            return 0
+        pending = self._pending
+        if pending is not None and row not in pending:
+            pending[row] = old
+        del self._rows[row]
+        self._index_remove(row)
         return old
 
     def set_count(self, row: Row, count: int) -> None:
@@ -115,6 +135,11 @@ class CountedRelation:
         re-registered, so cached plans probing them after a clear pay no
         full rebuild — the (empty) indexes are simply maintained forward.
         """
+        pending = self._pending
+        if pending is not None:
+            for row, count in self._rows.items():
+                if row not in pending:
+                    pending[row] = count
         self._rows.clear()
         for index in self._indexes.values():
             index.clear()
@@ -141,6 +166,14 @@ class CountedRelation:
         specs are rebuilt immediately so cached plans keep their
         always-on indexes through rollback and repair.
         """
+        pending = self._pending
+        if pending is not None:
+            for row, count in self._rows.items():
+                if count != rows.get(row, 0) and row not in pending:
+                    pending[row] = count
+            for row, count in rows.items():
+                if count != 0 and row not in self._rows and row not in pending:
+                    pending[row] = 0
         self._rows = dict(rows)
         self._indexes = {}
         for positions in self._declared:

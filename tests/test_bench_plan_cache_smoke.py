@@ -39,7 +39,7 @@ def test_smoke_emits_valid_bench_json(tmp_path):
     by_name = {w["workload"]: w for w in payload["workloads"]}
     assert set(by_name) == {
         "counting-small-delta", "dred-small-delta", "batched-vs-sequential",
-        "tracing-overhead", "guard-overhead",
+        "tracing-overhead", "guard-overhead", "mvcc-overhead",
     }
 
     for name in ("counting-small-delta", "dred-small-delta"):
@@ -72,6 +72,13 @@ def test_smoke_emits_valid_bench_json(tmp_path):
     assert guard["within_budget"] is True
     assert guard["overhead_ratio"] < guard["budget"]
     assert guard["meter_crossings"] > 0
+
+    # And for single-threaded MVCC with no snapshots open.
+    mvcc = by_name["mvcc-overhead"]
+    assert mvcc["within_budget"] is True
+    assert mvcc["overhead_ratio"] < mvcc["budget"]
+    assert mvcc["write_crossings"] > 0
+    assert mvcc["rows_versioned"] > 0
 
     # Engine telemetry rides along in every bench document.
     assert "metrics" in payload["telemetry"]

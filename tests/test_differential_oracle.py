@@ -18,6 +18,11 @@ against two independent oracles:
   of the maintainer (guarding against the maintainer corrupting its own
   base relations and then agreeing with them).
 
+A third oracle covers the MVCC layer: snapshots pinned at
+hypothesis-chosen points between passes must keep reading exactly the
+recompute of the oracle database as it stood at acquire time
+(``test_interleaved_snapshots_match_recompute_at_pinned_epoch``).
+
 The suite runs 220 generated cases (see the ``max_examples`` settings:
 25×4 counting + 15×4 DRed + 15×4 recursive DRed), derandomized so CI
 is reproducible.  Any divergence is a real bug: the oracles share no
@@ -38,6 +43,7 @@ from repro.datalog.safety import check_program_safety
 from repro.datalog.stratify import stratify
 from repro.eval.stratified import materialize
 from repro.storage.changeset import Changeset
+from repro.storage.database import Database
 
 from conftest import TC_SRC, database_with
 
@@ -330,6 +336,96 @@ def test_dred_matches_recompute(cache, batched, guard, case, updates):
             _final_state_matches(maintainer, case, oracle_db, "set")
 
     _final_state_matches(maintainer, case, oracle_db, "set")
+
+
+# ------------------------------------------------------ snapshots ≡ oracle
+
+
+def _snapshot_matches(snap, frozen_db, program, view_names, semantics):
+    """Pinned snapshot ≡ recompute over the oracle state at acquire time.
+
+    ``frozen_db`` is the independently-tracked oracle database copied at
+    the instant the snapshot was pinned; the snapshot's base relations
+    must equal it row-for-row and its views must equal a fresh
+    materialization of it — no matter how many epochs have committed
+    since.
+    """
+    assert (
+        snap.relation("link").to_dict()
+        == frozen_db.relation("link").to_dict()
+    )
+    truth = materialize(program, frozen_db, semantics=semantics)
+    for view in view_names:
+        read = snap.relation(view)
+        if semantics == "set":
+            assert read.as_set() == truth[view].as_set(), view
+        else:
+            assert read.to_dict() == truth[view].to_dict(), view
+
+
+@settings(max_examples=40, derandomize=True, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(case=stratified_program(), updates=update_stream(),
+       semantics=st.sampled_from(["set", "duplicate"]),
+       data=st.data())
+def test_interleaved_snapshots_match_recompute_at_pinned_epoch(
+    case, updates, semantics, data
+):
+    """Snapshots acquired/released at arbitrary points in the stream.
+
+    Hypothesis shuffles snapshot acquire/release actions between the
+    ``apply``/``apply_many`` calls of a generated update stream.  Each
+    acquired snapshot is paired with an ``oracle_db.copy()`` frozen at
+    the same instant, and re-verified against it after *every*
+    subsequent pass: a later commit leaking into a pinned read — a torn
+    read — fails here deterministically, without threads.
+    """
+    edges, stream = updates
+    db = Database(retain_versions=64)
+    db.insert_rows("link", edges)
+    maintainer = ViewMaintainer.from_source(
+        case, db, strategy="counting", semantics=semantics
+    ).initialize()
+    oracle_db = database_with(edges)
+    program = parse_program(case)
+    view_names = maintainer.view_names()
+
+    open_snaps = []
+
+    def acquire():
+        open_snaps.append((db.snapshot(), oracle_db.copy()))
+
+    def release(index):
+        snap, frozen = open_snaps.pop(index)
+        _snapshot_matches(snap, frozen, program, view_names, semantics)
+        snap.close()
+
+    remaining = list(stream)
+    while remaining:
+        if data.draw(st.booleans(), label="acquire before pass"):
+            acquire()
+        if open_snaps and data.draw(st.booleans(), label="release one"):
+            release(data.draw(
+                st.integers(0, len(open_snaps) - 1), label="which"
+            ))
+        if len(remaining) >= 2 and data.draw(
+            st.booleans(), label="batch two"
+        ):
+            batch, remaining = remaining[:2], remaining[2:]
+            maintainer.apply_many(changes.copy() for changes in batch)
+            for changes in batch:
+                oracle_db.apply_changeset(changes.copy())
+        else:
+            changes, remaining = remaining[0], remaining[1:]
+            maintainer.apply(changes.copy())
+            oracle_db.apply_changeset(changes.copy())
+        for snap, frozen in open_snaps:
+            _snapshot_matches(snap, frozen, program, view_names, semantics)
+
+    while open_snaps:
+        release(len(open_snaps) - 1)
+    _final_state_matches(maintainer, case, oracle_db, semantics)
+    assert db.mvcc.retained_entries() == 0
 
 
 @pytest.mark.parametrize("cache,batched,guard", CONFIGS)

@@ -606,4 +606,5 @@ class TestShellIntegration:
         assert policy.budget.max_rule_firings == 1000
         assert policy.blowup_ratio == 8
         assert policy.fallback == "skip"
-        assert policy.strict_reads is True
+        # Bare --strict-reads means reject-on-stale (the pre-MVCC True).
+        assert policy.strict_reads == "reject"
