@@ -7,11 +7,11 @@ PYTEST := env PYTHONPATH=src $(PYTHON) -m pytest
 TIMEOUT ?= timeout
 
 .PHONY: check test test-fast test-faults test-soak bench-smoke obs-smoke \
-	guard-smoke mvcc-smoke lint-smoke lint ruff pylint
+	guard-smoke mvcc-smoke lint-smoke bf-smoke lint ruff pylint
 
 # The default gate: the whole suite plus the benchmark, observability,
 # guardrail and static-analysis smoke runs.
-check: test bench-smoke obs-smoke guard-smoke mvcc-smoke lint-smoke
+check: test bench-smoke obs-smoke guard-smoke mvcc-smoke lint-smoke bf-smoke
 
 # The tier-1 gate: everything, fail fast.
 test:
@@ -68,6 +68,15 @@ mvcc-smoke:
 # expected RV codes.  See docs/analysis.md for the code catalogue.
 lint-smoke:
 	env PYTHONPATH=src $(PYTHON) -m repro.analysis.smoke
+
+# B/F acceptance at toy scale: the advisor recommends bf (RV203) on the
+# dense alternative-derivation fixture and auto-selection agrees, bf and
+# DRed leave identical views on a delete/reinsert stream through it, bf
+# is measurably faster there, and the candidates-vs-overestimate
+# counters confirm the targeting.  (The full benchmark with the >= 5x
+# gate is `python benchmarks/bench_bf.py` -> BENCH_bf.json.)
+bf-smoke:
+	env PYTHONPATH=src $(PYTHON) -m repro.core.bf_smoke
 
 # Lint an arbitrary program: make lint FILE=path/to/views.dl
 lint:

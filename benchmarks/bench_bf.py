@@ -1,0 +1,272 @@
+"""B/F vs DRed benchmark → BENCH_bf.json.
+
+Measures the Backward/Forward strategy (Hu, Motik & Horrocks;
+ROADMAP O1) on the workload class it exists for — graphs *dense in
+alternative derivations*, where DRed's deletion overestimate floods the
+downstream cone and B/F's backward check stops the propagation at
+distance one — and guards against regressions on the sparse workloads
+DRed already handles well.  Four workloads:
+
+* ``dense-layered`` — transitive closure over a complete-bipartite
+  layer stack (:func:`repro.workloads.dense_layers`: every tc pair
+  spanning *k* layers has ``width**(k-1)`` derivations), a stream of
+  single-edge delete/reinsert passes through the middle layer.
+  **Gated**: bf must be ≥ :data:`DENSE_SPEEDUP_GATE` × faster than
+  DRed here (ISSUE 7 acceptance).
+* ``dense-grid`` — the same stream shape over the right/down grid
+  (many, but not maximal, alternative paths).  Informational.
+* ``e6-regression`` / ``e7-regression`` — the *exact* workloads of the
+  existing DRed benchmarks (``bench_e6_dred_vs_recompute``'s sparse
+  250-node deletion batch, ``bench_e7_dred_vs_pf``'s 80-node mixed
+  batch), one cold apply per round.  **Gated**: bf may be at most
+  :data:`REGRESSION_BUDGET` slower than DRed on each.
+
+Every head-to-head run also cross-checks that bf and DRed leave
+identical views (a mini differential oracle inside the bench).
+
+Run standalone (no pytest-benchmark needed)::
+
+    PYTHONPATH=src python benchmarks/bench_bf.py
+    PYTHONPATH=src python benchmarks/bench_bf.py --smoke
+
+Emits ``BENCH_bf.json`` (repo root by default, ``--out`` to move it)
+with per-workload timings, the speedup ratios, the gates, and the
+targeting counters (B/F candidates/waves/check ratio vs DRed's
+overestimate) that explain *why* the dense numbers look the way they
+do.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Dict, List, Optional, Tuple
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from helpers import TC_SRC, database_with  # noqa: E402
+
+from repro.bench.harness import write_bench_json  # noqa: E402
+from repro.core.maintenance import ViewMaintainer  # noqa: E402
+from repro.obs import get_default_registry  # noqa: E402
+from repro.storage.changeset import Changeset  # noqa: E402
+from repro.workloads import (  # noqa: E402
+    dense_layers,
+    grid,
+    mixed_batch,
+    random_graph,
+)
+
+#: ISSUE 7 acceptance: bf ≥ 5× over DRed on the dense workload.
+DENSE_SPEEDUP_GATE = 5.0
+
+#: ISSUE 7 acceptance: < 10% regression on the existing E6/E7 workloads.
+REGRESSION_BUDGET = 0.10
+
+
+def delete_reinsert_stream(edges: List[tuple]) -> List[Changeset]:
+    """Delete each edge then put it back — 2 passes per edge.
+
+    Every deletion pass exercises the delete phase against a fully
+    dense view; every reinsertion restores it, so passes stay
+    independent and the stream is replayable.
+    """
+    stream: List[Changeset] = []
+    for edge in edges:
+        stream.append(Changeset().delete("link", edge))
+        stream.append(Changeset().insert("link", edge))
+    return stream
+
+
+def run_stream(
+    strategy: str, edges: List[tuple], stream: List[Changeset]
+) -> Tuple[float, frozenset, Dict[str, float]]:
+    """One fresh maintainer through the stream: seconds, view, counters."""
+    maintainer = ViewMaintainer.from_source(
+        TC_SRC, database_with(edges), strategy=strategy
+    ).initialize()
+    counters = {
+        "candidates": 0.0,
+        "waves": 0.0,
+        "verified": 0.0,
+        "overestimated": 0.0,
+        "rederived": 0.0,
+    }
+    started = time.perf_counter()
+    for changes in stream:
+        report = maintainer.apply(changes.copy())
+        inner = report.bf or report.dred
+        if inner is not None:
+            for key in counters:
+                counters[key] += getattr(inner.stats, key, 0)
+    seconds = time.perf_counter() - started
+    return seconds, frozenset(maintainer.relation("tc").as_set()), counters
+
+
+def head_to_head(
+    name: str,
+    edges: List[tuple],
+    stream: List[Changeset],
+    runs: int,
+    speedup_gate: Optional[float] = None,
+    regression_budget: Optional[float] = None,
+) -> Dict:
+    """Best-of-``runs`` bf vs dred on one workload, views cross-checked."""
+    bf_seconds = dred_seconds = float("inf")
+    bf_counters: Dict[str, float] = {}
+    dred_counters: Dict[str, float] = {}
+    for _ in range(runs):
+        seconds, bf_view, bf_counters = run_stream("bf", edges, stream)
+        bf_seconds = min(bf_seconds, seconds)
+        seconds, dred_view, dred_counters = run_stream(
+            "dred", edges, stream
+        )
+        dred_seconds = min(dred_seconds, seconds)
+        assert bf_view == dred_view, f"{name}: bf and dred views diverged"
+    ratio = bf_seconds / dred_seconds if dred_seconds else 0.0
+    speedup = dred_seconds / bf_seconds if bf_seconds else 0.0
+    result = {
+        "workload": name,
+        "edges": len(edges),
+        "passes": len(stream),
+        "runs": runs,
+        "bf_seconds": bf_seconds,
+        "dred_seconds": dred_seconds,
+        "speedup": speedup,
+        "ratio": ratio,
+        "bf_candidates": bf_counters.get("candidates", 0),
+        "bf_verified": bf_counters.get("verified", 0),
+        "bf_waves": bf_counters.get("waves", 0),
+        "dred_overestimated": dred_counters.get("overestimated", 0),
+        "dred_rederived": dred_counters.get("rederived", 0),
+    }
+    if speedup_gate is not None:
+        result["speedup_gate"] = speedup_gate
+        result["within_gate"] = speedup >= speedup_gate
+    if regression_budget is not None:
+        result["regression_budget"] = regression_budget
+        result["within_gate"] = ratio <= 1.0 + regression_budget
+    return result
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description="B/F vs DRed benchmark")
+    parser.add_argument("--layers", type=int, default=6,
+                        help="dense-layered stack depth (default 6)")
+    parser.add_argument("--width", type=int, default=8,
+                        help="dense-layered layer width (default 8)")
+    parser.add_argument("--grid", type=int, default=8,
+                        help="dense-grid side length (default 8)")
+    parser.add_argument("--runs", type=int, default=5,
+                        help="best-of repetitions per configuration")
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default: repo-root/"
+                        "BENCH_bf.json)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="toy scale: small fixtures, 1 run (CI smoke "
+                        "test; gates are recorded but not enforced)")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        args.layers, args.width, args.grid, args.runs = 4, 4, 5, 1
+
+    out = args.out or os.path.join(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        "BENCH_bf.json",
+    )
+
+    # Dense fixtures: delete/reinsert edges out of the middle layer —
+    # the spot with the most alternative derivations flowing through.
+    layered_edges = dense_layers(args.layers, args.width)
+    mid = args.layers // 2
+    layered_stream = delete_reinsert_stream([
+        (mid * args.width + k,
+         (mid + 1) * args.width + (k + 1) % args.width)
+        for k in range(min(6, args.width))
+    ])
+    grid_edges = grid(args.grid, args.grid)
+    grid_stream = delete_reinsert_stream([
+        ((k, 3 % args.grid), (k, 4 % args.grid))
+        for k in range(min(4, args.grid - 1))
+    ])
+
+    # Regression fixtures: byte-identical to the existing DRed benches.
+    e6_edges = random_graph(250, 320, seed=61)
+    e6_stream = [
+        mixed_batch("link", e6_edges, 2, 0, node_count=250, seed=63)[0]
+    ]
+    e7_edges = random_graph(80, 240, seed=71)
+    e7_stream = [
+        mixed_batch("link", e7_edges, 8, 8, node_count=80, seed=72)[0]
+    ]
+
+    workloads = [
+        head_to_head(
+            "dense-layered", layered_edges, layered_stream, args.runs,
+            speedup_gate=DENSE_SPEEDUP_GATE,
+        ),
+        head_to_head("dense-grid", grid_edges, grid_stream, args.runs),
+        head_to_head(
+            "e6-regression", e6_edges, e6_stream, args.runs,
+            regression_budget=REGRESSION_BUDGET,
+        ),
+        head_to_head(
+            "e7-regression", e7_edges, e7_stream, args.runs,
+            regression_budget=REGRESSION_BUDGET,
+        ),
+    ]
+
+    payload = {
+        "benchmark": "bf",
+        "schema_version": 1,
+        "config": {
+            "layers": args.layers,
+            "width": args.width,
+            "grid": args.grid,
+            "runs": args.runs,
+            "smoke": args.smoke,
+        },
+        "workloads": workloads,
+    }
+    write_bench_json(
+        out,
+        payload,
+        telemetry={"metrics": get_default_registry().snapshot()},
+    )
+
+    failed = False
+    for workload in workloads:
+        name = workload["workload"]
+        line = (
+            f"{name:16s} bf {workload['bf_seconds']:.3f}s  "
+            f"dred {workload['dred_seconds']:.3f}s  "
+            f"speedup ×{workload['speedup']:.2f}"
+        )
+        if "speedup_gate" in workload:
+            line += (
+                f"  (gate ≥{workload['speedup_gate']:.0f}×: "
+                f"{'ok' if workload['within_gate'] else 'FAIL'})"
+            )
+        if "regression_budget" in workload:
+            line += (
+                f"  (budget ≤+{workload['regression_budget']:.0%}: "
+                f"{'ok' if workload['within_gate'] else 'FAIL'})"
+            )
+        if workload["dred_overestimated"]:
+            line += (
+                f"  [bf candidates {workload['bf_candidates']:.0f} vs "
+                f"dred overestimate "
+                f"{workload['dred_overestimated']:.0f}]"
+            )
+        print(line)
+        if not workload.get("within_gate", True) and not args.smoke:
+            failed = True
+            print(f"FAIL: {name} missed its gate", file=sys.stderr)
+    print(f"wrote {out}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,4 +1,4 @@
-"""The maintenance-strategy advisor: counting vs DRed, per stratum.
+"""The maintenance-strategy advisor: counting vs B/F, per stratum.
 
 The paper proposes "the counting algorithm for nonrecursive views, and
 the DRed algorithm for recursive views" (Section 1); related systems
@@ -6,9 +6,13 @@ show the choice is a *static* property of the program (Hu, Motik &
 Horrocks pick B/F vs DRed per rule).  :func:`advise` reproduces exactly
 the dispatch :class:`~repro.core.maintenance.ViewMaintainer` applies
 under ``strategy="auto"`` — so a lint run predicts what the engine will
-do — and refines it per stratum: a recursive stratum needs DRed's
-delete/rederive fixpoint, a nonrecursive stratum could be maintained by
-counting even inside an otherwise-recursive program.
+do — and refines it per stratum: a recursive stratum needs a
+delete/rederive fixpoint (B/F, subsuming DRed), a nonrecursive stratum
+could be maintained by counting even inside an otherwise-recursive
+program.  When a recursive predicate is derived by two or more rules —
+the alternative-derivation fan-in that makes DRed's overestimate
+pathological — the advisor additionally emits ``RV203`` naming the B/F
+upgrade explicitly.
 
 On top of the recommendation the advisor predicts which guard limits
 (:class:`~repro.guard.MaintenanceBudget`) a program is likely to trip.
@@ -37,7 +41,7 @@ class StratumAdvice:
     stratum: int
     predicates: Tuple[str, ...]
     recursive: bool
-    strategy: str  # "counting" | "dred"
+    strategy: str  # "counting" | "bf"
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -56,7 +60,7 @@ class StrategyAdvice:
     resolution on the same program (asserted by ``make lint-smoke``).
     """
 
-    overall: str  # "counting" | "dred"
+    overall: str  # "counting" | "bf"
     per_stratum: Tuple[StratumAdvice, ...]
     #: Definition 4.1 variant totals: worst-case delta-rule firings one
     #: maintenance pass can attempt, in factored and expansion mode.
@@ -111,7 +115,7 @@ def advise(
     warnings.
     """
     program = stratification.program
-    overall = "dred" if stratification.is_recursive else "counting"
+    overall = "bf" if stratification.is_recursive else "counting"
 
     per_stratum: List[StratumAdvice] = []
     for number, predicates in enumerate(stratification.strata):
@@ -129,7 +133,7 @@ def advise(
                 stratum=number,
                 predicates=derived,
                 recursive=recursive,
-                strategy="dred" if recursive else "counting",
+                strategy="bf" if recursive else "counting",
             )
         )
 
@@ -147,6 +151,7 @@ def advise(
             },
         )
     ]
+    diagnostics.extend(_bf_fan_in(stratification))
     diagnostics.extend(_budget_risks(program, overall, budget))
     return StrategyAdvice(
         overall=overall,
@@ -167,8 +172,9 @@ def _recommendation_message(
         )
     counting_strata = [a for a in per_stratum if a.strategy == "counting"]
     message = (
-        "recommend strategy='dred': the program is recursive (Section 1 "
-        "proposes DRed for recursive views)"
+        "recommend strategy='bf': the program is recursive (Section 1 "
+        "proposes DRed for recursive views; Backward/Forward subsumes "
+        "it by checking for alternative derivations before deleting)"
     )
     if counting_strata:
         listed = ", ".join(
@@ -182,6 +188,40 @@ def _recommendation_message(
     return message
 
 
+def _bf_fan_in(stratification: Stratification) -> List[Diagnostic]:
+    """RV203: recursive predicates with alternative-derivation fan-in.
+
+    The static proxy for "dense in alternative derivations" is a
+    recursive predicate derived by two or more rules — every tuple can
+    then have derivations through distinct rules, exactly the shape on
+    which DRed's overestimate explodes and B/F's backward check pays
+    off (Hu, Motik & Horrocks).
+    """
+    if not stratification.is_recursive:
+        return []
+    fan_in: Dict[str, int] = {}
+    for rule in stratification.program:
+        if rule.is_fact:
+            continue
+        predicate = rule.head.predicate
+        if predicate in stratification.recursive_predicates:
+            fan_in[predicate] = fan_in.get(predicate, 0) + 1
+    dense = {name: n for name, n in sorted(fan_in.items()) if n >= 2}
+    if not dense:
+        return []
+    listed = ", ".join(f"{name} ({n} rules)" for name, n in dense.items())
+    return [
+        make_diagnostic(
+            "RV203",
+            "recursive predicates with alternative-derivation fan-in: "
+            f"{listed} — the B/F backward check avoids DRed's "
+            "overdeletion here (strategy='auto' already selects it)",
+            predicate=next(iter(dense)),
+            data={"fan_in": dense},
+        )
+    ]
+
+
 def metered_firings(program: Program, strategy: str) -> int:
     """Worst-case rule firings one pass meters against the guard budget.
 
@@ -189,9 +229,10 @@ def metered_firings(program: Program, strategy: str) -> int:
     :class:`~repro.guard.budget.BudgetMeter` (verified against
     ``BudgetExceeded`` behavior): the counting engine meters **one
     firing per maintained rule** per pass (its Definition 4.1 variants
-    ride inside that single firing), while DRed meters one firing per
-    factored delta rule in its delete and insertion phases plus one per
-    rule rederived.
+    ride inside that single firing), while DRed and B/F meter one
+    firing per factored delta rule in their delete and insertion phases
+    plus one per rule rederived (for B/F this is the first-wave total;
+    later waves only fire when deletions actually cascade).
     """
     rules = sum(1 for rule in program if not rule.is_fact)
     if strategy == "counting":

@@ -127,7 +127,7 @@ def check_strategy(
     diagnostics: List[Diagnostic] = []
     if strategy == "counting" and stratification.is_recursive:
         diagnostics.append(counting_on_recursive(stratification))
-    if strategy == "dred" and semantics != "set":
+    if strategy in ("dred", "bf") and semantics != "set":
         diagnostics.append(dred_duplicate_semantics())
     return diagnostics
 
@@ -154,7 +154,7 @@ def counting_on_recursive(stratification: Stratification) -> Diagnostic:
 def dred_duplicate_semantics() -> Diagnostic:
     return make_diagnostic(
         "RV009",
-        "DRed is defined for set semantics only (Section 7); use "
+        "DRed/B-F are defined for set semantics only (Section 7); use "
         "semantics='set' or the counting strategy",
     )
 

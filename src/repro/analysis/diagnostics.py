@@ -207,6 +207,15 @@ CODES: Dict[str, CodeInfo] = _codes([
         "raise the guard budget, or split high fan-out rules before "
         "they trip it",
     ),
+    CodeInfo(
+        "RV203", "backward/forward recommendation", Severity.INFO,
+        "Hu, Motik & Horrocks, Optimised Maintenance of Datalog "
+        "Materialisations (check backward for alternative derivations "
+        "before deleting; propagate only genuine deletions forward)",
+        "keep strategy='auto' (or force strategy='bf'): the B/F "
+        "backward check avoids DRed's overdeletion on views with many "
+        "alternative derivations",
+    ),
 ])
 
 

@@ -628,7 +628,7 @@ def lint_main(argv: List[str]) -> int:
     parser.add_argument(
         "--strategy",
         default="auto",
-        choices=["auto", "counting", "dred"],
+        choices=["auto", "counting", "dred", "bf"],
         help="the maintenance strategy the program is intended for; "
         "forcing one enables the strategy-mismatch checks "
         "(RV008/RV009)",
@@ -723,7 +723,7 @@ def snapshot_main(argv: List[str]) -> int:
         "(default: replay the whole journal)",
     )
     parser.add_argument(
-        "--strategy", default="auto", choices=["auto", "counting", "dred"]
+        "--strategy", default="auto", choices=["auto", "counting", "dred", "bf"]
     )
     parser.add_argument(
         "--semantics", default="set", choices=["set", "duplicate"]
@@ -808,7 +808,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("program", help="Datalog program file (views + seed facts)")
     parser.add_argument("--data", help="JSON base-relation snapshot to load")
     parser.add_argument(
-        "--strategy", default="auto", choices=["auto", "counting", "dred"]
+        "--strategy", default="auto", choices=["auto", "counting", "dred", "bf"]
     )
     parser.add_argument(
         "--semantics", default="set", choices=["set", "duplicate"]

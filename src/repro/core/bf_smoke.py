@@ -1,0 +1,137 @@
+"""End-to-end B/F acceptance smoke (``make bf-smoke``).
+
+Acceptance scenario for the Backward/Forward strategy (ROADMAP O1,
+ISSUE 7), exits non-zero on the first violation:
+
+1. the static analyzer recommends ``bf`` for the dense
+   alternative-derivation fixture and fires ``RV203`` naming the
+   fan-in predicate — and ``strategy="auto"`` resolves to the same
+   choice, so the lint prediction matches the engine;
+2. bf and DRed leave bit-identical views on a delete/reinsert stream
+   through the fixture's middle layer (a mini differential oracle);
+3. bf actually *beats* DRed on that stream — the strategy's reason to
+   exist, asserted with real timings (the fixture is dense enough that
+   the win is structural, not noise: DRed's overestimate floods the
+   downstream cone, B/F's backward check stops at distance one);
+4. the B/F targeting counters tell the same story: candidates examined
+   stay a strict subset of DRed's overestimate.
+
+Kept deliberately small (a couple of seconds) so it can ride in
+``make check``.  ``benchmarks/bench_bf.py`` measures the same contrast
+at full scale and enforces the ≥5× gate; this smoke only asserts the
+*direction*, which holds at any scale.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Tuple
+
+from repro.analysis import analyze
+from repro.core.maintenance import ViewMaintainer
+from repro.storage.changeset import Changeset
+from repro.storage.database import Database
+from repro.workloads import dense_layers
+
+TC_SRC = "\n".join(
+    [
+        "tc(X,Y) :- link(X,Y).",
+        "tc(X,Y) :- tc(X,Z), link(Z,Y).",
+    ]
+)
+
+#: Dense fixture: 5 complete-bipartite layers, 6 wide — every tc pair
+#: spanning k layers has 6**(k-1) alternative derivations.
+LAYERS, WIDTH = 5, 6
+
+
+def _check(condition: bool, label: str) -> None:
+    if not condition:
+        raise SystemExit(f"bf-smoke FAILED: {label}")
+    print(f"  ok: {label}")
+
+
+def _stream() -> List[Changeset]:
+    """Delete/reinsert middle-layer edges: dense deletion passes."""
+    mid = LAYERS // 2
+    out: List[Changeset] = []
+    for k in range(WIDTH):
+        edge = (mid * WIDTH + k, (mid + 1) * WIDTH + (k + 1) % WIDTH)
+        out.append(Changeset().delete("link", edge))
+        out.append(Changeset().insert("link", edge))
+    return out
+
+
+def _run(strategy: str) -> Tuple[float, frozenset, int]:
+    """Stream seconds, final view, and the summed targeting counter.
+
+    The counter is bf's ``candidates`` / DRed's ``overestimated`` —
+    the two strategies' names for "tuples the delete phase examined".
+    """
+    db = Database()
+    db.insert_rows("link", dense_layers(LAYERS, WIDTH))
+    maintainer = ViewMaintainer.from_source(
+        TC_SRC, db, strategy=strategy
+    ).initialize()
+    examined = 0
+    started = time.perf_counter()
+    for changes in _stream():
+        report = maintainer.apply(changes)
+        inner = report.bf or report.dred
+        if inner is not None:
+            stats = inner.stats
+            examined += getattr(
+                stats, "candidates", 0
+            ) or stats.overestimated
+    seconds = time.perf_counter() - started
+    return seconds, frozenset(maintainer.relation("tc").as_set()), examined
+
+
+def main(argv=None) -> int:
+    # 1. Advisor: bf recommended, RV203 fired, auto agrees.
+    report = analyze(TC_SRC)
+    _check(
+        report.advice is not None and report.advice.overall == "bf",
+        "advisor recommends strategy='bf' for the dense fixture",
+    )
+    rv203 = [d for d in report.diagnostics if d.code == "RV203"]
+    _check(
+        bool(rv203) and "tc" in (rv203[0].data or {}).get("fan_in", {}),
+        "RV203 names tc's alternative-derivation fan-in",
+    )
+    auto = ViewMaintainer.from_source(TC_SRC, Database())
+    _check(
+        auto.strategy == report.advice.overall,
+        f"strategy='auto' resolves to {report.advice.overall!r}",
+    )
+
+    # 2 + 3. bf ≡ dred on the stream, and bf is faster.  Best-of-3 per
+    # strategy keeps scheduler noise out of the direction assertion.
+    bf_seconds = dred_seconds = float("inf")
+    candidates = overestimated = 0
+    for _ in range(3):
+        seconds, bf_view, candidates = _run("bf")
+        bf_seconds = min(bf_seconds, seconds)
+        seconds, dred_view, overestimated = _run("dred")
+        dred_seconds = min(dred_seconds, seconds)
+        _check(bf_view == dred_view, "bf and dred views are identical")
+    _check(
+        bf_seconds < dred_seconds,
+        f"bf beats dred on the dense fixture "
+        f"({bf_seconds:.3f}s vs {dred_seconds:.3f}s, "
+        f"×{dred_seconds / bf_seconds:.1f})",
+    )
+
+    # 4. Targeting: candidates examined ⊂ tuples DRed overdeleted.
+    _check(
+        0 < candidates < overestimated,
+        f"bf examined {candidates} candidates vs dred's "
+        f"{overestimated}-tuple overestimate",
+    )
+
+    print("bf-smoke: advisor, equivalence, speed, and targeting all hold")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

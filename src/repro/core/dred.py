@@ -107,6 +107,10 @@ class DRedResult:
 class DRedMaintenance:
     """One DRed maintenance pass; create per changeset and call :meth:`run`."""
 
+    #: Prefix for the cooperative guard checkpoints; subclasses (B/F)
+    #: override it so breach diagnostics name the strategy that tripped.
+    checkpoint_prefix = "dred"
+
     def __init__(
         self,
         normalized: NormalizedProgram,
@@ -197,7 +201,7 @@ class DRedMaintenance:
             self._apply_base_changes(changes)
             if self.faults is not None:
                 self.faults.fire("delta_derivation")
-        self.guard.checkpoint("dred.seed")
+        self.guard.checkpoint(f"{self.checkpoint_prefix}.seed")
         phases = self.stats.phase_seconds
         phases["seed"] = time.perf_counter() - started
 
@@ -222,7 +226,7 @@ class DRedMaintenance:
                 if rule.head.predicate not in self.aggregate_views
             ]
             if normal_new or normal_old:
-                self.guard.checkpoint("dred.stratum")
+                self.guard.checkpoint(f"{self.checkpoint_prefix}.stratum")
                 stratum_preds = {
                     rule.head.predicate for rule in normal_new + normal_old
                 }
@@ -402,7 +406,7 @@ class DRedMaintenance:
         overestimated = sum(len(r) for r in overestimate.values())
         self.stats.overestimated += overestimated
         self.guard.tick(tuples=overestimated)
-        self.guard.checkpoint("dred.overestimate")
+        self.guard.checkpoint(f"{self.checkpoint_prefix}.overestimate")
         return overestimate
 
     def _step1_driver(
@@ -487,7 +491,7 @@ class DRedMaintenance:
         count = sum(len(r) for r in rederived.values())
         self.stats.rederived += count
         self.guard.tick(tuples=count)
-        self.guard.checkpoint("dred.rederive")
+        self.guard.checkpoint(f"{self.checkpoint_prefix}.rederive")
         return rederived
 
     def _step3_insert(
@@ -556,7 +560,7 @@ class DRedMaintenance:
         count = sum(len(r) for r in inserted.values())
         self.stats.inserted += count
         self.guard.tick(tuples=count)
-        self.guard.checkpoint("dred.insert")
+        self.guard.checkpoint(f"{self.checkpoint_prefix}.insert")
         return inserted
 
     def _finalize_stratum(

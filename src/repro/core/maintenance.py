@@ -3,10 +3,13 @@
 Ties the pieces together the way the paper prescribes: *"we are proposing
 the counting algorithm for nonrecursive views, and the DRed algorithm for
 recursive views, as we believe each is better than the other on the
-specified domain"* (Section 1).  ``strategy="auto"`` implements exactly
-that dispatch; ``"counting"`` and ``"dred"`` force an algorithm (DRed is
-legal for nonrecursive views too, just expected slower — experiment E7
-measures it).
+specified domain"* (Section 1).  ``strategy="auto"`` implements that
+dispatch with one post-paper upgrade: recursive views get ``"bf"``, the
+Backward/Forward algorithm (:mod:`repro.core.bf`), which checks for
+alternative derivations before deleting instead of DRed's overdelete-
+and-rederive.  ``"counting"``, ``"dred"`` and ``"bf"`` force an
+algorithm (DRed and B/F are legal for nonrecursive views too, just
+expected slower — experiment E7 measures it).
 
 Typical use::
 
@@ -39,6 +42,7 @@ from typing import Dict, Iterable, List, Literal as TypingLiteral, Optional
 from repro.core import names
 from repro.core.agg_maintenance import AggregateView
 from repro.core.counting import CountingMaintenance, CountingMode, CountingResult
+from repro.core.bf import BFMaintenance, BFResult
 from repro.core.dred import DRedMaintenance, DRedResult
 from repro.core.normalize import NormalizedProgram, normalize_program
 from repro.datalog.ast import Literal, Program, Rule
@@ -70,7 +74,14 @@ from repro.storage.serialize import save_database
 
 logger = logging.getLogger(__name__)
 
-Strategy = TypingLiteral["auto", "counting", "dred"]
+Strategy = TypingLiteral["auto", "counting", "dred", "bf"]
+
+#: Every strategy string :class:`ViewMaintainer` accepts.
+STRATEGIES = ("auto", "counting", "dred", "bf")
+
+#: Strategies that maintain pure sets with DRed-style machinery (their
+#: views are clamped to set counts and base changes canonicalized).
+SET_ONLY_STRATEGIES = ("dred", "bf")
 
 
 @dataclass
@@ -82,6 +93,7 @@ class MaintenanceReport:
     view_deltas: Dict[str, CountedRelation] = field(default_factory=dict)
     counting: Optional[CountingResult] = None
     dred: Optional[DRedResult] = None
+    bf: Optional[BFResult] = None
     #: The MVCC epoch this pass published (``None``: MVCC off, or the
     #: pass did not commit — quarantined/skipped).
     epoch: Optional[int] = None
@@ -90,6 +102,13 @@ class MaintenanceReport:
         """The signed change applied to ``view`` (empty if unchanged)."""
         found = self.view_deltas.get(view)
         return found if found is not None else CountedRelation(names.delta(view))
+
+    def engine_stats(self):
+        """Inner stats of whichever engine ran (``None`` for recompute)."""
+        for result in (self.counting, self.bf, self.dred):
+            if result is not None:
+                return result.stats
+        return None
 
     def changed_views(self) -> List[str]:
         return sorted(name for name, delta in self.view_deltas.items() if delta)
@@ -146,9 +165,7 @@ class MaintenanceStats:
     ) -> None:
         self.passes += 1
         self.seconds += report.seconds
-        inner = report.counting.stats if report.counting else (
-            report.dred.stats if report.dred else None
-        )
+        inner = report.engine_stats()
         if inner is not None:
             self.rules_fired += inner.rules_fired
             for phase, seconds in inner.phase_seconds.items():
@@ -299,8 +316,15 @@ class ViewMaintainer:
         self.stratification: Stratification = stratify(normalized.program)
 
     def _resolve_strategy(self, strategy: Strategy) -> None:
+        if strategy not in STRATEGIES:
+            # Validate up front — an unknown string must never silently
+            # fall through to some engine's dispatch default.
+            raise StrategyError(
+                f"unknown strategy {strategy!r}; choose one of "
+                + ", ".join(repr(s) for s in STRATEGIES)
+            )
         if strategy == "auto":
-            strategy = "dred" if self.stratification.is_recursive else "counting"
+            strategy = "bf" if self.stratification.is_recursive else "counting"
         if strategy == "counting" and self.stratification.is_recursive:
             # Typed error carrying the analyzer diagnostic: the RV008
             # code plus the concrete recursive cycle, so callers (and
@@ -315,13 +339,13 @@ class ViewMaintainer:
                 f"{diagnostic.message}",
                 diagnostic=diagnostic,
             )
-        if strategy == "dred" and self.semantics != "set":
+        if strategy in SET_ONLY_STRATEGIES and self.semantics != "set":
             from repro.analysis.checks import dred_duplicate_semantics
 
             diagnostic = dred_duplicate_semantics()
             raise StrategyError(
-                "DRed is defined for set semantics only (Section 7) — "
-                f"[{diagnostic.code}]",
+                f"{strategy} is defined for set semantics only "
+                f"(Section 7) — [{diagnostic.code}]",
                 diagnostic=diagnostic,
             )
         self.strategy: str = strategy
@@ -336,8 +360,8 @@ class ViewMaintainer:
             semantics=self.semantics,
             stratification=self.stratification,
         )
-        if self.strategy == "dred":
-            # DRed maintains pure sets; clamp the per-stratum duplicate
+        if self.strategy in SET_ONLY_STRATEGIES:
+            # DRed/B-F maintain pure sets; clamp the per-stratum duplicate
             # counts the set-mode materialization produces down to 1.
             self.views = {
                 name: relation.set_view(name)
@@ -739,7 +763,7 @@ class ViewMaintainer:
                     semantics=self.semantics,
                     stratification=self.stratification,
                 )
-                if self.strategy == "dred":
+                if self.strategy in SET_ONLY_STRATEGIES:
                     fresh = {
                         name: relation.set_view(name)
                         for name, relation in fresh.items()
@@ -793,7 +817,7 @@ class ViewMaintainer:
                     f"cannot change derived relation {name} directly; "
                     "change the base relations it is derived from"
                 )
-        if self.strategy == "dred":
+        if self.strategy in SET_ONLY_STRATEGIES:
             for name, delta in changes:
                 relation = self.database.get(name)
                 if relation is None:
@@ -952,9 +976,7 @@ class ViewMaintainer:
             "repro_view_tuples_changed_total",
             "Distinct view tuples inserted or deleted by maintenance",
         ).inc(report.total_changes())
-        inner = report.counting.stats if report.counting else (
-            report.dred.stats if report.dred else None
-        )
+        inner = report.engine_stats()
         if inner is not None:
             metrics.counter(
                 "repro_rules_fired_total",
@@ -982,6 +1004,26 @@ class ViewMaintainer:
                 "Last pass's |overestimate| / |actual deletions| "
                 "(1.0 = no overshoot)",
             ).set(stats.overdeletion_ratio)
+        if report.bf is not None:
+            stats = report.bf.stats
+            metrics.counter(
+                "repro_bf_candidates_total",
+                "Deletion candidates the B/F backward check examined",
+            ).inc(stats.candidates)
+            metrics.counter(
+                "repro_bf_verified_total",
+                "Candidates B/F kept via a surviving alternative "
+                "derivation",
+            ).inc(stats.verified)
+            metrics.counter(
+                "repro_bf_waves_total",
+                "Forward deletion-propagation waves run by B/F passes",
+            ).inc(stats.waves)
+            metrics.gauge(
+                "repro_bf_check_ratio",
+                "Last pass's |candidates| / |actual deletions| "
+                "(1.0 = perfectly targeted)",
+            ).set(stats.check_ratio)
         cache = self.plan_cache
         if cache is not None:
             metrics.gauge(
@@ -1048,7 +1090,8 @@ class ViewMaintainer:
                 view_deltas=deltas,
                 counting=result,
             )
-        run = DRedMaintenance(
+        engine = BFMaintenance if self.strategy == "bf" else DRedMaintenance
+        run = engine(
             self.normalized,
             self.stratification,
             self.database,
@@ -1066,6 +1109,13 @@ class ViewMaintainer:
             for name in set(result.deletions) | set(result.insertions)
             if not names.is_internal(name)
         }
+        if self.strategy == "bf":
+            return MaintenanceReport(
+                strategy="bf",
+                seconds=result.stats.seconds,
+                view_deltas=deltas,
+                bf=result,
+            )
         return MaintenanceReport(
             strategy="dred",
             seconds=result.stats.seconds,

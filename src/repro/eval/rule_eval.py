@@ -474,6 +474,7 @@ def solutions(
     ctx: EvalContext,
     seed: Optional[int] = None,
     initial_binding: Optional[Dict[str, object]] = None,
+    compiled=None,
 ) -> Iterator[Tuple[Dict[str, object], int]]:
     """All body solutions of ``rule`` as ``(binding, count)`` pairs.
 
@@ -483,10 +484,19 @@ def solutions(
 
     With ``ctx.plan_cache`` set, the join order and key specs come from
     the compiled-plan cache (planned once per (rule, seed, adornment));
-    otherwise they are recomputed per call.
+    otherwise they are recomputed per call.  Callers issuing many
+    point-queries against one rule (e.g. the B/F backward check) can
+    pass a ``compiled`` plan directly and skip even the cache lookup —
+    the per-call rule hash and size-signature probe dominate tiny
+    fully-bound queries.
     """
     start = initial_binding if initial_binding is not None else {}
-    if ctx.plan_cache is not None:
+    if compiled is not None:
+        plan: Sequence[Subgoal] = compiled.order
+        specs: Sequence[Tuple[Tuple[int, ...], Tuple[Term, ...]]] = (
+            compiled.specs
+        )
+    elif ctx.plan_cache is not None:
         compiled = ctx.plan_cache.plan(
             rule, seed, _EMPTY_ADORNMENT if not start else frozenset(start), ctx
         )

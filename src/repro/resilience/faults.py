@@ -19,6 +19,11 @@ Every :class:`~repro.core.maintenance.ViewMaintainer` owns an injector
                           insertion step and the stratum's finalization
 ``rederivation``          after DRed pruned the deletion overestimate, before
                           rederiving survivors
+``backward_check``        after B/F collected a wave's deletion candidates,
+                          before the backward alternative-derivation search
+                          verifies them
+``forward_delete``        after B/F confirmed a wave's genuine deletions,
+                          before propagating them forward to the next wave
 ``journal_append``        after the pass computed, before the redo-log append
                           (fires once per retry attempt when journal retries
                           are configured)
@@ -52,6 +57,8 @@ PHASES = (
     "aggregate_merge",
     "count_merge",
     "rederivation",
+    "backward_check",
+    "forward_delete",
     "journal_append",
     "snapshot_write",
     "budget_check",

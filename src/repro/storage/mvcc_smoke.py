@@ -86,8 +86,8 @@ def run_soak(
     Returns a stats dict; ``stats["torn"]`` lists every mismatch a
     reader observed (must be empty), ``stats["max_retained"]`` the
     high-water version-entry count (must stay within the hard cap).
-    Under DRed the oracle comparison is on set projections (DRed
-    maintains pure sets); under counting it is on full multiplicities.
+    Under DRed/B-F the oracle comparison is on set projections (both
+    maintain pure sets); under counting it is on full multiplicities.
     ``min_reads`` keeps the writer cycling extra passes (up to
     ``max_seconds``) until the readers have verified at least that
     many per-view snapshot reads; overtime passes stay small (no bulk
@@ -138,7 +138,7 @@ def run_soak(
                         )
                         for name in view_names:
                             read = snap.relation(name)
-                            if strategy == "dred":
+                            if strategy in ("dred", "bf"):
                                 got = read.as_set()
                                 want = oracle[name].as_set()
                             else:

@@ -3,6 +3,7 @@
 from repro.workloads.graphs import (
     chain,
     cycle,
+    dense_layers,
     grid,
     layered_dag,
     nodes_of,
@@ -22,6 +23,7 @@ __all__ = [
     "chain",
     "cycle",
     "delete_batch",
+    "dense_layers",
     "delete_fraction",
     "grid",
     "insert_batch",

@@ -64,6 +64,24 @@ def grid(width: int, height: int) -> List[Edge]:
     return edges
 
 
+def dense_layers(layers: int, width: int) -> List[Edge]:
+    """Complete-bipartite layer stack: maximal alternative derivations.
+
+    Every node of layer ``l`` links to *every* node of layer ``l``+1
+    (nodes are numbered ``layer * width + index``), so each transitive-
+    closure pair spanning ``k`` layers has ``width**(k-1)`` distinct
+    derivations.  Deleting one edge kills almost none of them — the
+    workload where DRed's overestimate floods the downstream cone while
+    B/F's backward check stops the propagation at distance one.
+    """
+    return [
+        (layer * width + a, (layer + 1) * width + b)
+        for layer in range(layers - 1)
+        for a in range(width)
+        for b in range(width)
+    ]
+
+
 def layered_dag(
     layers: int, width: int, fanout: int, seed: int = 0
 ) -> List[Edge]:

@@ -283,7 +283,7 @@ class TestAdvisor:
         assert variant_counts(program) == (1, 1)
 
     def test_overall_matches_auto_selection(self):
-        for src, expected in [(GOOD_SRC, "counting"), (TC_SRC, "dred")]:
+        for src, expected in [(GOOD_SRC, "counting"), (TC_SRC, "bf")]:
             advice = advise(stratify(parse_program(src)))
             maintainer = ViewMaintainer.from_source(
                 src, database_with(EDGES)
@@ -291,15 +291,15 @@ class TestAdvisor:
             assert advice.overall == expected == maintainer.strategy
 
     def test_per_stratum_refinement_on_mixed_program(self):
-        # tc is recursive (DRed stratum); the negation view above it is
+        # tc is recursive (B/F stratum); the negation view above it is
         # nonrecursive and could be maintained by counting on its own.
         src = TC_SRC + "miss(X, Y) :- link(X, Y), not tc(Y, X).\n"
         advice = advise(stratify(parse_program(src)))
-        assert advice.overall == "dred"
+        assert advice.overall == "bf"
         by_predicate = {
             p: a for a in advice.per_stratum for p in a.predicates
         }
-        assert by_predicate["tc"].strategy == "dred"
+        assert by_predicate["tc"].strategy == "bf"
         assert by_predicate["miss"].strategy == "counting"
         (rv201,) = [
             d for d in advice.diagnostics if d.code == "RV201"

@@ -5,9 +5,9 @@ negation, GROUPBY aggregates over a base ``link`` relation) together
 with model-tracked streams of insert/delete changesets (deletions only
 ever remove rows the model says exist, so every changeset is valid
 against the state it meets).  Each case then runs the real maintenance
-machinery — counting and DRed, batched (``apply_many``) and unbatched,
-plan cache on and off, set and duplicate semantics — and checks it
-against two independent oracles:
+machinery — counting, DRed and B/F, batched (``apply_many``) and
+unbatched, plan cache on and off, set and duplicate semantics — and
+checks it against two independent oracles:
 
 * **recount** (:func:`repro.baselines.recount.true_view_deltas`): the
   per-pass signed deltas must equal a from-scratch before/after diff
@@ -23,10 +23,11 @@ hypothesis-chosen points between passes must keep reading exactly the
 recompute of the oracle database as it stood at acquire time
 (``test_interleaved_snapshots_match_recompute_at_pinned_epoch``).
 
-The suite runs 220 generated cases (see the ``max_examples`` settings:
-25×4 counting + 15×4 DRed + 15×4 recursive DRed), derandomized so CI
-is reproducible.  Any divergence is a real bug: the oracles share no
-code path with the incremental algorithms.
+The suite runs 510 generated maintenance cases (see the
+``max_examples`` settings: 25×6 counting + 15×6×2 DRed/B-F +
+15×6×2 recursive DRed/B-F + 40×2 interleaved snapshots), derandomized
+so CI is reproducible.  Any divergence is a real bug: the oracles share
+no code path with the incremental algorithms.
 """
 
 import pytest
@@ -158,7 +159,7 @@ def test_analyzer_has_no_error_false_positives(case):
     assert report.ok, [
         (d.code, d.message) for d in report.errors()
     ]
-    expected = "dred" if report.stratification.is_recursive else "counting"
+    expected = "bf" if report.stratification.is_recursive else "counting"
     assert report.advice.overall == expected
 
 
@@ -309,17 +310,19 @@ def test_counting_matches_oracles(cache, batched, guard, case, updates,
     _final_state_matches(maintainer, case, oracle_db, semantics)
 
 
-# -------------------------------------------------------------- DRed ≡ oracle
+# --------------------------------------------------------- DRed/B-F ≡ oracle
 
 
+@pytest.mark.parametrize("strategy", ["dred", "bf"])
 @pytest.mark.parametrize("cache,batched,guard", CONFIGS)
 @settings(max_examples=15, derandomize=True, deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
 @given(case=stratified_program(), updates=update_stream(set_model=True))
-def test_dred_matches_recompute(cache, batched, guard, case, updates):
+def test_dred_matches_recompute(strategy, cache, batched, guard, case,
+                                updates):
     edges, stream = updates
     maintainer = ViewMaintainer.from_source(
-        case, database_with(edges), strategy="dred", plan_cache=cache,
+        case, database_with(edges), strategy=strategy, plan_cache=cache,
         guard=_guard_policy(guard),
     ).initialize()
     oracle_db = database_with(edges)
@@ -363,13 +366,12 @@ def _snapshot_matches(snap, frozen_db, program, view_names, semantics):
             assert read.to_dict() == truth[view].to_dict(), view
 
 
+@pytest.mark.parametrize("strategy", ["counting", "bf"])
 @settings(max_examples=40, derandomize=True, deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
-@given(case=stratified_program(), updates=update_stream(),
-       semantics=st.sampled_from(["set", "duplicate"]),
-       data=st.data())
+@given(data=st.data())
 def test_interleaved_snapshots_match_recompute_at_pinned_epoch(
-    case, updates, semantics, data
+    strategy, data
 ):
     """Snapshots acquired/released at arbitrary points in the stream.
 
@@ -378,13 +380,25 @@ def test_interleaved_snapshots_match_recompute_at_pinned_epoch(
     acquired snapshot is paired with an ``oracle_db.copy()`` frozen at
     the same instant, and re-verified against it after *every*
     subsequent pass: a later commit leaking into a pinned read — a torn
-    read — fails here deterministically, without threads.
+    read — fails here deterministically, without threads.  Runs on both
+    the counting engine (set and duplicate semantics) and B/F (set
+    semantics, set-valid streams — the semantics it is defined for).
     """
-    edges, stream = updates
+    case = data.draw(stratified_program(), label="program")
+    if strategy == "bf":
+        semantics = "set"
+        edges, stream = data.draw(
+            update_stream(set_model=True), label="updates"
+        )
+    else:
+        semantics = data.draw(
+            st.sampled_from(["set", "duplicate"]), label="semantics"
+        )
+        edges, stream = data.draw(update_stream(), label="updates")
     db = Database(retain_versions=64)
     db.insert_rows("link", edges)
     maintainer = ViewMaintainer.from_source(
-        case, db, strategy="counting", semantics=semantics
+        case, db, strategy=strategy, semantics=semantics
     ).initialize()
     oracle_db = database_with(edges)
     program = parse_program(case)
@@ -428,15 +442,18 @@ def test_interleaved_snapshots_match_recompute_at_pinned_epoch(
     assert db.mvcc.retained_entries() == 0
 
 
+@pytest.mark.parametrize("strategy", ["dred", "bf"])
 @pytest.mark.parametrize("cache,batched,guard", CONFIGS)
 @settings(max_examples=15, derandomize=True, deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
 @given(updates=update_stream(set_model=True))
-def test_dred_recursive_matches_recompute(cache, batched, guard, updates):
-    """Same contract on the recursive TC program (fixpoint + rederive)."""
+def test_dred_recursive_matches_recompute(strategy, cache, batched, guard,
+                                          updates):
+    """Same contract on the recursive TC program (fixpoint + rederive /
+    backward check + forward waves)."""
     edges, stream = updates
     maintainer = ViewMaintainer.from_source(
-        TC_SRC, database_with(edges), strategy="dred", plan_cache=cache,
+        TC_SRC, database_with(edges), strategy=strategy, plan_cache=cache,
         guard=_guard_policy(guard),
     ).initialize()
     oracle_db = database_with(edges)

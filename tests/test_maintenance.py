@@ -7,6 +7,7 @@ from repro.errors import (
     MaintenanceError,
     SafetyError,
     StratificationError,
+    StrategyError,
     UnknownRelationError,
 )
 from repro.storage.changeset import Changeset
@@ -20,9 +21,22 @@ class TestStrategySelection:
         maintainer = ViewMaintainer.from_source(HOP_SRC, example_1_1_db)
         assert maintainer.strategy == "counting"
 
-    def test_auto_picks_dred_for_recursive(self, example_1_1_db):
+    def test_auto_picks_bf_for_recursive(self, example_1_1_db):
         maintainer = ViewMaintainer.from_source(TC_SRC, example_1_1_db)
-        assert maintainer.strategy == "dred"
+        assert maintainer.strategy == "bf"
+
+    def test_unknown_strategy_rejected_up_front(self, example_1_1_db):
+        # Validated before any dispatch: an unknown string must raise a
+        # typed StrategyError at construction, never fall through to
+        # whatever engine the dispatch defaults to.
+        with pytest.raises(StrategyError, match="unknown strategy"):
+            ViewMaintainer.from_source(
+                TC_SRC, example_1_1_db, strategy="dredd"
+            )
+        with pytest.raises(StrategyError, match="'auto', 'counting'"):
+            ViewMaintainer.from_source(
+                HOP_SRC, example_1_1_db, strategy=""
+            )
 
     def test_counting_on_recursive_rejected(self, example_1_1_db):
         with pytest.raises(MaintenanceError, match="recursive"):
@@ -41,6 +55,19 @@ class TestStrategySelection:
         with pytest.raises(MaintenanceError, match="set semantics"):
             ViewMaintainer.from_source(
                 TC_SRC, example_1_1_db, strategy="dred", semantics="duplicate"
+            )
+
+    def test_bf_allowed_on_nonrecursive(self, example_1_1_db):
+        maintainer = ViewMaintainer.from_source(
+            HOP_SRC, example_1_1_db, strategy="bf"
+        ).initialize()
+        maintainer.apply(Changeset().delete("link", ("a", "b")))
+        assert maintainer.relation("hop").as_set() == {("a", "c")}
+
+    def test_bf_requires_set_semantics(self, example_1_1_db):
+        with pytest.raises(StrategyError, match="set semantics"):
+            ViewMaintainer.from_source(
+                TC_SRC, example_1_1_db, strategy="bf", semantics="duplicate"
             )
 
     def test_unsafe_program_rejected_at_construction(self, example_1_1_db):

@@ -479,7 +479,7 @@ class TestPinnedConsistencyAndHeal:
 class TestConcurrencySoak:
     """Readers race fault-injected writers; zero torn reads allowed.
 
-    Together the two variants verify well over 10k per-view snapshot
+    Together the three variants verify well over 10k per-view snapshot
     reads against the recompute oracle at their pinned epochs.
     """
 
@@ -499,6 +499,22 @@ class TestConcurrencySoak:
             strategy="dred",
             min_reads=2000,
             seed=5,
+        )
+        assert stats["problems"] == []
+        assert stats["torn"] == []
+        assert stats["reads"] >= 2000
+        assert stats["crashes"] > 0
+        assert stats["max_retained"] <= stats["chain_cap"]
+
+    def test_bf_soak_zero_torn_reads(self):
+        """Snapshot readers racing fault-injected B/F passes: a crash
+        at any wave must discard the uncommitted epoch wholesale."""
+        stats = run_soak(
+            passes=300,
+            source=SOAK_TC_SRC,
+            strategy="bf",
+            min_reads=2000,
+            seed=11,
         )
         assert stats["problems"] == []
         assert stats["torn"] == []

@@ -55,6 +55,12 @@ STRATEGY_PHASES = [
     ("dred", DRED_SRC, "aggregate_merge"),
     ("dred", DRED_SRC, "count_merge"),
     ("dred", DRED_SRC, "journal_append"),
+    ("bf", DRED_SRC, "delta_derivation"),
+    ("bf", DRED_SRC, "backward_check"),
+    ("bf", DRED_SRC, "forward_delete"),
+    ("bf", DRED_SRC, "aggregate_merge"),
+    ("bf", DRED_SRC, "count_merge"),
+    ("bf", DRED_SRC, "journal_append"),
 ]
 
 
@@ -552,7 +558,7 @@ class TestGuardCheckpointAtomicity:
     )
 
     @pytest.mark.parametrize("strategy, source", [
-        ("counting", COUNTING_SRC), ("dred", DRED_SRC),
+        ("counting", COUNTING_SRC), ("dred", DRED_SRC), ("bf", DRED_SRC),
     ])
     def test_breach_at_every_checkpoint_leaves_state_identical(
         self, strategy, source
@@ -590,7 +596,7 @@ class TestGuardCheckpointAtomicity:
         assert checkpoints >= 3, f"only {checkpoints} checkpoints reached"
 
     @pytest.mark.parametrize("strategy, source", [
-        ("counting", COUNTING_SRC), ("dred", DRED_SRC),
+        ("counting", COUNTING_SRC), ("dred", DRED_SRC), ("bf", DRED_SRC),
     ])
     def test_fallback_after_any_checkpoint_matches_control(
         self, strategy, source
