@@ -7,11 +7,13 @@ PYTEST := env PYTHONPATH=src $(PYTHON) -m pytest
 TIMEOUT ?= timeout
 
 .PHONY: check test test-fast test-faults test-soak bench-smoke obs-smoke \
-	guard-smoke mvcc-smoke lint-smoke bf-smoke lint ruff pylint
+	guard-smoke mvcc-smoke lint-smoke bf-smoke health-smoke lint ruff \
+	pylint
 
 # The default gate: the whole suite plus the benchmark, observability,
 # guardrail and static-analysis smoke runs.
-check: test bench-smoke obs-smoke guard-smoke mvcc-smoke lint-smoke bf-smoke
+check: test bench-smoke obs-smoke guard-smoke mvcc-smoke lint-smoke \
+	bf-smoke health-smoke
 
 # The tier-1 gate: everything, fail fast.
 test:
@@ -77,6 +79,14 @@ lint-smoke:
 # gate is `python benchmarks/bench_bf.py` -> BENCH_bf.json.)
 bf-smoke:
 	env PYTHONPATH=src $(PYTHON) -m repro.core.bf_smoke
+
+# Health-layer acceptance at toy scale: SLOs on a live workload, an
+# injected admission fault quarantines passes until the freshness
+# burn-rate alert fires (view + window in the payload), recovery clears
+# it, the profiler report is schema-valid with ring-resolvable span
+# exemplars, and `repro top --once` renders every dashboard section.
+health-smoke:
+	env PYTHONPATH=src $(PYTHON) -m repro.obs.health_smoke
 
 # Lint an arbitrary program: make lint FILE=path/to/views.dl
 lint:

@@ -65,6 +65,11 @@ GUARD_OVERHEAD_BUDGET = 0.05
 #: may be at most 5% of the MVCC-off runtime on the chain workload.
 MVCC_OVERHEAD_BUDGET = 0.05
 
+#: Hard budget for the health layer (SLO engine + profiler) when it is
+#: not attached — the default every maintainer ships with: the two
+#: per-pass ``is None`` hook checks may cost at most 5% of pass time.
+HEALTH_OVERHEAD_BUDGET = 0.05
+
 
 def chain_src(depth: int) -> str:
     """An E1-style chain: ``hop1`` = E1's hop, then ``hop_i`` joins on."""
@@ -572,6 +577,108 @@ def mvcc_overhead_workload(
     }
 
 
+class _NoneHooks:
+    """A bare host carrying the detached health/profiler attributes."""
+
+    __slots__ = ("health", "profiler")
+
+    def __init__(self) -> None:
+        self.health = None
+        self.profiler = None
+
+
+def _noop_health_seconds(iterations: int = 200_000) -> float:
+    """Measured per-check cost of the detached health/profiler hooks.
+
+    The disabled path is exactly two attribute loads compared against
+    ``None`` per pass (``_commit`` / ``_observe_degraded``); this times
+    that pair on a stand-in host and returns the per-check price.
+    """
+    host = _NoneHooks()
+    started = time.perf_counter()
+    for _ in range(iterations):
+        if host.profiler is not None:
+            host.profiler.observe_pass(None)
+        if host.health is not None:
+            host.health.observe_pass(None, None)
+    return (time.perf_counter() - started) / (2 * iterations)
+
+
+def health_overhead_workload(
+    source: str,
+    nodes: int,
+    n_edges: int,
+    passes: int,
+    batch_size: int,
+    runs: int,
+    seed: int,
+) -> Dict:
+    """The 5%-budget guard for the health-layer-off configuration.
+
+    Same methodology as :func:`tracing_overhead_workload`: with no SLO
+    engine and no profiler attached — the default — each maintenance
+    pass crosses exactly two hook sites (``profiler is None`` and
+    ``health is None`` in the commit/degraded tail), so the bound is
+    ``2 × passes × measured per-check cost`` against
+    :data:`HEALTH_OVERHEAD_BUDGET`.  A fully *enabled* run — three SLOs
+    on the head view plus the continuous profiler — is also timed and
+    reported (``enabled_overhead_ratio``) so regressions in the scoring
+    path stay visible; that ratio is informational, not part of the
+    budget.
+    """
+    edges = random_graph(nodes, n_edges, seed=seed)
+    stream = changeset_stream(edges, passes, batch_size, nodes, seed + 1)
+
+    def one(health: bool) -> float:
+        maintainer = ViewMaintainer.from_source(
+            source,
+            database_with(edges),
+            strategy="counting",
+            plan_cache=True,
+        ).initialize()
+        if health:
+            maintainer.attach_health(
+                [
+                    {"view": "hop1", "objective": "freshness_lag",
+                     "target": 0},
+                    {"view": "hop1", "objective": "pass_duration_p99",
+                     "target": 10.0},
+                    {"view": "hop1", "objective": "error_rate",
+                     "target": 0.0},
+                ]
+            )
+            maintainer.enable_profiler()
+        return run_stream(maintainer, stream)
+
+    disabled = measure("health-off", runs, lambda: one(False))
+    enabled = measure("health-enabled", runs, lambda: one(True))
+    crossings = 2 * len(stream)
+    hook_seconds = _noop_health_seconds()
+    noop_cost = crossings * hook_seconds
+    ratio = (
+        noop_cost / disabled["seconds"] if disabled["seconds"] else 0.0
+    )
+    return {
+        "workload": "health-overhead",
+        "nodes": nodes,
+        "edges": n_edges,
+        "passes": passes,
+        "batch_size": batch_size,
+        "disabled_seconds": disabled["seconds"],
+        "enabled_seconds": enabled["seconds"],
+        "enabled_overhead_ratio": (
+            enabled["seconds"] / disabled["seconds"] - 1.0
+            if disabled["seconds"]
+            else 0.0
+        ),
+        "health_crossings": crossings,
+        "noop_hook_seconds": hook_seconds,
+        "overhead_ratio": ratio,
+        "budget": HEALTH_OVERHEAD_BUDGET,
+        "within_budget": ratio < HEALTH_OVERHEAD_BUDGET,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Plan-cache / batched-maintenance benchmark"
@@ -631,6 +738,10 @@ def main(argv=None) -> int:
         mvcc_overhead_workload(
             chain_src(args.depth), args.nodes, args.edges, args.passes,
             args.batch_size, args.runs, seed=53,
+        ),
+        health_overhead_workload(
+            chain_src(args.depth), args.nodes, args.edges, args.passes,
+            args.batch_size, args.runs, seed=59,
         ),
     ]
 
@@ -696,6 +807,23 @@ def main(argv=None) -> int:
                 failed = True
                 print(
                     f"FAIL: MVCC versioning overhead bound "
+                    f"{workload['overhead_ratio']:.1%} exceeds the "
+                    f"{workload['budget']:.0%} budget",
+                    file=sys.stderr,
+                )
+        elif "health_crossings" in workload:
+            print(
+                f"{name:24s} off {workload['disabled_seconds']:.3f}s  "
+                f"enabled {workload['enabled_seconds']:.3f}s "
+                f"({workload['enabled_overhead_ratio']:+.1%} scoring)  "
+                f"no-op bound {workload['overhead_ratio']:.2%} over "
+                f"{workload['health_crossings']} hooks "
+                f"(budget {workload['budget']:.0%})"
+            )
+            if not workload["within_budget"]:
+                failed = True
+                print(
+                    f"FAIL: health no-op overhead "
                     f"{workload['overhead_ratio']:.1%} exceeds the "
                     f"{workload['budget']:.0%} budget",
                     file=sys.stderr,

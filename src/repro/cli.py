@@ -45,6 +45,9 @@ from repro.obs import (
     pass_tree,
     render_pass,
 )
+from repro.obs.health import HealthEngine, JsonlAlertSink, LogAlertSink, load_slos
+from repro.obs.profiler import ContinuousProfiler, render_profile
+from repro.obs.top import ANSI_CLEAR, top_frame
 from repro.storage.changeset import Changeset
 from repro.storage.database import Database
 from repro.storage.journal import Journal
@@ -73,6 +76,10 @@ commands:
   quarantine purge         drop all quarantined changesets
   status          journal/checkpoint/guard/dead-letter health summary
   status --json   the same, as a JSON document
+  health          SLO compliance, error budgets, active burn alerts
+  profile [NAME]  rolling p50/p95/p99 per (view, strategy, phase)
+  top             ANSI dashboard frame (clears screen; rerun per pass)
+  top --once      the same frame, plain text, no screen clear
   metrics         engine metrics, Prometheus text format (also --prom)
   metrics --json  engine metrics as a JSON snapshot
   trace           flame-style breakdown of the most recent pass
@@ -126,6 +133,10 @@ class Shell:
         plan_cache: bool = True,
         trace_path: Optional[str] = None,
         guard: Optional[GuardPolicy] = None,
+        slos=None,
+        alerts_path: Optional[str] = None,
+        profile: bool = False,
+        ring_capacity: int = 2048,
     ) -> None:
         program, facts = split_program(parse_program(source))
         self.database = database if database is not None else Database()
@@ -135,7 +146,7 @@ class Shell:
                 self.database.insert(fact.head.predicate, row)
         # Every session keeps a span ring buffer for 'trace' / 'explain
         # pass'; --trace additionally streams the events to a JSONL log.
-        self.ring = RingSink(2048)
+        self.ring = RingSink(ring_capacity)
         sink = (
             TeeSink([self.ring, JsonlSink(trace_path)])
             if trace_path
@@ -143,6 +154,17 @@ class Shell:
         )
         self.tracer = Tracer(sink)
         self.metrics = get_default_registry()
+        # Health layer: --slo PATH declares per-view objectives; alerts
+        # always reach the structured log, plus a JSONL file when
+        # --alerts is given.  --profile turns on the rolling profiler.
+        health = None
+        if slos is not None:
+            alert_sinks: List[object] = [LogAlertSink()]
+            if alerts_path:
+                alert_sinks.append(JsonlAlertSink(alerts_path))
+            health = HealthEngine(
+                load_slos(slos), metrics=self.metrics, sinks=alert_sinks
+            )
         self.maintainer = ViewMaintainer(
             program,
             self.database,
@@ -152,6 +174,8 @@ class Shell:
             tracer=self.tracer,
             metrics=self.metrics,
             guard=guard,
+            health=health,
+            profiler=ContinuousProfiler() if profile else None,
         ).initialize()
         if journal is not None:
             self.maintainer.attach_journal(
@@ -173,6 +197,9 @@ class Shell:
         checkpoint_every: Optional[int] = None,
         trace_path: Optional[str] = None,
         guard: Optional[GuardPolicy] = None,
+        slos=None,
+        alerts_path: Optional[str] = None,
+        profile: bool = False,
     ) -> "Shell":
         """Rebuild a session from snapshot + journal and keep journaling.
 
@@ -193,6 +220,9 @@ class Shell:
             skip_seed_facts=True,
             trace_path=trace_path,
             guard=guard,
+            slos=slos,
+            alerts_path=alerts_path,
+            profile=profile,
         )
         last_epoch = None
         for _seq, epoch, changes in journal.replay_entries(after=watermark):
@@ -292,6 +322,12 @@ class Shell:
             return self._status()
         if line == "status --json":
             return json.dumps(self._status_dict(), indent=2, sort_keys=True)
+        if line == "health":
+            return self._health()
+        if line == "profile" or line.startswith("profile "):
+            return self._profile(line[len("profile"):].strip())
+        if line in ("top", "top --once"):
+            return self._top(once=line.endswith("--once"))
         if line.startswith("save "):
             save_database(self.database, line[5:].strip())
             return "saved"
@@ -439,6 +475,13 @@ class Shell:
                     f"{lag['changesets']} changeset(s) "
                     f"(~{lag['seconds']:.1f}s)"
                 )
+        if maintainer.health is not None:
+            engine = maintainer.health
+            lines.append(
+                f"health: {len(engine.slos)} SLO(s), "
+                f"{engine.alerts_active()} alert(s) active "
+                f"(see 'health')"
+            )
         stats = maintainer.stats
         cache = maintainer.plan_cache
         if cache is None:
@@ -488,6 +531,18 @@ class Shell:
             "staged_deletions": self.pending.deletion_count(),
             "guard": maintainer.guard.to_dict(),
         }
+        status["health"] = {
+            "slo": (
+                maintainer.health.to_dict()
+                if maintainer.health is not None
+                else {"enabled": False}
+            ),
+            "profiler": (
+                maintainer.profiler.summary()
+                if maintainer.profiler is not None
+                else {"enabled": False}
+            ),
+        }
         mvcc = maintainer.database.mvcc
         if mvcc is not None:
             status["mvcc"] = mvcc.to_dict()
@@ -531,10 +586,62 @@ class Shell:
         events = self.ring.tail(count)
         if not events:
             return "trace buffer is empty (commit something first)"
-        return "\n".join(
+        lines = []
+        if self.ring.truncated:
+            # The ring has wrapped: the tail is NOT the whole history.
+            # Surface that as a machine-readable first line rather than
+            # silently presenting a partial log as complete.
+            lines.append(
+                json.dumps(
+                    {"truncated": True, "dropped": self.ring.dropped},
+                    sort_keys=True,
+                )
+            )
+        lines.extend(
             json.dumps(event, sort_keys=True, default=str)
             for event in events
         )
+        return "\n".join(lines)
+
+    def _health(self) -> str:
+        engine = self.maintainer.health
+        if engine is None:
+            return "health: no SLOs configured (pass --slo SPEC.json)"
+        lines = [
+            f"{engine.passes_evaluated} pass(es) evaluated against "
+            f"{len(engine.slos)} SLO(s); "
+            f"{engine.alerts_active()} alert(s) active "
+            f"({engine.alerts_fired} fired / {engine.alerts_cleared} "
+            f"cleared)"
+        ]
+        for state in engine.states():
+            marker = "ALERT" if state["alerting"] else "ok"
+            lines.append(
+                f"  [{marker}] {state['view']}/{state['objective']}: "
+                f"last={state['last_value']:.3g} target={state['target']:g} "
+                f"good={state['good_fraction']:.0%} "
+                f"burn fast/slow={state['burn_rate_fast']:.1f}/"
+                f"{state['burn_rate_slow']:.1f} "
+                f"budget left={state['budget_remaining']:.0%}"
+            )
+        return "\n".join(lines)
+
+    def _profile(self, arg: str) -> str:
+        profiler = self.maintainer.profiler
+        if profiler is None:
+            return "profile: profiler disabled (pass --profile)"
+        if arg == "--json":
+            return json.dumps(profiler.report(), indent=2, sort_keys=True)
+        view = arg or None
+        return render_profile(
+            profiler, view=view, ring_events=list(self.ring.events)
+        )
+
+    def _top(self, once: bool) -> str:
+        frame = top_frame(
+            self.maintainer, pending=self.pending, color=not once
+        )
+        return frame if once else ANSI_CLEAR + frame
 
     def _trace_dump(self, path: str) -> str:
         events = list(self.ring.events)
@@ -899,6 +1006,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--strict-reads means 'reject' (default: serve)",
     )
     parser.add_argument(
+        "--slo",
+        metavar="PATH",
+        help="JSON SLO spec: a list of objects (or {\"slos\": [...]}) "
+        "with view, objective (freshness_lag | pass_duration_p99 | "
+        "error_rate), target, and optional compliance / fast_window / "
+        "slow_window / burn_threshold; enables the health engine "
+        "('health', status --json health block)",
+    )
+    parser.add_argument(
+        "--alerts",
+        metavar="PATH",
+        help="append SLO burn-rate alerts to this JSONL file (alerts "
+        "always reach the structured log; requires --slo)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="enable the continuous pass profiler "
+        "('profile [VIEW]' shows rolling p50/p95/p99 per phase)",
+    )
+    parser.add_argument(
         "--log-level",
         default="WARNING",
         choices=["DEBUG", "INFO", "WARNING", "ERROR"],
@@ -941,6 +1069,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("error: --recover requires --journal and --snapshot",
               file=sys.stderr)
         return 1
+    slos = None
+    if args.slo:
+        try:
+            with open(args.slo, "r", encoding="utf-8") as handle:
+                slos = load_slos(handle.read())
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"error: bad SLO spec {args.slo}: {exc}", file=sys.stderr)
+            return 1
     try:
         if args.recover:
             shell = Shell.recovered(
@@ -952,6 +1088,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                 checkpoint_every=args.checkpoint_every,
                 trace_path=args.trace,
                 guard=guard,
+                slos=slos,
+                alerts_path=args.alerts,
+                profile=args.profile,
             )
         else:
             database = load_database(args.data) if args.data else None
@@ -966,6 +1105,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                 plan_cache=not args.no_plan_cache,
                 trace_path=args.trace,
                 guard=guard,
+                slos=slos,
+                alerts_path=args.alerts,
+                profile=args.profile,
             )
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -97,6 +97,10 @@ class MaintenanceReport:
     #: The MVCC epoch this pass published (``None``: MVCC off, or the
     #: pass did not commit — quarantined/skipped).
     epoch: Optional[int] = None
+    #: The trace span id of the pass span (``None`` when tracing is
+    #: off).  The profiler records it as an exemplar, so a fat tail in
+    #: `repro profile` resolves to a concrete trace in the ring sink.
+    span_id: Optional[int] = None
 
     def delta(self, view: str) -> CountedRelation:
         """The signed change applied to ``view`` (empty if unchanged)."""
@@ -216,6 +220,8 @@ class ViewMaintainer:
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
         guard: Optional[GuardPolicy] = None,
+        health=None,
+        profiler=None,
     ) -> None:
         check_program_safety(program)
         self.database = database
@@ -279,6 +285,13 @@ class ViewMaintainer:
             PlanCache() if plan_cache else None
         )
         self.stats = MaintenanceStats()
+        #: Health layer (both off by default; one ``is None`` check per
+        #: pass — bench-gated < 5%).  ``health`` scores every pass
+        #: against declared SLOs (:mod:`repro.obs.health`); ``profiler``
+        #: folds per-phase timings into rolling quantiles
+        #: (:mod:`repro.obs.profiler`).
+        self.health = health
+        self.profiler = profiler
 
     # ----------------------------------------------------------- construction
 
@@ -295,6 +308,8 @@ class ViewMaintainer:
         tracer: Optional[Tracer] = None,
         metrics: Optional[MetricsRegistry] = None,
         guard: Optional[GuardPolicy] = None,
+        health=None,
+        profiler=None,
     ) -> "ViewMaintainer":
         """Build a maintainer from Datalog source text."""
         return cls(
@@ -308,6 +323,8 @@ class ViewMaintainer:
             tracer=tracer,
             metrics=metrics,
             guard=guard,
+            health=health,
+            profiler=profiler,
         )
 
     def _set_program(self, normalized: NormalizedProgram) -> None:
@@ -588,6 +605,9 @@ class ViewMaintainer:
         except BaseException as exc:
             self._rollback(undo, exc)
             raise
+        # The span has closed (and hit the sink), so the exemplar id the
+        # profiler stores is already resolvable in the trace ring.
+        report.span_id = getattr(span, "span_id", None)
         if mvcc is not None:
             self._register_views()
             report.epoch = mvcc.commit()
@@ -622,8 +642,30 @@ class ViewMaintainer:
         self.lifetime.record(report)
         self.stats.record_pass(report, self.plan_cache)
         self._record_metrics(report)
+        # Health-layer hooks, hoisted behind `is None` (the disabled
+        # path is one attribute check each; bench-gated < 5%).
+        if self.profiler is not None:
+            self.profiler.observe_pass(report)
+        if self.health is not None:
+            self.health.observe_pass(self, report)
         self._subscriptions.notify(report.view_deltas, epoch=report.epoch)
         self._auto_checkpoint()
+        return report
+
+    def _observe_degraded(
+        self, report: MaintenanceReport
+    ) -> MaintenanceReport:
+        """Health hooks for passes that bypass :meth:`_commit`.
+
+        Quarantined and skipped passes never reach the commit tail, but
+        they are exactly what the ``freshness_lag`` / ``error_rate``
+        objectives exist to notice, so the health layer still scores
+        them (the profiler ignores zero-work reports on its own).
+        """
+        if self.profiler is not None:
+            self.profiler.observe_pass(report)
+        if self.health is not None:
+            self.health.observe_pass(self, report)
         return report
 
     def _append_journal(self, changes: Changeset) -> None:
@@ -692,7 +734,9 @@ class ViewMaintainer:
         queue.append(changes, reason, error=exc)
         self._note_lag()
         self.tracer.event("quarantine", reason=reason, error=str(exc))
-        return MaintenanceReport(strategy="quarantined", seconds=0.0)
+        return self._observe_degraded(
+            MaintenanceReport(strategy="quarantined", seconds=0.0)
+        )
 
     def _skip_pass(
         self, changes: Changeset, exc: BudgetExceeded
@@ -711,7 +755,9 @@ class ViewMaintainer:
             "Passes skipped by the guard (changeset parked, views lag).",
         ).inc()
         self.tracer.event("guard_skip", error=str(exc))
-        return MaintenanceReport(strategy="skipped", seconds=0.0)
+        return self._observe_degraded(
+            MaintenanceReport(strategy="skipped", seconds=0.0)
+        )
 
     def _recompute_pass(
         self, changes: Changeset, reason: str
@@ -797,6 +843,7 @@ class ViewMaintainer:
             seconds=time.perf_counter() - started,
             view_deltas=self._diff_views(old_views),
             epoch=epoch,
+            span_id=getattr(span, "span_id", None),
         )
 
     def _apply_base_changes_direct(
@@ -904,6 +951,28 @@ class ViewMaintainer:
     def clear_lag(self) -> None:
         """Declare the views caught up (e.g. after an out-of-band fix)."""
         self._drop_lag(self._lag_changesets)
+
+    # ----------------------------------------------------------- health
+
+    def attach_health(self, slos, sinks=()):
+        """Attach an SLO health engine; returns it (see repro.obs.health).
+
+        ``slos`` is anything :func:`repro.obs.health.load_slos` accepts
+        — SLO objects, dicts, or a JSON spec string.
+        """
+        from repro.obs.health import HealthEngine, load_slos
+
+        self.health = HealthEngine(
+            load_slos(slos), metrics=self.metrics, sinks=sinks
+        )
+        return self.health
+
+    def enable_profiler(self, window: int = 512):
+        """Attach a continuous profiler; returns it (repro.obs.profiler)."""
+        from repro.obs.profiler import ContinuousProfiler
+
+        self.profiler = ContinuousProfiler(window=window)
+        return self.profiler
 
     @property
     def quarantine(self):

@@ -211,6 +211,14 @@ class MaintenanceGuard:
 
     # ------------------------------------------------------------- status
 
+    def breaker_code(self) -> int:
+        """Numeric breaker state (0=closed, 1=half_open, 2=open).
+
+        The same encoding ``repro_guard_breaker_state`` exports; the
+        health dashboard (``repro top``) sorts and colors by it.
+        """
+        return _STATE_CODES[self.state]
+
     def to_dict(self) -> dict:
         quarantine = None
         if self.quarantine is not None:

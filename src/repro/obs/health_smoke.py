@@ -1,0 +1,256 @@
+"""End-to-end health-layer smoke check (``make health-smoke``).
+
+Runs the acceptance scenario for the SLO engine, the continuous
+profiler, and the ``repro top`` dashboard on the E1 chain workload and
+exits non-zero on the first violation:
+
+1. healthy passes leave every SLO compliant (no alerts);
+2. an injected admission fault quarantines every changeset — staleness
+   lag accrues, the ``freshness_lag`` SLO breaches, and the multi-window
+   burn-rate alert **fires** with the offending view and window in its
+   payload (asserted on both the callback and the JSONL sink);
+3. disarming the fault and requeueing the quarantine drains the lag —
+   healthy passes **clear** the alert;
+4. the profiler report is schema-valid, covers (view, strategy, phase)
+   with monotone p50/p95/p99, and carries >= 1 span exemplar whose id
+   resolves to a ``pass`` span in the trace ring;
+5. the full ``status --json`` document (health block included)
+   validates, the ``repro_slo_*`` families render as valid Prometheus
+   exposition, and ``top --once`` renders every dashboard section.
+
+Kept deliberately tiny (sub-second) so it can ride in ``make check``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import tempfile
+
+from repro.cli import Shell
+from repro.errors import PoisonChangesetError
+from repro.guard import GuardPolicy
+from repro.obs.health import CallbackAlertSink
+from repro.obs.metrics import MetricsRegistry, set_default_registry
+from repro.obs.schema import (
+    validate_profile_report,
+    validate_prometheus,
+    validate_status,
+)
+
+CHAIN_SRC = "\n".join(
+    [
+        "hop(X,Y) :- link(X,Z), link(Z,Y).",
+        "trihop(X,Y) :- hop(X,Z), link(Z,Y).",
+        "link(a, b). link(b, c). link(c, d).",
+    ]
+)
+
+SLO_SPEC = [
+    {
+        "view": "hop",
+        "objective": "freshness_lag",
+        "target": 0,
+        "compliance": 0.8,
+        "fast_window": 3,
+        "slow_window": 6,
+        "burn_threshold": 1.5,
+    },
+    {
+        "view": "hop",
+        "objective": "pass_duration_p99",
+        "target": 10.0,
+    },
+    {
+        "view": "hop",
+        "objective": "error_rate",
+        "target": 0.0,
+        "compliance": 0.8,
+        "fast_window": 3,
+        "slow_window": 6,
+        "burn_threshold": 1.5,
+    },
+]
+
+SLO_FAMILIES = (
+    "repro_slo_compliance",
+    "repro_slo_burn_rate",
+    "repro_slo_error_budget_remaining",
+    "repro_slo_alerts_total",
+    "repro_slo_alerts_active",
+)
+
+TOP_SECTIONS = ("repro top", "health (SLOs)", "staleness lag", "guard")
+
+
+def _drive(shell: Shell, count: int, offset: int) -> None:
+    for index in range(count):
+        shell.execute(f"+ link(d, n{offset + index})")
+        shell.execute("commit")
+
+
+def _check_fire_payload(alerts: list) -> list:
+    fires = [a for a in alerts if a["event"] == "fire"]
+    if not fires:
+        return ["no burn-rate alert fired under sustained quarantine"]
+    problems = []
+    fire = fires[0]
+    if fire.get("view") != "hop":
+        problems.append(f"fire payload names view {fire.get('view')!r}")
+    window = fire.get("window")
+    if not (
+        isinstance(window, dict)
+        and window.get("fast") == 3
+        and window.get("slow") == 6
+    ):
+        problems.append(f"fire payload window is {window!r}")
+    if fire.get("objective") not in ("freshness_lag", "error_rate"):
+        problems.append(
+            f"fire payload objective is {fire.get('objective')!r}"
+        )
+    if not isinstance(fire.get("burn_rate"), dict):
+        problems.append("fire payload carries no burn_rate block")
+    return problems
+
+
+def _check_profile(shell: Shell) -> list:
+    problems = []
+    report = shell.maintainer.profiler.report()
+    problems += [f"profile: {p}" for p in validate_profile_report(report)]
+    keys = {
+        (e["view"], e["strategy"], e["phase"]) for e in report["profiles"]
+    }
+    if ("hop", "counting", "propagate") not in keys:
+        problems.append(
+            f"profile: no (hop, counting, propagate) entry; saw {sorted(keys)}"
+        )
+    exemplars = [
+        e["exemplar"] for e in report["profiles"] if e["exemplar"] is not None
+    ]
+    if not exemplars:
+        problems.append("profile: no span exemplars recorded")
+        return problems
+    ring_pass_ids = {
+        event["id"]
+        for event in shell.ring.events
+        if event.get("kind") == "pass"
+    }
+    unresolved = [
+        x["span_id"] for x in exemplars if x["span_id"] not in ring_pass_ids
+    ]
+    if unresolved:
+        problems.append(
+            f"profile: exemplar span ids {unresolved} not resolvable "
+            "in the trace ring"
+        )
+    rendered = shell.execute("profile hop")
+    if "p99" not in rendered or "worst exemplar" not in rendered:
+        problems.append("profile: rendered report missing p99/exemplar")
+    return problems
+
+
+def main() -> int:
+    registry = MetricsRegistry()
+    set_default_registry(registry)
+    problems = []
+    alerts: list = []
+
+    with tempfile.TemporaryDirectory(prefix="repro-health-smoke-") as tmp:
+        alerts_path = os.path.join(tmp, "alerts.jsonl")
+        shell = Shell(
+            CHAIN_SRC,
+            guard=GuardPolicy(
+                quarantine_path=os.path.join(tmp, "quarantine.jsonl")
+            ),
+            slos=SLO_SPEC,
+            alerts_path=alerts_path,
+            profile=True,
+        )
+        engine = shell.maintainer.health
+        engine.sinks.append(CallbackAlertSink(alerts.append))
+
+        # 1. Healthy passes: compliant, no alerts.
+        _drive(shell, 3, offset=0)
+        if alerts or engine.alerts_active():
+            problems.append(
+                f"healthy workload raised alerts: {alerts!r}"
+            )
+
+        # 2. Sustained fault: every changeset is quarantined, lag grows,
+        #    the freshness SLO burns through its budget, alert fires.
+        shell.maintainer.faults.arm(
+            "admission",
+            every_n=1,
+            exception=PoisonChangesetError("injected poison (smoke)"),
+        )
+        _drive(shell, 4, offset=10)
+        problems += _check_fire_payload(alerts)
+        if not engine.alerts_active():
+            problems.append("no SLO in alerting state after the burn")
+        lag = shell.maintainer.lag()
+        if not lag["changesets"]:
+            problems.append("quarantined passes recorded no staleness lag")
+
+        # 3. Recovery: disarm, requeue, drain — alert clears.
+        shell.maintainer.faults.disarm()
+        shell.maintainer.requeue_quarantined()
+        _drive(shell, 4, offset=20)
+        clears = [a for a in alerts if a["event"] == "clear"]
+        if not clears:
+            problems.append("alert did not clear after healthy recovery")
+        if engine.alerts_active():
+            problems.append(
+                "SLOs still alerting after recovery: "
+                f"{[s for s in engine.states() if s['alerting']]!r}"
+            )
+        if shell.maintainer.lag()["changesets"]:
+            problems.append("staleness lag did not drain after requeue")
+
+        # 4. Profiler: schema-valid, resolvable exemplars.
+        problems += _check_profile(shell)
+
+        # 5. Documents: status schema, Prometheus exposition, JSONL
+        #    alert sink, dashboard frame.
+        problems += [
+            f"status: {p}" for p in validate_status(shell._status_dict())
+        ]
+        exposition = registry.to_prometheus()
+        problems += [
+            f"prometheus: {p}" for p in validate_prometheus(exposition)
+        ]
+        missing = [f for f in SLO_FAMILIES if f not in exposition]
+        if missing:
+            problems.append(f"prometheus: missing SLO families {missing}")
+        with open(alerts_path, encoding="utf-8") as handle:
+            logged = [json.loads(line) for line in handle if line.strip()]
+        if [a["event"] for a in logged] != [a["event"] for a in alerts]:
+            problems.append(
+                "JSONL alert sink disagrees with the callback sink: "
+                f"{logged!r} vs {alerts!r}"
+            )
+        frame = shell.execute("top --once")
+        for section in TOP_SECTIONS:
+            if section not in frame:
+                problems.append(f"top: frame missing section {section!r}")
+        if "\x1b[" in frame:
+            problems.append("top --once must render without ANSI codes")
+
+    if problems:
+        for problem in problems:
+            print(f"health-smoke FAIL: {problem}", file=sys.stderr)
+        return 1
+    fired = sum(1 for a in alerts if a["event"] == "fire")
+    cleared = sum(1 for a in alerts if a["event"] == "clear")
+    print(
+        "health-smoke ok: "
+        f"{engine.passes_evaluated} passes scored against "
+        f"{len(engine.slos)} SLOs, {fired} burn alert(s) fired and "
+        f"{cleared} cleared, profiler report schema-valid with "
+        "ring-resolvable exemplars, status/top/exposition render clean"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,20 +23,32 @@ The metric catalog the engine emits is documented in
 from __future__ import annotations
 
 import json
+import logging
 import math
 import re
 import threading
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+logger = logging.getLogger(__name__)
+
 __all__ = [
     "Counter",
+    "DROPPED_LABELSETS_METRIC",
     "Gauge",
     "Histogram",
     "Metric",
     "MetricsRegistry",
+    "QUANTILES",
     "get_default_registry",
     "set_default_registry",
 ]
+
+#: The estimated quantiles every histogram exports, as (suffix, q) pairs.
+QUANTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+
+#: The counter family the label-cardinality guard feeds.  Exempt from
+#: the cap itself (its own cardinality is bounded by the family count).
+DROPPED_LABELSETS_METRIC = "repro_metrics_dropped_labelsets"
 
 #: Legal metric / label names (Prometheus data model).
 _NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*\Z")
@@ -77,6 +89,27 @@ class Metric:
         self.help = help
         self.label_names: Tuple[str, ...] = tuple(label_names)
         self._values: Dict[Tuple[str, ...], float] = {}
+        # Label-cardinality guard, installed by MetricsRegistry at
+        # registration time.  None = unbounded (bare metrics in tests).
+        self._max_labelsets: Optional[int] = None
+        self._drop_hook = None  # callable(metric) once per rejected set
+
+    def _admit(self, key: Tuple[str, ...], store: Dict) -> bool:
+        """May this label-set be stored?  Caps per-family cardinality.
+
+        Existing label-sets always update; only *new* sets beyond the
+        cap are rejected (and counted via the registry's drop hook), so
+        a runaway label like a per-tuple id can't grow memory without
+        bound while the steady-state families keep working.
+        """
+        if key in store:
+            return True
+        cap = self._max_labelsets
+        if cap is None or len(store) < cap:
+            return True
+        if self._drop_hook is not None:
+            self._drop_hook(self)
+        return False
 
     def _key(self, labels: Dict[str, object]) -> Tuple[str, ...]:
         if set(labels) != set(self.label_names):
@@ -136,6 +169,8 @@ class Counter(Metric):
                 f"counter {self.name} cannot decrease (inc by {amount})"
             )
         key = self._key(labels)
+        if not self._admit(key, self._values):
+            return
         self._values[key] = self._values.get(key, 0.0) + amount
 
 
@@ -145,10 +180,15 @@ class Gauge(Metric):
     kind = "gauge"
 
     def set(self, value: float, **labels: object) -> None:
-        self._values[self._key(labels)] = float(value)
+        key = self._key(labels)
+        if not self._admit(key, self._values):
+            return
+        self._values[key] = float(value)
 
     def inc(self, amount: float = 1.0, **labels: object) -> None:
         key = self._key(labels)
+        if not self._admit(key, self._values):
+            return
         self._values[key] = self._values.get(key, 0.0) + amount
 
     def dec(self, amount: float = 1.0, **labels: object) -> None:
@@ -189,6 +229,8 @@ class Histogram(Metric):
         key = self._key(labels)
         series = self._series.get(key)
         if series is None:
+            if not self._admit(key, self._series):
+                return
             series = [0.0] * (len(self.bounds) + 1)
             self._series[key] = series
         for index, bound in enumerate(self.bounds):
@@ -203,6 +245,44 @@ class Histogram(Metric):
 
     def sum(self, **labels: object) -> float:
         return self._sums.get(self._key(labels), 0.0)
+
+    def _quantile(self, key: Tuple[str, ...], q: float) -> Optional[float]:
+        """Estimate quantile ``q`` from the cumulative buckets of ``key``.
+
+        Mirrors Prometheus ``histogram_quantile``: find the bucket whose
+        cumulative count first reaches rank ``q * total`` and linearly
+        interpolate within it (the lower edge of the first bucket is
+        taken as 0.0).  Observations landing in the +Inf overflow bucket
+        clamp to the highest finite bound — the estimate can't exceed
+        what the bucket layout can resolve.  Returns None with no data.
+        """
+        series = self._series.get(key)
+        if series is None:
+            return None
+        total = series[-1]
+        if total <= 0:
+            return None
+        rank = q * total
+        previous_cumulative = 0.0
+        lower = 0.0
+        for index, bound in enumerate(self.bounds):
+            cumulative = series[index]
+            if cumulative >= rank:
+                in_bucket = cumulative - previous_cumulative
+                if in_bucket <= 0:
+                    return bound
+                fraction = (rank - previous_cumulative) / in_bucket
+                return lower + (bound - lower) * fraction
+            previous_cumulative = cumulative
+            lower = bound
+        # rank falls in the +Inf bucket: clamp to the top finite bound.
+        return self.bounds[-1]
+
+    def estimate_quantile(self, q: float, **labels: object) -> Optional[float]:
+        """Estimated quantile ``q`` (0..1) for one label combination."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        return self._quantile(self._key(labels), q)
 
     def samples(self) -> List[Tuple[Tuple[str, ...], float]]:
         return sorted((key, self._sums[key]) for key in self._series)
@@ -239,6 +319,13 @@ class Histogram(Metric):
                 f"{self.name}_count{suffix} "
                 f"{_format_number(float(self._counts[key]))}"
             )
+            for qsuffix, q in QUANTILES:
+                estimate = self._quantile(key, q)
+                if estimate is not None:
+                    lines.append(
+                        f"{self.name}_{qsuffix}{suffix} "
+                        f"{_format_number(estimate)}"
+                    )
         return lines
 
     def snapshot_values(self) -> List[dict]:
@@ -254,6 +341,10 @@ class Histogram(Metric):
                         _format_number(bound): series[index]
                         for index, bound in enumerate(self.bounds)
                     },
+                    "quantiles": {
+                        qsuffix: self._quantile(key, q)
+                        for qsuffix, q in QUANTILES
+                    },
                 }
             )
         return out
@@ -267,11 +358,41 @@ class MetricsRegistry:
     a programming error and raises).  Thread-safe at the registration
     level; individual updates are plain dict ops (GIL-atomic enough for
     the engine's single-writer passes).
+
+    ``max_labelsets`` caps the distinct label-sets any one family may
+    hold (per-view SLO labels are fine; a per-tuple label is not).
+    Rejected sets are counted in ``repro_metrics_dropped_labelsets``
+    and warned about once per family through the structured log.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, max_labelsets: Optional[int] = 1024) -> None:
+        if max_labelsets is not None and max_labelsets < 1:
+            raise ValueError("max_labelsets must be >= 1 (or None)")
         self._metrics: Dict[str, Metric] = {}
         self._lock = threading.Lock()
+        self.max_labelsets = max_labelsets
+        self._cardinality_warned: set = set()
+
+    def _note_dropped_labelset(self, metric: Metric) -> None:
+        """Drop hook: count the rejection, warn once per family."""
+        if metric.name not in self._cardinality_warned:
+            self._cardinality_warned.add(metric.name)
+            logger.warning(
+                "metric %s hit the label-cardinality cap (%s); "
+                "new label-sets are being dropped",
+                metric.name,
+                self.max_labelsets,
+            )
+        with self._lock:
+            dropped = self._metrics.get(DROPPED_LABELSETS_METRIC)
+            if dropped is None:
+                dropped = Counter(
+                    DROPPED_LABELSETS_METRIC,
+                    "Label-sets rejected by the cardinality guard.",
+                    ("metric",),
+                )
+                self._metrics[DROPPED_LABELSETS_METRIC] = dropped
+        dropped.inc(metric=metric.name)
 
     def _get_or_create(
         self, cls, name: str, help: str, label_names: Sequence[str], **extra
@@ -288,6 +409,9 @@ class MetricsRegistry:
                     )
                 return found
             metric = cls(name, help, label_names, **extra)
+            if name != DROPPED_LABELSETS_METRIC:
+                metric._max_labelsets = self.max_labelsets
+                metric._drop_hook = self._note_dropped_labelset
             self._metrics[name] = metric
             return metric
 
@@ -354,6 +478,7 @@ class MetricsRegistry:
         """Drop every registered metric (tests / fresh sessions)."""
         with self._lock:
             self._metrics.clear()
+            self._cardinality_warned.clear()
 
 
 _default_registry = MetricsRegistry()

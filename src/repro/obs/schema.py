@@ -19,6 +19,8 @@ __all__ = [
     "validate_trace_events",
     "validate_trace_jsonl",
     "validate_prometheus",
+    "validate_status",
+    "validate_profile_report",
     "span_tree_paths",
 ]
 
@@ -170,7 +172,7 @@ def validate_prometheus(text: str) -> List[str]:
             continue
         name = match.group("name")
         base = name
-        for suffix in ("_bucket", "_sum", "_count"):
+        for suffix in ("_bucket", "_sum", "_count", "_p50", "_p95", "_p99"):
             if name.endswith(suffix) and name[: -len(suffix)] in typed:
                 base = name[: -len(suffix)]
                 break
@@ -213,4 +215,195 @@ def validate_prometheus(text: str) -> List[str]:
                 f"line {line_number}: duplicate sample {name}{label_blob or ''}"
             )
         seen_samples.add(sample_key)
+    return problems
+
+
+# --------------------------------------------------------------------------
+# `status --json` document schema
+#
+# The status document is the machine-readable contract downstream
+# consumers (the future O2 orchestrator, dashboards) parse; this
+# validator pins its shape so a new block can't land without the schema
+# — and therefore the schema test — acknowledging it.
+
+def _is_int(value: object) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _is_number(value: object) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+#: Required top-level status keys → coarse type check.
+_STATUS_REQUIRED = {
+    "strategy": str,
+    "semantics": str,
+    "lifetime": dict,
+    "last_pass": dict,
+    "journal": dict,
+    "guard": dict,
+    "lag": dict,
+    "health": dict,
+    "consistent": bool,
+}
+
+#: Optional blocks (present only when the feature is configured).
+_STATUS_OPTIONAL = {
+    "mvcc": dict,
+    "plan_cache": dict,
+    "divergence": str,
+}
+
+#: Required top-level counts (ints, not bools).
+_STATUS_COUNTS = (
+    "checkpoint_errors",
+    "dead_letters",
+    "staged_insertions",
+    "staged_deletions",
+)
+
+
+def validate_status(doc: object) -> List[str]:
+    """Structural problems in a ``status --json`` document."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["status document is not an object"]
+    for key, expected in _STATUS_REQUIRED.items():
+        if key not in doc:
+            problems.append(f"status: missing key {key!r}")
+        elif not isinstance(doc[key], expected) or (
+            expected is not bool and isinstance(doc[key], bool)
+        ):
+            problems.append(
+                f"status: key {key!r} has type {type(doc[key]).__name__}, "
+                f"expected {expected.__name__}"
+            )
+    for key in _STATUS_COUNTS:
+        if key not in doc:
+            problems.append(f"status: missing key {key!r}")
+        elif not _is_int(doc[key]) or doc[key] < 0:
+            problems.append(f"status: key {key!r} must be a count")
+    known = (
+        set(_STATUS_REQUIRED) | set(_STATUS_OPTIONAL) | set(_STATUS_COUNTS)
+    )
+    for key in doc:
+        if key not in known:
+            problems.append(
+                f"status: unknown top-level key {key!r} "
+                "(extend the schema in repro.obs.schema)"
+            )
+    for key, expected in _STATUS_OPTIONAL.items():
+        if key in doc and not isinstance(doc[key], expected):
+            problems.append(
+                f"status: key {key!r} has type {type(doc[key]).__name__}, "
+                f"expected {expected.__name__}"
+            )
+
+    journal = doc.get("journal")
+    if isinstance(journal, dict):
+        if not isinstance(journal.get("attached"), bool):
+            problems.append("status: journal.attached must be a bool")
+        elif journal["attached"]:
+            for key in ("last_seq", "watermark"):
+                if not _is_int(journal.get(key)):
+                    problems.append(f"status: journal.{key} must be an int")
+
+    guard = doc.get("guard")
+    if isinstance(guard, dict):
+        if guard.get("breaker") not in ("closed", "half_open", "open"):
+            problems.append(
+                f"status: guard.breaker is {guard.get('breaker')!r}"
+            )
+        for key in ("breaches_total", "fallback_passes", "skipped_passes"):
+            if key in guard and not _is_int(guard[key]):
+                problems.append(f"status: guard.{key} must be an int")
+
+    lag = doc.get("lag")
+    if isinstance(lag, dict):
+        if not _is_int(lag.get("changesets")) or lag["changesets"] < 0:
+            problems.append("status: lag.changesets must be a count")
+        if not _is_number(lag.get("seconds")) or lag["seconds"] < 0:
+            problems.append("status: lag.seconds must be a number >= 0")
+        if not isinstance(lag.get("views"), dict):
+            problems.append("status: lag.views must be an object")
+
+    health = doc.get("health")
+    if isinstance(health, dict):
+        for block_name in ("slo", "profiler"):
+            block = health.get(block_name)
+            if not isinstance(block, dict):
+                problems.append(
+                    f"status: health.{block_name} must be an object"
+                )
+                continue
+            if not isinstance(block.get("enabled"), bool):
+                problems.append(
+                    f"status: health.{block_name}.enabled must be a bool"
+                )
+        slo = health.get("slo")
+        if isinstance(slo, dict) and slo.get("enabled") is True:
+            if not isinstance(slo.get("slos"), list):
+                problems.append("status: health.slo.slos must be a list")
+            for key in ("alerts_active", "alerts_fired", "alerts_cleared",
+                        "passes_evaluated"):
+                if not _is_int(slo.get(key)):
+                    problems.append(
+                        f"status: health.slo.{key} must be an int"
+                    )
+    return problems
+
+
+# --------------------------------------------------------------------------
+# Profiler report schema
+
+def validate_profile_report(doc: object) -> List[str]:
+    """Structural problems in a ContinuousProfiler ``report()`` dict."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["profile report is not an object"]
+    if doc.get("schema_version") != 1:
+        problems.append(
+            f"profile: schema_version is {doc.get('schema_version')!r}"
+        )
+    if not _is_int(doc.get("window")) or doc["window"] < 1:
+        problems.append("profile: window must be an int >= 1")
+    if not _is_int(doc.get("passes")) or doc["passes"] < 0:
+        problems.append("profile: passes must be a count")
+    profiles = doc.get("profiles")
+    if not isinstance(profiles, list):
+        return problems + ["profile: profiles must be a list"]
+    for index, entry in enumerate(profiles):
+        if not isinstance(entry, dict):
+            problems.append(f"profile {index}: not an object")
+            continue
+        for key in ("view", "strategy", "phase"):
+            if not isinstance(entry.get(key), str):
+                problems.append(f"profile {index}: {key} must be a string")
+        if not _is_int(entry.get("count")) or entry["count"] < 1:
+            problems.append(f"profile {index}: count must be an int >= 1")
+        quantiles = [entry.get(q) for q in ("p50", "p95", "p99")]
+        if not all(_is_number(v) for v in quantiles):
+            problems.append(f"profile {index}: p50/p95/p99 must be numbers")
+        elif not quantiles[0] <= quantiles[1] <= quantiles[2]:
+            problems.append(f"profile {index}: quantiles not monotone")
+        for key in ("total_seconds", "max_seconds", "tuples_per_second"):
+            if not _is_number(entry.get(key)) or entry[key] < 0:
+                problems.append(
+                    f"profile {index}: {key} must be a number >= 0"
+                )
+        if not _is_int(entry.get("tuples")) or entry["tuples"] < 0:
+            problems.append(f"profile {index}: tuples must be a count")
+        exemplar = entry.get("exemplar")
+        if exemplar is not None:
+            if not isinstance(exemplar, dict):
+                problems.append(f"profile {index}: exemplar must be object")
+            else:
+                if not _is_int(exemplar.get("span_id")):
+                    problems.append(
+                        f"profile {index}: exemplar.span_id must be an int"
+                    )
+                if not _is_number(exemplar.get("seconds")):
+                    problems.append(
+                        f"profile {index}: exemplar.seconds must be a number"
+                    )
     return problems

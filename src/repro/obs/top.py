@@ -1,0 +1,210 @@
+"""``repro top`` — a curses-free ANSI dashboard over one maintainer.
+
+One frame is plain text (with optional ANSI color), rendered from the
+live maintainer state: per-view staleness lag against its freshness
+SLO, error-budget burn, the strategy mix of committed passes, circuit
+breaker state, MVCC epoch/retention, and journal growth past the
+checkpoint watermark.  The frame reads in-memory state only — no
+``consistency_check()`` recompute — so refreshing it per pass is cheap
+enough to leave running against a loaded maintainer.
+
+``top_frame`` is the pure renderer (tests call it directly); the CLI
+wraps it as ``top`` / ``top --once`` and, interactively, repaints with
+an ANSI home+clear between refreshes rather than curses, so it works on
+any terminal and degrades to plain text with ``color=False``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+__all__ = ["top_frame", "ANSI_CLEAR"]
+
+#: Home the cursor and clear: the whole "screen library" we need.
+ANSI_CLEAR = "\x1b[H\x1b[2J"
+
+_RESET = "\x1b[0m"
+_GREEN = "32"
+_YELLOW = "33"
+_RED = "31"
+_BOLD = "1"
+_DIM = "2"
+
+_BREAKER_COLOR = {"closed": _GREEN, "half_open": _YELLOW, "open": _RED}
+
+
+def _paint(text: str, code: str, color: bool) -> str:
+    return f"\x1b[{code}m{text}{_RESET}" if color else text
+
+
+def _bar(fraction: float, width: int = 10) -> str:
+    fraction = max(0.0, min(1.0, fraction))
+    filled = int(round(fraction * width))
+    return "█" * filled + "·" * (width - filled)
+
+
+def _strategy_mix(metrics, color: bool) -> List[str]:
+    counter = metrics.get("repro_passes_total")
+    if counter is None or not counter.samples():
+        return []
+    samples = counter.samples()
+    total = sum(value for _key, value in samples) or 1.0
+    cells = []
+    for key, value in samples:
+        strategy = key[0] if key else "?"
+        share = value / total
+        cells.append(
+            f"{strategy} {int(value)} ({share:.0%}) {_bar(share, 8)}"
+        )
+    return ["  " + "   ".join(cells)]
+
+
+def _slo_lines(maintainer, color: bool) -> List[str]:
+    engine = maintainer.health
+    if engine is None:
+        return ["  (no SLOs configured — pass --slo or attach_health())"]
+    lines = [
+        f"  {'view':<12} {'objective':<18} {'value':>9} {'target':>9} "
+        f"{'burn f/s':>11} {'budget':>7}  state"
+    ]
+    for state in engine.states():
+        if state["alerting"]:
+            label, code = "ALERT", _RED
+        elif state["burn_rate_fast"] >= state["burn_threshold"]:
+            label, code = "BURN", _YELLOW
+        else:
+            label, code = "OK", _GREEN
+        lines.append(
+            f"  {state['view']:<12.12} {state['objective']:<18.18} "
+            f"{state['last_value']:>9.3g} {state['target']:>9.3g} "
+            f"{state['burn_rate_fast']:>5.1f}/{state['burn_rate_slow']:<5.1f} "
+            f"{state['budget_remaining']:>6.0%}  "
+            + _paint(label, code, color)
+        )
+    lines.append(
+        f"  alerts: {engine.alerts_active()} active, "
+        f"{engine.alerts_fired} fired, {engine.alerts_cleared} cleared "
+        f"over {engine.passes_evaluated} passes"
+    )
+    return lines
+
+
+def _lag_lines(maintainer) -> List[str]:
+    lag = maintainer.lag()
+    line = (
+        f"  {lag['changesets']} changeset(s) behind"
+        + (
+            f" for {lag['seconds']:.1f}s"
+            if lag["changesets"] else ""
+        )
+    )
+    views = maintainer.view_names()
+    if views:
+        line += "   views: " + ", ".join(views)
+    return [line]
+
+
+def _profiler_lines(maintainer) -> List[str]:
+    profiler = maintainer.profiler
+    if profiler is None:
+        return []
+    document = profiler.report()
+    hot = [
+        entry for entry in document["profiles"]
+        if entry["view"] == "*" and entry["phase"] != "total"
+    ][:3]
+    if not hot:
+        return []
+    lines = ["", "hot phases (p99 / total):"]
+    for entry in hot:
+        lines.append(
+            f"  {entry['strategy']}/{entry['phase']:<12.12} "
+            f"{entry['p99'] * 1e3:9.3f}ms {entry['total_seconds'] * 1e3:9.3f}ms"
+        )
+    return lines
+
+
+def top_frame(
+    maintainer,
+    pending=None,
+    color: bool = True,
+    clock: Optional[float] = None,
+) -> str:
+    """Render one dashboard frame for ``maintainer`` as a string.
+
+    ``pending`` is the CLI's staged changeset (or None); ``clock``
+    overrides the timestamp (tests).  Pure read: no recompute, no
+    consistency check.
+    """
+    now = clock if clock is not None else time.time()
+    lifetime = maintainer.lifetime
+    header = (
+        f"repro top — {time.strftime('%H:%M:%S', time.localtime(now))}  "
+        f"strategy={maintainer.strategy}  passes={lifetime.passes}  "
+        f"tuples={lifetime.tuples_changed}  "
+        f"busy={lifetime.seconds:.3f}s"
+    )
+    lines = [_paint(header, _BOLD, color)]
+
+    lines.append(_paint("health (SLOs)", _DIM, color))
+    lines.extend(_slo_lines(maintainer, color))
+
+    lines.append(_paint("staleness lag", _DIM, color))
+    lines.extend(_lag_lines(maintainer))
+
+    mix = _strategy_mix(maintainer.metrics, color)
+    if mix:
+        lines.append(_paint("strategy mix", _DIM, color))
+        lines.extend(mix)
+
+    guard = maintainer.guard
+    breaker = guard.state
+    guard_line = (
+        "  breaker "
+        + _paint(breaker, _BREAKER_COLOR.get(breaker, _RED), color)
+        + f" (code {guard.breaker_code()})"
+        + f"   breaches={guard.breaches}"
+        + f"   fallbacks={guard.fallback_passes}"
+        + f"   skipped={guard.skipped_passes}"
+    )
+    if guard.quarantine is not None:
+        guard_line += f"   quarantine={len(guard.quarantine)}"
+    lines.append(_paint("guard", _DIM, color))
+    lines.append(guard_line)
+
+    mvcc = maintainer.database.mvcc
+    if mvcc is not None:
+        info = mvcc.to_dict()
+        lines.append(_paint("mvcc", _DIM, color))
+        lines.append(
+            f"  epoch={info['epoch']}"
+            f"   snapshots={info['active_snapshots']}"
+            f"   retained={info['retained_versions']}"
+            f"/{info['retain_versions']}"
+            f"   commits={info['commits']}"
+            f"   aborts={info['aborts']}"
+        )
+
+    lines.append(_paint("journal", _DIM, color))
+    if maintainer._journal is not None:
+        last_seq = len(maintainer._journal)
+        watermark = maintainer.watermark
+        lines.append(
+            f"  last_seq={last_seq}   watermark={watermark}"
+            f"   unckpt={max(0, last_seq - watermark)}"
+        )
+    else:
+        lines.append("  (not attached)")
+
+    if pending is not None:
+        staged = pending.insertion_count() + pending.deletion_count()
+        if staged:
+            lines.append(_paint("staged", _DIM, color))
+            lines.append(
+                f"  {pending.insertion_count()} insert(s), "
+                f"{pending.deletion_count()} delete(s) uncommitted"
+            )
+
+    lines.extend(_profiler_lines(maintainer))
+    return "\n".join(lines)

@@ -71,15 +71,29 @@ class NullSink:
 
 
 class RingSink:
-    """Keeps the most recent ``capacity`` events in memory."""
+    """Keeps the most recent ``capacity`` events in memory.
+
+    Once the ring wraps, the oldest events are gone for good;
+    ``dropped`` counts them and ``truncated`` flags the loss so readers
+    (``cli trace tail``) can say so instead of presenting the tail as
+    the whole history.
+    """
 
     def __init__(self, capacity: int = 4096) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self.events: deque = deque(maxlen=capacity)
+        self.dropped = 0
+
+    @property
+    def truncated(self) -> bool:
+        """True when the ring has wrapped and evicted old events."""
+        return self.dropped > 0
 
     def emit(self, event: dict) -> None:
+        if len(self.events) == self.capacity:
+            self.dropped += 1
         self.events.append(event)
 
     def tail(self, count: int = 10) -> List[dict]:
@@ -90,6 +104,7 @@ class RingSink:
 
     def clear(self) -> None:
         self.events.clear()
+        self.dropped = 0
 
     def close(self) -> None:
         pass

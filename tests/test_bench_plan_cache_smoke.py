@@ -40,6 +40,7 @@ def test_smoke_emits_valid_bench_json(tmp_path):
     assert set(by_name) == {
         "counting-small-delta", "dred-small-delta", "batched-vs-sequential",
         "tracing-overhead", "guard-overhead", "mvcc-overhead",
+        "health-overhead",
     }
 
     for name in ("counting-small-delta", "dred-small-delta"):
@@ -79,6 +80,12 @@ def test_smoke_emits_valid_bench_json(tmp_path):
     assert mvcc["overhead_ratio"] < mvcc["budget"]
     assert mvcc["write_crossings"] > 0
     assert mvcc["rows_versioned"] > 0
+
+    # And for the detached health layer (two is-None checks per pass).
+    health = by_name["health-overhead"]
+    assert health["within_budget"] is True
+    assert health["overhead_ratio"] < health["budget"]
+    assert health["health_crossings"] == 2 * payload["config"]["passes"]
 
     # Engine telemetry rides along in every bench document.
     assert "metrics" in payload["telemetry"]

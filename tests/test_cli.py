@@ -251,6 +251,172 @@ class TestMain:
         assert "error" in capsys.readouterr().err
 
 
+class TestStatusJsonSchema:
+    def test_status_document_validates(self, shell, tmp_path):
+        import json
+
+        from repro.obs.schema import validate_status
+
+        shell.execute("+ link(c, f)")
+        shell.execute("commit")
+        document = json.loads(shell.execute("status --json"))
+        assert validate_status(document) == []
+        assert document["health"]["slo"] == {"enabled": False}
+        assert document["health"]["profiler"] == {"enabled": False}
+
+        journaled = Shell(
+            PROGRAM,
+            journal=Journal(str(tmp_path / "log.jsonl")),
+            snapshot_path=str(tmp_path / "snap.json"),
+            slos=[{"view": "hop", "objective": "freshness_lag",
+                   "target": 0}],
+            profile=True,
+        )
+        journaled.execute("+ link(c, f)")
+        journaled.execute("commit")
+        document = json.loads(journaled.execute("status --json"))
+        assert validate_status(document) == []
+        assert document["journal"]["attached"] is True
+        assert document["health"]["slo"]["enabled"] is True
+        assert document["health"]["slo"]["passes_evaluated"] == 1
+        assert document["health"]["profiler"]["enabled"] is True
+
+    def test_validator_rejects_malformed_documents(self, shell):
+        import json
+
+        from repro.obs.schema import validate_status
+
+        document = json.loads(shell.execute("status --json"))
+        missing = dict(document)
+        del missing["health"]
+        assert any("health" in p for p in validate_status(missing))
+
+        wrong_type = dict(document)
+        wrong_type["consistent"] = "yes"
+        assert any("consistent" in p for p in validate_status(wrong_type))
+
+        unknown = dict(document)
+        unknown["surprise"] = 1
+        assert any("surprise" in p for p in validate_status(unknown))
+
+        bad_breaker = json.loads(shell.execute("status --json"))
+        bad_breaker["guard"]["breaker"] = "molten"
+        assert any("breaker" in p for p in validate_status(bad_breaker))
+
+
+class TestTraceTailTruncation:
+    def test_unwrapped_tail_has_no_marker(self, shell):
+        import json
+
+        shell.execute("+ link(c, f)")
+        shell.execute("commit")
+        lines = shell.execute("trace tail 5").splitlines()
+        assert all("truncated" not in line for line in lines)
+        json.loads(lines[0])  # every line is a JSON event
+
+    def test_wrapped_tail_leads_with_truncation_marker(self):
+        import json
+
+        shell = Shell(PROGRAM, ring_capacity=4)
+        for index in range(6):
+            shell.execute(f"+ link(c, f{index})")
+            shell.execute("commit")
+        assert shell.ring.truncated
+        lines = shell.execute("trace tail 3").splitlines()
+        marker = json.loads(lines[0])
+        assert marker["truncated"] is True
+        assert marker["dropped"] == shell.ring.dropped > 0
+        assert len(lines) == 4  # marker + the 3 requested events
+
+
+class TestHealthCommands:
+    @pytest.fixture
+    def health_shell(self):
+        return Shell(
+            PROGRAM,
+            slos=[
+                {"view": "hop", "objective": "freshness_lag", "target": 0},
+                {"view": "hop", "objective": "pass_duration_p99",
+                 "target": 10.0},
+            ],
+            profile=True,
+        )
+
+    def test_health_command_reports_slos(self, health_shell):
+        health_shell.execute("+ link(c, f)")
+        health_shell.execute("commit")
+        output = health_shell.execute("health")
+        assert "1 pass(es) evaluated against 2 SLO(s)" in output
+        assert "[ok] hop/freshness_lag" in output
+        assert "0 alert(s) active" in output
+
+    def test_health_without_slos(self, shell):
+        assert "no SLOs configured" in shell.execute("health")
+
+    def test_profile_command_renders_and_dumps_json(self, health_shell):
+        import json
+
+        from repro.obs.schema import validate_profile_report
+
+        health_shell.execute("+ link(c, f)")
+        health_shell.execute("commit")
+        output = health_shell.execute("profile hop")
+        assert "p99" in output
+        assert "hop" in output
+        report = json.loads(health_shell.execute("profile --json"))
+        assert validate_profile_report(report) == []
+
+    def test_profile_without_profiler(self, shell):
+        assert "profiler disabled" in shell.execute("profile")
+
+    def test_top_once_renders_plain_frame(self, health_shell):
+        health_shell.execute("+ link(c, f)")
+        health_shell.execute("commit")
+        frame = health_shell.execute("top --once")
+        assert "repro top" in frame
+        assert "health (SLOs)" in frame
+        assert "staleness lag" in frame
+        assert "\x1b[" not in frame
+
+    def test_top_repaints_with_ansi(self, health_shell):
+        frame = health_shell.execute("top")
+        assert frame.startswith("\x1b[H\x1b[2J")
+
+    def test_main_slo_flag_loads_spec(self, tmp_path, capsys, monkeypatch):
+        import io
+        import json
+        import sys
+
+        from repro.cli import main
+
+        program_path = tmp_path / "views.dl"
+        program_path.write_text(PROGRAM)
+        slo_path = tmp_path / "slos.json"
+        slo_path.write_text(json.dumps([
+            {"view": "hop", "objective": "freshness_lag", "target": 0},
+        ]))
+        monkeypatch.setattr(
+            sys,
+            "stdin",
+            io.StringIO("+ link(c, f)\ncommit\nhealth\nquit\n"),
+        )
+        assert main([
+            str(program_path), "--slo", str(slo_path), "--profile",
+        ]) == 0
+        output = capsys.readouterr().out
+        assert "1 pass(es) evaluated against 1 SLO(s)" in output
+
+    def test_main_bad_slo_spec(self, tmp_path, capsys):
+        from repro.cli import main
+
+        program_path = tmp_path / "views.dl"
+        program_path.write_text(PROGRAM)
+        bad = tmp_path / "slos.json"
+        bad.write_text('[{"view": "hop", "objective": "nope"}]')
+        assert main([str(program_path), "--slo", str(bad)]) == 1
+        assert "error" in capsys.readouterr().err
+
+
 class TestQueryAndWhy:
     def test_query_with_solutions(self, shell):
         output = shell.execute("? hop(a, X)")

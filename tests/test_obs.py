@@ -223,6 +223,176 @@ class TestMetricsRegistry:
         assert len(registry) == 0
 
 
+class TestHistogramQuantiles:
+    def test_empty_histogram_estimates_none(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_q_seconds", buckets=(0.1, 1.0))
+        assert hist.estimate_quantile(0.5) is None
+        assert hist.estimate_quantile(0.99) is None
+
+    def test_single_bucket_interpolates_from_zero(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_q_seconds", buckets=(1.0,))
+        hist.observe(0.5)
+        # One observation in [0, 1]: rank q lands in that bucket, the
+        # estimate interpolates linearly between the 0.0 lower edge and
+        # the 1.0 bound.
+        assert hist.estimate_quantile(0.5) == pytest.approx(0.5)
+        assert hist.estimate_quantile(1.0) == pytest.approx(1.0)
+
+    def test_inf_only_observations_clamp_to_highest_finite_bound(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("repro_q_seconds", buckets=(0.1, 1.0))
+        hist.observe(50.0)
+        hist.observe(99.0)
+        # Everything sits in the +Inf bucket: the estimate clamps to the
+        # highest finite bound rather than inventing a number.
+        assert hist.estimate_quantile(0.5) == pytest.approx(1.0)
+        assert hist.estimate_quantile(0.99) == pytest.approx(1.0)
+
+    def test_interpolation_across_buckets(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "repro_q_seconds", buckets=(0.1, 0.2, 0.4, 1.0)
+        )
+        for value in (0.05, 0.15, 0.15, 0.3):
+            hist.observe(value)
+        # p50: rank 2.0 → cumulative hits 3 in the (0.1, 0.2] bucket;
+        # one of rank inside a bucket holding two observations.
+        p50 = hist.estimate_quantile(0.5)
+        assert 0.1 < p50 <= 0.2
+        p99 = hist.estimate_quantile(0.99)
+        assert 0.2 < p99 <= 0.4
+        assert hist.estimate_quantile(0.5) <= hist.estimate_quantile(0.95)
+        with pytest.raises(ValueError):
+            hist.estimate_quantile(1.5)
+
+    def test_quantiles_in_snapshot_and_exposition(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "repro_q_seconds", "Quantiled.", buckets=(0.1, 1.0)
+        )
+        hist.observe(0.05)
+        snapshot = registry.snapshot()
+        quantiles = snapshot["repro_q_seconds"]["values"][0]["quantiles"]
+        assert set(quantiles) == {"p50", "p95", "p99"}
+        assert all(q is not None for q in quantiles.values())
+        text = registry.to_prometheus()
+        assert validate_prometheus(text) == []
+        assert "repro_q_seconds_p50" in text
+        assert "repro_q_seconds_p99" in text
+
+    def test_labeled_quantiles(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "repro_q_seconds", buckets=(0.1, 1.0), labels=("view",)
+        )
+        hist.observe(0.05, view="hop")
+        assert hist.estimate_quantile(0.5, view="hop") is not None
+        assert hist.estimate_quantile(0.5, view="other") is None
+
+
+class TestLabelCardinalityGuard:
+    def test_cap_drops_new_labelsets_and_counts_them(self):
+        registry = MetricsRegistry(max_labelsets=2)
+        counter = registry.counter("repro_c_total", labels=("view",))
+        counter.inc(view="a")
+        counter.inc(view="b")
+        counter.inc(view="c")  # dropped: third distinct labelset
+        assert counter.value(view="a") == 1
+        assert counter.value(view="c") == 0
+        dropped = registry.get("repro_metrics_dropped_labelsets")
+        assert dropped.value(metric="repro_c_total") == 1
+
+    def test_existing_labelsets_still_update_past_the_cap(self):
+        registry = MetricsRegistry(max_labelsets=1)
+        gauge = registry.gauge("repro_g", labels=("view",))
+        gauge.set(1.0, view="a")
+        gauge.set(5.0, view="a")  # existing series: always admitted
+        gauge.inc(view="a")
+        assert gauge.value(view="a") == 6.0
+        gauge.set(9.0, view="b")  # new series: rejected
+        assert gauge.value(view="b") == 0.0
+
+    def test_histogram_observations_guarded(self):
+        registry = MetricsRegistry(max_labelsets=1)
+        hist = registry.histogram(
+            "repro_h_seconds", buckets=(1.0,), labels=("view",)
+        )
+        hist.observe(0.5, view="a")
+        hist.observe(0.5, view="b")  # dropped
+        assert hist.count(view="a") == 1
+        assert hist.count(view="b") == 0
+        assert registry.get("repro_metrics_dropped_labelsets").value(
+            metric="repro_h_seconds"
+        ) == 1
+
+    def test_warning_logged_once_per_family(self, caplog):
+        registry = MetricsRegistry(max_labelsets=1)
+        counter = registry.counter("repro_c_total", labels=("view",))
+        counter.inc(view="a")
+        with caplog.at_level(logging.WARNING, logger="repro.obs.metrics"):
+            counter.inc(view="b")
+            counter.inc(view="c")
+        warnings = [
+            r for r in caplog.records if "cardinality" in r.message
+        ]
+        assert len(warnings) == 1
+        assert registry.get("repro_metrics_dropped_labelsets").value(
+            metric="repro_c_total"
+        ) == 2
+
+    def test_unlabeled_metrics_unaffected(self):
+        registry = MetricsRegistry(max_labelsets=1)
+        counter = registry.counter("repro_plain_total")
+        counter.inc()
+        counter.inc()
+        assert counter.value() == 2
+
+    def test_uncapped_registry_admits_everything(self):
+        registry = MetricsRegistry(max_labelsets=None)
+        counter = registry.counter("repro_c_total", labels=("n",))
+        for index in range(2000):
+            counter.inc(n=str(index))
+        assert registry.get("repro_metrics_dropped_labelsets") is None
+
+    def test_invalid_cap_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry(max_labelsets=0)
+
+
+class TestRingTruncation:
+    def test_fresh_ring_not_truncated(self):
+        ring = RingSink(capacity=4)
+        tracer = Tracer(ring)
+        with tracer.span("pass", "apply"):
+            pass
+        assert not ring.truncated
+        assert ring.dropped == 0
+
+    def test_wraparound_sets_truncated_and_counts_dropped(self):
+        ring = RingSink(capacity=3)
+        tracer = Tracer(ring)
+        for index in range(5):
+            with tracer.span("rule", f"r{index}"):
+                pass
+        assert ring.truncated
+        assert ring.dropped == 2
+        assert [e["name"] for e in ring.events] == ["r2", "r3", "r4"]
+
+    def test_clear_resets_truncation(self):
+        ring = RingSink(capacity=1)
+        tracer = Tracer(ring)
+        for _ in range(3):
+            with tracer.span("rule", "r"):
+                pass
+        assert ring.truncated
+        ring.clear()
+        assert not ring.truncated
+        assert ring.dropped == 0
+        assert len(ring) == 0
+
+
 # ------------------------------------------------------- engine integration
 
 
