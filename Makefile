@@ -7,13 +7,13 @@ PYTEST := env PYTHONPATH=src $(PYTHON) -m pytest
 TIMEOUT ?= timeout
 
 .PHONY: check test test-fast test-faults test-soak bench-smoke obs-smoke \
-	guard-smoke mvcc-smoke lint-smoke bf-smoke health-smoke lint ruff \
-	pylint
+	guard-smoke mvcc-smoke lint-smoke bf-smoke health-smoke \
+	orchestrator-smoke lint ruff pylint
 
 # The default gate: the whole suite plus the benchmark, observability,
 # guardrail and static-analysis smoke runs.
 check: test bench-smoke obs-smoke guard-smoke mvcc-smoke lint-smoke \
-	bf-smoke health-smoke
+	bf-smoke health-smoke orchestrator-smoke
 
 # The tier-1 gate: everything, fail fast.
 test:
@@ -87,6 +87,17 @@ bf-smoke:
 # exemplars, and `repro top --once` renders every dashboard section.
 health-smoke:
 	env PYTHONPATH=src $(PYTHON) -m repro.obs.health_smoke
+
+# Orchestrator acceptance at toy scale: a fault drill on a 3-level DAG
+# under a virtual clock — injected failures quarantine exactly their
+# isolation cone while siblings keep refreshing, quarantined views
+# serve their last committed MVCC epoch with staleness stamps, the
+# recovery probe heals the cone and drains the backlog, target_lag /
+# DOWNSTREAM batching holds, and every view matches the recompute
+# oracle.  (The scheduler-overhead benchmark with the <5% gate is
+# `python benchmarks/bench_orchestrator.py` -> BENCH_orchestrator.json.)
+orchestrator-smoke:
+	env PYTHONPATH=src $(PYTHON) -m repro.orchestrator.smoke
 
 # Lint an arbitrary program: make lint FILE=path/to/views.dl
 lint:

@@ -94,6 +94,18 @@ commands:
 """
 
 
+def parse_ground_atom(text: str) -> Tuple[str, tuple]:
+    """Parse ``p(a, b)`` into ``("p", ("a", "b"))``; rejects variables."""
+    text = text.strip()
+    if not text.endswith("."):
+        text += "."
+    fact = parse_rule(text)
+    if not fact.is_fact or fact.head.variables():
+        raise ReproError(f"expected a ground fact, got {text!r}")
+    row = tuple(arg.evaluate({}) for arg in fact.head.args)
+    return fact.head.predicate, row
+
+
 def split_program(program: Program) -> Tuple[Program, List[Rule]]:
     """Separate seed facts from proper rules.
 
@@ -336,14 +348,7 @@ class Shell:
     # ------------------------------------------------------------- commands
 
     def _parse_ground_atom(self, text: str) -> Tuple[str, tuple]:
-        text = text.strip()
-        if not text.endswith("."):
-            text += "."
-        fact = parse_rule(text)
-        if not fact.is_fact or fact.head.variables():
-            raise ReproError(f"expected a ground fact, got {text!r}")
-        row = tuple(arg.evaluate({}) for arg in fact.head.args)
-        return fact.head.predicate, row
+        return parse_ground_atom(text)
 
     def _stage(self, text: str, insert: bool) -> str:
         predicate, row = self._parse_ground_atom(text)
@@ -895,6 +900,266 @@ def snapshot_main(argv: List[str]) -> int:
     return 0
 
 
+ORCHESTRATE_HELP = """\
+commands:
+  + p(v, ...)     stage an insertion into a source relation p
+  - p(v, ...)     stage a deletion from a source relation p
+  commit          ingest staged changes (nodes refresh on 'tick')
+  tick [N]        run N scheduling cycles over the DAG (default 1)
+  refresh NODE    force one refresh of NODE (on-demand nodes, probes)
+  read VIEW [serve|reject|snapshot]  read a view through the
+                  degradation contract (default: the --strict-reads mode)
+  suspend NODE    pause NODE and its whole downstream cone
+  resume NODE     undo a suspend (backlogs drain on the next tick)
+  revive NODE     bring a DEAD node back into scheduling
+  status          per-node state, lag vs target, retries, cones
+  status --json   the same, as a schema-validated JSON document
+  top             one dashboard frame of the DAG section
+  check           verify every view against the DAG recompute oracle
+  help            this text
+  quit            exit
+"""
+
+
+class OrchestrateShell:
+    """Command shell over one :class:`~repro.orchestrator.Orchestrator`.
+
+    Same contract as :class:`Shell`: consumes command strings, returns
+    display strings; ``orchestrate_main`` wires it to argv/stdin.
+    """
+
+    def __init__(
+        self,
+        spec: str,
+        strict_reads: str = "serve",
+        slos=None,
+        seed: Optional[int] = None,
+    ) -> None:
+        from repro.obs.metrics import MetricsRegistry
+        from repro.orchestrator import Orchestrator
+
+        self.metrics = MetricsRegistry()
+        self.orchestrator = Orchestrator.from_spec(
+            spec,
+            strict_reads=strict_reads,
+            metrics=self.metrics,
+            seed=seed,
+        )
+        if slos is not None:
+            self.orchestrator.attach_health(slos, sinks=[LogAlertSink()])
+        self.pending = Changeset()
+        self.done = False
+
+    def execute(self, line: str) -> str:
+        line = line.strip()
+        if not line or line.startswith("%") or line.startswith("#"):
+            return ""
+        try:
+            return self._dispatch(line)
+        except ReproError as exc:
+            return f"error: {exc}"
+
+    def _dispatch(self, line: str) -> str:
+        orch = self.orchestrator
+        if line in ("quit", "exit"):
+            self.done = True
+            return "bye"
+        if line == "help":
+            return ORCHESTRATE_HELP
+        if line.startswith("+ "):
+            predicate, row = parse_ground_atom(line[2:])
+            self.pending.insert(predicate, row)
+            return f"staged: insert {predicate}{row}"
+        if line.startswith("- "):
+            predicate, row = parse_ground_atom(line[2:])
+            self.pending.delete(predicate, row)
+            return f"staged: delete {predicate}{row}"
+        if line == "commit":
+            if self.pending.is_empty():
+                return "nothing staged"
+            orch.ingest(self.pending)
+            routed = len(self.pending.relations())
+            self.pending = Changeset()
+            return f"ingested {routed} relation delta(s); 'tick' to refresh"
+        if line == "tick" or line.startswith("tick "):
+            count = line[len("tick"):].strip()
+            ticks = int(count) if count else 1
+            lines = []
+            for _ in range(ticks):
+                report = orch.tick()
+                lines.append(
+                    f"tick {report.tick}: "
+                    f"refreshed {report.refreshed or '-'}  "
+                    f"failed {report.failed or '-'}  "
+                    f"probed {report.probed or '-'}"
+                )
+            return "\n".join(lines)
+        if line.startswith("refresh "):
+            name = line[len("refresh "):].strip()
+            report = orch.refresh_now(name)
+            if report is None:
+                return f"refresh of {name!r} failed; cone quarantined"
+            return (
+                f"refreshed {name} in {report.seconds * 1e3:.1f} ms "
+                f"[{report.strategy}]"
+            )
+        if line.startswith("read "):
+            parts = line[len("read "):].split()
+            strict = parts[1] if len(parts) > 1 else None
+            return self._read(parts[0], strict)
+        if line.startswith("suspend "):
+            cone = orch.suspend(line[len("suspend "):].strip())
+            return f"suspended cone: {', '.join(cone)}"
+        if line.startswith("resume "):
+            resumed = orch.resume(line[len("resume "):].strip())
+            return f"resumed: {', '.join(resumed) or '(nothing)'}"
+        if line.startswith("revive "):
+            name = line[len("revive "):].strip()
+            orch.revive(name)
+            return f"revived {name}; next probe retries it"
+        if line == "status":
+            from repro.obs.top import orchestrator_lines
+
+            return "\n".join(orchestrator_lines(orch.status(), color=False))
+        if line == "status --json":
+            return json.dumps(orch.status(), indent=2, sort_keys=True)
+        if line == "top":
+            from repro.obs.top import orchestrator_lines
+
+            header = f"repro orchestrate — tick {orch.ticks}"
+            return "\n".join(
+                [header] + orchestrator_lines(orch.status(), color=False)
+            )
+        if line == "check":
+            behind = orch.check_convergence()
+            if behind:
+                return (
+                    "drained views consistent with the DAG recompute "
+                    f"oracle ✔ (skipped behind nodes: {', '.join(behind)}"
+                    " — tick or refresh them first for full coverage)"
+                )
+            return "every view consistent with the DAG recompute oracle ✔"
+        return f"unknown command: {line!r} (try 'help')"
+
+    def _read(self, view: str, strict: Optional[str]) -> str:
+        relation = self.orchestrator.read(view, strict=strict)
+        lines = []
+        staleness = getattr(relation, "staleness", None)
+        if staleness is not None:
+            epoch = getattr(relation, "epoch", None)
+            lines.append(
+                f"(epoch {epoch}; {staleness['state']}, "
+                f"{staleness['changesets']} changeset(s) / "
+                f"{staleness['seconds']:.1f}s behind)"
+            )
+        if not relation:
+            lines.append(f"{view} is empty")
+            return "\n".join(lines)
+        for row, count in sorted(
+            relation.items(), key=lambda item: repr(item[0])
+        ):
+            suffix = f"  ×{count}" if count != 1 else ""
+            lines.append(f"{view}{row}{suffix}")
+        return "\n".join(lines)
+
+
+def orchestrate_main(argv: List[str]) -> int:
+    """``python -m repro orchestrate`` — drive a DAG of dynamic tables.
+
+    Loads a JSON DAG spec (see ``docs/orchestration.md``) and opens the
+    orchestration shell.  Exit status: 0 on clean exit, 1 on a bad spec
+    or SLO file, 2 on I/O errors.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro orchestrate",
+        description=(
+            "Refresh a DAG of materialized views with per-view lag "
+            "targets, bounded retries, failure isolation cones, and "
+            "stale serving from the last committed MVCC epoch.  The "
+            "spec is a JSON object: {\"views\": [{\"name\", \"source\", "
+            "\"target_lag\", \"policy\"}...], \"default_policy\": {...}}."
+        ),
+        epilog=(
+            "The DAG model, policies, and the upstream-failure runbook "
+            "are documented in docs/orchestration.md and "
+            "docs/operations.md."
+        ),
+    )
+    parser.add_argument(
+        "spec", help="JSON DAG spec file ('-' reads stdin)"
+    )
+    parser.add_argument(
+        "--strict-reads",
+        default="serve",
+        choices=["serve", "reject", "snapshot"],
+        help="what 'read' serves for a degraded view: live state "
+        "(serve, default), StaleViewError (reject), or the last "
+        "committed MVCC epoch with staleness stamps (snapshot)",
+    )
+    parser.add_argument(
+        "--slo",
+        metavar="PATH",
+        help="JSON SLO spec; each SLO's view field names a DAG node "
+        "(alerts reach the structured log)",
+    )
+    parser.add_argument(
+        "--seed", type=int, help="seed for the retry-jitter schedule"
+    )
+    parser.add_argument(
+        "--log-level",
+        default="WARNING",
+        choices=["DEBUG", "INFO", "WARNING", "ERROR"],
+    )
+    args = parser.parse_args(argv)
+    configure_logging(level=args.log_level)
+
+    if args.spec == "-":
+        spec = sys.stdin.read()
+    else:
+        try:
+            with open(args.spec, "r", encoding="utf-8") as handle:
+                spec = handle.read()
+        except OSError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    slos = None
+    if args.slo:
+        try:
+            with open(args.slo, "r", encoding="utf-8") as handle:
+                slos = load_slos(handle.read())
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            print(f"error: bad SLO spec {args.slo}: {exc}", file=sys.stderr)
+            return 1
+    try:
+        shell = OrchestrateShell(
+            spec,
+            strict_reads=args.strict_reads,
+            slos=slos,
+            seed=args.seed,
+        )
+    except (ReproError, ValueError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+    interactive = sys.stdin.isatty() and args.spec != "-"
+    while not shell.done:
+        if interactive:
+            try:
+                line = input("orchestrate> ")
+            except EOFError:
+                break
+        else:
+            line = sys.stdin.readline()
+            if not line:
+                break
+        output = shell.execute(line)
+        if output:
+            print(output)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     import argparse
 
@@ -903,6 +1168,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return lint_main(argv[1:])
     if argv and argv[0] == "snapshot":
         return snapshot_main(argv[1:])
+    if argv and argv[0] == "orchestrate":
+        return orchestrate_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.errors import MaintenanceError
+from repro.resilience.backoff import Backoff
 from repro.storage.changeset import Changeset
 from repro.storage.relation import CountedRelation
 
@@ -167,7 +168,15 @@ class SubscriptionHub:
         delta: CountedRelation,
         epoch: Optional[int] = None,
     ) -> None:
-        delay = self.backoff_seconds
+        # One shared schedule implementation (repro.resilience.backoff);
+        # built per delivery so runtime mutation of backoff_seconds /
+        # jitter (tests zero them for speed) keeps taking effect.
+        backoff = Backoff(
+            self.backoff_seconds,
+            jitter=self.jitter,
+            rng=self._rng,
+            sleep=self._sleep,
+        )
         for attempt in range(1, self.max_attempts + 1):
             try:
                 if subscription.wants_epoch:
@@ -195,11 +204,8 @@ class SubscriptionHub:
                         attempt=attempt,
                         error=str(exc),
                     )
-                if attempt < self.max_attempts and delay > 0:
-                    self._sleep(
-                        delay * (1.0 + self.jitter * self._rng.random())
-                    )
-                    delay *= 2
+                if attempt < self.max_attempts:
+                    backoff.pause(attempt)
         logger.warning(
             "subscriber %d on view %r dead-lettered after %d attempts: %s",
             subscription.token, view, self.max_attempts, error,

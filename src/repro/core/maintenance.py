@@ -65,6 +65,7 @@ from repro.eval.rule_eval import Resolver
 from repro.eval.stratified import Semantics, materialize
 from repro.obs.metrics import MetricsRegistry, get_default_registry
 from repro.obs.trace import Tracer
+from repro.resilience.backoff import Backoff
 from repro.resilience.faults import FaultInjector
 from repro.resilience.shadow import UndoLog
 from repro.storage.changeset import Changeset
@@ -680,7 +681,11 @@ class ViewMaintainer:
         """
         policy = self.guard.policy
         attempts = max(1, policy.journal_retry_attempts)
-        delay = policy.journal_retry_base_seconds
+        backoff = Backoff(
+            policy.journal_retry_base_seconds,
+            jitter=policy.journal_retry_jitter,
+            rng=self.guard.rng,
+        )
         mvcc = self.database.mvcc
         # The append precedes the epoch flip, so the entry carries the
         # epoch this pass is *about to* publish — recovery replays land
@@ -710,13 +715,7 @@ class ViewMaintainer:
                     "journal append failed (%s); retry %d/%d",
                     exc, attempt, attempts - 1,
                 )
-                if delay > 0:
-                    time.sleep(
-                        delay
-                        * (1.0 + policy.journal_retry_jitter
-                           * self.guard.rng.random())
-                    )
-                    delay *= 2
+                backoff.pause(attempt)
 
     # ------------------------------------------------------ guard envelope
 

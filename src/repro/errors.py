@@ -178,3 +178,15 @@ class DivergenceError(MaintenanceError):
       recursive views, so the recursive-counting extension bounds its
       iteration and raises this error when the bound trips.
     """
+
+
+class OrchestrationError(MaintenanceError):
+    """A multi-view DAG declaration or command cannot be honoured.
+
+    Examples: two nodes exporting the same view predicate, a dependency
+    cycle between nodes, ingesting into a relation no node consumes,
+    suspending or reviving a node that does not exist.  Refresh
+    *failures* are not reported through exceptions — the orchestrator
+    contains them as quarantined cones (see
+    :mod:`repro.orchestrator.scheduler`).
+    """

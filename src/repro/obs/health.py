@@ -307,6 +307,10 @@ class HealthEngine:
         self.passes_evaluated = 0
         self.alerts_fired = 0
         self.alerts_cleared = 0
+        #: Alerts swallowed because a sink raised (never the pass's
+        #: problem); ``_broken_sinks`` keeps the once-per-sink log quiet.
+        self.alerts_dropped = 0
+        self._broken_sinks: set = set()
 
     @property
     def slos(self) -> List[SLO]:
@@ -399,8 +403,36 @@ class HealthEngine:
             ("view", "objective", "event"),
         ).inc(view=slo.view, objective=slo.objective, event=event)
         for sink in self.sinks:
-            sink.emit(alert)
+            self._dispatch(sink, alert)
         return alert
+
+    def _dispatch(self, sink: object, alert: Dict[str, object]) -> None:
+        """Hand ``alert`` to one sink, isolated.
+
+        A user-supplied sink that raises (a closed file, a paging
+        webhook timing out, a buggy callback) must never abort the
+        maintenance pass that produced the alert — the pass already
+        committed, and alerting is strictly an observer.  The drop is
+        counted (``repro_alerts_dropped_total``) and logged once per
+        sink so a persistently broken sink can't flood the log.
+        """
+        try:
+            sink.emit(alert)
+        except Exception as exc:  # noqa: BLE001 — isolation is the point
+            self.alerts_dropped += 1
+            self.metrics.counter(
+                "repro_alerts_dropped_total",
+                "SLO alerts dropped because an alert sink raised.",
+                labels=("sink",),
+            ).inc(sink=type(sink).__name__)
+            if id(sink) not in self._broken_sinks:
+                self._broken_sinks.add(id(sink))
+                logger.warning(
+                    "alert sink %s raised (%s: %s); alerts to it will be "
+                    "dropped silently from now on (counted in "
+                    "repro_alerts_dropped_total)",
+                    type(sink).__name__, type(exc).__name__, exc,
+                )
 
     def _record_metrics(self, state: _SLOState) -> None:
         slo = state.slo
@@ -433,6 +465,7 @@ class HealthEngine:
             "alerts_active": self.alerts_active(),
             "alerts_fired": self.alerts_fired,
             "alerts_cleared": self.alerts_cleared,
+            "alerts_dropped": self.alerts_dropped,
             "slos": [state.to_dict() for state in self._states.values()],
         }
 

@@ -21,6 +21,7 @@ __all__ = [
     "validate_prometheus",
     "validate_status",
     "validate_profile_report",
+    "validate_orchestrator",
     "span_tree_paths",
 ]
 
@@ -252,6 +253,7 @@ _STATUS_OPTIONAL = {
     "mvcc": dict,
     "plan_cache": dict,
     "divergence": str,
+    "orchestrator": dict,
 }
 
 #: Required top-level counts (ints, not bools).
@@ -345,11 +347,115 @@ def validate_status(doc: object) -> List[str]:
             if not isinstance(slo.get("slos"), list):
                 problems.append("status: health.slo.slos must be a list")
             for key in ("alerts_active", "alerts_fired", "alerts_cleared",
-                        "passes_evaluated"):
+                        "alerts_dropped", "passes_evaluated"):
                 if not _is_int(slo.get(key)):
                     problems.append(
                         f"status: health.slo.{key} must be an int"
                     )
+
+    orchestrator = doc.get("orchestrator")
+    if orchestrator is not None:
+        problems += [
+            f"status: {p}" for p in validate_orchestrator(orchestrator)
+        ]
+    return problems
+
+
+#: Every state a DAG node may report (repro.orchestrator.state.STATES).
+_ORCH_NODE_STATES = (
+    "DEAD", "SUSPENDED", "QUARANTINED", "REFRESHING", "FRESH"
+)
+
+#: Per-view count fields in the orchestrator block.
+_ORCH_VIEW_COUNTS = (
+    "pending", "refreshes", "retries", "failures", "consecutive_failures"
+)
+
+#: Per-view list-of-node-names fields.
+_ORCH_VIEW_LISTS = ("quarantined_by", "suspended_by", "upstream", "exports")
+
+
+def validate_orchestrator(doc: object) -> List[str]:
+    """Structural problems in an ``orchestrator`` status block.
+
+    The block is produced by
+    :meth:`repro.orchestrator.scheduler.Orchestrator.status` and
+    embedded under the ``orchestrator`` key of ``status --json``.
+    """
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["orchestrator block is not an object"]
+    if not _is_int(doc.get("ticks")) or doc["ticks"] < 0:
+        problems.append("orchestrator: ticks must be a count")
+    if not _is_int(doc.get("alerts_active")) or doc["alerts_active"] < 0:
+        problems.append("orchestrator: alerts_active must be a count")
+    views = doc.get("views")
+    if not isinstance(views, dict) or not views:
+        problems.append("orchestrator: views must be a non-empty object")
+        views = {}
+    for key in ("quarantined", "suspended", "dead"):
+        names = doc.get(key)
+        if not isinstance(names, list) or not all(
+            isinstance(n, str) for n in names
+        ):
+            problems.append(
+                f"orchestrator: {key} must be a list of node names"
+            )
+        else:
+            unknown = [n for n in names if n not in views]
+            if unknown:
+                problems.append(
+                    f"orchestrator: {key} names unknown nodes {unknown}"
+                )
+    known = {
+        "ticks", "views", "quarantined", "suspended", "dead",
+        "alerts_active",
+    }
+    for key in doc:
+        if key not in known:
+            problems.append(
+                f"orchestrator: unknown key {key!r} "
+                "(extend the schema in repro.obs.schema)"
+            )
+    for name, view in views.items():
+        prefix = f"orchestrator: views.{name}"
+        if not isinstance(view, dict):
+            problems.append(f"{prefix} must be an object")
+            continue
+        if view.get("state") not in _ORCH_NODE_STATES:
+            problems.append(
+                f"{prefix}.state is {view.get('state')!r}; expected one "
+                f"of {_ORCH_NODE_STATES}"
+            )
+        for key in _ORCH_VIEW_COUNTS:
+            if not _is_int(view.get(key)) or view[key] < 0:
+                problems.append(f"{prefix}.{key} must be a count")
+        if not _is_number(view.get("lag_seconds")) or view["lag_seconds"] < 0:
+            problems.append(f"{prefix}.lag_seconds must be a number >= 0")
+        target = view.get("target_lag", 0)
+        if target is not None and target != "downstream" and not (
+            _is_number(target) and target >= 0
+        ):
+            problems.append(
+                f"{prefix}.target_lag must be seconds, 'downstream', "
+                f"or null; got {target!r}"
+            )
+        effective = view.get("effective_lag")
+        if effective is not None and not (
+            _is_number(effective) and effective >= 0
+        ):
+            problems.append(
+                f"{prefix}.effective_lag must be seconds or null"
+            )
+        for key in _ORCH_VIEW_LISTS:
+            value = view.get(key)
+            if not isinstance(value, list) or not all(
+                isinstance(item, str) for item in value
+            ):
+                problems.append(f"{prefix}.{key} must be a list of names")
+        error = view.get("last_error")
+        if error is not None and not isinstance(error, str):
+            problems.append(f"{prefix}.last_error must be a string or null")
     return problems
 
 

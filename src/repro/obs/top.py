@@ -19,7 +19,7 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional
 
-__all__ = ["top_frame", "ANSI_CLEAR"]
+__all__ = ["top_frame", "orchestrator_lines", "ANSI_CLEAR"]
 
 #: Home the cursor and clear: the whole "screen library" we need.
 ANSI_CLEAR = "\x1b[H\x1b[2J"
@@ -125,17 +125,75 @@ def _profiler_lines(maintainer) -> List[str]:
     return lines
 
 
+_NODE_STATE_COLOR = {
+    "FRESH": _GREEN,
+    "REFRESHING": _GREEN,
+    "QUARANTINED": _YELLOW,
+    "SUSPENDED": _DIM,
+    "DEAD": _RED,
+}
+
+
+def _lag_cell(view: Dict[str, object]) -> str:
+    """``lag vs target`` for one node row (both sides may be unset)."""
+    lag = f"{view['lag_seconds']:.1f}s"
+    target = view.get("effective_lag")
+    if target is None:
+        return f"{lag}/on-demand"
+    return f"{lag}/{target:.0f}s"
+
+
+def orchestrator_lines(status: Dict[str, object], color: bool) -> List[str]:
+    """The DAG section of the dashboard, from ``Orchestrator.status()``.
+
+    One row per node in topological order: derived state, lag vs the
+    resolved target, pending backlog, refresh/retry/failure counters,
+    and who quarantined or suspended it.
+    """
+    views: Dict[str, Dict[str, object]] = status["views"]
+    lines = [
+        f"  {'node':<12} {'state':<12} {'lag/target':>14} {'pend':>5} "
+        f"{'refr':>5} {'retry':>5} {'fail':>5}  blocked by"
+    ]
+    for name, view in views.items():
+        state = str(view["state"])
+        blockers = sorted(
+            set(view["quarantined_by"]) | set(view["suspended_by"])
+        )
+        blocked = ", ".join(b for b in blockers if b != name) or "-"
+        lines.append(
+            f"  {name:<12.12} "
+            + _paint(
+                f"{state:<12}", _NODE_STATE_COLOR.get(state, _RED), color
+            )
+            + f" {_lag_cell(view):>14} {view['pending']:>5} "
+            f"{view['refreshes']:>5} {view['retries']:>5} "
+            f"{view['failures']:>5}  {blocked}"
+        )
+    summary = (
+        f"  tick {status['ticks']}: "
+        f"{len(status['quarantined'])} quarantined, "
+        f"{len(status['suspended'])} suspended, "
+        f"{len(status['dead'])} dead, "
+        f"{status['alerts_active']} alert(s) active"
+    )
+    lines.append(summary)
+    return lines
+
+
 def top_frame(
     maintainer,
     pending=None,
     color: bool = True,
     clock: Optional[float] = None,
+    orchestrator=None,
 ) -> str:
     """Render one dashboard frame for ``maintainer`` as a string.
 
     ``pending`` is the CLI's staged changeset (or None); ``clock``
-    overrides the timestamp (tests).  Pure read: no recompute, no
-    consistency check.
+    overrides the timestamp (tests); ``orchestrator`` is an
+    :class:`~repro.orchestrator.scheduler.Orchestrator` whose DAG gets
+    its own section.  Pure read: no recompute, no consistency check.
     """
     now = clock if clock is not None else time.time()
     lifetime = maintainer.lifetime
@@ -146,6 +204,10 @@ def top_frame(
         f"busy={lifetime.seconds:.3f}s"
     )
     lines = [_paint(header, _BOLD, color)]
+
+    if orchestrator is not None:
+        lines.append(_paint("orchestrator (DAG)", _DIM, color))
+        lines.extend(orchestrator_lines(orchestrator.status(), color))
 
     lines.append(_paint("health (SLOs)", _DIM, color))
     lines.extend(_slo_lines(maintainer, color))

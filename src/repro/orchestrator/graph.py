@@ -1,0 +1,222 @@
+"""The dynamic-table DAG: view nodes wired by what they consume.
+
+Section 1 motivates view maintenance with *"views may be materialized
+to speed up query processing"* — and real deployments materialize views
+**over other materialized views**: a normalizing layer feeds a join
+layer feeds an aggregate layer.  This module declares that shape.  A
+:class:`ViewNode` is one Datalog program with a refresh target
+(``target_lag``); :class:`DependencyGraph` infers the edges by matching
+each node's base (EDB) predicates against the views other nodes export,
+checks the result is a DAG, and fixes the topological refresh order the
+scheduler walks every tick.
+
+Lag targets follow the dynamic-table model: a number is seconds of
+acceptable staleness (``0`` = refresh as soon as anything is pending),
+:data:`DOWNSTREAM` inherits the tightest lag of the node's consumers
+(a node nobody consumes becomes on-demand), and ``None`` is explicitly
+on-demand (only :meth:`Orchestrator.refresh_now` touches it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.datalog.ast import Program
+from repro.datalog.parser import parse_program
+from repro.errors import OrchestrationError
+
+__all__ = ["DOWNSTREAM", "ViewNode", "DependencyGraph"]
+
+#: Sentinel ``target_lag``: inherit the tightest lag of the downstream
+#: consumers (Snowflake's ``TARGET_LAG = DOWNSTREAM``).
+DOWNSTREAM = "downstream"
+
+#: What a ``target_lag`` may be: seconds, the DOWNSTREAM sentinel, or
+#: ``None`` for on-demand.
+TargetLag = Union[float, int, str, None]
+
+
+@dataclass(frozen=True)
+class ViewNode:
+    """One dynamic table: a Datalog program plus a refresh target.
+
+    ``policy`` overrides the orchestrator's default
+    :class:`~repro.orchestrator.policy.RefreshPolicy` for this node
+    (``None``: inherit).  The node's *exports* are its user-visible view
+    predicates; its *inputs* are its EDB predicates — each input is
+    either fed by another node that exports it (a DAG edge) or is a
+    source relation fed by :meth:`Orchestrator.ingest`.
+    """
+
+    name: str
+    source: str
+    target_lag: TargetLag = 0.0
+    policy: Optional[object] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise OrchestrationError("view node needs a non-empty name")
+        lag = self.target_lag
+        if isinstance(lag, str) and lag != DOWNSTREAM:
+            raise OrchestrationError(
+                f"node {self.name}: target_lag must be seconds, "
+                f"{DOWNSTREAM!r}, or None; got {lag!r}"
+            )
+        if isinstance(lag, (int, float)) and not isinstance(lag, bool):
+            if lag < 0:
+                raise OrchestrationError(
+                    f"node {self.name}: target_lag must be >= 0, got {lag}"
+                )
+
+
+class DependencyGraph:
+    """Nodes plus inferred edges, validated acyclic, in refresh order.
+
+    * :attr:`order` — deterministic topological order (Kahn's algorithm,
+      name tiebreak), the order :meth:`Orchestrator.tick` walks.
+    * :attr:`producer_of` — view predicate → exporting node name.
+    * :attr:`source_relations` — EDB predicates no node exports, keyed
+      to their consuming nodes: the ingest surface.
+    """
+
+    def __init__(self, nodes: Sequence[ViewNode]) -> None:
+        if not nodes:
+            raise OrchestrationError("a DAG needs at least one view node")
+        self.nodes: Dict[str, ViewNode] = {}
+        self.programs: Dict[str, Program] = {}
+        for node in nodes:
+            if node.name in self.nodes:
+                raise OrchestrationError(
+                    f"duplicate node name {node.name!r}"
+                )
+            self.nodes[node.name] = node
+            self.programs[node.name] = parse_program(node.source)
+
+        #: view predicate -> node that exports it (unique by contract).
+        self.producer_of: Dict[str, str] = {}
+        for name, program in self.programs.items():
+            for view in sorted(program.idb_predicates):
+                owner = self.producer_of.get(view)
+                if owner is not None:
+                    raise OrchestrationError(
+                        f"view {view!r} is exported by both {owner!r} "
+                        f"and {name!r}; each view needs one producer"
+                    )
+                self.producer_of[view] = name
+
+        #: node -> upstream node names (deduplicated, sorted).
+        self.upstream: Dict[str, Tuple[str, ...]] = {}
+        #: node -> direct downstream node names.
+        self.downstream: Dict[str, List[str]] = {n: [] for n in self.nodes}
+        #: source relation -> consuming node names (the ingest surface).
+        self.source_relations: Dict[str, List[str]] = {}
+        for name, program in self.programs.items():
+            ups: Set[str] = set()
+            for pred in sorted(program.edb_predicates):
+                producer = self.producer_of.get(pred)
+                if producer is None:
+                    self.source_relations.setdefault(pred, []).append(name)
+                elif producer == name:
+                    raise OrchestrationError(
+                        f"node {name!r} consumes its own export {pred!r}"
+                    )
+                else:
+                    ups.add(producer)
+            self.upstream[name] = tuple(sorted(ups))
+            for up in sorted(ups):
+                self.downstream[up].append(name)
+
+        self.order: Tuple[str, ...] = self._topo_order()
+        self._cones: Dict[str, FrozenSet[str]] = {}
+
+    # ------------------------------------------------------------ structure
+
+    def _topo_order(self) -> Tuple[str, ...]:
+        indegree = {n: len(self.upstream[n]) for n in self.nodes}
+        ready = sorted(n for n, d in indegree.items() if d == 0)
+        order: List[str] = []
+        while ready:
+            name = ready.pop(0)
+            order.append(name)
+            inserted = False
+            for down in self.downstream[name]:
+                indegree[down] -= 1
+                if indegree[down] == 0:
+                    ready.append(down)
+                    inserted = True
+            if inserted:
+                ready.sort()
+        if len(order) != len(self.nodes):
+            stuck = sorted(n for n, d in indegree.items() if d > 0)
+            raise OrchestrationError(
+                f"dependency cycle among nodes {stuck}; dynamic tables "
+                "must form a DAG"
+            )
+        return tuple(order)
+
+    def cone(self, name: str) -> FrozenSet[str]:
+        """``name`` plus every transitive consumer: the isolation cone.
+
+        When ``name`` fails, exactly this set is quarantined — siblings
+        outside the cone keep refreshing.
+        """
+        self._require(name)
+        cached = self._cones.get(name)
+        if cached is not None:
+            return cached
+        cone: Set[str] = set()
+        frontier = [name]
+        while frontier:
+            current = frontier.pop()
+            if current in cone:
+                continue
+            cone.add(current)
+            frontier.extend(self.downstream[current])
+        self._cones[name] = frozenset(cone)
+        return self._cones[name]
+
+    def inputs_of(self, name: str) -> FrozenSet[str]:
+        """Every EDB predicate of ``name`` (source + upstream-fed)."""
+        self._require(name)
+        return self.programs[name].edb_predicates
+
+    def exports_of(self, name: str) -> FrozenSet[str]:
+        """Every view predicate ``name`` materializes."""
+        self._require(name)
+        return self.programs[name].idb_predicates
+
+    def _require(self, name: str) -> None:
+        if name not in self.nodes:
+            raise OrchestrationError(
+                f"no view node named {name!r}; nodes: "
+                f"{sorted(self.nodes)}"
+            )
+
+    # ---------------------------------------------------------- lag targets
+
+    def effective_lag(self, name: str) -> Optional[float]:
+        """The resolved lag target of ``name`` in seconds.
+
+        ``DOWNSTREAM`` resolves to the minimum effective lag of the
+        direct consumers (computed over the reverse topological order,
+        so chained DOWNSTREAM declarations collapse correctly);
+        ``None`` means on-demand — the scheduler never auto-refreshes.
+        """
+        self._require(name)
+        return self._effective_lags()[name]
+
+    def _effective_lags(self) -> Dict[str, Optional[float]]:
+        resolved: Dict[str, Optional[float]] = {}
+        for name in reversed(self.order):
+            lag = self.nodes[name].target_lag
+            if lag == DOWNSTREAM:
+                inherited = [
+                    resolved[down]
+                    for down in self.downstream[name]
+                    if resolved[down] is not None
+                ]
+                resolved[name] = min(inherited) if inherited else None
+            else:
+                resolved[name] = float(lag) if lag is not None else None
+        return resolved

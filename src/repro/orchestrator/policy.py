@@ -1,0 +1,116 @@
+"""Per-view refresh policies: timeout, retries, death, and probing.
+
+A refresh attempt can fail three ways — an injected or real fault
+mid-pass (the shadow commit already rolled the node back), a breached
+per-attempt deadline (:class:`~repro.errors.BudgetExceeded` via the
+node's guard), or a non-transient bug.  The policy says how hard to
+try before giving up: ``max_attempts`` bounded retries with jittered
+exponential backoff (one shared :class:`~repro.resilience.backoff.Backoff`
+schedule), which exception types are worth retrying, how many
+*consecutive failed refreshes* turn the node ``DEAD`` (dead-letter
+state, manual :meth:`~repro.orchestrator.scheduler.Orchestrator.revive`
+required), and how often the scheduler probes a quarantined cone root
+for recovery.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple, Type
+
+from repro.errors import BudgetExceeded
+from repro.resilience.backoff import Backoff
+from repro.resilience.faults import InjectedFault
+
+__all__ = ["RefreshPolicy", "DEFAULT_RETRY_ON"]
+
+#: Exception types a retry can plausibly outrun: transient injected
+#: faults (ops drills), I/O blips, and per-attempt deadline breaches.
+#: Anything else (divergence, schema violations) fails the refresh
+#: immediately — retrying a deterministic bug just burns the budget.
+DEFAULT_RETRY_ON: Tuple[Type[BaseException], ...] = (
+    OSError,
+    InjectedFault,
+    BudgetExceeded,
+)
+
+
+@dataclass(frozen=True)
+class RefreshPolicy:
+    """How one node's refresh behaves under failure.
+
+    * ``timeout_seconds`` — per-attempt wall-clock deadline, enforced by
+      the node's guard budget (``None``: unbounded).
+    * ``max_attempts`` — total tries per refresh (1 = no retries).
+    * ``backoff_seconds`` / ``backoff_factor`` / ``jitter`` /
+      ``max_backoff_seconds`` — the retry pause schedule.
+    * ``dead_after`` — consecutive failed *refreshes* (each already
+      ``max_attempts`` deep) before the node goes ``DEAD``.
+    * ``probe_every`` — scheduler ticks between recovery probes of a
+      quarantined cone root.
+    * ``retry_on`` — exception types worth retrying.
+    """
+
+    timeout_seconds: Optional[float] = None
+    max_attempts: int = 3
+    backoff_seconds: float = 0.01
+    backoff_factor: float = 2.0
+    jitter: float = 0.25
+    max_backoff_seconds: Optional[float] = None
+    dead_after: int = 3
+    probe_every: int = 2
+    retry_on: Tuple[Type[BaseException], ...] = DEFAULT_RETRY_ON
+
+    def __post_init__(self) -> None:
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ValueError(
+                f"timeout_seconds must be > 0, got {self.timeout_seconds}"
+            )
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.dead_after < 1:
+            raise ValueError(
+                f"dead_after must be >= 1, got {self.dead_after}"
+            )
+        if self.probe_every < 1:
+            raise ValueError(
+                f"probe_every must be >= 1, got {self.probe_every}"
+            )
+        # Backoff validates the schedule parameters; build one to fail
+        # fast on a bad policy instead of at first retry.
+        self.backoff(rng=random.Random(0), sleep=lambda _s: None)
+
+    def backoff(
+        self,
+        rng: Optional[random.Random] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> Backoff:
+        """The shared jittered-exponential schedule for this policy."""
+        return Backoff(
+            self.backoff_seconds,
+            factor=self.backoff_factor,
+            jitter=self.jitter,
+            max_seconds=self.max_backoff_seconds,
+            rng=rng,
+            sleep=sleep,
+        )
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RefreshPolicy":
+        """Build from a JSON-friendly dict (the DAG spec format)."""
+        known = {
+            "timeout_seconds", "max_attempts", "backoff_seconds",
+            "backoff_factor", "jitter", "max_backoff_seconds",
+            "dead_after", "probe_every",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown policy keys {sorted(unknown)}; "
+                f"known: {sorted(known)}"
+            )
+        return cls(**data)

@@ -1,0 +1,104 @@
+"""One node's refresh machinery: a maintainer, a guard, and retries.
+
+Each DAG node owns a private :class:`~repro.storage.database.Database`
+(MVCC on, so quarantined nodes can keep serving their last committed
+epoch) and a :class:`~repro.core.maintenance.ViewMaintainer` over it.
+The policy's ``timeout_seconds`` becomes the maintainer's guard budget
+with ``fallback="raise"`` — a slow attempt is *cancelled cooperatively*
+and rolled back by the shadow commit, then retried like any other
+transient failure.
+
+A refresh is all-or-nothing at the node level: every attempt applies
+the same coalesced changeset, a failed attempt leaves the node's
+database bit-identical to its pre-attempt state (shadow commit), and
+only the *final* outcome is reported to the scheduler.
+"""
+
+from __future__ import annotations
+
+import logging
+import random
+import time
+from typing import Callable, Optional
+
+from repro.core.maintenance import MaintenanceReport, ViewMaintainer
+from repro.guard.budget import MaintenanceBudget
+from repro.guard.controller import GuardPolicy
+from repro.orchestrator.graph import DependencyGraph, ViewNode
+from repro.orchestrator.policy import RefreshPolicy
+from repro.storage.changeset import Changeset
+from repro.storage.database import Database
+
+logger = logging.getLogger(__name__)
+
+__all__ = ["NodeRunner"]
+
+
+class NodeRunner:
+    """The refresh executor for one view node."""
+
+    def __init__(
+        self,
+        node: ViewNode,
+        graph: DependencyGraph,
+        policy: RefreshPolicy,
+        mvcc: bool = True,
+        metrics=None,
+        retain_versions: int = 8,
+    ) -> None:
+        self.node = node
+        self.policy = policy
+        database = Database(mvcc=mvcc, retain_versions=retain_versions)
+        program = graph.programs[node.name]
+        for pred in sorted(graph.inputs_of(node.name)):
+            database.ensure_relation(pred, program.arity_of(pred))
+        guard = GuardPolicy()
+        if policy.timeout_seconds is not None:
+            guard = GuardPolicy(
+                budget=MaintenanceBudget(
+                    deadline_seconds=policy.timeout_seconds
+                ),
+                fallback="raise",
+            )
+        self.maintainer = ViewMaintainer.from_source(
+            node.source, database, guard=guard, metrics=metrics
+        )
+        self.maintainer.initialize()
+        #: Health engine for this node's SLOs (attached by the
+        #: orchestrator when the operator declares any).
+        self.health = None
+
+    def refresh(
+        self,
+        changes: Changeset,
+        rng: random.Random,
+        sleep: Callable[[float], None] = time.sleep,
+        on_retry: Optional[Callable[[int, BaseException], None]] = None,
+    ) -> MaintenanceReport:
+        """Apply ``changes`` with the policy's retry envelope.
+
+        Retryable failures (see :data:`~repro.orchestrator.policy
+        .DEFAULT_RETRY_ON`) pause on the shared backoff schedule and try
+        again, up to ``max_attempts`` total; the last error is re-raised
+        when the budget is exhausted.  Non-retryable exceptions
+        propagate immediately — the scheduler quarantines the cone
+        either way.
+        """
+        policy = self.policy
+        backoff = policy.backoff(rng=rng, sleep=sleep)
+        last: Optional[BaseException] = None
+        for attempt in range(1, policy.max_attempts + 1):
+            try:
+                return self.maintainer.apply(changes)
+            except policy.retry_on as exc:
+                last = exc
+                logger.warning(
+                    "refresh of %r failed (attempt %d/%d): %s",
+                    self.node.name, attempt, policy.max_attempts, exc,
+                )
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                if attempt < policy.max_attempts:
+                    backoff.pause(attempt)
+        assert last is not None
+        raise last

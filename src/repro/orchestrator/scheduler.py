@@ -1,0 +1,626 @@
+"""The fault-contained orchestrator for a DAG of dynamic tables.
+
+One :class:`Orchestrator` owns a :class:`~repro.orchestrator.graph
+.DependencyGraph` of view nodes, a private maintainer per node, and the
+scheduling loop.  :meth:`ingest` routes source-relation changesets to
+the consuming nodes' pending queues; :meth:`tick` walks the DAG in
+topological order and refreshes every node that is *due* under its
+resolved ``target_lag``, propagating each refresh's exact signed view
+deltas (Definition 3.2 — the same deltas the paper's counting algorithm
+computes anyway) into the downstream pending queues.
+
+Failure containment is the point:
+
+* a refresh that exhausts its retry budget quarantines exactly its
+  *isolation cone* — the node plus its transitive consumers; siblings
+  keep refreshing;
+* quarantined nodes keep serving their last committed MVCC epoch with
+  staleness stamps, honouring ``strict_reads`` (serve / reject /
+  snapshot);
+* the scheduler probes each cone root every ``probe_every`` ticks and
+  lifts the whole cone the moment the root heals — backlogs drain in
+  the same tick (topological order reaches the consumers after the
+  root);
+* ``dead_after`` consecutive failed refreshes park the node ``DEAD``
+  (the dead-letter state) until an operator :meth:`revive`\\ s it;
+* :meth:`suspend` / :meth:`resume` cascade over the same cones.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.core.maintenance import MaintenanceReport
+from repro.errors import DivergenceError, OrchestrationError, StaleViewError
+from repro.obs.metrics import MetricsRegistry, get_default_registry
+from repro.orchestrator.graph import DependencyGraph, ViewNode
+from repro.orchestrator.policy import RefreshPolicy
+from repro.orchestrator.runner import NodeRunner
+from repro.orchestrator.state import NodeStatus
+from repro.storage.changeset import Changeset, coalesce
+from repro.storage.database import Database
+from repro.storage.relation import CountedRelation
+
+logger = logging.getLogger(__name__)
+
+__all__ = ["Orchestrator", "TickReport"]
+
+#: Legal ``strict_reads`` modes (mirrors GuardPolicy.strict_reads).
+STRICT_MODES = ("serve", "reject", "snapshot")
+
+
+@dataclass
+class TickReport:
+    """What one :meth:`Orchestrator.tick` did."""
+
+    tick: int
+    refreshed: List[str] = field(default_factory=list)
+    failed: List[str] = field(default_factory=list)
+    probed: List[str] = field(default_factory=list)
+    reports: Dict[str, MaintenanceReport] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class _FailedRefresh:
+    """Stand-in report so SLO engines score failed refreshes too."""
+
+    strategy: str = "quarantined"
+    seconds: float = 0.0
+
+
+class _LagProxy:
+    """Duck-typed maintainer for HealthEngine.observe_pass.
+
+    The engine only calls ``lag()``; the orchestrator's notion of lag is
+    the node's pending backlog, not the inner maintainer's quarantine
+    counter.
+    """
+
+    def __init__(self, status: NodeStatus,
+                 clock: Callable[[], float]) -> None:
+        self._status = status
+        self._clock = clock
+
+    def lag(self) -> Dict[str, object]:
+        return {
+            "changesets": len(self._status.pending),
+            "seconds": self._status.lag_seconds(self._clock),
+        }
+
+
+class Orchestrator:
+    """Schedules, contains, and heals a DAG of materialized views."""
+
+    def __init__(
+        self,
+        nodes: Sequence[ViewNode],
+        policy: Optional[RefreshPolicy] = None,
+        strict_reads: str = "serve",
+        mvcc: bool = True,
+        retain_versions: int = 8,
+        metrics: Optional[MetricsRegistry] = None,
+        seed: Optional[int] = None,
+        clock: Callable[[], float] = time.time,
+        sleep: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if strict_reads not in STRICT_MODES:
+            raise OrchestrationError(
+                f"strict_reads must be one of {STRICT_MODES}, "
+                f"got {strict_reads!r}"
+            )
+        self.graph = DependencyGraph(nodes)
+        self.default_policy = policy if policy is not None else RefreshPolicy()
+        self.strict_reads = strict_reads
+        self.mvcc = mvcc
+        self.metrics = metrics if metrics is not None else (
+            get_default_registry()
+        )
+        self._rng = random.Random(seed)
+        self._clock = clock
+        self._sleep = sleep
+        #: Static per-node resolved lag targets (None: on-demand).
+        self.lags: Dict[str, Optional[float]] = {
+            name: self.graph.effective_lag(name)
+            for name in self.graph.order
+        }
+        self.runners: Dict[str, NodeRunner] = {}
+        self.states: Dict[str, NodeStatus] = {}
+        for name in self.graph.order:
+            node = self.graph.nodes[name]
+            self.runners[name] = NodeRunner(
+                node,
+                self.graph,
+                self.policy_of(name),
+                mvcc=mvcc,
+                metrics=self.metrics,
+                retain_versions=retain_versions,
+            )
+            self.states[name] = NodeStatus(name)
+        self.ticks = 0
+        #: Every ingested changeset, in order — the recompute oracle's
+        #: ground truth (:meth:`oracle_views`).
+        self._ingest_log: List[Changeset] = []
+        # Metric handles are resolved once — the refresh path runs per
+        # tick per node and must stay cheap (the <5% scheduler-overhead
+        # budget in benchmarks/bench_orchestrator.py).
+        self._refreshes_total = self.metrics.counter(
+            "repro_orchestrator_refreshes_total",
+            "Committed refreshes, by view node.",
+            labels=("view",),
+        )
+        self._retries_total = self.metrics.counter(
+            "repro_orchestrator_retries_total",
+            "Failed refresh attempts, by view node.",
+            labels=("view",),
+        )
+        self._failures_total = self.metrics.counter(
+            "repro_orchestrator_failures_total",
+            "Refreshes that exhausted every attempt, by view node.",
+            labels=("view",),
+        )
+        self._quarantined_gauge = self.metrics.gauge(
+            "repro_orchestrator_quarantined_nodes",
+            "View nodes currently inside at least one failure cone.",
+        )
+
+    # ------------------------------------------------------------- plumbing
+
+    @classmethod
+    def from_spec(cls, spec: Union[str, dict], **kwargs) -> "Orchestrator":
+        """Build from a JSON DAG spec (text or dict).
+
+        Format::
+
+            {"views": [{"name": ..., "source": ...,
+                        "target_lag": 0 | "downstream" | null,
+                        "policy": {...}},   # optional override
+                       ...],
+             "default_policy": {...}}       # optional
+        """
+        if isinstance(spec, str):
+            spec = json.loads(spec)
+        if not isinstance(spec, dict) or "views" not in spec:
+            raise OrchestrationError(
+                'DAG spec must be an object with a "views" list'
+            )
+        nodes = []
+        for entry in spec["views"]:
+            entry = dict(entry)
+            node_policy = entry.pop("policy", None)
+            if node_policy is not None:
+                node_policy = RefreshPolicy.from_dict(node_policy)
+            unknown = set(entry) - {"name", "source", "target_lag"}
+            if unknown:
+                raise OrchestrationError(
+                    f"unknown view-spec keys {sorted(unknown)}"
+                )
+            nodes.append(ViewNode(policy=node_policy, **entry))
+        default = spec.get("default_policy")
+        if default is not None:
+            kwargs.setdefault("policy", RefreshPolicy.from_dict(default))
+        return cls(nodes, **kwargs)
+
+    def policy_of(self, name: str) -> RefreshPolicy:
+        """The node's refresh policy (its override or the default)."""
+        override = self.graph.nodes[name].policy
+        return override if override is not None else self.default_policy
+
+    def faults(self, name: str):
+        """The node's FaultInjector (ops drills and the crash matrix)."""
+        return self._runner(name).maintainer.faults
+
+    def _runner(self, name: str) -> NodeRunner:
+        runner = self.runners.get(name)
+        if runner is None:
+            raise OrchestrationError(
+                f"no view node named {name!r}; nodes: "
+                f"{sorted(self.runners)}"
+            )
+        return runner
+
+    # -------------------------------------------------------------- ingest
+
+    def ingest(self, changes: Changeset) -> None:
+        """Route a source-relation changeset to its consuming nodes.
+
+        Every touched relation must be a *source* relation (one no node
+        exports); each consuming node gets the relation's delta appended
+        to its pending queue.  Nothing refreshes here — :meth:`tick`
+        decides when the lag targets demand it.
+        """
+        routed: Dict[str, Changeset] = {}
+        for relation, delta in changes:
+            consumers = self.graph.source_relations.get(relation)
+            if consumers is None:
+                raise OrchestrationError(
+                    f"no node consumes source relation {relation!r}; "
+                    f"sources: {sorted(self.graph.source_relations)}"
+                )
+            for consumer in consumers:
+                routed.setdefault(consumer, Changeset()).add_delta(
+                    relation, delta
+                )
+        for name, node_changes in routed.items():
+            self.states[name].enqueue(node_changes, self._clock)
+        self._ingest_log.append(changes.copy())
+
+    # ------------------------------------------------------------ the loop
+
+    def tick(self) -> TickReport:
+        """One scheduling cycle over the DAG in topological order.
+
+        Because propagation enqueues downstream *before* the walk
+        reaches those nodes, a delta entering at a source can flow
+        through the whole DAG in a single tick when every lag target
+        allows it.
+        """
+        self.ticks += 1
+        report = TickReport(tick=self.ticks)
+        for name in self.graph.order:
+            status = self.states[name]
+            if status.dead or status.suspended_by:
+                continue
+            policy = self.policy_of(name)
+            if status.quarantined_by:
+                # Recovery probe: only the cone *root* retries, and only
+                # on its probe cadence.  Nodes inside an upstream cone
+                # wait for that root to heal first.
+                if status.quarantined_by == {name} and (
+                    self.ticks - status.last_attempt_tick
+                    >= policy.probe_every
+                ):
+                    report.probed.append(name)
+                    self._attempt(name, report)
+                continue
+            if not status.pending:
+                continue
+            lag = self.lags[name]
+            if lag is None:
+                continue  # on-demand: refresh_now() only
+            if lag > 0 and status.lag_seconds(self._clock) < lag:
+                continue
+            self._attempt(name, report)
+        return report
+
+    def refresh_now(self, name: str) -> Optional[MaintenanceReport]:
+        """Force one refresh of ``name`` (on-demand nodes, operators).
+
+        Dead or suspended nodes refuse; a quarantined root is probed
+        immediately (cadence ignored).  Returns the maintenance report,
+        or ``None`` if the refresh failed (the cone is quarantined).
+        """
+        status = self.states.get(name)
+        if status is None:
+            self._runner(name)  # raises with the node list
+        if status.dead:
+            raise OrchestrationError(
+                f"{name!r} is DEAD; revive() it first"
+            )
+        if status.suspended_by:
+            raise OrchestrationError(
+                f"{name!r} is suspended (by {sorted(status.suspended_by)}); "
+                "resume() it first"
+            )
+        blocking = status.quarantined_by - {name}
+        if blocking:
+            raise OrchestrationError(
+                f"{name!r} sits in the failure cone of {sorted(blocking)}; "
+                "heal upstream first"
+            )
+        report = TickReport(tick=self.ticks)
+        return self._attempt(name, report)
+
+    def _attempt(self, name: str,
+                 tick_report: TickReport) -> Optional[MaintenanceReport]:
+        status = self.states[name]
+        runner = self.runners[name]
+        policy = self.policy_of(name)
+        pending = status.pending
+        changes = pending[0] if len(pending) == 1 else coalesce(pending)
+        status.last_attempt_tick = self.ticks
+        status.refreshing = True
+
+        def on_retry(_attempt: int, _exc: BaseException) -> None:
+            status.retries += 1
+            self._retries_total.inc(view=name)
+
+        try:
+            report = runner.refresh(
+                changes, rng=self._rng, sleep=self._sleep, on_retry=on_retry
+            )
+        except Exception as exc:  # noqa: BLE001 — containment is the point
+            status.refreshing = False
+            status.failures += 1
+            status.consecutive_failures += 1
+            status.last_error = f"{type(exc).__name__}: {exc}"
+            self._quarantine_cone(name)
+            if status.consecutive_failures >= policy.dead_after:
+                status.dead = True
+                logger.error(
+                    "node %r is DEAD after %d consecutive failed "
+                    "refreshes; revive() to retry",
+                    name, status.consecutive_failures,
+                )
+            self._failures_total.inc(view=name)
+            logger.warning(
+                "refresh of %r failed; cone %s quarantined: %s",
+                name, sorted(self.graph.cone(name)), status.last_error,
+            )
+            tick_report.failed.append(name)
+            self._observe(name, _FailedRefresh())
+            return None
+        status.refreshing = False
+        status.drain()
+        status.refreshes += 1
+        status.consecutive_failures = 0
+        status.last_error = None
+        status.last_refresh_at = self._clock()
+        status.last_epoch = report.epoch
+        self._refreshes_total.inc(view=name)
+        if name in status.quarantined_by:
+            self._lift_cone(name)
+            logger.info("node %r healed; cone lifted", name)
+        tick_report.refreshed.append(name)
+        tick_report.reports[name] = report
+        self._propagate(name, report)
+        self._observe(name, report)
+        return report
+
+    def _propagate(self, name: str, report: MaintenanceReport) -> None:
+        for down in self.graph.downstream[name]:
+            inputs = self.graph.inputs_of(down)
+            changes = Changeset()
+            for view, delta in report.view_deltas.items():
+                if view in inputs and delta:
+                    changes.add_delta(view, delta)
+            if not changes.is_empty():
+                self.states[down].enqueue(changes, self._clock)
+
+    def _observe(self, name: str, report) -> None:
+        engine = self.runners[name].health
+        if engine is not None:
+            engine.observe_pass(
+                _LagProxy(self.states[name], self._clock), report
+            )
+
+    # ------------------------------------------------------------ the cones
+
+    def _quarantine_cone(self, name: str) -> None:
+        for member in self.graph.cone(name):
+            self.states[member].quarantined_by.add(name)
+        self._quarantined_gauge.set(
+            sum(1 for s in self.states.values() if s.quarantined_by)
+        )
+
+    def _lift_cone(self, name: str) -> None:
+        for status in self.states.values():
+            status.quarantined_by.discard(name)
+        self._quarantined_gauge.set(
+            sum(1 for s in self.states.values() if s.quarantined_by)
+        )
+
+    def suspend(self, name: str) -> List[str]:
+        """Pause ``name`` and its whole downstream cone; returns it."""
+        self._runner(name)
+        cone = sorted(self.graph.cone(name))
+        for member in cone:
+            self.states[member].suspended_by.add(name)
+        return cone
+
+    def resume(self, name: str) -> List[str]:
+        """Undo :meth:`suspend`; pending backlogs drain on next tick."""
+        self._runner(name)
+        resumed = []
+        for status in self.states.values():
+            if name in status.suspended_by:
+                status.suspended_by.discard(name)
+                resumed.append(status.name)
+        return sorted(resumed)
+
+    def revive(self, name: str) -> None:
+        """Bring a DEAD node back into scheduling (still quarantined
+        until its next successful probe)."""
+        status = self.states.get(name)
+        if status is None:
+            self._runner(name)
+        if not status.dead:
+            raise OrchestrationError(f"{name!r} is not DEAD")
+        status.dead = False
+        status.consecutive_failures = 0
+
+    # -------------------------------------------------------------- reading
+
+    def read(self, view: str, strict: Optional[str] = None):
+        """Read a materialized view through the degradation contract.
+
+        ``view`` is a view predicate (not a node name); ``strict``
+        defaults to the orchestrator's ``strict_reads`` mode.  A
+        *degraded* view — its node quarantined, suspended, dead, or
+        simply behind the stream (pending deltas) — serves per mode:
+
+        * ``"serve"``: the last committed materialization, as-is;
+        * ``"reject"``: raise :class:`~repro.errors.StaleViewError`;
+        * ``"snapshot"``: a :class:`~repro.storage.mvcc.SnapshotRead`
+          of the last committed MVCC epoch, stamped with the epoch and
+          an orchestrator-level staleness dict (pending changesets, lag
+          seconds, node state, quarantine roots).
+        """
+        producer = self.graph.producer_of.get(view)
+        if producer is None:
+            raise OrchestrationError(
+                f"no node exports a view named {view!r}; views: "
+                f"{sorted(self.graph.producer_of)}"
+            )
+        if strict is None:
+            strict = self.strict_reads
+        if strict not in STRICT_MODES:
+            raise OrchestrationError(
+                f"strict must be one of {STRICT_MODES}, got {strict!r}"
+            )
+        status = self.states[producer]
+        maintainer = self.runners[producer].maintainer
+        degraded = not status.schedulable() or bool(status.pending)
+        if strict == "reject" and degraded:
+            raise StaleViewError(
+                f"view {view!r} is degraded: node {producer!r} is "
+                f"{status.state()} with {len(status.pending)} pending "
+                f"changeset(s) "
+                f"(~{status.lag_seconds(self._clock):.1f}s behind)"
+            )
+        if strict == "snapshot":
+            read = maintainer.snapshot_read(view)
+            read.staleness = self._staleness(status)
+            return read
+        return maintainer.relation(view, strict=False)
+
+    def _staleness(self, status: NodeStatus) -> Dict[str, object]:
+        return {
+            "changesets": len(status.pending),
+            "seconds": status.lag_seconds(self._clock),
+            "state": status.state(),
+            "quarantined_by": sorted(status.quarantined_by),
+        }
+
+    # --------------------------------------------------------------- health
+
+    def attach_health(self, slos, sinks=()) -> Dict[str, object]:
+        """Attach per-node SLO engines; returns ``{node: engine}``.
+
+        Each SLO's ``view`` field names a *node*; the node's engine
+        scores every refresh (failed ones too, as degraded passes) with
+        lag measured from the node's pending backlog.  ``sinks`` are
+        shared across nodes — and sink exceptions are isolated, never
+        aborting a refresh (see :mod:`repro.obs.health`).
+        """
+        from repro.obs.health import HealthEngine, load_slos
+
+        grouped: Dict[str, list] = {}
+        for slo in load_slos(slos):
+            if slo.view not in self.graph.nodes:
+                raise OrchestrationError(
+                    f"SLO names unknown node {slo.view!r}; nodes: "
+                    f"{sorted(self.graph.nodes)}"
+                )
+            grouped.setdefault(slo.view, []).append(slo)
+        engines: Dict[str, object] = {}
+        for name, node_slos in grouped.items():
+            engine = HealthEngine(
+                node_slos, metrics=self.metrics, sinks=list(sinks)
+            )
+            self.runners[name].health = engine
+            engines[name] = engine
+        return engines
+
+    # --------------------------------------------------------------- status
+
+    def status(self) -> Dict[str, object]:
+        """The ``orchestrator`` block of ``status --json`` (validated
+        by :func:`repro.obs.schema.validate_orchestrator`)."""
+        views: Dict[str, object] = {}
+        for name in self.graph.order:
+            status = self.states[name]
+            node = self.graph.nodes[name]
+            entry = status.to_dict(self._clock)
+            entry["target_lag"] = node.target_lag
+            entry["effective_lag"] = self.lags[name]
+            entry["upstream"] = list(self.graph.upstream[name])
+            entry["exports"] = sorted(self.graph.exports_of(name))
+            views[name] = entry
+        alerts = sum(
+            runner.health.alerts_active()
+            for runner in self.runners.values()
+            if runner.health is not None
+        )
+        return {
+            "ticks": self.ticks,
+            "views": views,
+            "quarantined": sorted(
+                n for n, s in self.states.items() if s.quarantined_by
+            ),
+            "suspended": sorted(
+                n for n, s in self.states.items() if s.suspended_by
+            ),
+            "dead": sorted(n for n, s in self.states.items() if s.dead),
+            "alerts_active": alerts,
+        }
+
+    # --------------------------------------------------------------- oracle
+
+    def oracle_views(self) -> Dict[str, CountedRelation]:
+        """Recompute every view from the full ingest log (test oracle).
+
+        Replays every ingested changeset into fresh source relations,
+        then materializes each node from scratch in topological order,
+        feeding exported views forward — the textbook evaluation the
+        incremental DAG must agree with.
+        """
+        source: Dict[str, CountedRelation] = {}
+        for changes in self._ingest_log:
+            for relation, delta in changes:
+                source.setdefault(
+                    relation, CountedRelation(relation)
+                ).merge(delta)
+        produced: Dict[str, CountedRelation] = {}
+        from repro.core.maintenance import ViewMaintainer
+
+        for name in self.graph.order:
+            node = self.graph.nodes[name]
+            program = self.graph.programs[name]
+            database = Database(mvcc=False)
+            for pred in sorted(self.graph.inputs_of(name)):
+                relation = database.ensure_relation(
+                    pred, program.arity_of(pred)
+                )
+                feed = (
+                    produced.get(pred)
+                    if pred in self.graph.producer_of
+                    else source.get(pred)
+                )
+                if feed is not None:
+                    relation.merge(feed)
+            maintainer = ViewMaintainer.from_source(node.source, database)
+            maintainer.initialize()
+            for view in self.graph.exports_of(name):
+                produced[view] = maintainer.relation(view).copy()
+        return produced
+
+    def check_convergence(self) -> Sequence[str]:
+        """Compare every drained live view against the recompute oracle.
+
+        A node that still has pending deltas — or whose upstream does —
+        legitimately differs from a full-log recompute (it simply has
+        not applied that work yet), so such nodes are *skipped*, not
+        misreported as corruption.  Returns the skipped node names in
+        topological order (empty when the whole DAG was drained and
+        therefore fully compared); raises
+        :class:`~repro.errors.DivergenceError` on the first real
+        mismatch.
+        """
+        oracle = self.oracle_views()
+        behind: List[str] = []
+        unsettled: set = set()
+        for name in self.graph.order:
+            if self.states[name].pending or any(
+                up in unsettled for up in self.graph.upstream[name]
+            ):
+                unsettled.add(name)
+                behind.append(name)
+                continue
+            maintainer = self.runners[name].maintainer
+            for view in self.graph.exports_of(name):
+                live = maintainer.relation(view, strict=False).as_set()
+                expected = oracle[view].as_set()
+                if live != expected:
+                    missing = sorted(expected - live)[:5]
+                    extra = sorted(live - expected)[:5]
+                    raise DivergenceError(
+                        f"view {view!r} (node {name!r}) diverged from "
+                        f"the DAG recompute oracle: missing={missing} "
+                        f"extra={extra}"
+                    )
+        return tuple(behind)

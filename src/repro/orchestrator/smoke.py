@@ -1,0 +1,306 @@
+"""End-to-end orchestrator smoke drill (``make orchestrator-smoke``).
+
+Runs the fault-containment acceptance scenario on a 3-level diamond DAG
+under a virtual clock (no wall-clock sleeps — retries and lag targets
+are deterministic) and exits non-zero on the first violation:
+
+1. a changeset entering at the sources flows through every layer in one
+   tick and the DAG matches the layer-by-layer recompute oracle;
+2. a transient injected fault (fewer failures than ``max_attempts``) is
+   absorbed by the retry envelope — retries counted, nothing
+   quarantined, still convergent;
+3. a persistent fault at the middle node quarantines exactly its
+   isolation cone (the node + its consumer), the unrelated sibling
+   keeps refreshing, the quarantined view serves its **last committed
+   MVCC epoch** with staleness stamps, ``strict="reject"`` raises, and
+   the node's ``error_rate`` SLO fires through a ``CallbackAlertSink``;
+4. the recovery probe heals the cone on its cadence, the backlog drains
+   in the same tick, and every view again matches the oracle — zero
+   divergence through the whole drill;
+5. ``target_lag`` batching holds under the virtual clock (a 60 s lag
+   target refreshes only once 60 s of staleness accrued) and a
+   ``DOWNSTREAM`` declaration resolves to its consumer's target;
+6. suspend/resume cascades over the cone; the ``orchestrator`` status
+   block validates against the schema; ``repro top`` renders the DAG
+   section without ANSI codes when asked.
+
+Kept deliberately tiny (sub-second) so it can ride in ``make check``.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import List
+
+from repro.errors import StaleViewError
+from repro.obs.health import CallbackAlertSink
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.schema import validate_orchestrator
+from repro.obs.top import orchestrator_lines
+from repro.orchestrator import DOWNSTREAM, Orchestrator, RefreshPolicy, ViewNode
+from repro.storage.changeset import Changeset
+
+#: The drill DAG: two sources (link, link2), a diamond over them, and a
+#: recursive top layer — counting below, B/F-eligible recursion on top.
+NODES = [
+    ViewNode("hops", "hop(X,Y) :- link(X,Z), link(Z,Y)."),
+    ViewNode("tris", "tri(X,Y) :- hop(X,Z), link2(Z,Y)."),
+    ViewNode(
+        "reach",
+        "reach(X,Y) :- tri(X,Y). reach(X,Y) :- tri(X,Z), reach(Z,Y).",
+    ),
+    ViewNode("sibling", "twol(X,Y) :- link2(X,Z), link2(Z,Y)."),
+]
+
+SLO_SPEC = [
+    {
+        "view": "tris",
+        "objective": "error_rate",
+        "target": 0.0,
+        "compliance": 0.8,
+        "fast_window": 1,
+        "slow_window": 2,
+        "burn_threshold": 1.5,
+    }
+]
+
+
+class VirtualClock:
+    """A manually-advanced clock; makes lag targets deterministic."""
+
+    def __init__(self) -> None:
+        self.now = 1_000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _expect(problems: List[str], condition: bool, message: str) -> None:
+    if not condition:
+        problems.append(message)
+
+
+def main() -> int:
+    # The drill injects faults on purpose; the resulting WARNING spam is
+    # expected, not signal.  Errors still surface.
+    logging.disable(logging.WARNING)
+    problems: List[str] = []
+    alerts: List[dict] = []
+    clock = VirtualClock()
+    orch = Orchestrator(
+        NODES,
+        policy=RefreshPolicy(max_attempts=3, probe_every=2, dead_after=5),
+        metrics=MetricsRegistry(),
+        seed=7,
+        clock=clock,
+        sleep=lambda _seconds: None,
+    )
+    orch.attach_health(SLO_SPEC, sinks=[CallbackAlertSink(alerts.append)])
+
+    # 1. One tick moves a source changeset through all three levels.
+    orch.ingest(
+        Changeset()
+        .insert("link", ("a", "b")).insert("link", ("b", "c"))
+        .insert("link2", ("c", "d")).insert("link2", ("d", "e"))
+    )
+    first = orch.tick()
+    _expect(
+        problems,
+        first.refreshed == ["hops", "sibling", "tris", "reach"],
+        f"expected one-tick full-DAG flow, got {first.refreshed}",
+    )
+    try:
+        orch.check_convergence()
+    except Exception as exc:  # noqa: BLE001 — smoke reports, not raises
+        problems.append(f"diverged after initial flow: {exc}")
+
+    # 2. Transient fault: absorbed by retries, nothing quarantined.
+    orch.faults("hops").arm("count_merge", first_k=1)
+    orch.ingest(Changeset().insert("link", ("c", "f")))
+    transient = orch.tick()
+    _expect(
+        problems,
+        "hops" in transient.refreshed and not transient.failed,
+        f"transient fault not absorbed: {transient}",
+    )
+    _expect(
+        problems,
+        orch.status()["views"]["hops"]["retries"] == 1,
+        "retry not counted for the absorbed transient fault",
+    )
+
+    # 3. Persistent fault at tris: cone {tris, reach} quarantined,
+    #    sibling unaffected, stale serving + strict reject + SLO fire.
+    stale_expected = sorted(orch.read("tri").as_set())
+    # link(c,e) derives hop(b,e); with link2(e,h) that derives tri(b,h)
+    # and reach(b,h) — a delta that must traverse the whole quarantined
+    # cone once it heals.
+    orch.faults("tris").arm("delta_derivation", first_k=3)
+    orch.ingest(
+        Changeset().insert("link", ("c", "e")).insert("link2", ("e", "h"))
+    )
+    fault_tick = orch.tick()
+    status = orch.status()
+    _expect(
+        problems,
+        fault_tick.failed == ["tris"]
+        and status["quarantined"] == ["reach", "tris"],
+        f"cone mis-drawn: failed={fault_tick.failed} "
+        f"quarantined={status['quarantined']}",
+    )
+    _expect(
+        problems,
+        "sibling" in fault_tick.refreshed
+        and status["views"]["sibling"]["state"] == "FRESH",
+        "sibling view was dragged into an unrelated failure cone",
+    )
+    _expect(
+        problems,
+        status["views"]["tris"]["retries"] >= 3,
+        "persistent fault did not exhaust the retry budget",
+    )
+    snap = orch.read("tri", strict="snapshot")
+    _expect(
+        problems,
+        sorted(snap.as_set()) == stale_expected,
+        "stale read does not serve the last committed materialization",
+    )
+    _expect(
+        problems,
+        snap.epoch is not None
+        and snap.staleness["state"] == "QUARANTINED"
+        and snap.staleness["quarantined_by"] == ["tris"]
+        and snap.staleness["changesets"] >= 1,
+        f"staleness stamp wrong: epoch={snap.epoch} "
+        f"staleness={snap.staleness}",
+    )
+    try:
+        orch.read("reach", strict="reject")
+        problems.append("strict=reject served a quarantined view")
+    except StaleViewError:
+        pass
+    _expect(
+        problems,
+        any(a["event"] == "fire" and a["view"] == "tris" for a in alerts),
+        f"error_rate SLO did not fire through the sink: {alerts!r}",
+    )
+
+    # 4. Recovery: the probe cadence (every 2 ticks) heals the cone and
+    #    drains the backlog the same tick.
+    idle = orch.tick()  # too early to probe
+    _expect(
+        problems,
+        not idle.probed,
+        f"probe fired before its cadence: {idle.probed}",
+    )
+    healed = orch.tick()
+    _expect(
+        problems,
+        healed.probed == ["tris"]
+        and healed.refreshed == ["tris", "reach"],
+        f"cone did not heal+drain in one tick: {healed}",
+    )
+    _expect(
+        problems,
+        orch.status()["quarantined"] == [],
+        "quarantine marks survived recovery",
+    )
+    try:
+        orch.check_convergence()
+    except Exception as exc:  # noqa: BLE001
+        problems.append(f"diverged after recovery: {exc}")
+
+    # 5. Lag targets under the virtual clock: a 60 s target batches
+    #    until 60 s of staleness accrued; DOWNSTREAM inherits it.  Lag
+    #    is per node — the rollup's clock starts when the upstream
+    #    delta reaches *its* queue, so it trails by one more window.
+    lazy = Orchestrator(
+        [
+            ViewNode(
+                "base2", "pair(X,Y) :- edge(X,Y).", target_lag=DOWNSTREAM
+            ),
+            ViewNode(
+                "rollup",
+                "fan(X) :- pair(X, Y).",
+                target_lag=60.0,
+            ),
+        ],
+        metrics=MetricsRegistry(),
+        seed=7,
+        clock=clock,
+        sleep=lambda _seconds: None,
+    )
+    _expect(
+        problems,
+        lazy.lags == {"base2": 60.0, "rollup": 60.0},
+        f"DOWNSTREAM lag resolution wrong: {lazy.lags}",
+    )
+    lazy.ingest(Changeset().insert("edge", ("x", "y")))
+    early = lazy.tick()
+    _expect(
+        problems,
+        not early.refreshed,
+        f"60s-lag node refreshed with 0s of staleness: {early.refreshed}",
+    )
+    clock.advance(61.0)
+    due = lazy.tick()
+    _expect(
+        problems,
+        due.refreshed == ["base2"],
+        f"only the due source should refresh: {due.refreshed}",
+    )
+    clock.advance(61.0)
+    trailing = lazy.tick()
+    _expect(
+        problems,
+        trailing.refreshed == ["rollup"],
+        f"rollup not refreshed once its own lag accrued: "
+        f"{trailing.refreshed}",
+    )
+
+    # 6. Suspend cascade, schema validation, dashboard rendering.
+    suspended = orch.suspend("tris")
+    _expect(
+        problems,
+        suspended == ["reach", "tris"]
+        and orch.status()["views"]["reach"]["state"] == "SUSPENDED",
+        f"suspend did not cascade over the cone: {suspended}",
+    )
+    orch.resume("tris")
+    doc = orch.status()
+    problems += [f"schema: {p}" for p in validate_orchestrator(doc)]
+    frame = "\n".join(orchestrator_lines(doc, color=False))
+    for needle in ("tris", "FRESH", "tick"):
+        _expect(
+            problems,
+            needle in frame,
+            f"top section missing {needle!r}:\n{frame}",
+        )
+    _expect(
+        problems,
+        "\x1b[" not in frame,
+        "top section must render without ANSI codes when color=False",
+    )
+
+    if problems:
+        for problem in problems:
+            print(f"orchestrator-smoke FAIL: {problem}", file=sys.stderr)
+        return 1
+    views = doc["views"]
+    print(
+        "orchestrator-smoke ok: "
+        f"{len(views)} nodes over {doc['ticks']} ticks, "
+        f"{sum(v['refreshes'] for v in views.values())} refreshes, "
+        f"{sum(v['retries'] for v in views.values())} retries absorbed, "
+        "cone quarantined+healed with stale serving and SLO fire, "
+        "lag targets honored, zero divergence vs the recompute oracle"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

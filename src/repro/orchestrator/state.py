@@ -1,0 +1,119 @@
+"""Per-node runtime state: what the scheduler knows about each view.
+
+The observable node state is *derived*, never stored: flags compose so
+overlapping failure cones and suspend cascades cannot corrupt each
+other.  ``quarantined_by`` / ``suspended_by`` are sets of *root* node
+names — a node inside two failure cones carries both roots, and healing
+one upstream lifts only that root's mark.  Precedence (strongest
+wins)::
+
+    DEAD > SUSPENDED > QUARANTINED > REFRESHING > FRESH
+
+``FRESH`` here means "serving and schedulable", not "zero lag" — the
+pending queue and ``lag_seconds`` say how far behind the stream the
+materialization is.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.storage.changeset import Changeset
+
+__all__ = ["STATES", "NodeStatus"]
+
+#: Every observable node state, strongest first.
+STATES = ("DEAD", "SUSPENDED", "QUARANTINED", "REFRESHING", "FRESH")
+
+
+class NodeStatus:
+    """Mutable runtime bookkeeping for one view node."""
+
+    __slots__ = (
+        "name", "pending", "pending_since", "quarantined_by",
+        "suspended_by", "dead", "refreshing", "refreshes", "retries",
+        "failures", "consecutive_failures", "last_error",
+        "last_refresh_at", "last_attempt_tick", "last_epoch",
+    )
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        #: Changesets routed here (ingest or upstream deltas) but not
+        #: yet folded into the materialization, oldest first.
+        self.pending: List[Changeset] = []
+        #: When the oldest pending changeset arrived (drives lag).
+        self.pending_since: Optional[float] = None
+        #: Roots of the failure cones this node currently sits in.
+        self.quarantined_by: Set[str] = set()
+        #: Roots of the suspend cascades covering this node.
+        self.suspended_by: Set[str] = set()
+        self.dead = False
+        self.refreshing = False
+        self.refreshes = 0
+        #: Failed attempts (each retry counts; successes do not reset).
+        self.retries = 0
+        #: Refreshes that exhausted every attempt.
+        self.failures = 0
+        self.consecutive_failures = 0
+        self.last_error: Optional[str] = None
+        self.last_refresh_at: Optional[float] = None
+        #: Tick of the last refresh attempt (drives recovery probes).
+        self.last_attempt_tick = 0
+        #: MVCC epoch of the node's last committed refresh.
+        self.last_epoch: Optional[int] = None
+
+    # ------------------------------------------------------------- derived
+
+    def state(self) -> str:
+        if self.dead:
+            return "DEAD"
+        if self.suspended_by:
+            return "SUSPENDED"
+        if self.quarantined_by:
+            return "QUARANTINED"
+        if self.refreshing:
+            return "REFRESHING"
+        return "FRESH"
+
+    def schedulable(self) -> bool:
+        """Whether tick() may refresh this node at all."""
+        return not (self.dead or self.suspended_by or self.quarantined_by)
+
+    def lag_seconds(self, clock: Callable[[], float] = time.time) -> float:
+        """Age of the oldest unapplied changeset (0.0 when drained)."""
+        if self.pending_since is None:
+            return 0.0
+        return max(0.0, clock() - self.pending_since)
+
+    # ------------------------------------------------------------ mutation
+
+    def enqueue(self, changes: Changeset,
+                clock: Callable[[], float] = time.time) -> None:
+        if changes.is_empty():
+            return
+        self.pending.append(changes)
+        if self.pending_since is None:
+            self.pending_since = clock()
+
+    def drain(self) -> None:
+        self.pending.clear()
+        self.pending_since = None
+
+    # -------------------------------------------------------------- export
+
+    def to_dict(self, clock: Callable[[], float] = time.time
+                ) -> Dict[str, object]:
+        return {
+            "state": self.state(),
+            "pending": len(self.pending),
+            "lag_seconds": self.lag_seconds(clock),
+            "refreshes": self.refreshes,
+            "retries": self.retries,
+            "failures": self.failures,
+            "consecutive_failures": self.consecutive_failures,
+            "last_error": self.last_error,
+            "last_epoch": self.last_epoch,
+            "quarantined_by": sorted(self.quarantined_by),
+            "suspended_by": sorted(self.suspended_by),
+        }

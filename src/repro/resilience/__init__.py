@@ -10,14 +10,21 @@ Three pieces back the durability contract documented in
   point;
 * :mod:`repro.resilience.repair` — self-healing: rebuild diverged views
   from base relations and report what was fixed.
+
+:mod:`repro.resilience.backoff` is the shared retry schedule: every
+retry loop in the system (journal append, subscriber redelivery, the
+orchestrator's refresh policy) draws its jittered exponential pauses
+from one seeded :class:`Backoff` implementation.
 """
 
+from repro.resilience.backoff import Backoff
 from repro.resilience.faults import PHASES, FaultInjector, InjectedFault
 from repro.resilience.repair import RepairReport, repair_divergence, view_matches
 from repro.resilience.shadow import UndoLog
 
 __all__ = [
     "PHASES",
+    "Backoff",
     "FaultInjector",
     "InjectedFault",
     "RepairReport",

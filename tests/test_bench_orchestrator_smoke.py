@@ -1,0 +1,55 @@
+"""Smoke test: the orchestrator benchmark runs end-to-end and emits
+well-formed ``BENCH_orchestrator.json``.
+
+Runs ``benchmarks/bench_orchestrator.py --smoke`` (toy scale — the
+numbers are meaningless and the overhead gate is not enforced; only the
+machinery and the JSON schema are under test) and validates the
+document the full benchmark publishes.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SCRIPT = os.path.join(REPO, "benchmarks", "bench_orchestrator.py")
+
+
+def run_smoke(tmp_path):
+    out = str(tmp_path / "bench.json")
+    env = dict(os.environ, PYTHONPATH=os.path.join(REPO, "src"))
+    completed = subprocess.run(
+        [sys.executable, SCRIPT, "--smoke", "--out", out],
+        capture_output=True, text=True, env=env, timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    return out, completed.stdout
+
+
+def test_smoke_emits_valid_bench_json(tmp_path):
+    out, stdout = run_smoke(tmp_path)
+    assert "scheduler overhead" in stdout
+    assert "lag conformance" in stdout
+
+    with open(out, encoding="utf-8") as handle:
+        doc = json.load(handle)
+    assert doc["benchmark"] == "orchestrator"
+    assert doc["smoke"] is True
+
+    overhead = doc["workloads"]["scheduler-overhead"]
+    for key in ("manual_seconds", "orchestrated_seconds",
+                "overhead_ratio", "budget", "within_budget"):
+        assert key in overhead
+    assert overhead["manual_seconds"] > 0
+    assert overhead["orchestrated_seconds"] > 0
+    assert overhead["budget"] == 0.05
+
+    lag = doc["workloads"]["lag-conformance"]
+    assert lag["target_lag_seconds"] == 30.0
+    assert lag["refreshes"] >= 1
+    # Batching is the point: strictly fewer refreshes than stream
+    # passes, and the observed lag stays under target + one tick.
+    assert lag["refreshes"] < lag["stream_passes"]
+    assert lag["within_target"] is True
+    assert lag["max_observed_lag_seconds"] <= lag["bound_seconds"]

@@ -282,6 +282,47 @@ class TestAlertSinks:
             logged = [json.loads(line) for line in handle]
         assert logged == seen
 
+    def test_raising_sink_does_not_abort_the_pass(self):
+        # A user-supplied sink that raises must never poison the
+        # maintenance pass that produced the alert; healthy sinks
+        # later in the list still receive it.
+        def explode(_alert):
+            raise RuntimeError("webhook down")
+
+        seen = []
+        registry = MetricsRegistry()
+        engine = HealthEngine(
+            [self.slo()],
+            metrics=registry,
+            sinks=[CallbackAlertSink(explode), CallbackAlertSink(seen.append)],
+        )
+        for _ in range(3):
+            engine.observe_pass(_StubMaintainer(), _StubReport("skipped"))
+        assert [a["event"] for a in seen] == ["fire"]
+        assert engine.alerts_dropped == 1
+        assert registry.get("repro_alerts_dropped_total").value(
+            sink="CallbackAlertSink"
+        ) == 1
+        assert engine.to_dict()["alerts_dropped"] == 1
+
+    def test_broken_sink_logged_once(self, caplog):
+        def explode(_alert):
+            raise RuntimeError("still down")
+
+        engine = HealthEngine(
+            [self.slo()],
+            metrics=MetricsRegistry(),
+            sinks=[CallbackAlertSink(explode)],
+        )
+        with caplog.at_level(logging.WARNING, logger="repro.obs.health"):
+            # fire, clear, fire again: three alerts through the same
+            # broken sink, one warning total.
+            for strategy in ["skipped"] * 3 + ["counting"] * 3 + ["skipped"] * 3:
+                engine.observe_pass(_StubMaintainer(), _StubReport(strategy))
+        assert engine.alerts_dropped == 3
+        dropped = [r for r in caplog.records if "dropped" in r.message]
+        assert len(dropped) == 1
+
     def test_log_sink_warns_on_fire(self, caplog):
         engine = HealthEngine(
             [self.slo()],
