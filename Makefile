@@ -8,12 +8,12 @@ TIMEOUT ?= timeout
 
 .PHONY: check test test-fast test-faults test-soak bench-smoke obs-smoke \
 	guard-smoke mvcc-smoke lint-smoke bf-smoke health-smoke \
-	orchestrator-smoke lint ruff pylint
+	orchestrator-smoke sanitize-smoke lint lint-strict ruff pylint
 
 # The default gate: the whole suite plus the benchmark, observability,
 # guardrail and static-analysis smoke runs.
 check: test bench-smoke obs-smoke guard-smoke mvcc-smoke lint-smoke \
-	bf-smoke health-smoke orchestrator-smoke
+	bf-smoke health-smoke orchestrator-smoke sanitize-smoke
 
 # The tier-1 gate: everything, fail fast.
 test:
@@ -99,9 +99,29 @@ health-smoke:
 orchestrator-smoke:
 	env PYTHONPATH=src $(PYTHON) -m repro.orchestrator.smoke
 
+# Concurrency-sanitizer acceptance, both directions: the static RV3xx
+# pass catches every seeded publication-discipline defect in the
+# known-bad fixture (span-accurate) and reports zero error-severity
+# RV3xx findings over the real src/repro tree; the runtime sanitizer
+# (Database(sanitize=True)) runs a threaded MVCC soak green and traps
+# a fault-injected torn publication from concurrent reader threads.
+# This is the gate for O4's worker pool.  See docs/analysis.md.
+sanitize-smoke:
+	env PYTHONPATH=src $(PYTHON) -m repro.analysis.sanitize_smoke
+
 # Lint an arbitrary program: make lint FILE=path/to/views.dl
 lint:
 	env PYTHONPATH=src $(PYTHON) -m repro lint $(FILE)
+
+# The hard-failing lint gate (CI): unlike `make ruff`/`make pylint`,
+# which skip when the tool is missing, every stage here must run and
+# pass — a missing tool fails the target.  CI installs ruff/pylint;
+# the final stage (the RV3xx/RV220 self-lint) needs no third-party
+# tools and can be run alone anywhere via `repro lint --self`.
+lint-strict:
+	$(PYTHON) -m ruff check src tests benchmarks examples
+	env PYTHONPATH=src $(PYTHON) -m pylint --rcfile=pyproject.toml repro
+	env PYTHONPATH=src $(PYTHON) -m repro lint --self --fail-on error
 
 # Static passes over the codebase itself.  Both tools are optional in
 # the base image; the targets skip (successfully) when the tool is not

@@ -70,6 +70,12 @@ MVCC_OVERHEAD_BUDGET = 0.05
 #: per-pass ``is None`` hook checks may cost at most 5% of pass time.
 HEALTH_OVERHEAD_BUDGET = 0.05
 
+#: Hard budget for the runtime invariant sanitizer when it is NOT
+#: attached — the default: every protocol edge (begin, commit pre/post,
+#: maintainer commit tail) is one ``is None`` check, and their summed
+#: cost may be at most 5% of pass time.
+SANITIZE_OVERHEAD_BUDGET = 0.05
+
 
 def chain_src(depth: int) -> str:
     """An E1-style chain: ``hop1`` = E1's hop, then ``hop_i`` joins on."""
@@ -679,6 +685,94 @@ def health_overhead_workload(
     }
 
 
+class _NoneSanitizer:
+    """A stand-in version manager carrying only the detached hook."""
+
+    __slots__ = ("sanitizer",)
+
+    def __init__(self) -> None:
+        self.sanitizer = None
+
+
+def _noop_sanitize_seconds(iterations: int = 200_000) -> float:
+    """Measured per-check cost of the detached sanitizer hooks.
+
+    The disabled path is one attribute load compared against ``None``
+    per protocol edge (begin, commit pre-publication, commit
+    post-publication, and the maintainer's Theorem 4.1 commit tail);
+    this times that check on a stand-in host and returns the per-check
+    price.
+    """
+    host = _NoneSanitizer()
+    started = time.perf_counter()
+    for _ in range(iterations):
+        if host.sanitizer is not None:
+            host.sanitizer.on_begin(None, 0)
+    return (time.perf_counter() - started) / iterations
+
+
+def sanitize_overhead_workload(
+    source: str,
+    nodes: int,
+    n_edges: int,
+    passes: int,
+    batch_size: int,
+    runs: int,
+    seed: int,
+) -> Dict:
+    """The 5%-budget guard for the sanitizer-off configuration.
+
+    Same methodology as :func:`health_overhead_workload`: with no
+    sanitizer attached — the default — each maintenance pass crosses
+    four ``is None`` hook sites (begin, commit pre- and
+    post-publication, and the maintainer commit tail), so the bound is
+    ``4 × passes × measured per-check cost`` against
+    :data:`SANITIZE_OVERHEAD_BUDGET`.  A fully *enabled* run
+    (``Database(sanitize=True)``: fingerprinting every commit plus the
+    Theorem 4.1 sampling gate) is also timed and reported
+    (``enabled_overhead_ratio``) so regressions in the checking path
+    stay visible; that ratio is informational, not part of the budget.
+    """
+    edges = random_graph(nodes, n_edges, seed=seed)
+    stream = changeset_stream(edges, passes, batch_size, nodes, seed + 1)
+
+    def one(sanitize: bool) -> float:
+        db = Database(sanitize=sanitize)
+        db.insert_rows("link", edges)
+        maintainer = ViewMaintainer.from_source(
+            source, db, strategy="counting", plan_cache=True
+        ).initialize()
+        return run_stream(maintainer, stream)
+
+    disabled = measure("sanitize-off", runs, lambda: one(False))
+    enabled = measure("sanitize-enabled", runs, lambda: one(True))
+    crossings = 4 * len(stream)
+    hook_seconds = _noop_sanitize_seconds()
+    noop_cost = crossings * hook_seconds
+    ratio = (
+        noop_cost / disabled["seconds"] if disabled["seconds"] else 0.0
+    )
+    return {
+        "workload": "sanitize-overhead",
+        "nodes": nodes,
+        "edges": n_edges,
+        "passes": passes,
+        "batch_size": batch_size,
+        "disabled_seconds": disabled["seconds"],
+        "enabled_seconds": enabled["seconds"],
+        "enabled_overhead_ratio": (
+            enabled["seconds"] / disabled["seconds"] - 1.0
+            if disabled["seconds"]
+            else 0.0
+        ),
+        "sanitize_crossings": crossings,
+        "noop_hook_seconds": hook_seconds,
+        "overhead_ratio": ratio,
+        "budget": SANITIZE_OVERHEAD_BUDGET,
+        "within_budget": ratio < SANITIZE_OVERHEAD_BUDGET,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Plan-cache / batched-maintenance benchmark"
@@ -742,6 +836,10 @@ def main(argv=None) -> int:
         health_overhead_workload(
             chain_src(args.depth), args.nodes, args.edges, args.passes,
             args.batch_size, args.runs, seed=59,
+        ),
+        sanitize_overhead_workload(
+            chain_src(args.depth), args.nodes, args.edges, args.passes,
+            args.batch_size, args.runs, seed=61,
         ),
     ]
 
@@ -824,6 +922,23 @@ def main(argv=None) -> int:
                 failed = True
                 print(
                     f"FAIL: health no-op overhead "
+                    f"{workload['overhead_ratio']:.1%} exceeds the "
+                    f"{workload['budget']:.0%} budget",
+                    file=sys.stderr,
+                )
+        elif "sanitize_crossings" in workload:
+            print(
+                f"{name:24s} off {workload['disabled_seconds']:.3f}s  "
+                f"enabled {workload['enabled_seconds']:.3f}s "
+                f"({workload['enabled_overhead_ratio']:+.1%} checking)  "
+                f"no-op bound {workload['overhead_ratio']:.2%} over "
+                f"{workload['sanitize_crossings']} hooks "
+                f"(budget {workload['budget']:.0%})"
+            )
+            if not workload["within_budget"]:
+                failed = True
+                print(
+                    f"FAIL: sanitizer no-op overhead "
                     f"{workload['overhead_ratio']:.1%} exceeds the "
                     f"{workload['budget']:.0%} budget",
                     file=sys.stderr,

@@ -17,10 +17,25 @@ a program hits the maintenance hot paths::
 The same battery backs the ``python -m repro lint`` CLI command.  The
 full code catalogue (with paper citations) lives in
 :data:`~repro.analysis.diagnostics.CODES` and ``docs/analysis.md``.
+
+Three sibling surfaces share the framework (codes, renderers,
+suppression, exit-code policy):
+
+* :func:`check_source` / :func:`lint_self` — the RV3xx static
+  concurrency battery (``repro lint --self``).
+* :func:`lint_spec` — orchestrator DAG-spec lint, RV21x
+  (``repro lint dag.json``).
+* :class:`RuntimeSanitizer` — the runtime invariant sanitizer behind
+  ``Database(sanitize=True)`` / ``REPRO_SANITIZE=1``
+  (``repro sanitize``).
 """
 
 from repro.analysis.analyzer import AnalysisReport, analyze
 from repro.analysis.advisor import StratumAdvice, StrategyAdvice, advise
+from repro.analysis.concurrency import check_source
+from repro.analysis.devlint import lint_self
+from repro.analysis.sanitizer import RuntimeSanitizer
+from repro.analysis.spec import lint_spec
 from repro.analysis.diagnostics import (
     CODES,
     CodeInfo,
@@ -38,6 +53,10 @@ __all__ = [
     "AnalysisReport",
     "analyze",
     "advise",
+    "check_source",
+    "lint_self",
+    "lint_spec",
+    "RuntimeSanitizer",
     "StrategyAdvice",
     "StratumAdvice",
     "CODES",

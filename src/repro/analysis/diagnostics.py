@@ -66,7 +66,8 @@ def _codes(entries: Iterable[CodeInfo]) -> Dict[str, CodeInfo]:
 
 #: The stable code catalogue.  Codes are never renumbered; retired codes
 #: are left reserved.  RV0xx = errors, RV1xx = program-shape warnings,
-#: RV2xx = advisory (strategy/guard) findings.
+#: RV2xx = advisory (strategy/guard/DAG-spec/self-lint) findings,
+#: RV3xx = concurrency discipline (static analyzer + runtime sanitizer).
 CODES: Dict[str, CodeInfo] = _codes([
     CodeInfo(
         "RV000", "parse error", Severity.ERROR,
@@ -216,6 +217,106 @@ CODES: Dict[str, CodeInfo] = _codes([
         "backward check avoids DRed's overdeletion on views with many "
         "alternative derivations",
     ),
+    CodeInfo(
+        "RV210", "DAG spec cycle", Severity.ERROR,
+        "Section 1 (views over views must form a DAG; "
+        "docs/orchestration.md)",
+        "break the cycle: no node may (transitively) consume a view "
+        "exported by one of its own consumers",
+    ),
+    CodeInfo(
+        "RV211", "unknown source relation", Severity.WARNING,
+        "Section 2 (maintenance reacts to base-relation changes; only "
+        "declared sources are ingestible)",
+        "add the relation to the spec's \"sources\" list, or fix the "
+        "predicate name in the node's program",
+    ),
+    CodeInfo(
+        "RV212", "DOWNSTREAM lag with no consumer", Severity.WARNING,
+        "dynamic-table lag model (DOWNSTREAM inherits the tightest "
+        "consumer lag; docs/orchestration.md)",
+        "give the sink node a numeric target_lag, or null for an "
+        "explicitly on-demand node — DOWNSTREAM on a node nobody "
+        "consumes silently resolves to on-demand",
+    ),
+    CodeInfo(
+        "RV220", "unused import", Severity.WARNING,
+        "codebase hygiene (ruff F401; make lint-strict)",
+        "remove the unused import, or reference it in __all__ if it "
+        "is a deliberate re-export",
+    ),
+    CodeInfo(
+        "RV301", "unversioned write to MVCC-managed state", Severity.ERROR,
+        "Section 2 / PR 6 (every mutation must record its pre-image "
+        "before the epoch publishes, or snapshots tear)",
+        "mutate through the relation's public API (add/merge/"
+        "set_count/replace_rows) inside a begin()/commit() epoch; "
+        "never poke _rows/_versions/_pending from outside the storage "
+        "engine",
+    ),
+    CodeInfo(
+        "RV302", "epoch mutation outside the publication protocol",
+        Severity.ERROR,
+        "PR 6 (commit epochs are monotonic and published atomically by "
+        "VersionManager.commit alone)",
+        "go through VersionManager.commit()/restore_epoch(); writing "
+        "epoch or min_readable anywhere else can publish a torn or "
+        "non-monotonic epoch",
+    ),
+    CodeInfo(
+        "RV303", "blocking call under a held lock", Severity.WARNING,
+        "lockset discipline (fsync/sleep/IO under the writer lock "
+        "stalls every reader pin and the commit path)",
+        "move the blocking call (fsync, sleep, open, join, subprocess) "
+        "outside the with-lock block; compute under the lock, publish "
+        "outside",
+    ),
+    CodeInfo(
+        "RV304", "lock acquired without guaranteed release",
+        Severity.ERROR,
+        "lockset discipline (an exception between acquire and release "
+        "deadlocks every later writer)",
+        "use 'with lock:' instead of bare acquire(), or pair the "
+        "acquire with a release() in a finally block",
+    ),
+    CodeInfo(
+        "RV305", "layering violation", Severity.WARNING,
+        "architecture layering (core must not depend on obs except "
+        "through the metrics/trace hook seams; see docs/analysis.md)",
+        "import the lower layer instead, move the import into the "
+        "function that needs it (a sanctioned lazy seam), or move the "
+        "code to the layer it belongs to",
+    ),
+    CodeInfo(
+        "RV306", "inconsistent lock discipline on shared attribute",
+        Severity.WARNING,
+        "lockset analysis (RacerD-style: an attribute written both "
+        "with and without the class lock has no consistent guard)",
+        "take the lock on every write of the attribute, or rename the "
+        "unguarded writer with a _locked suffix if its callers already "
+        "hold the lock",
+    ),
+    CodeInfo(
+        "RV307", "nested lock acquisition", Severity.WARNING,
+        "lockset analysis (two locks taken in inconsistent orders "
+        "deadlock under contention)",
+        "restructure so each code path holds at most one lock, or "
+        "document and enforce a global acquisition order",
+    ),
+    CodeInfo(
+        "RV308", "non-daemon thread never joined", Severity.INFO,
+        "thread lifecycle (a leaked non-daemon thread blocks "
+        "interpreter shutdown)",
+        "pass daemon=True for background workers, or join() the "
+        "thread on the shutdown path",
+    ),
+    CodeInfo(
+        "RV309", "module global rebound at runtime", Severity.INFO,
+        "shared-state inventory ('global X' rebinding is invisible to "
+        "the lockset model; O4 workers would race it)",
+        "guard the rebinding with a lock, or confine the mutable "
+        "state to an object the caller owns",
+    ),
 ])
 
 
@@ -228,7 +329,10 @@ class Diagnostic:
     ``rule`` is the rendered source rule the finding is about (when
     rule-scoped), ``predicate`` the predicate it concerns, and ``span``
     the 1-based source position (``None`` for programs built
-    programmatically, whose AST carries no spans).
+    programmatically, whose AST carries no spans).  ``path`` pins the
+    finding to its own file — set by multi-file reports (devlint),
+    where one document spans many sources; single-program reports
+    leave it ``None`` and pass the path at render time.
     """
 
     code: str
@@ -239,6 +343,7 @@ class Diagnostic:
     predicate: Optional[str] = None
     #: Extra structured payload (e.g. the offending cycle for RV007/RV008).
     data: Dict[str, object] = field(default_factory=dict)
+    path: Optional[str] = None
 
     @property
     def info(self) -> CodeInfo:
@@ -255,8 +360,9 @@ class Diagnostic:
     def location(self, path: Optional[str] = None) -> str:
         """``file:line:col`` (or as much of it as is known)."""
         parts = []
-        if path:
-            parts.append(path)
+        effective = self.path if self.path is not None else path
+        if effective:
+            parts.append(effective)
         if self.span is not None:
             parts.append(str(self.span))
         return ":".join(parts)
@@ -274,7 +380,9 @@ class Diagnostic:
             "rule": self.rule,
             "predicate": self.predicate,
         }
-        if path is not None:
+        if self.path is not None:
+            out["path"] = self.path
+        elif path is not None:
             out["path"] = path
         if self.data:
             out["data"] = {
@@ -293,6 +401,7 @@ def make_diagnostic(
     rule: Optional[object] = None,
     predicate: Optional[str] = None,
     data: Optional[Dict[str, object]] = None,
+    path: Optional[str] = None,
 ) -> Diagnostic:
     """Build a diagnostic, defaulting severity from the catalogue."""
     info = CODES[code]
@@ -304,6 +413,7 @@ def make_diagnostic(
         rule=str(rule) if rule is not None else None,
         predicate=predicate,
         data=dict(data) if data else {},
+        path=path,
     )
 
 

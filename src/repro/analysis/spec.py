@@ -1,0 +1,227 @@
+"""Lint orchestrator ``from_spec`` JSON DAG declarations (RV21x).
+
+``repro lint dag.json`` (or any program argument that parses as a JSON
+object) routes here instead of the Datalog analyzer.  The linter
+mirrors :meth:`repro.orchestrator.scheduler.Orchestrator.from_spec`
+shape-checking, then builds the real
+:class:`~repro.orchestrator.graph.DependencyGraph` — the same cycle
+detection, producer resolution, and ``DOWNSTREAM`` lag propagation the
+scheduler uses at runtime — and reports what the scheduler would reject
+(or silently mis-serve) as standard diagnostics:
+
+* **RV000 / RV010** — malformed JSON, wrong shapes, unparseable node
+  programs, duplicate exports (whatever ``from_spec`` itself raises).
+* **RV210** — a dependency cycle among the declared nodes (error: the
+  scheduler refuses the spec).
+* **RV211** — the spec declares a ``"sources"`` list but a consumed
+  source relation is missing from it (warning: ``ingest()`` into a
+  typo'd relation raises only at runtime).
+* **RV212** — a node declares ``"target_lag": "downstream"`` but no
+  consumer resolves it (warning: the node silently becomes on-demand).
+
+Findings come back as an :class:`~repro.analysis.analyzer.AnalysisReport`
+so ``--format json``, ``--suppress``, and ``--fail-on`` behave exactly
+as they do for Datalog lints.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List, Optional, Union
+
+from repro.analysis.analyzer import AnalysisReport
+from repro.analysis.diagnostics import Diagnostic, make_diagnostic, suppress
+from repro.datalog.ast import Span
+from repro.errors import OrchestrationError, ParseError
+
+__all__ = ["lint_spec", "looks_like_spec"]
+
+
+def looks_like_spec(text: str) -> bool:
+    """Heuristic the CLI uses to route lint input: JSON object ahead?"""
+    stripped = text.lstrip()
+    return stripped.startswith("{")
+
+
+def lint_spec(
+    spec: Union[str, dict],
+    *,
+    suppress_codes: Iterable[str] = (),
+    path: Optional[str] = None,
+) -> AnalysisReport:
+    """Lint one DAG spec (JSON text or an already-decoded dict)."""
+    diagnostics: List[Diagnostic] = []
+    document = _decode(spec, diagnostics)
+    nodes = sources = None
+    if document is not None:
+        nodes, sources = _shape_check(document, diagnostics)
+    graph = None
+    if nodes:
+        graph = _build_graph(nodes, diagnostics)
+    if graph is not None:
+        _check_sources(graph, sources, diagnostics)
+        _check_downstream(graph, diagnostics)
+    if suppress_codes:
+        diagnostics = suppress(diagnostics, suppress_codes)
+    diagnostics.sort(key=lambda d: (-int(d.severity), d.code, d.message))
+    return AnalysisReport(diagnostics=tuple(diagnostics), path=path)
+
+
+def _decode(
+    spec: Union[str, dict], diagnostics: List[Diagnostic]
+) -> Optional[dict]:
+    if not isinstance(spec, str):
+        return spec if isinstance(spec, dict) else None
+    try:
+        decoded = json.loads(spec)
+    except json.JSONDecodeError as exc:
+        diagnostics.append(
+            make_diagnostic(
+                "RV000",
+                f"spec is not valid JSON: {exc.msg}",
+                span=Span(exc.lineno, exc.colno),
+            )
+        )
+        return None
+    if not isinstance(decoded, dict):
+        diagnostics.append(
+            make_diagnostic(
+                "RV010",
+                "DAG spec must be a JSON object with a "
+                f'"views" list, got {type(decoded).__name__}',
+            )
+        )
+        return None
+    return decoded
+
+
+def _shape_check(document: dict, diagnostics: List[Diagnostic]):
+    """Mirror ``from_spec`` entry validation; collect parsed ViewNodes."""
+    from repro.orchestrator.graph import ViewNode
+    from repro.orchestrator.policy import RefreshPolicy
+
+    views = document.get("views")
+    if not isinstance(views, list) or not views:
+        diagnostics.append(
+            make_diagnostic(
+                "RV010",
+                'DAG spec must carry a non-empty "views" list',
+            )
+        )
+        return None, None
+    sources = document.get("sources")
+    if sources is not None and (
+        not isinstance(sources, list)
+        or not all(isinstance(s, str) and s for s in sources)
+    ):
+        diagnostics.append(
+            make_diagnostic(
+                "RV010",
+                '"sources" must be a list of relation names',
+            )
+        )
+        sources = None
+    nodes = []
+    for index, entry in enumerate(views):
+        if not isinstance(entry, dict):
+            diagnostics.append(
+                make_diagnostic(
+                    "RV010",
+                    f"views[{index}] must be an object, got "
+                    f"{type(entry).__name__}",
+                )
+            )
+            continue
+        entry = dict(entry)
+        policy = entry.pop("policy", None)
+        unknown = set(entry) - {"name", "source", "target_lag"}
+        if unknown:
+            diagnostics.append(
+                make_diagnostic(
+                    "RV010",
+                    f"views[{index}] has unknown keys {sorted(unknown)}",
+                )
+            )
+            for key in unknown:
+                entry.pop(key)
+        try:
+            if policy is not None:
+                RefreshPolicy.from_dict(policy)
+            nodes.append(ViewNode(**entry))
+        except (OrchestrationError, TypeError, ValueError) as exc:
+            diagnostics.append(
+                make_diagnostic(
+                    "RV010",
+                    f"views[{index}]: {exc}",
+                    predicate=str(entry.get("name") or ""),
+                )
+            )
+    default = document.get("default_policy")
+    if default is not None:
+        try:
+            RefreshPolicy.from_dict(default)
+        except (OrchestrationError, TypeError, ValueError) as exc:
+            diagnostics.append(
+                make_diagnostic("RV010", f"default_policy: {exc}")
+            )
+    return nodes, sources
+
+
+def _build_graph(nodes, diagnostics: List[Diagnostic]):
+    from repro.orchestrator.graph import DependencyGraph
+
+    try:
+        return DependencyGraph(nodes)
+    except ParseError as exc:
+        diagnostics.append(
+            make_diagnostic(
+                "RV000",
+                f"a node program does not parse: {exc}",
+                span=Span(exc.line, exc.column) if exc.line else None,
+            )
+        )
+    except OrchestrationError as exc:
+        code = "RV210" if "cycle" in str(exc) else "RV010"
+        diagnostics.append(make_diagnostic(code, str(exc)))
+    return None
+
+
+def _check_sources(graph, sources, diagnostics: List[Diagnostic]) -> None:
+    if sources is None:
+        return  # spec did not declare its ingest surface; nothing to check
+    declared = set(sources)
+    for relation in sorted(graph.source_relations):
+        if relation not in declared:
+            consumers = ", ".join(
+                sorted(graph.source_relations[relation])
+            )
+            diagnostics.append(
+                make_diagnostic(
+                    "RV211",
+                    f"source relation {relation!r} (consumed by "
+                    f"{consumers}) is missing from the spec's "
+                    '"sources" list',
+                    predicate=relation,
+                    data={"consumers": sorted(
+                        graph.source_relations[relation]
+                    )},
+                )
+            )
+
+
+def _check_downstream(graph, diagnostics: List[Diagnostic]) -> None:
+    from repro.orchestrator.graph import DOWNSTREAM
+
+    for name in graph.order:
+        node = graph.nodes[name]
+        if node.target_lag == DOWNSTREAM and graph.effective_lag(name) is None:
+            diagnostics.append(
+                make_diagnostic(
+                    "RV212",
+                    f"node {name!r} declares target_lag "
+                    f"{DOWNSTREAM!r} but no consumer resolves it; "
+                    "the node degrades to on-demand refresh",
+                    predicate=name,
+                    data={"node": name},
+                )
+            )

@@ -14,14 +14,12 @@ EXPERIMENTS.md records), or a single experiment with
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, Tuple
 
 from repro.baselines.pf import PFMaintainer
 from repro.baselines.recompute import RecomputeMaintainer
 from repro.baselines.recount import true_view_deltas
-from repro.baselines.seminaive_insert import SemiNaiveInsertMaintainer
 from repro.bench.harness import ExperimentResult, timed
-from repro.core.dred import DRedMaintenance
 from repro.core.maintenance import ViewMaintainer
 from repro.core.recursive_counting import RecursiveCountingView
 from repro.datalog.parser import parse_program
@@ -639,8 +637,6 @@ def e11_recursive_counting() -> ExperimentResult:
         "terminate when derivation counts are infinite.",
         ["graph", "outcome", "rounds", "maintain (s)", "max count"],
     )
-    program = parse_program(TC_SRC)
-
     dag_edges = layered_dag(6, 8, 3, seed=18)
     db = _database(dag_edges)
     view = RecursiveCountingView(parse_program(TC_SRC), db)

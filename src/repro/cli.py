@@ -712,7 +712,19 @@ def lint_main(argv: List[str]) -> int:
     )
     parser.add_argument(
         "program",
-        help="Datalog program file to analyze ('-' reads stdin)",
+        nargs="?",
+        help="Datalog program file to analyze ('-' reads stdin); a "
+        "JSON file/document is linted as an orchestrator DAG spec "
+        "(RV210 cycle, RV211 undeclared source, RV212 dangling "
+        "DOWNSTREAM lag)",
+    )
+    parser.add_argument(
+        "--self",
+        action="store_true",
+        dest="lint_self",
+        help="lint the installed repro package itself: the RV3xx "
+        "concurrency battery (lockset, publication discipline, "
+        "layering) plus import hygiene (RV220)",
     )
     parser.add_argument(
         "--format",
@@ -762,37 +774,174 @@ def lint_main(argv: List[str]) -> int:
     )
     args = parser.parse_args(argv)
 
-    if args.program == "-":
-        source = sys.stdin.read()
-        path = "<stdin>"
-    else:
-        try:
-            with open(args.program, "r", encoding="utf-8") as handle:
-                source = handle.read()
-        except OSError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
-        path = args.program
-
     suppressed = [
         code
         for chunk in args.suppress
         for code in chunk.split(",")
         if code.strip()
     ]
-    report = analyze(
-        source,
-        strategy=args.strategy,
-        semantics=args.semantics,
-        counting_mode=args.counting_mode,
-        suppress_codes=suppressed,
-        path=path,
-    )
+
+    if args.lint_self:
+        if args.program is not None:
+            print(
+                "error: --self takes no program argument",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.analysis.devlint import lint_self
+
+        report = lint_self(suppress_codes=suppressed)
+    else:
+        if args.program is None:
+            parser.error("program is required (or pass --self)")
+        if args.program == "-":
+            source = sys.stdin.read()
+            path = "<stdin>"
+        else:
+            try:
+                with open(args.program, "r", encoding="utf-8") as handle:
+                    source = handle.read()
+            except OSError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            path = args.program
+
+        from repro.analysis.spec import lint_spec, looks_like_spec
+
+        if path.endswith(".json") or looks_like_spec(source):
+            report = lint_spec(
+                source, suppress_codes=suppressed, path=path
+            )
+        else:
+            report = analyze(
+                source,
+                strategy=args.strategy,
+                semantics=args.semantics,
+                counting_mode=args.counting_mode,
+                suppress_codes=suppressed,
+                path=path,
+            )
     if args.format == "json":
         print(report.to_json())
     else:
         print(report.render_text(show_hints=not args.no_hints))
     return report.exit_code(Severity.from_name(args.fail_on))
+
+
+def sanitize_main(argv: List[str]) -> int:
+    """``python -m repro sanitize`` — run the concurrency sanitizer.
+
+    Two phases, both on by default: ``repro lint --self`` (the RV3xx
+    static battery over the installed package) and a threaded MVCC
+    soak with ``Database(sanitize=True)`` — every maintenance pass,
+    snapshot read, and abort is invariant-checked while readers race
+    the writer.  Exit 0 only when the static pass is RV3xx-error-clean
+    and the soak finishes with zero problems and zero traps.
+    """
+    import argparse
+    import json as _json
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro sanitize",
+        description=(
+            "Prove the concurrency discipline: static RV3xx self-lint "
+            "plus a runtime invariant-sanitized MVCC soak (Lemma 4.1 "
+            "non-negativity, Theorem 4.1 count consistency, atomic "
+            "epoch publication, snapshot immutability, abort "
+            "reversibility).  See docs/analysis.md and "
+            "docs/operations.md (REPRO_SANITIZE runbook)."
+        ),
+    )
+    parser.add_argument(
+        "--passes", type=int, default=60,
+        help="maintenance passes for the runtime soak (default: 60)",
+    )
+    parser.add_argument(
+        "--readers", type=int, default=3,
+        help="concurrent snapshot-reader threads (default: 3)",
+    )
+    parser.add_argument(
+        "--strategy", default="counting",
+        choices=["counting", "dred", "bf"],
+        help="maintenance strategy the soak drives (default: counting)",
+    )
+    parser.add_argument(
+        "--skip-static", action="store_true",
+        help="skip the RV3xx self-lint phase",
+    )
+    parser.add_argument(
+        "--skip-runtime", action="store_true",
+        help="skip the sanitized soak phase",
+    )
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit one JSON document instead of text",
+    )
+    args = parser.parse_args(argv)
+
+    failed = False
+    result: dict = {}
+    if not args.skip_static:
+        from repro.analysis.devlint import lint_self
+
+        report = lint_self()
+        hard = [
+            d
+            for d in report.at_severity(Severity.ERROR)
+            if d.code.startswith("RV3")
+        ]
+        result["static"] = {
+            "findings": len(report.diagnostics),
+            "rv3xx_errors": [d.to_dict() for d in hard],
+        }
+        if hard:
+            failed = True
+        if not args.json:
+            print(
+                f"static: {len(report.diagnostics)} finding(s), "
+                f"{len(hard)} error-severity RV3xx"
+            )
+            for d in hard:
+                print(f"  {d.location()}: [{d.code}] {d.message}")
+    if not args.skip_runtime:
+        from repro.storage.mvcc_smoke import run_soak
+
+        # Scale the fault cadences to the pass count: run_soak treats a
+        # drill where no crash/breach ever fired as a problem, so short
+        # runs must inject proportionally more often (0 disables).
+        stats = run_soak(
+            readers=args.readers,
+            passes=args.passes,
+            strategy=args.strategy,
+            crash_every=min(13, max(2, args.passes // 4)),
+            journal_crash_every=min(17, max(3, args.passes // 3)),
+            breach_every=min(25, max(4, args.passes // 2)),
+            sanitize=True,
+        )
+        result["runtime"] = {
+            "problems": stats["problems"],
+            "sanitizer": stats["sanitizer"],
+            "reads": stats["reads"],
+            "passes": stats["passes"],
+        }
+        trapped = (stats["sanitizer"] or {}).get("trapped", 0)
+        if stats["problems"] or trapped:
+            failed = True
+        if not args.json:
+            checks = (stats["sanitizer"] or {}).get("checks", 0)
+            print(
+                f"runtime: {stats['passes']} passes / {stats['reads']} "
+                f"snapshot reads under {args.strategy}; {checks} "
+                f"invariant checks, {trapped} trapped"
+            )
+            for problem in stats["problems"]:
+                print(f"  problem: {problem}")
+    result["ok"] = not failed
+    if args.json:
+        print(_json.dumps(result, indent=2, sort_keys=True))
+    elif not failed:
+        print("sanitize ok")
+    return 1 if failed else 0
 
 
 def snapshot_main(argv: List[str]) -> int:
@@ -1170,6 +1319,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return snapshot_main(argv[1:])
     if argv and argv[0] == "orchestrate":
         return orchestrate_main(argv[1:])
+    if argv and argv[0] == "sanitize":
+        return sanitize_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",

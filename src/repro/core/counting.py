@@ -34,7 +34,7 @@ from __future__ import annotations
 import logging
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Literal as TypingLiteral, Optional, Set, Tuple
+from typing import Dict, Literal as TypingLiteral, Optional, Set
 
 from repro.core import names
 from repro.core.agg_maintenance import AggregateView
@@ -44,7 +44,6 @@ from repro.core.delta_rules import (
     factored_delta_rules,
 )
 from repro.core.normalize import NormalizedProgram
-from repro.datalog.ast import Literal
 from repro.datalog.stratify import Stratification
 from repro.errors import MaintenanceError
 from repro.eval.rule_eval import EvalContext, Resolver, evaluate_rule_into

@@ -35,10 +35,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from itertools import combinations
-from typing import Iterable, List, Sequence, Set, Tuple
+from typing import List, Set, Tuple
 
 from repro.core import names
-from repro.datalog.ast import Aggregate, Comparison, Literal, Rule, Subgoal
+from repro.datalog.ast import Aggregate, Literal, Rule, Subgoal
 from repro.errors import MaintenanceError
 
 

@@ -45,12 +45,12 @@ from __future__ import annotations
 import logging
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.core import names
 from repro.core.agg_maintenance import AggregateView
 from repro.core.normalize import NormalizedProgram
-from repro.datalog.ast import Comparison, Literal, Rule, Subgoal
+from repro.datalog.ast import Literal, Rule, Subgoal
 from repro.datalog.terms import Variable
 from repro.datalog.stratify import Stratification
 from repro.errors import MaintenanceError

@@ -20,9 +20,9 @@ literal's pattern), so filtering never changes results — only work.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Tuple
 
-from repro.datalog.ast import Aggregate, Comparison, Literal, Program, Rule
+from repro.datalog.ast import Aggregate, Comparison, Literal, Program
 from repro.errors import EvaluationError
 from repro.eval.rule_eval import match_args
 from repro.storage.changeset import Changeset

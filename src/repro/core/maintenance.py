@@ -649,6 +649,13 @@ class ViewMaintainer:
             self.profiler.observe_pass(report)
         if self.health is not None:
             self.health.observe_pass(self, report)
+        sanitizer = self.database.sanitizer
+        if sanitizer is not None and self.strategy == "counting":
+            # Theorem 4.1 gate: stored counts on the views this pass
+            # touched must equal their immediate-derivation counts.
+            # Counting is the only strategy whose stored counts *are*
+            # derivation counts; sampling is capped inside the check.
+            sanitizer.check_theorem_4_1(self, report.changed_views())
         self._subscriptions.notify(report.view_deltas, epoch=report.epoch)
         self._auto_checkpoint()
         return report
@@ -1319,7 +1326,7 @@ class ViewMaintainer:
         self._require_initialized()
         from repro.datalog.ast import Rule as RuleNode
         from repro.datalog.parser import parse_body
-        from repro.datalog.safety import bound_variables, check_rule_safety
+        from repro.datalog.safety import check_rule_safety
         from repro.datalog.terms import Variable
         from repro.eval.rule_eval import EvalContext, Resolver, solutions
 

@@ -18,7 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.datalog.ast import Aggregate, Comparison, Literal, Rule
+from repro.datalog.ast import Aggregate, Literal, Rule
 from repro.errors import UnknownRelationError
 from repro.eval.rule_eval import EvalContext, Resolver, solutions
 from repro.storage.relation import Row

@@ -24,7 +24,7 @@ exactly the class for which duplicate counts are defined, [Mum91]).
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro.core import names
 from repro.datalog.ast import Literal, Program, Rule

@@ -24,7 +24,6 @@ from typing import (
     FrozenSet,
     Iterable,
     Iterator,
-    Mapping,
     Optional,
     Sequence,
     Tuple,

@@ -14,7 +14,7 @@ negation and aggregation must be stratified (Sections 6, 7).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Set, Tuple
 
 from repro.datalog.ast import Aggregate, Literal, Program

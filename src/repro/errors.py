@@ -180,6 +180,35 @@ class DivergenceError(MaintenanceError):
     """
 
 
+class SanitizerError(MaintenanceError):
+    """The runtime invariant sanitizer trapped a concurrency violation.
+
+    Raised by :class:`repro.analysis.sanitizer.RuntimeSanitizer` hooks
+    (``Database(sanitize=True)`` / ``REPRO_SANITIZE=1``) when a checked
+    invariant breaks: a stored count went negative (Lemma 4.1), a
+    stored view count disagreed with its derivation count
+    (Theorem 4.1), a pinned snapshot's content changed under a reader
+    (torn publication), an abort failed to restore the pre-pass state,
+    or an epoch moved non-monotonically.  ``invariant`` names the
+    check that tripped (``nonnegative-counts``, ``theorem-4.1``,
+    ``torn-publication``, ``abort-reversibility``,
+    ``epoch-monotonicity``, ``snapshot-immutability``); ``relation``
+    and ``epoch`` locate the violation when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        invariant: str = "",
+        relation: str = "",
+        epoch: int = 0,
+    ) -> None:
+        self.invariant = invariant
+        self.relation = relation
+        self.epoch = epoch
+        super().__init__(message)
+
+
 class OrchestrationError(MaintenanceError):
     """A multi-view DAG declaration or command cannot be honoured.
 

@@ -26,7 +26,7 @@ import logging
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.datalog.ast import Literal, Rule
-from repro.eval.rule_eval import EvalContext, Resolver, evaluate_rule, solutions
+from repro.eval.rule_eval import EvalContext, Resolver, evaluate_rule
 from repro.guard.budget import NOOP_METER
 from repro.storage.relation import CountedRelation
 

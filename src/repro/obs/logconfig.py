@@ -19,7 +19,6 @@ from __future__ import annotations
 import json
 import logging
 import sys
-import time
 from typing import IO, Optional
 
 __all__ = ["configure_logging", "JsonLogFormatter"]

@@ -180,7 +180,13 @@ class Orchestrator:
                         "target_lag": 0 | "downstream" | null,
                         "policy": {...}},   # optional override
                        ...],
+             "sources": ["edge", ...],      # optional ingest surface
              "default_policy": {...}}       # optional
+
+        ``"sources"`` declares the ingest surface for documentation and
+        lint cross-checking (``repro lint dag.json`` flags consumed
+        source relations missing from it as RV211); it does not change
+        runtime behaviour.
         """
         if isinstance(spec, str):
             spec = json.loads(spec)
@@ -200,6 +206,14 @@ class Orchestrator:
                     f"unknown view-spec keys {sorted(unknown)}"
                 )
             nodes.append(ViewNode(policy=node_policy, **entry))
+        sources = spec.get("sources")
+        if sources is not None and (
+            not isinstance(sources, list)
+            or not all(isinstance(s, str) and s for s in sources)
+        ):
+            raise OrchestrationError(
+                '"sources" must be a list of relation names'
+            )
         default = spec.get("default_policy")
         if default is not None:
             kwargs.setdefault("policy", RefreshPolicy.from_dict(default))

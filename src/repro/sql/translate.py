@@ -43,14 +43,13 @@ from repro.datalog.ast import (
 )
 from repro.datalog.safety import check_rule_safety
 from repro.datalog.terms import BinaryOp, Constant, Term, Variable
-from repro.errors import ParseError, SafetyError, SchemaError
+from repro.errors import SafetyError, SchemaError
 from repro.sql.ast import (
     AggregateCall,
     BoolAnd,
     BoolExpr,
     BoolOr,
     ColumnRef,
-    CompoundSelect,
     CreateView,
     Exists,
     InSubquery,

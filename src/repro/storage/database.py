@@ -17,7 +17,7 @@ from typing import Dict, Iterable, Iterator, Optional, Tuple
 
 from repro.errors import MaintenanceError, SchemaError, UnknownRelationError
 from repro.storage.changeset import Changeset
-from repro.storage.relation import CountedRelation, Row
+from repro.storage.relation import CountedRelation
 
 
 class Database:
@@ -32,11 +32,25 @@ class Database:
     mini-epoch; maintenance passes bracket the whole pass in one epoch
     via the maintainer.  ``mvcc=False`` restores the bare store
     (scratch databases, the recompute oracle).
+
+    ``sanitize=True`` attaches a
+    :class:`repro.analysis.sanitizer.RuntimeSanitizer` to the version
+    manager: every protocol edge (begin/commit/abort/read) checks the
+    paper's invariants and raises
+    :class:`~repro.errors.SanitizerError` on the first violation.
+    ``sanitize=None`` (the default) consults the ``REPRO_SANITIZE``
+    environment variable (``1``/``true``/``yes`` enable), so smokes
+    and soaks can opt whole process trees in without code changes.
     """
 
     __slots__ = ("_relations", "_mvcc")
 
-    def __init__(self, mvcc: bool = True, retain_versions: int = 8) -> None:
+    def __init__(
+        self,
+        mvcc: bool = True,
+        retain_versions: int = 8,
+        sanitize: Optional[bool] = None,
+    ) -> None:
         self._relations: Dict[str, CountedRelation] = {}
         if mvcc:
             from repro.storage.mvcc import VersionManager
@@ -44,8 +58,23 @@ class Database:
             self._mvcc: Optional["VersionManager"] = VersionManager(
                 retain_versions=retain_versions
             )
+            if sanitize is None:
+                import os
+
+                sanitize = os.environ.get(
+                    "REPRO_SANITIZE", ""
+                ).strip().lower() in ("1", "true", "yes", "on")
+            if sanitize:
+                from repro.analysis.sanitizer import RuntimeSanitizer
+
+                self._mvcc.sanitizer = RuntimeSanitizer()
         else:
             self._mvcc = None
+
+    @property
+    def sanitizer(self):
+        """The attached RuntimeSanitizer, or ``None`` when disabled."""
+        return self._mvcc.sanitizer if self._mvcc is not None else None
 
     # ----------------------------------------------------------------- mvcc
 

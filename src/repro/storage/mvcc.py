@@ -51,11 +51,11 @@ older snapshot fails loudly rather than reading a mix of generations.
 from __future__ import annotations
 
 import threading
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, Mapping, Optional, Tuple
 
 from repro.errors import MaintenanceError, SnapshotTooOldError, UnknownRelationError
 from repro.obs.metrics import get_default_registry
-from repro.storage.relation import CountedRelation, Row
+from repro.storage.relation import CountedRelation
 
 __all__ = ["Snapshot", "SnapshotRead", "VersionManager", "autocommit"]
 
@@ -98,6 +98,10 @@ class VersionManager:
                 f"retain_versions must be >= 1, got {retain_versions}"
             )
         self.retain_versions = retain_versions
+        #: Optional :class:`repro.analysis.sanitizer.RuntimeSanitizer`.
+        #: ``None`` (the default) costs one is-None test per protocol
+        #: edge, the same hook pattern as tracing/health.
+        self.sanitizer = None
         #: The last committed epoch (0 = nothing ever committed).
         self.epoch = 0
         #: Epochs older than this cannot be served (entries were dropped).
@@ -192,6 +196,8 @@ class VersionManager:
             self._in_flight = True
             for relation in self._registry.values():
                 relation._pending = {}
+            if self.sanitizer is not None:
+                self.sanitizer.on_begin(self._registry, self.epoch + 1)
             return self.epoch + 1
 
     def commit(self) -> int:
@@ -208,6 +214,12 @@ class VersionManager:
             if not self._in_flight:
                 raise MaintenanceError("commit() without an open epoch")
             new_epoch = self.epoch + 1
+            if self.sanitizer is not None:
+                # Pre-publication gate: a violation raised here leaves
+                # the epoch open, so the caller can still abort().
+                self.sanitizer.before_commit(
+                    self._registry, new_epoch, self.epoch
+                )
             for relation in self._registry.values():
                 pending = relation._pending
                 if pending:
@@ -217,6 +229,8 @@ class VersionManager:
             self.epoch = new_epoch
             self._in_flight = False
             self.commits += 1
+            if self.sanitizer is not None:
+                self.sanitizer.after_commit(self._registry, new_epoch)
             get_default_registry().counter(
                 "repro_mvcc_commits_total", "Epochs committed."
             ).inc()
@@ -246,6 +260,8 @@ class VersionManager:
                 relation._pending = None
             self._in_flight = False
             self.aborts += 1
+            if self.sanitizer is not None:
+                self.sanitizer.on_abort(self._registry)
             self._emit_metrics()
             return restored
 
@@ -264,6 +280,8 @@ class VersionManager:
     def _sever_locked(self) -> int:
         self.epoch += 1
         self.min_readable = self.epoch
+        if self.sanitizer is not None:
+            self.sanitizer.on_sever(self.epoch)
         dropped = 0
         for relation in self._registry.values():
             dropped += len(relation._versions)
@@ -293,6 +311,10 @@ class VersionManager:
             if epoch > self.epoch:
                 self.epoch = epoch
                 self.min_readable = max(self.min_readable, epoch)
+                if self.sanitizer is not None:
+                    # The jump renumbers history; recorded fingerprints
+                    # no longer align with any servable epoch.
+                    self.sanitizer.on_sever(self.epoch)
                 self._emit_metrics()
 
     # ------------------------------------------------------------- snapshots
@@ -435,6 +457,12 @@ class VersionManager:
         result._rows = {
             row: count for row, count in merged.items() if count != 0
         }
+        if self.sanitizer is not None:
+            # Lock-free like the read itself: compares the rebuilt
+            # content against the fingerprint recorded at publication.
+            self.sanitizer.on_materialize(
+                name, epoch, result._rows, self.epoch
+            )
         return result
 
     # ------------------------------------------------------------- reporting
@@ -549,6 +577,9 @@ class Snapshot:
     def close(self) -> None:
         if not self._closed:
             self._closed = True
+            sanitizer = self._manager.sanitizer
+            if sanitizer is not None and self._cache:
+                sanitizer.on_snapshot_close(self.epoch, self._cache)
             self._cache.clear()
             self._manager.release(self.epoch)
 

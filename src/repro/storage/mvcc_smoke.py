@@ -80,6 +80,7 @@ def run_soak(
     strategy: str = "counting",
     min_reads: int = 0,
     max_seconds: float = 120.0,
+    sanitize: Optional[bool] = None,
 ) -> Dict[str, object]:
     """Race ``readers`` snapshot readers against ``passes`` writes.
 
@@ -97,7 +98,7 @@ def run_soak(
     import time
 
     rng = random.Random(seed)
-    db = Database(retain_versions=retain_versions)
+    db = Database(retain_versions=retain_versions, sanitize=sanitize)
     db.insert_rows("link", _initial_edges())
     guard = GuardPolicy(
         budget=MaintenanceBudget(max_delta_tuples=MAX_DELTA_TUPLES),
@@ -257,6 +258,9 @@ def run_soak(
         "max_retained": max_retained,
         "chain_cap": chain_cap,
         "final_epoch": db.mvcc.epoch,
+        "sanitizer": (
+            db.sanitizer.to_dict() if db.sanitizer is not None else None
+        ),
         "problems": problems,
     }
 

@@ -29,7 +29,7 @@ from __future__ import annotations
 import ast
 import json
 import os
-from typing import Any, Dict, IO, List, Optional, Tuple, Union
+from typing import Any, Dict, IO, Optional, Tuple, Union
 
 from repro.errors import SchemaError
 from repro.storage.changeset import Changeset

@@ -15,7 +15,7 @@ oracles this repository's test suite uses; this module packages them:
 from __future__ import annotations
 
 import random
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional
 
 from repro.baselines.recount import true_view_deltas
 from repro.core.maintenance import ViewMaintainer

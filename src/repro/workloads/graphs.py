@@ -21,7 +21,7 @@ lists so runs are reproducible.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 Edge = Tuple[object, object]
 WeightedEdge = Tuple[object, object, int]

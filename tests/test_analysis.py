@@ -66,14 +66,28 @@ class TestCatalogue:
             assert info.title and info.paper and info.hint, code
 
     def test_code_bands_match_severities(self):
-        # RV0xx are errors; RV1xx/RV2xx warnings or infos — the bands
-        # are a stable part of the contract (docs/analysis.md).
+        # RV0xx are errors; RV1xx advisory warnings or infos; RV2xx
+        # advisory except the structural spec error RV210; RV3xx
+        # (concurrency discipline) spans all three severities — the
+        # bands are a stable part of the contract (docs/analysis.md).
         for code, info in CODES.items():
             band = code[2]
             if band == "0":
                 assert info.severity is Severity.ERROR, code
-            else:
+            elif band == "1":
                 assert info.severity in (Severity.WARNING, Severity.INFO), code
+            elif band == "2":
+                expected = (
+                    (Severity.ERROR,)
+                    if code == "RV210"
+                    else (Severity.WARNING, Severity.INFO)
+                )
+                assert info.severity in expected, code
+            else:
+                assert band == "3", code
+                assert info.severity in (
+                    Severity.ERROR, Severity.WARNING, Severity.INFO
+                ), code
 
     def test_severity_ordering_and_labels(self):
         assert Severity.ERROR > Severity.WARNING > Severity.INFO

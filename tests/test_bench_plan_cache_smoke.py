@@ -40,7 +40,7 @@ def test_smoke_emits_valid_bench_json(tmp_path):
     assert set(by_name) == {
         "counting-small-delta", "dred-small-delta", "batched-vs-sequential",
         "tracing-overhead", "guard-overhead", "mvcc-overhead",
-        "health-overhead",
+        "health-overhead", "sanitize-overhead",
     }
 
     for name in ("counting-small-delta", "dred-small-delta"):
@@ -86,6 +86,15 @@ def test_smoke_emits_valid_bench_json(tmp_path):
     assert health["within_budget"] is True
     assert health["overhead_ratio"] < health["budget"]
     assert health["health_crossings"] == 2 * payload["config"]["passes"]
+
+    # And for the detached runtime sanitizer (four protocol edges per
+    # pass; the gate is on the is-None noop bound, the enabled path is
+    # informational).
+    sanitize = by_name["sanitize-overhead"]
+    assert sanitize["within_budget"] is True
+    assert sanitize["overhead_ratio"] < sanitize["budget"]
+    assert sanitize["sanitize_crossings"] == 4 * payload["config"]["passes"]
+    assert sanitize["enabled_seconds"] > 0
 
     # Engine telemetry rides along in every bench document.
     assert "metrics" in payload["telemetry"]

@@ -310,6 +310,33 @@ def test_counting_matches_oracles(cache, batched, guard, case, updates,
     _final_state_matches(maintainer, case, oracle_db, semantics)
 
 
+@settings(max_examples=15, derandomize=True, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(case=stratified_program(), updates=update_stream(),
+       semantics=st.sampled_from(["set", "duplicate"]))
+def test_sanitized_counting_matches_recompute(case, updates, semantics):
+    """The runtime sanitizer stays silent on every correct workload.
+
+    Same recompute oracle as above, but the maintained database runs
+    with ``Database(sanitize=True)``: a single false-positive trap
+    (SanitizerError) on any generated program/stream fails the case,
+    and the views must still match the oracle bit-for-bit.
+    """
+    edges, stream = updates
+    db = Database(sanitize=True)
+    db.insert_rows("link", edges)
+    maintainer = ViewMaintainer.from_source(
+        case, db, strategy="counting", semantics=semantics,
+    ).initialize()
+    oracle_db = database_with(edges)
+    for changes in stream:
+        maintainer.apply(changes.copy())
+        oracle_db.apply_changeset(changes.copy())
+    _final_state_matches(maintainer, case, oracle_db, semantics)
+    assert db.sanitizer.trapped == 0
+    assert db.sanitizer.checks > 0
+
+
 # --------------------------------------------------------- DRed/B-F ≡ oracle
 
 

@@ -1,0 +1,264 @@
+"""Orchestrator DAG-spec lint (RV21x) and its CLI routing."""
+
+import json
+
+import pytest
+
+from repro.analysis.diagnostics import Severity
+from repro.analysis.spec import lint_spec, looks_like_spec
+from repro.errors import OrchestrationError
+from repro.orchestrator.scheduler import Orchestrator
+
+
+def codes(report):
+    return [d.code for d in report.diagnostics]
+
+
+GOOD_SPEC = {
+    "views": [
+        {"name": "pairs", "source": "pair(X, Y) :- edge(X, Y)."},
+        {
+            "name": "fan",
+            "source": "fan(X) :- pair(X, Y).",
+            "target_lag": 5.0,
+        },
+    ],
+    "sources": ["edge"],
+}
+
+
+class TestRouting:
+    def test_looks_like_spec(self):
+        assert looks_like_spec('  {"views": []}')
+        assert looks_like_spec('\n{\n}')
+        assert not looks_like_spec("hop(X, Y) :- link(X, Z).")
+        assert not looks_like_spec("[1, 2]")
+
+    def test_accepts_text_and_dict(self):
+        assert lint_spec(GOOD_SPEC).ok
+        assert lint_spec(json.dumps(GOOD_SPEC)).ok
+
+
+class TestMalformedInput:
+    def test_bad_json_is_rv000_with_position(self):
+        report = lint_spec('{"views": [,]}')
+        assert codes(report) == ["RV000"]
+        diagnostic = report.diagnostics[0]
+        assert diagnostic.severity == Severity.ERROR
+        assert diagnostic.span is not None
+        assert diagnostic.span.line == 1
+
+    def test_non_object_json_is_rv010(self):
+        report = lint_spec("[1, 2]")
+        assert codes(report) == ["RV010"]
+
+    def test_missing_views_is_rv010(self):
+        report = lint_spec("{}")
+        assert codes(report) == ["RV010"]
+        assert "views" in report.diagnostics[0].message
+
+    def test_non_dict_view_entry_is_rv010(self):
+        report = lint_spec({"views": [7]})
+        assert codes(report) == ["RV010"]
+        assert "views[0]" in report.diagnostics[0].message
+
+    def test_unknown_view_keys_are_rv010(self):
+        spec = {
+            "views": [
+                {
+                    "name": "pairs",
+                    "source": "pair(X, Y) :- edge(X, Y).",
+                    "lagg": 3,
+                }
+            ]
+        }
+        report = lint_spec(spec)
+        assert "RV010" in codes(report)
+        assert "lagg" in report.diagnostics[0].message
+
+    def test_unparseable_node_program_is_rv000(self):
+        spec = {"views": [{"name": "p", "source": "pair(X :-"}]}
+        report = lint_spec(spec)
+        assert "RV000" in codes(report)
+
+    def test_bad_sources_shape_is_rv010(self):
+        spec = dict(GOOD_SPEC, sources="edge")
+        report = lint_spec(spec)
+        assert "RV010" in codes(report)
+        # The same shape is rejected at runtime by from_spec itself.
+        with pytest.raises(OrchestrationError):
+            Orchestrator.from_spec(spec)
+
+
+class TestCycleRV210:
+    CYCLIC = {
+        "views": [
+            {"name": "a", "source": "a(X) :- b(X)."},
+            {"name": "b", "source": "b(X) :- a(X)."},
+        ]
+    }
+
+    def test_cycle_is_an_error(self):
+        report = lint_spec(self.CYCLIC)
+        assert codes(report) == ["RV210"]
+        assert report.diagnostics[0].severity == Severity.ERROR
+        assert not report.ok
+
+    def test_scheduler_agrees(self):
+        with pytest.raises(OrchestrationError):
+            Orchestrator.from_spec(self.CYCLIC)
+
+
+class TestSourcesRV211:
+    def test_missing_source_is_a_warning_with_consumers(self):
+        spec = {
+            "views": [
+                {"name": "pairs", "source": "pair(X, Y) :- edge(X, Y)."}
+            ],
+            "sources": ["link"],
+        }
+        report = lint_spec(spec)
+        assert codes(report) == ["RV211"]
+        diagnostic = report.diagnostics[0]
+        assert diagnostic.severity == Severity.WARNING
+        assert "'edge'" in diagnostic.message
+        assert diagnostic.data["consumers"] == ["pairs"]
+        assert report.ok  # warnings do not fail the default gate
+
+    def test_declared_sources_lint_clean(self):
+        assert lint_spec(GOOD_SPEC).diagnostics == ()
+
+    def test_undeclared_surface_is_not_checked(self):
+        spec = {"views": GOOD_SPEC["views"]}
+        assert lint_spec(spec).diagnostics == ()
+
+
+class TestDownstreamRV212:
+    def test_dangling_downstream_is_a_warning(self):
+        spec = {
+            "views": [
+                {
+                    "name": "pairs",
+                    "source": "pair(X, Y) :- edge(X, Y).",
+                    "target_lag": "downstream",
+                }
+            ],
+            "sources": ["edge"],
+        }
+        report = lint_spec(spec)
+        assert codes(report) == ["RV212"]
+        assert report.diagnostics[0].severity == Severity.WARNING
+        assert "'pairs'" in report.diagnostics[0].message
+
+    def test_resolved_downstream_lints_clean(self):
+        spec = {
+            "views": [
+                {
+                    "name": "pairs",
+                    "source": "pair(X, Y) :- edge(X, Y).",
+                    "target_lag": "downstream",
+                },
+                {
+                    "name": "fan",
+                    "source": "fan(X) :- pair(X, Y).",
+                    "target_lag": 5.0,
+                },
+            ],
+            "sources": ["edge"],
+        }
+        assert lint_spec(spec).diagnostics == ()
+
+
+class TestSuppression:
+    def test_suppressed_codes_drop_from_report_and_exit(self):
+        spec = {
+            "views": [
+                {"name": "pairs", "source": "pair(X, Y) :- edge(X, Y)."}
+            ],
+            "sources": [],
+        }
+        noisy = lint_spec(spec)
+        assert codes(noisy) == ["RV211"]
+        quiet = lint_spec(spec, suppress_codes=["RV211"])
+        assert quiet.diagnostics == ()
+        assert quiet.exit_code(Severity.WARNING) == 0
+
+
+class TestCliIntegration:
+    def run_lint(self, argv, capsys):
+        from repro.cli import lint_main
+
+        exit_code = lint_main(argv)
+        return exit_code, capsys.readouterr().out
+
+    def test_json_file_routes_to_spec_lint(self, tmp_path, capsys):
+        spec_path = tmp_path / "dag.json"
+        spec_path.write_text(json.dumps(GOOD_SPEC))
+        exit_code, out = self.run_lint(
+            [str(spec_path), "--format", "json"], capsys
+        )
+        assert exit_code == 0
+        document = json.loads(out)
+        assert document["diagnostics"] == []
+
+    def test_inline_json_on_stdin_routes_to_spec_lint(
+        self, capsys, monkeypatch
+    ):
+        import io
+
+        spec = {
+            "views": [
+                {"name": "pairs", "source": "pair(X, Y) :- edge(X, Y)."}
+            ],
+            "sources": [],
+        }
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO(json.dumps(spec))
+        )
+        exit_code, out = self.run_lint(["-", "--format", "json"], capsys)
+        document = json.loads(out)
+        assert [d["code"] for d in document["diagnostics"]] == ["RV211"]
+        assert exit_code == 0  # warning, default gate is error
+
+    def test_fail_on_warning_gates_rv211(self, tmp_path, capsys):
+        spec_path = tmp_path / "dag.json"
+        spec_path.write_text(json.dumps({
+            "views": [
+                {"name": "pairs", "source": "pair(X, Y) :- edge(X, Y)."}
+            ],
+            "sources": [],
+        }))
+        exit_code, _out = self.run_lint(
+            [str(spec_path), "--fail-on", "warning"], capsys
+        )
+        assert exit_code == 1
+
+    def test_suppress_flag_drops_from_json_and_exit(
+        self, tmp_path, capsys
+    ):
+        spec_path = tmp_path / "dag.json"
+        spec_path.write_text(json.dumps({
+            "views": [
+                {"name": "pairs", "source": "pair(X, Y) :- edge(X, Y)."}
+            ],
+            "sources": [],
+        }))
+        exit_code, out = self.run_lint(
+            [
+                str(spec_path),
+                "--format", "json",
+                "--suppress", "RV211",
+                "--fail-on", "warning",
+            ],
+            capsys,
+        )
+        assert exit_code == 0
+        document = json.loads(out)
+        assert document["diagnostics"] == []
+
+    def test_cycle_fails_the_cli(self, tmp_path, capsys):
+        spec_path = tmp_path / "dag.json"
+        spec_path.write_text(json.dumps(TestCycleRV210.CYCLIC))
+        exit_code, out = self.run_lint([str(spec_path)], capsys)
+        assert exit_code == 1
+        assert "RV210" in out
